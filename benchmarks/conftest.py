@@ -1,0 +1,82 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index) and prints the same rows
+or series the paper reports.  Expensive artefacts -- workload builds,
+functional runs, traces -- are cached per session so the figure benches
+share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.memdep import AliasModel
+from repro.core.partition import Partition
+from repro.harness.runner import BaselineRun, DSWPRun, run_baseline, run_dswp
+from repro.machine.cmp import simulate
+from repro.machine.config import MachineConfig
+from repro.workloads import get_workload
+from repro.workloads.base import WorkloadCase
+
+#: Problem size used across benches: big enough for stable shapes,
+#: small enough that the full harness runs in minutes.
+BENCH_SCALE = 800
+
+
+class BenchSuite:
+    """Lazily computed, session-cached experiment artefacts."""
+
+    def __init__(self) -> None:
+        self._cases: dict[str, WorkloadCase] = {}
+        self._baselines: dict[str, BaselineRun] = {}
+        self._dswp: dict[str, DSWPRun] = {}
+
+    def case(self, name: str, scale: int = BENCH_SCALE) -> WorkloadCase:
+        key = f"{name}@{scale}"
+        if key not in self._cases:
+            self._cases[key] = get_workload(name).build(scale=scale)
+        return self._cases[key]
+
+    def baseline(self, name: str, scale: int = BENCH_SCALE) -> BaselineRun:
+        key = f"{name}@{scale}"
+        if key not in self._baselines:
+            self._baselines[key] = run_baseline(self.case(name, scale))
+        return self._baselines[key]
+
+    def dswp(self, name: str, scale: int = BENCH_SCALE) -> DSWPRun:
+        key = f"{name}@{scale}"
+        if key not in self._dswp:
+            self._dswp[key] = run_dswp(
+                self.case(name, scale), self.baseline(name, scale)
+            )
+        return self._dswp[key]
+
+    def dswp_with_partition(self, name: str, partition: Partition,
+                            scale: int = BENCH_SCALE) -> DSWPRun:
+        return run_dswp(self.case(name, scale), self.baseline(name, scale),
+                        partition=partition)
+
+    def dswp_with_alias(self, name: str, alias: AliasModel,
+                        scale: int = BENCH_SCALE) -> DSWPRun:
+        return run_dswp(self.case(name, scale), self.baseline(name, scale),
+                        alias_model=alias)
+
+    # ------------------------------------------------------------------
+    def base_cycles(self, name: str, machine: MachineConfig,
+                    scale: int = BENCH_SCALE) -> int:
+        return simulate([self.baseline(name, scale).trace], machine).cycles
+
+    def dswp_sim(self, name: str, machine: MachineConfig,
+                 scale: int = BENCH_SCALE):
+        return simulate(self.dswp(name, scale).traces, machine)
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchSuite:
+    return BenchSuite()
+
+
+@pytest.fixture(scope="session")
+def full_machine() -> MachineConfig:
+    return MachineConfig()

@@ -1,0 +1,73 @@
+"""Section 4.2: offline false-sharing analysis of the DSWP'd loops.
+
+The paper's simulator omits the coherence protocol; to validate the
+results it replays both cores' memory traces in an invalidation-based
+model and checks for false sharing.  Of its nine applications only
+three (181.mcf, 256.bzip2, jpegenc) exhibited any, with negligible
+miss-rate impact except bzip2's write to the global ``bslive`` --
+which the authors fixed by promoting the global to a register.
+
+This bench reports the same analysis for our suite, plus the
+pre-fix/post-fix bzip2 pair.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_dswp
+from repro.machine.sharing import analyze_sharing
+from repro.workloads import Bzip2Workload, TABLE1_WORKLOADS
+
+
+def test_false_sharing_analysis(benchmark, suite):
+    def run():
+        rows = []
+        ordered_true_sharing = True
+        for workload in TABLE1_WORKLOADS:
+            run_w = suite.dswp(workload.name)
+            report = analyze_sharing(run_w.traces)
+            # True-sharing events may only arise where the affine alias
+            # model split a same-address load->store pair forward across
+            # the pipeline: the *downstream* core writes lines the
+            # upstream core read, an ordered (safe) communication.
+            ordered_true_sharing &= all(
+                e.writer_core > e.victim_core
+                for e in report.true_sharing_events
+            )
+            rows.append([
+                workload.name,
+                len(report.false_sharing_events),
+                len(report.true_sharing_events),
+                max(report.miss_rate_delta(c) for c in (0, 1)),
+            ])
+        # The §4.2 bzip2 case: global write-through vs register-promoted.
+        bad = run_dswp(Bzip2Workload(global_bslive=True).build(scale=800))
+        bad_report = analyze_sharing(bad.traces)
+        rows.append([
+            "bzip2-globals",
+            len(bad_report.false_sharing_events),
+            len(bad_report.true_sharing_events),
+            max(bad_report.miss_rate_delta(c) for c in (0, 1)),
+        ])
+        return rows, ordered_true_sharing
+
+    rows, ordered_true_sharing = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Section 4.2: offline invalidation-based sharing analysis")
+    print(format_table(
+        ["loop", "false-sharing events", "true-sharing events",
+         "max miss-rate delta (pp)"],
+        rows,
+    ))
+    by_name = {r[0]: r for r in rows}
+    # Shapes: unordered true sharing never occurs (may-aliasing pairs
+    # share an SCC; any same-word traffic flows strictly down the
+    # pipeline); the register-promoted bzip2 is clean while the
+    # global-variable variant falsely shares heavily (§4.2's fix).
+    assert ordered_true_sharing
+    assert by_name["bzip2-globals"][1] > 0
+    assert by_name["bzip2-globals"][3] > by_name["bzip2"][3]
+    assert by_name["bzip2"][1] == 0
+    # Most of the suite shows little or no sharing impact, like the paper.
+    quiet = sum(1 for r in rows[:-1] if r[3] < 3.0)
+    assert quiet >= 7

@@ -1,0 +1,43 @@
+"""Fig. 9(b): sensitivity to inter-core communication latency.
+
+The paper re-runs DSWP with produce-side pipeline latencies of 1, 5 and
+10 cycles (consume stays 1 cycle) and finds DSWP "not very sensitive to
+the communication latency" -- the decoupling buffers absorb it.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table, geomean
+from repro.machine.config import MachineConfig
+from repro.workloads import TABLE1_WORKLOADS
+
+LATENCIES = (1, 5, 10)
+
+
+def test_fig9b_communication_latency(benchmark, suite, full_machine):
+    def run():
+        rows = []
+        for workload in TABLE1_WORKLOADS:
+            name = workload.name
+            base = suite.base_cycles(name, full_machine)
+            speedups = [
+                base / suite.dswp_sim(
+                    name, MachineConfig().with_comm_latency(lat)
+                ).cycles
+                for lat in LATENCIES
+            ]
+            rows.append([name] + speedups)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    means = [geomean([r[i] for r in rows]) for i in range(1, len(LATENCIES) + 1)]
+    rows.append(["GeoMean"] + means)
+    print()
+    print("Fig. 9(b): DSWP speedup at communication latency 1/5/10 cycles")
+    print(format_table(
+        ["loop"] + [f"{lat}-cycle" for lat in LATENCIES], rows
+    ))
+    # Shape: insensitivity -- the geomean moves by well under 5% across
+    # a 10x latency range.
+    assert means[0] > 1.0
+    assert abs(means[-1] - means[0]) / means[0] < 0.05

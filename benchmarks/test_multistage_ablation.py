@@ -1,0 +1,50 @@
+"""Ablation: pipeline depth (2 vs 3 stages).
+
+The paper targets a dual-core CMP ("only two threads are created by
+the algorithm") but the algorithm itself (Definition 1) supports any
+``t``.  This ablation runs the heuristic with a 3-thread budget on the
+loops whose DAG_SCC admits a 3-way cut, on a 3-core machine, and
+compares against the 2-stage pipeline: deeper pipelines only pay off
+when the extra stage removes work from the bottleneck stage, so most
+loops should sit near their 2-stage speedup (the pipeline is limited by
+its slowest stage either way).
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table, geomean
+from repro.harness.runner import run_dswp
+from repro.machine.cmp import simulate
+from repro.machine.config import MachineConfig
+from repro.workloads import TABLE1_WORKLOADS
+
+THREE_CORES = MachineConfig(num_cores=3)
+
+
+def test_pipeline_depth_ablation(benchmark, suite, full_machine):
+    def run():
+        rows = []
+        for workload in TABLE1_WORKLOADS:
+            name = workload.name
+            base = suite.base_cycles(name, full_machine)
+            two = base / suite.dswp_sim(name, full_machine).cycles
+            deep = run_dswp(suite.case(name), suite.baseline(name), threads=3)
+            stages = len(deep.result.partition)
+            three = base / simulate(deep.traces, THREE_CORES).cycles
+            rows.append([name, two, stages, three])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    two_gm = geomean([r[1] for r in rows])
+    three_gm = geomean([r[3] for r in rows])
+    rows.append(["GeoMean", two_gm, "-", three_gm])
+    print()
+    print("Ablation: 2-stage vs 3-stage pipelines (3-stage on 3 cores)")
+    print(format_table(
+        ["loop", "2-stage speedup", "stages@3", "3-stage speedup"], rows
+    ))
+    # Shapes: the 3-thread budget never breaks correctness or collapses
+    # performance; on average it lands in the same range as 2 stages
+    # (the bottleneck stage rules either way).
+    assert three_gm > 1.0
+    assert three_gm > two_gm * 0.85

@@ -1,0 +1,43 @@
+"""Section 4.4 (text): sensitivity to synchronization-array queue size.
+
+The paper varies the 32-element queues to 8 and 128 elements and finds
+DSWP "fairly insensitive": mean slowdown 2% at size 8, mean speedup 1%
+at size 128, worst cases -6%/+7%.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table, geomean
+from repro.machine.config import MachineConfig
+from repro.workloads import TABLE1_WORKLOADS
+
+SIZES = (8, 32, 128)
+
+
+def test_queue_size_sensitivity(benchmark, suite, full_machine):
+    def run():
+        rows = []
+        for workload in TABLE1_WORKLOADS:
+            name = workload.name
+            base = suite.base_cycles(name, full_machine)
+            speedups = [
+                base / suite.dswp_sim(
+                    name, MachineConfig().with_queue_size(size)
+                ).cycles
+                for size in SIZES
+            ]
+            rows.append([name] + speedups)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    means = [geomean([r[i] for r in rows]) for i in range(1, len(SIZES) + 1)]
+    rows.append(["GeoMean"] + means)
+    print()
+    print("Queue-size sensitivity (Section 4.4): speedup at 8/32/128 entries")
+    print(format_table(["loop"] + [f"{s} entries" for s in SIZES], rows))
+    ref = means[1]  # 32 entries is the paper's default
+    # Shapes: small queues cost a little, big queues gain a little; the
+    # whole range stays within a few percent of the default.
+    assert abs(means[0] - ref) / ref < 0.08
+    assert abs(means[2] - ref) / ref < 0.08
+    assert means[2] >= means[0] * 0.98

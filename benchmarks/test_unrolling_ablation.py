@@ -1,0 +1,69 @@
+"""Section 5.1 (second half): unrolling as a DSWP enabler on epicdec.
+
+After fixing the memory analysis, the paper applies aggressive (8x)
+unrolling and recompiles: the unrolled DSWP version gains another 40%
+over the new (also unrolled) baseline, because the extra per-iteration
+work gives the partitioner more material to balance and the pipeline
+trades ILP for TLP more profitably.
+
+This bench sweeps the unroll factor on epicdec and reports baseline
+cycles, SCC count, and DSWP speedup (each DSWP version is compared to
+the *equally unrolled* baseline, as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.dswp import dswp
+from repro.core.unroll import unrolled_loop
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_baseline, run_dswp
+from repro.machine.cmp import simulate
+from repro.workloads import EpicWorkload
+from repro.workloads.base import WorkloadCase
+
+FACTORS = (1, 2, 4, 8)
+SCALE = 800
+
+
+def unrolled_case(factor: int) -> WorkloadCase:
+    case = EpicWorkload().build(scale=SCALE)
+    if factor == 1:
+        return case
+    func, loop = unrolled_loop(case.function, case.loop.header, factor)
+    return WorkloadCase(
+        f"epicdec-u{factor}", func, loop.header, case.memory,
+        case.initial_regs, case.checker,
+    )
+
+
+def test_unrolling_ablation(benchmark, full_machine):
+    def run():
+        rows = []
+        for factor in FACTORS:
+            case = unrolled_case(factor)
+            baseline = run_baseline(case)
+            transformed = run_dswp(case, baseline)
+            base_cycles = simulate([baseline.trace], full_machine).cycles
+            dswp_cycles = simulate(transformed.traces, full_machine).cycles
+            rows.append([
+                factor,
+                transformed.result.num_sccs,
+                base_cycles,
+                base_cycles / dswp_cycles,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Section 5.1: epicdec unrolling sweep (DSWP vs equally "
+          "unrolled baseline)")
+    print(format_table(
+        ["unroll factor", "SCCs", "baseline cycles", "DSWP speedup"], rows
+    ))
+    by_factor = {r[0]: r for r in rows}
+    # Shapes: unrolling multiplies the SCC count; DSWP keeps applying
+    # and its speedup at 8x is at least as good as at 1x (the paper saw
+    # a 40% gain over the unrolled base).
+    assert by_factor[8][1] > by_factor[1][1]
+    assert all(r[3] > 1.0 for r in rows)
+    assert by_factor[8][3] >= by_factor[1][3] * 0.95

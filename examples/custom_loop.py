@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bring your own loop: build IR with the builder (or parse it from
+text), run DSWP on it, and inspect every stage of the pipeline
+construction -- the dependence graph, the SCCs, the partition, and the
+transformed threads.
+
+Run:  python examples/custom_loop.py
+"""
+
+from repro.analysis import build_dependence_graph
+from repro.core import dswp
+from repro.interp import Memory, run_function, run_threads
+from repro.ir import parse_function, render_function, find_loops, parse_register
+
+SOURCE = """\
+func histogram entry=entry
+entry:
+    mov r4 = 0
+    jmp header
+header:
+    cmp.ge p0 = r0, r1
+    br p0, exit, body
+body:
+    add r5 = r2, r0
+    load r6 = [r5 + 0] !input
+    and r6 = r6, 15
+    add r7 = r3, r6
+    load r8 = [r7 + 0] !bins
+    add r8 = r8, 1
+    store [r7 + 0] = r8 !bins
+    add r4 = r4, 1
+    add r0 = r0, 1
+    jmp header
+exit:
+    store [r3 + 100] = r4 !bins
+    ret
+"""
+
+
+def main() -> None:
+    func = parse_function(SOURCE)
+    loop = find_loops(func)[0]
+    print(f"parsed {func.name}; loop header = {loop.header}\n")
+
+    # Inspect the dependence graph the way the DSWP pass sees it.
+    graph = build_dependence_graph(func, loop)
+    dag = graph.dag_scc()
+    print(f"{len(graph.nodes)} PDG nodes, {len(graph.arcs)} arcs, "
+          f"{len(dag)} SCCs:")
+    for sid, members in enumerate(dag.sccs):
+        print(f"  SCC {sid}: {[m.render() for m in members]}")
+    print()
+
+    result = dswp(func, loop, require_profitable=False)
+    print(f"partition: {result.partition}")
+    print(f"flows: {result.flow_counts()}\n")
+    for thread in result.program.threads:
+        print(render_function(thread))
+
+    # Execute both versions on the same input and compare.
+    n = 64
+    r0, r1, r2, r3 = (parse_register(f"r{i}") for i in range(4))
+    memory = Memory()
+    data = [(i * 7 + 3) % 251 for i in range(n)]
+    in_base = memory.store_array(data)
+    bins_base = memory.alloc(128)
+    initial = {r0: 0, r1: n, r2: in_base, r3: bins_base}
+
+    seq = run_function(func, memory.clone(), initial_regs=initial)
+    par = run_threads(result.program, memory.clone(), initial_regs=initial)
+    assert seq.memory.snapshot() == par.memory.snapshot()
+    histogram = par.memory.load_array(bins_base, 16)
+    print(f"histogram (both versions agree): {histogram}")
+    print(f"count: {par.memory.read(bins_base + 100)}")
+
+
+if __name__ == "__main__":
+    main()

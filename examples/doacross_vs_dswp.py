@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fig. 1 in action: DOACROSS vs DSWP under communication latency.
+
+Transforms the same pointer-chasing loop both ways and sweeps the
+inter-core communication latency.  DOACROSS forwards the loop-carried
+pointer core-to-core every iteration, so its critical path is
+``Iters x (Latency + Comm)``; DSWP keeps the recurrence on one core.
+
+Run:  python examples/doacross_vs_dswp.py
+"""
+
+from repro.core import doacross, dswp
+from repro.harness import format_table, run_baseline
+from repro.interp import run_threads
+from repro.machine import MachineConfig, simulate
+from repro.workloads import get_workload
+
+LATENCIES = (1, 2, 5, 10, 20)
+
+
+def main(scale: int = 1000) -> None:
+    case = get_workload("listtraverse").build(scale=scale)
+    baseline = run_baseline(case)
+
+    dswp_result = dswp(case.function, case.loop, profile=baseline.profile,
+                       require_profitable=False)
+    dswp_mem = case.fresh_memory()
+    dswp_mt = run_threads(dswp_result.program, dswp_mem,
+                          initial_regs=case.initial_regs, record_trace=True)
+    case.checker(dswp_mem, dswp_mt.main_regs)
+
+    da_result = doacross(case.function, case.loop)
+    da_mem = case.fresh_memory()
+    da_mt = run_threads(da_result.program, da_mem,
+                        initial_regs=case.initial_regs, record_trace=True)
+    case.checker(da_mem, da_mt.main_regs)
+    print(f"DOACROSS forwards {len(da_result.carried)} loop-carried "
+          f"register(s) per iteration: {da_result.carried}\n")
+
+    rows = []
+    for latency in LATENCIES:
+        machine = MachineConfig().with_comm_latency(latency)
+        base = simulate([baseline.trace], machine).cycles
+        dswp_cycles = simulate(dswp_mt.traces(), machine).cycles
+        da_cycles = simulate(da_mt.traces(), machine).cycles
+        rows.append([latency, base / dswp_cycles, base / da_cycles])
+    print(format_table(
+        ["comm latency (cycles)", "DSWP speedup", "DOACROSS speedup"], rows
+    ))
+    print("\nDSWP stays flat; DOACROSS pays the latency every iteration.")
+
+
+if __name__ == "__main__":
+    import sys
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1000)

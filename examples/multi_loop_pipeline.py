@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Whole-program DSWP: two loops sharing one auxiliary thread (§3).
+
+The paper's runtime creates the auxiliary thread once; the main thread
+announces each optimised loop on a *master queue* before entering it
+and sends a terminate signal at program exit.  This example builds a
+program with two pipelineable loops (an image-scaling pass followed by
+a checksum pass), transforms both with `dswp_program`, and shows the
+master-queue protocol in the generated auxiliary thread.
+
+Run:  python examples/multi_loop_pipeline.py
+"""
+
+from repro.core import dswp_program
+from repro.interp import Memory, run_function, run_threads
+from repro.ir import IRBuilder, render_function
+from repro.machine import FULL_WIDTH_MACHINE, simulate, speedup
+
+
+def build_program(n):
+    b = IRBuilder("two_pass_filter")
+    r_i, r_n, r_img, r_v, r_addr = (b.reg() for _ in range(5))
+    r_j, r_acc, r_out, r_t = (b.reg() for _ in range(4))
+    p1, p2 = b.pred(), b.pred()
+    affine = {"affine": True, "affine_base": "img"}
+
+    b.block("entry", entry=True)
+    b.mov(r_i, imm=0)
+    b.jmp("scale_loop")
+    b.block("scale_loop")                 # pass 1: img[i] = img[i]*5+3
+    b.cmp_ge(p1, r_i, r_n)
+    b.br(p1, "between", "scale_body")
+    b.block("scale_body")
+    b.add(r_addr, r_img, r_i)
+    b.load(r_v, r_addr, offset=0, region="img", attrs=dict(affine))
+    b.mul(r_v, r_v, imm=5)
+    b.add(r_v, r_v, imm=3)
+    b.and_(r_v, r_v, imm=0xFFFF)
+    b.store(r_v, r_addr, offset=0, region="img", attrs=dict(affine))
+    b.add(r_i, r_i, imm=1)
+    b.jmp("scale_loop")
+    b.block("between")
+    b.mov(r_j, imm=0)
+    b.mov(r_acc, imm=0)
+    b.jmp("sum_loop")
+    b.block("sum_loop")                   # pass 2: checksum
+    b.cmp_ge(p2, r_j, r_n)
+    b.br(p2, "exit", "sum_body")
+    b.block("sum_body")
+    b.add(r_addr, r_img, r_j)
+    b.load(r_v, r_addr, offset=0, region="img", attrs=dict(affine))
+    b.shl(r_t, r_acc, imm=1)
+    b.xor(r_acc, r_t, r_v)
+    b.and_(r_acc, r_acc, imm=0xFFFFFF)
+    b.add(r_j, r_j, imm=1)
+    b.jmp("sum_loop")
+    b.block("exit")
+    b.store(r_acc, r_out, offset=0, region="checksum")
+    b.ret()
+    func = b.done()
+    return func, {"n": r_n, "img": r_img, "out": r_out}
+
+
+def main(n: int = 2000) -> None:
+    func, regs = build_program(n)
+    memory = Memory()
+    img = memory.store_array([(i * 17 + 9) % 4096 for i in range(n)])
+    out = memory.alloc(1)
+    initial = {regs["n"]: n, regs["img"]: img, regs["out"]: out}
+
+    result = dswp_program(func, ["scale_loop", "sum_loop"])
+    print(f"transformed {len(result.applied_loops)} loops; "
+          f"master queues: {result.master_queues}\n")
+    aux = result.program.threads[1]
+    print("auxiliary thread (dispatch loop + per-loop sections):\n")
+    print(render_function(aux))
+
+    seq = run_function(func, memory.clone(), initial_regs=initial,
+                       record_trace=True)
+    par = run_threads(result.program, memory.clone(), initial_regs=initial,
+                      record_trace=True)
+    assert seq.memory.snapshot() == par.memory.snapshot()
+    print(f"\nchecksum (both versions): {par.memory.read(out):#x}")
+
+    base_sim = simulate([seq.trace], FULL_WIDTH_MACHINE)
+    dswp_sim = simulate(par.traces(), FULL_WIDTH_MACHINE)
+    print(f"whole program: {base_sim.cycles} -> {dswp_sim.cycles} cycles "
+          f"({speedup(base_sim, dswp_sim):.3f}x) with one auxiliary thread "
+          f"serving both loops")
+
+
+if __name__ == "__main__":
+    import sys
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""One loop, four parallelization strategies.
+
+Runs the compress-style DOALL loop through everything this library can
+throw at it -- DOACROSS-style thinking doesn't apply (no single carried
+chain to bounce), so the contenders are:
+
+* 2-stage DSWP (the paper's transform, 2 cores);
+* 3-stage DSWP (deeper pipeline, 3 cores);
+* parallel-stage DSWP (1 producer + 2 consumer replicas, 3 cores);
+* DOALL (independent interleaved iterations, 2 and 3 cores).
+
+Every variant is executed functionally and checked against the
+workload's oracle before it is timed.
+
+Run:  python examples/scaling_out.py [workload] [scale]
+"""
+
+import sys
+
+from repro.core import doall, dswp, parallel_stage_dswp
+from repro.harness import format_table, run_baseline
+from repro.interp import run_threads
+from repro.machine import MachineConfig, simulate
+from repro.workloads import get_workload
+
+
+def measure(case, program, cores):
+    memory = case.fresh_memory()
+    mt = run_threads(program, memory, initial_regs=case.initial_regs,
+                     record_trace=True, max_steps=80_000_000)
+    case.checker(memory, mt.main_regs)
+    machine = MachineConfig(num_cores=max(cores, len(program)))
+    return simulate(mt.traces(), machine).cycles
+
+
+def main(name: str = "compress", scale: int = 800) -> None:
+    case = get_workload(name).build(scale=scale)
+    baseline = run_baseline(case)
+    base = simulate([baseline.trace], MachineConfig()).cycles
+    rows = [["single-threaded", 1, base, 1.0]]
+
+    two = dswp(case.function, case.loop, profile=baseline.profile,
+               require_profitable=False)
+    rows.append(["DSWP (2 stages)", 2, c := measure(case, two.program, 2),
+                 base / c])
+
+    three = dswp(case.function, case.loop, threads=3,
+                 profile=baseline.profile, require_profitable=False)
+    if three.applied and len(three.program) == 3:
+        rows.append(["DSWP (3 stages)", 3,
+                     c := measure(case, three.program, 3), base / c])
+
+    ps = parallel_stage_dswp(case.function, case.loop, replicas=2,
+                             profile=baseline.profile)
+    rows.append(["parallel-stage DSWP (1+2)", 3,
+                 c := measure(case, ps.program, 3), base / c])
+
+    for threads in (2, 3):
+        da = doall(case.function, case.loop, threads=threads)
+        rows.append([f"DOALL ({threads} threads)", threads,
+                     c := measure(case, da.program, threads), base / c])
+
+    print(f"{name} (scale {scale}): all variants verified against the "
+          "oracle\n")
+    print(format_table(["strategy", "cores", "cycles", "speedup"], rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "compress",
+         int(sys.argv[2]) if len(sys.argv) > 2 else 800)

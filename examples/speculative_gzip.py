@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Section 5.4 in action: speculating past the loop-termination SCC.
+
+gzip's deflate_fast-style loops defeat DSWP -- the termination
+condition's computation serialises the whole iteration into one SCC.
+This example shows the paper's proposed fix working: the producer core
+runs the (side-effect-free) hash recurrence ahead of termination
+detection, bounded by a credit window, while the consumer core probes
+the match table, detects termination, and emits the output.
+
+Run:  python examples/speculative_gzip.py
+"""
+
+from repro.core import dswp, speculative_dswp
+from repro.harness import format_table, run_baseline
+from repro.interp import run_threads
+from repro.ir import render_function
+from repro.machine import FULL_WIDTH_MACHINE, simulate
+from repro.workloads import GzipMatchWorkload
+
+
+def main(scale: int = 1000) -> None:
+    case = GzipMatchWorkload().build(scale=scale)
+    baseline = run_baseline(case)
+    base = simulate([baseline.trace], FULL_WIDTH_MACHINE).cycles
+
+    plain = dswp(case.function, case.loop, require_profitable=False)
+    largest = max(len(s) for s in plain.dag.sccs)
+    print(f"plain DSWP: {plain.num_sccs} SCCs, but the largest holds "
+          f"{largest}/{len(plain.graph.nodes)} instructions "
+          f"(the termination recurrence)")
+    mt = run_threads(plain.program, case.fresh_memory(),
+                     initial_regs=case.initial_regs, record_trace=True)
+    plain_cycles = simulate(mt.traces(), FULL_WIDTH_MACHINE).cycles
+    print(f"plain DSWP speedup: {base / plain_cycles:.3f}x "
+          "(nothing to balance)\n")
+
+    result = speculative_dswp(case.function, case.loop, window=8)
+    print(f"speculated branches: "
+          f"{[b.render() for b in result.speculated_branches]}")
+    print("speculative producer thread:\n")
+    print(render_function(result.program.threads[1]))
+
+    rows = []
+    for window in (1, 2, 4, 8, 16):
+        spec = speculative_dswp(case.function, case.loop, window=window)
+        memory = case.fresh_memory()
+        mt = run_threads(spec.program, memory,
+                         initial_regs=case.initial_regs, record_trace=True)
+        case.checker(memory, mt.main_regs)
+        cycles = simulate(mt.traces(), FULL_WIDTH_MACHINE).cycles
+        rows.append([window, cycles, base / cycles])
+    print(format_table(
+        ["credit window", "cycles", "speedup over baseline"], rows
+    ))
+    print("\nbounded speculation turns the un-pipelineable loop into a "
+          "real pipeline (all outputs verified against the sequential "
+          "run).")
+
+
+if __name__ == "__main__":
+    import sys
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1000)

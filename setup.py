@@ -1,0 +1,13 @@
+"""Setup shim so ``pip install -e .`` works offline (no `wheel` package
+is available in this environment, which the PEP 660 editable path would
+need)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,25 @@
+"""repro: Decoupled Software Pipelining (Ottoni et al., MICRO 2005).
+
+A from-scratch reproduction of "Automatic Thread Extraction with
+Decoupled Software Pipelining": a compiler IR, the analyses and the
+DSWP transformation itself, a DOACROSS baseline, a dual-core CMP
+timing model with a synchronization array, and the workloads and
+benchmark harness that regenerate every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro.harness import run_experiment
+    from repro.workloads import get_workload
+
+    result = run_experiment(get_workload("mcf"))
+    print(f"loop speedup {result.loop_speedup:.2f}x")
+"""
+
+from repro.core.doacross import doacross
+from repro.core.dswp import DSWPResult, dswp
+from repro.harness.runner import run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = ["DSWPResult", "doacross", "dswp", "run_experiment", "__version__"]

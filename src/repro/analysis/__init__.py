@@ -1,0 +1,56 @@
+"""Program analyses: liveness, control/memory dependence, PDG, SCCs, profiling."""
+
+from repro.analysis.controldep import (
+    control_dependences_of_graph,
+    loop_iteration_control_deps,
+    loop_iteration_control_deps_detailed,
+    standard_loop_control_deps,
+)
+from repro.analysis.export import cfg_to_dot, dag_scc_to_dot, pdg_to_dot
+from repro.analysis.liveness import (
+    LivenessInfo,
+    compute_liveness,
+    loop_live_ins,
+    loop_live_outs,
+)
+from repro.analysis.memdep import AliasMode, AliasModel, needs_ordering
+from repro.analysis.pdg import (
+    EXTERNAL,
+    DepArc,
+    DependenceGraph,
+    DepKind,
+    build_dependence_graph,
+)
+from repro.analysis.profiling import LoopProfile, profile_loop
+from repro.analysis.selection import LoopCandidate, SelectionReport, select_loops
+from repro.analysis.scc import DagScc, condense, strongly_connected_components
+
+__all__ = [
+    "AliasMode",
+    "AliasModel",
+    "DagScc",
+    "DepArc",
+    "DepKind",
+    "DependenceGraph",
+    "EXTERNAL",
+    "LivenessInfo",
+    "LoopCandidate",
+    "LoopProfile",
+    "SelectionReport",
+    "build_dependence_graph",
+    "cfg_to_dot",
+    "compute_liveness",
+    "condense",
+    "control_dependences_of_graph",
+    "dag_scc_to_dot",
+    "loop_iteration_control_deps",
+    "loop_iteration_control_deps_detailed",
+    "loop_live_ins",
+    "loop_live_outs",
+    "needs_ordering",
+    "pdg_to_dot",
+    "profile_loop",
+    "select_loops",
+    "standard_loop_control_deps",
+    "strongly_connected_components",
+]

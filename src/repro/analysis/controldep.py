@@ -1,0 +1,169 @@
+"""Control-dependence computation, including the DSWP extensions.
+
+Three layers (Sections 2.2.1 and 2.3 of the paper):
+
+1. **Standard control dependence** (Ferrante-Ottenstein-Warren): block
+   ``X`` is control dependent on branch block ``B`` iff ``B`` has a
+   successor ``s`` such that ``X`` post-dominates ``s`` but ``X`` does
+   not strictly post-dominate ``B``.
+
+2. **Loop-iteration control dependence** (Fig. 4): queues are reused
+   every iteration, so thread control flow must match iteration by
+   iteration.  We *conceptually peel* the first loop iteration: build a
+   graph with two copies of every loop block, route back edges of both
+   copies to the second copy's header, compute standard control
+   dependence on the peeled graph, and coalesce copy pairs.  This adds
+   dependences such as "the latch branch controls whether the header
+   executes again" that standard control dependence misses.
+
+3. Both are computed over the *loop subgraph* (loop blocks plus a
+   virtual exit reached by every exit edge), which is the region DSWP
+   transforms.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dominance import VIRTUAL_EXIT, postdominator_tree_of_graph
+from repro.ir.loops import Loop
+
+
+def control_dependences_of_graph(
+    succs: dict[str, list[str]], exit_labels: list[str]
+) -> dict[str, set[str]]:
+    """Standard control dependence on a label graph.
+
+    Returns ``{dependent_block: {controlling_block, ...}}``.  Only
+    blocks with more than one successor can control anything.
+    """
+    pdt = postdominator_tree_of_graph(succs, exit_labels)
+    deps: dict[str, set[str]] = {label: set() for label in succs}
+    for b, outs in succs.items():
+        if len(set(outs)) < 2:
+            continue
+        for s in outs:
+            # Walk the postdominator tree from s up to (but excluding)
+            # ipostdom(b); every node on the way is control dep on b.
+            stop = pdt.idom.get(b)
+            node = s
+            while node is not None and node != stop and node != VIRTUAL_EXIT:
+                deps.setdefault(node, set()).add(b)
+                node = pdt.idom.get(node)
+    return deps
+
+
+def loop_subgraph(loop: Loop) -> tuple[dict[str, list[str]], list[str]]:
+    """CFG restricted to the loop; exit edges retarget a virtual label.
+
+    Returns (successor map, exit labels).  The virtual label ``<out>``
+    stands for all code after the loop.
+    """
+    out_label = "<out>"
+    succs: dict[str, list[str]] = {}
+    has_exit = False
+    for block in loop.blocks():
+        targets = []
+        for succ in block.successor_labels():
+            if succ in loop.body:
+                targets.append(succ)
+            else:
+                targets.append(out_label)
+                has_exit = True
+        succs[block.label] = targets
+    if has_exit:
+        succs[out_label] = []
+    return succs, [out_label] if has_exit else []
+
+
+def standard_loop_control_deps(loop: Loop) -> dict[str, set[str]]:
+    """Standard (forward, acyclic) control dependences within the loop.
+
+    Matches the "standard control dependence graph" of Fig. 4(b): back
+    edges are removed before the FOW computation, so a latch branch that
+    only decides whether the *next* iteration runs controls nothing --
+    that is exactly the gap the loop-iteration extension fills.
+    """
+    succs, exits = loop_subgraph(loop)
+    forward = {
+        label: [t for t in targets if t != loop.header]
+        for label, targets in succs.items()
+    }
+    deps = control_dependences_of_graph(forward, exits or ["<out>"])
+    deps.pop("<out>", None)
+    return deps
+
+
+def _peeled(label: str, copy: int) -> str:
+    return f"{label}@{copy}"
+
+
+def _peeled_graph(loop: Loop, copies: int) -> dict[str, list[str]]:
+    """``copies`` copies of the loop region; back edges of copy *i* go
+    to copy *i+1*'s header (the last copy loops to itself); all exit
+    edges share one virtual ``<out>`` node."""
+    succs, _ = loop_subgraph(loop)
+    out_label = "<out>"
+    peeled: dict[str, list[str]] = {out_label: []}
+    last = copies - 1
+    for copy in range(copies):
+        for label, targets in succs.items():
+            if label == out_label:
+                continue
+            new_targets = []
+            for target in targets:
+                if target == out_label:
+                    new_targets.append(out_label)
+                elif target == loop.header:
+                    new_targets.append(_peeled(loop.header, min(copy + 1, last)))
+                else:
+                    new_targets.append(_peeled(target, copy))
+            peeled[_peeled(label, copy)] = new_targets
+    return peeled
+
+
+def loop_iteration_control_deps_detailed(
+    loop: Loop,
+) -> dict[str, dict[str, bool]]:
+    """Control dependences with per-arc carried flags.
+
+    Returns ``{dependent_block: {controlling_block: carried}}`` where
+    ``carried`` is True when the dependence crosses the iteration
+    boundary (the controlling branch of iteration *i* decides execution
+    in iteration *i+1*) and never occurs within one iteration.
+
+    Uses a three-copy peel and reads the arcs whose *controller* is the
+    middle copy: that copy sees both a preceding and a following
+    iteration, so controller@1 -> dependent@1 is unambiguously
+    intra-iteration and controller@1 -> dependent@2 unambiguously
+    carried (the last copy's self-loop would conflate the two).
+    """
+    peeled = _peeled_graph(loop, copies=3)
+    out_label = "<out>"
+    deps_peeled = control_dependences_of_graph(peeled, [out_label])
+    succs, _ = loop_subgraph(loop)
+    result: dict[str, dict[str, bool]] = {
+        label: {} for label in succs if label != out_label
+    }
+    for dep_label, controllers in deps_peeled.items():
+        if dep_label == out_label:
+            continue
+        base_dep, _, dep_copy = dep_label.rpartition("@")
+        for controller in controllers:
+            if controller == out_label:
+                continue
+            base_ctrl, _, ctrl_copy = controller.rpartition("@")
+            if ctrl_copy != "1":
+                continue
+            carried = dep_copy != "1"
+            prev = result[base_dep].get(base_ctrl)
+            # Intra-iteration (carried=False) wins if both exist.
+            if prev is None or (prev and not carried):
+                result[base_dep][base_ctrl] = carried
+    return result
+
+
+def loop_iteration_control_deps(loop: Loop) -> dict[str, set[str]]:
+    """The DSWP control-dependence relation (Fig. 4): standard control
+    dependences plus loop-iteration control dependences, coalesced over
+    the peeled copies."""
+    detailed = loop_iteration_control_deps_detailed(loop)
+    return {label: set(ctrl) for label, ctrl in detailed.items()}

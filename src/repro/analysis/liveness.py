@@ -1,0 +1,87 @@
+"""Block-level liveness analysis plus loop live-in/live-out queries.
+
+DSWP needs liveness at the loop boundary (Section 2.2.4): loop live-ins
+become *initial flows* to auxiliary threads, loop live-outs become
+*final flows* back to the main thread.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.loops import Loop
+from repro.ir.types import Register
+
+
+class LivenessInfo:
+    """Live-in / live-out register sets per basic block."""
+
+    def __init__(
+        self,
+        live_in: dict[str, frozenset[Register]],
+        live_out: dict[str, frozenset[Register]],
+    ) -> None:
+        self.live_in = live_in
+        self.live_out = live_out
+
+
+def block_use_def(block) -> tuple[set[Register], set[Register]]:
+    """(upward-exposed uses, definitions) of a block."""
+    uses: set[Register] = set()
+    defs: set[Register] = set()
+    for inst in block:
+        for reg in inst.used_registers():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(inst.defined_registers())
+    return uses, defs
+
+
+def compute_liveness(func: Function) -> LivenessInfo:
+    """Iterative backward liveness over the whole function."""
+    use: dict[str, set[Register]] = {}
+    defs: dict[str, set[Register]] = {}
+    for block in func.blocks():
+        use[block.label], defs[block.label] = block_use_def(block)
+
+    live_in: dict[str, set[Register]] = {b.label: set() for b in func.blocks()}
+    live_out: dict[str, set[Register]] = {b.label: set() for b in func.blocks()}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.reverse_postorder()):
+            label = block.label
+            out: set[Register] = set()
+            for succ in block.successor_labels():
+                out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return LivenessInfo(
+        {k: frozenset(v) for k, v in live_in.items()},
+        {k: frozenset(v) for k, v in live_out.items()},
+    )
+
+
+def loop_live_ins(func: Function, loop: Loop, liveness: LivenessInfo) -> set[Register]:
+    """Registers whose pre-loop value may be read inside the loop.
+
+    These are the registers live into the loop header that are actually
+    used by some loop instruction.
+    """
+    used_in_loop: set[Register] = set()
+    for inst in loop.instructions():
+        used_in_loop.update(inst.used_registers())
+    return set(liveness.live_in[loop.header]) & used_in_loop
+
+
+def loop_live_outs(func: Function, loop: Loop, liveness: LivenessInfo) -> set[Register]:
+    """Registers defined in the loop and live on some exit edge."""
+    defined_in_loop: set[Register] = set()
+    for inst in loop.instructions():
+        defined_in_loop.update(inst.defined_registers())
+    live_at_exits: set[Register] = set()
+    for _, target in loop.exit_edges():
+        live_at_exits |= liveness.live_in[target]
+    return defined_in_loop & live_at_exits

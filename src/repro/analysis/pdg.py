@@ -1,0 +1,394 @@
+"""The loop dependence graph (PDG) that drives DSWP (Fig. 3 line 1).
+
+Nodes are the loop's instructions (branches included; pure control-flow
+glue -- ``jmp``/``nop`` -- is excluded because the splitter regenerates
+terminators per thread).  Arcs carry a kind, an optional register, and
+a loop-carried flag:
+
+* ``DATA`` -- register true (flow) dependences, intra-iteration and
+  loop-carried.  Anti- and output-dependences on registers are ignored
+  (different threads use different register files, Section 2.2.1) with
+  the single exception below.
+* ``CONTROL`` -- the DSWP control-dependence relation: standard control
+  dependence *plus* loop-iteration control dependences (Fig. 4) *plus*
+  conditional control dependences (Fig. 5a: when a dependence source is
+  controlled by a branch the sink is not, the sink must also hear about
+  the branch).
+* ``MEMORY`` -- ordering constraints between may-aliasing memory
+  operations (and impure calls), intra- and cross-iteration.
+* ``OUTPUT`` -- the Fig. 5(b) rule: multiple in-loop definitions of the
+  same loop live-out register are tied into one SCC so exactly one
+  thread owns the final value.
+
+The graph also records the loop boundary: which uses read loop live-in
+values and which definitions produce each live-out register, feeding
+the initial/final flow insertion of Section 2.2.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.analysis.controldep import loop_iteration_control_deps_detailed
+from repro.analysis.liveness import compute_liveness, loop_live_ins, loop_live_outs
+from repro.analysis.memdep import AliasModel, needs_ordering
+from repro.analysis.scc import DagScc, condense
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop
+from repro.ir.types import Opcode, Register
+
+#: Pseudo definition site meaning "defined before the loop".
+EXTERNAL = "<external>"
+
+
+class DepKind(enum.Enum):
+    DATA = "data"
+    CONTROL = "control"
+    MEMORY = "memory"
+    OUTPUT = "output"
+
+
+class DepArc:
+    """One dependence arc ``src -> dst`` (src must execute before dst)."""
+
+    __slots__ = ("src", "dst", "kind", "register", "loop_carried", "conditional")
+
+    def __init__(
+        self,
+        src: Instruction,
+        dst: Instruction,
+        kind: DepKind,
+        register: Optional[Register] = None,
+        loop_carried: bool = False,
+        conditional: bool = False,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.register = register
+        self.loop_carried = loop_carried
+        self.conditional = conditional
+
+    def __repr__(self) -> str:
+        tag = "+LC" if self.loop_carried else ""
+        reg = f" {self.register}" if self.register else ""
+        return (
+            f"<{self.kind.value}{tag}{reg}: "
+            f"{self.src.render()} -> {self.dst.render()}>"
+        )
+
+
+class DependenceGraph:
+    """The complete loop dependence graph."""
+
+    def __init__(self, function: Function, loop: Loop) -> None:
+        self.function = function
+        self.loop = loop
+        self.nodes: list[Instruction] = []
+        self.arcs: list[DepArc] = []
+        #: (register, consumer instruction) pairs reading live-in values.
+        self.live_in_uses: list[tuple[Register, Instruction]] = []
+        #: live-out register -> definitions reaching the loop exits.
+        self.live_out_defs: dict[Register, list[Instruction]] = {}
+        self._succ_cache: Optional[dict[Instruction, set[Instruction]]] = None
+
+    # ------------------------------------------------------------------
+    def add_arc(self, arc: DepArc) -> None:
+        self.arcs.append(arc)
+        self._succ_cache = None
+
+    def successors(self) -> dict[Instruction, set[Instruction]]:
+        if self._succ_cache is None:
+            succ: dict[Instruction, set[Instruction]] = {n: set() for n in self.nodes}
+            for arc in self.arcs:
+                succ[arc.src].add(arc.dst)
+            self._succ_cache = succ
+        return self._succ_cache
+
+    def arcs_between(self, src: Instruction, dst: Instruction) -> list[DepArc]:
+        return [a for a in self.arcs if a.src is src and a.dst is dst]
+
+    def arcs_from(self, src: Instruction) -> list[DepArc]:
+        return [a for a in self.arcs if a.src is src]
+
+    def arcs_to(self, dst: Instruction) -> list[DepArc]:
+        return [a for a in self.arcs if a.dst is dst]
+
+    def dag_scc(self) -> DagScc:
+        """Condense into the DAG_SCC (Fig. 3 lines 2-4)."""
+        return condense(self.nodes, self.successors())
+
+    def control_arcs(self) -> list[DepArc]:
+        return [a for a in self.arcs if a.kind is DepKind.CONTROL]
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+def build_dependence_graph(
+    function: Function,
+    loop: Loop,
+    alias_model: Optional[AliasModel] = None,
+) -> DependenceGraph:
+    """Build the full dependence graph for ``loop`` (Fig. 3 line 1)."""
+    alias_model = alias_model or AliasModel()
+    graph = DependenceGraph(function, loop)
+    graph.nodes = [
+        inst
+        for inst in loop.instructions()
+        if inst.opcode not in (Opcode.JMP, Opcode.NOP)
+    ]
+    _add_register_data_deps(graph)
+    _add_control_deps(graph)
+    _add_memory_deps(graph, alias_model)
+    _add_conditional_control_deps(graph)
+    _add_live_out_output_deps(graph)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Register data dependences (reaching definitions inside the loop)
+# ----------------------------------------------------------------------
+
+def _loop_block_preds(loop: Loop, include_back_edges: bool) -> dict[str, list[str]]:
+    preds: dict[str, list[str]] = {b.label: [] for b in loop.blocks()}
+    for block in loop.blocks():
+        for succ in block.successor_labels():
+            if succ not in loop.body:
+                continue
+            if succ == loop.header and not include_back_edges:
+                continue
+            preds[succ].append(block.label)
+    return preds
+
+
+def _reaching_defs(
+    loop: Loop, include_back_edges: bool
+) -> dict[str, dict[Register, set]]:
+    """Per-block IN sets: register -> set of defining instructions
+    (or the EXTERNAL marker).  The header's IN always contains EXTERNAL
+    for every register, standing for pre-loop definitions.
+    """
+    blocks = loop.blocks()
+    preds = _loop_block_preds(loop, include_back_edges)
+
+    gen: dict[str, dict[Register, Instruction]] = {}
+    kill: dict[str, set[Register]] = {}
+    for block in blocks:
+        last_def: dict[Register, Instruction] = {}
+        for inst in block:
+            for reg in inst.defined_registers():
+                last_def[reg] = inst
+        gen[block.label] = last_def
+        kill[block.label] = set(last_def)
+
+    ins: dict[str, dict[Register, set]] = {b.label: {} for b in blocks}
+    outs: dict[str, dict[Register, set]] = {b.label: {} for b in blocks}
+
+    def transfer(label: str, in_map: dict[Register, set]) -> dict[Register, set]:
+        out: dict[Register, set] = {
+            reg: set(sites) for reg, sites in in_map.items() if reg not in kill[label]
+        }
+        for reg, inst in gen[label].items():
+            out[reg] = {inst}
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            label = block.label
+            new_in: dict[Register, set] = {}
+            for pred in preds[label]:
+                for reg, sites in outs[pred].items():
+                    new_in.setdefault(reg, set()).update(sites)
+            if label == loop.header:
+                # The pre-loop definition also reaches the header for
+                # every register (entry edge from outside the loop).
+                # Registers never redefined in the loop are handled by
+                # the EXTERNAL default at use sites.
+                for reg in new_in:
+                    new_in[reg].add(EXTERNAL)
+            if new_in != ins[label]:
+                ins[label] = new_in
+                outs[label] = transfer(label, new_in)
+                changed = True
+            else:
+                new_out = transfer(label, new_in)
+                if new_out != outs[label]:
+                    outs[label] = new_out
+                    changed = True
+    return {"in": ins, "out": outs}  # type: ignore[return-value]
+
+
+def _add_register_data_deps(graph: DependenceGraph) -> None:
+    loop = graph.loop
+    acyclic = _reaching_defs(loop, include_back_edges=False)
+    full = _reaching_defs(loop, include_back_edges=True)
+
+    node_set = set(graph.nodes)
+    seen_live_in: set[tuple[Register, int]] = set()
+
+    for block in loop.blocks():
+        reach_acyclic = {r: set(s) for r, s in acyclic["in"][block.label].items()}
+        reach_full = {r: set(s) for r, s in full["in"][block.label].items()}
+        for inst in block:
+            for reg in inst.used_registers():
+                intra_defs = reach_acyclic.get(reg, {EXTERNAL})
+                all_defs = reach_full.get(reg, {EXTERNAL})
+                for def_site in all_defs:
+                    if def_site is EXTERNAL:
+                        key = (reg, inst.uid)
+                        if key not in seen_live_in:
+                            seen_live_in.add(key)
+                            graph.live_in_uses.append((reg, inst))
+                        continue
+                    if def_site not in node_set or inst not in node_set:
+                        continue
+                    carried = def_site not in intra_defs
+                    graph.add_arc(
+                        DepArc(def_site, inst, DepKind.DATA, register=reg,
+                               loop_carried=carried)
+                    )
+            # Update local reaching state past this instruction.
+            for reg in inst.defined_registers():
+                reach_acyclic[reg] = {inst}
+                reach_full[reg] = {inst}
+
+    # Live-out definitions: defs reaching the loop's exit edges.
+    liveness = compute_liveness(graph.function)
+    live_outs = loop_live_outs(graph.function, loop, liveness)
+    out_full = full["out"]
+    for reg in sorted(live_outs):
+        defs: list[Instruction] = []
+        for src_label, target in loop.exit_edges():
+            if reg not in liveness.live_in[target]:
+                continue
+            for def_site in out_full[src_label].get(reg, set()):
+                if def_site is not EXTERNAL and def_site not in defs:
+                    defs.append(def_site)
+        if defs:
+            graph.live_out_defs[reg] = defs
+
+
+# ----------------------------------------------------------------------
+# Control dependences
+# ----------------------------------------------------------------------
+
+def _add_control_deps(graph: DependenceGraph) -> None:
+    loop = graph.loop
+    deps = loop_iteration_control_deps_detailed(loop)
+    node_set = set(graph.nodes)
+    for dep_label, controllers in deps.items():
+        dep_block = graph.function.block(dep_label)
+        for ctrl_label, carried in sorted(controllers.items()):
+            branch = graph.function.block(ctrl_label).terminator
+            if branch is None or not branch.is_branch or branch not in node_set:
+                continue
+            for inst in dep_block:
+                if inst in node_set and inst is not branch:
+                    graph.add_arc(
+                        DepArc(branch, inst, DepKind.CONTROL, loop_carried=carried)
+                    )
+
+
+def _add_conditional_control_deps(graph: DependenceGraph) -> None:
+    """Fig. 5(a): if D -> U is a data/memory dependence and D is control
+    dependent on branch B but U is not, U must also depend on B so the
+    consuming thread knows *when* the dependence occurs.
+    """
+    controllers: dict[Instruction, set[Instruction]] = {}
+    for arc in graph.control_arcs():
+        controllers.setdefault(arc.dst, set()).add(arc.src)
+    new_arcs: list[DepArc] = []
+    for arc in list(graph.arcs):
+        if arc.kind not in (DepKind.DATA, DepKind.MEMORY):
+            continue
+        src_ctrl = controllers.get(arc.src, set())
+        dst_ctrl = controllers.get(arc.dst, set())
+        for branch in src_ctrl - dst_ctrl:
+            if branch is arc.dst:
+                continue
+            new_arcs.append(
+                DepArc(branch, arc.dst, DepKind.CONTROL, conditional=True,
+                       loop_carried=arc.loop_carried)
+            )
+            dst_ctrl = dst_ctrl | {branch}
+            controllers[arc.dst] = dst_ctrl
+    for arc in new_arcs:
+        graph.add_arc(arc)
+
+
+# ----------------------------------------------------------------------
+# Memory dependences
+# ----------------------------------------------------------------------
+
+def _acyclic_block_reachability(loop: Loop) -> dict[str, set[str]]:
+    """label -> labels reachable without following a back edge."""
+    succs: dict[str, list[str]] = {}
+    for block in loop.blocks():
+        succs[block.label] = [
+            s for s in block.successor_labels()
+            if s in loop.body and s != loop.header
+        ]
+    reach: dict[str, set[str]] = {}
+
+    def visit(label: str) -> set[str]:
+        if label in reach:
+            return reach[label]
+        reach[label] = set()  # cycle guard (graph is acyclic anyway)
+        out: set[str] = set()
+        for succ in succs[label]:
+            out.add(succ)
+            out |= visit(succ)
+        reach[label] = out
+        return out
+
+    for block in loop.blocks():
+        visit(block.label)
+    return reach
+
+
+def _add_memory_deps(graph: DependenceGraph, alias_model: AliasModel) -> None:
+    loop = graph.loop
+    mem_ops: list[tuple[Instruction, str, int]] = []
+    for block in loop.blocks():
+        for pos, inst in enumerate(block):
+            if inst.is_memory or (inst.is_call and not inst.attrs.get("pure", False)):
+                mem_ops.append((inst, block.label, pos))
+
+    reach = _acyclic_block_reachability(loop)
+    for i, (u, u_block, u_pos) in enumerate(mem_ops):
+        for j, (v, v_block, v_pos) in enumerate(mem_ops):
+            if i == j or not needs_ordering(u, v):
+                continue
+            # Intra-iteration arc u -> v when v can execute after u in
+            # the same iteration.
+            intra = (
+                (u_block == v_block and u_pos < v_pos)
+                or (u_block != v_block and v_block in reach[u_block])
+            )
+            if intra and alias_model.conflicts_same_iteration(u, v):
+                graph.add_arc(DepArc(u, v, DepKind.MEMORY))
+            # Cross-iteration arc u (iter i) -> v (iter i+k).
+            if alias_model.conflicts_cross_iteration(u, v):
+                graph.add_arc(DepArc(u, v, DepKind.MEMORY, loop_carried=True))
+
+
+# ----------------------------------------------------------------------
+# Live-out output dependences (Fig. 5b)
+# ----------------------------------------------------------------------
+
+def _add_live_out_output_deps(graph: DependenceGraph) -> None:
+    for reg, defs in graph.live_out_defs.items():
+        if len(defs) < 2:
+            continue
+        for a in defs:
+            for b in defs:
+                if a is not b:
+                    graph.add_arc(
+                        DepArc(a, b, DepKind.OUTPUT, register=reg, loop_carried=True)
+                    )

@@ -1,0 +1,70 @@
+"""Execution profiling by direct interpretation.
+
+Stands in for the IMPACT profiling tools: runs the program once on a
+training input and records per-block execution counts, from which the
+partitioner derives per-instruction weights (average executions per
+loop iteration) and the loop trip statistics reported in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interp.interpreter import CallHandler, run_function
+from repro.interp.memory import Memory
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop
+from repro.ir.types import Register
+
+
+class LoopProfile:
+    """Profile information about one loop."""
+
+    def __init__(
+        self,
+        block_counts: dict[str, int],
+        header_trips: int,
+        loop: Loop,
+    ) -> None:
+        self.block_counts = dict(block_counts)
+        #: Number of times the loop header executed.
+        self.header_trips = max(header_trips, 1)
+        self.loop = loop
+
+    def block_weight(self, label: str) -> float:
+        """Average executions of ``label`` per loop iteration."""
+        return self.block_counts.get(label, 0) / self.header_trips
+
+    def instruction_weight(self, function: Function, inst: Instruction) -> float:
+        for block in self.loop.blocks():
+            if inst in block.instructions:
+                return self.block_weight(block.label)
+        return 0.0
+
+    @staticmethod
+    def uniform(loop: Loop) -> "LoopProfile":
+        """A flat profile (weight 1 everywhere) for unprofiled code."""
+        counts = {b.label: 1 for b in loop.blocks()}
+        return LoopProfile(counts, 1, loop)
+
+
+def profile_loop(
+    function: Function,
+    loop: Loop,
+    memory: Memory,
+    initial_regs: Optional[dict[Register, int]] = None,
+    max_steps: int = 10_000_000,
+    call_handlers: Optional[dict[str, CallHandler]] = None,
+) -> LoopProfile:
+    """Run ``function`` on a *copy* of ``memory`` and profile ``loop``."""
+    result = run_function(
+        function,
+        memory.clone(),
+        initial_regs=initial_regs,
+        max_steps=max_steps,
+        record_profile=True,
+        call_handlers=call_handlers,
+    )
+    counts = result.block_counts or {}
+    return LoopProfile(counts, counts.get(loop.header, 0), loop)

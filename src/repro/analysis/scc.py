@@ -1,0 +1,150 @@
+"""Strongly connected components and the DAG_SCC condensation.
+
+Step 2 of the DSWP algorithm (Fig. 3 lines 2-4): find the SCCs of the
+loop dependence graph -- each SCC is a loop recurrence that must stay
+within one thread -- and coalesce them into a DAG whose topological
+structure admits a pipeline partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def strongly_connected_components(
+    nodes: Iterable[Node], successors: dict[Node, set[Node]]
+) -> list[list[Node]]:
+    """Tarjan's algorithm, iterative.  Returns SCCs in reverse
+    topological order (every SCC appears before its predecessors'...
+    successors -- i.e. callees first), each as a list of nodes.
+    """
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    sccs: list[list[Node]] = []
+    counter = [0]
+
+    def ordered(node: Node):
+        # Successor sets of rich nodes (e.g. Instructions) iterate in
+        # hash (memory-address) order; sort so SCC numbering -- and
+        # everything downstream that tie-breaks on it -- is stable
+        # across runs.
+        return iter(sorted(
+            successors.get(node, ()),
+            key=lambda n: getattr(n, "uid", n),
+        ))
+
+    def strongconnect(root: Node) -> None:
+        work: list[tuple[Node, iter]] = [(root, ordered(root))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, ordered(succ)))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    sccs.append(scc)
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+class DagScc:
+    """The condensation of a dependence graph into its SCC DAG."""
+
+    def __init__(
+        self,
+        sccs: list[list[Node]],
+        edges: dict[int, set[int]],
+    ) -> None:
+        #: SCC id -> member nodes (ids are 0..n-1 in topological order).
+        self.sccs = sccs
+        #: SCC id -> successor SCC ids.
+        self.edges = edges
+
+    def __len__(self) -> int:
+        return len(self.sccs)
+
+    def scc_of(self) -> dict[Node, int]:
+        out: dict[Node, int] = {}
+        for sid, members in enumerate(self.sccs):
+            for node in members:
+                out[node] = sid
+        return out
+
+    def predecessors(self) -> dict[int, set[int]]:
+        preds: dict[int, set[int]] = {sid: set() for sid in range(len(self.sccs))}
+        for src, dsts in self.edges.items():
+            for dst in dsts:
+                preds[dst].add(src)
+        return preds
+
+    def topological_order(self) -> list[int]:
+        """SCC ids in a topological order (ids are already topological,
+        but this re-checks and is used as the canonical ordering)."""
+        preds = self.predecessors()
+        remaining = {sid: len(ps) for sid, ps in preds.items()}
+        ready = sorted(sid for sid, n in remaining.items() if n == 0)
+        order: list[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(self.edges.get(node, ())):
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self.sccs):
+            raise ValueError("DAG_SCC contains a cycle (condensation bug)")
+        return order
+
+
+def condense(
+    nodes: Iterable[Node], successors: dict[Node, set[Node]]
+) -> DagScc:
+    """Build the DAG_SCC for a dependence graph."""
+    nodes = list(nodes)
+    raw_sccs = strongly_connected_components(nodes, successors)
+    # Tarjan emits SCCs in reverse topological order; flip so that SCC 0
+    # has no predecessors (pipeline stage order).
+    raw_sccs.reverse()
+    scc_of: dict[Node, int] = {}
+    for sid, members in enumerate(raw_sccs):
+        for node in members:
+            scc_of[node] = sid
+    edges: dict[int, set[int]] = {sid: set() for sid in range(len(raw_sccs))}
+    for node in nodes:
+        for succ in successors.get(node, ()):
+            a, b = scc_of[node], scc_of[succ]
+            if a != b:
+                edges[a].add(b)
+    return DagScc(raw_sccs, edges)

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` -- the available workloads and their metadata;
+* ``run WORKLOAD`` -- the full experiment (transform, check, simulate)
+  with optional machine knobs;
+* ``show WORKLOAD`` -- print the loop's IR, its DAG_SCC, and the
+  transformed thread pipeline;
+* ``sweep WORKLOAD`` -- communication-latency sweep for one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.dswp import dswp
+from repro.harness.reporting import format_table, percent
+from repro.harness.runner import run_baseline, run_experiment
+from repro.ir.printer import render_function
+from repro.machine.config import (
+    FULL_WIDTH_CORE,
+    HALF_WIDTH_CORE,
+    MachineConfig,
+)
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+def _machine(args) -> MachineConfig:
+    core = HALF_WIDTH_CORE if getattr(args, "half_width", False) else FULL_WIDTH_CORE
+    return MachineConfig(
+        core=core,
+        comm_latency=getattr(args, "comm_latency", 1),
+        queue_size=getattr(args, "queue_size", 32),
+    )
+
+
+def cmd_list(args) -> int:
+    rows = [
+        [w.name, w.paper_benchmark, w.loop_nest,
+         f"{w.exec_fraction * 100:.0f}%", w.default_scale]
+        for w in ALL_WORKLOADS
+    ]
+    print(format_table(
+        ["workload", "models", "nest", "Ex.%", "default scale"], rows
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = get_workload(args.workload)
+    result = run_experiment(workload, machine=_machine(args),
+                            scale=args.scale)
+    if getattr(args, "json", False):
+        from repro.harness.results import results_to_json
+        print(results_to_json([result]))
+        return 0
+    print(f"workload:        {workload.name} ({workload.paper_benchmark})")
+    print(f"SCCs:            {result.dswp_result.num_sccs}")
+    print(f"pipeline stages: {len(result.dswp_result.partition)}")
+    print(f"flows:           {result.dswp_result.flow_counts()}")
+    print(f"baseline cycles: {result.base_sim.cycles} "
+          f"(IPC {result.base_sim.ipc(0):.2f})")
+    ipcs = ", ".join(f"{v:.2f}" for v in result.dswp_sim.ipcs())
+    print(f"DSWP cycles:     {result.dswp_sim.cycles} (per-core IPC {ipcs})")
+    print(f"loop speedup:    {result.loop_speedup:.3f}x "
+          f"({percent(result.loop_speedup)})")
+    print(f"program speedup: {result.program_speedup:.3f}x")
+    return 0
+
+
+def cmd_show(args) -> int:
+    workload = get_workload(args.workload)
+    case = workload.build(scale=args.scale or 50)
+    print("# original function")
+    print(render_function(case.function))
+    result = dswp(case.function, case.loop, require_profitable=False)
+    print(f"# DAG_SCC: {result.num_sccs} SCCs")
+    for sid, members in enumerate(result.dag.sccs):
+        print(f"#   SCC {sid}: {[m.render() for m in members]}")
+    if not result.applied:
+        print(f"# DSWP declined: {result.reason}")
+        return 1
+    print(f"# partition: {result.partition}")
+    for thread in result.program.threads:
+        print()
+        print(render_function(thread))
+    return 0
+
+
+def cmd_select(args) -> int:
+    """Rank a workload's loops the way §4's methodology does."""
+    from repro.analysis.selection import select_loops
+
+    workload = get_workload(args.workload)
+    case = workload.build(scale=args.scale or workload.default_scale)
+    report = select_loops(case.function, case.memory,
+                          initial_regs=case.initial_regs,
+                          min_trip_count=args.min_trips,
+                          call_handlers=case.call_handlers)
+    rows = []
+    for candidate in report.candidates:
+        reason = report.rejection_reason(candidate)
+        rows.append([
+            candidate.loop.header,
+            candidate.nest_depth,
+            f"{candidate.coverage * 100:.1f}%",
+            f"{candidate.average_trip_count:.1f}",
+            "selected" if candidate is report.selected
+            else (reason or "eligible"),
+        ])
+    print(format_table(
+        ["loop header", "nest", "coverage", "trips/entry", "status"], rows
+    ))
+    return 0 if report.selected is not None else 1
+
+
+def cmd_dot(args) -> int:
+    from repro.analysis.export import cfg_to_dot, dag_scc_to_dot, pdg_to_dot
+
+    workload = get_workload(args.workload)
+    case = workload.build(scale=args.scale or 50)
+    if args.graph == "cfg":
+        print(cfg_to_dot(case.function))
+        return 0
+    result = dswp(case.function, case.loop, require_profitable=False)
+    if args.graph == "pdg":
+        print(pdg_to_dot(result.graph))
+    else:
+        print(dag_scc_to_dot(result.dag, result.partition))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    workload = get_workload(args.workload)
+    case = workload.build(scale=args.scale)
+    baseline = run_baseline(case)
+    from repro.harness.runner import run_dswp
+    from repro.machine.cmp import simulate
+
+    transformed = run_dswp(case, baseline)
+    rows = []
+    for latency in (1, 2, 5, 10, 20):
+        machine = MachineConfig(comm_latency=latency)
+        base = simulate([baseline.trace], machine).cycles
+        cycles = simulate(transformed.traces, machine).cycles
+        rows.append([latency, base, cycles, base / cycles])
+    print(format_table(
+        ["comm latency", "baseline cycles", "DSWP cycles", "speedup"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Decoupled Software Pipelining (MICRO 2005) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available workloads")
+
+    run_p = sub.add_parser("run", help="run one workload end to end")
+    run_p.add_argument("workload")
+    run_p.add_argument("--scale", type=int, default=None,
+                       help="loop trip count (default: workload default)")
+    run_p.add_argument("--comm-latency", type=int, default=1,
+                       dest="comm_latency")
+    run_p.add_argument("--queue-size", type=int, default=32,
+                       dest="queue_size")
+    run_p.add_argument("--half-width", action="store_true",
+                       dest="half_width",
+                       help="use 3-issue cores instead of 6-issue")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable results")
+
+    show_p = sub.add_parser("show", help="print IR, SCCs and the pipeline")
+    show_p.add_argument("workload")
+    show_p.add_argument("--scale", type=int, default=None)
+
+    sweep_p = sub.add_parser("sweep", help="communication-latency sweep")
+    sweep_p.add_argument("workload")
+    sweep_p.add_argument("--scale", type=int, default=600)
+
+    select_p = sub.add_parser("select", help="rank loops for DSWP (§4)")
+    select_p.add_argument("workload")
+    select_p.add_argument("--scale", type=int, default=None)
+    select_p.add_argument("--min-trips", type=float, default=10.0,
+                          dest="min_trips")
+
+    dot_p = sub.add_parser("dot", help="emit Graphviz for cfg/pdg/dag")
+    dot_p.add_argument("workload")
+    dot_p.add_argument("--graph", choices=("cfg", "pdg", "dag"),
+                       default="dag")
+    dot_p.add_argument("--scale", type=int, default=None)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "show": cmd_show,
+        "sweep": cmd_sweep,
+        "select": cmd_select,
+        "dot": cmd_dot,
+    }
+    try:
+        return handlers[args.command](args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""The paper's contribution: the DSWP transformation and its baselines."""
+
+from repro.core.doacross import DoacrossError, doacross
+from repro.core.doall import DoallError, DoallResult, Reduction, doall
+from repro.core.dswp import DSWPResult, dswp
+from repro.core.estimate import PartitionEstimate, estimate_partition
+from repro.core.flows import (
+    BoundaryFlow,
+    FlowKind,
+    FlowPlan,
+    LoopFlow,
+    QueueAllocator,
+)
+from repro.core.optimize import hoist_initial_flows, optimize_flows, sink_final_flows
+from repro.core.speculation import (
+    SpeculationError,
+    SpeculativeDSWPResult,
+    speculative_dswp,
+)
+from repro.core.unroll import UnrollError, unroll_loop, unrolled_loop
+from repro.core.program import MultiLoopResult, TransformedLoop, dswp_program
+from repro.core.parallel_stage import (
+    ParallelStageError,
+    ParallelStageResult,
+    parallel_stage_dswp,
+)
+from repro.core.partition import (
+    Partition,
+    PartitionError,
+    cut_flow_count,
+    enumerate_two_way_partitions,
+    estimated_scc_cycles,
+    heuristic_partition,
+    single_stage_partition,
+)
+from repro.core.splitter import LoopSplitter, SplitError, SplitResult, split_loop
+
+__all__ = [
+    "BoundaryFlow",
+    "DSWPResult",
+    "DoacrossError",
+    "DoallError",
+    "DoallResult",
+    "FlowKind",
+    "FlowPlan",
+    "LoopFlow",
+    "LoopSplitter",
+    "MultiLoopResult",
+    "ParallelStageError",
+    "ParallelStageResult",
+    "Partition",
+    "PartitionError",
+    "PartitionEstimate",
+    "QueueAllocator",
+    "Reduction",
+    "SplitError",
+    "SpeculationError",
+    "SpeculativeDSWPResult",
+    "SplitResult",
+    "TransformedLoop",
+    "UnrollError",
+    "cut_flow_count",
+    "doacross",
+    "doall",
+    "dswp",
+    "dswp_program",
+    "enumerate_two_way_partitions",
+    "estimate_partition",
+    "estimated_scc_cycles",
+    "heuristic_partition",
+    "hoist_initial_flows",
+    "optimize_flows",
+    "parallel_stage_dswp",
+    "single_stage_partition",
+    "sink_final_flows",
+    "speculative_dswp",
+    "split_loop",
+    "unroll_loop",
+    "unrolled_loop",
+]

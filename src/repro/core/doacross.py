@@ -1,0 +1,323 @@
+"""DOACROSS baseline: alternate loop iterations across two cores.
+
+Section 2 motivates DSWP by contrasting it with DOACROSS parallelism
+(Fig. 1): DOACROSS assigns whole iterations to cores round-robin and
+forwards every loop-carried value core-to-core each iteration, which
+puts the communication latency on the loop's critical path --
+``Iters * (Latency + Comm Latency)`` versus DSWP's ``Iters * Latency``.
+
+This implementation targets the class of loops the figure uses (and
+which classic DOACROSS compilers handle): a single-path loop body whose
+only conditional branch is the loop-exit test.  Loop-carried register
+values are produced to the partner core immediately after their
+definition (maximising overlap), followed by a continue/stop flag
+decided at the exit branch; each core's next iteration first consumes
+the flag, then the carried values.
+
+Restrictions (checked, raising :class:`DoacrossError`):
+
+* exactly one conditional branch in the loop (the exit test);
+* each loop-carried register has a single definition site;
+* loop live-outs are a subset of the carried registers;
+* loop-carried memory dependences must be discharged by the alias
+  model (or explicitly waived with ``assume_no_carried_memory`` --
+  the Fig. 1 pointer-chasing loop needs this, as the paper's
+  conceptual DOACROSS does).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.liveness import compute_liveness, loop_live_ins, loop_live_outs
+from repro.analysis.memdep import AliasModel
+from repro.analysis.pdg import DepKind, build_dependence_graph
+from repro.core.flows import QueueAllocator
+from repro.interp.multithread import ThreadProgram
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop, find_loops
+from repro.ir.types import Opcode, RegClass, Register
+
+
+class DoacrossError(RuntimeError):
+    """The loop does not fit the supported DOACROSS shape."""
+
+
+class DoacrossResult:
+    """The transformed two-thread program plus bookkeeping."""
+
+    def __init__(self, program: ThreadProgram, carried: list[Register]) -> None:
+        self.program = program
+        self.carried = carried
+
+
+def _clone(inst: Instruction) -> Instruction:
+    return Instruction(
+        inst.opcode,
+        dest=inst.dest,
+        srcs=list(inst.srcs),
+        imm=inst.imm,
+        targets=list(inst.targets),
+        region=inst.region,
+        queue=inst.queue,
+        origin=inst,
+        attrs=dict(inst.attrs),
+    )
+
+
+def _linearize(loop: Loop) -> tuple[list[Instruction], Instruction, int]:
+    """Walk the unique in-loop path from the header.
+
+    Returns (non-terminator instructions in execution order, the exit
+    branch, the index into the instruction list where the branch sits
+    -- everything before it belongs to the pre-test part of the
+    iteration, everything at or after it to the post-test part).
+    """
+    order: list[Instruction] = []
+    exit_branch: Optional[Instruction] = None
+    branch_pos = -1
+    label = loop.header
+    visited: set[str] = set()
+    while True:
+        if label in visited:
+            raise DoacrossError("loop body revisits a block (not single-path)")
+        visited.add(label)
+        block = loop.function.block(label)
+        term = block.terminator
+        for inst in block:
+            if inst is term or inst.opcode is Opcode.NOP:
+                continue
+            order.append(inst)
+        if term.opcode is Opcode.JMP:
+            nxt = term.targets[0]
+        elif term.opcode is Opcode.BR:
+            if exit_branch is not None:
+                raise DoacrossError("more than one conditional branch in loop")
+            exit_branch = term
+            branch_pos = len(order)
+            inside = [t for t in term.targets if t in loop.body]
+            if len(inside) != 1:
+                raise DoacrossError("exit branch must have one in-loop target")
+            nxt = inside[0]
+        else:
+            raise DoacrossError("unexpected terminator in loop")
+        if nxt == loop.header:
+            break
+        label = nxt
+    if exit_branch is None:
+        raise DoacrossError("loop has no exit branch")
+    return order, exit_branch, branch_pos
+
+
+def _carried_registers(
+    function: Function,
+    loop: Loop,
+    alias_model: AliasModel,
+    assume_no_carried_memory: bool,
+) -> list[Register]:
+    graph = build_dependence_graph(function, loop, alias_model)
+    carried: set[Register] = set()
+    for arc in graph.arcs:
+        if not arc.loop_carried:
+            continue
+        if arc.kind is DepKind.DATA:
+            carried.add(arc.register)
+        elif arc.kind is DepKind.MEMORY and not assume_no_carried_memory:
+            raise DoacrossError(
+                f"loop-carried memory dependence {arc!r}; DOACROSS would "
+                "need synchronisation the transformation does not provide"
+            )
+    return sorted(carried)
+
+
+def doacross(
+    function: Function,
+    loop: Optional[Loop] = None,
+    alias_model: Optional[AliasModel] = None,
+    assume_no_carried_memory: bool = False,
+) -> DoacrossResult:
+    """Transform ``loop`` into a two-thread DOACROSS program."""
+    if loop is None:
+        loops = find_loops(function)
+        if not loops:
+            raise DoacrossError(f"{function.name} contains no loops")
+        loop = loops[0]
+    alias_model = alias_model or AliasModel()
+    body, exit_branch, branch_pos = _linearize(loop)
+    carried = _carried_registers(
+        function, loop, alias_model, assume_no_carried_memory
+    )
+
+    defs_of: dict[Register, list[Instruction]] = {}
+    for inst in body:
+        for reg in inst.defined_registers():
+            defs_of.setdefault(reg, []).append(inst)
+    for reg in carried:
+        if len(defs_of.get(reg, [])) != 1:
+            raise DoacrossError(
+                f"carried register {reg} must have exactly one definition"
+            )
+
+    liveness = compute_liveness(function)
+    live_outs = sorted(loop_live_outs(function, loop, liveness))
+    if not set(live_outs) <= set(carried):
+        raise DoacrossError(
+            f"live-outs {live_outs} exceed carried registers {carried}"
+        )
+    live_ins = sorted(loop_live_ins(function, loop, liveness))
+    invariant_ins = [r for r in live_ins if r not in carried]
+
+    exits = loop.exit_targets()
+    if len(exits) != 1:
+        raise DoacrossError("DOACROSS supports exactly one loop exit target")
+    preheader = loop.preheader()
+    if preheader is None:
+        raise DoacrossError("loop lacks a unique preheader")
+
+    alloc = QueueAllocator()
+    flag_q = {0: alloc.allocate(), 1: alloc.allocate()}  # keyed by sender
+    carried_q = {(reg, t): alloc.allocate() for t in (0, 1) for reg in carried}
+    livein_q = {reg: alloc.allocate() for reg in invariant_ins}
+    liveout_q = {reg: alloc.allocate() for reg in live_outs}
+
+    exit_taken_leaves = exit_branch.targets[0] not in loop.body
+    shape = _Shape(
+        function=function,
+        loop=loop,
+        body=body,
+        branch_pos=branch_pos,
+        exit_branch=exit_branch,
+        exit_taken_leaves=exit_taken_leaves,
+        carried=carried,
+        defs_of=defs_of,
+        flag_q=flag_q,
+        carried_q=carried_q,
+        livein_q=livein_q,
+        liveout_q=liveout_q,
+        exit_target=exits[0],
+        preheader=preheader,
+    )
+    threads = [_build_thread(0, shape), _build_thread(1, shape)]
+    program = ThreadProgram(threads, name=f"{function.name}@doacross")
+    return DoacrossResult(program, carried)
+
+
+class _Shape:
+    """All the per-loop facts both thread builders need."""
+
+    def __init__(self, **kwargs) -> None:
+        self.__dict__.update(kwargs)
+
+
+def _build_thread(tid: int, shape: _Shape) -> Function:
+    other = 1 - tid
+    function: Function = shape.function
+    loop: Loop = shape.loop
+    func = Function(f"{function.name}@doacross{tid}")
+    # Reserve every register the original function touches so fresh
+    # scratch registers cannot clash with copied code.
+    for inst in function.instructions():
+        for reg in inst.defined_registers() + inst.used_registers():
+            func.note_register(reg)
+    flag_reg = func.new_reg(RegClass.GEN)
+    stop_pred = func.new_reg(RegClass.PRED)
+
+    if tid == 0:
+        for block in function.blocks():
+            if block.label in loop.body:
+                continue
+            copy = func.add_block(block.label)
+            for inst in block:
+                copy.append(_clone(inst))
+        func.entry_label = function.entry_label
+        pre = func.block(shape.preheader)
+        for reg in sorted(shape.livein_q):
+            pre.insert_before_terminator(
+                Instruction(Opcode.PRODUCE, srcs=[reg], queue=shape.livein_q[reg])
+            )
+        pre.retarget(loop.header, "da_header")
+    else:
+        entry = func.add_block("entry", entry=True)
+        for reg in sorted(shape.livein_q):
+            entry.append(
+                Instruction(Opcode.CONSUME, dest=reg, queue=shape.livein_q[reg])
+            )
+        entry.append(Instruction(Opcode.JMP, targets=["da_wait"]))
+
+    def emit_iteration_inst(block, inst: Instruction) -> None:
+        block.append(_clone(inst))
+        for reg in inst.defined_registers():
+            if reg in shape.carried and shape.defs_of[reg][0] is inst:
+                block.append(
+                    Instruction(
+                        Opcode.PRODUCE, srcs=[reg],
+                        queue=shape.carried_q[(reg, tid)],
+                    )
+                )
+
+    # Pre-test part of the iteration, ending in the exit branch.
+    header = func.add_block("da_header")
+    for inst in shape.body[: shape.branch_pos]:
+        emit_iteration_inst(header, inst)
+    targets = (
+        ["da_exit", "da_body"] if shape.exit_taken_leaves else ["da_body", "da_exit"]
+    )
+    header.append(
+        Instruction(Opcode.BR, srcs=[shape.exit_branch.srcs[0]], targets=targets)
+    )
+
+    # Post-test part: first signal the partner to start its iteration.
+    body_block = func.add_block("da_body")
+    body_block.append(Instruction(Opcode.MOV, dest=flag_reg, imm=1))
+    body_block.append(
+        Instruction(Opcode.PRODUCE, srcs=[flag_reg], queue=shape.flag_q[tid])
+    )
+    for inst in shape.body[shape.branch_pos:]:
+        emit_iteration_inst(body_block, inst)
+    body_block.append(Instruction(Opcode.JMP, targets=["da_wait"]))
+
+    # Wait for the partner's verdict about the next iteration.
+    wait = func.add_block("da_wait")
+    wait.append(Instruction(Opcode.CONSUME, dest=flag_reg, queue=shape.flag_q[other]))
+    wait.append(Instruction(Opcode.CMP_EQ, dest=stop_pred, srcs=[flag_reg], imm=0))
+    wait.append(
+        Instruction(Opcode.BR, srcs=[stop_pred], targets=["da_finish", "da_recv"])
+    )
+    recv = func.add_block("da_recv")
+    for reg in shape.carried:
+        recv.append(
+            Instruction(
+                Opcode.CONSUME, dest=reg, queue=shape.carried_q[(reg, other)]
+            )
+        )
+    recv.append(Instruction(Opcode.JMP, targets=["da_header"]))
+
+    # This thread hit the exit condition: stop the partner.
+    exit_block = func.add_block("da_exit")
+    exit_block.append(Instruction(Opcode.MOV, dest=flag_reg, imm=0))
+    exit_block.append(
+        Instruction(Opcode.PRODUCE, srcs=[flag_reg], queue=shape.flag_q[tid])
+    )
+    if tid == 0:
+        exit_block.append(Instruction(Opcode.JMP, targets=[shape.exit_target]))
+    else:
+        for reg in sorted(shape.liveout_q):
+            exit_block.append(
+                Instruction(Opcode.PRODUCE, srcs=[reg], queue=shape.liveout_q[reg])
+            )
+        exit_block.append(Instruction(Opcode.RET))
+
+    # The partner hit the exit condition first.
+    finish = func.add_block("da_finish")
+    if tid == 0:
+        for reg in sorted(shape.liveout_q):
+            finish.append(
+                Instruction(Opcode.CONSUME, dest=reg, queue=shape.liveout_q[reg])
+            )
+        finish.append(Instruction(Opcode.JMP, targets=[shape.exit_target]))
+    else:
+        finish.append(Instruction(Opcode.RET))
+
+    func.sync_register_counter()
+    return func

@@ -1,0 +1,333 @@
+"""DOALL parallelization for independent-iteration loops (§4.1).
+
+Table 1's footnote marks three of the selected loops (129.compress,
+179.art, jpegenc) as DOALL, and the paper notes that "although DSWP can
+be applied to these loops, parallelizing them as independent threads is
+likely more efficient because it avoids all overhead of inter-thread
+communication during loop execution."  This module implements that
+comparison point: iterations are interleaved across threads with *no*
+per-iteration communication -- only live-ins before the loop and
+reduction partials after it.
+
+Applicability (checked, :class:`DoallError` otherwise):
+
+* a counted induction: the loop-exit test compares an induction
+  register stepped by a constant against a bound;
+* every other recurrence is a recognised *reduction*: an
+  ``add``/``fadd`` of the accumulator with a loop-varying operand,
+  optionally followed by a power-of-two mask (modular addition, which
+  combines associatively);
+* no loop-carried memory conflicts (the region/affine model must prove
+  iterations independent) and no impure calls;
+* loop live-outs limited to reductions (the induction's final value,
+  which differs under interleaving, must be dead after the loop).
+
+Thread ``t`` starts at ``i + t*step`` and strides ``threads*step``;
+auxiliary threads receive the loop live-ins once, zero their private
+reduction partials, and send the partials back when they finish; the
+main thread folds them in after its own share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.liveness import compute_liveness, loop_live_ins, loop_live_outs
+from repro.analysis.memdep import AliasModel, needs_ordering
+from repro.analysis.pdg import DependenceGraph, DepKind, build_dependence_graph
+from repro.core.flows import QueueAllocator
+from repro.interp.multithread import ThreadProgram
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop, find_loops
+from repro.ir.types import Opcode, RegClass, Register
+
+
+class DoallError(RuntimeError):
+    """The loop is not (provably) DOALL."""
+
+
+class Reduction:
+    """One recognised reduction: accumulate then (optionally) mask."""
+
+    def __init__(self, register: Register, accumulate: Instruction,
+                 mask: Optional[Instruction]) -> None:
+        self.register = register
+        self.accumulate = accumulate
+        self.mask = mask  # the `and acc, acc, 2^k-1` instruction, if any
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.accumulate.opcode
+
+    def __repr__(self) -> str:
+        masked = " masked" if self.mask is not None else ""
+        return f"<Reduction {self.register} via {self.opcode.value}{masked}>"
+
+
+class Induction:
+    """The loop's counted induction: ``add i, i, step`` + exit test."""
+
+    def __init__(self, register: Register, step_inst: Instruction,
+                 step: int) -> None:
+        self.register = register
+        self.step_inst = step_inst
+        self.step = step
+
+
+class DoallResult:
+    def __init__(self, program: ThreadProgram, induction: Induction,
+                 reductions: list[Reduction]) -> None:
+        self.program = program
+        self.induction = induction
+        self.reductions = reductions
+
+
+def _clone(inst: Instruction) -> Instruction:
+    return Instruction(
+        inst.opcode,
+        dest=inst.dest,
+        srcs=list(inst.srcs),
+        imm=inst.imm,
+        targets=list(inst.targets),
+        region=inst.region,
+        queue=inst.queue,
+        origin=inst,
+        attrs=dict(inst.attrs),
+    )
+
+
+_ADDITIVE = (Opcode.ADD, Opcode.FADD)
+
+
+def _recognise_induction(graph: DependenceGraph, scc) -> Optional[Induction]:
+    """Is this SCC a counted induction + exit test?"""
+    adds = [i for i in scc if i.opcode is Opcode.ADD]
+    cmps = [i for i in scc if i.opcode in
+            (Opcode.CMP_GE, Opcode.CMP_GT, Opcode.CMP_LE, Opcode.CMP_LT)]
+    branches = [i for i in scc if i.is_branch]
+    others = [i for i in scc if i not in adds + cmps + branches]
+    if len(adds) != 1 or len(cmps) != 1 or len(branches) != 1 or others:
+        return None
+    add = adds[0]
+    if (add.dest is None or add.imm is None or add.imm <= 0
+            or add.srcs != [add.dest]):
+        return None
+    cmp_inst = cmps[0]
+    if add.dest not in cmp_inst.used_registers():
+        return None
+    return Induction(add.dest, add, add.imm)
+
+
+def _recognise_reduction(scc) -> Optional[Reduction]:
+    """Is this SCC `acc = acc (f)add x` (+ optional power-of-two mask)?"""
+    if len(scc) == 1:
+        inst = scc[0]
+        if (inst.opcode in _ADDITIVE and inst.dest is not None
+                and inst.dest in inst.used_registers()):
+            return Reduction(inst.dest, inst, None)
+        return None
+    if len(scc) == 2:
+        adds = [i for i in scc if i.opcode in _ADDITIVE]
+        masks = [i for i in scc if i.opcode is Opcode.AND]
+        if len(adds) != 1 or len(masks) != 1:
+            return None
+        add, mask = adds[0], masks[0]
+        acc = mask.dest
+        if acc is None or add.dest is None:
+            return None
+        # add reads acc (carried), defines a temp the mask folds back.
+        if acc not in add.used_registers():
+            return None
+        if mask.srcs != [add.dest] or mask.imm is None:
+            return None
+        if mask.imm & (mask.imm + 1) != 0:
+            return None  # not 2^k - 1: modular combination unproven
+        return Reduction(acc, add, mask)
+    return None
+
+
+def doall(
+    function: Function,
+    loop: Optional[Loop] = None,
+    threads: int = 2,
+    alias_model: Optional[AliasModel] = None,
+    queue_limit: int = 256,
+) -> DoallResult:
+    """Parallelize ``loop`` as independent interleaved iterations."""
+    if threads < 2:
+        raise DoallError("need at least two threads")
+    if loop is None:
+        loops = find_loops(function)
+        if not loops:
+            raise DoallError(f"{function.name} contains no loops")
+        loop = loops[0]
+    alias_model = alias_model or AliasModel()
+    graph = build_dependence_graph(function, loop, alias_model)
+    dag = graph.dag_scc()
+
+    for inst in graph.nodes:
+        if inst.is_call and not inst.attrs.get("pure", False):
+            raise DoallError("impure call inside the loop")
+    for a in graph.nodes:
+        for b in graph.nodes:
+            if a is b or not (a.is_memory or a.is_call):
+                continue
+            if not (b.is_memory or b.is_call):
+                continue
+            if needs_ordering(a, b) and alias_model.conflicts_cross_iteration(a, b):
+                raise DoallError(
+                    f"loop-carried memory conflict: {a.render()} vs {b.render()}"
+                )
+
+    induction: Optional[Induction] = None
+    reductions: list[Reduction] = []
+    for scc in dag.sccs:
+        if len(scc) == 1 and not _is_recurrent(graph, scc[0]):
+            continue
+        found = _recognise_induction(graph, scc)
+        if found is not None:
+            if induction is not None:
+                raise DoallError("multiple counted inductions")
+            induction = found
+            continue
+        red = _recognise_reduction(scc)
+        if red is not None:
+            reductions.append(red)
+            continue
+        raise DoallError(
+            f"unrecognised recurrence: {[i.render() for i in scc]}"
+        )
+    if induction is None:
+        raise DoallError("no counted induction found")
+
+    liveness = compute_liveness(function)
+    live_outs = loop_live_outs(function, loop, liveness)
+    reduction_regs = {r.register for r in reductions}
+    illegal = live_outs - reduction_regs
+    if illegal:
+        raise DoallError(
+            f"live-outs {sorted(illegal)} are not reductions; their "
+            "interleaved final values would differ"
+        )
+    live_ins = sorted(loop_live_ins(function, loop, liveness))
+    preheader = loop.preheader()
+    if preheader is None:
+        raise DoallError("loop lacks a unique preheader")
+
+    alloc = QueueAllocator(queue_limit)
+    livein_q = {(reg, t): alloc.allocate()
+                for t in range(1, threads) for reg in live_ins}
+    partial_q = {(red.register, t): alloc.allocate()
+                 for t in range(1, threads) for red in reductions}
+
+    funcs = [
+        _build_thread(t, threads, function, loop, induction, reductions,
+                      live_ins, livein_q, partial_q, preheader)
+        for t in range(threads)
+    ]
+    program = ThreadProgram(funcs, name=f"{function.name}@doall")
+    return DoallResult(program, induction, reductions)
+
+
+def _is_recurrent(graph: DependenceGraph, inst: Instruction) -> bool:
+    """Does a singleton SCC actually feed itself (self arc)?"""
+    return any(a.src is inst and a.dst is inst for a in graph.arcs)
+
+
+def _build_thread(tid, threads, function, loop, induction, reductions,
+                  live_ins, livein_q, partial_q, preheader) -> Function:
+    func = Function(f"{function.name}@doall{tid}")
+    for inst in function.instructions():
+        for reg in inst.defined_registers() + inst.used_registers():
+            func.note_register(reg)
+    tmp = func.new_reg(RegClass.GEN)
+
+    if tid == 0:
+        for block in function.blocks():
+            copy = func.add_block(block.label)
+            for inst in block:
+                cloned = _clone(inst)
+                if block.label in loop.body:
+                    cloned = _retune(cloned, induction, threads)
+                copy.append(cloned)
+        func.entry_label = function.entry_label
+        pre = func.block(preheader)
+        for (reg, t), qid in sorted(livein_q.items(), key=lambda kv: kv[1]):
+            pre.insert_before_terminator(
+                Instruction(Opcode.PRODUCE, srcs=[reg], queue=qid)
+            )
+        # Fold in the partials at every loop exit, via staging blocks.
+        staging: dict[str, str] = {}
+        for label in sorted(loop.body):
+            term = func.block(label).terminator
+            if term is None:
+                continue
+            for idx, target in enumerate(list(term.targets)):
+                if target in loop.body or target.startswith("doall_exit_"):
+                    continue
+                stage_label = staging.get(target)
+                if stage_label is None:
+                    stage_label = f"doall_exit_{len(staging)}"
+                    while func.has_block(stage_label):
+                        stage_label = f"doall_exit_{len(staging)}x"
+                    staging[target] = stage_label
+                    stage = func.add_block(stage_label)
+                    for red in reductions:
+                        for t in range(1, threads):
+                            qid = partial_q[(red.register, t)]
+                            stage.append(Instruction(
+                                Opcode.CONSUME, dest=tmp, queue=qid
+                            ))
+                            stage.append(Instruction(
+                                red.opcode, dest=red.register,
+                                srcs=[red.register, tmp],
+                            ))
+                            if red.mask is not None:
+                                stage.append(Instruction(
+                                    Opcode.AND, dest=red.register,
+                                    srcs=[red.register], imm=red.mask.imm,
+                                ))
+                    stage.append(Instruction(Opcode.JMP, targets=[target]))
+                term.targets[idx] = stage_label
+        func.sync_register_counter()
+        return func
+
+    # Auxiliary thread: live-ins once, private partials, strided loop.
+    entry = func.add_block("entry", entry=True)
+    for (reg, t), qid in sorted(livein_q.items(), key=lambda kv: kv[1]):
+        if t == tid:
+            entry.append(Instruction(Opcode.CONSUME, dest=reg, queue=qid))
+    for red in reductions:
+        entry.append(Instruction(Opcode.MOV, dest=red.register, imm=0))
+    entry.append(Instruction(
+        Opcode.ADD, dest=induction.register,
+        srcs=[induction.register], imm=tid * induction.step,
+    ))
+    entry.append(Instruction(Opcode.JMP, targets=[loop.header]))
+    post_label = "post"
+    for block in loop.blocks():
+        copy = func.add_block(block.label)
+        for inst in block:
+            cloned = _retune(_clone(inst), induction, threads)
+            if cloned.targets:
+                cloned.targets = [
+                    t if t in loop.body else post_label
+                    for t in cloned.targets
+                ]
+            copy.append(cloned)
+    post = func.add_block(post_label)
+    for red in reductions:
+        qid = partial_q[(red.register, tid)]
+        post.append(Instruction(Opcode.PRODUCE, srcs=[red.register],
+                                queue=qid))
+    post.append(Instruction(Opcode.RET))
+    func.sync_register_counter()
+    return func
+
+
+def _retune(inst: Instruction, induction: Induction, threads: int) -> Instruction:
+    """Widen the induction step to ``threads * step``."""
+    if inst.origin is induction.step_inst or inst is induction.step_inst:
+        inst.imm = induction.step * threads
+    return inst

@@ -1,0 +1,111 @@
+"""Post-split flow optimisations (the last paragraph of Section 2.2.4).
+
+    "Redundant flow elimination can be used to avoid communicating a
+    value more than once inside the loop.  In addition, code motion can
+    be performed to move initial (final) flow instructions as early
+    (late) as possible to enhance parallelism by overlapping the fill
+    (spill) portion of the DSWP'ed loop with other work."
+
+Redundant flow elimination happens during planning
+(:class:`repro.core.flows.FlowPlan` keys flows by source/register/
+thread).  This module supplies the two code-motion passes:
+
+* :func:`hoist_initial_flows` moves each initial-flow ``produce`` in
+  the main thread as early as its operand allows -- right after the
+  last definition of the produced register in its block (or to the
+  block top) -- so the auxiliary thread starts filling while the main
+  thread still executes pre-loop work;
+* :func:`sink_final_flows` moves each final-flow ``consume`` in the
+  main thread's exit staging down to just before the first use of the
+  consumed register (or the block terminator), so post-loop work that
+  does not need the value overlaps with the auxiliary thread's spill.
+
+Both passes are purely intra-block (placement across blocks would need
+the produce/consume to stay on every path exactly once); they are
+no-ops on blocks that offer no slack.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+
+def _last_def_index(block: BasicBlock, register, before: int) -> int:
+    """Index just after the last def of ``register`` before ``before``
+    (0 when the register is not defined in the block prefix)."""
+    last = 0
+    for idx in range(before):
+        if register in block.instructions[idx].defined_registers():
+            last = idx + 1
+    return last
+
+
+def hoist_initial_flows(function: Function, queues: set[int]) -> int:
+    """Hoist initial-flow produces as early as possible.  Returns the
+    number of instructions moved."""
+    moved = 0
+    for block in function.blocks():
+        produces = [
+            (idx, inst)
+            for idx, inst in enumerate(block.instructions)
+            if inst.opcode is Opcode.PRODUCE and inst.queue in queues
+        ]
+        # Process top-down so earlier hoists do not disturb later ones.
+        for idx, inst in produces:
+            current = block.instructions.index(inst)
+            target = _last_def_index(block, inst.srcs[0], current) if inst.srcs else 0
+            if target < current:
+                block.instructions.pop(current)
+                block.instructions.insert(target, inst)
+                moved += 1
+    return moved
+
+
+def sink_final_flows(function: Function, queues: set[int]) -> int:
+    """Sink final-flow consumes as late as their first use allows.
+    Returns the number of instructions moved."""
+    moved = 0
+    for block in function.blocks():
+        consumes = [
+            inst
+            for inst in block.instructions
+            if inst.opcode is Opcode.CONSUME and inst.queue in queues
+        ]
+        # Process bottom-up so later sinks do not disturb earlier ones.
+        for inst in reversed(consumes):
+            current = block.instructions.index(inst)
+            limit = len(block.instructions)
+            term = block.terminator
+            if term is not None:
+                limit -= 1
+            target = limit
+            for idx in range(current + 1, limit):
+                probe = block.instructions[idx]
+                if inst.dest is not None and (
+                    inst.dest in probe.used_registers()
+                    or inst.dest in probe.defined_registers()
+                ):
+                    target = idx
+                    break
+            else:
+                # Also respect a terminator that reads the register.
+                if (term is not None and inst.dest is not None
+                        and inst.dest in term.used_registers()):
+                    target = limit
+            if target > current + 1:
+                block.instructions.pop(current)
+                block.instructions.insert(target - 1, inst)
+                moved += 1
+    return moved
+
+
+def optimize_flows(function: Function, initial_queues: set[int],
+                   final_queues: set[int]) -> dict[str, int]:
+    """Run both motions; returns how many instructions each moved."""
+    return {
+        "hoisted": hoist_initial_flows(function, initial_queues),
+        "sunk": sink_final_flows(function, final_queues),
+    }

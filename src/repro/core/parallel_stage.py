@@ -1,0 +1,381 @@
+"""Parallel-stage DSWP: replicate a recurrence-free consumer stage.
+
+The paper's pipelines assign each stage to one core, so throughput is
+capped by the slowest stage.  When the bottleneck stage carries *no*
+recurrence (its SCCs are singletons, or recognised reductions), its
+iterations are mutually independent and the stage can be replicated --
+the insight behind the follow-on parallel-stage DSWP (PS-DSWP) work,
+and visible in this paper's own data: the Fig. 8 loops that stall the
+producer on full queues are exactly the ones whose consumer stage is
+the bottleneck.
+
+Construction (for a 2-stage pipeline and ``replicas = k``):
+
+1. run the standard DSWP split;
+2. **unroll the main (producer) thread's transformed loop by k** using
+   the general unroller: copy *j* executes iterations ≡ j (mod k);
+3. remap every loop-flow produce in copy *j* onto replica *j*'s queue
+   set -- the producer now deals values round-robin;
+4. clone the auxiliary thread *k* times with matching queue sets; each
+   replica sees every k-th iteration, which is exactly the stream of
+   control predicates it is sent;
+5. wind-down: the main thread's exit staging sends one exit-valued
+   predicate on every replica's header-branch queue (replicas that
+   already exited leave a harmless leftover), then folds the replicas'
+   reduction partials together; replicas beyond the first are seeded
+   with the reduction identity instead of the live-in value.
+
+Safety conditions (checked, :class:`ParallelStageError` otherwise):
+the consumer stage's recurrences are all recognised reductions; its
+memory operations cannot conflict across iterations (affine model) and
+it contains no impure calls; its live-outs are reductions; the loop
+header ends in an exit branch owned by the producer (so an idle
+replica always waits at its header-predicate consume, never at a data
+consume).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.memdep import AliasModel, needs_ordering
+from repro.analysis.pdg import DepKind
+from repro.core.doall import Reduction, _recognise_reduction
+from repro.core.dswp import dswp
+from repro.core.flows import FlowKind, QueueAllocator
+from repro.core.unroll import unroll_loop
+from repro.interp.multithread import ThreadProgram
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop, find_loop_by_header, find_loops
+from repro.ir.types import Opcode, RegClass
+
+
+class ParallelStageError(RuntimeError):
+    """The consumer stage cannot be replicated."""
+
+
+class ParallelStageResult:
+    def __init__(self, program: ThreadProgram, replicas: int,
+                 reductions: list[Reduction]) -> None:
+        self.program = program
+        self.replicas = replicas
+        self.reductions = reductions
+
+
+def parallel_stage_dswp(
+    function: Function,
+    loop: Optional[Loop] = None,
+    replicas: int = 2,
+    alias_model: Optional[AliasModel] = None,
+    profile=None,
+    partition=None,
+    queue_limit: int = 256,
+) -> ParallelStageResult:
+    """Build a 1-producer / k-replica-consumer pipeline for ``loop``."""
+    if replicas < 2:
+        raise ParallelStageError("need at least two replicas")
+    if loop is None:
+        loops = find_loops(function)
+        if not loops:
+            raise ParallelStageError(f"{function.name} contains no loops")
+        loop = loops[0]
+    base = dswp(function, loop, threads=2, alias_model=alias_model,
+                profile=profile, partition=partition,
+                require_profitable=False, queue_limit=queue_limit)
+    if not base.applied:
+        raise ParallelStageError(f"DSWP itself declined: {base.reason}")
+    if len(base.partition) != 2:
+        raise ParallelStageError("expected a 2-stage pipeline to replicate")
+    split = base._split
+    plan = split.flow_plan
+    assignment = split.assignment
+    graph = base.graph
+
+    # ------------------------------------------------------------------
+    # Safety checks on the consumer stage.
+    # ------------------------------------------------------------------
+    stage1 = [inst for inst, t in assignment.items() if t == 1]
+    stage1_ids = {i.uid for i in stage1}
+    reductions: list[Reduction] = []
+    for scc in base.dag.sccs:
+        if not any(m.uid in stage1_ids for m in scc):
+            continue
+        recurrent = len(scc) > 1 or any(
+            a.src is scc[0] and a.dst is scc[0] for a in graph.arcs
+        )
+        if not recurrent:
+            continue
+        red = _recognise_reduction(scc)
+        if red is None:
+            raise ParallelStageError(
+                f"consumer-stage recurrence is not a reduction: "
+                f"{[i.render() for i in scc]}"
+            )
+        reductions.append(red)
+    for inst in stage1:
+        if inst.is_call and not inst.attrs.get("pure", False):
+            raise ParallelStageError("impure call in the consumer stage")
+    mem1 = [i for i in stage1 if i.is_memory]
+    for a in mem1:
+        for b in mem1:
+            if a is b:
+                continue
+            model = alias_model or AliasModel()
+            if needs_ordering(a, b) and model.conflicts_cross_iteration(a, b):
+                raise ParallelStageError(
+                    "consumer-stage iterations conflict through memory: "
+                    f"{a.render()} vs {b.render()}"
+                )
+    reduction_regs = {r.register for r in reductions}
+    illegal = {f.register for f in plan.final_flows} - reduction_regs
+    if illegal:
+        raise ParallelStageError(
+            f"consumer live-outs {sorted(illegal)} are not reductions"
+        )
+    # Round-robin distribution sends adjacent iterations to different
+    # replicas, so a value carried from iteration i-1 into the consumer
+    # stage would arrive on the wrong replica's queue: every dependence
+    # into the replicated stage must be intra-iteration -- with one
+    # repairable exception.  A carried *counted-induction* value
+    # (``add i, i, step``) can be *localised*: each replica recomputes
+    # its own copy (seed ``i + j*step``, stride ``k*step``) instead of
+    # consuming the stream, the way PS-DSWP rematerialises inductions.
+    localised: dict[int, "object"] = {}  # flow queue -> induction info
+    for arc in graph.arcs:
+        if not (arc.loop_carried
+                and assignment.get(arc.src) == 0
+                and assignment.get(arc.dst) == 1):
+            continue
+        src = arc.src
+        if (arc.kind is DepKind.DATA
+                and src.opcode is Opcode.ADD
+                and src.imm is not None and src.imm > 0
+                and src.dest is not None and src.srcs == [src.dest]):
+            flow = next(
+                (f for f in plan.loop_flows
+                 if f.kind is FlowKind.DATA and f.source is src
+                 and f.register == arc.register), None,
+            )
+            init = next(
+                (f for f in plan.initial_flows
+                 if f.register == arc.register), None,
+            )
+            if flow is not None and init is not None:
+                localised[flow.queue] = (src.dest, src.imm)
+                continue
+        raise ParallelStageError(
+            f"loop-carried dependence into the consumer stage: {arc!r}"
+        )
+    header_term = function.block(loop.header).terminator
+    if header_term is None or not header_term.is_branch or not any(
+        t not in loop.body for t in header_term.targets
+    ):
+        raise ParallelStageError("loop header must end in an exit branch")
+    if assignment.get(header_term) != 0:
+        raise ParallelStageError("the header exit branch must stay with "
+                                 "the producer")
+    header_flow = next(
+        (f for f in plan.loop_flows
+         if f.kind is FlowKind.CONTROL and f.source is header_term), None,
+    )
+    if header_flow is None:
+        raise ParallelStageError("consumer does not duplicate the header "
+                                 "branch (nothing to replicate against)")
+    exit_value = 1 if header_term.targets[0] not in loop.body else 0
+    # An idle replica must always be parked at its header-predicate
+    # consume: the aux thread's header block has to start with it.
+    aux_header = split.program.threads[1].block(loop.header)
+    first = aux_header.instructions[0]
+    if not (first.opcode is Opcode.CONSUME
+            and first.queue == header_flow.queue):
+        raise ParallelStageError(
+            "auxiliary thread consumes data before the header predicate; "
+            "an idle replica could starve mid-iteration at wind-down"
+        )
+
+    # ------------------------------------------------------------------
+    # Queue maps: copy 0 keeps the original ids.
+    # ------------------------------------------------------------------
+    alloc = QueueAllocator(queue_limit)
+    alloc._next = max(
+        [f.queue for f in plan.loop_flows]
+        + [f.queue for f in plan.initial_flows]
+        + [f.queue for f in plan.final_flows]
+        + [-1]
+    ) + 1
+    loop_queues = sorted({f.queue for f in plan.loop_flows})
+    init_queues = sorted({f.queue for f in plan.initial_flows})
+    final_queues = sorted({f.queue for f in plan.final_flows})
+    qmap: list[dict[int, int]] = [dict()]  # copy 0: identity
+    for q in loop_queues + init_queues + final_queues:
+        qmap[0][q] = q
+    for j in range(1, replicas):
+        qmap.append({q: alloc.allocate()
+                     for q in loop_queues + init_queues + final_queues})
+
+    main = _build_main(split, loop, replicas, qmap, header_flow,
+                       exit_value, reductions, plan, localised)
+    aux_template = split.program.threads[1]
+    auxes = [_clone_aux(aux_template, qmap[j], j, localised, replicas)
+             for j in range(replicas)]
+    program = ThreadProgram([main] + auxes,
+                            name=f"{function.name}@ps-dswp")
+    return ParallelStageResult(program, replicas, reductions)
+
+
+def _build_main(split, loop, replicas, qmap, header_flow, exit_value,
+                reductions, plan, localised) -> Function:
+    main0 = split.program.threads[0]
+    main_loop = find_loop_by_header(main0, loop.header)
+    unrolled = unroll_loop(main0, main_loop, replicas)
+    unrolled.sync_register_counter()
+    tmp = unrolled.new_reg(RegClass.GEN)
+
+    new_loop = find_loop_by_header(unrolled, loop.header)
+
+    def copy_index(label: str) -> int:
+        if "@u" in label:
+            return int(label.rsplit("@u", 1)[1])
+        return 0
+
+    # 3. Remap loop-flow produces per unroll copy; localised-induction
+    # streams are not consumed by anyone, so drop their produces.
+    for block in new_loop.blocks():
+        j = copy_index(block.label)
+        for inst in list(block.instructions):
+            if inst.opcode is Opcode.PRODUCE and inst.queue in qmap[0]:
+                if inst.queue in localised:
+                    block.instructions.remove(inst)
+                else:
+                    inst.queue = qmap[j].get(inst.queue, inst.queue)
+
+    # 5a. Preheader: replicate initial flows; reductions seed identity.
+    pre = unrolled.block(loop.preheader())
+    reduction_regs = {r.register for r in reductions}
+    zero_emitted = False
+    extra: list[Instruction] = []
+    for inst in list(pre.instructions):
+        if inst.opcode is Opcode.PRODUCE and inst.queue in qmap[0]:
+            for j in range(1, replicas):
+                reg = inst.srcs[0] if inst.srcs else None
+                if reg in reduction_regs:
+                    if not zero_emitted:
+                        pre.insert_before(
+                            inst, Instruction(Opcode.MOV, dest=tmp, imm=0)
+                        )
+                        zero_emitted = True
+                    dup = Instruction(Opcode.PRODUCE, srcs=[tmp],
+                                      queue=qmap[j][inst.queue])
+                else:
+                    dup = Instruction(Opcode.PRODUCE, srcs=list(inst.srcs),
+                                      queue=qmap[j][inst.queue])
+                pre.insert_after(inst, dup)
+
+    # 5b. Exit staging: wind-down predicates + partial combining.  When
+    # the original split needed no final flows there are no staging
+    # blocks, so create one per outside target first.
+    if not any(b.label.startswith("dswp_exit_") for b in unrolled.blocks()):
+        staging: dict[str, str] = {}
+        for label in sorted(new_loop.body):
+            term = unrolled.block(label).terminator
+            if term is None:
+                continue
+            for idx, target in enumerate(list(term.targets)):
+                if target in new_loop.body or target.startswith("dswp_exit_"):
+                    continue
+                stage_label = staging.get(target)
+                if stage_label is None:
+                    stage_label = f"dswp_exit_ps{len(staging)}"
+                    staging[target] = stage_label
+                    stage = unrolled.add_block(stage_label)
+                    stage.append(Instruction(Opcode.JMP, targets=[target]))
+                term.targets[idx] = stage_label
+
+    for block in unrolled.blocks():
+        if not (block.label.startswith("dswp_exit_")):
+            continue
+        # Send the exit-valued predicate to every replica's header
+        # queue; replicas that already saw their own exit leave a
+        # harmless leftover entry.
+        block.instructions.insert(0, Instruction(
+            Opcode.MOV, dest=tmp, imm=exit_value
+        ))
+        pos = 1
+        for j in range(replicas):
+            block.instructions.insert(pos, Instruction(
+                Opcode.PRODUCE, srcs=[tmp],
+                queue=qmap[j][header_flow.queue],
+            ))
+            pos += 1
+        # Rewrite the final-flow consumes: fold in every replica.
+        rewritten: list[Instruction] = []
+        for inst in block.instructions:
+            if (inst.opcode is Opcode.CONSUME
+                    and inst.queue in qmap[0]
+                    and inst.queue in {f.queue for f in plan.final_flows}):
+                red = next(r for r in reductions
+                           if r.register == inst.dest)
+                rewritten.append(Instruction(
+                    Opcode.CONSUME, dest=inst.dest, queue=qmap[0][inst.queue]
+                ))
+                for j in range(1, replicas):
+                    rewritten.append(Instruction(
+                        Opcode.CONSUME, dest=tmp,
+                        queue=qmap[j][inst.queue],
+                    ))
+                    rewritten.append(Instruction(
+                        red.opcode, dest=inst.dest,
+                        srcs=[inst.dest, tmp],
+                    ))
+                    if red.mask is not None:
+                        rewritten.append(Instruction(
+                            Opcode.AND, dest=inst.dest,
+                            srcs=[inst.dest], imm=red.mask.imm,
+                        ))
+            else:
+                rewritten.append(inst)
+        block.instructions[:] = rewritten
+    unrolled.sync_register_counter()
+    return unrolled
+
+
+def _clone_aux(template: Function, queue_map: dict[int, int],
+               replica: int, localised: dict, replicas: int) -> Function:
+    func = Function(f"{template.name}#r{replica}")
+    for block in template.blocks():
+        copy = func.add_block(block.label,
+                              entry=block.label == template.entry_label)
+        for inst in block:
+            if inst.opcode is Opcode.CONSUME and inst.queue in localised:
+                # Localised induction: recompute instead of consuming.
+                reg, step = localised[inst.queue]
+                copy.append(Instruction(
+                    Opcode.ADD, dest=reg, srcs=[reg],
+                    imm=step * replicas, origin=inst,
+                ))
+                continue
+            cloned = Instruction(
+                inst.opcode,
+                dest=inst.dest,
+                srcs=list(inst.srcs),
+                imm=inst.imm,
+                targets=list(inst.targets),
+                region=inst.region,
+                queue=queue_map.get(inst.queue, inst.queue)
+                if inst.queue is not None else None,
+                origin=inst,
+                attrs=dict(inst.attrs),
+            )
+            copy.append(cloned)
+    func.entry_label = template.entry_label
+    # Seed the localised inductions with this replica's offset, after
+    # the entry block's initial-flow consumes delivered the base value.
+    if localised and replica > 0:
+        entry = func.block(func.entry_label)
+        for reg, step in localised.values():
+            entry.insert_before_terminator(Instruction(
+                Opcode.ADD, dest=reg, srcs=[reg], imm=step * replica,
+            ))
+    func.sync_register_counter()
+    return func

@@ -1,0 +1,243 @@
+"""Whole-program DSWP: several loops sharing one auxiliary thread (§3).
+
+The paper's compiler creates the auxiliary thread once, at program
+start.  The main thread sends the address of the current loop's
+auxiliary function on a dedicated *master queue* before entering each
+optimised loop; the auxiliary thread blocks on that queue, dispatches,
+runs the loop's auxiliary code, and loops back.  A NULL function
+pointer terminates it.
+
+Our IR has no indirect calls, so dispatch is a compare/branch chain on
+small integer loop ids -- semantically the same mechanism:
+
+* the main thread produces ``loop_id`` on the master queue in each
+  transformed loop's preheader, and ``0`` before returning;
+* each auxiliary thread is one function: a ``master`` block consuming
+  the id, a dispatch chain, one renamed copy of each loop's auxiliary
+  code whose exit jumps back to ``master``, and a ``ret`` on id 0.
+
+:func:`dswp_program` applies DSWP to any number of loops in one
+function this way, with a shared queue allocator so ids never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.memdep import AliasModel
+from repro.analysis.pdg import build_dependence_graph
+from repro.analysis.profiling import LoopProfile
+from repro.core.flows import QueueAllocator
+from repro.core.partition import heuristic_partition, estimated_scc_cycles
+from repro.core.splitter import LoopSplitter, SplitResult
+from repro.interp.multithread import ThreadProgram
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import find_loop_by_header, find_loops
+from repro.ir.types import Opcode, RegClass
+from repro.machine.config import static_latency
+
+
+class TransformedLoop:
+    """Bookkeeping for one loop the program transformation handled."""
+
+    def __init__(self, header: str, loop_id: int,
+                 split: Optional[SplitResult], reason: Optional[str]) -> None:
+        self.header = header
+        self.loop_id = loop_id  # 0 when not transformed
+        self.split = split
+        self.reason = reason
+
+    @property
+    def applied(self) -> bool:
+        return self.split is not None
+
+
+class MultiLoopResult:
+    """Outcome of :func:`dswp_program`."""
+
+    def __init__(self, program: ThreadProgram, loops: list[TransformedLoop],
+                 master_queues: dict[int, int]) -> None:
+        self.program = program
+        self.loops = loops
+        #: auxiliary thread index -> its master queue id.
+        self.master_queues = master_queues
+
+    @property
+    def applied_loops(self) -> list[TransformedLoop]:
+        return [t for t in self.loops if t.applied]
+
+
+def dswp_program(
+    function: Function,
+    loop_headers: Optional[list[str]] = None,
+    threads: int = 2,
+    alias_model: Optional[AliasModel] = None,
+    profiles: Optional[dict[str, LoopProfile]] = None,
+    queue_limit: int = 256,
+) -> MultiLoopResult:
+    """Apply DSWP to several loops of ``function`` with one auxiliary
+    thread per pipeline stage, multiplexed through master queues.
+
+    Loops that cannot be transformed (single SCC, no valid multi-stage
+    partition, or nested inside an already-transformed loop) are left
+    sequential in the main thread.
+    """
+    if loop_headers is None:
+        loop_headers = [l.header for l in find_loops(function)]
+    allocator = QueueAllocator(queue_limit)
+    master_queues = {i: allocator.allocate() for i in range(1, threads)}
+
+    current_main = function
+    transformed: list[TransformedLoop] = []
+    aux_sections: dict[int, list[tuple[int, Function]]] = {
+        i: [] for i in range(1, threads)
+    }
+    next_id = 1
+    consumed_blocks: set[str] = set()
+
+    for header in loop_headers:
+        if header in consumed_blocks:
+            transformed.append(TransformedLoop(
+                header, 0, None, "inside an already-transformed loop"))
+            continue
+        try:
+            loop = find_loop_by_header(current_main, header)
+        except KeyError:
+            transformed.append(TransformedLoop(
+                header, 0, None, "loop disappeared during transformation"))
+            continue
+        graph = build_dependence_graph(current_main, loop, alias_model)
+        dag = graph.dag_scc()
+        if len(dag) <= 1:
+            transformed.append(TransformedLoop(
+                header, 0, None, "single SCC"))
+            continue
+        profile = (profiles or {}).get(header) or LoopProfile.uniform(loop)
+        cycles = estimated_scc_cycles(dag, graph, profile, static_latency)
+        partition = heuristic_partition(dag, cycles, threads=threads)
+        if len(partition) <= 1:
+            transformed.append(TransformedLoop(
+                header, 0, None, "unpartitionable"))
+            continue
+        split = LoopSplitter(current_main, loop, graph, partition,
+                             allocator=allocator).split()
+        loop_id = next_id
+        next_id += 1
+        consumed_blocks |= loop.body
+        main_fn = split.program.threads[0]
+        _announce_loop(main_fn, loop, master_queues, len(partition), loop_id)
+        for stage in range(1, len(partition)):
+            aux_sections[stage].append((loop_id, split.program.threads[stage]))
+        transformed.append(TransformedLoop(header, loop_id, split, None))
+        current_main = main_fn
+
+    _announce_termination(current_main, master_queues, aux_sections)
+    aux_threads = [
+        _build_master_thread(function.name, stage, master_queues[stage],
+                             aux_sections[stage])
+        for stage in sorted(aux_sections)
+        if aux_sections[stage]
+    ]
+    program = ThreadProgram([current_main] + aux_threads,
+                            name=f"{function.name}@dswp-program")
+    return MultiLoopResult(program, transformed, master_queues)
+
+
+def _announce_loop(main_fn: Function, loop, master_queues: dict[int, int],
+                   stages: int, loop_id: int) -> None:
+    """Produce the loop id on each participating stage's master queue
+    at the top of the loop's preheader."""
+    preheader = main_fn.block(loop.preheader())
+    main_fn.sync_register_counter()
+    reg = main_fn.new_reg(RegClass.GEN)
+    announcements = [Instruction(Opcode.MOV, dest=reg, imm=loop_id)]
+    for stage in range(1, stages):
+        announcements.append(
+            Instruction(Opcode.PRODUCE, srcs=[reg], queue=master_queues[stage])
+        )
+    for pos, inst in enumerate(announcements):
+        preheader.instructions.insert(pos, inst)
+
+
+def _announce_termination(main_fn: Function, master_queues: dict[int, int],
+                          aux_sections: dict[int, list]) -> None:
+    """Produce the terminate signal (id 0) before every return."""
+    main_fn.sync_register_counter()
+    reg = main_fn.new_reg(RegClass.GEN)
+    for block in main_fn.exit_blocks():
+        block.insert_before_terminator(Instruction(Opcode.MOV, dest=reg, imm=0))
+        for stage, sections in aux_sections.items():
+            if sections:
+                block.insert_before_terminator(
+                    Instruction(Opcode.PRODUCE, srcs=[reg],
+                                queue=master_queues[stage])
+                )
+
+
+def _build_master_thread(base_name: str, stage: int, master_queue: int,
+                         sections: list[tuple[int, Function]]) -> Function:
+    """One auxiliary thread: master dispatch loop + per-loop sections."""
+    func = Function(f"{base_name}@aux{stage}")
+    for _, section in sections:
+        for inst in section.instructions():
+            for reg in inst.defined_registers() + inst.used_registers():
+                func.note_register(reg)
+    id_reg = func.new_reg(RegClass.GEN)
+    match_pred = func.new_reg(RegClass.PRED)
+
+    master = func.add_block("master", entry=True)
+    master.append(Instruction(Opcode.CONSUME, dest=id_reg, queue=master_queue))
+    master.append(Instruction(Opcode.JMP, targets=["dispatch_0"]))
+
+    # Dispatch chain: id 0 -> done; id k -> section k's entry.
+    done_label = "master_done"
+    chain = [(0, done_label)] + [
+        (loop_id, f"L{loop_id}_{sections_entry(section)}")
+        for loop_id, section in sections
+    ]
+    for idx, (loop_id, target) in enumerate(chain):
+        block = func.add_block(f"dispatch_{idx}")
+        block.append(
+            Instruction(Opcode.CMP_EQ, dest=match_pred, srcs=[id_reg],
+                        imm=loop_id)
+        )
+        fall = f"dispatch_{idx + 1}" if idx + 1 < len(chain) else "master"
+        block.append(
+            Instruction(Opcode.BR, srcs=[match_pred], targets=[target, fall])
+        )
+
+    done = func.add_block(done_label)
+    done.append(Instruction(Opcode.RET))
+
+    for loop_id, section in sections:
+        prefix = f"L{loop_id}_"
+        for block in section.blocks():
+            copy = func.add_block(prefix + block.label)
+            for inst in block:
+                cloned = _clone(inst)
+                if cloned.opcode is Opcode.RET:
+                    # End of this loop's auxiliary work: back to master.
+                    cloned = Instruction(Opcode.JMP, targets=["master"])
+                elif cloned.targets:
+                    cloned.targets = [prefix + t for t in cloned.targets]
+                copy.append(cloned)
+    return func
+
+
+def sections_entry(section: Function) -> str:
+    return section.entry_label
+
+
+def _clone(inst: Instruction) -> Instruction:
+    return Instruction(
+        inst.opcode,
+        dest=inst.dest,
+        srcs=list(inst.srcs),
+        imm=inst.imm,
+        targets=list(inst.targets),
+        region=inst.region,
+        queue=inst.queue,
+        origin=inst,
+        attrs=dict(inst.attrs),
+    )

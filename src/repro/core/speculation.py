@@ -1,0 +1,425 @@
+"""Speculative loop-termination DSWP (the Section 5.4 proposal).
+
+gzip's ``deflate_fast`` loop defeats DSWP because the computation of
+the loop-termination condition is serialised with the rest of the
+iteration: the dependence graph is one giant SCC.  The paper's
+suggested fix: *"move loop termination detection to the consumer and
+provide support that will allow the latter to correctly reconcile all
+producer thread side-effects with the architectural state.  Such
+speculation support will improve the applicability of DSWP."*
+
+This module implements a bounded, software-only version of that idea
+(a precursor of the later Spec-DSWP work):
+
+* the control dependences **from the loop-exit branches** are
+  speculated away when re-condensing the dependence graph, which
+  typically shatters the giant SCC into the data recurrence plus
+  bookkeeping;
+* the **producer** thread runs the (side-effect-free) recurrence slice
+  *without evaluating any exit condition* -- it speculatively executes
+  iterations and produces the recurrence values;
+* the **consumer** (main) thread keeps the original control flow: it
+  consumes the values, evaluates the exit branches, performs all
+  stores, and owns the loop live-outs;
+* speculation is bounded by a **credit protocol**: the main thread
+  pre-charges ``window`` credits before the loop, returns one credit
+  per completed iteration, and sends a zero credit when the loop
+  exits; the producer consumes one credit per iteration and retires on
+  the zero.  The producer therefore overruns the real trip count by at
+  most ``window`` iterations.
+
+Reconciliation is trivial *by construction* rather than by hardware
+support: the transformation refuses any loop whose speculative slice
+contains a store, an impure call, or a load that may alias a consumer
+store -- the producer's only side effects are register writes and
+queue pushes, both discarded on over-speculated iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.memdep import AliasModel
+from repro.analysis.pdg import (
+    DepArc,
+    DependenceGraph,
+    DepKind,
+    build_dependence_graph,
+)
+from repro.analysis.scc import condense
+from repro.core.flows import QueueAllocator
+from repro.interp.multithread import ThreadProgram
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop, find_loops
+from repro.ir.types import Opcode, RegClass
+
+
+class SpeculationError(RuntimeError):
+    """The loop cannot be handled by termination speculation."""
+
+
+class SpeculativeDSWPResult:
+    """Outcome of :func:`speculative_dswp`."""
+
+    def __init__(
+        self,
+        program: ThreadProgram,
+        producer_instructions: list[Instruction],
+        window: int,
+        speculated_branches: list[Instruction],
+    ) -> None:
+        self.program = program
+        self.producer_instructions = producer_instructions
+        self.window = window
+        self.speculated_branches = speculated_branches
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpeculativeDSWP {len(self.producer_instructions)} producer "
+            f"instructions, window={self.window}, "
+            f"{len(self.speculated_branches)} speculated branches>"
+        )
+
+
+def _clone(inst: Instruction) -> Instruction:
+    return Instruction(
+        inst.opcode,
+        dest=inst.dest,
+        srcs=list(inst.srcs),
+        imm=inst.imm,
+        targets=list(inst.targets),
+        region=inst.region,
+        queue=inst.queue,
+        origin=inst,
+        attrs=dict(inst.attrs),
+    )
+
+
+def _linear_shape(loop: Loop) -> tuple[list[Instruction], str]:
+    """Check the supported shape: a single path through the loop whose
+    conditional branches are all loop exits.  Returns (instructions in
+    order including exit branches, exit label... ) -- raises otherwise.
+    """
+    order: list[Instruction] = []
+    label = loop.header
+    visited: set[str] = set()
+    while True:
+        if label in visited:
+            raise SpeculationError("loop is not single-path")
+        visited.add(label)
+        block = loop.function.block(label)
+        term = block.terminator
+        for inst in block:
+            if inst is term or inst.opcode is Opcode.NOP:
+                continue
+            order.append(inst)
+        if term.opcode is Opcode.JMP:
+            nxt = term.targets[0]
+        elif term.opcode is Opcode.BR:
+            inside = [t for t in term.targets if t in loop.body]
+            outside = [t for t in term.targets if t not in loop.body]
+            if len(inside) != 1 or len(outside) != 1:
+                raise SpeculationError(
+                    "every conditional branch must be a loop exit"
+                )
+            order.append(term)
+            nxt = inside[0]
+        else:
+            raise SpeculationError("unexpected terminator")
+        if nxt == loop.header:
+            return order, label
+        label = nxt
+
+
+def _speculative_partition(
+    graph: DependenceGraph, exit_branches: list[Instruction]
+) -> tuple[set[int], set[int], "object"]:
+    """Re-condense without the exit branches' control arcs and find the
+    maximal *safe* producer down-set (no stores/calls/exit branches)."""
+    exit_ids = {b.uid for b in exit_branches}
+    kept: dict[Instruction, set[Instruction]] = {n: set() for n in graph.nodes}
+    for arc in graph.arcs:
+        if arc.kind is DepKind.CONTROL and arc.src.uid in exit_ids:
+            continue  # speculated away
+        kept[arc.src].add(arc.dst)
+    dag = condense(graph.nodes, kept)
+    if len(dag) <= 1:
+        raise SpeculationError(
+            "loop stays a single SCC even with termination speculated"
+        )
+
+    # Termination *detection* moves to the consumer wholesale: the
+    # compares whose only consumers are exit branches travel with them
+    # (streaming one recurrence value beats streaming every predicate).
+    detection: set[int] = set()
+    for node in graph.nodes:
+        if node.dest is None or not node.dest.is_predicate:
+            continue
+        outgoing = [a for a in graph.arcs
+                    if a.src is node and a.kind is DepKind.DATA]
+        if outgoing and all(a.dst.uid in exit_ids for a in outgoing):
+            detection.add(node.uid)
+
+    def unsafe(members) -> bool:
+        return any(
+            inst.is_store
+            or (inst.is_call and not inst.attrs.get("pure", False))
+            or inst.uid in exit_ids
+            or inst.uid in detection
+            for inst in members
+        )
+
+    # Producer = the *minimal* slice sustaining the loop recurrences:
+    # every multi-node (or self-feeding) SCC plus everything it
+    # transitively depends on.  All other work -- detection, stores,
+    # and any off-recurrence computation -- stays with the consumer so
+    # it overlaps with the critical path instead of lengthening it.
+    preds = dag.predecessors()
+    node_succs = {n.uid: {d.uid for d in dsts} for n, dsts in kept.items()}
+    recurrences = {
+        sid
+        for sid, members in enumerate(dag.sccs)
+        if len(members) > 1
+        or any(m.uid in node_succs.get(m.uid, ()) for m in members)
+    }
+    producer: set[int] = set()
+    work = sorted(recurrences)
+    while work:
+        sid = work.pop()
+        if sid in producer:
+            continue
+        producer.add(sid)
+        work.extend(preds[sid])
+    if any(unsafe(dag.sccs[sid]) for sid in producer):
+        raise SpeculationError(
+            "a loop recurrence (or its inputs) has side effects; "
+            "speculative execution would be unrecoverable"
+        )
+    consumer = set(range(len(dag))) - producer
+    if not producer or not consumer:
+        raise SpeculationError("no useful speculative cut exists")
+    return producer, consumer, dag
+
+
+def speculative_dswp(
+    function: Function,
+    loop: Optional[Loop] = None,
+    window: int = 8,
+    alias_model: Optional[AliasModel] = None,
+    queue_limit: int = 256,
+) -> SpeculativeDSWPResult:
+    """Apply termination-speculating DSWP to a gzip-shaped loop."""
+    if window < 1:
+        raise SpeculationError("window must be >= 1")
+    if loop is None:
+        loops = find_loops(function)
+        if not loops:
+            raise SpeculationError(f"{function.name} contains no loops")
+        loop = loops[0]
+    order, _ = _linear_shape(loop)
+    graph = build_dependence_graph(function, loop, alias_model)
+    exit_branches = [i for i in order if i.is_branch]
+    if not exit_branches:
+        raise SpeculationError("loop has no exit branch")
+    producer_sccs, consumer_sccs, dag = _speculative_partition(
+        graph, exit_branches
+    )
+    scc_of = dag.scc_of()
+    producer_set = {
+        inst.uid for inst in graph.nodes if scc_of[inst] in producer_sccs
+    }
+
+    # Safety: a consumer store aliasing a producer load would make the
+    # producer read unreconciled state while running ahead.
+    for arc in graph.arcs:
+        if arc.kind is DepKind.MEMORY and (
+            (arc.src.uid in producer_set) != (arc.dst.uid in producer_set)
+        ):
+            raise SpeculationError(
+                f"memory dependence crosses the speculative cut: {arc!r}"
+            )
+
+    preheader = loop.preheader()
+    if preheader is None:
+        raise SpeculationError("loop lacks a unique preheader")
+    exits = loop.exit_targets()
+
+    alloc = QueueAllocator(queue_limit)
+    credit_q = alloc.allocate()
+    data_q: dict[tuple[int, object], int] = {}
+    # One queue per (producer instruction, register) consumed downstream.
+    consumer_uses: set[tuple[int, object]] = set()
+    for arc in graph.arcs:
+        if (
+            arc.kind is DepKind.DATA
+            and arc.src.uid in producer_set
+            and arc.dst.uid not in producer_set
+        ):
+            key = (arc.src.uid, arc.register)
+            if key not in data_q:
+                data_q[key] = alloc.allocate()
+            consumer_uses.add(key)
+    # Loop live-outs defined in the producer must also be streamed, so
+    # the consumer's (architectural) register state is always the
+    # non-speculative one -- this is the "reconciliation" the paper
+    # asks hardware for, done by never letting speculative state
+    # escape the producer.
+    for reg, defs in graph.live_out_defs.items():
+        for def_inst in defs:
+            if def_inst.uid in producer_set:
+                key = (def_inst.uid, reg)
+                if key not in data_q:
+                    data_q[key] = alloc.allocate()
+                consumer_uses.add(key)
+    # Producer live-ins (values defined before the loop that it reads).
+    livein_q: dict[object, int] = {}
+    for reg, consumer_inst in graph.live_in_uses:
+        if consumer_inst.uid in producer_set and reg not in livein_q:
+            livein_q[reg] = alloc.allocate()
+
+    main = _build_consumer(
+        function, loop, order, producer_set, data_q, livein_q, credit_q,
+        window,
+    )
+    producer = _build_producer(
+        function, loop, order, producer_set, data_q, livein_q, credit_q,
+    )
+    program = ThreadProgram([main, producer],
+                            name=f"{function.name}@spec-dswp")
+    producer_insts = [i for i in order if i.uid in producer_set]
+    return SpeculativeDSWPResult(program, producer_insts, window,
+                                 exit_branches)
+
+
+def _build_consumer(
+    function: Function,
+    loop: Loop,
+    order: list[Instruction],
+    producer_set: set[int],
+    data_q: dict,
+    livein_q: dict,
+    credit_q: int,
+    window: int,
+) -> Function:
+    """The main thread: original control flow, producer instructions
+    replaced by consumes, plus the credit protocol."""
+    func = Function(f"{function.name}@spec-main")
+    for inst in function.instructions():
+        for reg in inst.defined_registers() + inst.used_registers():
+            func.note_register(reg)
+    credit_reg = func.new_reg(RegClass.GEN)
+
+    for block in function.blocks():
+        copy = func.add_block(block.label,
+                              entry=block.label == function.entry_label)
+        in_loop = block.label in loop.body
+        for inst in block:
+            if in_loop and inst.uid in producer_set:
+                # Replaced by consumes of the flows it feeds.
+                for (src_uid, reg), qid in sorted(data_q.items(),
+                                                  key=lambda kv: kv[1]):
+                    if src_uid == inst.uid:
+                        copy.append(
+                            Instruction(Opcode.CONSUME, dest=reg, queue=qid)
+                        )
+                continue
+            copy.append(_clone(inst))
+        if in_loop and block.label in {l for l in loop.latches()}:
+            # One credit back per completed iteration, placed before
+            # the back-edge terminator.
+            copy.insert_before_terminator(
+                Instruction(Opcode.MOV, dest=credit_reg, imm=1)
+            )
+            copy.insert_before_terminator(
+                Instruction(Opcode.PRODUCE, srcs=[credit_reg], queue=credit_q)
+            )
+    func.entry_label = function.entry_label
+
+    # Preheader: live-ins for the producer, then the pre-charge credits.
+    pre = func.block(loop.preheader())
+    for reg, qid in sorted(livein_q.items(), key=lambda kv: kv[1]):
+        pre.insert_before_terminator(
+            Instruction(Opcode.PRODUCE, srcs=[reg], queue=qid)
+        )
+    pre.insert_before_terminator(
+        Instruction(Opcode.MOV, dest=credit_reg, imm=1)
+    )
+    for _ in range(window):
+        pre.insert_before_terminator(
+            Instruction(Opcode.PRODUCE, srcs=[credit_reg], queue=credit_q)
+        )
+
+    # Exit edges: send the stop credit through fresh staging blocks.
+    staging: dict[str, str] = {}
+    for label in sorted(loop.body):
+        block = func.block(label)
+        term = block.terminator
+        if term is None:
+            continue
+        for idx, target in enumerate(list(term.targets)):
+            if target in loop.body or target.startswith("spec_exit_"):
+                continue
+            stage_label = staging.get(target)
+            if stage_label is None:
+                stage_label = f"spec_exit_{len(staging)}"
+                staging[target] = stage_label
+                stage = func.add_block(stage_label)
+                stage.append(Instruction(Opcode.MOV, dest=credit_reg, imm=0))
+                stage.append(
+                    Instruction(Opcode.PRODUCE, srcs=[credit_reg],
+                                queue=credit_q)
+                )
+                stage.append(Instruction(Opcode.JMP, targets=[target]))
+            term.targets[idx] = stage_label
+    func.sync_register_counter()
+    return func
+
+
+def _build_producer(
+    function: Function,
+    loop: Loop,
+    order: list[Instruction],
+    producer_set: set[int],
+    data_q: dict,
+    livein_q: dict,
+    credit_q: int,
+) -> Function:
+    """The speculative thread: credit gate + recurrence slice, no exits."""
+    func = Function(f"{function.name}@spec-producer")
+    for inst in function.instructions():
+        for reg in inst.defined_registers() + inst.used_registers():
+            func.note_register(reg)
+    credit_reg = func.new_reg(RegClass.GEN)
+    stop_pred = func.new_reg(RegClass.PRED)
+
+    entry = func.add_block("entry", entry=True)
+    for reg, qid in sorted(livein_q.items(), key=lambda kv: kv[1]):
+        entry.append(Instruction(Opcode.CONSUME, dest=reg, queue=qid))
+    entry.append(Instruction(Opcode.JMP, targets=["header"]))
+
+    header = func.add_block("header")
+    header.append(Instruction(Opcode.CONSUME, dest=credit_reg, queue=credit_q))
+    header.append(
+        Instruction(Opcode.CMP_EQ, dest=stop_pred, srcs=[credit_reg], imm=0)
+    )
+    header.append(
+        Instruction(Opcode.BR, srcs=[stop_pred], targets=["done", "work"])
+    )
+
+    work = func.add_block("work")
+    for inst in order:
+        if inst.uid not in producer_set:
+            continue
+        work.append(_clone(inst))
+        for (src_uid, reg), qid in sorted(data_q.items(), key=lambda kv: kv[1]):
+            if src_uid == inst.uid:
+                work.append(
+                    Instruction(Opcode.PRODUCE, srcs=[reg], queue=qid)
+                )
+    work.append(Instruction(Opcode.JMP, targets=["header"]))
+
+    done = func.add_block("done")
+    done.append(Instruction(Opcode.RET))
+    func.sync_register_counter()
+    return func

@@ -1,0 +1,95 @@
+"""Loop unrolling (the enabling transformation of Sections 5.1/5.3).
+
+The paper's case studies apply unrolling before DSWP: epicdec gains
+another 40% once the loop is unrolled 8x (more per-iteration work to
+balance across the pipeline), and 179.art's accumulator expansion is
+unrolling plus reassociation.
+
+This is the general multi-exit unroll: the whole loop body (arbitrary
+control flow) is replicated ``factor`` times; within a replica all
+in-loop edges stay local, every back edge advances to the *next*
+replica's header (the last wraps to the first), and every exit edge
+keeps leaving the loop.  Each replica retains the loop's exit tests, so
+the transformation is valid for any trip count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop, find_loop_by_header, find_loops
+from repro.ir.types import Opcode
+
+
+class UnrollError(RuntimeError):
+    """The loop cannot be unrolled."""
+
+
+def _clone(inst: Instruction) -> Instruction:
+    return Instruction(
+        inst.opcode,
+        dest=inst.dest,
+        srcs=list(inst.srcs),
+        imm=inst.imm,
+        targets=list(inst.targets),
+        region=inst.region,
+        queue=inst.queue,
+        origin=inst,
+        attrs=dict(inst.attrs),
+    )
+
+
+def unroll_loop(function: Function, loop: Optional[Loop] = None,
+                factor: int = 4) -> Function:
+    """Return a new function with ``loop`` unrolled ``factor`` times."""
+    if factor < 1:
+        raise UnrollError("factor must be >= 1")
+    if loop is None:
+        loops = find_loops(function)
+        if not loops:
+            raise UnrollError(f"{function.name} contains no loops")
+        loop = loops[0]
+
+    out = Function(f"{function.name}@u{factor}")
+    for block in function.blocks():
+        if block.label in loop.body:
+            continue
+        copy = out.add_block(block.label,
+                             entry=block.label == function.entry_label)
+        for inst in block:
+            copy.append(_clone(inst))
+    out.entry_label = function.entry_label
+
+    def replica(label: str, copy: int) -> str:
+        return label if copy == 0 else f"{label}@u{copy}"
+
+    for copy in range(factor):
+        for block in loop.blocks():
+            new_block = out.add_block(replica(block.label, copy))
+            for inst in block:
+                cloned = _clone(inst)
+                if cloned.targets:
+                    new_targets = []
+                    for target in cloned.targets:
+                        if target not in loop.body:
+                            new_targets.append(target)  # exit edge
+                        elif target == loop.header:
+                            # Back edge: fall into the next replica.
+                            new_targets.append(
+                                replica(loop.header, (copy + 1) % factor)
+                            )
+                        else:
+                            new_targets.append(replica(target, copy))
+                    cloned.targets = new_targets
+                new_block.append(cloned)
+    out.sync_register_counter()
+    return out
+
+
+def unrolled_loop(function: Function, original_header: str, factor: int):
+    """Convenience: unroll and return (new function, its loop)."""
+    loop = find_loop_by_header(function, original_header)
+    new_function = unroll_loop(function, loop, factor)
+    return new_function, find_loop_by_header(new_function, original_header)

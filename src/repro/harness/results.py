@@ -1,0 +1,54 @@
+"""Machine-readable experiment results (JSON export).
+
+A released artifact needs results that scripts can consume;
+:func:`experiment_to_dict` flattens an
+:class:`~repro.harness.runner.ExperimentResult` into plain data, and
+:func:`results_to_json` serialises a batch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.harness.runner import ExperimentResult
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """Flatten one experiment's headline numbers."""
+    dswp = result.dswp_result
+    out = {
+        "workload": result.workload.name,
+        "paper_benchmark": result.workload.paper_benchmark,
+        "exec_fraction": result.workload.exec_fraction,
+        "baseline": {
+            "cycles": result.base_sim.cycles,
+            "instructions": result.base_sim.instructions,
+            "ipc": result.base_sim.ipc(0),
+        },
+        "loop_speedup": result.loop_speedup,
+        "program_speedup": result.program_speedup,
+    }
+    if dswp is not None:
+        out["dswp"] = {
+            "applied": dswp.applied,
+            "sccs": dswp.num_sccs,
+            "stages": len(dswp.partition) if dswp.partition else 1,
+            "flows": dswp.flow_counts(),
+            "estimated_speedup": (
+                dswp.estimate.speedup if dswp.estimate else None
+            ),
+        }
+    if result.dswp_sim is not None:
+        occupancy = result.dswp_sim.occupancy().buckets()
+        out["pipeline"] = {
+            "cycles": result.dswp_sim.cycles,
+            "per_core_ipc": result.dswp_sim.ipcs(),
+            "occupancy_buckets": occupancy,
+        }
+    return out
+
+
+def results_to_json(results: Iterable[ExperimentResult], indent: int = 2) -> str:
+    """Serialise a batch of experiments."""
+    return json.dumps([experiment_to_dict(r) for r in results], indent=indent)

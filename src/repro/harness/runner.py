@@ -1,0 +1,152 @@
+"""Experiment runner: workload -> profile -> transform -> simulate.
+
+This is the pipeline every benchmark and example uses:
+
+1. build the workload (IR + memory + oracle);
+2. profile the loop by interpretation (stands in for IMPACT profiling);
+3. run the single-threaded baseline, record its trace, check the oracle;
+4. apply DSWP (heuristic or a given partition), functionally execute
+   the thread pipeline, check the oracle again;
+5. replay both traces on the CMP timing model and report cycles / IPC /
+   speedup / queue occupancy.
+
+Whole-program speedup (the paper's 9.2% vs. 19.4% distinction) is
+derived from loop speedup via the loop's execution fraction (Amdahl).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.memdep import AliasModel
+from repro.analysis.profiling import LoopProfile, profile_loop
+from repro.core.dswp import DSWPResult, dswp
+from repro.core.partition import Partition
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.interp.trace import TraceEntry
+from repro.machine.cmp import simulate
+from repro.machine.config import MachineConfig
+from repro.machine.stats import SimResult
+from repro.workloads.base import Workload, WorkloadCase
+
+#: Generous dynamic-instruction budget for workload-sized runs.
+MAX_STEPS = 50_000_000
+
+
+class BaselineRun:
+    """Single-threaded reference execution of a workload case."""
+
+    def __init__(self, case: WorkloadCase, trace: list[TraceEntry],
+                 profile: LoopProfile) -> None:
+        self.case = case
+        self.trace = trace
+        self.profile = profile
+
+
+class DSWPRun:
+    """A transformed execution: functional result + per-thread traces."""
+
+    def __init__(self, result: DSWPResult, traces: list[list[TraceEntry]]) -> None:
+        self.result = result
+        self.traces = traces
+
+
+def run_baseline(case: WorkloadCase, check: bool = True) -> BaselineRun:
+    """Execute the original program, check the oracle, return the trace."""
+    profile = profile_loop(
+        case.function, case.loop, case.memory,
+        initial_regs=case.initial_regs, max_steps=MAX_STEPS,
+        call_handlers=case.call_handlers,
+    )
+    memory = case.fresh_memory()
+    result = run_function(
+        case.function, memory, initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_trace=True,
+        call_handlers=case.call_handlers,
+    )
+    if check:
+        case.checker(memory, result.regs)
+    return BaselineRun(case, result.trace or [], profile)
+
+
+def run_dswp(
+    case: WorkloadCase,
+    baseline: Optional[BaselineRun] = None,
+    partition: Optional[Partition] = None,
+    alias_model: Optional[AliasModel] = None,
+    threads: int = 2,
+    require_profitable: bool = False,
+    check: bool = True,
+) -> DSWPRun:
+    """Apply DSWP to the workload's loop and execute the pipeline."""
+    baseline = baseline or run_baseline(case, check=check)
+    result = dswp(
+        case.function,
+        case.loop,
+        threads=threads,
+        alias_model=alias_model,
+        profile=baseline.profile,
+        partition=partition,
+        require_profitable=require_profitable,
+    )
+    memory = case.fresh_memory()
+    mt = run_threads(
+        result.program, memory, initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_trace=True,
+        call_handlers=case.call_handlers,
+    )
+    if check:
+        case.checker(memory, mt.main_regs)
+    return DSWPRun(result, mt.traces())
+
+
+class ExperimentResult:
+    """Timing comparison between baseline and DSWP on one machine."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        base_sim: SimResult,
+        dswp_sim: Optional[SimResult],
+        dswp_result: Optional[DSWPResult],
+    ) -> None:
+        self.workload = workload
+        self.base_sim = base_sim
+        self.dswp_sim = dswp_sim
+        self.dswp_result = dswp_result
+
+    @property
+    def loop_speedup(self) -> float:
+        if self.dswp_sim is None or self.dswp_sim.cycles == 0:
+            return 1.0
+        return self.base_sim.cycles / self.dswp_sim.cycles
+
+    @property
+    def program_speedup(self) -> float:
+        """Amdahl projection using the loop's execution fraction."""
+        frac = self.workload.exec_fraction
+        s = self.loop_speedup
+        return 1.0 / ((1.0 - frac) + frac / s)
+
+
+def run_experiment(
+    workload: Workload,
+    machine: Optional[MachineConfig] = None,
+    baseline_machine: Optional[MachineConfig] = None,
+    partition: Optional[Partition] = None,
+    alias_model: Optional[AliasModel] = None,
+    scale: Optional[int] = None,
+    check: bool = True,
+) -> ExperimentResult:
+    """The full compare-against-baseline experiment for one workload."""
+    machine = machine or MachineConfig()
+    baseline_machine = baseline_machine or machine
+    case = workload.build(scale=scale)
+    baseline = run_baseline(case, check=check)
+    base_sim = simulate([baseline.trace], baseline_machine)
+    transformed = run_dswp(
+        case, baseline, partition=partition, alias_model=alias_model, check=check
+    )
+    dswp_sim = simulate(transformed.traces, machine)
+    return ExperimentResult(workload, base_sim, dswp_sim, transformed.result)

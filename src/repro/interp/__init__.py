@@ -1,0 +1,30 @@
+"""Functional execution of IR: single-threaded and thread-pipeline interpreters."""
+
+from repro.interp.errors import (
+    DeadlockError,
+    InterpreterError,
+    QueueProtocolError,
+    StepLimitExceeded,
+    TrapError,
+)
+from repro.interp.interpreter import RunResult, ThreadContext, run_function
+from repro.interp.memory import Memory
+from repro.interp.multithread import MTRunResult, QueueSet, ThreadProgram, run_threads
+from repro.interp.trace import TraceEntry
+
+__all__ = [
+    "DeadlockError",
+    "InterpreterError",
+    "MTRunResult",
+    "Memory",
+    "QueueProtocolError",
+    "QueueSet",
+    "RunResult",
+    "StepLimitExceeded",
+    "ThreadContext",
+    "ThreadProgram",
+    "TraceEntry",
+    "TrapError",
+    "run_function",
+    "run_threads",
+]

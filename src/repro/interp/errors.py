@@ -1,0 +1,28 @@
+"""Exception types raised by the interpreters."""
+
+from __future__ import annotations
+
+
+class InterpreterError(RuntimeError):
+    """Base class for interpreter failures."""
+
+
+class TrapError(InterpreterError):
+    """An instruction trapped (e.g. division by zero)."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The step budget ran out before the program returned."""
+
+
+class DeadlockError(InterpreterError):
+    """Every unfinished thread is blocked on a queue operation."""
+
+    def __init__(self, message: str, blocked: dict[int, str]) -> None:
+        super().__init__(message)
+        #: thread id -> description of the blocking operation
+        self.blocked = blocked
+
+
+class QueueProtocolError(InterpreterError):
+    """A queue was used inconsistently (e.g. consume after producers exited)."""

@@ -1,0 +1,101 @@
+"""Word-addressed memory for the IR interpreters.
+
+Addresses are plain integers; every cell holds a Python int.  Reads of
+never-written cells return 0.  The class also offers small helpers for
+laying out arrays and linked structures, which the workloads use to
+build inputs (linked lists for the mcf/ammp-style loops, arrays for the
+art/equake-style loops).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+#: Default spacing between consecutive words.  Using a stride of 1 keeps
+#: workload address arithmetic simple; the cache model scales addresses
+#: into bytes itself.
+WORD = 1
+
+
+class Memory:
+    """Sparse word-addressed memory."""
+
+    def __init__(self) -> None:
+        self._cells: dict[int, int] = {}
+        self._next_alloc = 0x1000
+
+    def read(self, addr: int) -> int:
+        return self._cells.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._cells[addr] = value
+
+    def snapshot(self) -> dict[int, int]:
+        """A copy of all written cells (for end-state comparison)."""
+        return dict(self._cells)
+
+    def clone(self) -> "Memory":
+        other = Memory()
+        other._cells = dict(self._cells)
+        other._next_alloc = self._next_alloc
+        return other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return self._nonzero_cells() == other._nonzero_cells()
+
+    def _nonzero_cells(self) -> dict[int, int]:
+        return {a: v for a, v in self._cells.items() if v != 0}
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    def alloc(self, words: int, align: int = 16) -> int:
+        """Reserve ``words`` cells and return the base address."""
+        base = self._next_alloc
+        if base % align:
+            base += align - base % align
+        self._next_alloc = base + words
+        return base
+
+    def store_array(self, values: Iterable[int], stride: int = WORD) -> int:
+        """Allocate and fill an array; returns its base address."""
+        values = list(values)
+        base = self.alloc(max(len(values) * stride, 1))
+        for i, value in enumerate(values):
+            self.write(base + i * stride, value)
+        return base
+
+    def load_array(self, base: int, count: int, stride: int = WORD) -> list[int]:
+        return [self.read(base + i * stride) for i in range(count)]
+
+    def build_linked_list(self, payloads: Iterable[int], node_words: int = 2,
+                          value_offset: int = 1) -> int:
+        """Build a singly linked list; ``next`` at offset 0, value at
+        ``value_offset``.  Returns the head address (0 for an empty list).
+
+        Nodes are allocated with irregular gaps so pointer-chasing loads
+        hit varied cache lines, like a heap-allocated list would.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return 0
+        nodes = []
+        for i, value in enumerate(payloads):
+            base = self.alloc(node_words + (i * 7) % 5)
+            self.write(base + value_offset, value)
+            nodes.append(base)
+        for cur, nxt in zip(nodes, nodes[1:]):
+            self.write(cur, nxt)
+        self.write(nodes[-1], 0)
+        return nodes[0]
+
+    def read_linked_list(self, head: int, value_offset: int = 1) -> list[int]:
+        out = []
+        node = head
+        while node:
+            out.append(self.read(node + value_offset))
+            node = self.read(node)
+        return out

@@ -1,0 +1,198 @@
+"""Multi-threaded interpreter: thread pipeline + blocking queues.
+
+Runs a :class:`ThreadProgram` (one function per hardware thread, thread
+0 being the main thread) over a shared memory, with ``PRODUCE`` /
+``CONSUME`` operating on in-order matched queues, exactly the
+communication model of Section 2.1 of the paper: produce blocks on a
+full queue, consume blocks on an empty queue, and pairs match in FIFO
+order per queue id.
+
+Scheduling is deterministic round-robin; because DSWP programs only
+synchronise through the queues, any fair schedule yields the same final
+memory and live-out values -- the correctness tests exploit this by
+comparing against the single-threaded original under several quanta.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.interp.errors import DeadlockError, QueueProtocolError, StepLimitExceeded
+from repro.interp.interpreter import CallHandler, ThreadContext
+from repro.interp.memory import Memory
+from repro.interp.trace import TraceEntry
+from repro.ir.function import Function
+from repro.ir.types import Opcode, Register
+
+
+class ThreadProgram:
+    """A multi-threaded program: one IR function per thread."""
+
+    def __init__(self, threads: list[Function], name: Optional[str] = None) -> None:
+        if not threads:
+            raise ValueError("a ThreadProgram needs at least one thread")
+        self.threads = list(threads)
+        self.name = name or threads[0].name
+
+    @property
+    def main(self) -> Function:
+        return self.threads[0]
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+
+class QueueSet:
+    """The functional view of the synchronization array."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        #: None means unbounded (used when only tracing order matters).
+        self.capacity = capacity
+        self._queues: dict[int, deque[int]] = {}
+        self.max_occupancy: dict[int, int] = {}
+
+    def queue(self, qid: int) -> deque:
+        q = self._queues.get(qid)
+        if q is None:
+            q = deque()
+            self._queues[qid] = q
+        return q
+
+    def can_produce(self, qid: int) -> bool:
+        return self.capacity is None or len(self.queue(qid)) < self.capacity
+
+    def produce(self, qid: int, value: int) -> None:
+        q = self.queue(qid)
+        q.append(value)
+        if len(q) > self.max_occupancy.get(qid, 0):
+            self.max_occupancy[qid] = len(q)
+
+    def can_consume(self, qid: int) -> bool:
+        return bool(self._queues.get(qid))
+
+    def consume(self, qid: int) -> int:
+        return self.queue(qid).popleft()
+
+    def pending(self) -> dict[int, int]:
+        return {qid: len(q) for qid, q in self._queues.items() if q}
+
+
+class MTRunResult:
+    """Outcome of a multi-threaded run."""
+
+    def __init__(self, contexts: list[ThreadContext], queues: QueueSet) -> None:
+        self.contexts = contexts
+        self.queues = queues
+        self.memory = contexts[0].memory
+        self.steps = sum(c.steps for c in contexts)
+
+    @property
+    def main_regs(self) -> dict[Register, int]:
+        return dict(self.contexts[0].regs)
+
+    def reg(self, register: Register, thread: int = 0) -> int:
+        return self.contexts[thread].regs.get(register, 0)
+
+    def traces(self) -> list[list[TraceEntry]]:
+        return [c.trace or [] for c in self.contexts]
+
+
+def run_threads(
+    program: ThreadProgram,
+    memory: Optional[Memory] = None,
+    initial_regs: Optional[dict[Register, int]] = None,
+    max_steps: int = 20_000_000,
+    queue_capacity: Optional[int] = None,
+    quantum: int = 32,
+    record_trace: bool = False,
+    call_handlers: Optional[dict[str, CallHandler]] = None,
+) -> MTRunResult:
+    """Run all threads to completion.
+
+    Args:
+        program: The thread pipeline (thread 0 = main).
+        memory: Shared memory (fresh if omitted).
+        initial_regs: Initial register file of the *main* thread only;
+            auxiliary threads receive loop live-ins through initial
+            flows, exactly as the transformed code dictates.
+        max_steps: Combined dynamic-instruction budget.
+        queue_capacity: Queue size for the functional run (``None`` =
+            unbounded; per-thread instruction order is unaffected by
+            capacity, so traces for the timing model use unbounded).
+        quantum: Instructions per thread per scheduling turn; varied in
+            tests to check schedule independence.
+        record_trace: Record per-thread dynamic traces.
+        call_handlers: CALL implementations shared by all threads.
+    """
+    memory = memory if memory is not None else Memory()
+    queues = QueueSet(queue_capacity)
+    contexts = [
+        ThreadContext(
+            fn,
+            memory,
+            initial_regs=initial_regs if tid == 0 else None,
+            call_handlers=call_handlers,
+            record_trace=record_trace,
+        )
+        for tid, fn in enumerate(program.threads)
+    ]
+    total = 0
+    while True:
+        progressed = False
+        blocked: dict[int, str] = {}
+        for tid, ctx in enumerate(contexts):
+            ran = 0
+            while not ctx.finished and ran < quantum:
+                inst = ctx.current_instruction()
+                if inst.opcode is Opcode.PRODUCE:
+                    if not queues.can_produce(inst.queue):
+                        blocked[tid] = f"produce on full queue {inst.queue}"
+                        break
+                    value = ctx.read(inst.srcs[0]) if inst.srcs else 0
+                    queues.produce(inst.queue, value)
+                    entry = TraceEntry(inst, block=ctx.block.label)
+                    ctx.index += 1
+                    ctx.steps += 1
+                    if ctx.trace is not None:
+                        ctx.trace.append(entry)
+                elif inst.opcode is Opcode.CONSUME:
+                    if not queues.can_consume(inst.queue):
+                        if all(
+                            other.finished
+                            for oid, other in enumerate(contexts)
+                            if oid != tid
+                        ):
+                            raise QueueProtocolError(
+                                f"thread {tid}: consume from queue {inst.queue} "
+                                "but all other threads have exited"
+                            )
+                        blocked[tid] = f"consume on empty queue {inst.queue}"
+                        break
+                    value = queues.consume(inst.queue)
+                    if inst.dest is not None:
+                        ctx.write(inst.dest, value)
+                    entry = TraceEntry(inst, block=ctx.block.label)
+                    ctx.index += 1
+                    ctx.steps += 1
+                    if ctx.trace is not None:
+                        ctx.trace.append(entry)
+                else:
+                    ctx.step()
+                ran += 1
+                total += 1
+                if total > max_steps:
+                    raise StepLimitExceeded(
+                        f"{program.name}: exceeded {max_steps} combined steps"
+                    )
+            if ran:
+                progressed = True
+        if all(ctx.finished for ctx in contexts):
+            break
+        if not progressed:
+            raise DeadlockError(
+                f"{program.name}: all live threads blocked "
+                f"(pending queues: {queues.pending()})",
+                blocked,
+            )
+    return MTRunResult(contexts, queues)

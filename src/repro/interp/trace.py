@@ -1,0 +1,43 @@
+"""Dynamic-trace records emitted by the interpreters.
+
+The timing model (:mod:`repro.machine`) replays these: it needs the
+instruction (for opcode/operands/latency class), the effective memory
+address for cache simulation, the branch outcome for the predictor, and
+the queue id for produce/consume handshakes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instruction import Instruction
+
+
+class TraceEntry:
+    """One executed dynamic instruction."""
+
+    __slots__ = ("inst", "addr", "taken", "block")
+
+    def __init__(
+        self,
+        inst: Instruction,
+        addr: Optional[int] = None,
+        taken: Optional[bool] = None,
+        block: Optional[str] = None,
+    ) -> None:
+        self.inst = inst
+        self.addr = addr
+        self.taken = taken
+        self.block = block
+
+    def __repr__(self) -> str:
+        extra = []
+        if self.addr is not None:
+            extra.append(f"addr={self.addr:#x}")
+        if self.taken is not None:
+            extra.append(f"taken={self.taken}")
+        suffix = f" [{' '.join(extra)}]" if extra else ""
+        return f"<T {self.inst.render()}{suffix}>"
+
+
+Trace = list  # a thread trace is a list[TraceEntry]

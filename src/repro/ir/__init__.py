@@ -1,0 +1,37 @@
+"""Compiler IR substrate: registers, instructions, blocks, functions, CFG analyses."""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.dominance import DominatorTree, dominator_tree, postdominator_tree
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import Loop, find_loop_by_header, find_loops
+from repro.ir.parser import IRParseError, parse_function
+from repro.ir.printer import render_function
+from repro.ir.types import Opcode, RegClass, Register, gen_reg, parse_register, pred_reg
+from repro.ir.verifier import VerificationError, verify_function, verify_reachable
+
+__all__ = [
+    "BasicBlock",
+    "DominatorTree",
+    "Function",
+    "IRBuilder",
+    "IRParseError",
+    "Instruction",
+    "Loop",
+    "Opcode",
+    "RegClass",
+    "Register",
+    "VerificationError",
+    "dominator_tree",
+    "find_loop_by_header",
+    "find_loops",
+    "gen_reg",
+    "parse_function",
+    "parse_register",
+    "postdominator_tree",
+    "pred_reg",
+    "render_function",
+    "verify_function",
+    "verify_reachable",
+]

@@ -1,0 +1,117 @@
+"""Basic blocks: labelled straight-line instruction sequences.
+
+Every block ends in exactly one terminator (``br``/``jmp``/``ret``);
+there is no implicit fallthrough.  Successor edges are derived from the
+terminator's target labels, so rewriting control flow is a matter of
+editing those labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+
+class BasicBlock:
+    """A labelled basic block belonging to a :class:`~repro.ir.function.Function`."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.instructions: list[Instruction] = []
+        self.function = None  # set by Function.add_block
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator, or ``None`` while under construction."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[Instruction]:
+        """All instructions except the terminator."""
+        term = self.terminator
+        if term is None:
+            return list(self.instructions)
+        return self.instructions[:-1]
+
+    def successor_labels(self) -> list[str]:
+        term = self.terminator
+        if term is None:
+            return []
+        return list(term.targets)
+
+    def successors(self) -> list["BasicBlock"]:
+        if self.function is None:
+            return []
+        return [self.function.block(lbl) for lbl in self.successor_labels()]
+
+    def predecessors(self) -> list["BasicBlock"]:
+        if self.function is None:
+            return []
+        return self.function.predecessors(self)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Append an instruction; terminators must come last."""
+        if self.terminator is not None:
+            raise ValueError(f"block {self.label} is already terminated")
+        self.instructions.append(inst)
+        return inst
+
+    def insert_before_terminator(self, inst: Instruction) -> Instruction:
+        """Insert ``inst`` just before the terminator (or append)."""
+        term = self.terminator
+        if term is None:
+            self.instructions.append(inst)
+        else:
+            self.instructions.insert(len(self.instructions) - 1, inst)
+        return inst
+
+    def insert_after(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        """Insert ``inst`` immediately after ``anchor``."""
+        idx = self.instructions.index(anchor)
+        self.instructions.insert(idx + 1, inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        """Insert ``inst`` immediately before ``anchor``."""
+        idx = self.instructions.index(anchor)
+        self.instructions.insert(idx, inst)
+        return inst
+
+    def retarget(self, old_label: str, new_label: str) -> None:
+        """Rewrite branch targets equal to ``old_label`` to ``new_label``."""
+        term = self.terminator
+        if term is None:
+            return
+        term.targets = [new_label if t == old_label else t for t in term.targets]
+
+    # ------------------------------------------------------------------
+    # Iteration / rendering
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BB {self.label} ({len(self.instructions)} insts)>"
+
+    def render(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {inst.render()}" for inst in self.instructions)
+        return "\n".join(lines)
+
+
+def make_jump(target: str) -> Instruction:
+    """Convenience: build an unconditional jump."""
+    return Instruction(Opcode.JMP, targets=[target])

@@ -1,0 +1,135 @@
+"""A fluent builder for constructing IR functions in workloads and tests.
+
+Example::
+
+    b = IRBuilder("list_sum")
+    entry = b.block("entry", entry=True)
+    ...
+    b.at("entry")
+    b.mov(r0, imm=HEAD)
+    b.jmp("header")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import BINARY_OPS, COMPARE_OPS, Opcode, RegClass, Register
+
+Immediate = Union[int, None]
+
+
+class IRBuilder:
+    """Builds a :class:`Function` block by block."""
+
+    def __init__(self, name: str) -> None:
+        self.function = Function(name)
+        self._current: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    # Blocks and registers
+    # ------------------------------------------------------------------
+    def block(self, label: str, entry: bool = False) -> BasicBlock:
+        """Create a block and make it current."""
+        blk = self.function.add_block(label, entry=entry)
+        self._current = blk
+        return blk
+
+    def at(self, label: str) -> BasicBlock:
+        """Switch the insertion point to an existing block."""
+        self._current = self.function.block(label)
+        return self._current
+
+    def reg(self) -> Register:
+        return self.function.new_reg(RegClass.GEN)
+
+    def pred(self) -> Register:
+        return self.function.new_reg(RegClass.PRED)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, inst: Instruction) -> Instruction:
+        if self._current is None:
+            raise ValueError("no current block; call .block() or .at() first")
+        for reg in inst.defined_registers() + inst.used_registers():
+            self.function.note_register(reg)
+        return self._current.append(inst)
+
+    def _binary(
+        self, opcode: Opcode, dest: Register, a: Register, b: Optional[Register], imm: Immediate
+    ) -> Instruction:
+        srcs = [a] if b is None else [a, b]
+        return self.emit(Instruction(opcode, dest=dest, srcs=srcs, imm=imm))
+
+    def __getattr__(self, name: str):
+        """Expose one emission method per arithmetic/compare opcode.
+
+        ``b.add(dest, a, b)`` / ``b.add(dest, a, imm=4)`` and likewise
+        for every opcode in BINARY_OPS and COMPARE_OPS (dots become
+        underscores: ``b.cmp_eq``).
+        """
+        # ``and``/``or`` are keywords, so accept a trailing underscore
+        # (``b.and_``); interior underscores map to dots (``b.cmp_eq``).
+        key = name.removesuffix("_").replace("_", ".")
+        try:
+            opcode = Opcode(key)
+        except ValueError:
+            raise AttributeError(name) from None
+        if opcode not in BINARY_OPS and opcode not in COMPARE_OPS:
+            raise AttributeError(name)
+
+        def emit_op(dest: Register, a: Register, b: Optional[Register] = None, imm: Immediate = None):
+            return self._binary(opcode, dest, a, b, imm)
+
+        return emit_op
+
+    def mov(self, dest: Register, src: Optional[Register] = None, imm: Immediate = None) -> Instruction:
+        srcs = [src] if src is not None else []
+        return self.emit(Instruction(Opcode.MOV, dest=dest, srcs=srcs, imm=imm))
+
+    def load(self, dest: Register, base: Register, offset: int = 0, region: Optional[str] = None,
+             attrs: Optional[dict] = None) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.LOAD, dest=dest, srcs=[base], imm=offset, region=region, attrs=attrs)
+        )
+
+    def store(self, value: Register, base: Register, offset: int = 0, region: Optional[str] = None,
+              attrs: Optional[dict] = None) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.STORE, srcs=[value, base], imm=offset, region=region, attrs=attrs)
+        )
+
+    def br(self, pred: Register, taken: str, fall: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BR, srcs=[pred], targets=[taken, fall]))
+
+    def jmp(self, target: str) -> Instruction:
+        return self.emit(Instruction(Opcode.JMP, targets=[target]))
+
+    def ret(self) -> Instruction:
+        return self.emit(Instruction(Opcode.RET))
+
+    def call(self, callee: str, dest: Optional[Register] = None,
+             srcs: Optional[list[Register]] = None, cycles: int = 50) -> Instruction:
+        return self.emit(
+            Instruction(
+                Opcode.CALL,
+                dest=dest,
+                srcs=srcs or [],
+                attrs={"callee": callee, "call_cycles": cycles},
+            )
+        )
+
+    def nop(self) -> Instruction:
+        return self.emit(Instruction(Opcode.NOP))
+
+    def done(self) -> Function:
+        """Finish: verify all blocks are terminated and return the function."""
+        for block in self.function.blocks():
+            if block.terminator is None:
+                raise ValueError(f"block {block.label} lacks a terminator")
+        self.function.sync_register_counter()
+        return self.function

@@ -1,0 +1,179 @@
+"""Dominator and post-dominator trees (Cooper-Harvey-Kennedy algorithm).
+
+Post-dominance is computed on the reverse CFG with a virtual exit node
+that every ``ret`` block (and every otherwise-sinkless block) feeds
+into, so the tree is well-defined even for CFGs with multiple exits.
+The DSWP splitter relies on post-dominators to retarget branches whose
+original targets have no counterpart in a given thread ("closest
+relevant post-dominator", Section 2.2.3 step 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+#: Label of the virtual exit node used by the post-dominator tree.
+VIRTUAL_EXIT = "<exit>"
+
+
+class DominatorTree:
+    """Immediate-dominator mapping over block labels."""
+
+    def __init__(self, idom: dict[str, Optional[str]], root: str) -> None:
+        self.idom = idom
+        self.root = root
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexively)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def walk_up(self, label: str):
+        """Yield ``label`` and then each ancestor up to the root."""
+        node: Optional[str] = label
+        while node is not None:
+            yield node
+            node = self.idom.get(node)
+
+    def children(self) -> dict[str, list[str]]:
+        out: dict[str, list[str]] = {label: [] for label in self.idom}
+        out.setdefault(self.root, [])
+        for node, parent in self.idom.items():
+            if parent is not None:
+                out.setdefault(parent, []).append(node)
+        return out
+
+
+def _compute_idom(
+    nodes: list[str],
+    preds: dict[str, list[str]],
+    root: str,
+) -> dict[str, Optional[str]]:
+    """Cooper-Harvey-Kennedy iterative dominator algorithm.
+
+    ``nodes`` must be in reverse postorder from ``root``.
+    """
+    index = {label: i for i, label in enumerate(nodes)}
+    idom: dict[str, Optional[str]] = {root: root}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == root:
+                continue
+            candidates = [p for p in preds.get(node, []) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    result: dict[str, Optional[str]] = {}
+    for node in nodes:
+        if node == root:
+            result[node] = None
+        elif node in idom:
+            result[node] = idom[node]
+    return result
+
+
+def _reverse_postorder(root: str, succs: dict[str, list[str]]) -> list[str]:
+    seen = {root}
+    order: list[str] = []
+    stack: list[tuple[str, iter]] = [(root, iter(succs.get(root, [])))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, iter(succs.get(nxt, []))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def dominator_tree(func: Function) -> DominatorTree:
+    """Dominator tree of ``func`` rooted at the entry block."""
+    succs = {b.label: b.successor_labels() for b in func.blocks()}
+    preds: dict[str, list[str]] = {b.label: [] for b in func.blocks()}
+    for label, outs in succs.items():
+        for out in outs:
+            preds[out].append(label)
+    nodes = _reverse_postorder(func.entry_label, succs)
+    idom = _compute_idom(nodes, preds, func.entry_label)
+    return DominatorTree(idom, func.entry_label)
+
+
+def cfg_edges(func: Function) -> tuple[dict[str, list[str]], dict[str, list[str]]]:
+    """Return (successors, predecessors) label maps for ``func``."""
+    succs = {b.label: b.successor_labels() for b in func.blocks()}
+    preds: dict[str, list[str]] = {b.label: [] for b in func.blocks()}
+    for label, outs in succs.items():
+        for out in outs:
+            preds.setdefault(out, []).append(label)
+    return succs, preds
+
+
+def postdominator_tree(func: Function) -> DominatorTree:
+    """Post-dominator tree of ``func`` rooted at a virtual exit node."""
+    succs, _ = cfg_edges(func)
+    return postdominator_tree_of_graph(succs, [b.label for b in func.exit_blocks()])
+
+
+def postdominator_tree_of_graph(
+    succs: dict[str, list[str]], exit_labels: list[str]
+) -> DominatorTree:
+    """Post-dominator tree for an arbitrary label graph.
+
+    Every label in ``exit_labels`` gets an edge to the virtual exit; so
+    does any label with no successors (dead ends) to keep the reverse
+    graph rooted.
+    """
+    rsuccs: dict[str, list[str]] = {VIRTUAL_EXIT: []}
+    all_nodes = set(succs)
+    for outs in succs.values():
+        all_nodes.update(outs)
+    exits = set(exit_labels)
+    for node in all_nodes:
+        if not succs.get(node):
+            exits.add(node)
+    for node in all_nodes:
+        rsuccs.setdefault(node, [])
+    for node, outs in succs.items():
+        for out in outs:
+            rsuccs[out].append(node)
+    for node in sorted(exits):
+        rsuccs[VIRTUAL_EXIT].append(node)
+    nodes = _reverse_postorder(VIRTUAL_EXIT, rsuccs)
+    preds: dict[str, list[str]] = {n: [] for n in rsuccs}
+    for node, outs in rsuccs.items():
+        for out in outs:
+            preds[out].append(node)
+    idom = _compute_idom(nodes, preds, VIRTUAL_EXIT)
+    return DominatorTree(idom, VIRTUAL_EXIT)

@@ -1,0 +1,145 @@
+"""Functions: ordered collections of basic blocks forming a CFG.
+
+The block order is the layout order (used for deterministic iteration
+and for the printer); control flow is fully explicit via terminators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, RegClass, Register
+
+
+class Function:
+    """A single function: entry block, blocks, and register bookkeeping."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: dict[str, BasicBlock] = {}
+        self._order: list[str] = []
+        self.entry_label: Optional[str] = None
+        self._next_reg = {RegClass.GEN: 0, RegClass.PRED: 0}
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def add_block(self, label: str, entry: bool = False) -> BasicBlock:
+        if label in self._blocks:
+            raise ValueError(f"duplicate block label {label!r}")
+        block = BasicBlock(label)
+        block.function = self
+        self._blocks[label] = block
+        self._order.append(label)
+        if entry or self.entry_label is None:
+            if entry:
+                self.entry_label = label
+            elif self.entry_label is None:
+                self.entry_label = label
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        return self._blocks[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if self.entry_label is None:
+            raise ValueError(f"function {self.name} has no entry block")
+        return self._blocks[self.entry_label]
+
+    def blocks(self) -> list[BasicBlock]:
+        """Blocks in layout order."""
+        return [self._blocks[lbl] for lbl in self._order]
+
+    def remove_block(self, label: str) -> None:
+        del self._blocks[label]
+        self._order.remove(label)
+
+    def predecessors(self, block: BasicBlock) -> list[BasicBlock]:
+        return [b for b in self.blocks() if block.label in b.successor_labels()]
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks ending in ``ret``."""
+        return [b for b in self.blocks() if b.terminator and b.terminator.opcode is Opcode.RET]
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks():
+            yield from block
+
+    def block_of(self, inst: Instruction) -> BasicBlock:
+        for block in self.blocks():
+            if inst in block.instructions:
+                return block
+        raise KeyError(f"instruction {inst!r} not found in {self.name}")
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks())
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+    def new_reg(self, rclass: RegClass = RegClass.GEN) -> Register:
+        """Allocate a fresh virtual register not used anywhere yet."""
+        idx = self._next_reg[rclass]
+        self._next_reg[rclass] = idx + 1
+        return Register(rclass, idx)
+
+    def note_register(self, reg: Register) -> None:
+        """Record an externally-created register so ``new_reg`` skips it."""
+        if reg.index >= self._next_reg[reg.rclass]:
+            self._next_reg[reg.rclass] = reg.index + 1
+
+    def sync_register_counter(self) -> None:
+        """Scan all instructions and bump the fresh-register counters."""
+        for inst in self.instructions():
+            for reg in inst.defined_registers() + inst.used_registers():
+                self.note_register(reg)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        header = f"func {self.name} (entry {self.entry_label}):"
+        return "\n".join([header] + [b.render() for b in self.blocks()])
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name}: {len(self._order)} blocks>"
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def reverse_postorder(self) -> list[BasicBlock]:
+        """Blocks in reverse postorder from the entry (unreachable last)."""
+        seen: set[str] = set()
+        order: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(block.successors()))]
+            seen.add(block.label)
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ.label not in seen:
+                        seen.add(succ.label)
+                        stack.append((succ, iter(succ.successors())))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        for block in self.blocks():
+            if block.label not in seen:
+                visit(block)
+        order.reverse()
+        return order

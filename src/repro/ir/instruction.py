@@ -1,0 +1,194 @@
+"""The :class:`Instruction` class: a single IR operation.
+
+An instruction has an opcode, at most one destination register, a list
+of source registers, and optional immediates.  Memory instructions
+carry an address expression ``base_register + offset`` plus a symbolic
+*region* tag used by the memory dependence analysis (see
+:mod:`repro.analysis.memdep`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.types import (
+    MEMORY_OPS,
+    M_PIPE_OPS,
+    PREDICATE_DEFS,
+    TERMINATORS,
+    Opcode,
+    Register,
+)
+
+_instruction_ids = itertools.count()
+
+
+class Instruction:
+    """One IR operation.
+
+    Attributes:
+        uid: Globally unique id; stable identity across transformations.
+        opcode: The :class:`~repro.ir.types.Opcode`.
+        dest: Destination register, or ``None``.
+        srcs: Source registers, in operand order.
+        imm: Immediate operand (``None`` when absent).  For memory ops
+            this is the address *offset*; for ``MOV`` it may be the
+            constant moved; for ``PRODUCE``/``CONSUME`` the queue id
+            lives in :attr:`queue` instead.
+        targets: Branch target labels -- ``[taken, fall]`` for ``BR``,
+            ``[target]`` for ``JMP``, empty otherwise.
+        region: Symbolic memory region tag ("heap", "arr:result", ...)
+            for memory ops; ``None`` means "may alias anything".
+        queue: Queue id for ``PRODUCE``/``CONSUME``.
+        origin: For instructions created by a transformation, the
+            original instruction this one was copied from (or ``None``).
+        attrs: Free-form annotation dict (e.g. ``no_alias`` markers that
+            emulate accurate memory analysis, ``call_cycles`` estimates).
+    """
+
+    __slots__ = (
+        "uid",
+        "opcode",
+        "dest",
+        "srcs",
+        "imm",
+        "targets",
+        "region",
+        "queue",
+        "origin",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Optional[Register] = None,
+        srcs: Optional[list[Register]] = None,
+        imm: Optional[int] = None,
+        targets: Optional[list[str]] = None,
+        region: Optional[str] = None,
+        queue: Optional[int] = None,
+        origin: Optional["Instruction"] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.uid = next(_instruction_ids)
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = list(srcs) if srcs else []
+        self.imm = imm
+        self.targets = list(targets) if targets else []
+        self.region = region
+        self.queue = queue
+        self.origin = origin
+        self.attrs = dict(attrs) if attrs else {}
+        self._check_shape()
+
+    def _check_shape(self) -> None:
+        if self.opcode is Opcode.BR:
+            if len(self.targets) != 2 or len(self.srcs) != 1:
+                raise ValueError("BR needs one predicate source and two targets")
+            if not self.srcs[0].is_predicate:
+                raise ValueError("BR source must be a predicate register")
+        elif self.opcode is Opcode.JMP:
+            if len(self.targets) != 1:
+                raise ValueError("JMP needs exactly one target")
+        elif self.targets:
+            raise ValueError(f"{self.opcode} cannot carry branch targets")
+        if self.opcode in PREDICATE_DEFS and self.dest is not None:
+            if not self.dest.is_predicate:
+                raise ValueError(f"{self.opcode} must define a predicate register")
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode is Opcode.BR
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.STORE
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode is Opcode.CALL
+
+    @property
+    def uses_m_pipe(self) -> bool:
+        return self.opcode in M_PIPE_OPS
+
+    @property
+    def is_flow(self) -> bool:
+        """True for the PRODUCE/CONSUME instructions inserted by DSWP."""
+        return self.opcode in (Opcode.PRODUCE, Opcode.CONSUME)
+
+    # ------------------------------------------------------------------
+    # Operand access
+    # ------------------------------------------------------------------
+    def defined_registers(self) -> list[Register]:
+        """Registers written by this instruction."""
+        return [self.dest] if self.dest is not None else []
+
+    def used_registers(self) -> list[Register]:
+        """Registers read by this instruction."""
+        return list(self.srcs)
+
+    def root(self) -> "Instruction":
+        """Follow :attr:`origin` links to the original instruction."""
+        inst = self
+        while inst.origin is not None:
+            inst = inst.origin
+        return inst
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<I{self.uid} {self.render()}>"
+
+    def render(self) -> str:
+        """Human-readable assembly-like rendering."""
+        op = self.opcode
+        if op is Opcode.LOAD:
+            tag = f" !{self.region}" if self.region else ""
+            return f"load {self.dest} = [{self.srcs[0]} + {self.imm or 0}]{tag}"
+        if op is Opcode.STORE:
+            tag = f" !{self.region}" if self.region else ""
+            return f"store [{self.srcs[1]} + {self.imm or 0}] = {self.srcs[0]}{tag}"
+        if op is Opcode.BR:
+            return f"br {self.srcs[0]}, {self.targets[0]}, {self.targets[1]}"
+        if op is Opcode.JMP:
+            return f"jmp {self.targets[0]}"
+        if op is Opcode.RET:
+            return "ret"
+        if op is Opcode.PRODUCE:
+            return f"produce [{self.queue}] = {self.srcs[0] if self.srcs else '<token>'}"
+        if op is Opcode.CONSUME:
+            return f"consume {self.dest if self.dest else '<token>'} = [{self.queue}]"
+        if op is Opcode.MOV:
+            src = self.srcs[0] if self.srcs else self.imm
+            return f"mov {self.dest} = {src}"
+        if op is Opcode.CALL:
+            args = ", ".join(map(str, self.srcs))
+            name = self.attrs.get("callee", "?")
+            pre = f"{self.dest} = " if self.dest else ""
+            return f"{pre}call {name}({args})"
+        if op is Opcode.NOP:
+            return "nop"
+        operands = list(map(str, self.srcs))
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        return f"{op.value} {self.dest} = {', '.join(operands)}"

@@ -1,0 +1,131 @@
+"""Natural-loop discovery on the CFG.
+
+A natural loop is identified by a back edge ``latch -> header`` where
+the header dominates the latch; its body is every block that can reach
+the latch without passing through the header.  DSWP operates on one
+loop at a time (the paper selects "the most important visible loop" per
+benchmark), so :class:`Loop` also records the bits the transformation
+needs: preheader, exit edges, and live-in/live-out boundary blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.dominance import dominator_tree
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+
+
+class Loop:
+    """A natural loop inside a function."""
+
+    def __init__(self, function: Function, header: str, body: set[str]) -> None:
+        self.function = function
+        self.header = header
+        self.body = set(body)  # block labels, including the header
+
+    # ------------------------------------------------------------------
+    def blocks(self) -> list[BasicBlock]:
+        """Loop blocks in function layout order."""
+        return [b for b in self.function.blocks() if b.label in self.body]
+
+    def instructions(self) -> list[Instruction]:
+        out: list[Instruction] = []
+        for block in self.blocks():
+            out.extend(block.instructions)
+        return out
+
+    def contains_block(self, label: str) -> bool:
+        return label in self.body
+
+    def contains(self, inst: Instruction) -> bool:
+        return any(inst in b.instructions for b in self.blocks())
+
+    # ------------------------------------------------------------------
+    def latches(self) -> list[str]:
+        """Labels of blocks with a back edge to the header."""
+        return [
+            b.label
+            for b in self.blocks()
+            if self.header in b.successor_labels()
+        ]
+
+    def exit_edges(self) -> list[tuple[str, str]]:
+        """(from-inside, to-outside) CFG edges leaving the loop."""
+        edges = []
+        for block in self.blocks():
+            for succ in block.successor_labels():
+                if succ not in self.body:
+                    edges.append((block.label, succ))
+        return edges
+
+    def exit_targets(self) -> list[str]:
+        """Labels outside the loop targeted by exit edges (deduplicated)."""
+        seen: list[str] = []
+        for _, target in self.exit_edges():
+            if target not in seen:
+                seen.append(target)
+        return seen
+
+    def preheader(self) -> Optional[str]:
+        """The unique outside predecessor of the header, if there is one."""
+        outside = [
+            b.label
+            for b in self.function.blocks()
+            if self.header in b.successor_labels() and b.label not in self.body
+        ]
+        if len(outside) == 1:
+            return outside[0]
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={sorted(self.body)}>"
+
+
+def find_loops(func: Function) -> list[Loop]:
+    """All natural loops of ``func``, outermost-first by body size.
+
+    Loops sharing a header are merged (their bodies are unioned), which
+    matches the usual natural-loop convention.
+    """
+    dom = dominator_tree(func)
+    bodies: dict[str, set[str]] = {}
+    preds: dict[str, list[str]] = {b.label: [] for b in func.blocks()}
+    for block in func.blocks():
+        for succ in block.successor_labels():
+            preds[succ].append(block.label)
+
+    for block in func.blocks():
+        for succ in block.successor_labels():
+            if dom.dominates(succ, block.label):
+                # back edge block -> succ; succ is the header
+                body = bodies.setdefault(succ, {succ})
+                stack = [block.label]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(preds.get(node, []))
+    loops = [Loop(func, header, body) for header, body in bodies.items()]
+    loops.sort(key=lambda lp: (-len(lp.body), lp.header))
+    return loops
+
+
+def loop_nest_depth(func: Function, loop: Loop) -> int:
+    """1-based nesting depth of ``loop`` (1 = outermost)."""
+    depth = 1
+    for other in find_loops(func):
+        if other.header != loop.header and loop.body < other.body:
+            depth += 1
+    return depth
+
+
+def find_loop_by_header(func: Function, header: str) -> Loop:
+    """The loop whose header block is ``header`` (raises if absent)."""
+    for loop in find_loops(func):
+        if loop.header == header:
+            return loop
+    raise KeyError(f"no loop with header {header!r} in {func.name}")

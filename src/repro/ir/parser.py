@@ -1,0 +1,198 @@
+"""Parser for the textual IR syntax produced by :mod:`repro.ir.printer`.
+
+The syntax is assembly-like, one instruction per line::
+
+    func sum entry=entry
+    entry:
+        mov r0 = 0
+        jmp header
+    header:
+        cmp.eq p0 = r1, 0
+        br p0, exit, body
+    body:
+        load r2 = [r1 + 8] !list
+        add r0 = r0, r2
+        load r1 = [r1 + 0] !list
+        jmp header
+    exit:
+        ret
+
+Supported forms:
+
+* ``<op> rd = ra, rb`` and ``<op> rd = ra, <imm>`` for arithmetic,
+* ``mov rd = ra`` / ``mov rd = <imm>``,
+* ``load rd = [ra + off] !region`` (region optional),
+* ``store [ra + off] = rv !region``,
+* ``br p, taken, fall`` / ``jmp target`` / ``ret``,
+* ``produce [q] = ra`` / ``produce [q]`` (token),
+* ``consume rd = [q]`` / ``consume [q]`` (token),
+* ``rd = call name(r1, r2)`` / ``call name()``.
+
+This exists so tests and examples can state IR fixtures compactly and
+so transformed code can be round-tripped through text for golden tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import BINARY_OPS, COMPARE_OPS, Opcode, parse_register
+
+
+class IRParseError(ValueError):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_FUNC_RE = re.compile(r"^func\s+(\w+)\s+entry=(\w+)$")
+_LABEL_RE = re.compile(r"^(\w+):$")
+_LOAD_RE = re.compile(
+    r"^load\s+(\S+)\s*=\s*\[\s*(\S+?)\s*\+\s*(-?\d+)\s*\](?:\s*!(\S+))?$"
+)
+_STORE_RE = re.compile(
+    r"^store\s+\[\s*(\S+?)\s*\+\s*(-?\d+)\s*\]\s*=\s*(\S+?)(?:\s*!(\S+))?$"
+)
+_PRODUCE_RE = re.compile(r"^produce\s+\[\s*(\d+)\s*\](?:\s*=\s*(\S+))?$")
+_CONSUME_RE = re.compile(r"^consume\s+(?:(\S+)\s*=\s*)?\[\s*(\d+)\s*\]$")
+_CALL_RE = re.compile(r"^(?:(\S+)\s*=\s*)?call\s+(\w+)\s*\(([^)]*)\)$")
+_ASSIGN_RE = re.compile(r"^([\w.]+)\s+(\S+)\s*=\s*(.+)$")
+
+
+def _parse_operand(text: str):
+    """Return ('reg', Register) or ('imm', int)."""
+    text = text.strip()
+    try:
+        return "reg", parse_register(text)
+    except ValueError:
+        pass
+    try:
+        return "imm", int(text, 0)
+    except ValueError as exc:
+        raise ValueError(f"bad operand {text!r}") from exc
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function from ``text``."""
+    func: Function | None = None
+    current = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if func is not None:
+                raise IRParseError(line_no, raw, "multiple func headers")
+            func = Function(m.group(1))
+            func.entry_label = None
+            entry_label = m.group(2)
+            continue
+        if func is None:
+            raise IRParseError(line_no, raw, "instruction before func header")
+        m = _LABEL_RE.match(line)
+        if m:
+            current = func.add_block(m.group(1), entry=m.group(1) == entry_label)
+            continue
+        if current is None:
+            raise IRParseError(line_no, raw, "instruction before first label")
+        try:
+            current.append(_parse_instruction(line))
+        except ValueError as exc:
+            raise IRParseError(line_no, raw, str(exc)) from exc
+    if func is None:
+        raise IRParseError(0, "", "no func header found")
+    if not func.has_block(entry_label):
+        raise IRParseError(0, "", f"entry block {entry_label!r} not defined")
+    func.entry_label = entry_label
+    func.sync_register_counter()
+    return func
+
+
+def _parse_instruction(line: str) -> Instruction:
+    if line == "ret":
+        return Instruction(Opcode.RET)
+    if line == "nop":
+        return Instruction(Opcode.NOP)
+    if line.startswith("jmp "):
+        return Instruction(Opcode.JMP, targets=[line[4:].strip()])
+    if line.startswith("br "):
+        parts = [p.strip() for p in line[3:].split(",")]
+        if len(parts) != 3:
+            raise ValueError("br needs 'br p, taken, fall'")
+        return Instruction(Opcode.BR, srcs=[parse_register(parts[0])], targets=parts[1:])
+
+    m = _LOAD_RE.match(line)
+    if m:
+        dest, base, off, region = m.groups()
+        return Instruction(
+            Opcode.LOAD,
+            dest=parse_register(dest),
+            srcs=[parse_register(base)],
+            imm=int(off),
+            region=region,
+        )
+    m = _STORE_RE.match(line)
+    if m:
+        base, off, value, region = m.groups()
+        return Instruction(
+            Opcode.STORE,
+            srcs=[parse_register(value), parse_register(base)],
+            imm=int(off),
+            region=region,
+        )
+    m = _PRODUCE_RE.match(line)
+    if m:
+        queue, src = m.groups()
+        srcs = [parse_register(src)] if src else []
+        return Instruction(Opcode.PRODUCE, srcs=srcs, queue=int(queue))
+    m = _CONSUME_RE.match(line)
+    if m:
+        dest, queue = m.groups()
+        return Instruction(
+            Opcode.CONSUME,
+            dest=parse_register(dest) if dest else None,
+            queue=int(queue),
+        )
+    m = _CALL_RE.match(line)
+    if m:
+        dest, callee, args = m.groups()
+        srcs = [parse_register(a) for a in args.split(",") if a.strip()]
+        return Instruction(
+            Opcode.CALL,
+            dest=parse_register(dest) if dest else None,
+            srcs=srcs,
+            attrs={"callee": callee, "call_cycles": 50},
+        )
+    m = _ASSIGN_RE.match(line)
+    if m:
+        opname, dest, rhs = m.groups()
+        try:
+            opcode = Opcode(opname)
+        except ValueError as exc:
+            raise ValueError(f"unknown opcode {opname!r}") from exc
+        operands = [_parse_operand(p) for p in rhs.split(",")]
+        if opcode is Opcode.MOV:
+            if len(operands) != 1:
+                raise ValueError("mov takes one operand")
+            kind, value = operands[0]
+            if kind == "reg":
+                return Instruction(Opcode.MOV, dest=parse_register(dest), srcs=[value])
+            return Instruction(Opcode.MOV, dest=parse_register(dest), imm=value)
+        if opcode in BINARY_OPS or opcode in COMPARE_OPS:
+            srcs = [v for k, v in operands if k == "reg"]
+            imms = [v for k, v in operands if k == "imm"]
+            if len(imms) > 1 or not srcs or len(operands) != 2:
+                raise ValueError(f"{opname} takes two operands (at most one immediate)")
+            return Instruction(
+                opcode,
+                dest=parse_register(dest),
+                srcs=srcs,
+                imm=imms[0] if imms else None,
+            )
+        raise ValueError(f"opcode {opname!r} not valid in assignment form")
+    raise ValueError("unrecognised instruction")

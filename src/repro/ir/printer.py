@@ -1,0 +1,14 @@
+"""Textual rendering of IR functions (the inverse of :mod:`repro.ir.parser`)."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+
+
+def render_function(func: Function) -> str:
+    """Render ``func`` in the textual IR syntax accepted by the parser."""
+    lines = [f"func {func.name} entry={func.entry_label}"]
+    for block in func.blocks():
+        lines.append(f"{block.label}:")
+        lines.extend(f"    {inst.render()}" for inst in block)
+    return "\n".join(lines) + "\n"

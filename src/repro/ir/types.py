@@ -1,0 +1,171 @@
+"""Core IR type definitions: opcodes, operand kinds, and latency classes.
+
+The IR is a low-level register machine in the spirit of the IA-64
+assembly code that the paper's IMPACT back-end operates on:
+
+* an unbounded set of virtual *general registers* (``r0``, ``r1``, ...),
+* an unbounded set of *predicate registers* (``p0``, ``p1``, ...) that
+  hold booleans and steer conditional branches,
+* word-addressed memory accessed through explicit ``LOAD``/``STORE``,
+* explicit block terminators (``BR``/``JMP``/``RET``) -- there is no
+  implicit fallthrough, which keeps the DSWP code-splitting step purely
+  structural.
+
+``PRODUCE``/``CONSUME`` are the inter-core queue instructions added by
+the DSWP transformation (Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """All instruction opcodes understood by the IR."""
+
+    # Arithmetic / logic (register-register or register-immediate).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"  # register copy or immediate load
+    # Floating-point flavoured ops (modelled on integers, but carrying
+    # FP latencies so the timing model sees realistic dependence height).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Comparisons produce predicate registers.
+    CMP_EQ = "cmp.eq"
+    CMP_NE = "cmp.ne"
+    CMP_LT = "cmp.lt"
+    CMP_LE = "cmp.le"
+    CMP_GT = "cmp.gt"
+    CMP_GE = "cmp.ge"
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+    # Control flow (block terminators).
+    BR = "br"  # conditional: br p, taken, fall
+    JMP = "jmp"  # unconditional
+    RET = "ret"
+    # Calls (kept opaque; used only for Table-1 "func. calls" column).
+    CALL = "call"
+    # DSWP queue instructions.
+    PRODUCE = "produce"
+    CONSUME = "consume"
+    # No-op (placeholder produced by some transformations).
+    NOP = "nop"
+
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Opcode.BR, Opcode.JMP, Opcode.RET})
+
+#: Opcodes that write a predicate register instead of a general register.
+PREDICATE_DEFS = frozenset(
+    {
+        Opcode.CMP_EQ,
+        Opcode.CMP_NE,
+        Opcode.CMP_LT,
+        Opcode.CMP_LE,
+        Opcode.CMP_GT,
+        Opcode.CMP_GE,
+    }
+)
+
+#: Opcodes that access memory (they contend for the M-ports of the core,
+#: as do PRODUCE/CONSUME per Section 4.2 of the paper).
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE})
+
+#: Opcodes issued on the M pipeline of the modelled Itanium 2 core.
+M_PIPE_OPS = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.PRODUCE, Opcode.CONSUME})
+
+#: Two-source arithmetic opcodes (used by the builder and the parser).
+BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+    }
+)
+
+#: Comparison opcodes.
+COMPARE_OPS = PREDICATE_DEFS
+
+
+class RegClass(enum.Enum):
+    """Register classes: general-purpose and predicate."""
+
+    GEN = "r"
+    PRED = "p"
+
+
+class Register:
+    """A virtual register, identified by class and index.
+
+    Registers are interned so identity comparison works, and they sort
+    deterministically (by class then index) which keeps every analysis
+    and transformation in the library reproducible run to run.
+    """
+
+    __slots__ = ("rclass", "index")
+    _pool: dict[tuple[RegClass, int], "Register"] = {}
+
+    def __new__(cls, rclass: RegClass, index: int) -> "Register":
+        key = (rclass, index)
+        reg = cls._pool.get(key)
+        if reg is None:
+            reg = super().__new__(cls)
+            reg.rclass = rclass
+            reg.index = index
+            cls._pool[key] = reg
+        return reg
+
+    def __repr__(self) -> str:
+        return f"{self.rclass.value}{self.index}"
+
+    def __lt__(self, other: "Register") -> bool:
+        return (self.rclass.value, self.index) < (other.rclass.value, other.index)
+
+    def __reduce__(self):
+        return (Register, (self.rclass, self.index))
+
+    @property
+    def is_predicate(self) -> bool:
+        return self.rclass is RegClass.PRED
+
+
+def gen_reg(index: int) -> Register:
+    """Return the general register ``r<index>``."""
+    return Register(RegClass.GEN, index)
+
+
+def pred_reg(index: int) -> Register:
+    """Return the predicate register ``p<index>``."""
+    return Register(RegClass.PRED, index)
+
+
+def parse_register(text: str) -> Register:
+    """Parse ``"r12"`` or ``"p3"`` into a :class:`Register`."""
+    text = text.strip()
+    if len(text) < 2 or text[0] not in ("r", "p") or not text[1:].isdigit():
+        raise ValueError(f"not a register: {text!r}")
+    rclass = RegClass.GEN if text[0] == "r" else RegClass.PRED
+    return Register(rclass, int(text[1:]))

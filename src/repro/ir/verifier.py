@@ -1,0 +1,73 @@
+"""Structural well-formedness checks for IR functions.
+
+The verifier is run by tests after every transformation and catches the
+classes of breakage the DSWP splitter could introduce: dangling branch
+targets, unterminated blocks, terminators in the middle of a block, and
+queue instructions without a queue id.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.types import Opcode
+
+
+class VerificationError(ValueError):
+    """Raised when an IR function is structurally malformed."""
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`VerificationError` on the first problem found."""
+    if func.entry_label is None or not func.has_block(func.entry_label):
+        raise VerificationError(f"{func.name}: missing entry block")
+    labels = {b.label for b in func.blocks()}
+    for block in func.blocks():
+        if not block.instructions:
+            raise VerificationError(f"{func.name}/{block.label}: empty block")
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            raise VerificationError(
+                f"{func.name}/{block.label}: last instruction is not a terminator"
+            )
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: terminator {inst.render()} "
+                    "in the middle of a block"
+                )
+        for target in term.targets:
+            if target not in labels:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: branch to unknown block {target!r}"
+                )
+        for inst in block.instructions:
+            if inst.opcode in (Opcode.PRODUCE, Opcode.CONSUME) and inst.queue is None:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: {inst.render()} lacks a queue id"
+                )
+            if inst.opcode is Opcode.LOAD and (inst.dest is None or len(inst.srcs) != 1):
+                raise VerificationError(
+                    f"{func.name}/{block.label}: malformed load {inst.render()}"
+                )
+            if inst.opcode is Opcode.STORE and len(inst.srcs) != 2:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: malformed store {inst.render()}"
+                )
+
+
+def verify_reachable(func: Function) -> None:
+    """Additionally require every block to be reachable from the entry."""
+    verify_function(func)
+    seen = {func.entry_label}
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        for succ in block.successors():
+            if succ.label not in seen:
+                seen.add(succ.label)
+                stack.append(succ)
+    unreachable = {b.label for b in func.blocks()} - seen
+    if unreachable:
+        raise VerificationError(
+            f"{func.name}: unreachable blocks {sorted(unreachable)}"
+        )

@@ -1,0 +1,49 @@
+"""Dual-core CMP timing model: cores, caches, predictor, synchronization array."""
+
+from repro.machine.branch import TwoBitPredictor
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.cmp import SimulationDeadlock, simulate, warm_up
+from repro.machine.sharing import SharingEvent, SharingReport, analyze_sharing
+from repro.machine.config import (
+    FULL_WIDTH_CORE,
+    FULL_WIDTH_MACHINE,
+    HALF_WIDTH_CORE,
+    HALF_WIDTH_MACHINE,
+    STATIC_LATENCIES,
+    CacheLevelConfig,
+    CoreConfig,
+    MachineConfig,
+    static_latency,
+    static_latency_with_calls,
+)
+from repro.machine.core import CoreSim, StallRecord
+from repro.machine.stats import OccupancyProfile, SimResult, speedup
+from repro.machine.syncarray import QueueTiming
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheLevelConfig",
+    "CoreConfig",
+    "CoreSim",
+    "FULL_WIDTH_CORE",
+    "FULL_WIDTH_MACHINE",
+    "HALF_WIDTH_CORE",
+    "HALF_WIDTH_MACHINE",
+    "MachineConfig",
+    "OccupancyProfile",
+    "STATIC_LATENCIES",
+    "SimResult",
+    "SharingEvent",
+    "SharingReport",
+    "SimulationDeadlock",
+    "StallRecord",
+    "QueueTiming",
+    "TwoBitPredictor",
+    "simulate",
+    "warm_up",
+    "analyze_sharing",
+    "speedup",
+    "static_latency",
+    "static_latency_with_calls",
+]

@@ -1,0 +1,43 @@
+"""Two-level branch predictor (per-branch 2-bit saturating counters).
+
+Mispredictions flush the in-order front end for
+``CoreConfig.mispredict_penalty`` cycles.  Predictor state is keyed by
+the *original* instruction (branch copies created by DSWP share their
+origin's history, mimicking warmed predictors across fast-forwarding as
+in the paper's methodology).
+"""
+
+from __future__ import annotations
+
+
+class TwoBitPredictor:
+    """Classic 2-bit saturating counter per static branch."""
+
+    TAKEN_THRESHOLD = 2
+
+    def __init__(self) -> None:
+        self._counters: dict[int, int] = {}
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, branch_key: int, taken: bool) -> bool:
+        """Predict ``branch_key``; update with the real outcome.
+
+        Returns True when the prediction was correct.
+        """
+        counter = self._counters.get(branch_key, 1)
+        prediction = counter >= self.TAKEN_THRESHOLD
+        self.lookups += 1
+        correct = prediction == taken
+        if not correct:
+            self.mispredicts += 1
+        if taken:
+            counter = min(counter + 1, 3)
+        else:
+            counter = max(counter - 1, 0)
+        self._counters[branch_key] = counter
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0

@@ -1,0 +1,92 @@
+"""Set-associative cache hierarchy with LRU replacement.
+
+Gives loads the variable latency that DSWP's decoupling tolerates
+(Section 6 contrasts DSWP with software pipelining precisely on
+variable-latency loads).  Each core owns private L1/L2; L3 and memory
+are shared.  Coherence is not modelled, matching the paper's simulator
+(Section 4.2 analyses false sharing offline instead; see
+:mod:`repro.machine.sharing`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.machine.config import CacheLevelConfig
+
+
+class CacheLevel:
+    """One set-associative, LRU, write-allocate cache level."""
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self.num_sets = max(config.size_words // (config.line_words * config.ways), 1)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> tuple[OrderedDict, int]:
+        line = addr // self.config.line_words
+        return self._sets[line % self.num_sets], line
+
+    def lookup(self, addr: int) -> bool:
+        """Probe and update LRU; returns hit/miss.  Allocates on miss."""
+        cache_set, line = self._locate(addr)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set[line] = True
+        if len(cache_set) > self.config.ways:
+            cache_set.popitem(last=False)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        cache_set, line = self._locate(addr)
+        return line in cache_set
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class CacheHierarchy:
+    """Private L1/L2 over shared L3 over memory.
+
+    ``access`` returns the load-to-use latency of an access and updates
+    all levels.  Stores use the same path (write-allocate) but the core
+    model treats them as fire-and-forget.
+    """
+
+    def __init__(
+        self,
+        l1: CacheLevel,
+        l2: CacheLevel,
+        l3: CacheLevel,
+        memory_latency: int,
+    ) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.l3 = l3
+        self.memory_latency = memory_latency
+
+    def access(self, addr: int) -> int:
+        if self.l1.lookup(addr):
+            return self.l1.config.hit_latency
+        if self.l2.lookup(addr):
+            return self.l2.config.hit_latency
+        if self.l3.lookup(addr):
+            return self.l3.config.hit_latency
+        return self.memory_latency
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "l1_miss_rate": self.l1.miss_rate,
+            "l2_miss_rate": self.l2.miss_rate,
+            "l3_miss_rate": self.l3.miss_rate,
+            "l1_accesses": self.l1.hits + self.l1.misses,
+        }

@@ -1,0 +1,134 @@
+"""Machine configurations for the dual-core CMP timing model.
+
+Models the evaluation platform of Section 4: two Itanium-2-like
+in-order cores connected by a synchronization array (SA) of 256
+queues x 32 elements with 1-cycle read access; produce/consume use the
+M pipeline (at most 4 M-type issues per cycle on the full-width core).
+The "half-width" variant of Section 4.3 halves fetch/dispersal width
+(and M ports).  Communication latency and queue size are the knobs of
+Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+#: Static instruction latencies (cycles), Itanium-2-flavoured.
+STATIC_LATENCIES: dict[Opcode, int] = {
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.SHL: 1,
+    Opcode.SHR: 1,
+    Opcode.MOV: 1,
+    Opcode.MUL: 3,
+    Opcode.DIV: 24,
+    Opcode.MOD: 24,
+    Opcode.FADD: 4,
+    Opcode.FSUB: 4,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 30,
+    Opcode.CMP_EQ: 1,
+    Opcode.CMP_NE: 1,
+    Opcode.CMP_LT: 1,
+    Opcode.CMP_LE: 1,
+    Opcode.CMP_GT: 1,
+    Opcode.CMP_GE: 1,
+    Opcode.LOAD: 1,  # plus cache access latency from the hierarchy
+    Opcode.STORE: 1,
+    Opcode.BR: 1,
+    Opcode.JMP: 1,
+    Opcode.RET: 1,
+    Opcode.CALL: 1,  # plus attrs["call_cycles"]
+    Opcode.PRODUCE: 1,
+    Opcode.CONSUME: 1,
+    Opcode.NOP: 1,
+}
+
+#: Average L1-hit-ish latency assumed by the *static* cost model used
+#: for partitioning (the compiler does not know hit rates).
+STATIC_LOAD_LATENCY = 2
+
+
+def static_latency(inst: Instruction) -> float:
+    """Compile-time latency estimate used by the TPP heuristic.
+
+    Function-call latencies deliberately do *not* include an estimate
+    of the callee (the paper notes its implementation shared this
+    limitation and that it can lead to poor partitions for loops with
+    calls); pass ``attrs["call_cycles"]`` through
+    :func:`static_latency_with_calls` to lift it.
+    """
+    if inst.opcode is Opcode.LOAD:
+        return STATIC_LOAD_LATENCY
+    return STATIC_LATENCIES.get(inst.opcode, 1)
+
+
+def static_latency_with_calls(inst: Instruction) -> float:
+    """Like :func:`static_latency` but includes callee estimates."""
+    base = static_latency(inst)
+    if inst.is_call:
+        return base + inst.attrs.get("call_cycles", 0)
+    return base
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One cache level: geometry and hit latency."""
+
+    name: str
+    size_words: int
+    line_words: int
+    ways: int
+    hit_latency: int
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """An in-order core: issue width and M-pipeline ports."""
+
+    name: str = "itanium2-full"
+    issue_width: int = 6
+    m_ports: int = 4
+    mispredict_penalty: int = 6
+    l1: CacheLevelConfig = CacheLevelConfig("L1D", 2048, 8, 4, 2)
+    l2: CacheLevelConfig = CacheLevelConfig("L2", 16384, 16, 8, 6)
+
+
+FULL_WIDTH_CORE = CoreConfig()
+HALF_WIDTH_CORE = CoreConfig(name="itanium2-half", issue_width=3, m_ports=2)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A CMP: homogeneous cores + synchronization array + shared L3."""
+
+    core: CoreConfig = FULL_WIDTH_CORE
+    num_cores: int = 2
+    #: produce-side pipeline latency before a value is visible (Section
+    #: 4.4 varies this over 1/5/10 cycles).
+    comm_latency: int = 1
+    #: SA read access latency on the consume side.
+    sa_read_latency: int = 1
+    queue_size: int = 32
+    num_queues: int = 256
+    l3: CacheLevelConfig = CacheLevelConfig("L3", 262144, 32, 16, 14)
+    memory_latency: int = 120
+
+    def with_comm_latency(self, cycles: int) -> "MachineConfig":
+        return replace(self, comm_latency=cycles)
+
+    def with_queue_size(self, size: int) -> "MachineConfig":
+        return replace(self, queue_size=size)
+
+    def with_core(self, core: CoreConfig) -> "MachineConfig":
+        return replace(self, core=core)
+
+
+FULL_WIDTH_MACHINE = MachineConfig()
+HALF_WIDTH_MACHINE = MachineConfig(core=HALF_WIDTH_CORE)

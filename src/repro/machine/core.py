@@ -1,0 +1,188 @@
+"""In-order core timing model (Itanium-2-flavoured), trace-driven.
+
+Replays one thread's dynamic trace with:
+
+* in-order issue, ``issue_width`` instructions per cycle, at most
+  ``m_ports`` M-type operations (loads, stores, produce, consume) per
+  cycle -- the constraint Section 4.2 highlights;
+* register scoreboarding (an instruction issues once its sources are
+  ready; consumers of a load stall for its cache latency);
+* a private L1/L2 with shared L3/memory behind them;
+* a 2-bit branch predictor with a front-end flush penalty on
+  mispredicts;
+* blocking ``produce``/``consume`` semantics against the shared
+  :class:`~repro.machine.syncarray.QueueTiming`.
+
+The model intentionally omits out-of-order structures: the paper's
+point is that DSWP's decoupling supplies the latency tolerance that an
+in-order pipeline lacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interp.trace import TraceEntry
+from repro.machine.branch import TwoBitPredictor
+from repro.machine.cache import CacheHierarchy
+from repro.machine.config import STATIC_LATENCIES, CoreConfig, MachineConfig
+from repro.machine.syncarray import QueueTiming
+from repro.ir.types import Opcode, Register
+
+
+class StallRecord:
+    """One queue-induced stall interval on a core."""
+
+    __slots__ = ("kind", "start", "end", "queue")
+
+    def __init__(self, kind: str, start: int, end: int, queue: int) -> None:
+        self.kind = kind  # "produce_full" | "consume_empty"
+        self.start = start
+        self.end = end
+        self.queue = queue
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class CoreSim:
+    """Trace replay state for one core."""
+
+    #: Result codes for :meth:`step`.
+    PROGRESS = "progress"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        machine: MachineConfig,
+        trace: list[TraceEntry],
+        caches: CacheHierarchy,
+        predictor: Optional[TwoBitPredictor] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.machine = machine
+        self.trace = trace
+        self.caches = caches
+        self.predictor = predictor or TwoBitPredictor()
+        self.index = 0
+        self._fetch_ready = 0
+        self._prev_issue = 0
+        self._reg_ready: dict[Register, int] = {}
+        self._slots: dict[int, list[int]] = {}
+        self.last_completion = 0
+        self.stalls: list[StallRecord] = []
+        self.instructions_executed = 0
+        self.flow_instructions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.trace)
+
+    def _sources_ready(self, entry: TraceEntry) -> int:
+        ready = 0
+        for reg in entry.inst.used_registers():
+            ready = max(ready, self._reg_ready.get(reg, 0))
+        return ready
+
+    def _find_issue_cycle(self, earliest: int, uses_m: bool) -> int:
+        cycle = max(earliest, 0)
+        while True:
+            used = self._slots.get(cycle)
+            if used is None:
+                used = [0, 0]
+                self._slots[cycle] = used
+            if used[0] < self.config.issue_width and (
+                not uses_m or used[1] < self.config.m_ports
+            ):
+                used[0] += 1
+                if uses_m:
+                    used[1] += 1
+                self._prune_slots(cycle)
+                return cycle
+            cycle += 1
+
+    def _prune_slots(self, current: int) -> None:
+        # In-order issue never revisits cycles before the previous
+        # issue, so old entries can be discarded to bound memory.
+        if len(self._slots) > 512:
+            for key in [k for k in self._slots if k < current - 8]:
+                del self._slots[key]
+
+    # ------------------------------------------------------------------
+    def step(self, queues: QueueTiming) -> str:
+        """Try to issue the next trace entry; may block on a queue."""
+        if self.done:
+            return self.DONE
+        entry = self.trace[self.index]
+        inst = entry.inst
+        op = inst.opcode
+        earliest = max(self._fetch_ready, self._prev_issue, self._sources_ready(entry))
+
+        if op is Opcode.PRODUCE:
+            slot_ready = queues.produce_slot_ready(inst.queue)
+            if slot_ready is None:
+                return self.BLOCKED
+            issue = self._find_issue_cycle(max(earliest, slot_ready), uses_m=True)
+            if slot_ready > earliest:
+                self.stalls.append(
+                    StallRecord("produce_full", earliest, issue, inst.queue)
+                )
+            queues.record_produce(inst.queue, issue)
+            completion = issue + 1
+            self.flow_instructions += 1
+        elif op is Opcode.CONSUME:
+            data_ready = queues.consume_data_ready(inst.queue)
+            if data_ready is None:
+                return self.BLOCKED
+            issue = self._find_issue_cycle(max(earliest, data_ready), uses_m=True)
+            if data_ready > earliest:
+                self.stalls.append(
+                    StallRecord("consume_empty", earliest, issue, inst.queue)
+                )
+            queues.record_consume(inst.queue, issue)
+            completion = issue + queues.sa_read_latency
+            self.flow_instructions += 1
+        elif op is Opcode.LOAD:
+            issue = self._find_issue_cycle(earliest, uses_m=True)
+            completion = issue + self.caches.access(entry.addr)
+        elif op is Opcode.STORE:
+            issue = self._find_issue_cycle(earliest, uses_m=True)
+            self.caches.access(entry.addr)  # allocate; latency hidden
+            completion = issue + 1
+        elif op is Opcode.BR:
+            issue = self._find_issue_cycle(earliest, uses_m=False)
+            completion = issue + 1
+            key = inst.root().uid
+            if not self.predictor.predict_and_update(key, bool(entry.taken)):
+                self._fetch_ready = completion + self.config.mispredict_penalty
+        elif op is Opcode.CALL:
+            issue = self._find_issue_cycle(earliest, uses_m=False)
+            completion = issue + 1 + inst.attrs.get("call_cycles", 0)
+        else:
+            issue = self._find_issue_cycle(earliest, uses_m=False)
+            completion = issue + STATIC_LATENCIES.get(op, 1)
+
+        if inst.dest is not None:
+            self._reg_ready[inst.dest] = completion
+        self._prev_issue = issue
+        self.last_completion = max(self.last_completion, completion)
+        self.instructions_executed += 1
+        self.index += 1
+        return self.PROGRESS
+
+    # ------------------------------------------------------------------
+    def ipc(self) -> float:
+        """Instructions per cycle, excluding produce/consume (the paper
+        reports IPC without the DSWP-inserted flow instructions)."""
+        if self.last_completion <= 0:
+            return 0.0
+        return (self.instructions_executed - self.flow_instructions) / self.last_completion
+
+    def stall_cycles(self, kind: str) -> int:
+        return sum(s.duration for s in self.stalls if s.kind == kind)

@@ -1,0 +1,170 @@
+"""Offline cache-coherence analysis of multi-core memory traces (§4.2).
+
+The paper's timing simulator does not model a coherence protocol.  To
+argue the results are still valid, the authors replay the memory
+accesses of both cores in an invalidation-based coherence model offline
+and look for *false sharing*: a write on one core invalidating a line
+the other core holds, even though the threads never touch the same
+words (true sharing inside the loop is impossible -- may-aliasing
+load/store pairs end up in the same SCC and hence the same thread).
+
+This module reproduces that analysis: :func:`analyze_sharing` replays
+per-core traces through an MSI-style line directory and classifies
+every cross-core invalidation as true sharing (same word accessed by
+both cores) or false sharing (same line, different words), and
+:func:`miss_rate_delta` reports how much the invalidations would have
+raised each core's miss rate -- the quantity the paper reports for
+181.mcf (+0.1% on the producer) and jpegenc (no change).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interp.trace import TraceEntry
+from repro.ir.types import Opcode
+
+
+class SharingEvent:
+    """One cross-core invalidation."""
+
+    __slots__ = ("line", "writer_core", "victim_core", "word", "victim_words",
+                 "false_sharing")
+
+    def __init__(self, line: int, writer_core: int, victim_core: int,
+                 word: int, victim_words: frozenset[int],
+                 false_sharing: bool) -> None:
+        self.line = line
+        self.writer_core = writer_core
+        self.victim_core = victim_core
+        self.word = word
+        self.victim_words = victim_words
+        self.false_sharing = false_sharing
+
+    def __repr__(self) -> str:
+        kind = "false" if self.false_sharing else "true"
+        return (f"<{kind}-sharing line {self.line:#x}: core "
+                f"{self.writer_core} wrote {self.word:#x}, invalidating "
+                f"core {self.victim_core}>")
+
+
+class SharingReport:
+    """Outcome of the offline coherence replay."""
+
+    def __init__(self, events: list[SharingEvent],
+                 accesses: list[int],
+                 baseline_misses: list[int],
+                 coherence_misses: list[int]) -> None:
+        self.events = events
+        #: Per-core memory-access counts.
+        self.accesses = accesses
+        #: Per-core cold/capacity-free miss counts (first touch per line).
+        self.baseline_misses = baseline_misses
+        #: Per-core extra misses caused by cross-core invalidations.
+        self.coherence_misses = coherence_misses
+
+    @property
+    def false_sharing_events(self) -> list[SharingEvent]:
+        return [e for e in self.events if e.false_sharing]
+
+    @property
+    def true_sharing_events(self) -> list[SharingEvent]:
+        return [e for e in self.events if not e.false_sharing]
+
+    def has_false_sharing(self) -> bool:
+        return bool(self.false_sharing_events)
+
+    def miss_rate(self, core: int, with_coherence: bool) -> float:
+        misses = self.baseline_misses[core]
+        if with_coherence:
+            misses += self.coherence_misses[core]
+        if not self.accesses[core]:
+            return 0.0
+        return misses / self.accesses[core]
+
+    def miss_rate_delta(self, core: int) -> float:
+        """Miss-rate increase from coherence, in absolute percentage
+        points (the paper quotes +0.1% for mcf's producer core)."""
+        return (self.miss_rate(core, True) - self.miss_rate(core, False)) * 100
+
+    def __repr__(self) -> str:
+        return (f"<SharingReport {len(self.false_sharing_events)} false / "
+                f"{len(self.true_sharing_events)} true sharing events>")
+
+
+def _interleave(traces: list[list[TraceEntry]]):
+    """Merge per-core traces into one access stream.
+
+    Trace entries carry no cycle timestamps at this level, so we use
+    the paper's conservative convention: round-robin by dynamic
+    instruction index, which interleaves the cores as tightly as
+    possible and therefore over-approximates the sharing window.
+    Yields (core, entry) for memory operations only.
+    """
+    indexes = [0] * len(traces)
+    remaining = sum(len(t) for t in traces)
+    while remaining:
+        for core, trace in enumerate(traces):
+            idx = indexes[core]
+            if idx >= len(trace):
+                continue
+            indexes[core] += 1
+            remaining -= 1
+            entry = trace[idx]
+            if entry.inst.opcode in (Opcode.LOAD, Opcode.STORE):
+                yield core, entry
+
+
+def analyze_sharing(
+    traces: list[list[TraceEntry]],
+    line_words: int = 8,
+) -> SharingReport:
+    """Replay ``traces`` through an invalidation-based coherence model.
+
+    Each line is tracked as (owner set, per-core word sets).  A write
+    invalidates all other owners; the event is *false* sharing when the
+    victim core never touched the written word.
+    """
+    n = len(traces)
+    owners: dict[int, set[int]] = {}
+    words_touched: dict[tuple[int, int], set[int]] = {}
+    events: list[SharingEvent] = []
+    accesses = [0] * n
+    baseline_misses = [0] * n
+    coherence_misses = [0] * n
+    seen_lines: set[tuple[int, int]] = set()
+    valid: dict[tuple[int, int], bool] = {}
+
+    for core, entry in _interleave(traces):
+        addr = entry.addr
+        if addr is None:
+            continue
+        line = addr // line_words
+        key = (core, line)
+        accesses[core] += 1
+        if key not in seen_lines:
+            seen_lines.add(key)
+            baseline_misses[core] += 1
+            valid[key] = True
+        elif not valid.get(key, False):
+            coherence_misses[core] += 1
+            valid[key] = True
+        owner_set = owners.setdefault(line, set())
+        words = words_touched.setdefault(key, set())
+        words.add(addr)
+        owner_set.add(core)
+        if entry.inst.opcode is Opcode.STORE:
+            for victim in sorted(owner_set - {core}):
+                victim_key = (victim, line)
+                if not valid.get(victim_key, False):
+                    continue
+                victim_words = frozenset(words_touched.get(victim_key, ()))
+                events.append(
+                    SharingEvent(
+                        line, core, victim, addr, victim_words,
+                        false_sharing=addr not in victim_words,
+                    )
+                )
+                valid[victim_key] = False
+            owners[line] = {core}
+    return SharingReport(events, accesses, baseline_misses, coherence_misses)

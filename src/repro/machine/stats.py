@@ -1,0 +1,135 @@
+"""Simulation results and the occupancy telemetry behind Figs. 7 and 8."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.core import CoreSim
+from repro.machine.syncarray import QueueTiming
+
+
+class OccupancyProfile:
+    """Aggregate synchronization-array occupancy over the run.
+
+    Derived from produce-visible (+1) and consume (-1) events; the
+    paper's Fig. 7 plots the occupancy trace and Fig. 8 summarises the
+    cumulative cycle distribution into four buckets:
+
+    * ``full_producer_stalled`` -- producer blocked on a full queue;
+    * ``balanced_both_active``  -- both running, data buffered;
+    * ``empty_both_active``     -- both running, queues drained;
+    * ``empty_consumer_stalled`` -- consumer blocked on an empty queue.
+    """
+
+    def __init__(
+        self,
+        events: list[tuple[int, int]],
+        total_cycles: int,
+        producer_stall: int,
+        consumer_stall: int,
+    ) -> None:
+        self.events = events
+        self.total_cycles = max(total_cycles, 1)
+        self.producer_stall = producer_stall
+        self.consumer_stall = consumer_stall
+
+    # ------------------------------------------------------------------
+    def occupancy_histogram(self) -> dict[int, int]:
+        """occupancy level -> cycles spent at that level."""
+        histogram: dict[int, int] = {}
+        level = 0
+        prev_time = 0
+        for time, delta in self.events:
+            time = min(time, self.total_cycles)
+            if time > prev_time:
+                histogram[level] = histogram.get(level, 0) + (time - prev_time)
+                prev_time = time
+            level += delta
+        if prev_time < self.total_cycles:
+            histogram[level] = histogram.get(level, 0) + (self.total_cycles - prev_time)
+        return histogram
+
+    def cycles_with_occupancy_at_least(self, threshold: int) -> int:
+        return sum(
+            cycles
+            for level, cycles in self.occupancy_histogram().items()
+            if level >= threshold
+        )
+
+    def series(self, samples: int = 200) -> list[tuple[int, int]]:
+        """Occupancy sampled at ``samples`` evenly spaced cycles
+        (the Fig. 7 occupancy-versus-time curves)."""
+        if not self.events:
+            return [(0, 0)]
+        step = max(self.total_cycles // samples, 1)
+        out: list[tuple[int, int]] = []
+        level = 0
+        idx = 0
+        for t in range(0, self.total_cycles + 1, step):
+            while idx < len(self.events) and self.events[idx][0] <= t:
+                level += self.events[idx][1]
+                idx += 1
+            out.append((t, level))
+        return out
+
+    def buckets(self) -> dict[str, float]:
+        """The four Fig. 8 buckets as fractions of total cycles.
+
+        The stall intervals are measured per instruction and can
+        overlap occupancy transitions, so the raw components are
+        normalised to sum to exactly 1.
+        """
+        occupied = self.cycles_with_occupancy_at_least(1)
+        full = min(self.producer_stall, self.total_cycles)
+        empty_stall = min(self.consumer_stall, self.total_cycles)
+        balanced = max(min(occupied - full, self.total_cycles), 0)
+        rest = max(self.total_cycles - full - balanced - empty_stall, 0)
+        parts = [full, balanced, rest, empty_stall]
+        norm = sum(parts) or 1.0
+        full, balanced, rest, empty_stall = (p / norm for p in parts)
+        return {
+            "full_producer_stalled": full,
+            "balanced_both_active": balanced,
+            "empty_both_active": rest,
+            "empty_consumer_stalled": empty_stall,
+        }
+
+
+class SimResult:
+    """Outcome of a timing simulation."""
+
+    def __init__(self, cores: list[CoreSim], queues: Optional[QueueTiming]) -> None:
+        self.cores = cores
+        self.queues = queues
+        self.cycles = max((c.last_completion for c in cores), default=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> int:
+        return sum(c.instructions_executed for c in self.cores)
+
+    def ipc(self, core: int) -> float:
+        return self.cores[core].ipc()
+
+    def ipcs(self) -> list[float]:
+        return [c.ipc() for c in self.cores]
+
+    def occupancy(self) -> OccupancyProfile:
+        if self.queues is None:
+            return OccupancyProfile([], self.cycles, 0, 0)
+        producer_stall = sum(c.stall_cycles("produce_full") for c in self.cores)
+        consumer_stall = sum(c.stall_cycles("consume_empty") for c in self.cores)
+        return OccupancyProfile(
+            self.queues.occupancy_events(), self.cycles, producer_stall, consumer_stall
+        )
+
+    def __repr__(self) -> str:
+        ipcs = ", ".join(f"{v:.2f}" for v in self.ipcs())
+        return f"<SimResult {self.cycles} cycles, IPC [{ipcs}]>"
+
+
+def speedup(baseline: SimResult, candidate: SimResult) -> float:
+    """How much faster ``candidate`` is than ``baseline``."""
+    if candidate.cycles <= 0:
+        return float("inf")
+    return baseline.cycles / candidate.cycles

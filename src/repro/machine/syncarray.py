@@ -1,0 +1,83 @@
+"""Synchronization-array timing state shared between the cores.
+
+The SA (after Rangan et al. [21]) is a set of low-latency queues.  In
+the timing domain each queue is a pair of event lists:
+
+* ``visible[q][k]`` -- the cycle at which the k-th value produced on
+  queue ``q`` becomes visible to the consumer (produce issue + 1 +
+  communication latency);
+* ``freed[q][k]`` -- the cycle at which the k-th consume issued,
+  freeing the slot for the (k + queue_size)-th produce.
+
+Produce blocks only when enqueuing to a full queue; consume blocks only
+when dequeuing from an empty queue (Section 2.1).
+"""
+
+from __future__ import annotations
+
+
+class QueueTiming:
+    """Cross-core queue handshakes in the timing domain."""
+
+    def __init__(self, queue_size: int, comm_latency: int, sa_read_latency: int) -> None:
+        self.queue_size = queue_size
+        self.comm_latency = comm_latency
+        self.sa_read_latency = sa_read_latency
+        self.visible: dict[int, list[int]] = {}
+        self.freed: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def produce_slot_ready(self, qid: int) -> int | None:
+        """Earliest cycle the next produce on ``qid`` has a free slot.
+
+        Returns ``None`` when the slot's availability depends on a
+        consume that has not been simulated yet (the producer core must
+        yield to the consumer core).
+        """
+        produced = len(self.visible.get(qid, ()))
+        if produced < self.queue_size:
+            return 0
+        freed = self.freed.get(qid, ())
+        idx = produced - self.queue_size
+        if idx >= len(freed):
+            return None
+        return freed[idx]
+
+    def record_produce(self, qid: int, issue_cycle: int) -> None:
+        self.visible.setdefault(qid, []).append(
+            issue_cycle + 1 + self.comm_latency
+        )
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def consume_data_ready(self, qid: int) -> int | None:
+        """Cycle the next value on ``qid`` is visible, or ``None`` if it
+        has not been produced yet in the simulation."""
+        consumed = len(self.freed.get(qid, ()))
+        values = self.visible.get(qid, ())
+        if consumed >= len(values):
+            return None
+        return values[consumed]
+
+    def record_consume(self, qid: int, issue_cycle: int) -> None:
+        self.freed.setdefault(qid, []).append(issue_cycle)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def occupancy_events(self) -> list[tuple[int, int]]:
+        """(cycle, +1/-1) events over all queues, sorted by cycle.
+
+        +1 when a value becomes visible, -1 when it is consumed.
+        Unconsumed leftovers contribute no -1 event.
+        """
+        events: list[tuple[int, int]] = []
+        for values in self.visible.values():
+            events.extend((t, +1) for t in values)
+        for frees in self.freed.values():
+            events.extend((t, -1) for t in frees)
+        events.sort()
+        return events

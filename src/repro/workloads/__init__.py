@@ -1,0 +1,46 @@
+"""Synthetic workloads mirroring the dependence structure of Table 1's loops."""
+
+from repro.workloads.adpcm import AdpcmWorkload
+from repro.workloads.ammp import AmmpWorkload
+from repro.workloads.art import ArtWorkload
+from repro.workloads.base import Workload, WorkloadCase
+from repro.workloads.bzip2 import Bzip2Workload
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.equake import EquakeWorkload
+from repro.workloads.epic import EpicWorkload
+from repro.workloads.gzip import GzipWorkload
+from repro.workloads.gzip_match import GzipMatchWorkload
+from repro.workloads.jpeg import JpegWorkload
+from repro.workloads.listoflists import ListOfListsWorkload
+from repro.workloads.listsum import ListSumWorkload
+from repro.workloads.mcf import McfWorkload
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    EXTRA_WORKLOADS,
+    TABLE1_WORKLOADS,
+    get_workload,
+)
+from repro.workloads.wc import WcWorkload
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "AdpcmWorkload",
+    "AmmpWorkload",
+    "ArtWorkload",
+    "Bzip2Workload",
+    "CompressWorkload",
+    "EXTRA_WORKLOADS",
+    "EpicWorkload",
+    "EquakeWorkload",
+    "GzipMatchWorkload",
+    "GzipWorkload",
+    "JpegWorkload",
+    "ListOfListsWorkload",
+    "ListSumWorkload",
+    "McfWorkload",
+    "TABLE1_WORKLOADS",
+    "WcWorkload",
+    "Workload",
+    "WorkloadCase",
+    "get_workload",
+]

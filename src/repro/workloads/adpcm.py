@@ -1,0 +1,198 @@
+"""adpcmdec-style loop: ADPCM decoding with predictor/step recurrences.
+
+Models the Mediabench ``adpcmdec`` inner loop: each iteration decodes a
+4-bit delta from the input, reconstructs the difference through the
+current step size with bit-tested conditional adds, clamps the
+predicted value, and steps the quantiser index through a table lookup
+with clamping.  Both ``valpred`` and ``index`` are control-laced
+recurrences (the index recurrence contains a load), which is what makes
+this loop's SCC structure sensitive to dependence-analysis precision --
+the Section 5.2 case study toggles exactly that
+(``AdpcmWorkload`` + ``AliasMode.CONSERVATIVE`` reproduces the
+"spurious dependences" variant).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+VP_MAX = 32767
+VP_MIN = -32768
+
+
+def _decode(deltas: list[int]) -> list[int]:
+    """Reference ADPCM decode (oracle)."""
+    valpred, index = 0, 0
+    out = []
+    for delta in deltas:
+        step = STEP_TABLE[index]
+        diff = step >> 3
+        if delta & 4:
+            diff += step
+        if delta & 2:
+            diff += step >> 1
+        if delta & 1:
+            diff += step >> 2
+        if delta & 8:
+            valpred -= diff
+        else:
+            valpred += diff
+        valpred = max(VP_MIN, min(VP_MAX, valpred))
+        index += INDEX_TABLE[delta & 7]
+        index = max(0, min(len(STEP_TABLE) - 1, index))
+        out.append(valpred & 0xFFFF)
+    return out
+
+
+class AdpcmWorkload(Workload):
+    """adpcmdec-style decoder loop."""
+
+    name = "adpcmdec"
+    paper_benchmark = "adpcmdec"
+    loop_nest = 1
+    exec_fraction = 0.98
+    default_scale = 1500
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        deltas = [rng.randrange(16) for _ in range(scale)]
+        in_base = memory.store_array(deltas)
+        step_base = memory.store_array(STEP_TABLE)
+        # INDEX_TABLE has negatives; store biased? values fit as ints.
+        idx_base = memory.store_array(INDEX_TABLE)
+        out_base = memory.alloc(scale)
+
+        b = IRBuilder(self.name)
+        r_i, r_n = b.reg(), b.reg()
+        r_in, r_steps, r_idxtab, r_out = b.reg(), b.reg(), b.reg(), b.reg()
+        r_delta, r_step, r_diff, r_t = b.reg(), b.reg(), b.reg(), b.reg()
+        r_valpred, r_index = b.reg(), b.reg()
+        r_addr, r_oaddr, r_word = b.reg(), b.reg(), b.reg()
+        p_done, p_b4, p_b2, p_b1, p_sign = (b.pred() for _ in range(5))
+        p_hi, p_lo, p_ihi, p_ilo = (b.pred() for _ in range(4))
+
+        affine_in = {"affine": True, "affine_base": "in"}
+        affine_out = {"affine": True, "affine_base": "out"}
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_valpred, imm=0)
+        b.mov(r_index, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.add(r_addr, r_in, r_i)
+        b.load(r_delta, r_addr, offset=0, region="in", attrs=dict(affine_in))
+        b.add(r_t, r_steps, r_index)
+        b.load(r_step, r_t, offset=0, region="steptab")
+        b.shr(r_diff, r_step, imm=3)
+        b.and_(r_t, r_delta, imm=4)
+        b.cmp_ne(p_b4, r_t, imm=0)
+        b.br(p_b4, "add4", "skip4")
+        b.block("add4")
+        b.add(r_diff, r_diff, r_step)
+        b.jmp("skip4")
+        b.block("skip4")
+        b.and_(r_t, r_delta, imm=2)
+        b.cmp_ne(p_b2, r_t, imm=0)
+        b.br(p_b2, "add2", "skip2")
+        b.block("add2")
+        b.shr(r_t, r_step, imm=1)
+        b.add(r_diff, r_diff, r_t)
+        b.jmp("skip2")
+        b.block("skip2")
+        b.and_(r_t, r_delta, imm=1)
+        b.cmp_ne(p_b1, r_t, imm=0)
+        b.br(p_b1, "add1", "skip1")
+        b.block("add1")
+        b.shr(r_t, r_step, imm=2)
+        b.add(r_diff, r_diff, r_t)
+        b.jmp("skip1")
+        b.block("skip1")
+        b.and_(r_t, r_delta, imm=8)
+        b.cmp_ne(p_sign, r_t, imm=0)
+        b.br(p_sign, "negate", "posit")
+        b.block("negate")
+        b.sub(r_valpred, r_valpred, r_diff)
+        b.jmp("clamp")
+        b.block("posit")
+        b.add(r_valpred, r_valpred, r_diff)
+        b.jmp("clamp")
+        b.block("clamp")
+        b.cmp_gt(p_hi, r_valpred, imm=VP_MAX)
+        b.br(p_hi, "clamp_hi", "check_lo")
+        b.block("clamp_hi")
+        b.mov(r_valpred, imm=VP_MAX)
+        b.jmp("index_step")
+        b.block("check_lo")
+        b.cmp_lt(p_lo, r_valpred, imm=VP_MIN)
+        b.br(p_lo, "clamp_lo", "index_step")
+        b.block("clamp_lo")
+        b.mov(r_valpred, imm=VP_MIN)
+        b.jmp("index_step")
+        b.block("index_step")
+        b.and_(r_t, r_delta, imm=7)
+        b.add(r_t, r_idxtab, r_t)
+        b.load(r_t, r_t, offset=0, region="idxtab")
+        b.add(r_index, r_index, r_t)
+        b.cmp_lt(p_ilo, r_index, imm=0)
+        b.br(p_ilo, "index_floor", "index_hi")
+        b.block("index_floor")
+        b.mov(r_index, imm=0)
+        b.jmp("emit")
+        b.block("index_hi")
+        b.cmp_gt(p_ihi, r_index, imm=len(STEP_TABLE) - 1)
+        b.br(p_ihi, "index_ceil", "emit")
+        b.block("index_ceil")
+        b.mov(r_index, imm=len(STEP_TABLE) - 1)
+        b.jmp("emit")
+        b.block("emit")
+        b.and_(r_word, r_valpred, imm=0xFFFF)
+        b.add(r_oaddr, r_out, r_i)
+        b.store(r_word, r_oaddr, offset=0, region="out", attrs=dict(affine_out))
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.ret()
+        function = b.done()
+
+        expected = _decode(deltas)
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.load_array(out_base, scale)
+            if got != expected:
+                first = next(
+                    i for i, (g, e) in enumerate(zip(got, expected)) if g != e
+                )
+                raise AssertionError(
+                    f"{self.name}: out[{first}] = {got[first]}, "
+                    f"expected {expected[first]}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_i: 0, r_n: scale, r_in: in_base, r_steps: step_base,
+                          r_idxtab: idx_base, r_out: out_base},
+            checker=checker,
+        )

@@ -1,0 +1,128 @@
+"""188.ammp-style loop: linked-list walk with floating-point updates.
+
+Models ammp's ``mm_fv_update_nonbon``-style traversal: a pointer walk
+over heap-allocated atom records, loading charge/force fields,
+computing a dependent floating-point chain, writing a force field back,
+and accumulating a potential.  Two recurrences (the chase and the
+accumulator) plus heavy per-iteration FP work make it a classic DSWP
+target: the chase decouples from the FP body.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+ATOM_WORDS = 24
+OFF_NEXT = 0
+OFF_Q = 8
+OFF_FX = 9
+OFF_FY = 10
+
+MASK = (1 << 32) - 1
+
+
+def _fp_chain(q: int, fx: int, fy: int) -> tuple[int, int]:
+    """Oracle for one atom's update: (new fx, potential contribution)."""
+    k = (q * 3 + 5) & MASK
+    e = (k * fx) & MASK
+    e = (e + fy * q) & MASK
+    new_fx = (fx + (e >> 4)) & MASK
+    return new_fx, e & 0xFFFF
+
+
+class AmmpWorkload(Workload):
+    """188.ammp-style atom-list loop."""
+
+    name = "ammp"
+    paper_benchmark = "188.ammp"
+    loop_nest = 1
+    exec_fraction = 0.85
+    default_scale = 1200
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        atoms = [memory.alloc(ATOM_WORDS, align=16) for _ in range(scale)]
+        rng.shuffle(atoms)
+        fields = {}
+        for addr in atoms:
+            q = rng.randrange(1 << 8)
+            fx = rng.randrange(1 << 10)
+            fy = rng.randrange(1 << 10)
+            fields[addr] = (q, fx, fy)
+            memory.write(addr + OFF_Q, q)
+            memory.write(addr + OFF_FX, fx)
+            memory.write(addr + OFF_FY, fy)
+        for cur, nxt in zip(atoms, atoms[1:]):
+            memory.write(cur + OFF_NEXT, nxt)
+        memory.write(atoms[-1] + OFF_NEXT, 0)
+        result_addr = memory.alloc(1)
+
+        b = IRBuilder(self.name)
+        r_atom, r_acc, r_res = b.reg(), b.reg(), b.reg()
+        r_q, r_fx, r_fy = b.reg(), b.reg(), b.reg()
+        r_k, r_e, r_t, r_nfx = b.reg(), b.reg(), b.reg(), b.reg()
+        p_done = b.pred()
+        affine = {"affine": True, "affine_base": "atom"}
+
+        b.block("entry", entry=True)
+        b.mov(r_acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_eq(p_done, r_atom, imm=0)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.load(r_q, r_atom, offset=OFF_Q, region="atom.q", attrs=dict(affine))
+        b.load(r_fx, r_atom, offset=OFF_FX, region="atom.fx", attrs=dict(affine))
+        b.load(r_fy, r_atom, offset=OFF_FY, region="atom.fy", attrs=dict(affine))
+        b.fmul(r_k, r_q, imm=3)
+        b.fadd(r_k, r_k, imm=5)
+        b.and_(r_k, r_k, imm=MASK)
+        b.fmul(r_e, r_k, r_fx)
+        b.and_(r_e, r_e, imm=MASK)
+        b.fmul(r_t, r_fy, r_q)
+        b.fadd(r_e, r_e, r_t)
+        b.and_(r_e, r_e, imm=MASK)
+        b.shr(r_t, r_e, imm=4)
+        b.fadd(r_nfx, r_fx, r_t)
+        b.and_(r_nfx, r_nfx, imm=MASK)
+        b.store(r_nfx, r_atom, offset=OFF_FX, region="atom.fx", attrs=dict(affine))
+        b.and_(r_t, r_e, imm=0xFFFF)
+        b.fadd(r_acc, r_acc, r_t)
+        b.and_(r_acc, r_acc, imm=MASK)
+        b.load(r_atom, r_atom, offset=OFF_NEXT, region="atom.next", attrs=dict(affine))
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_acc, r_res, offset=0, region="result")
+        b.ret()
+        function = b.done()
+
+        expected_acc = 0
+        expected_fx = {}
+        for addr in atoms:
+            q, fx, fy = fields[addr]
+            nfx, contrib = _fp_chain(q, fx, fy)
+            expected_fx[addr + OFF_FX] = nfx
+            expected_acc = (expected_acc + contrib) & MASK
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.read(result_addr)
+            if got != expected_acc:
+                raise AssertionError(
+                    f"{self.name}: acc = {got}, expected {expected_acc}"
+                )
+            for addr, value in expected_fx.items():
+                if mem.read(addr) != value:
+                    raise AssertionError(f"{self.name}: fx @{addr:#x} mismatch")
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_atom: atoms[0], r_res: result_addr},
+            checker=checker,
+        )

@@ -1,0 +1,152 @@
+"""179.art-style loop: dot-product accumulation (Fig. 11 of the paper).
+
+::
+
+    for (ti = 0; ti < numf1s; ti++)
+        Y[tj].y += f_layer[ti].p * bus[ti][tj];
+
+The floating-point accumulator is a loop recurrence; the two streaming
+loads and the multiply are per-iteration work.  Section 5.3 shows that
+*accumulator expansion* on the summing variable splits the single
+accumulation recurrence into several independent ones, increasing the
+SCC count and the DSWP speedup (and the baseline's, via better
+scheduling).  ``ArtWorkload(expanded=True)`` builds the 4-way expanded
+variant used by that case study.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+MASK = (1 << 32) - 1
+
+
+class ArtWorkload(Workload):
+    """179.art-style reduction loop."""
+
+    name = "art"
+    paper_benchmark = "179.art"
+    loop_nest = 2
+    exec_fraction = 0.48
+    default_scale = 2000
+
+    def __init__(self, expanded: bool = False) -> None:
+        self.expanded = expanded
+        if expanded:
+            self.name = "art-expanded"
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        if self.expanded:
+            scale -= scale % 4
+        memory = Memory()
+        p_vals = [rng.randrange(1 << 10) for _ in range(scale)]
+        bus_vals = [rng.randrange(1 << 10) for _ in range(scale)]
+        p_base = memory.store_array(p_vals)
+        bus_base = memory.store_array(bus_vals)
+        result_addr = memory.alloc(1)
+        expected = sum(p * v for p, v in zip(p_vals, bus_vals)) & MASK
+
+        builder = self._build_expanded if self.expanded else self._build_plain
+        function, initial = builder(scale, p_base, bus_base, result_addr)
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.read(result_addr) & MASK
+            if got != expected:
+                raise AssertionError(
+                    f"{self.name}: sum = {got}, expected {expected}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs=initial,
+            checker=checker,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_plain(self, scale, p_base, bus_base, result_addr):
+        b = IRBuilder(self.name)
+        r_i, r_n = b.reg(), b.reg()
+        r_p, r_bus, r_acc = b.reg(), b.reg(), b.reg()
+        r_pv, r_bv, r_prod = b.reg(), b.reg(), b.reg()
+        r_pa, r_ba, r_res = b.reg(), b.reg(), b.reg()
+        p_done = b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.add(r_pa, r_p, r_i)
+        b.load(r_pv, r_pa, offset=0, region="f_layer",
+               attrs={"affine": True, "affine_base": "f"})
+        b.add(r_ba, r_bus, r_i)
+        b.load(r_bv, r_ba, offset=0, region="bus",
+               attrs={"affine": True, "affine_base": "b"})
+        b.fmul(r_prod, r_pv, r_bv)
+        b.fadd(r_acc, r_acc, r_prod)
+        b.and_(r_acc, r_acc, imm=MASK)
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_acc, r_res, offset=0, region="result")
+        b.ret()
+        function = b.done()
+        initial = {r_i: 0, r_n: scale, r_p: p_base, r_bus: bus_base,
+                   r_res: result_addr}
+        return function, initial
+
+    def _build_expanded(self, scale, p_base, bus_base, result_addr):
+        """4-way accumulator expansion: the loop runs 4 elements per
+        iteration into 4 independent accumulators, summed after the
+        loop (Section 5.3)."""
+        b = IRBuilder(self.name)
+        r_i, r_n = b.reg(), b.reg()
+        r_p, r_bus, r_res = b.reg(), b.reg(), b.reg()
+        accs = [b.reg() for _ in range(4)]
+        p_done = b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        for acc in accs:
+            b.mov(acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        for lane, acc in enumerate(accs):
+            r_pa, r_ba = b.reg(), b.reg()
+            r_pv, r_bv, r_prod = b.reg(), b.reg(), b.reg()
+            b.add(r_pa, r_p, r_i)
+            b.load(r_pv, r_pa, offset=lane, region="f_layer",
+                   attrs={"affine": True, "affine_base": f"f{lane}"})
+            b.add(r_ba, r_bus, r_i)
+            b.load(r_bv, r_ba, offset=lane, region="bus",
+                   attrs={"affine": True, "affine_base": f"b{lane}"})
+            b.fmul(r_prod, r_pv, r_bv)
+            b.fadd(acc, acc, r_prod)
+            b.and_(acc, acc, imm=MASK)
+        b.add(r_i, r_i, imm=4)
+        b.jmp("header")
+        b.block("exit")
+        r_total = b.reg()
+        b.fadd(r_total, accs[0], accs[1])
+        b.fadd(r_total, r_total, accs[2])
+        b.fadd(r_total, r_total, accs[3])
+        b.and_(r_total, r_total, imm=MASK)
+        b.store(r_total, r_res, offset=0, region="result")
+        b.ret()
+        function = b.done()
+        initial = {r_i: 0, r_n: scale, r_p: p_base, r_bus: bus_base,
+                   r_res: result_addr}
+        return function, initial

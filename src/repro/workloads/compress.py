@@ -1,0 +1,108 @@
+"""129.compress-style loop: byte-stream hashing/encoding (DOALL).
+
+Models the selected 129.compress loop: each iteration reads one input
+byte, mixes it through a hash, looks the hash up in a code table
+(data-dependent, scattered access), combines, and writes one output
+word.  There is no cross-iteration dependence besides the induction
+variable -- the paper notes this loop (like 179.art and jpegenc) is
+actually DOALL, and that DSWP still applies, pipelining the index/load
+front-end against the hash/lookup back-end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+TABLE_SIZE = 1 << 15
+HASH_MULT = 65599
+
+
+def _oracle(byte: int, table: list[int]) -> int:
+    h = (byte * HASH_MULT) & (TABLE_SIZE - 1)
+    code = table[h]
+    mixed = (code ^ (byte << 4)) + byte
+    return mixed & 0xFFFFFF
+
+
+class CompressWorkload(Workload):
+    """129.compress-style hashing loop."""
+
+    name = "compress"
+    paper_benchmark = "129.compress"
+    loop_nest = 1
+    exec_fraction = 0.57
+    default_scale = 2000
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        data = [rng.randrange(256) for _ in range(scale)]
+        table = [rng.randrange(1 << 16) for _ in range(TABLE_SIZE)]
+        in_base = memory.store_array(data)
+        table_base = memory.store_array(table)
+        out_base = memory.alloc(scale)
+
+        b = IRBuilder(self.name)
+        r_i = b.reg()
+        r_n = b.reg()
+        r_in = b.reg()
+        r_tab = b.reg()
+        r_out = b.reg()
+        r_c = b.reg()
+        r_h = b.reg()
+        r_code = b.reg()
+        r_mix = b.reg()
+        r_addr = b.reg()
+        r_oaddr = b.reg()
+        p_done = b.pred()
+
+        affine_in = {"affine": True, "affine_base": "in"}
+        affine_out = {"affine": True, "affine_base": "out"}
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.add(r_addr, r_in, r_i)
+        b.load(r_c, r_addr, offset=0, region="in", attrs=affine_in)
+        b.mul(r_h, r_c, imm=HASH_MULT)
+        b.and_(r_h, r_h, imm=TABLE_SIZE - 1)
+        b.add(r_h, r_tab, r_h)
+        b.load(r_code, r_h, offset=0, region="table")
+        b.shl(r_mix, r_c, imm=4)
+        b.xor(r_mix, r_code, r_mix)
+        b.add(r_mix, r_mix, r_c)
+        b.and_(r_mix, r_mix, imm=0xFFFFFF)
+        b.add(r_oaddr, r_out, r_i)
+        b.store(r_mix, r_oaddr, offset=0, region="out", attrs=affine_out)
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.ret()
+        function = b.done()
+
+        expected = [_oracle(c, table) for c in data]
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.load_array(out_base, scale)
+            if got != expected:
+                first = next(i for i, (g, e) in enumerate(zip(got, expected)) if g != e)
+                raise AssertionError(
+                    f"{self.name}: out[{first}] = {got[first]}, expected {expected[first]}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_i: 0, r_n: scale, r_in: in_base,
+                          r_tab: table_base, r_out: out_base},
+            checker=checker,
+        )

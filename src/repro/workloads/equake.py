@@ -1,0 +1,91 @@
+"""183.equake-style loop: sparse matrix-vector accumulation.
+
+Models equake's ``smvp`` inner work: walk the nonzeros of a sparse
+matrix, load the coefficient and the column index, gather the vector
+element through the index (scattered, cache-hostile), and accumulate
+``coef * v[col]`` into a floating-point sum.  The gather gives the
+consumer stage variable latency; the accumulator is the recurrence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+MASK = (1 << 32) - 1
+
+
+class EquakeWorkload(Workload):
+    """183.equake-style sparse matvec loop."""
+
+    name = "equake"
+    paper_benchmark = "183.equake"
+    loop_nest = 2
+    exec_fraction = 0.63
+    default_scale = 2000
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        vec_size = 1 << 14
+        coefs = [rng.randrange(1 << 10) for _ in range(scale)]
+        cols = [rng.randrange(vec_size) for _ in range(scale)]
+        vec = [rng.randrange(1 << 10) for _ in range(vec_size)]
+        coef_base = memory.store_array(coefs)
+        col_base = memory.store_array(cols)
+        vec_base = memory.store_array(vec)
+        result_addr = memory.alloc(1)
+        expected = sum(c * vec[j] for c, j in zip(coefs, cols)) & MASK
+
+        b = IRBuilder(self.name)
+        r_i, r_n = b.reg(), b.reg()
+        r_coef_base, r_col_base, r_vec_base, r_res = b.reg(), b.reg(), b.reg(), b.reg()
+        r_ca, r_ja = b.reg(), b.reg()
+        r_c, r_j, r_va, r_v, r_prod, r_acc = (
+            b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(),
+        )
+        p_done = b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.add(r_ca, r_coef_base, r_i)
+        b.load(r_c, r_ca, offset=0, region="coef",
+               attrs={"affine": True, "affine_base": "coef"})
+        b.add(r_ja, r_col_base, r_i)
+        b.load(r_j, r_ja, offset=0, region="col",
+               attrs={"affine": True, "affine_base": "col"})
+        b.add(r_va, r_vec_base, r_j)
+        b.load(r_v, r_va, offset=0, region="vec")
+        b.fmul(r_prod, r_c, r_v)
+        b.fadd(r_acc, r_acc, r_prod)
+        b.and_(r_acc, r_acc, imm=MASK)
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_acc, r_res, offset=0, region="result")
+        b.ret()
+        function = b.done()
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.read(result_addr)
+            if got != expected:
+                raise AssertionError(f"{self.name}: sum = {got}, expected {expected}")
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_i: 0, r_n: scale, r_coef_base: coef_base,
+                          r_col_base: col_base, r_vec_base: vec_base,
+                          r_res: result_addr},
+            checker=checker,
+        )

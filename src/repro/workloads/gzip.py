@@ -1,0 +1,105 @@
+"""164.gzip-style loop: a single giant SCC (Section 5.4 case study).
+
+In gzip's ``deflate_fast`` loop the computation of the loop-termination
+condition is highly serialised: the hash chain that decides whether to
+continue also consumes the match work of the iteration, so the whole
+loop collapses into one SCC and DSWP is not applicable (the paper
+proposes speculative loop-termination as future work).
+
+This workload reconstructs that pathology: a hash walk whose next
+input *address* depends on the full body computation, so every
+instruction participates in the termination recurrence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+MASK = (1 << 16) - 1
+PRIME = 40503
+
+
+def _oracle(data: list[int], seed: int, limit: int) -> tuple[int, int]:
+    h = seed
+    steps = 0
+    while h != 0 and steps < limit:
+        h = ((h * PRIME) + data[h & (len(data) - 1)]) & MASK
+        h ^= h >> 5
+        steps += 1
+    return h, steps
+
+
+class GzipWorkload(Workload):
+    """164.gzip-style serialised hash walk."""
+
+    name = "gzip"
+    paper_benchmark = "164.gzip"
+    loop_nest = 1
+    exec_fraction = 0.5
+    default_scale = 1024  # data size; also bounds the walk length
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        # The hash window is far larger than the caches (gzip's real
+        # 32-64KB window plus aged heap), so the walk's loads miss.
+        size = 1 << max((scale * 16).bit_length(), 14)
+        memory = Memory()
+        data = [rng.randrange(1 << 12) for _ in range(size)]
+        data_base = memory.store_array(data)
+        out_base = memory.alloc(2)
+        seed = rng.randrange(1, MASK)
+        limit = scale
+
+        b = IRBuilder(self.name)
+        r_h, r_steps, r_limit = b.reg(), b.reg(), b.reg()
+        r_base, r_out = b.reg(), b.reg()
+        r_addr, r_v, r_t = b.reg(), b.reg(), b.reg()
+        p_zero, p_limit = b.pred(), b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_steps, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_eq(p_zero, r_h, imm=0)
+        b.br(p_zero, "exit", "check_limit")
+        b.block("check_limit")
+        b.cmp_ge(p_limit, r_steps, r_limit)
+        b.br(p_limit, "exit", "body")
+        b.block("body")
+        b.and_(r_addr, r_h, imm=size - 1)
+        b.add(r_addr, r_base, r_addr)
+        b.load(r_v, r_addr, offset=0, region="window")
+        b.mul(r_h, r_h, imm=PRIME)
+        b.add(r_h, r_h, r_v)
+        b.and_(r_h, r_h, imm=MASK)
+        b.shr(r_t, r_h, imm=5)
+        b.xor(r_h, r_h, r_t)
+        b.add(r_steps, r_steps, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_h, r_out, offset=0, region="result")
+        b.store(r_steps, r_out, offset=1, region="result")
+        b.ret()
+        function = b.done()
+
+        final_h, steps = _oracle(data, seed, limit)
+
+        def checker(mem: Memory, regs) -> None:
+            got = (mem.read(out_base), mem.read(out_base + 1))
+            if got != (final_h, steps):
+                raise AssertionError(
+                    f"{self.name}: (h, steps) = {got}, expected {(final_h, steps)}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_h: seed, r_steps: 0, r_limit: limit,
+                          r_base: data_base, r_out: out_base},
+            checker=checker,
+        )

@@ -1,0 +1,147 @@
+"""gzip-match: a deflate_fast-shaped loop for the speculation study.
+
+Extends the 164.gzip-style hash walk with the parts the paper's §5.4
+discussion is really about: each iteration probes a *match table*
+through the hash (a second dependent load stream), terminates when the
+probe hits the sentinel (so termination detection depends on the
+iteration's full work), and emits one output word per completed
+iteration.
+
+Plain DSWP cannot touch this loop: the exit branches' control
+dependences tie the hash recurrence, the probe, and the emission into
+one giant SCC.  :func:`repro.core.speculation.speculative_dswp`
+speculates past the exits, keeps the minimal hash recurrence on the
+producer core, and moves the probe, the detection, and the stores to
+the consumer -- overlapping the two miss streams that the sequential
+loop serialises.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+MASK = (1 << 16) - 1
+PRIME = 40503
+SENTINEL = 0
+
+
+def _oracle(window: list[int], match: list[int], seed: int,
+            limit: int) -> tuple[int, int, list[int]]:
+    h = seed
+    steps = 0
+    out: list[int] = []
+    wmask = len(window) - 1
+    mmask = len(match) - 1
+    while True:
+        if h == 0 or steps >= limit:
+            break
+        h = ((h * PRIME) + window[h & wmask]) & MASK
+        h ^= h >> 5
+        q = match[(h >> 2) & mmask]
+        if q == SENTINEL:
+            break
+        out.append((q ^ h) & MASK)
+        steps += 1
+    return h, steps, out
+
+
+class GzipMatchWorkload(Workload):
+    """deflate_fast-style loop: hash walk + match probe + emission."""
+
+    name = "gzip-match"
+    paper_benchmark = "164.gzip (deflate_fast shape)"
+    loop_nest = 1
+    exec_fraction = 0.5
+    default_scale = 800
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        wsize = 1 << max((scale * 16).bit_length(), 14)
+        msize = 1 << max((scale * 8).bit_length(), 13)
+        memory = Memory()
+        window = [rng.randrange(1 << 12) for _ in range(wsize)]
+        # Sparse sentinels so some runs exit via the match probe.
+        match = [
+            SENTINEL if rng.random() < 0.0005 else rng.randrange(1, 1 << 12)
+            for _ in range(msize)
+        ]
+        window_base = memory.store_array(window)
+        match_base = memory.store_array(match)
+        out_base = memory.alloc(scale + 2)
+        res_base = memory.alloc(2)
+        seed = rng.randrange(1, MASK)
+        limit = scale
+
+        b = IRBuilder(self.name)
+        r_h, r_steps, r_limit = b.reg(), b.reg(), b.reg()
+        r_win, r_match, r_outbuf, r_res = b.reg(), b.reg(), b.reg(), b.reg()
+        r_addr, r_v, r_t = b.reg(), b.reg(), b.reg()
+        r_mi, r_q, r_w, r_oaddr = b.reg(), b.reg(), b.reg(), b.reg()
+        p_zero, p_limit, p_match = b.pred(), b.pred(), b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_steps, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_eq(p_zero, r_h, imm=0)
+        b.br(p_zero, "exit", "check_limit")
+        b.block("check_limit")
+        b.cmp_ge(p_limit, r_steps, r_limit)
+        b.br(p_limit, "exit", "body")
+        b.block("body")
+        b.and_(r_addr, r_h, imm=wsize - 1)
+        b.add(r_addr, r_win, r_addr)
+        b.load(r_v, r_addr, offset=0, region="window")
+        b.mul(r_h, r_h, imm=PRIME)
+        b.add(r_h, r_h, r_v)
+        b.and_(r_h, r_h, imm=MASK)
+        b.shr(r_t, r_h, imm=5)
+        b.xor(r_h, r_h, r_t)
+        b.shr(r_mi, r_h, imm=2)
+        b.and_(r_mi, r_mi, imm=msize - 1)
+        b.add(r_mi, r_match, r_mi)
+        b.load(r_q, r_mi, offset=0, region="match")
+        b.cmp_eq(p_match, r_q, imm=SENTINEL)
+        b.br(p_match, "exit", "emit")
+        b.block("emit")
+        b.xor(r_w, r_q, r_h)
+        b.and_(r_w, r_w, imm=MASK)
+        b.add(r_oaddr, r_outbuf, r_steps)
+        b.store(r_w, r_oaddr, offset=0, region="outbuf")
+        b.add(r_steps, r_steps, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_h, r_res, offset=0, region="result")
+        b.store(r_steps, r_res, offset=1, region="result")
+        b.ret()
+        function = b.done()
+
+        final_h, steps, out = _oracle(window, match, seed, limit)
+
+        def checker(mem: Memory, regs) -> None:
+            got = (mem.read(res_base), mem.read(res_base + 1))
+            if got != (final_h, steps):
+                raise AssertionError(
+                    f"{self.name}: (h, steps) = {got}, "
+                    f"expected {(final_h, steps)}"
+                )
+            emitted = mem.load_array(out_base, len(out))
+            if emitted != out:
+                first = next(
+                    i for i, (g, e) in enumerate(zip(emitted, out)) if g != e
+                )
+                raise AssertionError(f"{self.name}: out[{first}] mismatch")
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_h: seed, r_steps: 0, r_limit: limit,
+                          r_win: window_base, r_match: match_base,
+                          r_outbuf: out_base, r_res: res_base},
+            checker=checker,
+        )

@@ -1,0 +1,98 @@
+"""jpegenc-style loop: DCT-coefficient quantisation (DOALL).
+
+Models jpegenc's quantisation sweep: each iteration loads a
+coefficient, loads the quantisation-table entry for its position
+within the 8x8 block, multiplies, rounds by shifting, and stores the
+quantised value to the output.  Like 129.compress and 179.art this
+loop is DOALL (Table 1's footnote), and DSWP pipelines the streaming
+front-end against the multiply/round back-end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+QUANT_SHIFT = 6
+BLOCK_MASK = 63
+
+
+def _oracle(coefs: list[int], qtab: list[int]) -> list[int]:
+    return [
+        ((c * qtab[i & BLOCK_MASK]) >> QUANT_SHIFT) & 0xFFFF
+        for i, c in enumerate(coefs)
+    ]
+
+
+class JpegWorkload(Workload):
+    """jpegenc-style quantisation loop."""
+
+    name = "jpegenc"
+    paper_benchmark = "jpegenc"
+    loop_nest = 2
+    exec_fraction = 0.45
+    default_scale = 2000
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        coefs = [rng.randrange(1 << 11) for _ in range(scale)]
+        qtab = [rng.randrange(1, 64) for _ in range(BLOCK_MASK + 1)]
+        coef_base = memory.store_array(coefs)
+        qtab_base = memory.store_array(qtab)
+        out_base = memory.alloc(scale)
+
+        b = IRBuilder(self.name)
+        r_i, r_n = b.reg(), b.reg()
+        r_coef, r_qtab, r_out = b.reg(), b.reg(), b.reg()
+        r_addr, r_c, r_qi, r_qa, r_q, r_t, r_oaddr = (
+            b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(),
+        )
+        p_done = b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.add(r_addr, r_coef, r_i)
+        b.load(r_c, r_addr, offset=0, region="coef",
+               attrs={"affine": True, "affine_base": "coef"})
+        b.and_(r_qi, r_i, imm=BLOCK_MASK)
+        b.add(r_qa, r_qtab, r_qi)
+        b.load(r_q, r_qa, offset=0, region="qtab")
+        b.mul(r_t, r_c, r_q)
+        b.shr(r_t, r_t, imm=QUANT_SHIFT)
+        b.and_(r_t, r_t, imm=0xFFFF)
+        b.add(r_oaddr, r_out, r_i)
+        b.store(r_t, r_oaddr, offset=0, region="quant_out",
+                attrs={"affine": True, "affine_base": "out"})
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.ret()
+        function = b.done()
+
+        expected = _oracle(coefs, qtab)
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.load_array(out_base, scale)
+            if got != expected:
+                first = next(
+                    i for i, (g, e) in enumerate(zip(got, expected)) if g != e
+                )
+                raise AssertionError(f"{self.name}: out[{first}] mismatch")
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_i: 0, r_n: scale, r_coef: coef_base,
+                          r_qtab: qtab_base, r_out: out_base},
+            checker=checker,
+        )

@@ -1,0 +1,104 @@
+"""The Fig. 2 running example: sum a list of lists of integers.
+
+The outer loop traverses a linked list whose nodes each point to an
+inner linked list; the inner loop accumulates every element into one
+sum.  DSWP on the *outer* loop produces exactly the paper's two-thread
+pipeline: the outer traversal and inner-list-head fetch feed a consumer
+thread holding the inner traversal and the accumulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+#: Outer node: next at +1, inner-list pointer at +2 (paper's offsets).
+OUTER_WORDS = 8
+#: Inner node: next at +0, value at +3.
+INNER_WORDS = 8
+
+
+class ListOfListsWorkload(Workload):
+    """Fig. 2 list-of-lists sum ('listoflists' in the harness)."""
+
+    name = "listoflists"
+    paper_benchmark = "Fig.2 example"
+    loop_nest = 1
+    exec_fraction = 0.9
+    default_scale = 400
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        total = 0
+        inner_heads = []
+        for _ in range(scale):
+            count = rng.randrange(1, 8)
+            values = [rng.randrange(1 << 12) for _ in range(count)]
+            total += sum(values)
+            nodes = [memory.alloc(INNER_WORDS, align=8) for _ in values]
+            for addr, value in zip(nodes, values):
+                memory.write(addr + 3, value)
+            for cur, nxt in zip(nodes, nodes[1:]):
+                memory.write(cur, nxt)
+            memory.write(nodes[-1], 0)
+            inner_heads.append(nodes[0])
+        outer_nodes = [memory.alloc(OUTER_WORDS, align=8) for _ in inner_heads]
+        for addr, inner in zip(outer_nodes, inner_heads):
+            memory.write(addr + 2, inner)
+        for cur, nxt in zip(outer_nodes, outer_nodes[1:]):
+            memory.write(cur + 1, nxt)
+        memory.write(outer_nodes[-1] + 1, 0)
+        result_addr = memory.alloc(1)
+
+        b = IRBuilder(self.name)
+        r1 = b.reg()  # outer pointer
+        r2 = b.reg()  # inner pointer
+        r3 = b.reg()  # element value
+        r0 = b.reg()  # running sum
+        r_out = b.reg()
+        p1 = b.pred()
+        p2 = b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r0, imm=0)
+        b.jmp("BB2")
+        b.block("BB2")
+        b.cmp_eq(p1, r1, imm=0)
+        b.br(p1, "BB7", "BB3")
+        b.block("BB3")
+        b.load(r2, r1, offset=2, region="outer")
+        b.jmp("BB4")
+        b.block("BB4")
+        b.cmp_eq(p2, r2, imm=0)
+        b.br(p2, "BB6", "BB5")
+        b.block("BB5")
+        b.load(r3, r2, offset=3, region="inner")
+        b.add(r0, r0, r3)
+        b.load(r2, r2, offset=0, region="inner")
+        b.jmp("BB4")
+        b.block("BB6")
+        b.load(r1, r1, offset=1, region="outer")
+        b.jmp("BB2")
+        b.block("BB7")
+        b.store(r0, r_out, offset=0, region="result")
+        b.ret()
+        function = b.done()
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.read(result_addr)
+            if got != total:
+                raise AssertionError(
+                    f"{self.name}: sum = {got}, expected {total}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="BB2",
+            memory=memory,
+            initial_regs={r1: outer_nodes[0], r_out: result_addr},
+            checker=checker,
+        )

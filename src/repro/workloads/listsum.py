@@ -1,0 +1,121 @@
+"""The Fig. 1 motivating loop: linked-list traversal with per-node work.
+
+::
+
+    while (ptr = ptr->next) {
+        sum = f(sum, ptr);        // dependent ALU chain on the node
+    }
+
+The traversal load is the loop-critical recurrence (every iteration
+misses: nodes are shuffled in memory like a heap-aged list); the body
+is a dependent ALU chain folding the node into a checksum.  DSWP keeps
+the recurrence on one core (``Iters x Latency``) while DOACROSS bounces
+it between cores (``Iters x (Latency + Comm Latency)``) -- exactly the
+contrast Fig. 1 draws.  The body deliberately performs no memory
+accesses of its own so the pointer chase *is* the critical path; see
+``benchmarks/test_fig1_doacross.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+#: Node stride: nodes are spaced a full L3 line apart so every chase
+#: load is a fresh line (no neighbouring-node prefetch effects).
+NODE_WORDS = 32
+
+MASK = (1 << 32) - 1
+
+
+def _fold(acc: int, ptr: int) -> int:
+    """Oracle for one iteration of the body's ALU chain."""
+    x = (ptr * 3 + 1) & MASK
+    x ^= x >> 3
+    x = (x + acc) & MASK
+    x ^= x << 2 & MASK
+    x = (x * 5) & MASK
+    x = (x + 13) & MASK
+    return x & MASK
+
+
+class ListSumWorkload(Workload):
+    """Fig. 1 linked-list loop ('listtraverse' in the harness)."""
+
+    name = "listtraverse"
+    paper_benchmark = "Fig.1 list traversal"
+    loop_nest = 1
+    exec_fraction = 0.95
+    default_scale = 1500
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        nodes = [memory.alloc(NODE_WORDS, align=32) for _ in range(scale)]
+        rng.shuffle(nodes)
+        for cur, nxt in zip(nodes, nodes[1:]):
+            memory.write(cur, nxt)
+        memory.write(nodes[-1], 0)
+        head_node = memory.alloc(NODE_WORDS, align=32)
+        memory.write(head_node, nodes[0])
+        result_addr = memory.alloc(1)
+
+        b = IRBuilder(self.name)
+        r_ptr = b.reg()
+        r_sum = b.reg()
+        r_x = b.reg()
+        r_t = b.reg()
+        r_res = b.reg()
+        p_done = b.pred()
+
+        b.block("entry", entry=True)
+        b.mov(r_sum, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.load(r_ptr, r_ptr, offset=0, region="node.next")
+        b.cmp_eq(p_done, r_ptr, imm=0)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.mul(r_x, r_ptr, imm=3)
+        b.add(r_x, r_x, imm=1)
+        b.and_(r_x, r_x, imm=MASK)
+        b.shr(r_t, r_x, imm=3)
+        b.xor(r_x, r_x, r_t)
+        b.add(r_x, r_x, r_sum)
+        b.and_(r_x, r_x, imm=MASK)
+        b.shl(r_t, r_x, imm=2)
+        b.and_(r_t, r_t, imm=MASK)
+        b.xor(r_x, r_x, r_t)
+        b.mul(r_x, r_x, imm=5)
+        b.and_(r_x, r_x, imm=MASK)
+        b.add(r_x, r_x, imm=13)
+        # Single definition site for the carried checksum (keeps the
+        # loop in DOACROSS's supported shape for the Fig. 1 bench).
+        b.and_(r_sum, r_x, imm=MASK)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_sum, r_res, offset=0, region="result")
+        b.ret()
+        function = b.done()
+
+        expected = 0
+        for addr in nodes:
+            expected = _fold(expected, addr)
+
+        def checker(mem: Memory, regs) -> None:
+            got = mem.read(result_addr)
+            if got != expected:
+                raise AssertionError(
+                    f"{self.name}: checksum = {got}, expected {expected}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_ptr: head_node, r_res: result_addr},
+            checker=checker,
+        )

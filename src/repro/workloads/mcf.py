@@ -1,0 +1,154 @@
+"""181.mcf-style loop: arc-list scan with conditional reduced-cost update.
+
+Models mcf's price-refresh scan (the loop whose DAG_SCC Fig. 7
+dissects): a pointer walk over a list of arcs, loading several fields
+per arc, computing a reduced cost through the tail/head node
+potentials, and conditionally updating the arc and accumulating.
+
+Recurrences: the ``arc = arc->next`` chase (with the loop test) and the
+accumulator; the field loads, the cost arithmetic, and the conditional
+store are per-iteration work, giving a multi-node DAG_SCC with a range
+of balanced and unbalanced 2-way cuts like the ones the figure sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+#: Arc layout (one arc spans two cache lines, like mcf's 64-byte arcs).
+ARC_WORDS = 16
+OFF_NEXT = 0
+OFF_IDENT = 2
+OFF_COST = 3
+OFF_TAIL = 4
+OFF_HEAD = 5
+OFF_FLOW = 9
+
+#: Node layout.
+NODE_WORDS = 8
+OFF_POTENTIAL = 1
+
+MASK = (1 << 32) - 1
+
+
+def _oracle(arcs: list[dict], potentials: dict[int, int]) -> tuple[dict[int, int], int]:
+    """Final flow-field values and the accumulated negative reduced cost."""
+    flows: dict[int, int] = {}
+    acc = 0
+    for arc in arcs:
+        if arc["ident"] <= 0:
+            continue
+        red = arc["cost"] - potentials[arc["tail"]] + potentials[arc["head"]]
+        if red < 0:
+            flows[arc["addr"] + OFF_FLOW] = red & MASK
+            acc = (acc + red) & MASK
+    return flows, acc
+
+
+class McfWorkload(Workload):
+    """181.mcf-style arc scan."""
+
+    name = "mcf"
+    paper_benchmark = "181.mcf"
+    loop_nest = 1
+    exec_fraction = 0.77
+    default_scale = 1500
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        num_nodes = max(scale // 4, 8)
+        node_addrs = [memory.alloc(NODE_WORDS, align=8) for _ in range(num_nodes)]
+        potentials: dict[int, int] = {}
+        for addr in node_addrs:
+            pot = rng.randrange(1 << 12)
+            potentials[addr] = pot
+            memory.write(addr + OFF_POTENTIAL, pot)
+
+        arc_addrs = [memory.alloc(ARC_WORDS, align=16) for _ in range(scale)]
+        rng.shuffle(arc_addrs)
+        arcs = []
+        for addr in arc_addrs:
+            arc = {
+                "addr": addr,
+                "ident": rng.choice([-1, 1, 1, 2]),
+                "cost": rng.randrange(1 << 12),
+                "tail": rng.choice(node_addrs),
+                "head": rng.choice(node_addrs),
+            }
+            arcs.append(arc)
+            memory.write(addr + OFF_IDENT, arc["ident"])
+            memory.write(addr + OFF_COST, arc["cost"])
+            memory.write(addr + OFF_TAIL, arc["tail"])
+            memory.write(addr + OFF_HEAD, arc["head"])
+        for cur, nxt in zip(arc_addrs, arc_addrs[1:]):
+            memory.write(cur + OFF_NEXT, nxt)
+        memory.write(arc_addrs[-1] + OFF_NEXT, 0)
+        result_addr = memory.alloc(1)
+
+        b = IRBuilder(self.name)
+        r_arc, r_acc, r_res = b.reg(), b.reg(), b.reg()
+        r_ident, r_cost, r_tail, r_head = b.reg(), b.reg(), b.reg(), b.reg()
+        r_tpot, r_hpot, r_red = b.reg(), b.reg(), b.reg()
+        p_done, p_skip, p_neg = b.pred(), b.pred(), b.pred()
+
+        affine_arc = {"affine": True, "affine_base": "arc"}
+
+        b.block("entry", entry=True)
+        b.mov(r_acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_eq(p_done, r_arc, imm=0)
+        b.br(p_done, "exit", "check")
+        b.block("check")
+        b.load(r_ident, r_arc, offset=OFF_IDENT, region="arc.ident", attrs=dict(affine_arc))
+        b.cmp_le(p_skip, r_ident, imm=0)
+        b.br(p_skip, "advance", "compute")
+        b.block("compute")
+        b.load(r_cost, r_arc, offset=OFF_COST, region="arc.cost", attrs=dict(affine_arc))
+        b.load(r_tail, r_arc, offset=OFF_TAIL, region="arc.tail", attrs=dict(affine_arc))
+        b.load(r_head, r_arc, offset=OFF_HEAD, region="arc.head", attrs=dict(affine_arc))
+        b.load(r_tpot, r_tail, offset=OFF_POTENTIAL, region="node.pot")
+        b.load(r_hpot, r_head, offset=OFF_POTENTIAL, region="node.pot")
+        b.sub(r_red, r_cost, r_tpot)
+        b.add(r_red, r_red, r_hpot)
+        b.cmp_lt(p_neg, r_red, imm=0)
+        b.br(p_neg, "update", "advance")
+        b.block("update")
+        b.and_(r_red, r_red, imm=MASK)
+        b.store(r_red, r_arc, offset=OFF_FLOW, region="arc.flow", attrs=dict(affine_arc))
+        b.add(r_acc, r_acc, r_red)
+        b.and_(r_acc, r_acc, imm=MASK)
+        b.jmp("advance")
+        b.block("advance")
+        b.load(r_arc, r_arc, offset=OFF_NEXT, region="arc.next", attrs=dict(affine_arc))
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_acc, r_res, offset=0, region="result")
+        b.ret()
+        function = b.done()
+
+        flows, acc = _oracle(arcs, potentials)
+
+        def checker(mem: Memory, regs) -> None:
+            got_acc = mem.read(result_addr)
+            if got_acc != acc:
+                raise AssertionError(f"{self.name}: acc = {got_acc}, expected {acc}")
+            for addr, value in flows.items():
+                got = mem.read(addr)
+                if got != value:
+                    raise AssertionError(
+                        f"{self.name}: flow @{addr:#x} = {got}, expected {value}"
+                    )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_arc: arc_addrs[0], r_res: result_addr},
+            checker=checker,
+        )

@@ -1,0 +1,56 @@
+"""Workload registry: the benchmark suite of Table 1 plus figure loops."""
+
+from __future__ import annotations
+
+from repro.workloads.adpcm import AdpcmWorkload
+from repro.workloads.ammp import AmmpWorkload
+from repro.workloads.art import ArtWorkload
+from repro.workloads.base import Workload
+from repro.workloads.bzip2 import Bzip2Workload
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.equake import EquakeWorkload
+from repro.workloads.epic import EpicWorkload
+from repro.workloads.gzip import GzipWorkload
+from repro.workloads.gzip_match import GzipMatchWorkload
+from repro.workloads.jpeg import JpegWorkload
+from repro.workloads.listoflists import ListOfListsWorkload
+from repro.workloads.listsum import ListSumWorkload
+from repro.workloads.mcf import McfWorkload
+from repro.workloads.wc import WcWorkload
+
+#: The ten loops of Table 1, in the paper's row order.
+TABLE1_WORKLOADS: list[Workload] = [
+    CompressWorkload(),
+    ArtWorkload(),
+    McfWorkload(),
+    EquakeWorkload(),
+    AmmpWorkload(),
+    Bzip2Workload(),
+    AdpcmWorkload(),
+    EpicWorkload(),
+    JpegWorkload(),
+    WcWorkload(),
+]
+
+#: Figure/case-study loops that are not Table 1 rows.
+EXTRA_WORKLOADS: list[Workload] = [
+    ListSumWorkload(),
+    ListOfListsWorkload(),
+    GzipWorkload(),
+    ArtWorkload(expanded=True),
+    Bzip2Workload(global_bslive=True),
+    GzipMatchWorkload(),
+]
+
+ALL_WORKLOADS: list[Workload] = TABLE1_WORKLOADS + EXTRA_WORKLOADS
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by its harness name."""
+    for workload in ALL_WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise KeyError(
+        f"unknown workload {name!r}; available: "
+        f"{[w.name for w in ALL_WORKLOADS]}"
+    )

@@ -1,0 +1,119 @@
+"""wc-style loop: character classification with an in-word state machine.
+
+The Unix ``wc`` main loop: count characters, words and lines over an
+input buffer.  The word counter depends on an ``in-word`` flag whose
+updates are control dependent on the character class -- a small,
+branchy recurrence that standard DOACROSS techniques cannot touch but
+DSWP pipelines (input streaming vs. classification/counting).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.workloads.base import Workload, WorkloadCase
+
+SPACE, NEWLINE, TAB = 32, 10, 9
+
+
+def _oracle(data: list[int]) -> tuple[int, int, int]:
+    chars = len(data)
+    words = lines = 0
+    inword = 0
+    for c in data:
+        if c == NEWLINE:
+            lines += 1
+        if c in (SPACE, NEWLINE, TAB):
+            inword = 0
+        elif not inword:
+            words += 1
+            inword = 1
+    return chars, words, lines
+
+
+class WcWorkload(Workload):
+    """wc-style counting loop."""
+
+    name = "wc"
+    paper_benchmark = "wc"
+    loop_nest = 1
+    exec_fraction = 0.96
+    default_scale = 3000
+
+    def _build(self, scale: int, rng: random.Random) -> WorkloadCase:
+        memory = Memory()
+        alphabet = [SPACE, NEWLINE, TAB] + [ord("a") + k for k in range(26)]
+        weights = [8, 2, 1] + [3] * 26
+        data = rng.choices(alphabet, weights=weights, k=scale)
+        in_base = memory.store_array(data)
+        out_base = memory.alloc(3)
+
+        b = IRBuilder(self.name)
+        r_i, r_n, r_in, r_out = b.reg(), b.reg(), b.reg(), b.reg()
+        r_c, r_addr = b.reg(), b.reg()
+        r_words, r_lines, r_inword = b.reg(), b.reg(), b.reg()
+        p_done, p_nl, p_sp, p_tb, p_inw = (b.pred() for _ in range(5))
+
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_words, imm=0)
+        b.mov(r_lines, imm=0)
+        b.mov(r_inword, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.add(r_addr, r_in, r_i)
+        b.load(r_c, r_addr, offset=0, region="in",
+               attrs={"affine": True, "affine_base": "in"})
+        b.cmp_eq(p_nl, r_c, imm=NEWLINE)
+        b.br(p_nl, "count_line", "check_space")
+        b.block("count_line")
+        b.add(r_lines, r_lines, imm=1)
+        b.jmp("word_break")
+        b.block("check_space")
+        b.cmp_eq(p_sp, r_c, imm=SPACE)
+        b.br(p_sp, "word_break", "check_tab")
+        b.block("check_tab")
+        b.cmp_eq(p_tb, r_c, imm=TAB)
+        b.br(p_tb, "word_break", "in_word")
+        b.block("word_break")
+        b.mov(r_inword, imm=0)
+        b.jmp("advance")
+        b.block("in_word")
+        b.cmp_eq(p_inw, r_inword, imm=0)
+        b.br(p_inw, "new_word", "advance")
+        b.block("new_word")
+        b.add(r_words, r_words, imm=1)
+        b.mov(r_inword, imm=1)
+        b.jmp("advance")
+        b.block("advance")
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_i, r_out, offset=0, region="counts")
+        b.store(r_words, r_out, offset=1, region="counts")
+        b.store(r_lines, r_out, offset=2, region="counts")
+        b.ret()
+        function = b.done()
+
+        chars, words, lines = _oracle(data)
+
+        def checker(mem: Memory, regs) -> None:
+            got = (mem.read(out_base), mem.read(out_base + 1), mem.read(out_base + 2))
+            if got != (chars, words, lines):
+                raise AssertionError(
+                    f"{self.name}: counts = {got}, expected {(chars, words, lines)}"
+                )
+
+        return WorkloadCase(
+            self.name,
+            function,
+            loop_header="header",
+            memory=memory,
+            initial_regs={r_i: 0, r_n: scale, r_in: in_base, r_out: out_base},
+            checker=checker,
+        )

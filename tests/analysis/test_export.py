@@ -1,0 +1,82 @@
+"""Tests for the Graphviz export helpers."""
+
+from repro.analysis.export import cfg_to_dot, dag_scc_to_dot, pdg_to_dot
+from repro.analysis.pdg import build_dependence_graph
+from repro.core.partition import heuristic_partition
+from repro.ir.loops import find_loop_by_header
+
+
+def _fixture(lol):
+    func, header, _ = lol
+    loop = find_loop_by_header(func, header)
+    graph = build_dependence_graph(func, loop)
+    return func, graph
+
+
+class TestCfgDot:
+    def test_contains_all_blocks_and_edges(self, lol):
+        func, _ = _fixture(lol)
+        dot = cfg_to_dot(func)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for block in func.blocks():
+            assert f'"{block.label}"' in dot
+        assert '"BB2" -> "BB3"' in dot
+        assert '"BB6" -> "BB2"' in dot  # the back edge
+
+    def test_entry_is_bold(self, lol):
+        func, _ = _fixture(lol)
+        assert 'style="bold"' in cfg_to_dot(func)
+
+
+class TestPdgDot:
+    def test_node_per_pdg_instruction(self, lol):
+        func, graph = _fixture(lol)
+        dot = pdg_to_dot(graph)
+        for inst in graph.nodes:
+            assert f"n{inst.uid} [" in dot
+
+    def test_carried_arcs_dashed(self, lol):
+        _, graph = _fixture(lol)
+        dot = pdg_to_dot(graph)
+        assert "style=dashed" in dot
+
+    def test_control_arcs_blue_data_black(self, lol):
+        _, graph = _fixture(lol)
+        dot = pdg_to_dot(graph)
+        assert "color=blue" in dot
+        assert "color=black" in dot
+
+    def test_register_labels_present(self, lol):
+        _, graph = _fixture(lol)
+        assert 'label="r2"' in pdg_to_dot(graph)
+
+
+class TestDagDot:
+    def test_unpartitioned(self, lol):
+        _, graph = _fixture(lol)
+        dag = graph.dag_scc()
+        dot = dag_scc_to_dot(dag)
+        assert dot.count("[label=") == len(dag)
+        assert "fillcolor" not in dot
+
+    def test_partition_colours_stages(self, lol):
+        _, graph = _fixture(lol)
+        dag = graph.dag_scc()
+        partition = heuristic_partition(dag, [1.0] * len(dag), threads=2)
+        dot = dag_scc_to_dot(dag, partition)
+        assert "lightblue" in dot
+        assert "lightyellow" in dot
+
+    def test_edges_rendered(self, lol):
+        _, graph = _fixture(lol)
+        dag = graph.dag_scc()
+        dot = dag_scc_to_dot(dag)
+        assert "scc0 -> " in dot
+
+    def test_quoting_of_special_characters(self, lol):
+        _, graph = _fixture(lol)
+        dot = pdg_to_dot(graph)
+        # Renders memory operands like [r1 + 2] without breaking quoting.
+        assert "\\l" not in dot.split("digraph")[0]
+        assert dot.count('"') % 2 == 0

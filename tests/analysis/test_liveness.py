@@ -1,0 +1,98 @@
+"""Tests for liveness analysis and loop boundary queries."""
+
+from repro.analysis.liveness import (
+    block_use_def,
+    compute_liveness,
+    loop_live_ins,
+    loop_live_outs,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import gen_reg, pred_reg
+
+
+class TestBlockUseDef:
+    def test_upward_exposed_use_only(self):
+        b = IRBuilder("f")
+        r0, r1 = gen_reg(0), gen_reg(1)
+        b.block("entry", entry=True)
+        b.mov(r0, imm=1)       # def r0
+        b.add(r1, r0, imm=1)   # use r0 (local), def r1
+        b.add(r0, r1, r1)      # use r1 (local)
+        b.ret()
+        f = b.done()
+        uses, defs = block_use_def(f.block("entry"))
+        assert uses == set()          # everything defined before use
+        assert defs == {r0, r1}
+
+    def test_use_before_def_is_exposed(self):
+        b = IRBuilder("f")
+        r0 = gen_reg(0)
+        b.block("entry", entry=True)
+        b.add(r0, r0, imm=1)
+        b.ret()
+        f = b.done()
+        uses, defs = block_use_def(f.block("entry"))
+        assert uses == {r0}
+
+
+class TestFunctionLiveness:
+    def test_branch_operand_live_into_block(self):
+        b = IRBuilder("f")
+        p = pred_reg(0)
+        b.block("entry", entry=True)
+        b.br(p, "a", "b")
+        b.block("a")
+        b.ret()
+        b.block("b")
+        b.ret()
+        info = compute_liveness(b.done())
+        assert p in info.live_in["entry"]
+
+    def test_value_live_across_block(self):
+        b = IRBuilder("f")
+        r0, r1 = gen_reg(0), gen_reg(1)
+        b.block("entry", entry=True)
+        b.mov(r0, imm=3)
+        b.jmp("next")
+        b.block("next")
+        b.add(r1, r0, imm=1)
+        b.ret()
+        info = compute_liveness(b.done())
+        assert r0 in info.live_out["entry"]
+        assert r0 in info.live_in["next"]
+        assert r0 not in info.live_out["next"]
+
+    def test_dead_value_not_live(self):
+        b = IRBuilder("f")
+        r0 = gen_reg(0)
+        b.block("entry", entry=True)
+        b.mov(r0, imm=3)
+        b.jmp("next")
+        b.block("next")
+        b.ret()
+        info = compute_liveness(b.done())
+        assert r0 not in info.live_out["entry"]
+
+
+class TestLoopBoundary:
+    def test_counted_loop_live_ins_and_outs(self, counted):
+        func, header, regs = counted
+        loop = find_loop_by_header(func, header)
+        info = compute_liveness(func)
+        ins = loop_live_ins(func, loop, info)
+        outs = loop_live_outs(func, loop, info)
+        # i/acc enter (initialised outside); n, base are invariants.
+        assert regs["i"] in ins
+        assert regs["acc"] in ins
+        assert regs["n"] in ins
+        assert regs["base"] in ins
+        # Only the accumulator is read after the loop.
+        assert outs == {regs["acc"]}
+
+    def test_loop_live_out_requires_definition_inside(self, counted):
+        func, header, regs = counted
+        loop = find_loop_by_header(func, header)
+        info = compute_liveness(func)
+        outs = loop_live_outs(func, loop, info)
+        assert regs["out"] not in outs  # used after loop but defined outside

@@ -1,0 +1,110 @@
+"""Tests for the region-based may-alias model."""
+
+from repro.analysis.memdep import AliasMode, AliasModel, needs_ordering
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+
+
+def load(region=None, imm=0, attrs=None):
+    return Instruction(Opcode.LOAD, dest=gen_reg(0), srcs=[gen_reg(1)],
+                       imm=imm, region=region, attrs=attrs)
+
+
+def store(region=None, imm=0, attrs=None):
+    return Instruction(Opcode.STORE, srcs=[gen_reg(0), gen_reg(1)],
+                       imm=imm, region=region, attrs=attrs)
+
+
+def call(pure=False):
+    return Instruction(Opcode.CALL, attrs={"callee": "f", "pure": pure})
+
+
+class TestConservative:
+    def test_everything_aliases(self):
+        m = AliasModel(AliasMode.CONSERVATIVE)
+        assert m.may_alias(load("a"), store("b"))
+        assert m.conflicts_cross_iteration(load("a"), store("b"))
+
+    def test_affine_annotations_ignored(self):
+        m = AliasModel(AliasMode.CONSERVATIVE)
+        attrs = {"affine": True, "affine_base": "x"}
+        assert m.conflicts_cross_iteration(
+            store("a", attrs=attrs), load("a", attrs=attrs)
+        )
+
+
+class TestRegions:
+    def test_distinct_regions_never_alias(self):
+        m = AliasModel()
+        assert not m.may_alias(load("a"), store("b"))
+
+    def test_same_region_may_alias(self):
+        m = AliasModel()
+        assert m.may_alias(load("a"), store("a"))
+
+    def test_missing_region_aliases_everything(self):
+        m = AliasModel()
+        assert m.may_alias(load(None), store("a"))
+        assert m.may_alias(load("a"), store(None))
+
+    def test_non_memory_never_aliases(self):
+        m = AliasModel()
+        add = Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=1)
+        assert not m.may_alias(add, store("a"))
+
+
+class TestAffine:
+    ATTRS = {"affine": True, "affine_base": "arr"}
+
+    def test_same_base_same_offset_intra_only(self):
+        m = AliasModel()
+        ld = load("a", imm=0, attrs=self.ATTRS)
+        st = store("a", imm=0, attrs=self.ATTRS)
+        assert m.conflicts_same_iteration(ld, st)
+        assert not m.conflicts_cross_iteration(ld, st)
+
+    def test_same_base_distinct_offsets_never_alias(self):
+        m = AliasModel()
+        ld = load("a", imm=0, attrs=self.ATTRS)
+        st = store("a", imm=4, attrs=self.ATTRS)
+        assert not m.may_alias(ld, st)
+
+    def test_different_bases_stay_conservative(self):
+        m = AliasModel()
+        ld = load("a", imm=0, attrs={"affine": True, "affine_base": "x"})
+        st = store("a", imm=0, attrs={"affine": True, "affine_base": "y"})
+        assert m.may_alias(ld, st)
+        assert m.conflicts_cross_iteration(ld, st)
+
+    def test_one_sided_annotation_not_enough(self):
+        m = AliasModel()
+        ld = load("a", attrs=self.ATTRS)
+        st = store("a")
+        assert m.conflicts_cross_iteration(ld, st)
+
+
+class TestCalls:
+    def test_impure_call_aliases_memory(self):
+        m = AliasModel()
+        assert m.may_alias(call(), store("a"))
+        assert m.may_alias(call(), call())
+
+    def test_pure_call_is_transparent(self):
+        m = AliasModel()
+        assert not m.may_alias(call(pure=True), store("a"))
+
+
+class TestNeedsOrdering:
+    def test_load_load_needs_nothing(self):
+        assert not needs_ordering(load("a"), load("a"))
+
+    def test_store_pairs_need_ordering(self):
+        assert needs_ordering(store("a"), load("a"))
+        assert needs_ordering(load("a"), store("a"))
+        assert needs_ordering(store("a"), store("a"))
+
+    def test_impure_call_needs_ordering(self):
+        assert needs_ordering(call(), load("a"))
+
+    def test_pure_call_does_not(self):
+        assert not needs_ordering(call(pure=True), load("a"))

@@ -1,0 +1,197 @@
+"""Tests for the loop dependence graph -- checked against the paper's
+Fig. 2(b)/(c) structure."""
+
+import pytest
+
+from repro.analysis.memdep import AliasMode, AliasModel
+from repro.analysis.pdg import DepKind, build_dependence_graph
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode, gen_reg
+
+
+def arcs_of_kind(graph, kind):
+    return [a for a in graph.arcs if a.kind is kind]
+
+
+class TestFig2Graph:
+    @pytest.fixture
+    def graph(self, lol):
+        func, header, regs = lol
+        return build_dependence_graph(func, find_loop_by_header(func, header))
+
+    def test_nodes_exclude_jumps(self, graph):
+        assert all(a.opcode is not Opcode.JMP for a in graph.nodes)
+        assert len(graph.nodes) == 9  # A,B,C,D,E,F,G,H,J
+
+    def test_five_sccs(self, graph):
+        dag = graph.dag_scc()
+        assert len(dag) == 5
+
+    def test_scc_membership_matches_paper(self, graph):
+        dag = graph.dag_scc()
+        groups = [
+            {inst.render() for inst in members} for members in dag.sccs
+        ]
+        # {A,B,J}: outer traversal; {D,E,H}: inner traversal; {G}: sum.
+        assert {"cmp.eq p1 = r1, 0", "br p1, BB7, BB3",
+                "load r1 = [r1 + 1] !outer"} in groups
+        assert any(len(g) == 3 and any("r2 + 0" in s for s in g) for g in groups)
+        assert {"add r0 = r0, r3"} in groups
+
+    def test_dag_edges_flow_forward(self, graph):
+        dag = graph.dag_scc()
+        for src, dsts in dag.edges.items():
+            assert all(src < dst for dst in dsts)
+
+    def test_loop_carried_pointer_chase(self, graph, lol):
+        _, _, regs = lol
+        carried = [
+            a for a in graph.arcs
+            if a.kind is DepKind.DATA and a.loop_carried
+            and a.register == regs["outer"]
+        ]
+        assert carried, "outer-list pointer recurrence must be loop-carried"
+
+    def test_live_in_uses_include_list_head(self, graph, lol):
+        _, _, regs = lol
+        live_in_regs = {reg for reg, _ in graph.live_in_uses}
+        assert regs["outer"] in live_in_regs
+        assert regs["sum"] in live_in_regs
+
+    def test_live_out_defs_contain_sum(self, graph, lol):
+        _, _, regs = lol
+        assert regs["sum"] in graph.live_out_defs
+        defs = graph.live_out_defs[regs["sum"]]
+        assert len(defs) == 1
+        assert defs[0].render() == "add r0 = r0, r3"
+
+    def test_no_memory_arcs_with_region_info(self, graph):
+        assert arcs_of_kind(graph, DepKind.MEMORY) == []
+
+
+class TestMemoryDeps:
+    def _loop_with_mem(self, region_load, region_store, attrs=None):
+        b = IRBuilder("mem")
+        r_i, r_n, r_a, r_v = (gen_reg(i) for i in range(4))
+        p = b.pred()
+        b.block("entry", entry=True)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p, r_i, r_n)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.load(r_v, r_a, offset=0, region=region_load, attrs=attrs)
+        b.add(r_v, r_v, imm=1)
+        b.store(r_v, r_a, offset=0, region=region_store, attrs=attrs)
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.ret()
+        f = b.done()
+        return f, find_loop_by_header(f, "header")
+
+    def test_conservative_creates_cycles(self):
+        f, loop = self._loop_with_mem("x", "x")
+        g = build_dependence_graph(f, loop, AliasModel(AliasMode.CONSERVATIVE))
+        mem = arcs_of_kind(g, DepKind.MEMORY)
+        # store->load carried and load->store intra: both directions.
+        directions = {(a.src.opcode, a.dst.opcode) for a in mem}
+        assert (Opcode.STORE, Opcode.LOAD) in directions
+        assert (Opcode.LOAD, Opcode.STORE) in directions
+
+    def test_conservative_merges_mem_ops_into_one_scc(self):
+        f, loop = self._loop_with_mem("x", "x")
+        g = build_dependence_graph(f, loop, AliasModel(AliasMode.CONSERVATIVE))
+        scc_of = g.dag_scc().scc_of()
+        load = next(n for n in g.nodes if n.is_load)
+        store = next(n for n in g.nodes if n.is_store)
+        assert scc_of[load] == scc_of[store]
+
+    def test_affine_regions_break_the_cycle(self):
+        attrs = {"affine": True, "affine_base": "arr"}
+        f, loop = self._loop_with_mem("x", "x", attrs=attrs)
+        g = build_dependence_graph(f, loop)
+        scc_of = g.dag_scc().scc_of()
+        load = next(n for n in g.nodes if n.is_load)
+        store = next(n for n in g.nodes if n.is_store)
+        assert scc_of[load] != scc_of[store]
+        # Program order within the iteration is still respected.
+        mem = arcs_of_kind(g, DepKind.MEMORY)
+        assert any(a.src is load and a.dst is store and not a.loop_carried
+                   for a in mem)
+
+    def test_disjoint_regions_no_arcs(self):
+        f, loop = self._loop_with_mem("x", "y")
+        g = build_dependence_graph(f, loop)
+        assert arcs_of_kind(g, DepKind.MEMORY) == []
+
+
+class TestOutputDeps:
+    def test_multiple_live_out_defs_forced_into_one_scc(self):
+        b = IRBuilder("liveout")
+        r, r_i, r_n, r_out = gen_reg(0), gen_reg(1), gen_reg(2), gen_reg(3)
+        p, p2 = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p, r_i, r_n)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.cmp_eq(p2, r_i, imm=3)
+        b.br(p2, "deftwo", "defone")
+        b.block("defone")
+        b.mov(r, imm=1)
+        b.jmp("latch")
+        b.block("deftwo")
+        b.mov(r, imm=2)
+        b.jmp("latch")
+        b.block("latch")
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r, r_out, offset=0, region="result")
+        b.ret()
+        f = b.done()
+        g = build_dependence_graph(f, find_loop_by_header(f, "header"))
+        defs = g.live_out_defs[r]
+        assert len(defs) == 2
+        scc_of = g.dag_scc().scc_of()
+        assert scc_of[defs[0]] == scc_of[defs[1]]
+        assert arcs_of_kind(g, DepKind.OUTPUT)
+
+
+class TestConditionalControlDeps:
+    def test_branch_over_def_reaches_consumer(self):
+        """Fig. 5(a): D control-dep on B, U not; arc B -> U is added."""
+        b = IRBuilder("cond")
+        r, r_u, r_i, r_n, r_out = (gen_reg(i) for i in range(5))
+        p, pc = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p, r_i, r_n)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.cmp_eq(pc, r_i, imm=2)
+        b.br(pc, "defblk", "useblk")
+        b.block("defblk")
+        b.add(r, r, imm=5)  # D (also carried so it stays a recurrence)
+        b.jmp("useblk")
+        b.block("useblk")
+        b.add(r_u, r, imm=1)  # U: uses r but not control-dep on the if
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_u, r_out, offset=0, region="result")
+        b.ret()
+        f = b.done()
+        g = build_dependence_graph(f, find_loop_by_header(f, "header"))
+        branch = f.block("body").terminator
+        use = f.block("useblk").instructions[0]
+        conditional = [
+            a for a in g.arcs
+            if a.kind is DepKind.CONTROL and a.conditional
+            and a.src is branch and a.dst is use
+        ]
+        assert conditional, "conditional control dependence B -> U missing"

@@ -1,0 +1,132 @@
+"""Tests for SCC discovery and the DAG_SCC condensation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.scc import DagScc, condense, strongly_connected_components
+
+
+class TestTarjan:
+    def test_simple_cycle(self):
+        succ = {1: {2}, 2: {3}, 3: {1}}
+        sccs = strongly_connected_components([1, 2, 3], succ)
+        assert len(sccs) == 1
+        assert set(sccs[0]) == {1, 2, 3}
+
+    def test_dag_gives_singletons(self):
+        succ = {1: {2}, 2: {3}, 3: set()}
+        sccs = strongly_connected_components([1, 2, 3], succ)
+        assert sorted(map(len, sccs)) == [1, 1, 1]
+
+    def test_two_cycles_with_bridge(self):
+        succ = {1: {2}, 2: {1, 3}, 3: {4}, 4: {3}}
+        sccs = strongly_connected_components([1, 2, 3, 4], succ)
+        assert sorted(sorted(s) for s in sccs) == [[1, 2], [3, 4]]
+
+    def test_self_loop(self):
+        succ = {1: {1}, 2: set()}
+        sccs = strongly_connected_components([1, 2], succ)
+        assert sorted(sorted(s) for s in sccs) == [[1], [2]]
+
+    def test_disconnected_nodes_covered(self):
+        sccs = strongly_connected_components([1, 2, 3], {})
+        assert len(sccs) == 3
+
+
+class TestCondense:
+    def test_fig2_shape(self):
+        # Two recurrences feeding three singleton nodes (like Fig 2c).
+        succ = {
+            "A": {"B"}, "B": {"A", "C"},
+            "C": {"D"},
+            "D": {"E"}, "E": {"D", "F"},
+            "F": set(),
+        }
+        dag = condense("ABCDEF", succ)
+        assert len(dag) == 4
+        scc_of = dag.scc_of()
+        assert scc_of["A"] == scc_of["B"]
+        assert scc_of["D"] == scc_of["E"]
+
+    def test_ids_are_topological(self):
+        succ = {1: {2}, 2: {3}, 3: set()}
+        dag = condense([1, 2, 3], succ)
+        for src, dsts in dag.edges.items():
+            for dst in dsts:
+                assert src < dst
+
+    def test_topological_order_valid(self):
+        succ = {1: {3}, 2: {3}, 3: {4}, 4: set()}
+        dag = condense([1, 2, 3, 4], succ)
+        order = dag.topological_order()
+        pos = {sid: i for i, sid in enumerate(order)}
+        for src, dsts in dag.edges.items():
+            for dst in dsts:
+                assert pos[src] < pos[dst]
+
+    def test_predecessors(self):
+        succ = {1: {2}, 2: set()}
+        dag = condense([1, 2], succ)
+        preds = dag.predecessors()
+        scc_of = dag.scc_of()
+        assert preds[scc_of[2]] == {scc_of[1]}
+        assert preds[scc_of[1]] == set()
+
+
+@st.composite
+def random_digraph(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=n * 3,
+        )
+    )
+    succ = {}
+    for a, b in edges:
+        succ.setdefault(a, set()).add(b)
+    return list(range(n)), succ
+
+
+class TestProperties:
+    @given(random_digraph())
+    def test_sccs_partition_nodes(self, graph):
+        nodes, succ = graph
+        sccs = strongly_connected_components(nodes, succ)
+        flat = [n for scc in sccs for n in scc]
+        assert sorted(flat) == sorted(nodes)
+        assert len(flat) == len(set(flat))
+
+    @given(random_digraph())
+    def test_condensation_is_acyclic(self, graph):
+        nodes, succ = graph
+        dag = condense(nodes, succ)
+        # topological_order raises if the condensation has a cycle.
+        assert len(dag.topological_order()) == len(dag)
+
+    @given(random_digraph())
+    def test_mutually_reachable_iff_same_scc(self, graph):
+        nodes, succ = graph
+        dag = condense(nodes, succ)
+        scc_of = dag.scc_of()
+
+        def reachable(a, b):
+            seen, stack = set(), [a]
+            while stack:
+                x = stack.pop()
+                if x == b:
+                    return True
+                if x in seen:
+                    continue
+                seen.add(x)
+                stack.extend(succ.get(x, ()))
+            return False
+
+        for a in nodes:
+            for b in nodes:
+                same = scc_of[a] == scc_of[b]
+                mutual = reachable(a, b) and reachable(b, a)
+                assert same == mutual

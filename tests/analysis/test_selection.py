@@ -1,0 +1,88 @@
+"""Tests for candidate-loop selection (the §4 methodology)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.selection import select_loops
+from repro.interp.memory import Memory
+from repro.ir.parser import parse_function
+from repro.workloads import get_workload
+
+CORPUS = Path(__file__).parent.parent / "ir" / "corpus"
+
+
+class TestOnWorkloads:
+    def test_selects_the_main_loop(self):
+        case = get_workload("mcf").build(scale=60)
+        report = select_loops(case.function, case.memory,
+                              initial_regs=case.initial_regs)
+        selected = report.selected
+        assert selected is not None
+        assert selected.loop.header == case.loop.header
+        assert selected.coverage > 0.8
+
+    def test_trip_count_roughly_matches_scale(self):
+        case = get_workload("wc").build(scale=120)
+        report = select_loops(case.function, case.memory,
+                              initial_regs=case.initial_regs)
+        selected = report.selected
+        assert 115 <= selected.average_trip_count <= 125
+
+    def test_short_loop_rejected_by_threshold(self):
+        case = get_workload("wc").build(scale=4)
+        report = select_loops(case.function, case.memory,
+                              initial_regs=case.initial_regs,
+                              min_trip_count=10)
+        assert report.selected is None
+        candidate = report.candidates[0]
+        assert "below 10" in report.rejection_reason(candidate)
+
+    def test_threshold_relaxation(self):
+        case = get_workload("wc").build(scale=4)
+        report = select_loops(case.function, case.memory,
+                              initial_regs=case.initial_regs,
+                              min_trip_count=2)
+        assert report.selected is not None
+
+
+class TestNestedLoops:
+    @pytest.fixture
+    def nested(self):
+        func = parse_function((CORPUS / "nested_product.ir").read_text())
+        return func
+
+    def test_both_loops_ranked(self, nested):
+        report = select_loops(nested, Memory())
+        headers = [c.loop.header for c in report.candidates]
+        assert set(headers) == {"oh", "ih"}
+
+    def test_outer_loop_covers_more(self, nested):
+        report = select_loops(nested, Memory())
+        by_header = {c.loop.header: c for c in report.candidates}
+        assert by_header["oh"].coverage >= by_header["ih"].coverage
+        assert by_header["oh"].nest_depth == 1
+        assert by_header["ih"].nest_depth == 2
+
+    def test_inner_loop_entries_counted_per_outer_iteration(self, nested):
+        report = select_loops(nested, Memory())
+        inner = next(c for c in report.candidates if c.loop.header == "ih")
+        assert inner.entries == 12  # one entry per outer iteration
+
+    def test_eligible_respects_threshold(self, nested):
+        # Inner loop trips 0..11 per entry (average ~5.5): below 10.
+        report = select_loops(nested, Memory(), min_trip_count=10)
+        eligible_headers = {c.loop.header for c in report.eligible}
+        assert "ih" not in eligible_headers
+        assert "oh" in eligible_headers
+
+
+class TestDegenerate:
+    def test_loopless_function(self):
+        from repro.ir.builder import IRBuilder
+        b = IRBuilder("flat")
+        b.block("entry", entry=True)
+        b.ret()
+        report = select_loops(b.done(), Memory())
+        assert report.candidates == []
+        assert report.selected is None

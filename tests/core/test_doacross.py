@@ -1,0 +1,140 @@
+"""Tests for the DOACROSS baseline transformation."""
+
+import random
+
+import pytest
+
+from repro.core.doacross import DoacrossError, doacross
+from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.verifier import verify_function
+from repro.workloads import ListSumWorkload
+
+
+@pytest.fixture
+def list_case():
+    return ListSumWorkload().build(scale=60)
+
+
+class TestTransformation:
+    def test_functional_equivalence(self, list_case):
+        result = doacross(list_case.function, list_case.loop,
+                          assume_no_carried_memory=True)
+        seq_mem = list_case.fresh_memory()
+        run_function(list_case.function, seq_mem,
+                     initial_regs=list_case.initial_regs)
+        par_mem = list_case.fresh_memory()
+        run_threads(result.program, par_mem,
+                    initial_regs=list_case.initial_regs)
+        assert seq_mem.snapshot() == par_mem.snapshot()
+        list_case.checker(par_mem, {})
+
+    def test_threads_verify(self, list_case):
+        result = doacross(list_case.function, list_case.loop,
+                          assume_no_carried_memory=True)
+        for fn in result.program.threads:
+            verify_function(fn)
+
+    def test_carried_registers_detected(self, list_case):
+        result = doacross(list_case.function, list_case.loop,
+                          assume_no_carried_memory=True)
+        # The traversal pointer and the checksum are carried.
+        assert len(result.carried) == 2
+
+    @pytest.mark.parametrize("quantum", [1, 5, 64])
+    def test_schedule_independence(self, list_case, quantum):
+        result = doacross(list_case.function, list_case.loop,
+                          assume_no_carried_memory=True)
+        mem = list_case.fresh_memory()
+        run_threads(result.program, mem, initial_regs=list_case.initial_regs,
+                    quantum=quantum)
+        list_case.checker(mem, {})
+
+    def test_single_iteration_loop(self):
+        case = ListSumWorkload().build(scale=1)
+        result = doacross(case.function, case.loop,
+                          assume_no_carried_memory=True)
+        mem = case.fresh_memory()
+        run_threads(result.program, mem, initial_regs=case.initial_regs)
+        case.checker(mem, {})
+
+
+class TestRestrictions:
+    def test_carried_memory_dependence_rejected(self):
+        """Same-region load/store without affine info: carried dep."""
+        b = IRBuilder("carriedmem")
+        r_p, r_v = b.reg(), b.reg()
+        p = b.pred()
+        b.block("entry", entry=True)
+        b.jmp("h")
+        b.block("h")
+        b.load(r_p, r_p, offset=0, region="list")
+        b.cmp_eq(p, r_p, imm=0)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.load(r_v, r_p, offset=1, region="list")
+        b.add(r_v, r_v, imm=1)
+        b.store(r_v, r_p, offset=1, region="list")
+        b.jmp("h")
+        b.block("exit")
+        b.ret()
+        f = b.done()
+        with pytest.raises(DoacrossError, match="memory dependence"):
+            doacross(f, find_loop_by_header(f, "h"))
+
+    def test_multiple_branches_rejected(self):
+        b = IRBuilder("twobranch")
+        r = b.reg()
+        p1, p2 = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.jmp("h")
+        b.block("h")
+        b.br(p1, "exit", "mid")
+        b.block("mid")
+        b.cmp_eq(p2, r, imm=0)
+        b.br(p2, "a", "bq")
+        b.block("a")
+        b.jmp("latch")
+        b.block("bq")
+        b.jmp("latch")
+        b.block("latch")
+        b.add(r, r, imm=1)
+        b.jmp("h")
+        b.block("exit")
+        b.ret()
+        f = b.done()
+        with pytest.raises(DoacrossError):
+            doacross(f, find_loop_by_header(f, "h"),
+                     assume_no_carried_memory=True)
+
+    def test_loopless_function_rejected(self):
+        b = IRBuilder("flat")
+        b.block("entry", entry=True)
+        b.ret()
+        with pytest.raises(DoacrossError, match="no loops"):
+            doacross(b.done())
+
+    def test_live_out_not_carried_rejected(self):
+        """A live-out defined every iteration but not carried."""
+        b = IRBuilder("liveout")
+        r_i, r_n, r_v, r_out = (b.reg() for _ in range(4))
+        p = b.pred()
+        b.block("entry", entry=True)
+        b.jmp("h")
+        b.block("h")
+        b.cmp_ge(p, r_i, r_n)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.mul(r_v, r_i, imm=3)  # defined each iteration, not carried
+        b.add(r_i, r_i, imm=1)
+        b.jmp("h")
+        b.block("exit")
+        b.store(r_v, r_out, offset=0, region="res")
+        b.ret()
+        f = b.done()
+        with pytest.raises(DoacrossError, match="live-outs"):
+            doacross(f, find_loop_by_header(f, "h"),
+                     assume_no_carried_memory=True)

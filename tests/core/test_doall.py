@@ -1,0 +1,110 @@
+"""Tests for the DOALL transform (§4.1's comparison point)."""
+
+import pytest
+
+from repro.analysis.memdep import AliasMode, AliasModel
+from repro.core.doall import DoallError, doall
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.verifier import verify_function
+from repro.workloads import get_workload
+
+DOALL_NAMES = ("compress", "jpegenc", "art", "equake", "epicdec")
+NOT_DOALL = ("mcf", "ammp", "bzip2", "adpcmdec", "wc", "listtraverse")
+
+
+@pytest.mark.parametrize("name", DOALL_NAMES)
+class TestApplies:
+    def test_functional_equivalence(self, name):
+        case = get_workload(name).build(scale=90)
+        result = doall(case.function, case.loop)
+        for fn in result.program.threads:
+            verify_function(fn)
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs)
+        assert seq.memory.snapshot() == par_mem.snapshot()
+        case.checker(par_mem, {})
+
+    def test_no_loop_flows(self, name):
+        """DOALL's defining property: no communication inside the loop."""
+        from repro.ir.loops import find_loops
+        case = get_workload(name).build(scale=30)
+        result = doall(case.function, case.loop)
+        for fn in result.program.threads:
+            for loop in find_loops(fn):
+                flows = [i for i in loop.instructions() if i.is_flow]
+                assert flows == [], f"{fn.name} communicates inside the loop"
+
+    def test_odd_trip_counts(self, name):
+        """Iteration counts that do not divide evenly across threads."""
+        for scale in (1, 2, 7):
+            case = get_workload(name).build(scale=scale)
+            result = doall(case.function, case.loop)
+            par_mem = case.fresh_memory()
+            run_threads(result.program, par_mem,
+                        initial_regs=case.initial_regs)
+            case.checker(par_mem, {})
+
+
+@pytest.mark.parametrize("name", NOT_DOALL)
+def test_non_doall_loops_declined(name):
+    case = get_workload(name).build(scale=20)
+    with pytest.raises(DoallError):
+        doall(case.function, case.loop)
+
+
+class TestPrecisionDependence:
+    def test_conservative_analysis_blocks_doall(self):
+        """§5.1's point from the DOALL side: without precise memory
+        analysis, epicdec's independent iterations cannot be proven."""
+        case = get_workload("epicdec").build(scale=20)
+        with pytest.raises(DoallError, match="memory conflict"):
+            doall(case.function, case.loop,
+                  alias_model=AliasModel(AliasMode.CONSERVATIVE))
+
+
+class TestThreeThreads:
+    def test_three_way_interleave(self):
+        case = get_workload("compress").build(scale=70)
+        result = doall(case.function, case.loop, threads=3)
+        assert len(result.program) == 3
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs)
+        case.checker(par_mem, {})
+
+    def test_reduction_combined_across_three(self):
+        case = get_workload("art").build(scale=60)
+        result = doall(case.function, case.loop, threads=3)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs)
+        case.checker(par_mem, {})
+
+
+class TestRestrictions:
+    def test_single_thread_rejected(self):
+        case = get_workload("compress").build(scale=10)
+        with pytest.raises(DoallError, match="two threads"):
+            doall(case.function, case.loop, threads=1)
+
+    def test_live_out_induction_rejected(self):
+        from repro.ir.builder import IRBuilder
+        b = IRBuilder("liveouti")
+        r_i, r_n, r_out = b.reg(), b.reg(), b.reg()
+        p = b.pred()
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.jmp("h")
+        b.block("h")
+        b.cmp_ge(p, r_i, r_n)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.add(r_i, r_i, imm=1)
+        b.jmp("h")
+        b.block("exit")
+        b.store(r_i, r_out, offset=0, region="res")
+        b.ret()
+        f = b.done()
+        with pytest.raises(DoallError, match="live-outs"):
+            doall(f)

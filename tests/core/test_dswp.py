@@ -1,0 +1,101 @@
+"""Tests for the top-level DSWP driver (the Fig. 3 algorithm)."""
+
+import pytest
+
+from repro.core.dswp import dswp
+from repro.core.partition import Partition
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_function
+from repro.workloads import GzipWorkload
+
+
+class TestDecline:
+    def test_single_scc_loop_declined(self):
+        """Step (3): a single-SCC graph is not partitionable (gzip)."""
+        case = GzipWorkload().build(scale=64)
+        result = dswp(case.function, case.loop, require_profitable=False)
+        assert not result.applied
+        assert "single SCC" in result.reason
+        assert result.num_sccs == 1
+        with pytest.raises(ValueError):
+            _ = result.program
+
+    def test_unprofitable_partition_declined(self, lol):
+        """Step (6): an estimated slowdown declines the transformation."""
+        func, header, _ = lol
+        result = dswp(func, find_loop_by_header(func, header),
+                      require_profitable=True, profit_threshold=1e9)
+        assert not result.applied
+        assert "below threshold" in result.reason
+        assert result.estimate is not None
+
+    def test_function_without_loops_raises(self):
+        b = IRBuilder("flat")
+        b.block("entry", entry=True)
+        b.ret()
+        with pytest.raises(ValueError, match="no loops"):
+            dswp(b.done())
+
+
+class TestApply:
+    def test_applied_result_contents(self, lol):
+        func, header, _ = lol
+        result = dswp(func, find_loop_by_header(func, header),
+                      require_profitable=False)
+        assert result.applied
+        assert result.reason is None
+        assert result.num_sccs == 5
+        assert len(result.program) == 2
+        assert result.estimate is not None
+        counts = result.flow_counts()
+        assert counts["loop"] >= 1
+
+    def test_original_function_untouched(self, lol):
+        func, header, _ = lol
+        before = func.render()
+        dswp(func, find_loop_by_header(func, header), require_profitable=False)
+        assert func.render() == before
+
+    def test_threads_verify(self, lol):
+        func, header, _ = lol
+        result = dswp(func, find_loop_by_header(func, header),
+                      require_profitable=False)
+        for fn in result.program.threads:
+            verify_function(fn)
+
+    def test_defaults_to_largest_loop(self, lol):
+        func, header, _ = lol
+        result = dswp(func, require_profitable=False)
+        assert result.loop.header == header
+
+    def test_explicit_partition_used(self, lol):
+        func, header, _ = lol
+        probe = dswp(func, find_loop_by_header(func, header),
+                     require_profitable=False)
+        dag = probe.dag
+        manual = Partition(dag, [{0}, set(range(1, len(dag)))])
+        result = dswp(func, find_loop_by_header(func, header),
+                      partition=manual, require_profitable=False)
+        assert result.partition is manual
+
+    def test_flow_counts_zero_when_declined(self):
+        case = GzipWorkload().build(scale=64)
+        result = dswp(case.function, case.loop, require_profitable=False)
+        assert result.flow_counts() == {"initial": 0, "loop": 0, "final": 0}
+
+    def test_queue_instructions_only_in_transformed_code(self, lol):
+        func, header, _ = lol
+        result = dswp(func, find_loop_by_header(func, header),
+                      require_profitable=False)
+        for fn in result.program.threads:
+            flows = [i for i in fn.instructions() if i.is_flow]
+            assert flows, f"{fn.name} should contain produce/consume"
+            assert all(i.queue is not None for i in flows)
+
+    def test_repr(self, lol):
+        func, header, _ = lol
+        result = dswp(func, find_loop_by_header(func, header),
+                      require_profitable=False)
+        assert "applied" in repr(result)

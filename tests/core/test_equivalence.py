@@ -1,0 +1,277 @@
+"""Semantic-equivalence tests: the DSWP pipeline must compute exactly
+what the sequential loop computes.
+
+Two layers:
+
+* every workload in the suite, sequential vs. transformed, across
+  queue capacities and scheduler quanta;
+* property-based: randomly generated structured loops (arithmetic,
+  branchy regions, loads/stores with mixed alias precision) are
+  transformed with both the heuristic and randomly chosen valid
+  partitions, and the final memory image must match the interpreter's.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dswp import dswp
+from repro.core.partition import enumerate_two_way_partitions
+from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.verifier import verify_reachable
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+APPLICABLE = [w.name for w in ALL_WORKLOADS if w.name != "gzip"]
+
+
+@pytest.mark.parametrize("name", APPLICABLE)
+def test_workload_equivalence(name):
+    workload = get_workload(name)
+    case = workload.build(scale=100)
+    seq_mem = case.fresh_memory()
+    run_function(case.function, seq_mem, initial_regs=case.initial_regs,
+                 max_steps=10_000_000)
+    result = dswp(case.function, case.loop, require_profitable=False)
+    assert result.applied, result.reason
+    par_mem = case.fresh_memory()
+    run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                max_steps=20_000_000)
+    assert seq_mem.snapshot() == par_mem.snapshot()
+    case.checker(par_mem, {})
+
+
+@pytest.mark.parametrize("capacity", [1, 3, 32])
+def test_workload_equivalence_small_queues(capacity):
+    case = get_workload("mcf").build(scale=60)
+    result = dswp(case.function, case.loop, require_profitable=False)
+    par_mem = case.fresh_memory()
+    run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                queue_capacity=capacity, max_steps=20_000_000)
+    case.checker(par_mem, {})
+
+
+# ----------------------------------------------------------------------
+# Random structured loops
+# ----------------------------------------------------------------------
+
+ARRAY_WORDS = 64
+
+
+class LoopSpec:
+    """A generated loop description (kept for shrinking/debug output)."""
+
+    def __init__(self, trip_count, segments, exit_stores):
+        self.trip_count = trip_count
+        self.segments = segments
+        self.exit_stores = exit_stores
+
+    def __repr__(self) -> str:
+        return (
+            f"LoopSpec(trips={self.trip_count}, "
+            f"segments={self.segments}, exit={self.exit_stores})"
+        )
+
+
+_OPS = ["add", "sub", "mul", "xor", "and_", "or_"]
+
+_stmt = st.one_of(
+    st.tuples(
+        st.just("alu"),
+        st.sampled_from(_OPS),
+        st.integers(0, 5),  # dest register index
+        st.integers(0, 5),  # src register index
+        st.integers(-7, 7),  # immediate
+    ),
+    st.tuples(
+        st.just("alu2"),
+        st.sampled_from(_OPS),
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.integers(0, 5),
+    ),
+    st.tuples(
+        st.just("load_affine"),
+        st.integers(0, 5),          # dest
+        st.sampled_from(["A", "B"]),
+    ),
+    st.tuples(
+        st.just("load_indexed"),
+        st.integers(0, 5),          # dest
+        st.integers(0, 5),          # index register
+        st.sampled_from(["A", "B"]),
+    ),
+    st.tuples(
+        st.just("store_affine"),
+        st.integers(0, 5),          # value register
+        st.sampled_from(["A", "B"]),
+    ),
+    st.tuples(
+        st.just("store_indexed"),
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.sampled_from(["A", "B"]),
+    ),
+)
+
+_segment = st.one_of(
+    st.tuples(st.just("straight"), st.lists(_stmt, min_size=1, max_size=4)),
+    st.tuples(
+        st.just("ifelse"),
+        st.integers(0, 5),   # condition register
+        st.integers(-3, 3),  # compared against
+        st.lists(_stmt, min_size=1, max_size=3),
+        st.lists(_stmt, min_size=0, max_size=3),
+    ),
+)
+
+loop_specs = st.builds(
+    LoopSpec,
+    st.integers(min_value=0, max_value=9),
+    st.lists(_segment, min_size=1, max_size=3),
+    st.lists(st.integers(0, 5), min_size=1, max_size=3),
+)
+
+
+def build_program(spec: LoopSpec):
+    """Materialise a LoopSpec as IR + initial memory/registers."""
+    b = IRBuilder("generated")
+    data = [b.reg() for _ in range(6)]
+    r_i, r_n = b.reg(), b.reg()
+    base = {"A": b.reg(), "B": b.reg()}
+    r_out = b.reg()
+    r_tmp = b.reg()
+    p_done = b.pred()
+    label_counter = [0]
+
+    def fresh_label(prefix):
+        label_counter[0] += 1
+        return f"{prefix}{label_counter[0]}"
+
+    def emit_stmt(stmt):
+        kind = stmt[0]
+        if kind == "alu":
+            _, op, d, s, imm = stmt
+            getattr(b, op)(data[d], data[s], imm=imm)
+        elif kind == "alu2":
+            _, op, d, s1, s2 = stmt
+            getattr(b, op)(data[d], data[s1], data[s2])
+        elif kind == "load_affine":
+            _, d, region = stmt
+            b.add(r_tmp, base[region], r_i)
+            b.load(data[d], r_tmp, offset=0, region=region,
+                   attrs={"affine": True, "affine_base": region})
+        elif kind == "load_indexed":
+            _, d, idx, region = stmt
+            b.and_(r_tmp, data[idx], imm=ARRAY_WORDS - 1)
+            b.add(r_tmp, base[region], r_tmp)
+            b.load(data[d], r_tmp, offset=0, region=region)
+        elif kind == "store_affine":
+            _, v, region = stmt
+            b.add(r_tmp, base[region], r_i)
+            b.store(data[v], r_tmp, offset=0, region=region,
+                    attrs={"affine": True, "affine_base": region})
+        elif kind == "store_indexed":
+            _, v, idx, region = stmt
+            b.and_(r_tmp, data[idx], imm=ARRAY_WORDS - 1)
+            b.add(r_tmp, base[region], r_tmp)
+            b.store(data[v], r_tmp, offset=0, region=region)
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+    b.block("entry", entry=True)
+    b.jmp("header")
+    b.block("header")
+    b.cmp_ge(p_done, r_i, r_n)
+    b.br(p_done, "exit", "seg0")
+
+    current = "seg0"
+    b.block(current)
+    for segment in spec.segments:
+        if segment[0] == "straight":
+            for stmt in segment[1]:
+                emit_stmt(stmt)
+        else:
+            _, cond, cval, then_stmts, else_stmts = segment
+            then_l, else_l, join_l = (
+                fresh_label("then"), fresh_label("else"), fresh_label("join"),
+            )
+            p = b.pred()
+            b.cmp_gt(p, data[cond], imm=cval)
+            b.br(p, then_l, else_l)
+            b.block(then_l)
+            for stmt in then_stmts:
+                emit_stmt(stmt)
+            b.jmp(join_l)
+            b.block(else_l)
+            for stmt in else_stmts:
+                emit_stmt(stmt)
+            b.jmp(join_l)
+            b.block(join_l)
+    b.add(r_i, r_i, imm=1)
+    b.jmp("header")
+    b.block("exit")
+    for pos, reg_idx in enumerate(spec.exit_stores):
+        b.store(data[reg_idx], r_out, offset=pos, region="out")
+    b.ret()
+    func = b.done()
+    verify_reachable(func)
+
+    memory = Memory()
+    a_base = memory.store_array([(i * 37 + 11) % 251 for i in range(ARRAY_WORDS)])
+    b_base = memory.store_array([(i * 73 + 5) % 241 for i in range(ARRAY_WORDS)])
+    out_base = memory.alloc(8)
+    initial = {r_i: 0, r_n: spec.trip_count, base["A"]: a_base,
+               base["B"]: b_base, r_out: out_base}
+    for k, reg in enumerate(data):
+        initial[reg] = (k * 13 + 1) % 17
+    return func, memory, initial
+
+
+def _dswp_matches_sequential(spec, partition_choice, threads=2,
+                             queue_capacity=None):
+    func, memory, initial = build_program(spec)
+    loop = find_loop_by_header(func, "header")
+    seq_mem = memory.clone()
+    run_function(func, seq_mem, initial_regs=initial, max_steps=1_000_000)
+
+    result = dswp(func, loop, threads=threads, require_profitable=False)
+    if not result.applied:
+        return  # single-SCC graphs are legitimately declined
+    if partition_choice is not None and threads == 2:
+        options = enumerate_two_way_partitions(result.dag, limit=64)
+        if options:
+            chosen = options[partition_choice % len(options)]
+            result = dswp(func, loop, partition=chosen,
+                          require_profitable=False)
+    par_mem = memory.clone()
+    run_threads(result.program, par_mem, initial_regs=initial,
+                max_steps=2_000_000, queue_capacity=queue_capacity)
+    assert seq_mem.snapshot() == par_mem.snapshot(), spec
+
+
+class TestRandomLoops:
+    @settings(max_examples=60, deadline=None)
+    @given(loop_specs)
+    def test_heuristic_partition_equivalence(self, spec):
+        _dswp_matches_sequential(spec, partition_choice=None)
+
+    @settings(max_examples=60, deadline=None)
+    @given(loop_specs, st.integers(min_value=0, max_value=1 << 16))
+    def test_random_partition_equivalence(self, spec, choice):
+        _dswp_matches_sequential(spec, partition_choice=choice)
+
+    @settings(max_examples=25, deadline=None)
+    @given(loop_specs)
+    def test_three_thread_equivalence(self, spec):
+        _dswp_matches_sequential(spec, partition_choice=None, threads=3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(loop_specs, st.integers(min_value=1, max_value=4))
+    def test_tiny_queue_equivalence(self, spec, capacity):
+        _dswp_matches_sequential(spec, partition_choice=None,
+                                 queue_capacity=capacity)

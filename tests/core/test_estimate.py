@@ -1,0 +1,62 @@
+"""Tests for the static profitability estimator."""
+
+from repro.analysis.pdg import build_dependence_graph
+from repro.analysis.profiling import LoopProfile
+from repro.core.estimate import PartitionEstimate, estimate_partition
+from repro.core.partition import Partition, estimated_scc_cycles
+from repro.core.splitter import LoopSplitter
+from repro.ir.loops import find_loop_by_header
+from repro.machine.config import static_latency
+
+
+class TestPartitionEstimate:
+    def test_bottleneck_and_speedup(self):
+        est = PartitionEstimate([10.0, 5.0], [1.0, 2.0], 15.0)
+        assert est.bottleneck == 11.0
+        assert abs(est.speedup - 15.0 / 11.0) < 1e-9
+
+    def test_profitable_threshold(self):
+        est = PartitionEstimate([10.0, 10.0], [0.0, 0.0], 20.0)
+        assert est.profitable(1.5)
+        assert not est.profitable(2.5)
+
+    def test_degenerate_zero_cost(self):
+        est = PartitionEstimate([0.0], [0.0], 0.0)
+        assert est.speedup == 1.0
+
+    def test_repr_mentions_speedup(self):
+        est = PartitionEstimate([4.0], [1.0], 5.0)
+        assert "speedup" in repr(est)
+
+
+class TestEstimateOnFig2(object):
+    def test_balanced_cut_beats_degenerate_cut(self, lol):
+        func, header, _ = lol
+        loop = find_loop_by_header(func, header)
+        graph = build_dependence_graph(func, loop)
+        dag = graph.dag_scc()
+        profile = LoopProfile.uniform(loop)
+
+        def estimate_for(stages):
+            partition = Partition(dag, stages)
+            splitter = LoopSplitter(func, loop, graph, partition)
+            splitter._plan_flows()
+            return estimate_partition(
+                partition, dag, graph, profile, static_latency, splitter.plan
+            )
+
+        n = len(dag)
+        balanced = estimate_for([{0, 1}, set(range(2, n))])
+        degenerate = estimate_for([set(range(n - 1)), {n - 1}])
+        assert balanced.speedup > degenerate.speedup
+
+    def test_scc_cycles_positive(self, lol):
+        func, header, _ = lol
+        loop = find_loop_by_header(func, header)
+        graph = build_dependence_graph(func, loop)
+        dag = graph.dag_scc()
+        cycles = estimated_scc_cycles(
+            dag, graph, LoopProfile.uniform(loop), static_latency
+        )
+        assert len(cycles) == len(dag)
+        assert all(c > 0 for c in cycles)

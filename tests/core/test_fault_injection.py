@@ -1,0 +1,136 @@
+"""Failure-injection tests: corrupting a transformed pipeline must be
+*detected* (deadlock, protocol error, or wrong-result assertion), never
+silently tolerated.  These tests establish that the equivalence suite's
+green results are meaningful -- the machinery notices when the queue
+discipline is broken."""
+
+import pytest
+
+from repro.core.dswp import dswp
+from repro.interp.errors import DeadlockError, QueueProtocolError
+from repro.interp.multithread import run_threads
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def transformed():
+    case = get_workload("listoflists").build(scale=30)
+    result = dswp(case.function, case.loop, require_profitable=False)
+    assert result.applied
+    return case, result
+
+
+def find_flow(program, opcode, queue=None):
+    for fn in program.threads:
+        for block in fn.blocks():
+            for inst in block:
+                if inst.opcode is opcode and (
+                    queue is None or inst.queue == queue
+                ):
+                    return fn, block, inst
+    raise AssertionError("flow instruction not found")
+
+
+class TestDroppedFlows:
+    def test_dropped_produce_detected(self, transformed):
+        """Removing a loop produce starves the consumer: the run must
+        end in a deadlock or protocol error, not a wrong answer."""
+        case, result = transformed
+        loop_flow = result.flow_plan.loop_flows[0]
+        fn, block, inst = find_flow(result.program, Opcode.PRODUCE,
+                                    loop_flow.queue)
+        block.instructions.remove(inst)
+        with pytest.raises((DeadlockError, QueueProtocolError)):
+            run_threads(result.program, case.fresh_memory(),
+                        initial_regs=case.initial_regs, max_steps=4_000_000)
+
+    def test_dropped_consume_detected_or_flagged(self, transformed):
+        """Removing a consume leaves the register stale; either the
+        oracle or the leftover-queue check must notice."""
+        case, result = transformed
+        loop_flow = next(f for f in result.flow_plan.loop_flows
+                         if f.register is not None)
+        fn, block, inst = find_flow(result.program, Opcode.CONSUME,
+                                    loop_flow.queue)
+        block.instructions.remove(inst)
+        try:
+            mt = run_threads(result.program, case.fresh_memory(),
+                             initial_regs=case.initial_regs,
+                             max_steps=4_000_000)
+        except (DeadlockError, QueueProtocolError):
+            return
+        with pytest.raises(AssertionError):
+            case.checker(mt.memory, mt.main_regs)
+
+    def test_dropped_initial_flow_detected(self, transformed):
+        case, result = transformed
+        init = result.flow_plan.initial_flows[0]
+        fn, block, inst = find_flow(result.program, Opcode.PRODUCE,
+                                    init.queue)
+        block.instructions.remove(inst)
+        with pytest.raises((DeadlockError, QueueProtocolError)):
+            run_threads(result.program, case.fresh_memory(),
+                        initial_regs=case.initial_regs, max_steps=4_000_000)
+
+
+class TestCorruptedQueues:
+    def test_crossed_queue_ids_detected(self, transformed):
+        """Rerouting a produce onto another queue breaks the in-order
+        matching; the run must not silently produce the right answer
+        by luck."""
+        case, result = transformed
+        flows = result.flow_plan.loop_flows
+        if len(flows) < 2:
+            pytest.skip("needs two loop flows")
+        a, b = flows[0], flows[1]
+        fn, block, inst = find_flow(result.program, Opcode.PRODUCE, a.queue)
+        inst.queue = b.queue
+        try:
+            mt = run_threads(result.program, case.fresh_memory(),
+                             initial_regs=case.initial_regs,
+                             max_steps=4_000_000)
+        except (DeadlockError, QueueProtocolError):
+            return
+        with pytest.raises(AssertionError):
+            case.checker(mt.memory, mt.main_regs)
+
+    def test_duplicated_produce_detected(self, transformed):
+        """An extra produce desynchronises the FIFO pairing."""
+        case, result = transformed
+        loop_flow = next(f for f in result.flow_plan.loop_flows
+                         if f.register is not None)
+        fn, block, inst = find_flow(result.program, Opcode.PRODUCE,
+                                    loop_flow.queue)
+        from repro.ir.instruction import Instruction
+        block.insert_after(inst, Instruction(
+            Opcode.PRODUCE, srcs=list(inst.srcs), queue=inst.queue
+        ))
+        try:
+            mt = run_threads(result.program, case.fresh_memory(),
+                             initial_regs=case.initial_regs,
+                             max_steps=4_000_000)
+        except (DeadlockError, QueueProtocolError):
+            return
+        with pytest.raises(AssertionError):
+            case.checker(mt.memory, mt.main_regs)
+
+
+class TestTimingDomainDetection:
+    def test_timing_simulation_rejects_starved_consume(self, transformed):
+        """The cycle-level co-simulation also detects a missing
+        producer (SimulationDeadlock), mirroring the functional check."""
+        from repro.interp.trace import TraceEntry
+        from repro.ir.instruction import Instruction
+        from repro.machine.cmp import SimulationDeadlock, simulate
+        from repro.ir.types import gen_reg
+
+        orphan = [TraceEntry(
+            Instruction(Opcode.CONSUME, dest=gen_reg(0), queue=99)
+        )]
+        busy = [TraceEntry(Instruction(
+            Opcode.ADD, dest=gen_reg(1), srcs=[gen_reg(1)], imm=1
+        ))]
+        with pytest.raises(SimulationDeadlock):
+            simulate([busy, orphan])

@@ -1,0 +1,92 @@
+"""Tests for flow planning: deduplication, queue allocation, counts."""
+
+import pytest
+
+from repro.core.flows import FlowKind, FlowPlan, QueueAllocator
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg, pred_reg
+
+
+def some_inst():
+    return Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=1)
+
+
+def some_branch():
+    return Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["a", "b"])
+
+
+class TestQueueAllocator:
+    def test_sequential_ids(self):
+        alloc = QueueAllocator()
+        assert [alloc.allocate() for _ in range(3)] == [0, 1, 2]
+        assert alloc.used == 3
+
+    def test_limit_enforced(self):
+        alloc = QueueAllocator(limit=2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            alloc.allocate()
+
+
+class TestDeduplication:
+    def test_data_flow_deduped_per_source_register_thread(self):
+        plan = FlowPlan()
+        src = some_inst()
+        a = plan.add_data_flow(src, gen_reg(0), 0, 1)
+        b = plan.add_data_flow(src, gen_reg(0), 0, 1)
+        assert a is b
+        assert len(plan.loop_flows) == 1
+
+    def test_data_flow_distinct_threads_get_distinct_queues(self):
+        plan = FlowPlan()
+        src = some_inst()
+        a = plan.add_data_flow(src, gen_reg(0), 0, 1)
+        c = plan.add_data_flow(src, gen_reg(0), 0, 2)
+        assert a.queue != c.queue
+
+    def test_control_flow_deduped(self):
+        plan = FlowPlan()
+        br = some_branch()
+        a = plan.add_control_flow(br, 0, 1)
+        b = plan.add_control_flow(br, 0, 1)
+        assert a is b
+        assert a.kind is FlowKind.CONTROL
+        assert a.register is pred_reg(0)
+
+    def test_memory_flow_deduped_per_thread(self):
+        plan = FlowPlan()
+        st_inst = Instruction(Opcode.STORE, srcs=[gen_reg(0), gen_reg(1)], imm=0)
+        a = plan.add_memory_flow(st_inst, 0, 1)
+        b = plan.add_memory_flow(st_inst, 0, 1)
+        assert a is b
+        assert a.register is None
+
+    def test_boundary_flows_deduped(self):
+        plan = FlowPlan()
+        a = plan.add_initial_flow(gen_reg(3), 1)
+        b = plan.add_initial_flow(gen_reg(3), 1)
+        assert a is b
+        x = plan.add_final_flow(gen_reg(3), 1)
+        y = plan.add_final_flow(gen_reg(3), 1)
+        assert x is y
+        assert x.queue != a.queue
+
+
+class TestQueries:
+    def test_loop_flows_from_sorted_by_queue(self):
+        plan = FlowPlan()
+        src = some_inst()
+        f1 = plan.add_data_flow(src, gen_reg(0), 0, 1)
+        f2 = plan.add_memory_flow(src, 0, 1)
+        flows = plan.loop_flows_from(src)
+        assert flows == sorted([f1, f2], key=lambda f: f.queue)
+
+    def test_counts(self):
+        plan = FlowPlan()
+        src = some_inst()
+        plan.add_data_flow(src, gen_reg(0), 0, 1)
+        plan.add_control_flow(some_branch(), 0, 1)
+        plan.add_initial_flow(gen_reg(1), 1)
+        plan.add_final_flow(gen_reg(2), 1)
+        assert plan.counts() == {"initial": 1, "loop": 2, "final": 1}

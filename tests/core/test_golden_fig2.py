@@ -1,0 +1,74 @@
+"""Golden test: the Fig. 2 running example's transformed threads.
+
+Pins down the exact code the splitter generates for the paper's
+list-of-lists loop under the paper's partition, so any change to
+consume placement, branch duplication, retargeting, or queue
+allocation shows up as a diff here.
+"""
+
+from repro.analysis.pdg import build_dependence_graph
+from repro.core.splitter import split_loop
+from repro.ir.loops import find_loop_by_header
+from repro.ir.printer import render_function
+
+from tests.conftest import build_list_of_lists
+from tests.core.test_splitter import paper_partition
+
+EXPECTED_MAIN = """\
+func lol@main entry=entry
+entry:
+    mov r0 = 0
+    produce [2] = r0
+    jmp BB2
+BB2:
+    cmp.eq p1 = r1, 0
+    produce [1] = p1
+    br p1, dswp_exit_0, BB3
+BB3:
+    load r2 = [r1 + 2] !outer
+    produce [0] = r2
+    jmp BB6
+BB6:
+    load r1 = [r1 + 1] !outer
+    jmp BB2
+BB7:
+    store [r4 + 0] = r0 !result
+    ret
+dswp_exit_0:
+    consume r0 = [3]
+    jmp BB7
+"""
+
+EXPECTED_AUX = """\
+func lol@t1 entry=entry
+entry:
+    consume r0 = [2]
+    jmp BB2
+BB2:
+    consume p1 = [1]
+    br p1, post, BB3
+BB3:
+    consume r2 = [0]
+    jmp BB4
+BB4:
+    cmp.eq p2 = r2, 0
+    br p2, BB2, BB5
+BB5:
+    load r3 = [r2 + 3] !inner
+    add r0 = r0, r3
+    load r2 = [r2 + 0] !inner
+    jmp BB4
+post:
+    produce [3] = r0
+    ret
+"""
+
+
+def test_fig2_transformed_threads_golden():
+    func, header, _ = build_list_of_lists()
+    loop = find_loop_by_header(func, header)
+    graph = build_dependence_graph(func, loop)
+    result = split_loop(func, loop, graph, paper_partition(graph))
+    main, aux = result.program.threads
+    assert render_function(main) == EXPECTED_MAIN
+    assert render_function(aux) == EXPECTED_AUX

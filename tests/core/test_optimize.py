@@ -1,0 +1,117 @@
+"""Tests for the §2.2.4 flow code-motion passes."""
+
+import random
+
+from repro.analysis.pdg import build_dependence_graph
+from repro.core.optimize import hoist_initial_flows, optimize_flows, sink_final_flows
+from repro.core.splitter import split_loop
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode, gen_reg
+
+from tests.conftest import build_list_of_lists, build_list_of_lists_memory
+from tests.core.test_splitter import paper_partition
+
+
+def split_fig2():
+    func, header, regs = build_list_of_lists()
+    loop = find_loop_by_header(func, header)
+    graph = build_dependence_graph(func, loop)
+    result = split_loop(func, loop, graph, paper_partition(graph))
+    return func, regs, result
+
+
+class TestHoistInitialFlows:
+    def test_produce_moves_above_unrelated_work(self):
+        """Padding the preheader with unrelated work: the initial-flow
+        produce should hoist above it (but stay after the def it needs)."""
+        func, regs, result = split_fig2()
+        main = result.program.threads[0]
+        entry = main.block("entry")
+        # Inject busy work between the def of r0 and the produce.
+        pad = gen_reg(90)
+        produce_idx = next(
+            i for i, inst in enumerate(entry.instructions)
+            if inst.opcode is Opcode.PRODUCE
+        )
+        for _ in range(3):
+            entry.instructions.insert(
+                produce_idx,
+                type(entry.instructions[0])(
+                    Opcode.ADD, dest=pad, srcs=[pad], imm=1
+                ),
+            )
+        initial_queues = {f.queue for f in result.flow_plan.initial_flows}
+        moved = hoist_initial_flows(main, initial_queues)
+        assert moved == 1
+        ops = [i.opcode for i in entry.instructions]
+        # mov r0, produce, then the padding.
+        assert ops[0] is Opcode.MOV
+        assert ops[1] is Opcode.PRODUCE
+
+    def test_hoist_respects_definition(self):
+        """The produce never moves above the def of its operand."""
+        func, regs, result = split_fig2()
+        main = result.program.threads[0]
+        initial_queues = {f.queue for f in result.flow_plan.initial_flows}
+        hoist_initial_flows(main, initial_queues)
+        entry = main.block("entry")
+        def_idx = next(i for i, inst in enumerate(entry.instructions)
+                       if inst.opcode is Opcode.MOV)
+        produce_idx = next(i for i, inst in enumerate(entry.instructions)
+                           if inst.opcode is Opcode.PRODUCE)
+        assert produce_idx > def_idx
+
+    def test_noop_without_slack(self):
+        func, regs, result = split_fig2()
+        main = result.program.threads[0]
+        initial_queues = {f.queue for f in result.flow_plan.initial_flows}
+        assert hoist_initial_flows(main, initial_queues) == 0
+
+
+class TestSinkFinalFlows:
+    def test_consume_sinks_below_unrelated_work(self):
+        func, regs, result = split_fig2()
+        main = result.program.threads[0]
+        stage = main.block("dswp_exit_0")
+        pad = gen_reg(91)
+        # Unrelated post-loop work after the consume.
+        insert_at = 1
+        for _ in range(2):
+            stage.instructions.insert(
+                insert_at,
+                type(stage.instructions[0])(
+                    Opcode.ADD, dest=pad, srcs=[pad], imm=1
+                ),
+            )
+        final_queues = {f.queue for f in result.flow_plan.final_flows}
+        moved = sink_final_flows(main, final_queues)
+        assert moved == 1
+        ops = [i.opcode for i in stage.instructions]
+        assert ops[-2] is Opcode.CONSUME  # just before the terminator
+
+    def test_noop_when_terminator_follows(self):
+        func, regs, result = split_fig2()
+        main = result.program.threads[0]
+        final_queues = {f.queue for f in result.flow_plan.final_flows}
+        assert sink_final_flows(main, final_queues) == 0
+
+
+class TestSemanticsPreserved:
+    def test_optimized_pipeline_still_correct(self):
+        func, regs, result = split_fig2()
+        main = result.program.threads[0]
+        stats = optimize_flows(
+            main,
+            {f.queue for f in result.flow_plan.initial_flows},
+            {f.queue for f in result.flow_plan.final_flows},
+        )
+        rng = random.Random(9)
+        memory, head, out_addr, total = build_list_of_lists_memory(rng)
+        initial = {regs["outer"]: head, regs["out"]: out_addr}
+        seq = run_function(func, memory.clone(), initial_regs=initial)
+        par = run_threads(result.program, memory.clone(), initial_regs=initial)
+        assert seq.memory.snapshot() == par.memory.snapshot()
+        assert par.memory.read(out_addr) == total

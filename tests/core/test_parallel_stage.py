@@ -1,0 +1,148 @@
+"""Tests for parallel-stage DSWP (the PS-DSWP anticipation)."""
+
+import pytest
+
+from repro.core.parallel_stage import ParallelStageError, parallel_stage_dswp
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_function
+from repro.workloads import get_workload
+
+REPLICABLE = ("compress", "jpegenc", "equake", "art", "epicdec")
+NOT_REPLICABLE = {
+    "mcf": "loop-carried",
+    "ammp": "loop-carried",
+    "wc": "not a reduction",
+    "bzip2": "not a reduction",
+    "adpcmdec": "not a reduction",
+    "gzip": "DSWP itself declined",
+}
+
+
+@pytest.mark.parametrize("name", REPLICABLE)
+class TestReplicates:
+    def test_functional_equivalence(self, name):
+        case = get_workload(name).build(scale=97)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=2)
+        assert len(result.program) == 3  # producer + 2 replicas
+        for fn in result.program.threads:
+            verify_function(fn)
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                    max_steps=20_000_000)
+        assert seq.memory.snapshot() == par_mem.snapshot()
+        case.checker(par_mem, {})
+
+    @pytest.mark.parametrize("scale", [1, 2, 3, 5])
+    def test_edge_trip_counts(self, name, scale):
+        """Trip counts around (and below) the replica count."""
+        case = get_workload(name).build(scale=scale)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=2)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                    max_steps=20_000_000)
+        case.checker(par_mem, {})
+
+    def test_three_replicas(self, name):
+        case = get_workload(name).build(scale=80)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=3)
+        assert len(result.program) == 4
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                    max_steps=20_000_000)
+        case.checker(par_mem, {})
+
+    @pytest.mark.parametrize("quantum", [1, 13, 64])
+    def test_schedule_independence(self, name, quantum):
+        case = get_workload(name).build(scale=40)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=2)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                    quantum=quantum, max_steps=20_000_000)
+        case.checker(par_mem, {})
+
+
+@pytest.mark.parametrize("name,reason", sorted(NOT_REPLICABLE.items()))
+def test_unsafe_stages_declined(name, reason):
+    case = get_workload(name).build(scale=30)
+    with pytest.raises(ParallelStageError, match=reason):
+        parallel_stage_dswp(case.function, case.loop, replicas=2)
+
+
+class TestStructure:
+    def test_producer_deals_round_robin(self):
+        case = get_workload("jpegenc").build(scale=20)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=2)
+        main = result.program.threads[0]
+        copy0 = {i.queue for b in main.blocks() if b.label == "body"
+                 for i in b if i.opcode is Opcode.PRODUCE}
+        copy1 = {i.queue for b in main.blocks() if b.label == "body@u1"
+                 for i in b if i.opcode is Opcode.PRODUCE}
+        assert copy0 and copy1
+        assert not (copy0 & copy1), "copies must use disjoint queue sets"
+
+    def test_replicas_use_disjoint_queues(self):
+        case = get_workload("jpegenc").build(scale=20)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=2)
+        queues = []
+        for replica in result.program.threads[1:]:
+            queues.append({
+                i.queue for i in replica.instructions()
+                if i.is_flow and i.queue is not None
+            })
+        assert not (queues[0] & queues[1])
+
+    def test_localised_induction_not_streamed(self):
+        """When the output index crosses the cut, each replica
+        recomputes it locally instead of consuming a (misaligned)
+        carried stream.  Force a cut that keeps only the induction SCC
+        in the producer so the crossing is guaranteed."""
+        from repro.core.dswp import dswp
+        from repro.core.partition import Partition
+        from repro.interp.interpreter import run_function
+        from repro.interp.multithread import run_threads
+
+        case = get_workload("compress").build(scale=21)
+        probe = dswp(case.function, case.loop, require_profitable=False)
+        dag = probe.dag
+        induction_scc = next(
+            sid for sid, members in enumerate(dag.sccs)
+            if any(m.is_branch for m in members)
+        )
+        cut = Partition(dag, [{induction_scc},
+                              set(range(len(dag))) - {induction_scc}])
+        result = parallel_stage_dswp(case.function, case.loop,
+                                     replicas=2, partition=cut)
+        localised_adds = [
+            i
+            for replica in result.program.threads[1:]
+            for i in replica.instructions()
+            if i.opcode is Opcode.ADD and i.imm == 2 and i.srcs == [i.dest]
+        ]
+        assert localised_adds, "replicas should step the induction by 2"
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs,
+                    max_steps=20_000_000)
+        assert seq.memory.snapshot() == par_mem.snapshot()
+
+    def test_reduction_partials_combined(self):
+        case = get_workload("art").build(scale=30)
+        result = parallel_stage_dswp(case.function, case.loop, replicas=2)
+        assert result.reductions
+        main = result.program.threads[0]
+        staging = [b for b in main.blocks()
+                   if b.label.startswith("dswp_exit_")]
+        assert staging
+        consumes = [i for i in staging[0] if i.opcode is Opcode.CONSUME]
+        assert len(consumes) == 2  # one partial per replica
+
+
+def test_single_replica_rejected():
+    case = get_workload("jpegenc").build(scale=10)
+    with pytest.raises(ParallelStageError, match="two replicas"):
+        parallel_stage_dswp(case.function, case.loop, replicas=1)

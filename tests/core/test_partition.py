@@ -1,0 +1,138 @@
+"""Tests for partition validity, the TPP heuristic, and enumeration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.scc import DagScc
+from repro.core.partition import (
+    Partition,
+    PartitionError,
+    cut_flow_count,
+    enumerate_two_way_partitions,
+    heuristic_partition,
+    single_stage_partition,
+)
+
+
+def chain_dag(n):
+    """SCC ids 0 -> 1 -> ... -> n-1."""
+    return DagScc([[f"s{i}"] for i in range(n)],
+                  {i: ({i + 1} if i + 1 < n else set()) for i in range(n)})
+
+
+def diamond_dag():
+    """0 -> {1, 2} -> 3."""
+    return DagScc([["a"], ["b"], ["c"], ["d"]],
+                  {0: {1, 2}, 1: {3}, 2: {3}, 3: set()})
+
+
+class TestValidity:
+    def test_valid_partition_accepted(self):
+        Partition(chain_dag(3), [{0, 1}, {2}])
+
+    def test_backward_arc_rejected(self):
+        with pytest.raises(PartitionError, match="backward"):
+            Partition(chain_dag(3), [{0, 2}, {1}])
+
+    def test_missing_scc_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(chain_dag(3), [{0}, {2}])
+
+    def test_duplicate_scc_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(chain_dag(3), [{0, 1}, {1, 2}])
+
+    def test_assignment_maps_instructions(self):
+        p = Partition(chain_dag(2), [{0}, {1}])
+        assignment = p.assignment()
+        assert assignment["s0"] == 0
+        assert assignment["s1"] == 1
+
+    def test_stage_of_scc(self):
+        p = Partition(diamond_dag(), [{0, 1}, {2, 3}])
+        assert p.stage_of_scc() == {0: 0, 1: 0, 2: 1, 3: 1}
+
+
+class TestHeuristic:
+    def test_balances_a_chain(self):
+        dag = chain_dag(4)
+        p = heuristic_partition(dag, [10, 10, 10, 10], threads=2)
+        assert len(p) == 2
+        sizes = [len(s) for s in p.stages]
+        assert sizes == [2, 2]
+
+    def test_huge_first_scc_gets_own_stage(self):
+        dag = chain_dag(4)
+        p = heuristic_partition(dag, [100, 5, 5, 5], threads=2)
+        assert p.stages[0] == {0}
+        assert p.stages[1] == {1, 2, 3}
+
+    def test_single_scc_single_stage(self):
+        p = heuristic_partition(chain_dag(1), [10], threads=2)
+        assert len(p) == 1
+
+    def test_respects_thread_limit(self):
+        dag = chain_dag(8)
+        p = heuristic_partition(dag, [1] * 8, threads=3)
+        assert len(p) <= 3
+
+    def test_result_is_valid(self):
+        dag = diamond_dag()
+        p = heuristic_partition(dag, [4, 3, 2, 1], threads=2)
+        p.validate()
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(PartitionError):
+            heuristic_partition(chain_dag(2), [1, 1], threads=0)
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=50), min_size=2, max_size=10),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_heuristic_always_valid_on_chains(self, cycles, threads):
+        dag = chain_dag(len(cycles))
+        p = heuristic_partition(dag, cycles, threads=threads)
+        p.validate()
+        assert 1 <= len(p) <= threads
+
+
+class TestEnumeration:
+    def test_chain_has_n_minus_one_cuts(self):
+        parts = enumerate_two_way_partitions(chain_dag(5))
+        assert len(parts) == 4
+
+    def test_diamond_cut_count(self):
+        # Down-sets of the diamond excluding {} and all: {0},{0,1},{0,2},{0,1,2}
+        parts = enumerate_two_way_partitions(diamond_dag())
+        firsts = {frozenset(p.stages[0]) for p in parts}
+        assert firsts == {
+            frozenset({0}),
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({0, 1, 2}),
+        }
+
+    def test_all_enumerated_are_valid(self):
+        for p in enumerate_two_way_partitions(diamond_dag()):
+            p.validate()
+
+    def test_single_scc_has_no_cuts(self):
+        assert enumerate_two_way_partitions(chain_dag(1)) == []
+
+    def test_limit_respected(self):
+        dag = DagScc([[i] for i in range(12)], {i: set() for i in range(12)})
+        parts = enumerate_two_way_partitions(dag, limit=50)
+        assert len(parts) <= 50
+
+
+class TestHelpers:
+    def test_single_stage_partition(self):
+        p = single_stage_partition(chain_dag(3))
+        assert len(p) == 1
+        assert p.stages[0] == {0, 1, 2}
+
+    def test_cut_flow_count(self):
+        dag = diamond_dag()
+        assert cut_flow_count(dag, [{0}, {1, 2, 3}]) == 2
+        assert cut_flow_count(dag, [{0, 1, 2}, {3}]) == 2
+        assert cut_flow_count(dag, [{0, 1, 2, 3}]) == 0

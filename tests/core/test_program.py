@@ -1,0 +1,188 @@
+"""Tests for whole-program DSWP with the master-queue runtime (§3)."""
+
+import pytest
+
+from repro.core.program import dswp_program
+from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_function
+
+
+def two_loop_function():
+    """Loop 1 scales an array; loop 2 sums the result."""
+    b = IRBuilder("twoloops")
+    r_i, r_n, r_base, r_v, r_addr = (b.reg() for _ in range(5))
+    r_j, r_acc, r_out = (b.reg() for _ in range(3))
+    p1, p2 = b.pred(), b.pred()
+    affine = {"affine": True, "affine_base": "arr"}
+
+    b.block("entry", entry=True)
+    b.mov(r_i, imm=0)
+    b.jmp("h1")
+    b.block("h1")
+    b.cmp_ge(p1, r_i, r_n)
+    b.br(p1, "mid", "body1")
+    b.block("body1")
+    b.add(r_addr, r_base, r_i)
+    b.load(r_v, r_addr, offset=0, region="arr", attrs=dict(affine))
+    b.mul(r_v, r_v, imm=3)
+    b.add(r_v, r_v, imm=1)
+    b.store(r_v, r_addr, offset=0, region="arr", attrs=dict(affine))
+    b.add(r_i, r_i, imm=1)
+    b.jmp("h1")
+    b.block("mid")
+    b.mov(r_j, imm=0)
+    b.mov(r_acc, imm=0)
+    b.jmp("h2")
+    b.block("h2")
+    b.cmp_ge(p2, r_j, r_n)
+    b.br(p2, "exit", "body2")
+    b.block("body2")
+    b.add(r_addr, r_base, r_j)
+    b.load(r_v, r_addr, offset=0, region="arr", attrs=dict(affine))
+    b.xor(r_v, r_v, r_j)
+    b.add(r_acc, r_acc, r_v)
+    b.add(r_j, r_j, imm=1)
+    b.jmp("h2")
+    b.block("exit")
+    b.store(r_acc, r_out, offset=0, region="result")
+    b.ret()
+    func = b.done()
+    return func, {"n": r_n, "base": r_base, "out": r_out}
+
+
+@pytest.fixture
+def two_loops():
+    func, regs = two_loop_function()
+    memory = Memory()
+    base = memory.store_array([(i * 11 + 4) % 97 for i in range(30)])
+    out = memory.alloc(1)
+    initial = {regs["n"]: 30, regs["base"]: base, regs["out"]: out}
+    return func, memory, initial, out
+
+
+class TestDswpProgram:
+    def test_both_loops_transformed(self, two_loops):
+        func, memory, initial, _ = two_loops
+        result = dswp_program(func, ["h1", "h2"])
+        assert len(result.applied_loops) == 2
+        assert [t.loop_id for t in result.applied_loops] == [1, 2]
+        assert len(result.program) == 2  # one shared auxiliary thread
+
+    def test_functional_equivalence(self, two_loops):
+        func, memory, initial, out = two_loops
+        seq = run_function(func, memory.clone(), initial_regs=initial)
+        result = dswp_program(func, ["h1", "h2"])
+        par = run_threads(result.program, memory.clone(), initial_regs=initial)
+        assert seq.memory.snapshot() == par.memory.snapshot()
+        assert par.memory.read(out) == seq.memory.read(out)
+
+    def test_threads_verify(self, two_loops):
+        func, *_ = two_loops
+        result = dswp_program(func, ["h1", "h2"])
+        for fn in result.program.threads:
+            verify_function(fn)
+
+    def test_master_queue_protocol(self, two_loops):
+        """The aux thread must see ids 1, 2, 0 on its master queue."""
+        func, memory, initial, _ = two_loops
+        result = dswp_program(func, ["h1", "h2"])
+        aux = result.program.threads[1]
+        # One consume from the master queue in the dispatch loop.
+        mq = result.master_queues[1]
+        master_consumes = [
+            i for i in aux.instructions()
+            if i.opcode is Opcode.CONSUME and i.queue == mq
+        ]
+        assert len(master_consumes) == 1
+        # Main produces on the master queue three times: loop1, loop2,
+        # terminate.
+        main = result.program.threads[0]
+        produces = [
+            i for i in main.instructions()
+            if i.opcode is Opcode.PRODUCE and i.queue == mq
+        ]
+        assert len(produces) == 3
+
+    def test_sections_renamed(self, two_loops):
+        func, *_ = two_loops
+        result = dswp_program(func, ["h1", "h2"])
+        aux = result.program.threads[1]
+        labels = {b.label for b in aux.blocks()}
+        assert "master" in labels
+        assert any(l.startswith("L1_") for l in labels)
+        assert any(l.startswith("L2_") for l in labels)
+
+    def test_default_headers_pick_all_loops(self, two_loops):
+        func, memory, initial, _ = two_loops
+        result = dswp_program(func)
+        assert len(result.applied_loops) == 2
+
+    def test_schedule_independence(self, two_loops):
+        func, memory, initial, out = two_loops
+        result = dswp_program(func, ["h1", "h2"])
+        values = set()
+        for quantum in (1, 3, 64):
+            par = run_threads(result.program, memory.clone(),
+                              initial_regs=initial, quantum=quantum)
+            values.add(par.memory.read(out))
+        assert len(values) == 1
+
+
+class TestPartialApplication:
+    def test_single_scc_loop_left_sequential(self):
+        """A gzip-like serialised loop stays in the main thread; the
+        other loop is still transformed."""
+        from repro.workloads import GzipWorkload
+        b = IRBuilder("mixed")
+        r_i, r_n, r_base, r_v, r_addr, r_out = (b.reg() for _ in range(6))
+        r_h = b.reg()
+        p1, p2 = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.jmp("h1")
+        b.block("h1")
+        b.cmp_ge(p1, r_i, r_n)
+        b.br(p1, "mid", "body1")
+        b.block("body1")
+        b.add(r_addr, r_base, r_i)
+        b.load(r_v, r_addr, offset=0, region="arr",
+               attrs={"affine": True, "affine_base": "arr"})
+        b.add(r_v, r_v, imm=7)
+        b.store(r_v, r_addr, offset=0, region="arr",
+                attrs={"affine": True, "affine_base": "arr"})
+        b.add(r_i, r_i, imm=1)
+        b.jmp("h1")
+        # Second loop: pure serialised recurrence (single SCC).
+        b.block("mid")
+        b.jmp("h2")
+        b.block("h2")
+        b.cmp_eq(p2, r_h, imm=0)
+        b.br(p2, "exit", "body2")
+        b.block("body2")
+        b.mul(r_h, r_h, imm=5)
+        b.and_(r_h, r_h, imm=255)
+        b.sub(r_h, r_h, imm=1)
+        b.jmp("h2")
+        b.block("exit")
+        b.store(r_h, r_out, offset=0, region="res")
+        b.ret()
+        func = b.done()
+
+        result = dswp_program(func, ["h1", "h2"])
+        applied = result.applied_loops
+        assert len(applied) == 1
+        assert applied[0].header == "h1"
+        declined = [t for t in result.loops if not t.applied]
+        assert declined[0].reason == "single SCC"
+
+        memory = Memory()
+        base = memory.store_array(list(range(20)))
+        out = memory.alloc(1)
+        initial = {r_n: 20, r_base: base, r_out: out, r_h: 7}
+        seq = run_function(func, memory.clone(), initial_regs=initial)
+        par = run_threads(result.program, memory.clone(), initial_regs=initial)
+        assert seq.memory.snapshot() == par.memory.snapshot()

@@ -1,0 +1,150 @@
+"""Tests for speculative loop-termination DSWP (§5.4 extension)."""
+
+import pytest
+
+from repro.core.dswp import dswp
+from repro.core.speculation import (
+    SpeculationError,
+    speculative_dswp,
+)
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_function
+from repro.workloads import GzipMatchWorkload, GzipWorkload, get_workload
+
+
+@pytest.fixture(scope="module")
+def gzip_case():
+    return GzipWorkload().build(scale=200)
+
+
+@pytest.fixture(scope="module")
+def match_case():
+    return GzipMatchWorkload().build(scale=200)
+
+
+class TestApplicability:
+    def test_plain_dswp_declines_gzip(self, gzip_case):
+        result = dswp(gzip_case.function, gzip_case.loop,
+                      require_profitable=False)
+        assert not result.applied
+
+    def test_speculation_applies_to_gzip(self, gzip_case):
+        result = speculative_dswp(gzip_case.function, gzip_case.loop)
+        assert len(result.program) == 2
+        assert result.speculated_branches
+        for fn in result.program.threads:
+            verify_function(fn)
+
+    def test_producer_slice_is_side_effect_free(self, match_case):
+        result = speculative_dswp(match_case.function, match_case.loop)
+        assert all(not inst.is_store and not inst.is_call
+                   for inst in result.producer_instructions)
+
+    def test_detection_stays_with_consumer(self, match_case):
+        """The exit compares and branches live in the main thread."""
+        result = speculative_dswp(match_case.function, match_case.loop)
+        producer = result.program.threads[1]
+        branches = [i for i in producer.instructions() if i.is_branch]
+        # Exactly one branch: the credit stop-check.
+        assert len(branches) == 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("window", [1, 2, 8, 31])
+    def test_equivalence_across_windows(self, gzip_case, window):
+        result = speculative_dswp(gzip_case.function, gzip_case.loop,
+                                  window=window)
+        seq = run_function(gzip_case.function, gzip_case.fresh_memory(),
+                           initial_regs=gzip_case.initial_regs)
+        par_mem = gzip_case.fresh_memory()
+        run_threads(result.program, par_mem,
+                    initial_regs=gzip_case.initial_regs)
+        assert seq.memory.snapshot() == par_mem.snapshot()
+        gzip_case.checker(par_mem, {})
+
+    def test_match_loop_equivalence(self, match_case):
+        result = speculative_dswp(match_case.function, match_case.loop)
+        seq = run_function(match_case.function, match_case.fresh_memory(),
+                           initial_regs=match_case.initial_regs)
+        par_mem = match_case.fresh_memory()
+        run_threads(result.program, par_mem,
+                    initial_regs=match_case.initial_regs)
+        assert seq.memory.snapshot() == par_mem.snapshot()
+        match_case.checker(par_mem, {})
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_varied_exit_reasons(self, seed):
+        """Different seeds exit via h==0, the step limit, or the
+        sentinel probe; all must reconcile."""
+        case = GzipMatchWorkload().build(scale=150, seed=seed)
+        result = speculative_dswp(case.function, case.loop, window=4)
+        par_mem = case.fresh_memory()
+        run_threads(result.program, par_mem, initial_regs=case.initial_regs)
+        case.checker(par_mem, {})
+
+    @pytest.mark.parametrize("quantum", [1, 7, 64])
+    def test_schedule_independence(self, gzip_case, quantum):
+        result = speculative_dswp(gzip_case.function, gzip_case.loop)
+        par_mem = gzip_case.fresh_memory()
+        run_threads(result.program, par_mem,
+                    initial_regs=gzip_case.initial_regs, quantum=quantum)
+        gzip_case.checker(par_mem, {})
+
+    def test_bounded_overrun(self, gzip_case):
+        """The producer executes at most `window` extra iterations."""
+        window = 5
+        result = speculative_dswp(gzip_case.function, gzip_case.loop,
+                                  window=window)
+        par_mem = gzip_case.fresh_memory()
+        mt = run_threads(result.program, par_mem,
+                         initial_regs=gzip_case.initial_regs,
+                         record_trace=True)
+        producer_trace = mt.traces()[1]
+        producer_loads = sum(1 for e in producer_trace if e.inst.is_load)
+        seq = run_function(gzip_case.function, gzip_case.fresh_memory(),
+                           initial_regs=gzip_case.initial_regs,
+                           record_trace=True)
+        seq_loads = sum(1 for e in seq.trace if e.inst.is_load)
+        assert producer_loads <= seq_loads + window
+
+
+class TestRestrictions:
+    def test_rejects_store_in_recurrence(self):
+        b = IRBuilder("storerec")
+        r_p, r_v = b.reg(), b.reg()
+        p = b.pred()
+        b.block("entry", entry=True)
+        b.jmp("h")
+        b.block("h")
+        b.load(r_p, r_p, offset=0, region="list")
+        b.cmp_eq(p, r_p, imm=0)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.add(r_v, r_p, imm=1)
+        b.store(r_v, r_p, offset=1, region="list")
+        b.jmp("h")
+        b.block("exit")
+        b.ret()
+        f = b.done()
+        with pytest.raises(SpeculationError):
+            speculative_dswp(f, find_loop_by_header(f, "h"))
+
+    def test_rejects_non_exit_branches(self):
+        case = get_workload("mcf").build(scale=10)
+        with pytest.raises(SpeculationError, match="loop exit"):
+            speculative_dswp(case.function, case.loop)
+
+    def test_rejects_zero_window(self, gzip_case):
+        with pytest.raises(SpeculationError, match="window"):
+            speculative_dswp(gzip_case.function, gzip_case.loop, window=0)
+
+    def test_rejects_loopless_function(self):
+        b = IRBuilder("flat")
+        b.block("entry", entry=True)
+        b.ret()
+        with pytest.raises(SpeculationError, match="no loops"):
+            speculative_dswp(b.done())

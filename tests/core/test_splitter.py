@@ -1,0 +1,148 @@
+"""Tests for the code splitter -- structural checks against Fig. 2(d)/(e)
+plus functional equivalence on the running example."""
+
+import random
+
+import pytest
+
+from repro.analysis.pdg import build_dependence_graph
+from repro.core.dswp import dswp
+from repro.core.partition import Partition
+from repro.core.splitter import split_loop
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_function
+
+from tests.conftest import build_list_of_lists, build_list_of_lists_memory
+
+
+def paper_partition(graph):
+    """The exact Fig. 2 partition: {A,B,J},{C} in P1; the rest in P2."""
+    dag = graph.dag_scc()
+    first = set()
+    for sid, members in enumerate(dag.sccs):
+        rendered = {m.render() for m in members}
+        if any("r1" in text for text in rendered):
+            # outer traversal SCC {A,B,J} and the inner-head load {C}
+            first.add(sid)
+    second = set(range(len(dag))) - first
+    return Partition(dag, [first, second])
+
+
+@pytest.fixture
+def split_fig2():
+    func, header, regs = build_list_of_lists()
+    loop = find_loop_by_header(func, header)
+    graph = build_dependence_graph(func, loop)
+    partition = paper_partition(graph)
+    return func, loop, regs, split_loop(func, loop, graph, partition)
+
+
+class TestStructure:
+    def test_two_threads(self, split_fig2):
+        _, _, _, result = split_fig2
+        assert len(result.program) == 2
+
+    def test_threads_verify(self, split_fig2):
+        _, _, _, result = split_fig2
+        for fn in result.program.threads:
+            verify_function(fn)
+
+    def test_instruction_sets_partitioned(self, split_fig2):
+        func, loop, _, result = split_fig2
+        originals = {
+            inst.uid
+            for inst in loop.instructions()
+            if inst.opcode not in (Opcode.JMP, Opcode.NOP)
+        }
+        copied = set()
+        for fn in result.program.threads:
+            for inst in fn.instructions():
+                if inst.origin is not None and inst.origin.uid in originals:
+                    copied.add(inst.origin.uid)
+        # Every PDG node appears in some thread (the exit branch is
+        # duplicated, so "exactly once" holds for non-branches only).
+        assert copied == originals
+
+    def test_flows_match_paper_counts(self, split_fig2):
+        """Fig. 2 uses 1 initial flow (r0 in), 1 final flow (r0 out),
+        and two loop flows: r2 (data, queue 2) and p1 (the duplicated
+        exit branch's condition, queue 1); the inner-loop branch E is
+        owned by the consumer, so p2 never crosses."""
+        _, _, _, result = split_fig2
+        counts = result.flow_plan.counts()
+        assert counts["initial"] == 1
+        assert counts["final"] == 1
+        assert counts["loop"] == 2
+
+    def test_consumer_has_duplicated_exit_branch(self, split_fig2):
+        _, _, regs, result = split_fig2
+        aux = result.program.threads[1]
+        consumes = [
+            i for i in aux.instructions() if i.opcode is Opcode.CONSUME
+        ]
+        branches = [i for i in aux.instructions() if i.opcode is Opcode.BR]
+        # One branch consumes the outer predicate, the other is owned.
+        assert any(c.dest == regs["p_outer"] for c in consumes)
+        assert len(branches) == 2
+
+    def test_producer_produces_before_branch(self, split_fig2):
+        _, _, _, result = split_fig2
+        main = result.program.threads[0]
+        bb2 = main.block("BB2")
+        ops = [i.opcode for i in bb2.instructions]
+        assert ops.index(Opcode.PRODUCE) < ops.index(Opcode.BR)
+
+    def test_main_keeps_non_loop_code(self, split_fig2):
+        _, _, _, result = split_fig2
+        main = result.program.threads[0]
+        assert main.has_block("entry")
+        assert main.has_block("BB7")
+
+    def test_aux_post_block_produces_final_flow(self, split_fig2):
+        _, _, _, result = split_fig2
+        aux = result.program.threads[1]
+        post = aux.block("post")
+        assert post.instructions[0].opcode is Opcode.PRODUCE
+        assert post.terminator.opcode is Opcode.RET
+
+
+class TestFunctional:
+    def test_pipeline_matches_sequential(self, split_fig2):
+        func, _, regs, result = split_fig2
+        rng = random.Random(3)
+        memory, head, out_addr, total = build_list_of_lists_memory(rng)
+        initial = {regs["outer"]: head, regs["out"]: out_addr}
+        seq = run_function(func, memory.clone(), initial_regs=initial)
+        par = run_threads(result.program, memory.clone(), initial_regs=initial)
+        assert par.memory.read(out_addr) == total
+        assert seq.memory.snapshot() == par.memory.snapshot()
+
+    @pytest.mark.parametrize("capacity", [1, 4, 32])
+    def test_bounded_queues(self, split_fig2, capacity):
+        func, _, regs, result = split_fig2
+        rng = random.Random(5)
+        memory, head, out_addr, total = build_list_of_lists_memory(rng)
+        initial = {regs["outer"]: head, regs["out"]: out_addr}
+        par = run_threads(
+            result.program, memory.clone(), initial_regs=initial,
+            queue_capacity=capacity,
+        )
+        assert par.memory.read(out_addr) == total
+
+
+class TestThreeWaySplit:
+    def test_three_stage_pipeline(self):
+        """The Fig. 2 loop admits a 3-thread pipeline too."""
+        func, header, regs = build_list_of_lists()
+        result = dswp(func, find_loop_by_header(func, header), threads=3,
+                      require_profitable=False)
+        assert result.applied
+        assert len(result.program) == 3
+        rng = random.Random(11)
+        memory, head, out_addr, total = build_list_of_lists_memory(rng)
+        initial = {regs["outer"]: head, regs["out"]: out_addr}
+        par = run_threads(result.program, memory.clone(), initial_regs=initial)
+        assert par.memory.read(out_addr) == total

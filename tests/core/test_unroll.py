@@ -1,0 +1,107 @@
+"""Tests for loop unrolling and its interaction with DSWP."""
+
+import pytest
+
+from repro.core.dswp import dswp
+from repro.core.unroll import UnrollError, unroll_loop, unrolled_loop
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header
+from repro.ir.verifier import verify_reachable
+from repro.workloads import EpicWorkload, get_workload
+
+
+@pytest.fixture
+def epic_case():
+    return EpicWorkload().build(scale=37)  # deliberately not a multiple of 4
+
+
+class TestUnrollCorrectness:
+    @pytest.mark.parametrize("factor", [1, 2, 4, 8])
+    def test_equivalent_for_any_factor(self, epic_case, factor):
+        case = epic_case
+        unrolled = unroll_loop(case.function, case.loop, factor)
+        verify_reachable(unrolled)
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        unr = run_function(unrolled, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        assert seq.memory.snapshot() == unr.memory.snapshot()
+        case.checker(unr.memory, unr.regs)
+
+    @pytest.mark.parametrize("trips", [0, 1, 3, 4, 5])
+    def test_edge_trip_counts(self, trips):
+        """Trip counts around the unroll factor, including zero."""
+        case = EpicWorkload().build(scale=8)
+        func, _ = unrolled_loop(case.function, case.loop.header, 4)
+        initial = dict(case.initial_regs)
+        n_reg = next(r for r, v in initial.items() if v == 8)
+        initial[n_reg] = trips
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=initial)
+        unr = run_function(func, case.fresh_memory(), initial_regs=initial)
+        assert seq.memory.snapshot() == unr.memory.snapshot()
+
+    def test_instruction_count_scales(self, epic_case):
+        case = epic_case
+        base_count = len(case.loop.instructions())
+        func, loop = unrolled_loop(case.function, case.loop.header, 4)
+        assert len(loop.instructions()) > 3 * base_count
+
+    def test_factor_one_is_identity_shape(self, epic_case):
+        case = epic_case
+        func, loop = unrolled_loop(case.function, case.loop.header, 1)
+        assert len(loop.blocks()) == len(case.loop.blocks())
+
+    def test_pointer_chasing_loop_unrolls(self):
+        """The general unroller handles multi-branch loops (mcf)."""
+        case = get_workload("mcf").build(scale=25)
+        func, loop = unrolled_loop(case.function, case.loop.header, 3)
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        unr = run_function(func, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        assert seq.memory.snapshot() == unr.memory.snapshot()
+
+    def test_nested_inner_loop_stays_per_replica(self):
+        """Unrolling the outer list-of-lists loop replicates the inner
+        loop inside each replica without cross-linking them."""
+        case = get_workload("listoflists").build(scale=9)
+        func, loop = unrolled_loop(case.function, case.loop.header, 2)
+        seq = run_function(case.function, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        unr = run_function(func, case.fresh_memory(),
+                           initial_regs=case.initial_regs)
+        assert seq.memory.snapshot() == unr.memory.snapshot()
+
+
+class TestUnrollRestrictions:
+    def test_rejects_zero_factor(self, epic_case):
+        with pytest.raises(UnrollError):
+            unroll_loop(epic_case.function, epic_case.loop, 0)
+
+    def test_rejects_loopless_function(self):
+        b = IRBuilder("flat")
+        b.block("entry", entry=True)
+        b.ret()
+        with pytest.raises(UnrollError, match="no loops"):
+            unroll_loop(b.done())
+
+
+class TestUnrollPlusDswp:
+    def test_unrolled_loop_has_more_sccs(self, epic_case):
+        case = epic_case
+        plain = dswp(case.function, case.loop, require_profitable=False)
+        func, loop = unrolled_loop(case.function, case.loop.header, 4)
+        unrolled = dswp(func, loop, require_profitable=False)
+        assert unrolled.num_sccs > plain.num_sccs
+
+    def test_dswp_on_unrolled_loop_is_correct(self):
+        case = EpicWorkload().build(scale=50)
+        func, loop = unrolled_loop(case.function, case.loop.header, 4)
+        result = dswp(func, loop, require_profitable=False)
+        assert result.applied
+        par = run_threads(result.program, case.fresh_memory(),
+                          initial_regs=case.initial_regs)
+        case.checker(par.memory, par.main_regs)

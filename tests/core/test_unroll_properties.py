@@ -1,0 +1,46 @@
+"""Property tests: general unrolling preserves semantics on random
+structured loops (reusing the generator from the equivalence suite),
+and composes with DSWP."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dswp import dswp
+from repro.core.unroll import unroll_loop
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.ir.loops import find_loop_by_header
+from repro.ir.verifier import verify_reachable
+
+from tests.core.test_equivalence import build_program, loop_specs
+
+
+@settings(max_examples=40, deadline=None)
+@given(loop_specs, st.integers(min_value=1, max_value=5))
+def test_unroll_preserves_semantics(spec, factor):
+    func, memory, initial = build_program(spec)
+    loop = find_loop_by_header(func, "header")
+    unrolled = unroll_loop(func, loop, factor)
+    verify_reachable(unrolled)
+    seq = run_function(func, memory.clone(), initial_regs=initial,
+                       max_steps=1_000_000)
+    unr = run_function(unrolled, memory.clone(), initial_regs=initial,
+                       max_steps=1_000_000)
+    assert seq.memory.snapshot() == unr.memory.snapshot()
+
+
+@settings(max_examples=20, deadline=None)
+@given(loop_specs, st.integers(min_value=2, max_value=3))
+def test_unroll_then_dswp_preserves_semantics(spec, factor):
+    func, memory, initial = build_program(spec)
+    loop = find_loop_by_header(func, "header")
+    unrolled = unroll_loop(func, loop, factor)
+    new_loop = find_loop_by_header(unrolled, "header")
+    result = dswp(unrolled, new_loop, require_profitable=False)
+    if not result.applied:
+        return
+    seq = run_function(func, memory.clone(), initial_regs=initial,
+                       max_steps=1_000_000)
+    par_mem = memory.clone()
+    run_threads(result.program, par_mem, initial_regs=initial,
+                max_steps=2_000_000)
+    assert seq.memory.snapshot() == par_mem.snapshot()

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("compress", "mcf", "wc", "gzip-match"):
+            assert name in out
+
+
+class TestRun:
+    def test_runs_experiment(self, capsys):
+        assert main(["run", "wc", "--scale", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "loop speedup" in out
+        assert "pipeline stages: 2" in out
+
+    def test_machine_knobs(self, capsys):
+        assert main(["run", "wc", "--scale", "80", "--half-width",
+                     "--comm-latency", "5", "--queue-size", "8"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+
+class TestShow:
+    def test_shows_pipeline(self, capsys):
+        assert main(["show", "listoflists"]) == 0
+        out = capsys.readouterr().out
+        assert "# original function" in out
+        assert "DAG_SCC" in out
+        assert "produce" in out and "consume" in out
+
+    def test_declined_loop_reports_reason(self, capsys):
+        assert main(["show", "gzip"]) == 1
+        assert "declined" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "wc", "--scale", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "comm latency" in out
+        assert "20" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestDot:
+    def test_dag_dot(self, capsys):
+        assert main(["dot", "listoflists"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "scc0" in out
+
+    def test_cfg_dot(self, capsys):
+        assert main(["dot", "listoflists", "--graph", "cfg"]) == 0
+        assert '"BB2"' in capsys.readouterr().out
+
+    def test_pdg_dot(self, capsys):
+        assert main(["dot", "listoflists", "--graph", "pdg"]) == 0
+        assert "color=blue" in capsys.readouterr().out
+
+
+class TestSelect:
+    def test_ranks_loops(self, capsys):
+        assert main(["select", "listoflists", "--scale", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+        assert "BB2" in out and "BB4" in out
+
+    def test_threshold_can_reject_everything(self, capsys):
+        assert main(["select", "wc", "--scale", "4",
+                     "--min-trips", "100"]) == 1
+        assert "below 100" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+        assert main(["run", "wc", "--scale", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["workload"] == "wc"
+        assert payload[0]["dswp"]["applied"] is True
+        assert payload[0]["loop_speedup"] > 0
+        buckets = payload[0]["pipeline"]["occupancy_buckets"]
+        assert abs(sum(buckets.values()) - 1.0) < 1e-6

@@ -1,0 +1,49 @@
+"""Tests for report formatting helpers."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.harness.reporting import format_table, geomean, percent
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, rule, row1, row2 = lines
+        assert header.index("value") == row1.index("1")
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert text.splitlines()[0].strip() == "a"
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert abs(geomean([2.0, 0.0, -1.0]) - 2.0) < 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestPercent:
+    def test_gain(self):
+        assert percent(1.144) == "+14.4%"
+
+    def test_loss(self):
+        assert percent(0.9) == "-10.0%"

@@ -1,0 +1,65 @@
+"""Tests for the experiment runner pipeline."""
+
+import pytest
+
+from repro.harness.runner import (
+    ExperimentResult,
+    run_baseline,
+    run_dswp,
+    run_experiment,
+)
+from repro.machine.config import MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    return get_workload("wc").build(scale=80)
+
+
+class TestRunBaseline:
+    def test_returns_trace_and_profile(self, small_case):
+        baseline = run_baseline(small_case)
+        assert baseline.trace
+        assert baseline.profile.header_trips == 81
+
+    def test_checker_enforced(self, small_case):
+        baseline = run_baseline(small_case, check=True)
+        assert baseline.case is small_case
+
+
+class TestRunDswp:
+    def test_produces_traces_per_thread(self, small_case):
+        run = run_dswp(small_case)
+        assert run.result.applied
+        assert len(run.traces) == len(run.result.program)
+        assert all(run.traces)
+
+    def test_reuses_baseline(self, small_case):
+        baseline = run_baseline(small_case)
+        run = run_dswp(small_case, baseline)
+        assert run.result.applied
+
+
+class TestRunExperiment:
+    def test_full_pipeline(self):
+        result = run_experiment(get_workload("wc"), scale=80)
+        assert isinstance(result, ExperimentResult)
+        assert result.base_sim.cycles > 0
+        assert result.dswp_sim.cycles > 0
+        assert result.loop_speedup > 0
+
+    def test_program_speedup_below_loop_speedup(self):
+        result = run_experiment(get_workload("wc"), scale=80)
+        if result.loop_speedup > 1:
+            assert 1 <= result.program_speedup <= result.loop_speedup
+
+    def test_distinct_machines_for_baseline_and_dswp(self):
+        from repro.machine.config import HALF_WIDTH_MACHINE
+        result = run_experiment(
+            get_workload("wc"),
+            machine=MachineConfig(),
+            baseline_machine=HALF_WIDTH_MACHINE,
+            scale=80,
+        )
+        assert result.base_sim.cycles > 0

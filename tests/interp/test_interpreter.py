@@ -1,0 +1,216 @@
+"""Tests for the single-threaded interpreter: opcode semantics, traces,
+profiles, traps, and limits."""
+
+import pytest
+
+from repro.interp.errors import InterpreterError, StepLimitExceeded, TrapError
+from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
+from repro.ir.builder import IRBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+
+
+def run_straightline(emit, initial=None, memory=None):
+    """Build a one-block function with ``emit(builder)`` and run it."""
+    b = IRBuilder("straight")
+    b.block("entry", entry=True)
+    emit(b)
+    b.ret()
+    return run_function(b.done(), memory=memory, initial_regs=initial)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "method,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 10, 4, 6),
+            ("mul", 6, 7, 42),
+            ("and_", 0b1100, 0b1010, 0b1000),
+            ("or_", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 3, 2, 12),
+            ("shr", 12, 2, 3),
+            ("fadd", 5, 6, 11),
+            ("fsub", 5, 6, -1),
+            ("fmul", 5, 6, 30),
+        ],
+    )
+    def test_binary_ops(self, method, a, b, expected):
+        r0, r1, r2 = gen_reg(0), gen_reg(1), gen_reg(2)
+
+        def emit(builder):
+            getattr(builder, method)(r2, r0, r1)
+
+        result = run_straightline(emit, initial={r0: a, r1: b})
+        assert result.reg(r2) == expected
+
+    def test_immediate_operand(self):
+        r0, r1 = gen_reg(0), gen_reg(1)
+        result = run_straightline(lambda b: b.add(r1, r0, imm=5), initial={r0: 1})
+        assert result.reg(r1) == 6
+
+    @pytest.mark.parametrize(
+        "a,b,q,r", [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1)]
+    )
+    def test_division_truncates_toward_zero(self, a, b, q, r):
+        r0, r1, r2, r3 = (gen_reg(i) for i in range(4))
+
+        def emit(builder):
+            builder.div(r2, r0, r1)
+            builder.mod(r3, r0, r1)
+
+        result = run_straightline(emit, initial={r0: a, r1: b})
+        assert result.reg(r2) == q
+        assert result.reg(r3) == r
+
+    def test_divide_by_zero_traps(self):
+        r0, r1 = gen_reg(0), gen_reg(1)
+        with pytest.raises(TrapError):
+            run_straightline(lambda b: b.div(r1, r0, imm=0), initial={r0: 1})
+
+    @pytest.mark.parametrize(
+        "method,a,b,expected",
+        [
+            ("cmp_eq", 3, 3, 1), ("cmp_eq", 3, 4, 0),
+            ("cmp_ne", 3, 4, 1), ("cmp_lt", 3, 4, 1),
+            ("cmp_le", 4, 4, 1), ("cmp_gt", 5, 4, 1),
+            ("cmp_ge", 3, 4, 0),
+        ],
+    )
+    def test_compares(self, method, a, b, expected):
+        r0, r1 = gen_reg(0), gen_reg(1)
+        from repro.ir.types import pred_reg
+        p = pred_reg(0)
+
+        def emit(builder):
+            getattr(builder, method)(p, r0, r1)
+
+        result = run_straightline(emit, initial={r0: a, r1: b})
+        assert result.reg(p) == expected
+
+    def test_mov_imm_and_reg(self):
+        r0, r1 = gen_reg(0), gen_reg(1)
+
+        def emit(builder):
+            builder.mov(r0, imm=9)
+            builder.mov(r1, r0)
+
+        result = run_straightline(emit)
+        assert result.reg(r1) == 9
+
+    def test_unset_register_reads_zero(self):
+        r0, r1 = gen_reg(0), gen_reg(1)
+        result = run_straightline(lambda b: b.add(r1, r0, imm=0))
+        assert result.reg(r1) == 0
+
+
+class TestMemoryOps:
+    def test_load_store(self):
+        r0, r1 = gen_reg(0), gen_reg(1)
+        memory = Memory()
+        memory.write(104, 77)
+
+        def emit(builder):
+            builder.load(r1, r0, offset=4)
+            builder.store(r1, r0, offset=8)
+
+        result = run_straightline(emit, initial={r0: 100}, memory=memory)
+        assert result.reg(r1) == 77
+        assert memory.read(108) == 77
+
+    def test_trace_records_addresses(self):
+        b = IRBuilder("t")
+        r0, r1 = gen_reg(0), gen_reg(1)
+        b.block("entry", entry=True)
+        b.load(r1, r0, offset=4)
+        b.ret()
+        result = run_function(b.done(), initial_regs={r0: 100}, record_trace=True)
+        assert result.trace[0].addr == 104
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self, counted):
+        func, header, regs = counted
+        memory = Memory()
+        base = memory.store_array([5, 6, 7])
+        out = memory.alloc(1)
+        result = run_function(
+            func, memory,
+            initial_regs={regs["n"]: 3, regs["base"]: base, regs["out"]: out},
+        )
+        assert memory.read(out) == 18
+        assert result.reg(regs["acc"]) == 18
+
+    def test_trace_records_branch_outcomes(self, counted):
+        func, _, regs = counted
+        memory = Memory()
+        base = memory.store_array([1])
+        out = memory.alloc(1)
+        result = run_function(
+            func, memory, record_trace=True,
+            initial_regs={regs["n"]: 1, regs["base"]: base, regs["out"]: out},
+        )
+        outcomes = [e.taken for e in result.trace if e.inst.opcode is Opcode.BR]
+        assert outcomes == [False, True]
+
+    def test_profile_counts_blocks(self, counted):
+        func, header, regs = counted
+        memory = Memory()
+        base = memory.store_array([1, 1, 1, 1])
+        out = memory.alloc(1)
+        result = run_function(
+            func, memory, record_profile=True,
+            initial_regs={regs["n"]: 4, regs["base"]: base, regs["out"]: out},
+        )
+        assert result.block_counts["header"] == 5
+        assert result.block_counts["body"] == 4
+        assert result.block_counts["exit"] == 1
+
+
+class TestCalls:
+    def test_call_handler_invoked(self):
+        b = IRBuilder("c")
+        r0, r1 = gen_reg(0), gen_reg(1)
+        b.block("entry", entry=True)
+        b.call("double", dest=r1, srcs=[r0])
+        b.ret()
+        result = run_function(
+            b.done(), initial_regs={r0: 21},
+            call_handlers={"double": lambda mem, args: args[0] * 2},
+        )
+        assert result.reg(r1) == 42
+
+    def test_unknown_callee_returns_zero(self):
+        b = IRBuilder("c")
+        r1 = gen_reg(1)
+        b.block("entry", entry=True)
+        b.call("mystery", dest=r1)
+        b.ret()
+        assert run_function(b.done(), initial_regs={r1: 5}).reg(r1) == 0
+
+
+class TestLimitsAndErrors:
+    def test_step_limit(self):
+        b = IRBuilder("spin")
+        b.block("entry", entry=True)
+        b.jmp("entry")
+        with pytest.raises(StepLimitExceeded):
+            run_function(b.done(), max_steps=100)
+
+    def test_queue_ops_rejected_single_threaded(self):
+        b = IRBuilder("q")
+        b.block("entry", entry=True)
+        b.emit(Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)], queue=0))
+        b.ret()
+        with pytest.raises(InterpreterError, match="multi-threaded"):
+            run_function(b.done())
+
+    def test_missing_operand_raises(self):
+        b = IRBuilder("bad")
+        b.block("entry", entry=True)
+        b.emit(Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)]))
+        b.ret()
+        with pytest.raises(InterpreterError, match="operand"):
+            run_function(b.done())

@@ -1,0 +1,98 @@
+"""Tests for the word-addressed memory model."""
+
+from hypothesis import given, strategies as st
+
+from repro.interp.memory import Memory
+
+
+class TestBasics:
+    def test_uninitialised_reads_zero(self):
+        assert Memory().read(0x1234) == 0
+
+    def test_write_then_read(self):
+        m = Memory()
+        m.write(10, 42)
+        assert m.read(10) == 42
+
+    def test_snapshot_is_a_copy(self):
+        m = Memory()
+        m.write(1, 1)
+        snap = m.snapshot()
+        m.write(1, 2)
+        assert snap[1] == 1
+
+    def test_clone_is_independent(self):
+        m = Memory()
+        m.write(5, 7)
+        c = m.clone()
+        c.write(5, 8)
+        assert m.read(5) == 7
+
+    def test_equality_ignores_explicit_zeros(self):
+        a, b = Memory(), Memory()
+        a.write(3, 0)
+        assert a == b
+        a.write(3, 1)
+        assert a != b
+
+
+class TestAllocation:
+    def test_alloc_is_aligned_and_disjoint(self):
+        m = Memory()
+        first = m.alloc(10, align=16)
+        second = m.alloc(10, align=16)
+        assert first % 16 == 0 and second % 16 == 0
+        assert second >= first + 10
+
+    def test_store_and_load_array(self):
+        m = Memory()
+        base = m.store_array([1, 2, 3])
+        assert m.load_array(base, 3) == [1, 2, 3]
+
+    def test_store_array_with_stride(self):
+        m = Memory()
+        base = m.store_array([9, 8], stride=4)
+        assert m.read(base) == 9
+        assert m.read(base + 4) == 8
+
+    def test_empty_array(self):
+        m = Memory()
+        base = m.store_array([])
+        assert m.load_array(base, 0) == []
+
+
+class TestLinkedLists:
+    def test_roundtrip(self):
+        m = Memory()
+        head = m.build_linked_list([4, 5, 6])
+        assert m.read_linked_list(head) == [4, 5, 6]
+
+    def test_empty_list_is_null(self):
+        assert Memory().build_linked_list([]) == 0
+
+    def test_custom_value_offset(self):
+        m = Memory()
+        head = m.build_linked_list([7], node_words=4, value_offset=3)
+        assert m.read(head + 3) == 7
+        assert m.read(head) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30), max_size=40))
+    def test_roundtrip_property(self, payloads):
+        m = Memory()
+        head = m.build_linked_list(payloads)
+        assert m.read_linked_list(head) == payloads
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=-(1 << 40), max_value=1 << 40),
+        max_size=50,
+    )
+)
+def test_memory_is_a_map(contents):
+    m = Memory()
+    for addr, value in contents.items():
+        m.write(addr, value)
+    for addr, value in contents.items():
+        assert m.read(addr) == value

@@ -1,0 +1,99 @@
+"""Tests for basic blocks: structure, mutation, and successor edges."""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock, make_jump
+from repro.ir.builder import IRBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg, pred_reg
+
+
+def _add(i):
+    return Instruction(Opcode.ADD, dest=gen_reg(i), srcs=[gen_reg(i)], imm=1)
+
+
+class TestStructure:
+    def test_terminator_detection(self):
+        bb = BasicBlock("a")
+        assert bb.terminator is None
+        bb.append(_add(0))
+        assert bb.terminator is None
+        bb.append(make_jump("b"))
+        assert bb.terminator is not None
+        assert bb.body == bb.instructions[:-1]
+
+    def test_append_after_terminator_fails(self):
+        bb = BasicBlock("a")
+        bb.append(make_jump("b"))
+        with pytest.raises(ValueError):
+            bb.append(_add(0))
+
+    def test_successor_labels(self):
+        bb = BasicBlock("a")
+        bb.append(Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["x", "y"]))
+        assert bb.successor_labels() == ["x", "y"]
+
+    def test_len_and_iter(self):
+        bb = BasicBlock("a")
+        bb.append(_add(0))
+        bb.append(make_jump("b"))
+        assert len(bb) == 2
+        assert [i.opcode for i in bb] == [Opcode.ADD, Opcode.JMP]
+
+
+class TestMutation:
+    def test_insert_before_terminator(self):
+        bb = BasicBlock("a")
+        bb.append(make_jump("b"))
+        inserted = bb.insert_before_terminator(_add(0))
+        assert bb.instructions[0] is inserted
+
+    def test_insert_before_terminator_without_terminator_appends(self):
+        bb = BasicBlock("a")
+        inserted = bb.insert_before_terminator(_add(0))
+        assert bb.instructions == [inserted]
+
+    def test_insert_after_and_before_anchor(self):
+        bb = BasicBlock("a")
+        first = bb.append(_add(0))
+        bb.append(make_jump("b"))
+        after = bb.insert_after(first, _add(1))
+        before = bb.insert_before(first, _add(2))
+        assert bb.instructions[:3] == [before, first, after]
+
+    def test_retarget(self):
+        bb = BasicBlock("a")
+        bb.append(Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["x", "y"]))
+        bb.retarget("x", "z")
+        assert bb.successor_labels() == ["z", "y"]
+
+    def test_retarget_without_terminator_is_noop(self):
+        bb = BasicBlock("a")
+        bb.retarget("x", "z")  # must not raise
+
+
+class TestFunctionEdges:
+    def test_successors_and_predecessors(self):
+        b = IRBuilder("f")
+        b.block("a", entry=True)
+        b.jmp("b")
+        b.block("b")
+        b.ret()
+        f = b.done()
+        a, bb = f.block("a"), f.block("b")
+        assert a.successors() == [bb]
+        assert bb.predecessors() == [a]
+        assert bb.successors() == []
+
+    def test_detached_block_has_no_edges(self):
+        bb = BasicBlock("solo")
+        bb.append(make_jump("nowhere"))
+        assert bb.successors() == []
+        assert bb.predecessors() == []
+
+    def test_render_contains_label_and_instructions(self):
+        bb = BasicBlock("blk")
+        bb.append(make_jump("next"))
+        out = bb.render()
+        assert out.startswith("blk:")
+        assert "jmp next" in out

@@ -1,0 +1,104 @@
+"""Tests for the IRBuilder fluent API."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.types import Opcode, RegClass
+
+
+class TestEmission:
+    def test_arithmetic_methods_from_opcodes(self):
+        b = IRBuilder("f")
+        r0, r1 = b.reg(), b.reg()
+        b.block("entry", entry=True)
+        inst = b.add(r0, r1, imm=3)
+        assert inst.opcode is Opcode.ADD
+        assert inst.imm == 3
+        inst = b.cmp_lt(b.pred(), r0, r1)
+        assert inst.opcode is Opcode.CMP_LT
+
+    def test_keyword_opcodes_take_trailing_underscore(self):
+        b = IRBuilder("f")
+        r0, r1 = b.reg(), b.reg()
+        b.block("entry", entry=True)
+        assert b.and_(r0, r1, imm=1).opcode is Opcode.AND
+        assert b.or_(r0, r1, imm=1).opcode is Opcode.OR
+
+    def test_unknown_attribute_raises(self):
+        b = IRBuilder("f")
+        with pytest.raises(AttributeError):
+            b.frobnicate
+
+    def test_non_binary_opcode_not_exposed(self):
+        b = IRBuilder("f")
+        with pytest.raises(AttributeError):
+            b.load_  # load has a dedicated method, not the generic path
+
+    def test_emit_without_block_raises(self):
+        b = IRBuilder("f")
+        with pytest.raises(ValueError):
+            b.mov(b.reg(), imm=0)
+
+    def test_mov_register_and_immediate(self):
+        b = IRBuilder("f")
+        r0, r1 = b.reg(), b.reg()
+        b.block("entry", entry=True)
+        assert b.mov(r0, imm=5).imm == 5
+        assert b.mov(r0, r1).srcs == [r1]
+
+    def test_memory_helpers(self):
+        b = IRBuilder("f")
+        r0, r1 = b.reg(), b.reg()
+        b.block("entry", entry=True)
+        ld = b.load(r0, r1, offset=4, region="heap")
+        st = b.store(r0, r1, offset=8, region="heap")
+        assert ld.region == "heap" and ld.imm == 4
+        assert st.srcs == [r0, r1] and st.imm == 8
+
+    def test_call_carries_metadata(self):
+        b = IRBuilder("f")
+        b.block("entry", entry=True)
+        call = b.call("helper", dest=b.reg(), srcs=[b.reg()], cycles=99)
+        assert call.attrs["callee"] == "helper"
+        assert call.attrs["call_cycles"] == 99
+
+
+class TestRegisters:
+    def test_reg_and_pred_fresh(self):
+        b = IRBuilder("f")
+        assert b.reg() is not b.reg()
+        assert b.pred().rclass is RegClass.PRED
+
+    def test_emitted_registers_are_noted(self):
+        b = IRBuilder("f")
+        b.block("entry", entry=True)
+        from repro.ir.types import gen_reg
+        b.mov(gen_reg(40), imm=1)
+        assert b.reg().index > 40
+
+
+class TestDone:
+    def test_done_rejects_unterminated_block(self):
+        b = IRBuilder("f")
+        b.block("entry", entry=True)
+        b.mov(b.reg(), imm=0)
+        with pytest.raises(ValueError):
+            b.done()
+
+    def test_done_returns_function(self):
+        b = IRBuilder("f")
+        b.block("entry", entry=True)
+        b.ret()
+        f = b.done()
+        assert f.name == "f"
+        assert f.entry_label == "entry"
+
+    def test_at_switches_insertion_point(self):
+        b = IRBuilder("f")
+        b.block("a", entry=True)
+        b.jmp("b")
+        b.block("b")
+        b.ret()
+        b.at("a")  # already terminated; appending should fail
+        with pytest.raises(ValueError):
+            b.nop()

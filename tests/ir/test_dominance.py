@@ -1,0 +1,105 @@
+"""Tests for dominator and post-dominator trees."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.dominance import (
+    VIRTUAL_EXIT,
+    dominator_tree,
+    postdominator_tree,
+    postdominator_tree_of_graph,
+)
+
+
+def diamond():
+    b = IRBuilder("diamond")
+    p = b.pred()
+    b.block("entry", entry=True)
+    b.br(p, "left", "right")
+    b.block("left")
+    b.jmp("join")
+    b.block("right")
+    b.jmp("join")
+    b.block("join")
+    b.ret()
+    return b.done()
+
+
+def looped():
+    b = IRBuilder("looped")
+    p = b.pred()
+    b.block("entry", entry=True)
+    b.jmp("header")
+    b.block("header")
+    b.br(p, "exit", "body")
+    b.block("body")
+    b.jmp("header")
+    b.block("exit")
+    b.ret()
+    return b.done()
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        dom = dominator_tree(diamond())
+        assert dom.idom["left"] == "entry"
+        assert dom.idom["right"] == "entry"
+        assert dom.idom["join"] == "entry"
+        assert dom.idom["entry"] is None
+
+    def test_dominates_is_reflexive(self):
+        dom = dominator_tree(diamond())
+        assert dom.dominates("left", "left")
+
+    def test_entry_dominates_everything(self):
+        dom = dominator_tree(diamond())
+        for label in ("left", "right", "join"):
+            assert dom.dominates("entry", label)
+
+    def test_branch_arm_does_not_dominate_join(self):
+        dom = dominator_tree(diamond())
+        assert not dom.dominates("left", "join")
+        assert not dom.strictly_dominates("join", "join")
+
+    def test_loop_header_dominates_body(self):
+        dom = dominator_tree(looped())
+        assert dom.dominates("header", "body")
+        assert dom.dominates("header", "exit")
+
+    def test_walk_up_reaches_root(self):
+        dom = dominator_tree(diamond())
+        assert list(dom.walk_up("join")) == ["join", "entry"]
+
+    def test_children(self):
+        dom = dominator_tree(diamond())
+        assert set(dom.children()["entry"]) == {"left", "right", "join"}
+
+
+class TestPostdominators:
+    def test_diamond_postdoms(self):
+        pdt = postdominator_tree(diamond())
+        assert pdt.idom["left"] == "join"
+        assert pdt.idom["right"] == "join"
+        assert pdt.idom["entry"] == "join"
+        assert pdt.idom["join"] == VIRTUAL_EXIT
+
+    def test_loop_body_postdominated_by_header(self):
+        pdt = postdominator_tree(looped())
+        assert pdt.idom["body"] == "header"
+        assert pdt.idom["header"] == "exit"
+
+    def test_graph_variant_with_explicit_exits(self):
+        succs = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+        pdt = postdominator_tree_of_graph(succs, ["d"])
+        assert pdt.idom["a"] == "d"
+        assert pdt.idom["b"] == "d"
+
+    def test_dead_end_nodes_become_exits(self):
+        succs = {"a": ["b"], "b": []}
+        pdt = postdominator_tree_of_graph(succs, [])
+        assert pdt.idom["a"] == "b"
+        assert pdt.idom["b"] == VIRTUAL_EXIT
+
+    def test_multi_exit_graph(self):
+        succs = {"a": ["b", "c"], "b": [], "c": []}
+        pdt = postdominator_tree_of_graph(succs, ["b", "c"])
+        # Nothing (real) postdominates a: its ipdom is the virtual exit.
+        assert pdt.idom["a"] == VIRTUAL_EXIT

@@ -1,0 +1,122 @@
+"""Property tests: the CHK dominator algorithm vs brute force."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.dominance import (
+    VIRTUAL_EXIT,
+    _compute_idom,
+    _reverse_postorder,
+    postdominator_tree_of_graph,
+)
+
+
+@st.composite
+def rooted_digraph(draw):
+    """A random digraph over n nodes where node 0 is the root and every
+    node has an edge path from it (we simply add a spine)."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    extra = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=n * 2,
+        )
+    )
+    succs = {i: set() for i in range(n)}
+    for i in range(n - 1):  # spine guarantees reachability
+        spine_target = draw(st.integers(i + 1, n - 1))
+        succs[i].add(spine_target)
+        succs[i].add(i + 1)
+    for a, b in extra:
+        succs[a].add(b)
+    return {str(k): sorted(str(x) for x in v) for k, v in succs.items()}
+
+
+def brute_force_dominators(succs, root):
+    """Dominators by definition: remove a node; what becomes unreachable?"""
+    nodes = set(succs)
+
+    def reachable(removed):
+        seen = set()
+        if root == removed:
+            return seen
+        stack = [root]
+        seen.add(root)
+        while stack:
+            node = stack.pop()
+            for nxt in succs.get(node, ()):
+                if nxt != removed and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    base = reachable(None)
+    dom = {}
+    for candidate in nodes:
+        blocked = base - reachable(candidate)
+        for node in blocked:
+            dom.setdefault(node, set()).add(candidate)
+    for node in base:
+        dom.setdefault(node, set()).add(node)
+    return dom, base
+
+
+class TestDominatorProperties:
+    @given(rooted_digraph())
+    def test_idom_is_a_dominator(self, succs):
+        root = "0"
+        nodes = _reverse_postorder(root, succs)
+        idom = _compute_idom(
+            nodes,
+            _preds(succs),
+            root,
+        )
+        dom, base = brute_force_dominators(succs, root)
+        for node in nodes:
+            if node == root:
+                assert idom[node] is None
+                continue
+            parent = idom.get(node)
+            assert parent in dom[node], (
+                f"idom({node})={parent} does not dominate it"
+            )
+
+    @given(rooted_digraph())
+    def test_dominator_chain_equals_dominator_set(self, succs):
+        root = "0"
+        nodes = _reverse_postorder(root, succs)
+        idom = _compute_idom(nodes, _preds(succs), root)
+        dom, base = brute_force_dominators(succs, root)
+        for node in nodes:
+            chain = set()
+            cursor = node
+            while cursor is not None:
+                chain.add(cursor)
+                cursor = idom.get(cursor)
+            assert chain == dom[node]
+
+
+def _preds(succs):
+    preds = {k: [] for k in succs}
+    for node, outs in succs.items():
+        for out in outs:
+            preds.setdefault(out, []).append(node)
+    return preds
+
+
+class TestPostdominatorProperties:
+    @given(rooted_digraph())
+    def test_postdom_tree_rooted_at_virtual_exit(self, succs):
+        pdt = postdominator_tree_of_graph(succs, [])
+        # Every node reachable in the reverse graph hangs off the root.
+        for node in pdt.idom:
+            chain = list(pdt.walk_up(node))
+            assert chain[-1] == VIRTUAL_EXIT
+
+    @given(rooted_digraph())
+    def test_exit_blocks_postdominated_only_by_exit(self, succs):
+        sinks = [n for n, outs in succs.items() if not outs]
+        pdt = postdominator_tree_of_graph(succs, [])
+        for sink in sinks:
+            assert pdt.idom.get(sink) == VIRTUAL_EXIT

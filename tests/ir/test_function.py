@@ -1,0 +1,123 @@
+"""Tests for Function: block management, traversal, register allocation."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.types import Opcode, RegClass, gen_reg
+
+
+def diamond():
+    b = IRBuilder("diamond")
+    p = b.pred()
+    b.block("entry", entry=True)
+    b.br(p, "left", "right")
+    b.block("left")
+    b.jmp("join")
+    b.block("right")
+    b.jmp("join")
+    b.block("join")
+    b.ret()
+    return b.done()
+
+
+class TestBlocks:
+    def test_duplicate_label_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(ValueError):
+            f.add_block("a")
+
+    def test_entry_defaults_to_first_block(self):
+        f = Function("f")
+        f.add_block("first")
+        f.add_block("second")
+        assert f.entry_label == "first"
+
+    def test_explicit_entry_overrides(self):
+        f = Function("f")
+        f.add_block("a")
+        f.add_block("real", entry=True)
+        assert f.entry_label == "real"
+
+    def test_blocks_in_layout_order(self):
+        f = diamond()
+        assert [b.label for b in f.blocks()] == ["entry", "left", "right", "join"]
+
+    def test_remove_block(self):
+        f = diamond()
+        f.remove_block("left")
+        assert not f.has_block("left")
+        assert [b.label for b in f.blocks()] == ["entry", "right", "join"]
+
+    def test_exit_blocks(self):
+        f = diamond()
+        assert [b.label for b in f.exit_blocks()] == ["join"]
+
+    def test_predecessors(self):
+        f = diamond()
+        preds = {b.label for b in f.predecessors(f.block("join"))}
+        assert preds == {"left", "right"}
+
+
+class TestInstructions:
+    def test_instruction_count_and_iteration(self):
+        f = diamond()
+        assert f.instruction_count() == 4
+        assert len(list(f.instructions())) == 4
+
+    def test_block_of(self):
+        f = diamond()
+        term = f.block("left").terminator
+        assert f.block_of(term).label == "left"
+
+    def test_block_of_missing_raises(self):
+        f = diamond()
+        other = diamond()
+        foreign = other.block("left").terminator
+        with pytest.raises(KeyError):
+            f.block_of(foreign)
+
+
+class TestRegisters:
+    def test_new_reg_skips_noted(self):
+        f = Function("f")
+        f.note_register(gen_reg(5))
+        fresh = f.new_reg(RegClass.GEN)
+        assert fresh.index == 6
+
+    def test_new_reg_sequences(self):
+        f = Function("f")
+        assert f.new_reg().index == 0
+        assert f.new_reg().index == 1
+
+    def test_sync_register_counter(self):
+        f = diamond()
+        f.sync_register_counter()
+        fresh = f.new_reg(RegClass.PRED)
+        used = {
+            r.index
+            for inst in f.instructions()
+            for r in inst.used_registers()
+            if r.is_predicate
+        }
+        assert fresh.index not in used
+
+
+class TestTraversal:
+    def test_reverse_postorder_starts_at_entry(self):
+        f = diamond()
+        order = [b.label for b in f.reverse_postorder()]
+        assert order[0] == "entry"
+        assert order.index("join") > order.index("left")
+        assert order.index("join") > order.index("right")
+
+    def test_reverse_postorder_covers_all_blocks(self):
+        f = diamond()
+        assert len(f.reverse_postorder()) == 4
+
+    def test_render_mentions_every_block(self):
+        f = diamond()
+        text = f.render()
+        for label in ("entry", "left", "right", "join"):
+            assert f"{label}:" in text

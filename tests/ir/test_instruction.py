@@ -1,0 +1,109 @@
+"""Tests for Instruction construction, classification, and rendering."""
+
+import pytest
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg, pred_reg
+
+
+def test_uids_are_unique_and_increasing():
+    a = Instruction(Opcode.NOP)
+    b = Instruction(Opcode.NOP)
+    assert b.uid > a.uid
+
+
+class TestShapeChecks:
+    def test_br_requires_two_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["one"])
+
+    def test_br_requires_predicate_source(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, srcs=[gen_reg(0)], targets=["a", "b"])
+
+    def test_jmp_requires_one_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, targets=["a", "b"])
+
+    def test_non_branch_rejects_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)],
+                        targets=["a"])
+
+    def test_compare_must_define_predicate(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CMP_EQ, dest=gen_reg(0), srcs=[gen_reg(1)], imm=0)
+
+
+class TestClassification:
+    def test_branch_flags(self):
+        br = Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["a", "b"])
+        assert br.is_terminator and br.is_branch and not br.is_memory
+
+    def test_load_flags(self):
+        ld = Instruction(Opcode.LOAD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=4)
+        assert ld.is_memory and ld.is_load and ld.uses_m_pipe
+        assert not ld.is_store
+
+    def test_produce_is_flow_and_m_pipe(self):
+        pr = Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)], queue=3)
+        assert pr.is_flow and pr.uses_m_pipe and not pr.is_terminator
+
+    def test_alu_not_m_pipe(self):
+        add = Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=1)
+        assert not add.uses_m_pipe and not add.is_flow
+
+
+class TestOperands:
+    def test_defined_and_used(self):
+        add = Instruction(Opcode.ADD, dest=gen_reg(0),
+                          srcs=[gen_reg(1), gen_reg(2)])
+        assert add.defined_registers() == [gen_reg(0)]
+        assert add.used_registers() == [gen_reg(1), gen_reg(2)]
+
+    def test_store_defines_nothing(self):
+        st = Instruction(Opcode.STORE, srcs=[gen_reg(0), gen_reg(1)], imm=0)
+        assert st.defined_registers() == []
+        assert set(st.used_registers()) == {gen_reg(0), gen_reg(1)}
+
+    def test_root_follows_origin_chain(self):
+        a = Instruction(Opcode.NOP)
+        b = Instruction(Opcode.NOP, origin=a)
+        c = Instruction(Opcode.NOP, origin=b)
+        assert c.root() is a
+        assert a.root() is a
+
+
+class TestRender:
+    def test_load_render(self):
+        ld = Instruction(Opcode.LOAD, dest=gen_reg(2), srcs=[gen_reg(1)],
+                         imm=8, region="list")
+        assert ld.render() == "load r2 = [r1 + 8] !list"
+
+    def test_store_render(self):
+        st = Instruction(Opcode.STORE, srcs=[gen_reg(0), gen_reg(1)], imm=4)
+        assert st.render() == "store [r1 + 4] = r0"
+
+    def test_branch_render(self):
+        br = Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["yes", "no"])
+        assert br.render() == "br p0, yes, no"
+
+    def test_produce_consume_render(self):
+        pr = Instruction(Opcode.PRODUCE, srcs=[gen_reg(5)], queue=2)
+        cs = Instruction(Opcode.CONSUME, dest=gen_reg(5), queue=2)
+        assert pr.render() == "produce [2] = r5"
+        assert cs.render() == "consume r5 = [2]"
+
+    def test_token_flow_render(self):
+        pr = Instruction(Opcode.PRODUCE, queue=1)
+        cs = Instruction(Opcode.CONSUME, queue=1)
+        assert "token" in pr.render()
+        assert "token" in cs.render()
+
+    def test_mov_immediate_render(self):
+        mv = Instruction(Opcode.MOV, dest=gen_reg(0), imm=42)
+        assert mv.render() == "mov r0 = 42"
+
+    def test_binary_with_imm_render(self):
+        add = Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=7)
+        assert add.render() == "add r0 = r1, 7"

@@ -1,0 +1,109 @@
+"""Tests for natural-loop discovery."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.loops import find_loop_by_header, find_loops, loop_nest_depth
+
+import pytest
+
+
+def nested_loops():
+    """outer(header=oh) contains inner(header=ih)."""
+    b = IRBuilder("nested")
+    p1, p2 = b.pred(), b.pred()
+    b.block("entry", entry=True)
+    b.jmp("oh")
+    b.block("oh")
+    b.br(p1, "exit", "ih")
+    b.block("ih")
+    b.br(p2, "olatch", "ibody")
+    b.block("ibody")
+    b.jmp("ih")
+    b.block("olatch")
+    b.jmp("oh")
+    b.block("exit")
+    b.ret()
+    return b.done()
+
+
+class TestDiscovery:
+    def test_finds_both_loops(self):
+        loops = find_loops(nested_loops())
+        headers = {l.header for l in loops}
+        assert headers == {"oh", "ih"}
+
+    def test_outermost_first(self):
+        loops = find_loops(nested_loops())
+        assert loops[0].header == "oh"
+        assert len(loops[0].body) > len(loops[1].body)
+
+    def test_bodies(self):
+        f = nested_loops()
+        outer = find_loop_by_header(f, "oh")
+        inner = find_loop_by_header(f, "ih")
+        assert outer.body == {"oh", "ih", "ibody", "olatch"}
+        assert inner.body == {"ih", "ibody"}
+
+    def test_no_loops(self):
+        b = IRBuilder("flat")
+        b.block("entry", entry=True)
+        b.ret()
+        assert find_loops(b.done()) == []
+
+    def test_missing_header_raises(self):
+        with pytest.raises(KeyError):
+            find_loop_by_header(nested_loops(), "nope")
+
+
+class TestLoopQueries:
+    def test_latches(self):
+        f = nested_loops()
+        assert find_loop_by_header(f, "oh").latches() == ["olatch"]
+        assert find_loop_by_header(f, "ih").latches() == ["ibody"]
+
+    def test_exit_edges_and_targets(self):
+        f = nested_loops()
+        outer = find_loop_by_header(f, "oh")
+        assert outer.exit_edges() == [("oh", "exit")]
+        assert outer.exit_targets() == ["exit"]
+        inner = find_loop_by_header(f, "ih")
+        assert inner.exit_edges() == [("ih", "olatch")]
+
+    def test_preheader(self):
+        f = nested_loops()
+        assert find_loop_by_header(f, "oh").preheader() == "entry"
+        # inner's only outside predecessor is oh
+        assert find_loop_by_header(f, "ih").preheader() == "oh"
+
+    def test_nest_depth(self):
+        f = nested_loops()
+        assert loop_nest_depth(f, find_loop_by_header(f, "oh")) == 1
+        assert loop_nest_depth(f, find_loop_by_header(f, "ih")) == 2
+
+    def test_instructions_and_contains(self):
+        f = nested_loops()
+        outer = find_loop_by_header(f, "oh")
+        insts = outer.instructions()
+        assert len(insts) == 4  # br, br, jmp, jmp
+        assert all(outer.contains(i) for i in insts)
+        assert outer.contains_block("ibody")
+        assert not outer.contains_block("exit")
+
+    def test_multiple_latches_merge_into_one_loop(self):
+        b = IRBuilder("multilatch")
+        p1, p2 = b.pred(), b.pred()
+        b.block("entry", entry=True)
+        b.jmp("h")
+        b.block("h")
+        b.br(p1, "exit", "mid")
+        b.block("mid")
+        b.br(p2, "latch1", "latch2")
+        b.block("latch1")
+        b.jmp("h")
+        b.block("latch2")
+        b.jmp("h")
+        b.block("exit")
+        b.ret()
+        loops = find_loops(b.done())
+        assert len(loops) == 1
+        assert loops[0].body == {"h", "mid", "latch1", "latch2"}
+        assert set(loops[0].latches()) == {"latch1", "latch2"}

@@ -1,0 +1,110 @@
+"""Tests for the textual IR parser and printer round-trip."""
+
+import pytest
+
+from repro.ir.parser import IRParseError, parse_function
+from repro.ir.printer import render_function
+from repro.ir.types import Opcode, gen_reg, pred_reg
+
+EXAMPLE = """\
+func sum entry=entry
+entry:
+    mov r0 = 0
+    jmp header
+header:
+    cmp.eq p0 = r1, 0
+    br p0, exit, body
+body:
+    load r2 = [r1 + 8] !list
+    add r0 = r0, r2
+    load r1 = [r1 + 0] !list
+    jmp header
+exit:
+    store [r3 + 0] = r0 !out
+    ret
+"""
+
+
+class TestParsing:
+    def test_parses_example(self):
+        f = parse_function(EXAMPLE)
+        assert f.name == "sum"
+        assert f.entry_label == "entry"
+        assert [b.label for b in f.blocks()] == ["entry", "header", "body", "exit"]
+
+    def test_roundtrip_is_fixed_point(self):
+        f = parse_function(EXAMPLE)
+        text = render_function(f)
+        assert render_function(parse_function(text)) == text
+
+    def test_load_region_preserved(self):
+        f = parse_function(EXAMPLE)
+        load = f.block("body").instructions[0]
+        assert load.opcode is Opcode.LOAD
+        assert load.region == "list"
+        assert load.imm == 8
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "func f entry=a\n# comment\n\na:\n    ret  # trailing\n"
+        f = parse_function(text)
+        assert f.block("a").terminator.opcode is Opcode.RET
+
+    def test_produce_consume_forms(self):
+        text = (
+            "func f entry=a\na:\n"
+            "    produce [3] = r1\n"
+            "    produce [4]\n"
+            "    consume r2 = [3]\n"
+            "    consume [4]\n"
+            "    ret\n"
+        )
+        f = parse_function(text)
+        insts = f.block("a").instructions
+        assert insts[0].queue == 3 and insts[0].srcs == [gen_reg(1)]
+        assert insts[1].queue == 4 and insts[1].srcs == []
+        assert insts[2].dest == gen_reg(2)
+        assert insts[3].dest is None
+
+    def test_call_form(self):
+        text = "func f entry=a\na:\n    r1 = call helper(r2, r3)\n    ret\n"
+        f = parse_function(text)
+        call = f.block("a").instructions[0]
+        assert call.opcode is Opcode.CALL
+        assert call.attrs["callee"] == "helper"
+        assert call.srcs == [gen_reg(2), gen_reg(3)]
+
+    def test_negative_offsets(self):
+        text = "func f entry=a\na:\n    load r1 = [r2 + -4]\n    ret\n"
+        f = parse_function(text)
+        assert f.block("a").instructions[0].imm == -4
+
+    def test_mov_register_source(self):
+        text = "func f entry=a\na:\n    mov r1 = r2\n    ret\n"
+        f = parse_function(text)
+        assert f.block("a").instructions[0].srcs == [gen_reg(2)]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a:\n    ret\n",  # no header
+            "func f entry=a\n    ret\n",  # instruction before label
+            "func f entry=missing\na:\n    ret\n",  # bad entry
+            "func f entry=a\na:\n    bogus r1 = r2\n",  # unknown opcode
+            "func f entry=a\na:\n    br p0, only_one\n",  # malformed br
+            "func f entry=a\nfunc g entry=a\na:\n    ret\n",  # two headers
+            "func f entry=a\na:\n    add r1 = r2, r3, r4\n",  # arity
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(IRParseError):
+            parse_function(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_function("func f entry=a\na:\n    bogus r1 = r2\n    ret\n")
+        except IRParseError as exc:
+            assert exc.line_no == 3
+        else:
+            pytest.fail("expected IRParseError")

@@ -1,0 +1,78 @@
+"""Tests for registers, opcodes, and their classification sets."""
+
+import pytest
+
+from repro.ir.types import (
+    BINARY_OPS,
+    COMPARE_OPS,
+    MEMORY_OPS,
+    M_PIPE_OPS,
+    PREDICATE_DEFS,
+    TERMINATORS,
+    Opcode,
+    RegClass,
+    Register,
+    gen_reg,
+    parse_register,
+    pred_reg,
+)
+
+
+class TestRegister:
+    def test_interning_gives_identity(self):
+        assert gen_reg(3) is gen_reg(3)
+        assert pred_reg(0) is pred_reg(0)
+
+    def test_distinct_classes_distinct_registers(self):
+        assert gen_reg(1) is not pred_reg(1)
+
+    def test_repr(self):
+        assert repr(gen_reg(12)) == "r12"
+        assert repr(pred_reg(4)) == "p4"
+
+    def test_ordering_is_deterministic(self):
+        regs = [gen_reg(5), pred_reg(1), gen_reg(0)]
+        assert sorted(regs) == [pred_reg(1), gen_reg(0), gen_reg(5)]
+
+    def test_is_predicate(self):
+        assert pred_reg(2).is_predicate
+        assert not gen_reg(2).is_predicate
+
+    def test_constructor_equals_helpers(self):
+        assert Register(RegClass.GEN, 7) is gen_reg(7)
+        assert Register(RegClass.PRED, 7) is pred_reg(7)
+
+
+class TestParseRegister:
+    def test_parse_general(self):
+        assert parse_register("r42") is gen_reg(42)
+
+    def test_parse_predicate(self):
+        assert parse_register(" p3 ") is pred_reg(3)
+
+    @pytest.mark.parametrize("bad", ["x3", "r", "p-1", "3r", "", "rr2"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_register(bad)
+
+
+class TestOpcodeSets:
+    def test_terminators(self):
+        assert TERMINATORS == {Opcode.BR, Opcode.JMP, Opcode.RET}
+
+    def test_memory_ops_subset_of_m_pipe(self):
+        assert MEMORY_OPS < M_PIPE_OPS
+
+    def test_produce_consume_use_m_pipe(self):
+        assert Opcode.PRODUCE in M_PIPE_OPS
+        assert Opcode.CONSUME in M_PIPE_OPS
+
+    def test_compare_ops_define_predicates(self):
+        assert COMPARE_OPS == PREDICATE_DEFS
+
+    def test_binary_and_compare_disjoint(self):
+        assert not BINARY_OPS & COMPARE_OPS
+
+    def test_every_opcode_has_unique_mnemonic(self):
+        names = [op.value for op in Opcode]
+        assert len(names) == len(set(names))

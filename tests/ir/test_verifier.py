@@ -1,0 +1,79 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.ir.basicblock import make_jump
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg, pred_reg
+from repro.ir.verifier import VerificationError, verify_function, verify_reachable
+
+
+def valid_function():
+    f = Function("ok")
+    a = f.add_block("a", entry=True)
+    a.append(make_jump("b"))
+    b = f.add_block("b")
+    b.append(Instruction(Opcode.RET))
+    return f
+
+
+def test_valid_function_passes():
+    verify_function(valid_function())
+    verify_reachable(valid_function())
+
+
+def test_empty_block_rejected():
+    f = valid_function()
+    f.add_block("empty")
+    with pytest.raises(VerificationError, match="empty"):
+        verify_function(f)
+
+
+def test_missing_terminator_rejected():
+    f = Function("f")
+    a = f.add_block("a", entry=True)
+    a.append(Instruction(Opcode.NOP))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(f)
+
+
+def test_mid_block_terminator_rejected():
+    f = Function("f")
+    a = f.add_block("a", entry=True)
+    a.instructions.append(Instruction(Opcode.RET))
+    a.instructions.append(Instruction(Opcode.RET))
+    with pytest.raises(VerificationError, match="middle"):
+        verify_function(f)
+
+
+def test_dangling_branch_target_rejected():
+    f = Function("f")
+    a = f.add_block("a", entry=True)
+    a.append(make_jump("nowhere"))
+    with pytest.raises(VerificationError, match="unknown block"):
+        verify_function(f)
+
+
+def test_flow_without_queue_rejected():
+    f = valid_function()
+    f.block("a").insert_before_terminator(
+        Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)])
+    )
+    with pytest.raises(VerificationError, match="queue"):
+        verify_function(f)
+
+
+def test_unreachable_block_rejected_by_strict_verify():
+    f = valid_function()
+    c = f.add_block("island")
+    c.append(Instruction(Opcode.RET))
+    verify_function(f)  # structurally fine
+    with pytest.raises(VerificationError, match="unreachable"):
+        verify_reachable(f)
+
+
+def test_missing_entry_rejected():
+    f = Function("f")
+    with pytest.raises(VerificationError, match="entry"):
+        verify_function(f)

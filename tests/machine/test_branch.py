@@ -1,0 +1,49 @@
+"""Tests for the two-bit branch predictor."""
+
+from repro.machine.branch import TwoBitPredictor
+
+
+class TestTwoBitPredictor:
+    def test_initial_prediction_not_taken(self):
+        p = TwoBitPredictor()
+        # Initial counter 1 (< threshold 2) predicts not-taken.
+        assert p.predict_and_update(1, taken=False)
+
+    def test_learns_taken_branch(self):
+        p = TwoBitPredictor()
+        p.predict_and_update(1, True)   # counter 1 -> 2 (mispredict)
+        assert p.predict_and_update(1, True)   # predicts taken now
+        assert p.predict_and_update(1, True)
+
+    def test_hysteresis_tolerates_one_flip(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.predict_and_update(1, True)  # saturate to 3
+        p.predict_and_update(1, False)     # one not-taken: counter 2
+        assert p.predict_and_update(1, True)  # still predicts taken
+
+    def test_counter_saturates(self):
+        p = TwoBitPredictor()
+        for _ in range(10):
+            p.predict_and_update(1, True)
+        # Two not-takens flip the prediction (3 -> 2 -> 1).
+        p.predict_and_update(1, False)
+        p.predict_and_update(1, False)
+        assert p.predict_and_update(1, False)
+
+    def test_branches_tracked_independently(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.predict_and_update(1, True)
+        assert p.predict_and_update(2, False)  # fresh key, default state
+
+    def test_mispredict_rate(self):
+        p = TwoBitPredictor()
+        p.predict_and_update(1, True)    # mispredict
+        p.predict_and_update(1, True)    # correct
+        assert p.lookups == 2
+        assert p.mispredicts == 1
+        assert p.mispredict_rate == 0.5
+
+    def test_rate_zero_without_lookups(self):
+        assert TwoBitPredictor().mispredict_rate == 0.0

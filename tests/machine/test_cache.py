@@ -1,0 +1,85 @@
+"""Tests for the set-associative cache model."""
+
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.config import CacheLevelConfig
+
+
+def level(size=64, line=8, ways=2, latency=2, name="T"):
+    return CacheLevel(CacheLevelConfig(name, size, line, ways, latency))
+
+
+class TestCacheLevel:
+    def test_first_access_misses_then_hits(self):
+        c = level()
+        assert not c.lookup(0)
+        assert c.lookup(0)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_hits(self):
+        c = level(line=8)
+        c.lookup(0)
+        assert c.lookup(7)       # same 8-word line
+        assert not c.lookup(8)   # next line
+
+    def test_lru_eviction(self):
+        c = level(size=32, line=8, ways=2)  # 2 sets x 2 ways
+        sets = c.num_sets
+        assert sets == 2
+        # Three lines mapping to set 0: lines 0, 2, 4 (line*8 addresses).
+        c.lookup(0)     # line 0 -> set 0
+        c.lookup(16)    # line 2 -> set 0
+        c.lookup(32)    # line 4 -> set 0, evicts line 0
+        assert not c.contains(0)
+        assert c.contains(16)
+
+    def test_lru_refresh_on_hit(self):
+        c = level(size=32, line=8, ways=2)
+        c.lookup(0)
+        c.lookup(16)
+        c.lookup(0)     # refresh line 0
+        c.lookup(32)    # evicts line 2 (16), not line 0
+        assert c.contains(0)
+        assert not c.contains(16)
+
+    def test_miss_rate(self):
+        c = level()
+        c.lookup(0)
+        c.lookup(0)
+        assert c.miss_rate == 0.5
+        assert level().miss_rate == 0.0
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy(
+            level(size=16, line=4, ways=1, latency=2, name="L1"),
+            level(size=64, line=8, ways=2, latency=6, name="L2"),
+            level(size=256, line=8, ways=4, latency=14, name="L3"),
+            memory_latency=100,
+        )
+
+    def test_miss_goes_to_memory_first_time(self):
+        h = self._hierarchy()
+        assert h.access(0) == 100
+
+    def test_l1_hit_after_fill(self):
+        h = self._hierarchy()
+        h.access(0)
+        assert h.access(0) == 2
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self._hierarchy()
+        h.access(0)
+        # Evict line 0 from the tiny direct-mapped L1 (4 sets, 1 way):
+        # address 16 maps to the same L1 set as 0 but a different L2 set.
+        h.access(16)
+        latency = h.access(0)
+        assert latency == 6  # L1 miss, L2 hit
+
+    def test_stats_keys(self):
+        h = self._hierarchy()
+        h.access(0)
+        stats = h.stats()
+        assert set(stats) == {"l1_miss_rate", "l2_miss_rate", "l3_miss_rate",
+                              "l1_accesses"}
+        assert stats["l1_accesses"] == 1

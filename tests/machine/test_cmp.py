@@ -1,0 +1,106 @@
+"""Tests for the dual-core co-simulation."""
+
+import pytest
+
+from repro.interp.trace import TraceEntry
+from repro.machine.cmp import SimulationDeadlock, simulate
+from repro.machine.config import MachineConfig
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+
+
+def produce(q):
+    return TraceEntry(Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)], queue=q))
+
+
+def consume(q, dest=1):
+    return TraceEntry(Instruction(Opcode.CONSUME, dest=gen_reg(dest), queue=q))
+
+
+def alu(i=0):
+    return TraceEntry(Instruction(Opcode.ADD, dest=gen_reg(10 + i),
+                                  srcs=[gen_reg(20 + i)], imm=1))
+
+
+class TestHandshake:
+    def test_consumer_waits_for_producer(self):
+        machine = MachineConfig(comm_latency=10)
+        producer = [alu(i) for i in range(20)] + [produce(0)]
+        consumer = [consume(0)]
+        result = simulate([producer, consumer], machine)
+        produce_core, consume_core = result.cores
+        # The consume cannot complete before the produce is visible.
+        assert consume_core.last_completion > 10
+
+    def test_pipeline_of_values(self):
+        producer = []
+        consumer = []
+        for _ in range(50):
+            producer.append(produce(0))
+            consumer.append(consume(0))
+        result = simulate([producer, consumer])
+        assert all(core.done for core in result.cores)
+        assert result.cycles > 0
+
+    def test_full_queue_blocks_producer(self):
+        machine = MachineConfig(queue_size=4)
+        producer = [produce(0) for _ in range(16)]
+        # Consumer does a lot of unrelated work before consuming.
+        consumer = [alu(i) for i in range(200)] + [
+            consume(0) for _ in range(16)
+        ]
+        result = simulate([producer, consumer], machine)
+        stalls = result.cores[0].stall_cycles("produce_full")
+        assert stalls > 0
+
+    def test_consumer_stall_recorded(self):
+        producer = [alu(i) for i in range(100)] + [produce(0)]
+        consumer = [consume(0)]
+        result = simulate([producer, consumer])
+        assert result.cores[1].stall_cycles("consume_empty") > 0
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        # Consumer waits on a queue nobody produces.
+        with pytest.raises(SimulationDeadlock):
+            simulate([[alu()], [consume(9)]])
+
+    def test_too_many_threads_rejected(self):
+        machine = MachineConfig(num_cores=2)
+        with pytest.raises(ValueError, match="cores"):
+            simulate([[alu()], [alu()], [alu()]], machine)
+
+
+class TestSingleTrace:
+    def test_baseline_has_no_queue_telemetry(self):
+        result = simulate([[alu(i) for i in range(10)]])
+        assert result.queues is None
+        assert result.occupancy().events == []
+
+    def test_result_repr(self):
+        result = simulate([[alu()]])
+        assert "cycles" in repr(result)
+
+
+class TestWarmup:
+    def test_warm_run_is_no_slower(self):
+        from repro.harness.runner import run_baseline
+        from repro.workloads import get_workload
+
+        case = get_workload("mcf").build(scale=100)
+        trace = [run_baseline(case).trace]
+        cold = simulate(trace, MachineConfig()).cycles
+        warm = simulate(trace, MachineConfig(), warm=True).cycles
+        assert warm <= cold
+
+    def test_warm_predictor_reduces_mispredicts(self):
+        from repro.harness.runner import run_baseline
+        from repro.workloads import get_workload
+
+        case = get_workload("wc").build(scale=100)
+        trace = [run_baseline(case).trace]
+        cold = simulate(trace, MachineConfig())
+        warm = simulate(trace, MachineConfig(), warm=True)
+        assert (warm.cores[0].predictor.mispredict_rate
+                <= cold.cores[0].predictor.mispredict_rate + 0.35)

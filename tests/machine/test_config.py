@@ -1,0 +1,64 @@
+"""Tests for machine configuration and the static latency model."""
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+from repro.machine.config import (
+    FULL_WIDTH_MACHINE,
+    HALF_WIDTH_MACHINE,
+    STATIC_LATENCIES,
+    MachineConfig,
+    static_latency,
+    static_latency_with_calls,
+)
+
+
+class TestStaticLatency:
+    def test_alu_is_single_cycle(self):
+        add = Instruction(Opcode.ADD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=1)
+        assert static_latency(add) == 1
+
+    def test_load_uses_average_estimate(self):
+        ld = Instruction(Opcode.LOAD, dest=gen_reg(0), srcs=[gen_reg(1)], imm=0)
+        assert static_latency(ld) == 2
+
+    def test_fp_slower_than_int(self):
+        fmul = Instruction(Opcode.FMUL, dest=gen_reg(0),
+                           srcs=[gen_reg(1), gen_reg(2)])
+        mul = Instruction(Opcode.MUL, dest=gen_reg(0),
+                          srcs=[gen_reg(1), gen_reg(2)])
+        assert static_latency(fmul) >= static_latency(mul)
+
+    def test_call_latency_excluded_by_default(self):
+        """The paper notes call latencies do not include the callee."""
+        call = Instruction(Opcode.CALL, attrs={"callee": "f", "call_cycles": 500})
+        assert static_latency(call) == 1
+        assert static_latency_with_calls(call) == 501
+
+    def test_every_opcode_has_a_latency(self):
+        assert set(STATIC_LATENCIES) == set(Opcode)
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper(self):
+        m = FULL_WIDTH_MACHINE
+        assert m.queue_size == 32
+        assert m.num_queues == 256
+        assert m.comm_latency == 1
+        assert m.core.issue_width == 6
+        assert m.core.m_ports == 4
+
+    def test_half_width_halves_front_end(self):
+        assert HALF_WIDTH_MACHINE.core.issue_width == 3
+        assert HALF_WIDTH_MACHINE.core.m_ports == 2
+
+    def test_with_comm_latency(self):
+        m = MachineConfig().with_comm_latency(10)
+        assert m.comm_latency == 10
+        assert MachineConfig().comm_latency == 1  # original untouched
+
+    def test_with_queue_size(self):
+        assert MachineConfig().with_queue_size(128).queue_size == 128
+
+    def test_with_core(self):
+        m = MachineConfig().with_core(HALF_WIDTH_MACHINE.core)
+        assert m.core.issue_width == 3

@@ -1,0 +1,150 @@
+"""Tests for the in-order core timing model."""
+
+import pytest
+
+from repro.interp.trace import TraceEntry
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.config import CoreConfig, MachineConfig
+from repro.machine.core import CoreSim
+from repro.machine.syncarray import QueueTiming
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg, pred_reg
+
+
+def caches(machine):
+    return CacheHierarchy(
+        CacheLevel(machine.core.l1),
+        CacheLevel(machine.core.l2),
+        CacheLevel(machine.l3),
+        machine.memory_latency,
+    )
+
+
+def run_core(trace, machine=None):
+    machine = machine or MachineConfig()
+    core = CoreSim(0, machine.core, machine, trace, caches(machine))
+    queues = QueueTiming(machine.queue_size, machine.comm_latency,
+                         machine.sa_read_latency)
+    while core.step(queues) == CoreSim.PROGRESS:
+        pass
+    return core
+
+
+def alu(dest, *srcs, imm=None):
+    return TraceEntry(Instruction(Opcode.ADD, dest=gen_reg(dest),
+                                  srcs=[gen_reg(s) for s in srcs],
+                                  imm=imm if srcs == () or imm is not None else 0))
+
+
+def independent_alus(n):
+    return [
+        TraceEntry(Instruction(Opcode.ADD, dest=gen_reg(100 + i),
+                               srcs=[gen_reg(200 + i)], imm=1))
+        for i in range(n)
+    ]
+
+
+class TestIssueBandwidth:
+    def test_independent_ops_share_a_cycle(self):
+        core = run_core(independent_alus(6))
+        assert core.last_completion == 1  # all issue at cycle 0
+
+    def test_seventh_op_spills_to_next_cycle(self):
+        core = run_core(independent_alus(7))
+        assert core.last_completion == 2
+
+    def test_half_width_core_issues_three(self):
+        machine = MachineConfig(core=CoreConfig(issue_width=3, m_ports=2))
+        core = run_core(independent_alus(6), machine)
+        assert core.last_completion == 2
+
+    def test_m_port_limit(self):
+        # 8 independent loads to the same (warm after first) line:
+        loads = [
+            TraceEntry(
+                Instruction(Opcode.LOAD, dest=gen_reg(100 + i),
+                            srcs=[gen_reg(0)], imm=0),
+                addr=0,
+            )
+            for i in range(8)
+        ]
+        core = run_core(loads)
+        # 4 per cycle on the M pipe -> two issue cycles minimum.
+        assert core.last_completion >= 2
+
+
+class TestDependencies:
+    def test_dependent_chain_serialises(self):
+        entries = []
+        for i in range(5):
+            entries.append(TraceEntry(
+                Instruction(Opcode.ADD, dest=gen_reg(1),
+                            srcs=[gen_reg(1)], imm=1)
+            ))
+        core = run_core(entries)
+        assert core.last_completion == 5  # one per cycle, back to back
+
+    def test_load_consumer_waits_for_cache_latency(self):
+        machine = MachineConfig()
+        ld = TraceEntry(
+            Instruction(Opcode.LOAD, dest=gen_reg(1), srcs=[gen_reg(0)], imm=0),
+            addr=0,
+        )
+        use = TraceEntry(
+            Instruction(Opcode.ADD, dest=gen_reg(2), srcs=[gen_reg(1)], imm=1)
+        )
+        core = run_core([ld, use], machine)
+        # Cold load goes to memory; the consumer completes after it.
+        assert core.last_completion >= machine.memory_latency
+
+    def test_warm_load_is_fast(self):
+        machine = MachineConfig()
+        def ld():
+            return TraceEntry(
+                Instruction(Opcode.LOAD, dest=gen_reg(1), srcs=[gen_reg(0)],
+                            imm=0),
+                addr=0,
+            )
+        core = run_core([ld(), ld(), ld()], machine)
+        # After the cold miss the line is in L1 (hit latency 2).
+        assert core.last_completion < machine.memory_latency + 10
+
+
+class TestBranches:
+    def _branch(self, taken):
+        return TraceEntry(
+            Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["a", "b"]),
+            taken=taken,
+        )
+
+    def test_mispredict_stalls_fetch(self):
+        # Default counter predicts not-taken; a taken branch mispredicts.
+        entries = [self._branch(True)] + independent_alus(1)
+        core = run_core(entries)
+        penalty = MachineConfig().core.mispredict_penalty
+        assert core.last_completion >= penalty
+
+    def test_predicted_branch_is_cheap(self):
+        entries = [self._branch(False)] + independent_alus(1)
+        core = run_core(entries)
+        assert core.last_completion <= 2
+
+
+class TestStatistics:
+    def test_ipc_excludes_flow_instructions(self):
+        entries = independent_alus(4)
+        entries.append(TraceEntry(
+            Instruction(Opcode.PRODUCE, srcs=[gen_reg(100)], queue=0)
+        ))
+        core = run_core(entries)
+        assert core.instructions_executed == 5
+        assert core.flow_instructions == 1
+        assert core.ipc() == 4 / core.last_completion
+
+    def test_call_latency_honoured(self):
+        call = TraceEntry(Instruction(
+            Opcode.CALL, dest=gen_reg(1),
+            attrs={"callee": "f", "call_cycles": 40},
+        ))
+        core = run_core([call])
+        assert core.last_completion == 41

@@ -1,0 +1,90 @@
+"""Tests for occupancy telemetry and result statistics."""
+
+from hypothesis import given, strategies as st
+
+from repro.machine.stats import OccupancyProfile, speedup
+
+
+class FakeResult:
+    def __init__(self, cycles):
+        self.cycles = cycles
+
+
+class TestOccupancyHistogram:
+    def test_simple_fill_and_drain(self):
+        # +1 at t=2, -1 at t=5, total 10 cycles.
+        profile = OccupancyProfile([(2, +1), (5, -1)], 10, 0, 0)
+        hist = profile.occupancy_histogram()
+        assert hist == {0: 7, 1: 3}
+
+    def test_histogram_total_equals_cycles(self):
+        events = [(1, +1), (3, +1), (4, -1), (9, -1)]
+        profile = OccupancyProfile(events, 20, 0, 0)
+        assert sum(profile.occupancy_histogram().values()) == 20
+
+    def test_cycles_with_occupancy_at_least(self):
+        events = [(0, +1), (5, +1), (10, -1), (15, -1)]
+        profile = OccupancyProfile(events, 20, 0, 0)
+        assert profile.cycles_with_occupancy_at_least(1) == 15
+        assert profile.cycles_with_occupancy_at_least(2) == 5
+
+    def test_empty_events(self):
+        profile = OccupancyProfile([], 10, 0, 0)
+        assert profile.occupancy_histogram() == {0: 10}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.sampled_from([1, -1])),
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_histogram_conserves_time(self, raw_events, total):
+        # Keep the running level non-negative like real queue telemetry.
+        events, level = [], 0
+        for t, d in sorted(raw_events):
+            if d < 0 and level == 0:
+                continue
+            level += d
+            events.append((t, d))
+        profile = OccupancyProfile(events, total, 0, 0)
+        assert sum(profile.occupancy_histogram().values()) == total
+
+
+class TestSeries:
+    def test_series_tracks_level(self):
+        events = [(0, +1), (50, +1), (80, -1)]
+        profile = OccupancyProfile(events, 100, 0, 0)
+        series = dict(profile.series(samples=10))
+        assert series[0] == 1
+        assert series[60] == 2
+        assert series[100] == 1
+
+    def test_series_on_empty(self):
+        assert OccupancyProfile([], 10, 0, 0).series() == [(0, 0)]
+
+
+class TestBuckets:
+    def test_buckets_sum_to_one(self):
+        events = [(0, +1), (40, -1)]
+        profile = OccupancyProfile(events, 100, producer_stall=10,
+                                   consumer_stall=20)
+        buckets = profile.buckets()
+        assert abs(sum(buckets.values()) - 1.0) < 1e-9
+
+    def test_stall_fractions(self):
+        profile = OccupancyProfile([(0, +1), (40, -1)], 100, 10, 20)
+        buckets = profile.buckets()
+        assert buckets["full_producer_stalled"] == 0.10
+        assert buckets["empty_consumer_stalled"] == 0.20
+
+    def test_balanced_fraction_reflects_occupancy(self):
+        profile = OccupancyProfile([(0, +1), (50, -1)], 100, 0, 0)
+        buckets = profile.buckets()
+        assert buckets["balanced_both_active"] == 0.5
+        assert buckets["empty_both_active"] == 0.5
+
+
+def test_speedup():
+    assert speedup(FakeResult(200), FakeResult(100)) == 2.0
+    assert speedup(FakeResult(100), FakeResult(200)) == 0.5

@@ -1,0 +1,70 @@
+"""Tests for the synchronization-array timing state."""
+
+from repro.machine.syncarray import QueueTiming
+
+
+def make(size=2, comm=1, read=1):
+    return QueueTiming(size, comm, read)
+
+
+class TestProducerSide:
+    def test_empty_queue_slot_immediately_free(self):
+        q = make()
+        assert q.produce_slot_ready(0) == 0
+
+    def test_visibility_includes_comm_latency(self):
+        q = make(comm=5)
+        q.record_produce(0, issue_cycle=10)
+        assert q.visible[0] == [16]  # 10 + 1 + 5
+
+    def test_full_queue_waits_for_consume(self):
+        q = make(size=2)
+        q.record_produce(0, 0)
+        q.record_produce(0, 1)
+        # Third produce needs the first consume, not yet simulated.
+        assert q.produce_slot_ready(0) is None
+        q.record_consume(0, 50)
+        assert q.produce_slot_ready(0) == 50
+
+    def test_slot_frees_in_fifo_order(self):
+        q = make(size=1)
+        q.record_produce(0, 0)
+        q.record_consume(0, 7)
+        assert q.produce_slot_ready(0) == 7
+        q.record_produce(0, 8)
+        assert q.produce_slot_ready(0) is None
+
+
+class TestConsumerSide:
+    def test_empty_queue_not_ready(self):
+        q = make()
+        assert q.consume_data_ready(3) is None
+
+    def test_data_ready_at_visibility(self):
+        q = make(comm=2)
+        q.record_produce(1, 4)
+        assert q.consume_data_ready(1) == 7
+
+    def test_fifo_matching(self):
+        q = make(comm=0)
+        q.record_produce(0, 10)
+        q.record_produce(0, 20)
+        assert q.consume_data_ready(0) == 11
+        q.record_consume(0, 12)
+        assert q.consume_data_ready(0) == 21
+
+
+class TestTelemetry:
+    def test_occupancy_events_sorted(self):
+        q = make()
+        q.record_produce(0, 5)
+        q.record_produce(1, 1)
+        q.record_consume(0, 9)
+        events = q.occupancy_events()
+        assert events == sorted(events)
+        assert sum(delta for _, delta in events) == 1  # one leftover
+
+    def test_queues_independent(self):
+        q = make(size=1)
+        q.record_produce(0, 0)
+        assert q.produce_slot_ready(1) == 0

@@ -1,0 +1,77 @@
+"""Invariant tests for the timing model on real transformed workloads."""
+
+import pytest
+
+from repro.harness.runner import run_baseline, run_dswp
+from repro.machine.cmp import simulate
+from repro.machine.config import MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def wc_runs():
+    case = get_workload("wc").build(scale=150)
+    baseline = run_baseline(case)
+    transformed = run_dswp(case, baseline)
+    return baseline, transformed
+
+
+class TestDeterminism:
+    def test_identical_traces_identical_cycles(self, wc_runs):
+        baseline, transformed = wc_runs
+        a = simulate(transformed.traces, MachineConfig())
+        b = simulate(transformed.traces, MachineConfig())
+        assert a.cycles == b.cycles
+        assert a.ipcs() == b.ipcs()
+
+
+class TestMonotonicity:
+    def test_cycles_nondecreasing_in_comm_latency(self, wc_runs):
+        _, transformed = wc_runs
+        previous = 0
+        for latency in (1, 2, 5, 10, 20, 50):
+            cycles = simulate(
+                transformed.traces, MachineConfig(comm_latency=latency)
+            ).cycles
+            assert cycles >= previous
+            previous = cycles
+
+    def test_cycles_nonincreasing_in_queue_size(self, wc_runs):
+        _, transformed = wc_runs
+        previous = None
+        for size in (2, 4, 8, 32, 128):
+            cycles = simulate(
+                transformed.traces, MachineConfig(queue_size=size)
+            ).cycles
+            if previous is not None:
+                assert cycles <= previous + 2  # small scheduling noise
+            previous = cycles
+
+    def test_baseline_untouched_by_queue_knobs(self, wc_runs):
+        baseline, _ = wc_runs
+        a = simulate([baseline.trace], MachineConfig(comm_latency=1)).cycles
+        b = simulate([baseline.trace], MachineConfig(comm_latency=50)).cycles
+        assert a == b
+
+
+class TestSanity:
+    def test_pipeline_never_beats_sum_of_work(self, wc_runs):
+        """Cycles cannot be lower than the bigger thread's instruction
+        count divided by issue width (a loose lower bound)."""
+        _, transformed = wc_runs
+        machine = MachineConfig()
+        sim = simulate(transformed.traces, machine)
+        heaviest = max(len(t) for t in transformed.traces)
+        assert sim.cycles >= heaviest / machine.core.issue_width
+
+    def test_instructions_match_traces(self, wc_runs):
+        _, transformed = wc_runs
+        sim = simulate(transformed.traces, MachineConfig())
+        assert sim.instructions == sum(len(t) for t in transformed.traces)
+
+    def test_occupancy_events_balance_with_leftovers(self, wc_runs):
+        _, transformed = wc_runs
+        sim = simulate(transformed.traces, MachineConfig())
+        events = sim.occupancy().events
+        balance = sum(delta for _, delta in events)
+        assert balance >= 0  # leftovers only, never negative

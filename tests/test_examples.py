@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example runs end to end (small scales)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart", "doacross_vs_dswp", "partition_explorer",
+            "benchmark_suite", "custom_loop", "multi_loop_pipeline",
+            "speculative_gzip", "scaling_out"} <= names
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main(scale=120)
+    out = capsys.readouterr().out
+    assert "functional check" in out
+    assert "loop speedup" in out
+
+
+def test_doacross_vs_dswp(capsys):
+    load_example("doacross_vs_dswp").main(scale=120)
+    out = capsys.readouterr().out
+    assert "DOACROSS speedup" in out
+
+
+def test_custom_loop(capsys):
+    load_example("custom_loop").main()
+    out = capsys.readouterr().out
+    assert "both versions agree" in out
+
+
+def test_multi_loop_pipeline(capsys):
+    load_example("multi_loop_pipeline").main(n=150)
+    out = capsys.readouterr().out
+    assert "transformed 2 loops" in out
+    assert "checksum" in out
+
+
+def test_speculative_gzip(capsys):
+    load_example("speculative_gzip").main(scale=150)
+    out = capsys.readouterr().out
+    assert "speculated branches" in out
+    assert "speedup over baseline" in out
+
+
+def test_partition_explorer(capsys):
+    load_example("partition_explorer").main("wc", scale=100)
+    out = capsys.readouterr().out
+    assert "heuristic pick" in out
+
+
+def test_benchmark_suite(capsys):
+    load_example("benchmark_suite").main(scale=60)
+    out = capsys.readouterr().out
+    assert "geomean loop speedup" in out
+
+
+def test_scaling_out(capsys):
+    load_example("scaling_out").main("compress", scale=80)
+    out = capsys.readouterr().out
+    assert "DOALL (3 threads)" in out
+    assert "parallel-stage DSWP" in out

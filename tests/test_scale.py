@@ -1,0 +1,46 @@
+"""Scale tests: the pipeline stays linear-time at 10x benchmark sizes,
+and results remain correct and consistent with small-scale runs."""
+
+import time
+
+import pytest
+
+from repro.core.program import dswp_program
+from repro.harness.runner import run_experiment
+from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
+from repro.interp.multithread import run_threads
+from repro.workloads import get_workload
+
+
+class TestLargeScale:
+    @pytest.mark.parametrize("name", ["mcf", "wc"])
+    def test_10x_scale_stays_fast_and_correct(self, name):
+        start = time.monotonic()
+        result = run_experiment(get_workload(name), scale=5000)
+        elapsed = time.monotonic() - start
+        assert elapsed < 60, f"{name} at 10x scale took {elapsed:.0f}s"
+        assert result.loop_speedup > 1.0
+
+    def test_speedup_stable_across_scales(self):
+        small = run_experiment(get_workload("wc"), scale=500)
+        large = run_experiment(get_workload("wc"), scale=4000)
+        assert abs(large.loop_speedup - small.loop_speedup) < 0.25
+
+
+class TestThreeThreadProgram:
+    def test_whole_program_with_three_stages(self):
+        """dswp_program at threads=3: two auxiliary master threads."""
+        from tests.core.test_program import two_loop_function
+
+        func, regs = two_loop_function()
+        memory = Memory()
+        base = memory.store_array([(i * 11 + 4) % 97 for i in range(40)])
+        out = memory.alloc(1)
+        initial = {regs["n"]: 40, regs["base"]: base, regs["out"]: out}
+        seq = run_function(func, memory.clone(), initial_regs=initial)
+        result = dswp_program(func, ["h1", "h2"], threads=3)
+        assert len(result.program) >= 2
+        par = run_threads(result.program, memory.clone(),
+                          initial_regs=initial, max_steps=8_000_000)
+        assert seq.memory.snapshot() == par.memory.snapshot()

@@ -1,0 +1,98 @@
+"""Tests for the workload suite: construction, oracles, metadata."""
+
+import pytest
+
+from repro.interp.interpreter import run_function
+from repro.ir.verifier import verify_reachable
+from repro.workloads import (
+    ALL_WORKLOADS,
+    TABLE1_WORKLOADS,
+    ArtWorkload,
+    get_workload,
+)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+class TestEveryWorkload:
+    def test_builds_valid_ir(self, workload):
+        case = workload.build(scale=50)
+        verify_reachable(case.function)
+
+    def test_has_loop_with_preheader(self, workload):
+        case = workload.build(scale=50)
+        loop = case.loop
+        assert loop.preheader() is not None
+        assert loop.exit_edges()
+
+    def test_baseline_satisfies_oracle(self, workload):
+        case = workload.build(scale=50)
+        memory = case.fresh_memory()
+        result = run_function(case.function, memory,
+                              initial_regs=case.initial_regs,
+                              max_steps=10_000_000,
+                              call_handlers=case.call_handlers)
+        case.checker(memory, result.regs)
+
+    def test_build_is_deterministic(self, workload):
+        a = workload.build(scale=30)
+        b = workload.build(scale=30)
+        assert a.function.render() == b.function.render()
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_different_seeds_differ(self, workload):
+        a = workload.build(scale=30, seed=1)
+        b = workload.build(scale=30, seed=2)
+        assert a.memory.snapshot() != b.memory.snapshot()
+
+
+class TestMetadata:
+    def test_table1_has_ten_rows(self):
+        assert len(TABLE1_WORKLOADS) == 10
+
+    def test_names_unique(self):
+        names = [w.name for w in ALL_WORKLOADS]
+        assert len(names) == len(set(names))
+
+    def test_exec_fractions_in_paper_range(self):
+        """Table 1's loops account for 6%-98% of execution."""
+        for w in TABLE1_WORKLOADS:
+            assert 0.06 <= w.exec_fraction <= 0.98
+
+    def test_registry_lookup(self):
+        assert get_workload("mcf").paper_benchmark == "181.mcf"
+        with pytest.raises(KeyError):
+            get_workload("nonexistent")
+
+
+class TestOracleSensitivity:
+    def test_checker_rejects_corrupted_memory(self):
+        case = get_workload("compress").build(scale=30)
+        memory = case.fresh_memory()
+        result = run_function(case.function, memory,
+                              initial_regs=case.initial_regs)
+        case.checker(memory, result.regs)
+        # Corrupt one output cell: the checker must notice.
+        target = next(
+            addr for addr in sorted(memory.snapshot())
+            if addr >= max(case.initial_regs.values())
+        )
+        corrupted = False
+        for addr in sorted(memory.snapshot()):
+            memory.write(addr, memory.read(addr) + 1)
+            try:
+                case.checker(memory, result.regs)
+                memory.write(addr, memory.read(addr) - 1)
+            except AssertionError:
+                corrupted = True
+                break
+        assert corrupted
+
+
+class TestArtExpansion:
+    def test_expanded_variant_same_answer(self):
+        plain = ArtWorkload().build(scale=40)
+        expanded = ArtWorkload(expanded=True).build(scale=40)
+        for case in (plain, expanded):
+            memory = case.fresh_memory()
+            run_function(case.function, memory, initial_regs=case.initial_regs)
+            case.checker(memory, {})
