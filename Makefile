@@ -1,0 +1,31 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test fuzz-smoke fuzz fuzz-sensitivity bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+fuzz-smoke:
+	$(PYTHON) -m pytest -q -m fuzz_smoke
+
+# Longer differential campaign (not part of CI); override knobs like
+#   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000
+FUZZ_SEED ?= 0
+FUZZ_ITERATIONS ?= 500
+FUZZ_OUT ?= fuzz-reproducers
+
+fuzz:
+	$(PYTHON) -m repro fuzz --seed $(FUZZ_SEED) \
+		--iterations $(FUZZ_ITERATIONS) --out $(FUZZ_OUT)
+
+# Prove the oracle catches every injectable splitter bug.
+fuzz-sensitivity:
+	@set -e; for fault in drop-dep-arc drop-produce drop-consume \
+		cross-queues drop-initial-flow; do \
+		$(PYTHON) -m repro fuzz --seed 1 --iterations 25 \
+			--inject $$fault --max-failures 1; \
+	done
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -38,6 +38,16 @@ class AliasModel:
     def __init__(self, mode: AliasMode = AliasMode.REGIONS) -> None:
         self.mode = mode
 
+    @classmethod
+    def conservative(cls) -> "AliasModel":
+        """Every memory pair may alias (pre-[10] analysis precision)."""
+        return cls(AliasMode.CONSERVATIVE)
+
+    @classmethod
+    def regions(cls) -> "AliasModel":
+        """Region-accurate model with affine refinement (the default)."""
+        return cls(AliasMode.REGIONS)
+
     # ------------------------------------------------------------------
     def _touches_memory(self, inst: Instruction) -> bool:
         if inst.is_memory:

@@ -99,6 +99,11 @@ class DependenceGraph:
         self.arcs.append(arc)
         self._succ_cache = None
 
+    def remove_arc(self, arc: DepArc) -> None:
+        """Drop one dependence arc (fault-injection / what-if hook)."""
+        self.arcs.remove(arc)
+        self._succ_cache = None
+
     def successors(self) -> dict[Instruction, set[Instruction]]:
         if self._succ_cache is None:
             succ: dict[Instruction, set[Instruction]] = {n: set() for n in self.nodes}

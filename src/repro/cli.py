@@ -7,7 +7,9 @@ Commands:
   with optional machine knobs;
 * ``show WORKLOAD`` -- print the loop's IR, its DAG_SCC, and the
   transformed thread pipeline;
-* ``sweep WORKLOAD`` -- communication-latency sweep for one workload.
+* ``sweep WORKLOAD`` -- communication-latency sweep for one workload;
+* ``fuzz`` -- differential fuzzing campaign (random loops, sequential
+  vs. pipelined oracle); see ``docs/FUZZING.md``.
 """
 
 from __future__ import annotations
@@ -153,6 +155,72 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import get_fault, run_campaign, run_setting
+    from repro.fuzz.oracle import GeneratorInvariantError
+
+    try:
+        fault = get_fault(args.inject) if args.inject else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay:
+        from repro.fuzz import read_reproducer
+        from repro.ir.parser import IRParseError
+        from repro.ir.verifier import VerificationError
+
+        try:
+            case, setting, fault_name = read_reproducer(args.replay)
+        except (OSError, IRParseError, VerificationError, KeyError,
+                ValueError) as exc:
+            print(f"error: cannot load reproducer {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if fault is None and fault_name:
+            fault = get_fault(fault_name)
+        print(f"replaying {args.replay}: case seed={case.seed}, "
+              f"{setting.describe()}"
+              + (f", fault={fault.name}" if fault else ""))
+        try:
+            divergence = run_setting(case, setting, fault=fault)
+        except GeneratorInvariantError as exc:
+            print(f"reference run failed: {exc}")
+            return 2
+        if divergence is None:
+            print("no divergence: reference and pipeline agree")
+            return 0
+        print(f"DIVERGENCE ({divergence.kind}): {divergence.detail}")
+        return 1
+
+    result = run_campaign(
+        args.seed,
+        args.iterations,
+        fault=fault,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        log=print,
+    )
+    print(result.summary())
+    for failure in result.failures:
+        shrunk = (f", shrunk {failure.original_instructions} -> "
+                  f"{failure.shrunk_instructions} instructions"
+                  if failure.shrunk_instructions else "")
+        where = f" [{failure.reproducer_path}]" if failure.reproducer_path else ""
+        print(f"  seed {failure.seed}: {failure.divergence.kind} "
+              f"({failure.divergence.setting.describe()}){shrunk}{where}")
+    if fault is not None:
+        # --inject inverts the verdict: the oracle is *supposed* to
+        # catch the planted bug.
+        if result.failures:
+            print(f"fault {fault.name!r} detected -- oracle is sensitive")
+            return 0
+        print(f"fault {fault.name!r} was NOT detected", file=sys.stderr)
+        return 1
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +263,27 @@ def build_parser() -> argparse.ArgumentParser:
     dot_p.add_argument("--graph", choices=("cfg", "pdg", "dag"),
                        default="dag")
     dot_p.add_argument("--scale", type=int, default=None)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential fuzzing of the DSWP pipeline"
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (case i uses seed*1000003+i)")
+    fuzz_p.add_argument("--iterations", type=int, default=500,
+                        help="number of random loops to check")
+    fuzz_p.add_argument("--out", default=None,
+                        help="directory for reproducer files")
+    fuzz_p.add_argument("--inject", default=None, metavar="FAULT",
+                        help="plant a known transformation bug and check "
+                             "the oracle catches it (see docs/FUZZING.md)")
+    fuzz_p.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-check one reproducer file instead of "
+                             "running a campaign")
+    fuzz_p.add_argument("--no-shrink", action="store_true", dest="no_shrink",
+                        help="write failing cases without minimizing them")
+    fuzz_p.add_argument("--max-failures", type=int, default=10,
+                        dest="max_failures",
+                        help="stop the campaign after this many divergences")
     return parser
 
 
@@ -207,6 +296,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "sweep": cmd_sweep,
         "select": cmd_select,
         "dot": cmd_dot,
+        "fuzz": cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

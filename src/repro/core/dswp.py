@@ -105,6 +105,7 @@ def dswp(
     queue_limit: int = 256,
     require_profitable: bool = True,
     profit_threshold: float = 1.02,
+    graph_transform: Optional[Callable[[DependenceGraph], None]] = None,
 ) -> DSWPResult:
     """Apply DSWP to ``loop`` (default: the largest loop of ``function``).
 
@@ -123,6 +124,11 @@ def dswp(
             estimate sees no speedup (Fig. 3 line 6).  The estimate is
             still attached to the result when a partition was given.
         profit_threshold: Minimum estimated speedup to proceed.
+        graph_transform: Optional mutation applied to the freshly built
+            dependence graph before SCC condensation.  Used by the
+            differential fuzzer's fault injector to emulate splitter
+            bugs (dropped cross-thread dependence arcs); never set on
+            correctness-critical paths.
     """
     if loop is None:
         loops = find_loops(function)
@@ -145,6 +151,8 @@ def dswp(
                 ),
             )
     graph = build_dependence_graph(function, loop, alias_model)
+    if graph_transform is not None:
+        graph_transform(graph)
     dag = graph.dag_scc()
     if len(dag) <= 1:
         return DSWPResult(

@@ -239,6 +239,33 @@ def enumerate_two_way_partitions(
     return partitions
 
 
+def random_partition(dag: DagScc, rng, threads: int = 2) -> Partition:
+    """A random *valid* partitioning with at most ``threads`` stages.
+
+    Walks the DAG_SCC in topological order and places each SCC on a
+    stage no earlier than all of its predecessors, so every arc flows
+    forward (Definition 1).  Empty stages are dropped.  This is the
+    partition-enumeration hook the differential fuzzer uses to explore
+    cuts the TPP heuristic would never pick.
+
+    Args:
+        dag: The condensed dependence graph.
+        rng: A ``random.Random``-like object (``randint`` is used).
+        threads: Maximum number of pipeline stages.
+    """
+    if threads < 1:
+        raise PartitionError("need at least one thread")
+    preds = dag.predecessors()
+    stage_of: dict[int, int] = {}
+    for sid in dag.topological_order():
+        earliest = max((stage_of[p] for p in preds[sid]), default=0)
+        stage_of[sid] = rng.randint(earliest, threads - 1)
+    stages: list[set[int]] = [set() for _ in range(threads)]
+    for sid, stage in stage_of.items():
+        stages[stage].add(sid)
+    return Partition(dag, [s for s in stages if s])
+
+
 def single_stage_partition(dag: DagScc) -> Partition:
     """The trivial partition (DSWP declined; everything in one thread)."""
     return Partition(dag, [set(range(len(dag)))])

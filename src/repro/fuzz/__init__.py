@@ -1,0 +1,62 @@
+"""Differential fuzzing of the DSWP pipeline.
+
+The subsystem has four parts, documented in ``docs/FUZZING.md``:
+
+* :mod:`repro.fuzz.generator` -- seeded random loop generator;
+* :mod:`repro.fuzz.oracle` -- sequential-vs-pipelined equivalence
+  oracle swept over quanta, thread counts, alias models, queue
+  capacities and random partitions;
+* :mod:`repro.fuzz.shrinker` -- failing-case minimizer + reproducer
+  file I/O;
+* :mod:`repro.fuzz.faults` -- injectable splitter bugs that prove the
+  oracle actually detects broken transformations;
+* :mod:`repro.fuzz.campaign` -- the driver behind ``python -m repro
+  fuzz`` and the ``fuzz_smoke`` pytest tier.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignResult,
+    case_seed,
+    run_campaign,
+    smoke_config,
+)
+from repro.fuzz.faults import FAULTS, get_fault
+from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
+from repro.fuzz.oracle import (
+    Divergence,
+    OracleConfig,
+    OracleReport,
+    OracleSetting,
+    check_case,
+    run_setting,
+)
+from repro.fuzz.shrinker import (
+    Shrinker,
+    clone_case,
+    read_reproducer,
+    shrink_divergence,
+    write_reproducer,
+)
+
+__all__ = [
+    "CampaignResult",
+    "Divergence",
+    "FAULTS",
+    "FuzzCase",
+    "GeneratorConfig",
+    "OracleConfig",
+    "OracleReport",
+    "OracleSetting",
+    "Shrinker",
+    "case_seed",
+    "check_case",
+    "clone_case",
+    "generate_case",
+    "get_fault",
+    "read_reproducer",
+    "run_campaign",
+    "run_setting",
+    "shrink_divergence",
+    "smoke_config",
+    "write_reproducer",
+]

@@ -1,0 +1,168 @@
+"""Campaign driver: generate -> check -> (shrink -> write reproducer).
+
+This is the engine behind ``python -m repro fuzz`` and the bounded
+``fuzz_smoke`` pytest tier.  Case seeds are derived deterministically
+from the campaign seed, so ``--seed N --iterations K`` names exactly
+the same K cases on every machine.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fuzz.faults import Fault, get_fault
+from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
+from repro.fuzz.oracle import Divergence, OracleConfig, OracleReport, check_case
+from repro.fuzz.shrinker import shrink_divergence, write_reproducer
+
+#: Multiplier deriving case seeds from (campaign seed, index); a large
+#: odd constant so consecutive campaigns don't share case seeds.
+_SEED_STRIDE = 1_000_003
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    return campaign_seed * _SEED_STRIDE + index
+
+
+@dataclass
+class CampaignFailure:
+    """One divergent case, with its (possibly shrunk) witness."""
+
+    seed: int
+    divergence: Divergence
+    reproducer_path: Optional[str] = None
+    original_instructions: int = 0
+    shrunk_instructions: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a fuzzing campaign."""
+
+    campaign_seed: int
+    iterations: int = 0
+    runs: int = 0
+    applied: int = 0
+    declined: int = 0
+    fault_skipped: int = 0
+    failures: list[CampaignFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = ("OK" if self.ok
+                  else f"{len(self.failures)} divergent case(s)")
+        return (
+            f"fuzz campaign seed={self.campaign_seed}: {self.iterations} "
+            f"cases, {self.runs} differential runs, {self.applied} "
+            f"transforms applied, {self.declined} declined -- {status}"
+        )
+
+
+def run_campaign(
+    seed: int,
+    iterations: int,
+    oracle_config: Optional[OracleConfig] = None,
+    generator_config: Optional[GeneratorConfig] = None,
+    fault: Optional[Fault] = None,
+    out_dir: Optional[str] = None,
+    shrink: bool = True,
+    max_failures: int = 10,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run ``iterations`` generated cases through the oracle.
+
+    Args:
+        seed: Campaign seed; case ``i`` uses :func:`case_seed`.
+        iterations: Number of cases to generate and check.
+        oracle_config: Check matrix (default :class:`OracleConfig`).
+        generator_config: Loop-shape knobs.
+        fault: Injected transformation bug (``--inject``); the campaign
+            then *expects* divergences and reports them as failures all
+            the same -- the caller decides what "failure" means.
+        out_dir: Where reproducer files go (created on first failure).
+        shrink: Minimize each failing case before writing it out.
+        max_failures: Stop early after this many divergent cases.
+        log: Progress sink (e.g. ``print``); called every 50 cases.
+    """
+    if fault is not None and isinstance(fault, str):
+        fault = get_fault(fault)
+    result = CampaignResult(campaign_seed=seed)
+    for index in range(iterations):
+        cseed = case_seed(seed, index)
+        case = generate_case(cseed, generator_config)
+        report = check_case(case, oracle_config, fault=fault)
+        result.iterations += 1
+        result.runs += report.runs
+        result.applied += report.applied
+        result.declined += len(report.declined)
+        if fault is not None and not report.runs:
+            result.fault_skipped += 1
+        if report.divergences:
+            failure = _handle_failure(case, report, fault, out_dir, shrink)
+            result.failures.append(failure)
+            if log:
+                log(f"[{index + 1}/{iterations}] seed {cseed}: "
+                    f"DIVERGENCE {failure.divergence.kind} "
+                    f"({failure.divergence.setting.describe()})"
+                    + (f" -> {failure.reproducer_path}"
+                       if failure.reproducer_path else ""))
+            if len(result.failures) >= max_failures:
+                break
+        elif log and (index + 1) % 50 == 0:
+            log(f"[{index + 1}/{iterations}] ok "
+                f"({result.runs} runs, {result.declined} declines)")
+    return result
+
+
+def _handle_failure(
+    case: FuzzCase,
+    report: OracleReport,
+    fault: Optional[Fault],
+    out_dir: Optional[str],
+    shrink: bool,
+) -> CampaignFailure:
+    divergence = report.divergences[0]
+    failure = CampaignFailure(
+        seed=case.seed,
+        divergence=divergence,
+        original_instructions=case.function.instruction_count(),
+    )
+    witness = case
+    if shrink:
+        try:
+            witness = shrink_divergence(case, divergence.setting, fault=fault)
+        except ValueError:
+            # Flaky under re-execution (shouldn't happen: everything is
+            # deterministic) -- fall back to the unshrunk case.
+            witness = case
+    failure.shrunk_instructions = witness.function.instruction_count()
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"repro_seed{case.seed}.ir")
+        write_reproducer(path, witness, divergence.setting,
+                         detail=divergence.detail, fault=fault)
+        failure.reproducer_path = path
+    return failure
+
+
+def smoke_config() -> OracleConfig:
+    """The bounded matrix used by the tier-1 ``fuzz_smoke`` suite.
+
+    Regions-only alias model: it yields more SCCs (hence more applied
+    transforms) per case than the conservative model, which tends to
+    collapse small loops into one SCC.
+    """
+    from repro.analysis.memdep import AliasMode
+
+    return OracleConfig(
+        thread_counts=(2,),
+        alias_modes=(AliasMode.REGIONS,),
+        quanta=(1, 7),
+        queue_capacities=(2, None),
+        random_partitions=1,
+    )

@@ -1,0 +1,176 @@
+"""Fault injection: deliberately broken transformations.
+
+The differential oracle is only trustworthy if it *fails* when the
+transformation is wrong.  Each fault here emulates a realistic splitter
+bug; the fuzz test-suite and ``python -m repro fuzz --inject NAME``
+check that every fault is caught (wrong result, deadlock, or protocol
+error) and that the shrinker can minimize the witness.
+
+Faults come in two flavours:
+
+* **graph faults** mutate the dependence graph before SCC condensation
+  (via ``dswp(graph_transform=...)``) -- e.g. dropping one dependence
+  arc, exactly the "missing cross-thread dependence" bug class that
+  motivated this subsystem;
+* **program faults** mutate the transformed :class:`ThreadProgram`
+  after the split -- dropped or rerouted produce/consume instructions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.analysis.pdg import DepKind
+from repro.ir.types import Opcode
+
+
+class Fault:
+    """Base class: an injectable transformation bug."""
+
+    name = "fault"
+    description = ""
+
+    def graph_transform_for(self, case, setting):
+        """A ``graph_transform`` callable for ``dswp``, or ``None``."""
+        return None
+
+    def mutate_program(self, result) -> bool:
+        """Mutate the transformed program in place.
+
+        Returns ``True`` when the fault was actually applied (a fault
+        can be inapplicable, e.g. no loop flows to drop).
+        """
+        return True
+
+
+class DropDependenceArc(Fault):
+    """Remove one data/memory dependence arc from the PDG.
+
+    If the arc was the only reason two instructions shared an SCC (or
+    the only reason a flow was inserted between stages), the resulting
+    pipeline silently computes the wrong answer -- the bug class of the
+    acceptance criterion.
+    """
+
+    name = "drop-dep-arc"
+    description = "delete one cross-instruction dependence arc from the PDG"
+
+    def __init__(self, arc_index: Optional[int] = None) -> None:
+        #: Which candidate arc to drop; ``None`` picks per-case.
+        self.arc_index = arc_index
+
+    def graph_transform_for(self, case, setting):
+        index = self.arc_index
+
+        def transform(graph) -> None:
+            candidates = [
+                a for a in graph.arcs
+                if a.kind in (DepKind.DATA, DepKind.MEMORY) and a.src is not a.dst
+            ]
+            if not candidates:
+                return
+            pick = (index if index is not None
+                    else random.Random(case.seed).randrange(len(candidates)))
+            graph.remove_arc(candidates[pick % len(candidates)])
+
+        return transform
+
+
+class _FlowFault(Fault):
+    """Shared scaffolding for faults that edit produce/consume pairs."""
+
+    def _loop_flow_sites(self, result):
+        sites = []
+        for flow in result.flow_plan.loop_flows:
+            for fn in result.program.threads:
+                for block in fn.blocks():
+                    for inst in block:
+                        if inst.is_flow and inst.queue == flow.queue:
+                            sites.append((fn, block, inst))
+        return sites
+
+
+class DropProduce(_FlowFault):
+    """Delete one loop-flow PRODUCE: the consumer starves."""
+
+    name = "drop-produce"
+    description = "delete one loop-carried produce instruction"
+
+    def mutate_program(self, result) -> bool:
+        for fn, block, inst in self._loop_flow_sites(result):
+            if inst.opcode is Opcode.PRODUCE:
+                block.instructions.remove(inst)
+                return True
+        return False
+
+
+class DropConsume(_FlowFault):
+    """Delete one loop-flow CONSUME: the register goes stale and the
+    queue fills up."""
+
+    name = "drop-consume"
+    description = "delete one loop-carried consume instruction"
+
+    def mutate_program(self, result) -> bool:
+        for fn, block, inst in self._loop_flow_sites(result):
+            if inst.opcode is Opcode.CONSUME and inst.dest is not None:
+                block.instructions.remove(inst)
+                return True
+        return False
+
+
+class CrossQueues(_FlowFault):
+    """Reroute one produce onto another queue: FIFO pairing breaks."""
+
+    name = "cross-queues"
+    description = "swap the queue ids of two produce instructions"
+
+    def mutate_program(self, result) -> bool:
+        produces = [
+            (block, inst)
+            for fn, block, inst in self._loop_flow_sites(result)
+            if inst.opcode is Opcode.PRODUCE
+        ]
+        queues = sorted({inst.queue for _, inst in produces})
+        if len(queues) < 2:
+            return False
+        first = next(p for p in produces if p[1].queue == queues[0])
+        second = next(p for p in produces if p[1].queue == queues[1])
+        first[1].queue, second[1].queue = second[1].queue, first[1].queue
+        return True
+
+
+class DropInitialFlow(_FlowFault):
+    """Delete one initial (live-in) produce: the aux thread reads junk
+    or deadlocks at startup."""
+
+    name = "drop-initial-flow"
+    description = "delete one initial live-in produce instruction"
+
+    def mutate_program(self, result) -> bool:
+        for flow in result.flow_plan.initial_flows:
+            for fn in result.program.threads:
+                for block in fn.blocks():
+                    for inst in block:
+                        if inst.opcode is Opcode.PRODUCE and inst.queue == flow.queue:
+                            block.instructions.remove(inst)
+                            return True
+        return False
+
+
+#: Registry used by the CLI's ``--inject`` and the fuzz test-suite.
+FAULTS: dict[str, type[Fault]] = {
+    cls.name: cls
+    for cls in (DropDependenceArc, DropProduce, DropConsume,
+                CrossQueues, DropInitialFlow)
+}
+
+
+def get_fault(name: str) -> Fault:
+    try:
+        return FAULTS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fault {name!r}; available: {', '.join(sorted(FAULTS))}"
+        ) from None

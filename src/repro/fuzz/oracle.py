@@ -1,0 +1,309 @@
+"""Differential oracle: sequential loop vs. DSWP thread pipeline.
+
+For one :class:`~repro.fuzz.generator.FuzzCase` the oracle
+
+1. runs the single-threaded reference interpreter and records the
+   final memory snapshot plus the live-out register values;
+2. applies :func:`~repro.core.dswp.dswp` under every combination of
+   thread count and alias model in the :class:`OracleConfig`;
+3. runs each transformed pipeline under several (scheduler quantum,
+   queue capacity) pairs -- the pairing is rotated per case so a long
+   campaign still covers the full quantum x capacity matrix;
+4. additionally re-partitions each applicable transform with random
+   valid partitions (:func:`~repro.core.partition.random_partition`)
+   to explore cuts the TPP heuristic would never pick;
+5. compares final memory and live-outs after every run, and classifies
+   interpreter exceptions (deadlock, protocol, step-limit) as
+   divergences too.
+
+Declined transformations (single SCC, single-stage partition) are
+counted but are not failures -- the paper's algorithm legitimately
+bails on such loops (Fig. 3 lines 3 and 6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.memdep import AliasMode, AliasModel
+from repro.core.dswp import dswp
+from repro.core.partition import PartitionError, random_partition
+from repro.fuzz.generator import FuzzCase
+from repro.interp.errors import InterpreterError
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+
+#: Step budgets: generated loops are tiny, so these are generous.
+SEQ_MAX_STEPS = 2_000_000
+MT_MAX_STEPS = 8_000_000
+
+#: Per-run multithreaded budget relative to the sequential reference.
+#: A correct pipeline's total step count is within a small factor of
+#: the sequential run (each instruction executes in exactly one thread,
+#: plus per-thread loop skeletons and flow traffic), so 50x with a
+#: 20k-step floor is generous -- while a *faulted* pipeline that
+#: livelocks (e.g. a consumer spinning on a stale predicate) is cut
+#: off after thousands of steps instead of millions.
+MT_STEP_FACTOR = 50
+MT_STEP_FLOOR = 20_000
+
+
+class GeneratorInvariantError(RuntimeError):
+    """The *sequential* run of a generated case failed -- a generator
+    bug, not a divergence."""
+
+
+@dataclass(frozen=True)
+class OracleSetting:
+    """One fully-specified configuration of the differential check."""
+
+    threads: int = 2
+    alias: AliasMode = AliasMode.REGIONS
+    quantum: int = 32
+    capacity: Optional[int] = None
+    #: ``None`` = TPP heuristic partition; otherwise the seed fed to
+    #: :func:`random_partition`.
+    partition_seed: Optional[int] = None
+
+    def describe(self) -> str:
+        part = ("heuristic" if self.partition_seed is None
+                else f"random({self.partition_seed})")
+        cap = "unbounded" if self.capacity is None else self.capacity
+        return (f"threads={self.threads} alias={self.alias.value} "
+                f"quantum={self.quantum} capacity={cap} partition={part}")
+
+    def to_dict(self) -> dict:
+        return {
+            "threads": self.threads,
+            "alias": self.alias.value,
+            "quantum": self.quantum,
+            "capacity": self.capacity,
+            "partition_seed": self.partition_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OracleSetting":
+        return cls(
+            threads=data.get("threads", 2),
+            alias=AliasMode(data.get("alias", "regions")),
+            quantum=data.get("quantum", 32),
+            capacity=data.get("capacity"),
+            partition_seed=data.get("partition_seed"),
+        )
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between reference and pipeline."""
+
+    kind: str  # "memory" | "live-out" | "exception"
+    setting: OracleSetting
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"<Divergence {self.kind} [{self.setting.describe()}]: {self.detail}>"
+
+
+@dataclass
+class OracleConfig:
+    """The check matrix swept per case."""
+
+    thread_counts: tuple[int, ...] = (2, 3)
+    alias_modes: tuple[AliasMode, ...] = (AliasMode.REGIONS, AliasMode.CONSERVATIVE)
+    quanta: tuple[int, ...] = (1, 3, 7, 64)
+    queue_capacities: tuple[Optional[int], ...] = (1, 2, 8, None)
+    #: Random-partition trials per (threads, alias) transform.
+    random_partitions: int = 2
+
+    def schedule_pairs(self, rotation: int) -> list[tuple[int, Optional[int]]]:
+        """(quantum, capacity) pairs; rotation staggers the pairing so
+        consecutive cases jointly cover the full product matrix."""
+        caps = self.queue_capacities
+        return [
+            (q, caps[(i + rotation) % len(caps)])
+            for i, q in enumerate(self.quanta)
+        ]
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracle observed for one case."""
+
+    case: FuzzCase
+    runs: int = 0
+    applied: int = 0
+    declined: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass(frozen=True)
+class Reference:
+    """Outcome of the sequential reference run."""
+
+    snapshot: dict
+    live: dict
+    steps: int
+
+
+def _sequential_reference(case: FuzzCase,
+                          max_steps: int = SEQ_MAX_STEPS) -> Reference:
+    memory = case.fresh_memory()
+    try:
+        result = run_function(case.function, memory,
+                              initial_regs=case.initial_regs,
+                              max_steps=max_steps)
+    except InterpreterError as exc:
+        raise GeneratorInvariantError(
+            f"case {case.name}: sequential reference failed: {exc}"
+        ) from exc
+    live = {reg: result.reg(reg) for reg in case.live_outs}
+    return Reference(memory.snapshot(), live, result.steps)
+
+
+def _transform(case: FuzzCase, setting: OracleSetting, fault=None):
+    """Run dswp for ``setting``; returns (result-or-None, decline-reason)."""
+    graph_transform = None
+    if fault is not None:
+        graph_transform = fault.graph_transform_for(case, setting)
+    kwargs = dict(
+        threads=setting.threads,
+        alias_model=AliasModel(setting.alias),
+        require_profitable=False,
+        graph_transform=graph_transform,
+    )
+    result = dswp(case.function, case.loop, **kwargs)
+    if setting.partition_seed is not None:
+        # A random partition can rescue a loop whose *heuristic*
+        # partition collapsed, but not a single-SCC graph.
+        if len(result.dag) <= 1:
+            return None, result.reason or "single SCC"
+        try:
+            part = random_partition(
+                result.dag, random.Random(setting.partition_seed),
+                threads=setting.threads,
+            )
+        except PartitionError as exc:  # pragma: no cover - defensive
+            return None, f"random partition failed: {exc}"
+        if len(part) <= 1:
+            return None, "random partition collapsed to one stage"
+        result = dswp(case.function, case.loop, partition=part, **kwargs)
+    if not result.applied:
+        return None, result.reason
+    if fault is not None:
+        applied = fault.mutate_program(result)
+        if not applied:
+            return None, f"fault {fault.name} not applicable"
+    return result, None
+
+
+def _run_and_compare(case, result, setting, reference: Reference,
+                     mt_max_steps: int = MT_MAX_STEPS) -> Optional[Divergence]:
+    """Execute a transformed pipeline and compare against the reference."""
+    budget = min(mt_max_steps,
+                 max(MT_STEP_FLOOR, reference.steps * MT_STEP_FACTOR))
+    memory = case.fresh_memory()
+    try:
+        mt = run_threads(
+            result.program, memory,
+            initial_regs=case.initial_regs,
+            queue_capacity=setting.capacity,
+            quantum=setting.quantum,
+            max_steps=budget,
+        )
+    except InterpreterError as exc:
+        return Divergence("exception", setting, f"{type(exc).__name__}: {exc}")
+    if memory.snapshot() != reference.snapshot:
+        diff = _diff_snapshots(reference.snapshot, memory.snapshot())
+        return Divergence("memory", setting, f"memory mismatch: {diff}")
+    for reg, expected in reference.live.items():
+        got = mt.main_regs.get(reg, 0)
+        if got != expected:
+            return Divergence(
+                "live-out", setting,
+                f"live-out {reg}: sequential={expected} pipelined={got}",
+            )
+    return None
+
+
+def run_setting(
+    case: FuzzCase,
+    setting: OracleSetting,
+    reference=None,
+    fault=None,
+    seq_max_steps: int = SEQ_MAX_STEPS,
+    mt_max_steps: int = MT_MAX_STEPS,
+) -> Optional[Divergence]:
+    """Check one setting; ``None`` means agreement (or a legitimate
+    decline of the transformation).  This is the entry point the
+    shrinker and the reproducer replay use; the shrinker passes tight
+    step budgets so candidates that accidentally became infinite loops
+    are rejected fast."""
+    if reference is None:
+        reference = _sequential_reference(case, max_steps=seq_max_steps)
+    result, _declined = _transform(case, setting, fault=fault)
+    if result is None:
+        return None
+    return _run_and_compare(case, result, setting, reference,
+                            mt_max_steps=mt_max_steps)
+
+
+def check_case(
+    case: FuzzCase,
+    config: Optional[OracleConfig] = None,
+    fault=None,
+) -> OracleReport:
+    """Sweep the full oracle matrix over ``case``.
+
+    Each (threads, alias, partition) triple is transformed once and the
+    resulting pipeline is re-executed under every scheduled (quantum,
+    capacity) pair -- re-running, not re-transforming, is what checks
+    schedule independence.
+    """
+    cfg = config or OracleConfig()
+    report = OracleReport(case)
+    reference = _sequential_reference(case)
+    rng = random.Random(case.seed ^ 0x5EED)
+    for threads in cfg.thread_counts:
+        for alias in cfg.alias_modes:
+            partition_seeds: list[Optional[int]] = [None]
+            partition_seeds += [rng.randrange(1 << 30)
+                                for _ in range(cfg.random_partitions)]
+            for pseed in partition_seeds:
+                base = OracleSetting(threads=threads, alias=alias,
+                                     partition_seed=pseed)
+                result, declined = _transform(case, base, fault=fault)
+                if result is None:
+                    if pseed is None:
+                        report.declined.append(f"{base.describe()}: {declined}")
+                        if declined and "single SCC" in declined:
+                            break  # random partitions cannot split one SCC
+                    continue
+                report.applied += 1
+                for quantum, capacity in cfg.schedule_pairs(case.seed + (pseed or 0)):
+                    setting = OracleSetting(
+                        threads=threads, alias=alias, quantum=quantum,
+                        capacity=capacity, partition_seed=pseed,
+                    )
+                    report.runs += 1
+                    divergence = _run_and_compare(case, result, setting, reference)
+                    if divergence is not None:
+                        report.divergences.append(divergence)
+    return report
+
+
+def _diff_snapshots(expected: dict[int, int], got: dict[int, int]) -> str:
+    """Compact description of the first few differing cells."""
+    addrs = sorted(set(expected) | set(got))
+    diffs = [
+        f"[{a}]: {expected.get(a, 0)} != {got.get(a, 0)}"
+        for a in addrs
+        if expected.get(a, 0) != got.get(a, 0)
+    ]
+    extra = f" (+{len(diffs) - 4} more)" if len(diffs) > 4 else ""
+    return "; ".join(diffs[:4]) + extra

@@ -1,0 +1,309 @@
+"""Divergence shrinker: minimize a failing fuzz case.
+
+Given a case and the oracle setting under which it diverged, the
+shrinker repeatedly tries simplifications and keeps each one only if
+the divergence still reproduces *and* the candidate still passes the
+verifier (and its sequential reference still terminates):
+
+1. delta-debugging over loop-body instructions: delete chunks of
+   non-terminator instructions (halving chunk sizes down to single
+   instructions).  Deleting a def is always structurally safe --
+   registers read before any write yield 0;
+2. branch collapsing: rewrite each conditional branch to an
+   unconditional jump (both arms tried) and drop unreachable blocks;
+3. input shrinking: lower the loop trip count.
+
+Candidates are cloned through the printer/parser round-trip, so the
+shrinker doubles as a stress test for the textual syntax.  The
+minimized case is written as a *reproducer file*: a self-contained
+text with the IR plus ``#`` metadata (seed, setting, initial
+registers, memory image) that ``python -m repro fuzz --replay`` can
+re-check directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.oracle import (
+    GeneratorInvariantError,
+    OracleSetting,
+    run_setting,
+)
+from repro.interp.memory import Memory
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.loops import find_loop_by_header
+from repro.ir.parser import parse_function
+from repro.ir.printer import render_function
+from repro.ir.types import Opcode, Register, parse_register
+from repro.ir.verifier import VerificationError, verify_function
+
+
+def clone_case(case: FuzzCase, function: Optional[Function] = None,
+               initial_regs: Optional[dict[Register, int]] = None) -> FuzzCase:
+    """An independent copy of ``case`` (via printer/parser round-trip)."""
+    func = parse_function(render_function(function or case.function))
+    loop = find_loop_by_header(func, case.loop.header)
+    return FuzzCase(
+        seed=case.seed,
+        function=func,
+        loop=loop,
+        base_memory=case.base_memory.clone(),
+        initial_regs=dict(initial_regs or case.initial_regs),
+        live_outs=list(case.live_outs),
+        bound_reg=case.bound_reg,
+        name=case.name,
+    )
+
+
+#: Fallback step budgets for shrink attempts when no calibration run
+#: is available.
+SHRINK_SEQ_STEPS = 50_000
+SHRINK_MT_STEPS = 500_000
+
+
+def _calibrated_budgets(case: FuzzCase) -> tuple[int, int]:
+    """Step budgets derived from the original case's sequential run.
+
+    Shrinking only ever *removes* work, so a candidate that exceeds a
+    small multiple of the original's step count has become an infinite
+    loop (e.g. the counter update was deleted) and can be rejected
+    after a few thousand steps instead of the full default budget --
+    this is what keeps ddmin passes fast.
+    """
+    from repro.interp.interpreter import run_function
+
+    try:
+        result = run_function(case.function, case.fresh_memory(),
+                              initial_regs=case.initial_regs,
+                              max_steps=SHRINK_SEQ_STEPS)
+    except Exception:
+        return SHRINK_SEQ_STEPS, SHRINK_MT_STEPS
+    seq = max(2_000, result.steps * 4)
+    return seq, max(20_000, result.steps * 50)
+
+
+def default_reproducer(setting: OracleSetting, fault=None,
+                       budgets: Optional[tuple[int, int]] = None) -> Callable[[FuzzCase], bool]:
+    """Predicate: does the divergence still reproduce on a candidate?"""
+    seq_budget, mt_budget = budgets or (SHRINK_SEQ_STEPS, SHRINK_MT_STEPS)
+
+    def reproduces(candidate: FuzzCase) -> bool:
+        try:
+            verify_function(candidate.function)
+            return run_setting(candidate, setting, fault=fault,
+                               seq_max_steps=seq_budget,
+                               mt_max_steps=mt_budget) is not None
+        except (GeneratorInvariantError, VerificationError, ValueError):
+            # Candidate broke loop structure/termination: not a witness.
+            return False
+
+    return reproduces
+
+
+class Shrinker:
+    """Greedy fixed-point minimizer for a failing :class:`FuzzCase`."""
+
+    def __init__(self, reproduces: Callable[[FuzzCase], bool],
+                 max_attempts: int = 4000) -> None:
+        self.reproduces = reproduces
+        self.max_attempts = max_attempts
+        self.attempts = 0
+
+    # ------------------------------------------------------------------
+    def shrink(self, case: FuzzCase) -> FuzzCase:
+        """Return a (locally) minimal case still triggering the bug."""
+        best = clone_case(case)
+        if not self.reproduces(best):
+            raise ValueError(
+                "divergence does not reproduce on the unmodified case"
+            )
+        while self.attempts < self.max_attempts:
+            candidate = (
+                self._shrink_instructions(best)
+                or self._shrink_branches(best)
+                or self._shrink_trip_count(best)
+            )
+            if candidate is None:
+                break  # fixed point
+            best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    def _try(self, candidate: FuzzCase) -> bool:
+        self.attempts += 1
+        return self.reproduces(candidate)
+
+    def _deletable(self, func: Function) -> list[tuple[str, int]]:
+        """(block label, instruction index) pairs that may be deleted:
+        every non-terminator.  A deletion that breaks termination (e.g.
+        the loop-counter update) is rejected by the predicate's tight
+        step budget, not excluded up front."""
+        out = []
+        for block in func.blocks():
+            for idx in range(len(block.instructions) - 1):
+                out.append((block.label, idx))
+        return out
+
+    def _shrink_instructions(self, case: FuzzCase) -> Optional[FuzzCase]:
+        """One ddmin-style pass; returns an improved case or ``None``."""
+        sites = self._deletable(case.function)
+        if not sites:
+            return None
+        chunk = max(len(sites) // 2, 1)
+        while chunk >= 1 and self.attempts < self.max_attempts:
+            start = 0
+            while start < len(sites) and self.attempts < self.max_attempts:
+                doomed = sites[start:start + chunk]
+                # Delete back-to-front within each block so earlier
+                # deletions don't shift later indices.
+                by_block: dict[str, list[int]] = {}
+                for label, idx in doomed:
+                    by_block.setdefault(label, []).append(idx)
+                candidate = clone_case(case)
+                for label, indices in by_block.items():
+                    block = candidate.function.block(label)
+                    for idx in sorted(indices, reverse=True):
+                        del block.instructions[idx]
+                if self._try(candidate):
+                    return candidate
+                start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+        return None
+
+    def _shrink_branches(self, case: FuzzCase) -> Optional[FuzzCase]:
+        """Try collapsing each conditional branch to one of its arms."""
+        blocks = [b.label for b in case.function.blocks()]
+        for label in blocks:
+            block = case.function.block(label)
+            term = block.terminator
+            if term is None or term.opcode is not Opcode.BR:
+                continue
+            # Never collapse the loop's exit test: the loop must stay a
+            # loop (and terminate) for the case to be a witness.
+            if label == case.loop.header:
+                continue
+            for target in term.targets:
+                if self.attempts >= self.max_attempts:
+                    return None
+                candidate = clone_case(case)
+                cblock = candidate.function.block(label)
+                cblock.instructions[-1] = Instruction(Opcode.JMP, targets=[target])
+                _drop_unreachable(candidate.function)
+                if not candidate.function.has_block(case.loop.header):
+                    continue
+                try:
+                    candidate.loop = find_loop_by_header(
+                        candidate.function, case.loop.header
+                    )
+                except KeyError:
+                    continue  # the loop's back edge was collapsed away
+                if self._try(candidate):
+                    return candidate
+        return None
+
+    def _shrink_trip_count(self, case: FuzzCase) -> Optional[FuzzCase]:
+        current = case.initial_regs.get(case.bound_reg, 0)
+        for trips in (0, 1, 2, current // 2):
+            if not 0 <= trips < current:
+                continue
+            if self.attempts >= self.max_attempts:
+                return None
+            regs = dict(case.initial_regs)
+            regs[case.bound_reg] = trips
+            candidate = clone_case(case, initial_regs=regs)
+            if self._try(candidate):
+                return candidate
+        return None
+
+
+def _drop_unreachable(func: Function) -> None:
+    seen = {func.entry_label}
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        for succ in block.successors():
+            if succ.label not in seen:
+                seen.add(succ.label)
+                stack.append(succ)
+    for label in [b.label for b in func.blocks() if b.label not in seen]:
+        func.remove_block(label)
+
+
+def shrink_divergence(case: FuzzCase, setting: OracleSetting, fault=None,
+                      max_attempts: int = 4000) -> FuzzCase:
+    """Convenience wrapper: shrink ``case`` for one failing setting."""
+    predicate = default_reproducer(setting, fault=fault,
+                                   budgets=_calibrated_budgets(case))
+    shrinker = Shrinker(predicate, max_attempts=max_attempts)
+    return shrinker.shrink(case)
+
+
+# ----------------------------------------------------------------------
+# Reproducer files
+# ----------------------------------------------------------------------
+
+def write_reproducer(path, case: FuzzCase, setting: OracleSetting,
+                     detail: str = "", fault=None) -> None:
+    """Write a self-contained replayable witness to ``path``."""
+    meta = {
+        "seed": case.seed,
+        "setting": setting.to_dict(),
+        "loop_header": case.loop.header,
+        "bound_reg": repr(case.bound_reg),
+        "live_outs": [repr(r) for r in case.live_outs],
+        "initial_regs": {repr(r): v for r, v in case.initial_regs.items()},
+        "memory": {str(a): v for a, v in case.base_memory.snapshot().items()},
+    }
+    if fault is not None:
+        meta["fault"] = fault.name
+    lines = ["# repro-fuzz reproducer"]
+    if detail:
+        lines.append(f"# divergence: {detail}")
+    lines.append(f"# setting: {setting.describe()}")
+    for key, value in meta.items():
+        lines.append(f"#! {key}: {json.dumps(value)}")
+    lines.append(render_function(case.function))
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines))
+
+
+def read_reproducer(path) -> tuple[FuzzCase, OracleSetting, Optional[str]]:
+    """Parse a reproducer file back into (case, setting, fault name)."""
+    with open(path) as fh:
+        text = fh.read()
+    meta: dict = {}
+    ir_lines = []
+    for line in text.splitlines():
+        if line.startswith("#!"):
+            key, _, value = line[2:].partition(":")
+            meta[key.strip()] = json.loads(value.strip())
+        elif not line.startswith("#"):
+            ir_lines.append(line)
+    func = parse_function("\n".join(ir_lines))
+    verify_function(func)
+    loop = find_loop_by_header(func, meta.get("loop_header", "header"))
+    memory = Memory()
+    for addr, value in meta.get("memory", {}).items():
+        memory.write(int(addr), value)
+    initial = {parse_register(r): v
+               for r, v in meta.get("initial_regs", {}).items()}
+    live_outs = [parse_register(r) for r in meta.get("live_outs", [])]
+    bound = parse_register(meta["bound_reg"]) if "bound_reg" in meta else None
+    case = FuzzCase(
+        seed=meta.get("seed", 0),
+        function=func,
+        loop=loop,
+        base_memory=memory,
+        initial_regs=initial,
+        live_outs=live_outs,
+        bound_reg=bound,
+        name=func.name,
+    )
+    setting = OracleSetting.from_dict(meta.get("setting", {}))
+    return case, setting, meta.get("fault")

@@ -147,6 +147,15 @@ def run_threads(
                 inst = ctx.current_instruction()
                 if inst.opcode is Opcode.PRODUCE:
                     if not queues.can_produce(inst.queue):
+                        if all(
+                            other.finished
+                            for oid, other in enumerate(contexts)
+                            if oid != tid
+                        ):
+                            raise QueueProtocolError(
+                                f"thread {tid}: produce to full queue {inst.queue} "
+                                "but all other threads have exited"
+                            )
                         blocked[tid] = f"produce on full queue {inst.queue}"
                         break
                     value = ctx.read(inst.srcs[0]) if inst.srcs else 0

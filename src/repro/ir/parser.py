@@ -58,9 +58,33 @@ _STORE_RE = re.compile(
     r"^store\s+\[\s*(\S+?)\s*\+\s*(-?\d+)\s*\]\s*=\s*(\S+?)(?:\s*!(\S+))?$"
 )
 _PRODUCE_RE = re.compile(r"^produce\s+\[\s*(\d+)\s*\](?:\s*=\s*(\S+))?$")
+_ATTR_RE = re.compile(r"\s+@([A-Za-z_][\w.]*)(?:=([\w.:+-]+))?$")
 _CONSUME_RE = re.compile(r"^consume\s+(?:(\S+)\s*=\s*)?\[\s*(\d+)\s*\]$")
 _CALL_RE = re.compile(r"^(?:(\S+)\s*=\s*)?call\s+(\w+)\s*\(([^)]*)\)$")
 _ASSIGN_RE = re.compile(r"^([\w.]+)\s+(\S+)\s*=\s*(.+)$")
+
+
+def _split_attrs(line: str) -> tuple[str, dict]:
+    """Strip trailing ``@key`` / ``@key=value`` tokens off ``line``.
+
+    This is the inverse of the printer's attr rendering: bare keys mean
+    ``True``, integer-looking values parse as ints, everything else
+    stays a string.
+    """
+    attrs: dict = {}
+    while True:
+        m = _ATTR_RE.search(line)
+        if not m:
+            return line, attrs
+        key, value = m.groups()
+        if value is None:
+            attrs[key] = True
+        else:
+            try:
+                attrs[key] = int(value, 0)
+            except ValueError:
+                attrs[key] = value
+        line = line[: m.start()]
 
 
 def _parse_operand(text: str):
@@ -101,7 +125,11 @@ def parse_function(text: str) -> Function:
         if current is None:
             raise IRParseError(line_no, raw, "instruction before first label")
         try:
-            current.append(_parse_instruction(line))
+            line, attrs = _split_attrs(line)
+            inst = _parse_instruction(line)
+            if attrs:
+                inst.attrs.update(attrs)
+            current.append(inst)
         except ValueError as exc:
             raise IRParseError(line_no, raw, str(exc)) from exc
     if func is None:

@@ -1,8 +1,62 @@
-"""Textual rendering of IR functions (the inverse of :mod:`repro.ir.parser`)."""
+"""Textual rendering of IR functions (the inverse of :mod:`repro.ir.parser`).
+
+Instruction annotations (``attrs``) that affect semantics -- the affine
+addressing markers consumed by the alias analysis, ``pure`` on calls,
+non-default ``call_cycles`` -- are rendered as trailing ``@key`` /
+``@key=value`` tokens so functions round-trip through the parser
+without losing analysis precision.  Attrs whose values are not plain
+bools/ints/identifier-like strings are skipped (they are internal
+bookkeeping, not part of the textual syntax).
+"""
 
 from __future__ import annotations
 
+import re
+
 from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+#: Default ``call_cycles`` assumed by the parser; omitted when printing.
+DEFAULT_CALL_CYCLES = 50
+
+#: Attr values must look like identifiers/numbers to be printable.
+_PRINTABLE_VALUE = re.compile(r"^[\w.:+-]+$")
+
+
+def _render_attrs(inst: Instruction) -> str:
+    """Render the round-trippable attrs of ``inst`` as ``@`` tokens."""
+    parts: list[str] = []
+    for key in sorted(inst.attrs):
+        if key == "callee":
+            continue  # encoded in the call syntax itself
+        value = inst.attrs[key]
+        if key == "call_cycles" and value == DEFAULT_CALL_CYCLES:
+            continue
+        if value is True:
+            parts.append(f"@{key}")
+        elif value is False or value is None:
+            continue
+        elif isinstance(value, int):
+            parts.append(f"@{key}={value}")
+        elif isinstance(value, str) and _PRINTABLE_VALUE.match(value):
+            parts.append(f"@{key}={value}")
+        # Anything else (lists, objects, ...) is internal-only.
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def render_instruction(inst: Instruction) -> str:
+    """Render one instruction in parseable syntax (attrs included)."""
+    op = inst.opcode
+    if op is Opcode.PRODUCE and not inst.srcs:
+        # ``Instruction.render`` shows a ``<token>`` placeholder for
+        # human readers; the parseable form is just ``produce [q]``.
+        text = f"produce [{inst.queue}]"
+    elif op is Opcode.CONSUME and inst.dest is None:
+        text = f"consume [{inst.queue}]"
+    else:
+        text = inst.render()
+    return text + _render_attrs(inst)
 
 
 def render_function(func: Function) -> str:
@@ -10,5 +64,5 @@ def render_function(func: Function) -> str:
     lines = [f"func {func.name} entry={func.entry_label}"]
     for block in func.blocks():
         lines.append(f"{block.label}:")
-        lines.extend(f"    {inst.render()}" for inst in block)
+        lines.extend(f"    {render_instruction(inst)}" for inst in block)
     return "\n".join(lines) + "\n"

@@ -16,10 +16,27 @@ class VerificationError(ValueError):
     """Raised when an IR function is structurally malformed."""
 
 
+#: Size of the synchronization array: valid queue ids are ``[0, 256)``,
+#: matching the default ``queue_limit`` of the DSWP splitter.
+MAX_QUEUE_ID = 256
+
+
 def verify_function(func: Function) -> None:
     """Raise :class:`VerificationError` on the first problem found."""
     if func.entry_label is None or not func.has_block(func.entry_label):
         raise VerificationError(f"{func.name}: missing entry block")
+    seen_labels: set[str] = set()
+    for block in func.blocks():
+        if block.label in seen_labels:
+            raise VerificationError(
+                f"{func.name}: duplicate block label {block.label!r}"
+            )
+        seen_labels.add(block.label)
+        if not func.has_block(block.label) or func.block(block.label) is not block:
+            raise VerificationError(
+                f"{func.name}: block label {block.label!r} does not match "
+                "its registration in the function"
+            )
     labels = {b.label for b in func.blocks()}
     for block in func.blocks():
         if not block.instructions:
@@ -41,10 +58,17 @@ def verify_function(func: Function) -> None:
                     f"{func.name}/{block.label}: branch to unknown block {target!r}"
                 )
         for inst in block.instructions:
-            if inst.opcode in (Opcode.PRODUCE, Opcode.CONSUME) and inst.queue is None:
-                raise VerificationError(
-                    f"{func.name}/{block.label}: {inst.render()} lacks a queue id"
-                )
+            if inst.opcode in (Opcode.PRODUCE, Opcode.CONSUME):
+                if inst.queue is None:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: {inst.render()} lacks a queue id"
+                    )
+                if not 0 <= inst.queue < MAX_QUEUE_ID:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: {inst.render()} queue id "
+                        f"{inst.queue} outside the synchronization array "
+                        f"[0, {MAX_QUEUE_ID})"
+                    )
             if inst.opcode is Opcode.LOAD and (inst.dest is None or len(inst.srcs) != 1):
                 raise VerificationError(
                     f"{func.name}/{block.label}: malformed load {inst.render()}"

@@ -1,0 +1,87 @@
+"""Campaign driver tests plus the bounded ``fuzz_smoke`` tier.
+
+The smoke tier is the differential-fuzzing regression net that runs in
+tier-1 CI: 200 fixed-seed cases through a reduced oracle matrix.  It
+is deterministic (fixed campaign seed, seeded generator and partition
+choices), so a failure here is always reproducible with
+``python -m repro fuzz --seed <campaign-seed>``.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    case_seed,
+    generate_case,
+    get_fault,
+    run_campaign,
+    smoke_config,
+)
+
+SMOKE_CASES = 200
+
+
+def test_case_seeds_are_disjoint_across_campaigns():
+    a = {case_seed(0, i) for i in range(1000)}
+    b = {case_seed(1, i) for i in range(1000)}
+    assert not a & b
+
+
+def test_campaign_counts_iterations():
+    result = run_campaign(9, 5, oracle_config=smoke_config())
+    assert result.iterations == 5
+    assert result.runs > 0
+    assert result.ok
+    assert "OK" in result.summary()
+
+
+def test_campaign_with_fault_stops_at_max_failures(tmp_path):
+    result = run_campaign(
+        1, 50, oracle_config=smoke_config(),
+        fault=get_fault("drop-produce"),
+        out_dir=str(tmp_path), max_failures=3,
+    )
+    assert len(result.failures) == 3
+    assert all(f.reproducer_path for f in result.failures)
+    # Shrinking happened: witnesses are no larger than the originals.
+    for failure in result.failures:
+        assert failure.shrunk_instructions <= failure.original_instructions
+
+
+def test_campaign_accepts_fault_by_name(tmp_path):
+    result = run_campaign(
+        1, 20, oracle_config=smoke_config(),
+        fault="drop-initial-flow", shrink=False, max_failures=1,
+    )
+    assert result.failures
+
+
+@pytest.mark.fuzz_smoke
+@pytest.mark.parametrize("campaign_seed", [0, 1])
+def test_fuzz_smoke_campaign(campaign_seed):
+    """The bounded tier-1 fuzz net: 2 x 100 fixed cases, reduced
+    matrix, zero divergences expected."""
+    result = run_campaign(campaign_seed, SMOKE_CASES // 2,
+                          oracle_config=smoke_config(), shrink=False)
+    assert result.ok, result.summary()
+    assert result.applied > 0
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_smoke_oracle_still_sensitive():
+    """Paired canary: the same reduced matrix must still catch a
+    planted bug, so a green smoke run means 'no divergence', never
+    'oracle went blind'."""
+    result = run_campaign(1, 15, oracle_config=smoke_config(),
+                          fault=get_fault("drop-produce"),
+                          shrink=False, max_failures=1)
+    assert result.failures
+
+
+def test_smoke_determinism():
+    """Same campaign seed -> byte-identical generated cases."""
+    from repro.ir.printer import render_function
+
+    for index in (0, 13, 99):
+        seed = case_seed(0, index)
+        assert (render_function(generate_case(seed).function)
+                == render_function(generate_case(seed).function))

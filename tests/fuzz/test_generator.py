@@ -1,0 +1,93 @@
+"""Tests for the random loop generator."""
+
+import pytest
+
+from repro.fuzz.generator import GeneratorConfig, generate_case
+from repro.interp.interpreter import run_function
+from repro.ir.loops import find_loops
+from repro.ir.printer import render_function
+from repro.ir.types import Opcode
+from repro.ir.verifier import verify_reachable
+
+SEEDS = range(40)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_functions_verify(seed):
+    case = generate_case(seed)
+    verify_reachable(case.function)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exactly_one_natural_loop(seed):
+    case = generate_case(seed)
+    loops = find_loops(case.function)
+    headers = {loop.header for loop in loops}
+    assert case.loop.header in headers
+    # The generator promises a single natural loop (nested diamonds are
+    # acyclic): the transformation target is unambiguous.
+    assert len(loops) == 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sequential_run_terminates(seed):
+    case = generate_case(seed)
+    result = run_function(case.function, case.fresh_memory(),
+                          initial_regs=case.initial_regs, max_steps=100_000)
+    for reg in case.live_outs:
+        result.reg(reg)  # live-outs must be defined
+
+
+def test_determinism():
+    for seed in (0, 7, 123):
+        a, b = generate_case(seed), generate_case(seed)
+        assert render_function(a.function) == render_function(b.function)
+        assert a.initial_regs == b.initial_regs
+        assert a.base_memory.snapshot() == b.base_memory.snapshot()
+        assert a.live_outs == b.live_outs
+
+
+def test_seeds_differ():
+    texts = {render_function(generate_case(s).function) for s in range(10)}
+    assert len(texts) > 5
+
+
+def test_fresh_memory_is_independent():
+    case = generate_case(0)
+    m1, m2 = case.fresh_memory(), case.fresh_memory()
+    m1.write(4096, 999)
+    assert m2.read(4096) != 999 or case.base_memory.read(4096) == 999
+
+
+def test_config_bounds_trip_count():
+    cfg = GeneratorConfig(min_trip_count=2, max_trip_count=3)
+    for seed in range(10):
+        case = generate_case(seed, cfg)
+        assert 2 <= case.initial_regs[case.bound_reg] <= 3
+
+
+def test_constructs_appear_across_seeds():
+    """The statement mix actually exercises the interesting opcodes."""
+    opcodes = set()
+    regions = set()
+    for seed in range(30):
+        case = generate_case(seed)
+        for block in case.function.blocks():
+            for inst in block:
+                opcodes.add(inst.opcode)
+                if inst.region:
+                    regions.add(inst.region)
+    assert {Opcode.LOAD, Opcode.STORE, Opcode.BR, Opcode.JMP}.issubset(opcodes)
+    assert {"A", "B", "shared", "acc", "chain"}.issubset(regions)
+
+
+def test_affine_attrs_emitted():
+    found = False
+    for seed in range(30):
+        case = generate_case(seed)
+        for block in case.function.blocks():
+            for inst in block:
+                if inst.attrs.get("affine"):
+                    found = True
+                    assert "affine_base" in inst.attrs
+    assert found

@@ -1,0 +1,88 @@
+"""Tests for the differential oracle and its fault sensitivity."""
+
+import pytest
+
+from repro.analysis.memdep import AliasMode
+from repro.fuzz import (
+    OracleConfig,
+    OracleSetting,
+    check_case,
+    generate_case,
+    get_fault,
+    run_setting,
+)
+from repro.fuzz.faults import FAULTS
+
+FAST = OracleConfig(
+    thread_counts=(2,),
+    alias_modes=(AliasMode.REGIONS,),
+    quanta=(1, 7),
+    queue_capacities=(2, None),
+    random_partitions=1,
+)
+
+
+def test_clean_cases_agree():
+    for seed in range(15):
+        report = check_case(generate_case(seed), FAST)
+        assert report.ok, report.divergences
+
+
+def test_report_counts_runs_and_transforms():
+    report = check_case(generate_case(0), FAST)
+    assert report.applied >= 1
+    # Every applied transform is re-executed under each scheduled
+    # (quantum, capacity) pair.
+    assert report.runs == report.applied * len(FAST.quanta)
+
+
+def test_random_partitions_extend_coverage():
+    none = OracleConfig(thread_counts=(2,), alias_modes=(AliasMode.REGIONS,),
+                        quanta=(1,), queue_capacities=(None,),
+                        random_partitions=0)
+    some = OracleConfig(thread_counts=(2,), alias_modes=(AliasMode.REGIONS,),
+                        quanta=(1,), queue_capacities=(None,),
+                        random_partitions=2)
+    base = check_case(generate_case(3), none)
+    more = check_case(generate_case(3), some)
+    assert more.applied > base.applied
+
+
+def test_schedule_pairs_rotate_through_capacities():
+    cfg = OracleConfig()
+    seen = set()
+    for rotation in range(len(cfg.queue_capacities)):
+        seen.update(cfg.schedule_pairs(rotation))
+    # Jointly, consecutive rotations cover the full product matrix.
+    assert seen == {(q, c) for q in cfg.quanta for c in cfg.queue_capacities}
+
+
+def test_run_setting_clean_returns_none():
+    case = generate_case(1)
+    setting = OracleSetting(threads=2, alias=AliasMode.REGIONS,
+                            quantum=3, capacity=2)
+    assert run_setting(case, setting) is None
+
+
+def test_setting_dict_roundtrip():
+    setting = OracleSetting(threads=3, alias=AliasMode.CONSERVATIVE,
+                            quantum=7, capacity=None, partition_seed=42)
+    assert OracleSetting.from_dict(setting.to_dict()) == setting
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULTS))
+def test_every_fault_is_caught(fault_name):
+    """The oracle is only trustworthy if it fails on known-bad
+    transformations: each planted fault must produce a divergence on at
+    least one of a handful of seeds."""
+    fault = get_fault(fault_name)
+    caught = 0
+    for seed in range(12):
+        report = check_case(generate_case(seed), FAST, fault=fault)
+        caught += bool(report.divergences)
+    assert caught >= 1, f"fault {fault_name} never detected"
+
+
+def test_unknown_fault_name_raises():
+    with pytest.raises(ValueError, match="unknown fault"):
+        get_fault("bogus")

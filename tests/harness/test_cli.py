@@ -94,3 +94,40 @@ class TestJsonOutput:
         assert payload[0]["loop_speedup"] > 0
         buckets = payload[0]["pipeline"]["occupancy_buckets"]
         assert abs(sum(buckets.values()) - 1.0) < 1e-6
+
+
+class TestFuzz:
+    def test_clean_campaign(self, capsys):
+        assert main(["fuzz", "--seed", "2", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "10 cases" in out
+
+    def test_injected_fault_is_caught_and_written(self, tmp_path, capsys):
+        out_dir = tmp_path / "repros"
+        assert main(["fuzz", "--seed", "1", "--iterations", "10",
+                     "--inject", "drop-produce", "--out", str(out_dir),
+                     "--max-failures", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "oracle is sensitive" in out
+        reproducers = list(out_dir.glob("repro_seed*.ir"))
+        assert len(reproducers) == 1
+
+    def test_replay_reproducer(self, tmp_path, capsys):
+        out_dir = tmp_path / "repros"
+        main(["fuzz", "--seed", "1", "--iterations", "10",
+              "--inject", "drop-produce", "--out", str(out_dir),
+              "--max-failures", "1"])
+        capsys.readouterr()
+        path = next(out_dir.glob("repro_seed*.ir"))
+        assert main(["fuzz", "--replay", str(path)]) == 1
+        assert "DIVERGENCE" in capsys.readouterr().out
+
+    def test_unknown_fault_rejected(self, capsys):
+        assert main(["fuzz", "--inject", "no-such-fault"]) == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_missing_reproducer_rejected(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent.ir"]) == 2
+        assert "cannot load reproducer" in capsys.readouterr().err

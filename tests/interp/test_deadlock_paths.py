@@ -1,0 +1,102 @@
+"""Regression tests: mismatched produce/consume pairs must fail *fast*
+and *deterministically*.
+
+A splitter bug that drops or miscounts a flow instruction must surface
+as :class:`DeadlockError` or :class:`QueueProtocolError` under every
+scheduler quantum -- never as a hang that only the step limit cuts
+off.  Each test therefore runs with a tight ``max_steps``: if the
+interpreter spun instead of diagnosing, it would raise
+:class:`StepLimitExceeded` and the ``pytest.raises`` match would fail.
+"""
+
+import pytest
+
+from repro.interp.errors import DeadlockError, QueueProtocolError
+from repro.interp.multithread import ThreadProgram, run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+
+QUANTA = [1, 3, 7, 64]
+
+#: Small enough that a hang would trip StepLimitExceeded instead of
+#: the expected diagnosis -- promptness is part of the contract.
+TIGHT_BUDGET = 5_000
+
+
+def _straight_line(name, flows):
+    """A thread that runs a fixed sequence of produce/consume ops."""
+    b = IRBuilder(name)
+    b.block("entry", entry=True)
+    for opcode, queue in flows:
+        if opcode is Opcode.PRODUCE:
+            b.emit(Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)], queue=queue))
+        else:
+            b.emit(Instruction(Opcode.CONSUME, dest=gen_reg(1), queue=queue))
+    b.ret()
+    return b.done()
+
+
+def _program(*threads):
+    return ThreadProgram(list(threads))
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_underfed_consumer_raises_protocol_error(quantum):
+    """Producer sends 3 values, consumer wants 5: once the producer has
+    exited, the 4th consume is a protocol violation, not a wait."""
+    producer = _straight_line("prod", [(Opcode.PRODUCE, 0)] * 3)
+    consumer = _straight_line("cons", [(Opcode.CONSUME, 0)] * 5)
+    with pytest.raises(QueueProtocolError, match="all other threads have exited"):
+        run_threads(_program(producer, consumer), quantum=quantum,
+                    max_steps=TIGHT_BUDGET)
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+@pytest.mark.parametrize("capacity", [1, 2])
+def test_overfed_bounded_queue_raises_protocol_error(quantum, capacity):
+    """Producer sends 10 values into a bounded queue, consumer takes 2
+    and exits: the blocked produce must be diagnosed, not spun on."""
+    producer = _straight_line("prod", [(Opcode.PRODUCE, 0)] * 10)
+    consumer = _straight_line("cons", [(Opcode.CONSUME, 0)] * 2)
+    with pytest.raises(QueueProtocolError, match="produce to full queue"):
+        run_threads(_program(producer, consumer), quantum=quantum,
+                    queue_capacity=capacity, max_steps=TIGHT_BUDGET)
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_cyclic_wait_raises_deadlock(quantum):
+    """Two threads each consume what the other never produced."""
+    t0 = _straight_line("t0", [(Opcode.CONSUME, 1), (Opcode.PRODUCE, 0)])
+    t1 = _straight_line("t1", [(Opcode.CONSUME, 0), (Opcode.PRODUCE, 1)])
+    with pytest.raises(DeadlockError) as excinfo:
+        run_threads(_program(t0, t1), quantum=quantum, max_steps=TIGHT_BUDGET)
+    assert excinfo.value.blocked == {
+        0: "consume on empty queue 1",
+        1: "consume on empty queue 0",
+    }
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_full_queue_cycle_raises_deadlock(quantum):
+    """Both threads block producing into full queues the other side
+    never drains."""
+    t0 = _straight_line("t0", [(Opcode.PRODUCE, 0)] * 3 + [(Opcode.CONSUME, 1)])
+    t1 = _straight_line("t1", [(Opcode.PRODUCE, 1)] * 3 + [(Opcode.CONSUME, 0)])
+    with pytest.raises(DeadlockError) as excinfo:
+        run_threads(_program(t0, t1), quantum=quantum, queue_capacity=1,
+                    max_steps=TIGHT_BUDGET)
+    assert set(excinfo.value.blocked) == {0, 1}
+    assert all("full queue" in why for why in excinfo.value.blocked.values())
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_leftover_values_are_not_an_error(quantum):
+    """Unconsumed values at exit are legal (e.g. a speculative flow):
+    both threads finish and the queue keeps its pending entries."""
+    producer = _straight_line("prod", [(Opcode.PRODUCE, 0)] * 4)
+    consumer = _straight_line("cons", [(Opcode.CONSUME, 0)])
+    result = run_threads(_program(producer, consumer), quantum=quantum,
+                         max_steps=TIGHT_BUDGET)
+    assert all(ctx.finished for ctx in result.contexts)
+    assert result.queues.pending() == {0: 3}

@@ -1,0 +1,74 @@
+"""Scheduler-fairness tests.
+
+The DSWP correctness claim (paper Section 3) is that the transformed
+pipeline computes the sequential result under *any* fair schedule.
+The round-robin scheduler's only degree of freedom is its quantum, so
+we pin one transformed pipeline per workload and re-execute it under
+quanta {1, 3, 7, 64}: every run must produce the identical final
+memory image and main-thread live-outs -- equal to the sequential
+reference, and therefore to each other.
+"""
+
+import pytest
+
+from repro.core.dswp import dswp
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import run_threads
+from repro.workloads import get_workload
+
+QUANTA = [1, 3, 7, 64]
+
+#: Workload -> build scale; small enough to keep the matrix cheap,
+#: large enough that the pipeline wraps many scheduling turns.
+WORKLOADS = {"mcf": 60, "wc": 40, "listtraverse": 50, "compress": 40}
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    """(case, transformed program, sequential snapshot) per workload."""
+    built = {}
+    for name, scale in WORKLOADS.items():
+        case = get_workload(name).build(scale=scale)
+        seq_mem = case.fresh_memory()
+        run_function(case.function, seq_mem, initial_regs=case.initial_regs,
+                     max_steps=10_000_000)
+        result = dswp(case.function, case.loop, require_profitable=False)
+        assert result.applied, f"{name}: {result.reason}"
+        built[name] = (case, result.program, seq_mem.snapshot())
+    return built
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("quantum", QUANTA)
+def test_quantum_does_not_change_memory(pipelines, name, quantum):
+    case, program, seq_snapshot = pipelines[name]
+    mem = case.fresh_memory()
+    run_threads(program, mem, initial_regs=case.initial_regs,
+                quantum=quantum, max_steps=20_000_000)
+    assert mem.snapshot() == seq_snapshot
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_quanta_agree_on_live_registers(pipelines, name):
+    """The main thread's final register file is schedule-independent."""
+    case, program, _ = pipelines[name]
+    finals = []
+    for quantum in QUANTA:
+        result = run_threads(program, case.fresh_memory(),
+                             initial_regs=case.initial_regs,
+                             quantum=quantum, max_steps=20_000_000)
+        finals.append(result.contexts[0].regs)
+    assert all(regs == finals[0] for regs in finals[1:])
+
+
+@pytest.mark.parametrize("quantum", QUANTA)
+@pytest.mark.parametrize("capacity", [1, 8])
+def test_quantum_capacity_cross_product(pipelines, quantum, capacity):
+    """Quantum and queue capacity interact (blocking points move);
+    neither may affect the result."""
+    case, program, seq_snapshot = pipelines["mcf"]
+    mem = case.fresh_memory()
+    run_threads(program, mem, initial_regs=case.initial_regs,
+                quantum=quantum, queue_capacity=capacity,
+                max_steps=20_000_000)
+    assert mem.snapshot() == seq_snapshot

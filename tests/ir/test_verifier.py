@@ -6,7 +6,12 @@ from repro.ir.basicblock import make_jump
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
 from repro.ir.types import Opcode, gen_reg, pred_reg
-from repro.ir.verifier import VerificationError, verify_function, verify_reachable
+from repro.ir.verifier import (
+    MAX_QUEUE_ID,
+    VerificationError,
+    verify_function,
+    verify_reachable,
+)
 
 
 def valid_function():
@@ -76,4 +81,53 @@ def test_unreachable_block_rejected_by_strict_verify():
 def test_missing_entry_rejected():
     f = Function("f")
     with pytest.raises(VerificationError, match="entry"):
+        verify_function(f)
+
+
+# ----------------------------------------------------------------------
+# Queue-id range (the 256-entry synchronization array)
+# ----------------------------------------------------------------------
+
+def _with_flow(opcode, queue):
+    f = valid_function()
+    kwargs = {"queue": queue}
+    if opcode is Opcode.PRODUCE:
+        kwargs["srcs"] = [gen_reg(0)]
+    else:
+        kwargs["dest"] = gen_reg(0)
+    f.block("a").insert_before_terminator(Instruction(opcode, **kwargs))
+    return f
+
+
+def test_queue_ids_at_bounds_accepted():
+    verify_function(_with_flow(Opcode.PRODUCE, 0))
+    verify_function(_with_flow(Opcode.CONSUME, MAX_QUEUE_ID - 1))
+
+
+@pytest.mark.parametrize("opcode", [Opcode.PRODUCE, Opcode.CONSUME])
+@pytest.mark.parametrize("queue", [-1, MAX_QUEUE_ID, MAX_QUEUE_ID + 41])
+def test_out_of_range_queue_ids_rejected(opcode, queue):
+    with pytest.raises(VerificationError, match="synchronization array"):
+        verify_function(_with_flow(opcode, queue))
+
+
+# ----------------------------------------------------------------------
+# Duplicate / inconsistent block labels
+# ----------------------------------------------------------------------
+
+def test_duplicate_block_label_rejected():
+    f = valid_function()
+    # Simulate a buggy pass corrupting the layout order: the same block
+    # now appears twice in ``blocks()``.
+    f._order.append("a")
+    with pytest.raises(VerificationError, match="duplicate block label"):
+        verify_function(f)
+
+
+def test_renamed_block_label_mismatch_rejected():
+    f = valid_function()
+    # A pass renaming a block without re-registering it leaves the
+    # function map keyed by the stale label.
+    f.block("b").label = "renamed"
+    with pytest.raises(VerificationError, match="does not match"):
         verify_function(f)
