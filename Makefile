@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke fuzz fuzz-sensitivity bench
+.PHONY: test fuzz-smoke perf-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz_smoke
+
+# Differential guardrails for the performance layer: predecoded
+# interpreter, columnar traces and event-driven timing model vs the
+# preserved reference implementations (docs/PERFORMANCE.md).
+perf-smoke:
+	$(PYTHON) -m pytest -q -m perf_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000
@@ -29,3 +35,11 @@ fuzz-sensitivity:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Parallel Fig. 9 sweeps with the naive-vs-optimized wall-clock and
+# functional-identity report (BENCH_<figure>.json).
+BENCH_SCALE ?= 800
+BENCH_OUT ?= .
+
+bench-sweeps:
+	$(PYTHON) -m repro bench --scale $(BENCH_SCALE) --out $(BENCH_OUT)

@@ -8,6 +8,8 @@ Commands:
 * ``show WORKLOAD`` -- print the loop's IR, its DAG_SCC, and the
   transformed thread pipeline;
 * ``sweep WORKLOAD`` -- communication-latency sweep for one workload;
+* ``bench`` -- parallel Fig. 9 sweeps with a naive-vs-cached wall-clock
+  comparison; see ``docs/PERFORMANCE.md``;
 * ``fuzz`` -- differential fuzzing campaign (random loops, sequential
   vs. pipelined oracle); see ``docs/FUZZING.md``.
 """
@@ -155,6 +157,28 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import os
+
+    from repro.harness.bench import FIGURES, format_report, run_bench
+
+    figures = FIGURES if args.figure == "all" else (args.figure,)
+    jobs = args.jobs or os.cpu_count() or 1
+    ok = True
+    for figure in figures:
+        report = run_bench(
+            figure,
+            scale=args.scale,
+            jobs=jobs,
+            out_dir=args.out,
+            compare=not args.no_compare,
+        )
+        print(format_report(report))
+        if not args.no_compare:
+            ok = ok and report["functional_identical"] and report["speedup"] >= 1.0
+    return 0 if ok else 1
+
+
 def cmd_fuzz(args) -> int:
     from repro.fuzz import get_fault, run_campaign, run_setting
     from repro.fuzz.oracle import GeneratorInvariantError
@@ -264,6 +288,20 @@ def build_parser() -> argparse.ArgumentParser:
                        default="dag")
     dot_p.add_argument("--scale", type=int, default=None)
 
+    bench_p = sub.add_parser(
+        "bench", help="parallel figure sweeps with naive-vs-cached comparison"
+    )
+    bench_p.add_argument("--figure", choices=("fig9a", "fig9b", "all"),
+                         default="all")
+    bench_p.add_argument("--scale", type=int, default=800,
+                         help="loop trip count per workload (default 800)")
+    bench_p.add_argument("--jobs", type=int, default=0,
+                         help="worker processes (default: cpu count)")
+    bench_p.add_argument("--out", default=".",
+                         help="directory for BENCH_<figure>.json reports")
+    bench_p.add_argument("--no-compare", action="store_true", dest="no_compare",
+                         help="skip the serial naive reference run")
+
     fuzz_p = sub.add_parser(
         "fuzz", help="differential fuzzing of the DSWP pipeline"
     )
@@ -296,6 +334,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "sweep": cmd_sweep,
         "select": cmd_select,
         "dot": cmd_dot,
+        "bench": cmd_bench,
         "fuzz": cmd_fuzz,
     }
     try:

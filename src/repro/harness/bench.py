@@ -1,0 +1,291 @@
+"""Parallel benchmark runner: ``python -m repro bench``.
+
+Reproduces the machine-configuration sweeps behind Fig. 9(a) (issue
+width) and Fig. 9(b) (communication latency) in two modes and compares
+them:
+
+* **naive** -- the pre-optimisation pipeline shape: every sweep point
+  independently profiles the loop and records the baseline trace in
+  *two* object-at-a-time reference-interpreter runs
+  (:mod:`repro.interp.reference`, the preserved original interpreter),
+  transforms, executes the thread pipeline and simulates, serially.
+* **optimized** -- points are grouped by workload, each group shares
+  one :class:`~repro.harness.cache.ExperimentCache` (functional work
+  runs once per workload, on the predecoded interpreter with columnar
+  traces and single-pass trace+profile recording), and the groups fan
+  out over ``multiprocessing`` workers.
+
+Both modes must produce *identical* functional results (cycles, IPCs,
+instruction counts per point); because the naive mode interprets with
+the reference interpreter, the check is an end-to-end differential
+test of the predecoded/columnar/cached fast path against the
+pre-optimisation pipeline, so a perf win can never silently come from
+a behaviour change.  Per-stage wall-clock (interpret / transform /
+simulate) is measured in both modes and written to
+``BENCH_<figure>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import Optional
+
+from repro.analysis.profiling import LoopProfile
+from repro.harness.cache import ExperimentCache
+from repro.harness.runner import MAX_STEPS, BaselineRun, run_dswp
+from repro.interp.reference import run_function_reference
+from repro.machine.cmp import simulate
+from repro.machine.reference import simulate_reference
+from repro.machine.config import (
+    FULL_WIDTH_CORE,
+    HALF_WIDTH_CORE,
+    MachineConfig,
+)
+from repro.workloads import TABLE1_WORKLOADS, get_workload
+
+FIGURES = ("fig9a", "fig9b")
+
+#: fig9b produce-side latencies (the paper's 1/5/10-cycle series).
+FIG9B_LATENCIES = (1, 5, 10)
+
+
+def _machine(spec: dict) -> MachineConfig:
+    core = HALF_WIDTH_CORE if spec.get("core") == "half" else FULL_WIDTH_CORE
+    return MachineConfig(core=core, comm_latency=spec.get("comm_latency", 1))
+
+
+def sweep_points(figure: str, scale: int) -> list[dict]:
+    """The sweep points of one figure as small, picklable specs."""
+    full = {"core": "full"}
+    half = {"core": "half"}
+    points = []
+    for workload in TABLE1_WORKLOADS:
+        name = workload.name
+        if figure == "fig9a":
+            series = [
+                ("base", full), ("base", half),
+                ("dswp", full), ("dswp", half),
+            ]
+        elif figure == "fig9b":
+            series = [("base", full)] + [
+                ("dswp", {"core": "full", "comm_latency": lat})
+                for lat in FIG9B_LATENCIES
+            ]
+        else:
+            raise ValueError(f"unknown figure {figure!r} (want one of {FIGURES})")
+        for kind, machine in series:
+            label = "-".join(
+                [kind, machine["core"]]
+                + ([f"comm{machine['comm_latency']}"]
+                   if "comm_latency" in machine else [])
+            )
+            points.append({
+                "id": f"{name}:{label}",
+                "workload": name,
+                "scale": scale,
+                "kind": kind,
+                "machine": machine,
+            })
+    return points
+
+
+def _sim_summary(sim) -> dict:
+    return {
+        "cycles": sim.cycles,
+        "ipcs": sim.ipcs(),
+        "instructions": [c.instructions_executed for c in sim.cores],
+    }
+
+
+# ----------------------------------------------------------------------
+# Naive mode: one fully independent pipeline run per point, serial.
+# ----------------------------------------------------------------------
+
+def _reference_baseline(case) -> BaselineRun:
+    """The original ``run_baseline``: profile and trace in two separate
+    object-at-a-time interpretations."""
+    profiled = run_function_reference(
+        case.function, case.memory.clone(), initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_profile=True,
+        call_handlers=case.call_handlers,
+    )
+    memory = case.fresh_memory()
+    traced = run_function_reference(
+        case.function, memory, initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_trace=True,
+        call_handlers=case.call_handlers,
+    )
+    case.checker(memory, traced.regs)
+    counts = profiled.block_counts or {}
+    profile = LoopProfile(counts, counts.get(case.loop.header, 0), case.loop)
+    return BaselineRun(case, traced.trace or [], profile)
+
+
+def run_point_naive(spec: dict) -> tuple[dict, dict]:
+    """One sweep point with no reuse: the reference pipeline."""
+    stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
+    workload = get_workload(spec["workload"])
+    case = workload.build(scale=spec["scale"])
+    t0 = time.perf_counter()
+    baseline = _reference_baseline(case)
+    stages["interpret"] = time.perf_counter() - t0
+    if spec["kind"] == "base":
+        traces = [baseline.trace]
+    else:
+        t0 = time.perf_counter()
+        # The original pipeline's thread traces were object-entry lists.
+        traces = [t.to_entries() for t in run_dswp(case, baseline).traces]
+        stages["transform"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    # burst -> inf is the legacy scheduler's run-to-block limit, the
+    # canonical schedule the event-driven simulator implements; the old
+    # default (64) made shared-L3 contents depend on the polling
+    # granularity (see docs/PERFORMANCE.md).
+    sim = simulate_reference(traces, _machine(spec["machine"]), burst=1 << 30)
+    stages["simulate"] = time.perf_counter() - t0
+    return {"id": spec["id"], **_sim_summary(sim)}, stages
+
+
+# ----------------------------------------------------------------------
+# Optimized mode: per-workload groups, cached functional work, fan-out.
+# ----------------------------------------------------------------------
+
+def _run_group(group: tuple[str, int, list[dict]]) -> tuple[list[dict], dict]:
+    """All sweep points of one workload, sharing one cache."""
+    name, scale, specs = group
+    stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
+    cache = ExperimentCache()
+    case = get_workload(name).build(scale=scale)
+    t0 = time.perf_counter()
+    baseline = cache.baseline(case)
+    stages["interpret"] = time.perf_counter() - t0
+    results = []
+    for spec in specs:
+        if spec["kind"] == "base":
+            traces = [baseline.trace]
+        else:
+            t0 = time.perf_counter()
+            traces = cache.dswp(case, baseline).traces
+            stages["transform"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim = simulate(traces, _machine(spec["machine"]))
+        stages["simulate"] += time.perf_counter() - t0
+        results.append({"id": spec["id"], **_sim_summary(sim)})
+    return results, stages
+
+
+def _groups(points: list[dict]) -> list[tuple[str, int, list[dict]]]:
+    by_workload: dict[tuple[str, int], list[dict]] = {}
+    for spec in points:
+        by_workload.setdefault((spec["workload"], spec["scale"]), []).append(spec)
+    return [(name, scale, specs)
+            for (name, scale), specs in by_workload.items()]
+
+
+def run_optimized(points: list[dict], jobs: int) -> tuple[list[dict], dict, int]:
+    """Run all points grouped-and-cached, fanned over ``jobs`` workers.
+
+    Falls back to in-process serial execution when ``jobs <= 1`` or the
+    platform cannot fork, so the runner works everywhere; the report
+    records the worker count actually used.
+    """
+    groups = _groups(points)
+    jobs = max(1, min(jobs, len(groups)))
+    outputs: list[tuple[list[dict], dict]] = []
+    if jobs > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=jobs) as pool:
+                outputs = pool.map(_run_group, groups)
+        except (ValueError, OSError):
+            jobs = 1
+    if jobs == 1:
+        outputs = [_run_group(g) for g in groups]
+    results = [r for group_results, _ in outputs for r in group_results]
+    stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
+    for _, group_stages in outputs:
+        for key, value in group_stages.items():
+            stages[key] += value
+    order = {spec["id"]: i for i, spec in enumerate(points)}
+    results.sort(key=lambda r: order[r["id"]])
+    return results, stages, jobs
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def run_bench(
+    figure: str,
+    scale: int,
+    jobs: int,
+    out_dir: str = ".",
+    compare: bool = True,
+) -> dict:
+    """Run one figure's sweep; returns (and writes) the report dict."""
+    points = sweep_points(figure, scale)
+
+    t0 = time.perf_counter()
+    optimized, opt_stages, jobs_used = run_optimized(points, jobs)
+    optimized_seconds = time.perf_counter() - t0
+
+    report = {
+        "figure": figure,
+        "scale": scale,
+        "jobs": jobs_used,
+        "num_points": len(points),
+        "points": optimized,
+        "optimized_seconds": optimized_seconds,
+        "optimized_stage_seconds": opt_stages,
+    }
+
+    if compare:
+        naive_stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
+        naive_results = []
+        t0 = time.perf_counter()
+        for spec in points:
+            result, stages = run_point_naive(spec)
+            naive_results.append(result)
+            for key, value in stages.items():
+                naive_stages[key] += value
+        naive_seconds = time.perf_counter() - t0
+        report["naive_seconds"] = naive_seconds
+        report["naive_stage_seconds"] = naive_stages
+        report["speedup"] = (
+            naive_seconds / optimized_seconds if optimized_seconds > 0 else 0.0
+        )
+        report["functional_identical"] = naive_results == optimized
+
+    path = os.path.join(out_dir, f"BENCH_{figure}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report["path"] = path
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"figure {report['figure']}: {report['num_points']} points, "
+        f"scale {report['scale']}, {report['jobs']} worker(s)",
+        f"  optimized: {report['optimized_seconds']:.2f}s "
+        f"(interpret {report['optimized_stage_seconds']['interpret']:.2f}s, "
+        f"transform {report['optimized_stage_seconds']['transform']:.2f}s, "
+        f"simulate {report['optimized_stage_seconds']['simulate']:.2f}s)",
+    ]
+    if "naive_seconds" in report:
+        lines.append(
+            f"  naive:     {report['naive_seconds']:.2f}s "
+            f"(interpret {report['naive_stage_seconds']['interpret']:.2f}s, "
+            f"transform {report['naive_stage_seconds']['transform']:.2f}s, "
+            f"simulate {report['naive_stage_seconds']['simulate']:.2f}s)"
+        )
+        identical = "identical" if report["functional_identical"] else "DIVERGED"
+        lines.append(
+            f"  speedup:   {report['speedup']:.2f}x, functional results {identical}"
+        )
+    lines.append(f"  report:    {report['path']}")
+    return "\n".join(lines)

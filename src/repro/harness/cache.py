@@ -1,0 +1,183 @@
+"""Content-keyed cache for functional experiment artefacts.
+
+Machine-configuration sweeps (Fig. 9's issue-width and communication-
+latency series, the CLI ``sweep`` command, the bench runner) change
+only *timing* parameters: the functional execution -- baseline
+interpretation, DSWP transformation, multi-threaded execution -- is
+identical across every point of the sweep.  Re-running it per point is
+where the naive pipeline spends most of its time.
+
+:class:`ExperimentCache` memoises those functional artefacts.  Keys are
+*content-derived*, not identity-derived: a case is keyed by the SHA-256
+digest of its rendered IR, its input memory image, its initial
+registers and its call-handler names, so two independently built but
+identical cases share entries, while any change to the program or its
+input produces a different key.  DSWP runs are additionally keyed by
+the requested partition, alias-model mode and thread count -- every
+knob that can change which transformed program executes.
+
+The cache holds traces (columnar, so memory-cheap) and profiles; it
+never holds :class:`~repro.machine.stats.SimResult`, because timing is
+exactly what a sweep varies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.analysis.memdep import AliasModel
+from repro.core.partition import Partition
+from repro.harness.runner import (
+    BaselineRun,
+    DSWPRun,
+    ExperimentResult,
+    run_baseline,
+    run_dswp,
+)
+from repro.ir.printer import render_function
+from repro.machine.cmp import simulate
+from repro.machine.config import MachineConfig
+from repro.workloads.base import Workload, WorkloadCase
+
+
+def case_digest(case: WorkloadCase) -> str:
+    """SHA-256 over everything that determines a case's functional
+    behaviour: program text, loop selection, memory image, initial
+    registers and the set of installed call handlers."""
+    h = hashlib.sha256()
+    h.update(render_function(case.function).encode())
+    h.update(case.loop_header.encode())
+    for addr, value in sorted(case.memory.snapshot().items()):
+        h.update(b"%d:%d;" % (addr, value))
+    for reg, value in sorted(case.initial_regs.items(),
+                             key=lambda item: str(item[0])):
+        h.update(b"%s=%d;" % (str(reg).encode(), value))
+    for name in sorted(case.call_handlers):
+        h.update(name.encode() + b";")
+    return h.hexdigest()
+
+
+def _partition_key(partition: Optional[Partition]) -> Optional[tuple]:
+    if partition is None:
+        return None
+    return tuple(tuple(sorted(stage)) for stage in partition.stages)
+
+
+def _alias_key(alias_model: Optional[AliasModel]) -> Optional[str]:
+    if alias_model is None:
+        return None
+    return alias_model.mode.name
+
+
+class ExperimentCache:
+    """Memoises functional runs across machine-configuration sweeps."""
+
+    def __init__(self) -> None:
+        self._digests: dict[int, str] = {}
+        self._baselines: dict[str, BaselineRun] = {}
+        self._dswp: dict[tuple, DSWPRun] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def digest(self, case: WorkloadCase) -> str:
+        """Content digest of ``case``, memoised per case object.
+
+        The per-object memo is safe because cases are immutable after
+        construction in every harness path; callers that mutate a case
+        in place must construct a fresh ``WorkloadCase``.
+        """
+        key = id(case)
+        cached = self._digests.get(key)
+        if cached is None:
+            cached = case_digest(case)
+            self._digests[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def baseline(self, case: WorkloadCase, check: bool = True) -> BaselineRun:
+        """Cached :func:`run_baseline` (trace + profile, one interpretation)."""
+        key = f"{self.digest(case)}:{check}"
+        run = self._baselines.get(key)
+        if run is None:
+            self.misses += 1
+            run = run_baseline(case, check=check)
+            self._baselines[key] = run
+        else:
+            self.hits += 1
+        return run
+
+    def dswp(
+        self,
+        case: WorkloadCase,
+        baseline: Optional[BaselineRun] = None,
+        partition: Optional[Partition] = None,
+        alias_model: Optional[AliasModel] = None,
+        threads: int = 2,
+        check: bool = True,
+    ) -> DSWPRun:
+        """Cached :func:`run_dswp` keyed by every transform knob."""
+        key = (
+            self.digest(case),
+            _partition_key(partition),
+            _alias_key(alias_model),
+            threads,
+            check,
+        )
+        run = self._dswp.get(key)
+        if run is None:
+            self.misses += 1
+            run = run_dswp(
+                case,
+                baseline if baseline is not None else self.baseline(case, check=check),
+                partition=partition,
+                alias_model=alias_model,
+                threads=threads,
+                check=check,
+            )
+            self._dswp[key] = run
+        else:
+            self.hits += 1
+        return run
+
+    # ------------------------------------------------------------------
+    def run_experiment(
+        self,
+        workload: Workload,
+        case: Optional[WorkloadCase] = None,
+        machine: Optional[MachineConfig] = None,
+        baseline_machine: Optional[MachineConfig] = None,
+        partition: Optional[Partition] = None,
+        alias_model: Optional[AliasModel] = None,
+        scale: Optional[int] = None,
+        check: bool = True,
+    ) -> ExperimentResult:
+        """Drop-in cached variant of :func:`repro.harness.runner.run_experiment`.
+
+        Functional work (interpret, transform, pipeline execution) is
+        cached; only the trace replays on the timing model run per
+        call.  ``case`` lets sweep drivers build the workload once and
+        share one object (and hence one digest memo) across points.
+        """
+        machine = machine or MachineConfig()
+        baseline_machine = baseline_machine or machine
+        if case is None:
+            case = workload.build(scale=scale)
+        baseline = self.baseline(case, check=check)
+        base_sim = simulate([baseline.trace], baseline_machine)
+        transformed = self.dswp(
+            case, baseline, partition=partition,
+            alias_model=alias_model, check=check,
+        )
+        dswp_sim = simulate(transformed.traces, machine)
+        return ExperimentResult(workload, base_sim, dswp_sim, transformed.result)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "baselines": len(self._baselines),
+            "dswp_runs": len(self._dswp),
+        }

@@ -19,12 +19,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.memdep import AliasModel
-from repro.analysis.profiling import LoopProfile, profile_loop
+from repro.analysis.profiling import LoopProfile
 from repro.core.dswp import DSWPResult, dswp
 from repro.core.partition import Partition
 from repro.interp.interpreter import run_function
 from repro.interp.multithread import run_threads
-from repro.interp.trace import TraceEntry
+from repro.interp.trace import TraceLike
 from repro.machine.cmp import simulate
 from repro.machine.config import MachineConfig
 from repro.machine.stats import SimResult
@@ -37,7 +37,7 @@ MAX_STEPS = 50_000_000
 class BaselineRun:
     """Single-threaded reference execution of a workload case."""
 
-    def __init__(self, case: WorkloadCase, trace: list[TraceEntry],
+    def __init__(self, case: WorkloadCase, trace: TraceLike,
                  profile: LoopProfile) -> None:
         self.case = case
         self.trace = trace
@@ -47,26 +47,29 @@ class BaselineRun:
 class DSWPRun:
     """A transformed execution: functional result + per-thread traces."""
 
-    def __init__(self, result: DSWPResult, traces: list[list[TraceEntry]]) -> None:
+    def __init__(self, result: DSWPResult, traces: list[TraceLike]) -> None:
         self.result = result
         self.traces = traces
 
 
 def run_baseline(case: WorkloadCase, check: bool = True) -> BaselineRun:
-    """Execute the original program, check the oracle, return the trace."""
-    profile = profile_loop(
-        case.function, case.loop, case.memory,
-        initial_regs=case.initial_regs, max_steps=MAX_STEPS,
-        call_handlers=case.call_handlers,
-    )
+    """Execute the original program, check the oracle, return the trace.
+
+    Trace and block profile are recorded in a *single* interpretation:
+    the profiling input is the same as the measured input, so the block
+    counts of the traced run are exactly what a separate profiling run
+    would produce, at half the interpretation cost.
+    """
     memory = case.fresh_memory()
     result = run_function(
         case.function, memory, initial_regs=case.initial_regs,
-        max_steps=MAX_STEPS, record_trace=True,
+        max_steps=MAX_STEPS, record_trace=True, record_profile=True,
         call_handlers=case.call_handlers,
     )
     if check:
         case.checker(memory, result.regs)
+    counts = result.block_counts or {}
+    profile = LoopProfile(counts, counts.get(case.loop.header, 0), case.loop)
     return BaselineRun(case, result.trace or [], profile)
 
 

@@ -10,10 +10,13 @@ from repro.interp.errors import (
 from repro.interp.interpreter import RunResult, ThreadContext, run_function
 from repro.interp.memory import Memory
 from repro.interp.multithread import MTRunResult, QueueSet, ThreadProgram, run_threads
-from repro.interp.trace import TraceEntry
+from repro.interp.predecode import DecodedFunction, predecode
+from repro.interp.trace import ColumnarTrace, TraceEntry, as_columnar
 
 __all__ = [
+    "ColumnarTrace",
     "DeadlockError",
+    "DecodedFunction",
     "InterpreterError",
     "MTRunResult",
     "Memory",
@@ -25,6 +28,8 @@ __all__ = [
     "ThreadProgram",
     "TraceEntry",
     "TrapError",
+    "as_columnar",
+    "predecode",
     "run_function",
     "run_threads",
 ]

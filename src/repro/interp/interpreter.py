@@ -5,47 +5,33 @@ This is the functional reference semantics of the IR: it executes a
 recording a dynamic trace and per-block execution counts (the profile
 that drives the DSWP partitioning heuristic).
 
+Execution runs over a predecoded program
+(:mod:`repro.interp.predecode`): every instruction is compiled once
+into a specialized step closure, so the per-step cost is a single call
+with no opcode dispatch or operand re-resolution.  Traces are recorded
+in the columnar format (:class:`~repro.interp.trace.ColumnarTrace`).
+A byte-for-byte port of the original object-at-a-time interpreter is
+kept in :mod:`repro.interp.reference` for differential testing.
+
 ``PRODUCE``/``CONSUME`` are not valid here; multi-threaded programs run
-under :mod:`repro.interp.multithread`, which reuses the single-step
-logic via :class:`ThreadContext`.
+under :mod:`repro.interp.multithread`, which reuses the predecoded
+step closures via :class:`ThreadContext`.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.interp.errors import InterpreterError, StepLimitExceeded, TrapError
+from repro.interp.errors import StepLimitExceeded
 from repro.interp.memory import Memory
-from repro.interp.trace import TraceEntry
+from repro.interp.predecode import DecodedFunction, predecode
+from repro.interp.trace import ColumnarTrace
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
-from repro.ir.types import Opcode, Register
+from repro.ir.types import Register
 
 #: Signature of CALL handlers: (memory, args) -> return value.
 CallHandler = Callable[[Memory, list[int]], int]
-
-_ARITH: dict[Opcode, Callable[[int, int], int]] = {
-    Opcode.ADD: lambda a, b: a + b,
-    Opcode.SUB: lambda a, b: a - b,
-    Opcode.MUL: lambda a, b: a * b,
-    Opcode.AND: lambda a, b: a & b,
-    Opcode.OR: lambda a, b: a | b,
-    Opcode.XOR: lambda a, b: a ^ b,
-    Opcode.SHL: lambda a, b: a << (b & 63),
-    Opcode.SHR: lambda a, b: a >> (b & 63),
-    Opcode.FADD: lambda a, b: a + b,
-    Opcode.FSUB: lambda a, b: a - b,
-    Opcode.FMUL: lambda a, b: a * b,
-}
-
-_COMPARE: dict[Opcode, Callable[[int, int], bool]] = {
-    Opcode.CMP_EQ: lambda a, b: a == b,
-    Opcode.CMP_NE: lambda a, b: a != b,
-    Opcode.CMP_LT: lambda a, b: a < b,
-    Opcode.CMP_LE: lambda a, b: a <= b,
-    Opcode.CMP_GT: lambda a, b: a > b,
-    Opcode.CMP_GE: lambda a, b: a >= b,
-}
 
 
 class ThreadContext:
@@ -59,16 +45,24 @@ class ThreadContext:
         call_handlers: Optional[dict[str, CallHandler]] = None,
         record_trace: bool = False,
         record_profile: bool = False,
+        decoded: Optional[DecodedFunction] = None,
     ) -> None:
         self.function = function
         self.memory = memory
         self.regs: dict[Register, int] = dict(initial_regs or {})
         self.call_handlers = call_handlers or {}
-        self.block = function.entry
+        self.decoded = decoded if decoded is not None else predecode(function)
+        entry = self.decoded.entry
+        self.block = entry.block
+        self._ops = entry.ops
+        self._insts = entry.insts
+        self._sids = entry.sids
         self.index = 0
         self.finished = False
         self.steps = 0
-        self.trace: Optional[list[TraceEntry]] = [] if record_trace else None
+        self.trace: Optional[ColumnarTrace] = (
+            self.decoded.new_trace() if record_trace else None
+        )
         self.block_counts: Optional[dict[str, int]] = {} if record_profile else None
         if self.block_counts is not None:
             self.block_counts[self.block.label] = 1
@@ -81,105 +75,25 @@ class ThreadContext:
         self.regs[reg] = value
 
     def current_instruction(self) -> Instruction:
-        return self.block.instructions[self.index]
+        return self._insts[self.index]
 
-    def _goto(self, label: str) -> None:
-        self.block = self.function.block(label)
-        self.index = 0
-        if self.block_counts is not None:
-            self.block_counts[self.block.label] = self.block_counts.get(self.block.label, 0) + 1
-
-    def _operands(self, inst: Instruction) -> tuple[int, int]:
-        """Resolve the two operands of a binary/compare instruction."""
-        a = self.read(inst.srcs[0])
-        if len(inst.srcs) == 2:
-            return a, self.read(inst.srcs[1])
-        if inst.imm is None:
-            raise InterpreterError(f"{inst.render()}: missing second operand")
-        return a, inst.imm
+    def current_sid(self) -> int:
+        """Trace static id of the current instruction (for drivers that
+        record entries themselves, e.g. the queue ops in the
+        multi-threaded interpreter)."""
+        return self._sids[self.index]
 
     # ------------------------------------------------------------------
-    def step(self) -> Optional[TraceEntry]:
+    def step(self) -> None:
         """Execute one instruction.
 
-        Returns the trace entry (even when tracing is off, for the
-        multi-threaded driver), or ``None`` once the thread finished.
         Raises on PRODUCE/CONSUME -- the multithread driver intercepts
         those before calling ``step``.
         """
         if self.finished:
-            return None
-        inst = self.current_instruction()
-        entry = self._execute(inst)
+            return
+        self._ops[self.index](self)
         self.steps += 1
-        if self.trace is not None:
-            self.trace.append(entry)
-        return entry
-
-    def _execute(self, inst: Instruction) -> TraceEntry:
-        op = inst.opcode
-        block_label = self.block.label
-        if op in _ARITH:
-            a, b = self._operands(inst)
-            self.write(inst.dest, _ARITH[op](a, b))
-        elif op in (Opcode.DIV, Opcode.MOD, Opcode.FDIV):
-            a, b = self._operands(inst)
-            if b == 0:
-                raise TrapError(f"{inst.render()}: division by zero")
-            # C-style truncating division: quotient rounds toward zero,
-            # remainder takes the sign of the dividend.
-            quotient, remainder = divmod(abs(a), abs(b))
-            if (a < 0) != (b < 0):
-                quotient = -quotient
-            if a < 0:
-                remainder = -remainder
-            self.write(inst.dest, remainder if op is Opcode.MOD else quotient)
-        elif op in _COMPARE:
-            a, b = self._operands(inst)
-            self.write(inst.dest, 1 if _COMPARE[op](a, b) else 0)
-        elif op is Opcode.MOV:
-            value = self.read(inst.srcs[0]) if inst.srcs else (inst.imm or 0)
-            self.write(inst.dest, value)
-        elif op is Opcode.LOAD:
-            addr = self.read(inst.srcs[0]) + (inst.imm or 0)
-            self.write(inst.dest, self.memory.read(addr))
-            self.index += 1
-            return TraceEntry(inst, addr=addr, block=block_label)
-        elif op is Opcode.STORE:
-            addr = self.read(inst.srcs[1]) + (inst.imm or 0)
-            self.memory.write(addr, self.read(inst.srcs[0]))
-            self.index += 1
-            return TraceEntry(inst, addr=addr, block=block_label)
-        elif op is Opcode.BR:
-            taken = self.read(inst.srcs[0]) != 0
-            self._goto(inst.targets[0] if taken else inst.targets[1])
-            return TraceEntry(inst, taken=taken, block=block_label)
-        elif op is Opcode.JMP:
-            self._goto(inst.targets[0])
-            return TraceEntry(inst, taken=True, block=block_label)
-        elif op is Opcode.RET:
-            self.finished = True
-            return TraceEntry(inst, block=block_label)
-        elif op is Opcode.CALL:
-            name = inst.attrs.get("callee", "?")
-            handler = self.call_handlers.get(name)
-            if handler is None:
-                result = 0
-            else:
-                result = handler(self.memory, [self.read(r) for r in inst.srcs])
-            if inst.dest is not None:
-                self.write(inst.dest, result)
-        elif op is Opcode.NOP:
-            pass
-        elif op in (Opcode.PRODUCE, Opcode.CONSUME):
-            raise InterpreterError(
-                f"{inst.render()}: queue instructions require the "
-                "multi-threaded interpreter"
-            )
-        else:  # pragma: no cover - all opcodes handled above
-            raise InterpreterError(f"unimplemented opcode {op}")
-        self.index += 1
-        return TraceEntry(inst, block=block_label)
 
 
 class RunResult:
@@ -204,8 +118,13 @@ def run_function(
     record_trace: bool = False,
     record_profile: bool = False,
     call_handlers: Optional[dict[str, CallHandler]] = None,
+    decoded: Optional[DecodedFunction] = None,
 ) -> RunResult:
-    """Run ``function`` to completion and return the final state."""
+    """Run ``function`` to completion and return the final state.
+
+    ``decoded`` lets callers that execute the same function repeatedly
+    (the harness cache, the fuzz oracle) reuse one predecoded program.
+    """
     memory = memory if memory is not None else Memory()
     ctx = ThreadContext(
         function,
@@ -214,12 +133,20 @@ def run_function(
         call_handlers=call_handlers,
         record_trace=record_trace,
         record_profile=record_profile,
+        decoded=decoded,
     )
-    while not ctx.finished:
-        if ctx.steps >= max_steps:
-            raise StepLimitExceeded(
-                f"{function.name}: exceeded {max_steps} steps at block "
-                f"{ctx.block.label}"
-            )
-        ctx.step()
+    # Hot loop: dispatch predecoded closures directly, keeping the step
+    # count in a local and writing it back even if a closure traps.
+    steps = 0
+    try:
+        while not ctx.finished:
+            if steps >= max_steps:
+                raise StepLimitExceeded(
+                    f"{function.name}: exceeded {max_steps} steps at block "
+                    f"{ctx.block.label}"
+                )
+            ctx._ops[ctx.index](ctx)
+            steps += 1
+    finally:
+        ctx.steps = steps
     return RunResult(ctx)

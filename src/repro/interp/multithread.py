@@ -21,7 +21,7 @@ from typing import Optional
 from repro.interp.errors import DeadlockError, QueueProtocolError, StepLimitExceeded
 from repro.interp.interpreter import CallHandler, ThreadContext
 from repro.interp.memory import Memory
-from repro.interp.trace import TraceEntry
+from repro.interp.trace import ColumnarTrace
 from repro.ir.function import Function
 from repro.ir.types import Opcode, Register
 
@@ -94,8 +94,9 @@ class MTRunResult:
     def reg(self, register: Register, thread: int = 0) -> int:
         return self.contexts[thread].regs.get(register, 0)
 
-    def traces(self) -> list[list[TraceEntry]]:
-        return [c.trace or [] for c in self.contexts]
+    def traces(self) -> list[ColumnarTrace]:
+        return [c.trace if c.trace is not None else ColumnarTrace()
+                for c in self.contexts]
 
 
 def run_threads(
@@ -160,11 +161,10 @@ def run_threads(
                         break
                     value = ctx.read(inst.srcs[0]) if inst.srcs else 0
                     queues.produce(inst.queue, value)
-                    entry = TraceEntry(inst, block=ctx.block.label)
+                    if ctx.trace is not None:
+                        ctx.trace.append_plain(ctx.current_sid())
                     ctx.index += 1
                     ctx.steps += 1
-                    if ctx.trace is not None:
-                        ctx.trace.append(entry)
                 elif inst.opcode is Opcode.CONSUME:
                     if not queues.can_consume(inst.queue):
                         if all(
@@ -181,11 +181,10 @@ def run_threads(
                     value = queues.consume(inst.queue)
                     if inst.dest is not None:
                         ctx.write(inst.dest, value)
-                    entry = TraceEntry(inst, block=ctx.block.label)
+                    if ctx.trace is not None:
+                        ctx.trace.append_plain(ctx.current_sid())
                     ctx.index += 1
                     ctx.steps += 1
-                    if ctx.trace is not None:
-                        ctx.trace.append(entry)
                 else:
                     ctx.step()
                 ran += 1

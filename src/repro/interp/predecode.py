@@ -1,0 +1,380 @@
+"""Predecoded IR: one specialized step closure per static instruction.
+
+The original interpreter re-dispatched every dynamic instruction
+through an opcode dict chain and re-resolved operands, immediates and
+branch targets on each step.  This module compiles a
+:class:`~repro.ir.function.Function` once into a
+:class:`DecodedFunction`: every instruction becomes a closure with its
+registers, immediates, arithmetic lambda, target blocks and trace
+static-id pre-bound, so executing a step is a single call with no
+per-step decoding.  Both the single-threaded and the multi-threaded
+interpreters run on this representation.
+
+Decode-time immediate handling uses explicit ``is None`` checks --
+``mov r1, 0`` and a zero memory offset are *present* operands, not
+absent ones (truthiness tests like ``inst.imm or 0`` cannot tell the
+two apart).
+
+Malformed instructions (missing operands, unimplemented opcodes) are
+compiled into closures that raise on *execution*, preserving the old
+behaviour that dead broken code does not fail a run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.interp.errors import InterpreterError, TrapError
+from repro.interp.trace import ColumnarTrace, StaticOp
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+#: A compiled step: mutates the context, returns nothing.
+StepFn = Callable[["ThreadContext"], None]  # noqa: F821 - interpreter type
+
+_ARITH: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: a >> (b & 63),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+}
+
+_COMPARE: dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.CMP_EQ: lambda a, b: a == b,
+    Opcode.CMP_NE: lambda a, b: a != b,
+    Opcode.CMP_LT: lambda a, b: a < b,
+    Opcode.CMP_LE: lambda a, b: a <= b,
+    Opcode.CMP_GT: lambda a, b: a > b,
+    Opcode.CMP_GE: lambda a, b: a >= b,
+}
+
+_DIVIDERS = (Opcode.DIV, Opcode.MOD, Opcode.FDIV)
+
+
+class DecodedBlock:
+    """One basic block compiled to parallel step/instruction/sid lists."""
+
+    __slots__ = ("block", "ops", "insts", "sids")
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.block = block
+        self.ops: list[StepFn] = []
+        self.insts: list[Instruction] = []
+        self.sids: list[int] = []
+
+
+class DecodedFunction:
+    """A function compiled to step closures plus its static-op table."""
+
+    __slots__ = ("function", "blocks", "entry", "statics")
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.blocks: dict[str, DecodedBlock] = {}
+        self.statics: list[StaticOp] = []
+        for block in function.blocks():
+            self.blocks[block.label] = DecodedBlock(block)
+        for dblock in self.blocks.values():
+            self._compile_block(dblock)
+        self.entry = self.blocks[function.entry.label]
+
+    def new_trace(self) -> ColumnarTrace:
+        """A columnar trace sharing this function's static-op table."""
+        trace = ColumnarTrace(statics=self.statics)
+        for static in self.statics:
+            trace._sid_index[(static.inst.uid, static.block)] = static.sid
+        return trace
+
+    # ------------------------------------------------------------------
+    def _new_static(self, inst: Instruction, label: str) -> int:
+        sid = len(self.statics)
+        self.statics.append(StaticOp(inst, label, sid))
+        return sid
+
+    def _compile_block(self, dblock: DecodedBlock) -> None:
+        label = dblock.block.label
+        for inst in dblock.block.instructions:
+            sid = self._new_static(inst, label)
+            dblock.ops.append(self._compile(inst, sid))
+            dblock.insts.append(inst)
+            dblock.sids.append(sid)
+
+    # ------------------------------------------------------------------
+    def _compile(self, inst: Instruction, sid: int) -> StepFn:
+        try:
+            return self._compile_dispatch(inst, sid)
+        except (IndexError, KeyError):
+            # Structurally broken instruction (missing operand/target):
+            # defer the failure to execution, as the old interpreter did.
+            return _raising(InterpreterError(
+                f"{inst.opcode.value}: malformed instruction"
+            ))
+
+    def _compile_dispatch(self, inst: Instruction, sid: int) -> StepFn:
+        op = inst.opcode
+        if op in _ARITH:
+            return self._compile_binary(inst, sid, _ARITH[op])
+        if op in _COMPARE:
+            compare = _COMPARE[op]
+            return self._compile_binary(
+                inst, sid, lambda a, b, _c=compare: 1 if _c(a, b) else 0
+            )
+        if op in _DIVIDERS:
+            return self._compile_divide(inst, sid)
+        if op is Opcode.MOV:
+            return self._compile_mov(inst, sid)
+        if op is Opcode.LOAD:
+            return self._compile_load(inst, sid)
+        if op is Opcode.STORE:
+            return self._compile_store(inst, sid)
+        if op is Opcode.BR:
+            return self._compile_br(inst, sid)
+        if op is Opcode.JMP:
+            return self._compile_jmp(inst, sid)
+        if op is Opcode.RET:
+            return self._compile_ret(inst, sid)
+        if op is Opcode.CALL:
+            return self._compile_call(inst, sid)
+        if op is Opcode.NOP:
+            return self._compile_nop(inst, sid)
+        if op in (Opcode.PRODUCE, Opcode.CONSUME):
+            return _raising(InterpreterError(
+                f"{inst.render()}: queue instructions require the "
+                "multi-threaded interpreter"
+            ))
+        return _raising(InterpreterError(f"unimplemented opcode {op}"))
+
+    # -- operand helpers ------------------------------------------------
+    def _binary_operands(self, inst: Instruction):
+        """Returns (src0, src1, imm) with exactly one of src1/imm set,
+        or ``None`` when the instruction is malformed."""
+        if len(inst.srcs) == 2:
+            return inst.srcs[0], inst.srcs[1], None
+        if len(inst.srcs) == 1 and inst.imm is not None:
+            return inst.srcs[0], None, inst.imm
+        return None
+
+    def _compile_binary(self, inst, sid, fn) -> StepFn:
+        operands = self._binary_operands(inst)
+        if operands is None:
+            return _raising(InterpreterError(
+                f"{inst.render()}: missing second operand"
+            ))
+        src0, src1, imm = operands
+        dest = inst.dest
+        if src1 is not None:
+            def step(ctx) -> None:
+                regs = ctx.regs
+                regs[dest] = fn(regs.get(src0, 0), regs.get(src1, 0))
+                ctx.index += 1
+                trace = ctx.trace
+                if trace is not None:
+                    trace.append_plain(sid)
+        else:
+            def step(ctx) -> None:
+                regs = ctx.regs
+                regs[dest] = fn(regs.get(src0, 0), imm)
+                ctx.index += 1
+                trace = ctx.trace
+                if trace is not None:
+                    trace.append_plain(sid)
+        return step
+
+    def _compile_divide(self, inst, sid) -> StepFn:
+        operands = self._binary_operands(inst)
+        if operands is None:
+            return _raising(InterpreterError(
+                f"{inst.render()}: missing second operand"
+            ))
+        src0, src1, imm = operands
+        dest = inst.dest
+        want_mod = inst.opcode is Opcode.MOD
+        rendered = inst.render()
+
+        def divide(a: int, b: int) -> int:
+            if b == 0:
+                raise TrapError(f"{rendered}: division by zero")
+            # C-style truncating division: quotient rounds toward zero,
+            # remainder takes the sign of the dividend.
+            quotient, remainder = divmod(abs(a), abs(b))
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            if a < 0:
+                remainder = -remainder
+            return remainder if want_mod else quotient
+
+        if src1 is not None:
+            def step(ctx) -> None:
+                regs = ctx.regs
+                regs[dest] = divide(regs.get(src0, 0), regs.get(src1, 0))
+                ctx.index += 1
+                trace = ctx.trace
+                if trace is not None:
+                    trace.append_plain(sid)
+        else:
+            def step(ctx) -> None:
+                regs = ctx.regs
+                regs[dest] = divide(regs.get(src0, 0), imm)
+                ctx.index += 1
+                trace = ctx.trace
+                if trace is not None:
+                    trace.append_plain(sid)
+        return step
+
+    def _compile_mov(self, inst, sid) -> StepFn:
+        dest = inst.dest
+        if inst.srcs:
+            src = inst.srcs[0]
+
+            def step(ctx) -> None:
+                regs = ctx.regs
+                regs[dest] = regs.get(src, 0)
+                ctx.index += 1
+                trace = ctx.trace
+                if trace is not None:
+                    trace.append_plain(sid)
+            return step
+        # An explicit immediate -- including 0 -- moves that constant; a
+        # mov with neither source nor immediate clears the register.
+        value = inst.imm if inst.imm is not None else 0
+
+        def step(ctx) -> None:
+            ctx.regs[dest] = value
+            ctx.index += 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_plain(sid)
+        return step
+
+    def _compile_load(self, inst, sid) -> StepFn:
+        dest = inst.dest
+        base = inst.srcs[0]
+        offset = inst.imm if inst.imm is not None else 0
+
+        def step(ctx) -> None:
+            regs = ctx.regs
+            addr = regs.get(base, 0) + offset
+            regs[dest] = ctx.memory.read(addr)
+            ctx.index += 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_mem(sid, addr)
+        return step
+
+    def _compile_store(self, inst, sid) -> StepFn:
+        value_reg = inst.srcs[0]
+        base = inst.srcs[1]
+        offset = inst.imm if inst.imm is not None else 0
+
+        def step(ctx) -> None:
+            regs = ctx.regs
+            addr = regs.get(base, 0) + offset
+            ctx.memory.write(addr, regs.get(value_reg, 0))
+            ctx.index += 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_mem(sid, addr)
+        return step
+
+    def _compile_br(self, inst, sid) -> StepFn:
+        pred = inst.srcs[0]
+        taken_block = self.blocks[inst.targets[0]]
+        fall_block = self.blocks[inst.targets[1]]
+
+        def step(ctx) -> None:
+            taken = ctx.regs.get(pred, 0) != 0
+            target = taken_block if taken else fall_block
+            ctx.block = target.block
+            ctx._ops = target.ops
+            ctx._insts = target.insts
+            ctx._sids = target.sids
+            ctx.index = 0
+            counts = ctx.block_counts
+            if counts is not None:
+                label = target.block.label
+                counts[label] = counts.get(label, 0) + 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_br(sid, taken)
+        return step
+
+    def _compile_jmp(self, inst, sid) -> StepFn:
+        target = self.blocks[inst.targets[0]]
+
+        def step(ctx) -> None:
+            ctx.block = target.block
+            ctx._ops = target.ops
+            ctx._insts = target.insts
+            ctx._sids = target.sids
+            ctx.index = 0
+            counts = ctx.block_counts
+            if counts is not None:
+                label = target.block.label
+                counts[label] = counts.get(label, 0) + 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_br(sid, True)
+        return step
+
+    def _compile_ret(self, inst, sid) -> StepFn:
+        def step(ctx) -> None:
+            ctx.finished = True
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_plain(sid)
+        return step
+
+    def _compile_call(self, inst, sid) -> StepFn:
+        name = inst.attrs.get("callee", "?")
+        srcs = tuple(inst.srcs)
+        dest = inst.dest
+
+        def step(ctx) -> None:
+            handler = ctx.call_handlers.get(name)
+            if handler is None:
+                result = 0
+            else:
+                regs = ctx.regs
+                result = handler(ctx.memory, [regs.get(r, 0) for r in srcs])
+            if dest is not None:
+                ctx.regs[dest] = result
+            ctx.index += 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_plain(sid)
+        return step
+
+    def _compile_nop(self, inst, sid) -> StepFn:
+        def step(ctx) -> None:
+            ctx.index += 1
+            trace = ctx.trace
+            if trace is not None:
+                trace.append_plain(sid)
+        return step
+
+
+def _raising(error: InterpreterError) -> StepFn:
+    """A step that raises when (and only when) it is actually executed."""
+
+    def step(ctx) -> None:
+        raise error
+    return step
+
+
+def predecode(function: Function) -> DecodedFunction:
+    """Compile ``function`` into specialized step closures.
+
+    Predecoding is linear in the static instruction count and is
+    re-done per execution context; functions are mutable, so no cache
+    is kept on the :class:`Function` itself.
+    """
+    return DecodedFunction(function)

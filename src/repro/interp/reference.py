@@ -1,0 +1,217 @@
+"""Reference interpreter: the original object-at-a-time implementation.
+
+This is the pre-predecode single-threaded interpreter, kept verbatim as
+the semantic baseline for the fast path.  The perf-smoke tier and the
+trace-equivalence property tests run both interpreters over the same
+programs and require identical registers, memory, step counts, block
+profiles and dynamic traces.  It is *not* used by the harness hot
+paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.interp.errors import InterpreterError, StepLimitExceeded, TrapError
+from repro.interp.memory import Memory
+from repro.interp.trace import TraceEntry
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, Register
+
+CallHandler = Callable[[Memory, list[int]], int]
+
+_ARITH: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: a >> (b & 63),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+}
+
+_COMPARE: dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.CMP_EQ: lambda a, b: a == b,
+    Opcode.CMP_NE: lambda a, b: a != b,
+    Opcode.CMP_LT: lambda a, b: a < b,
+    Opcode.CMP_LE: lambda a, b: a <= b,
+    Opcode.CMP_GT: lambda a, b: a > b,
+    Opcode.CMP_GE: lambda a, b: a >= b,
+}
+
+
+class ReferenceContext:
+    """Execution state of one thread, interpreted instruction objects."""
+
+    def __init__(
+        self,
+        function: Function,
+        memory: Memory,
+        initial_regs: Optional[dict[Register, int]] = None,
+        call_handlers: Optional[dict[str, CallHandler]] = None,
+        record_trace: bool = False,
+        record_profile: bool = False,
+    ) -> None:
+        self.function = function
+        self.memory = memory
+        self.regs: dict[Register, int] = dict(initial_regs or {})
+        self.call_handlers = call_handlers or {}
+        self.block = function.entry
+        self.index = 0
+        self.finished = False
+        self.steps = 0
+        self.trace: Optional[list[TraceEntry]] = [] if record_trace else None
+        self.block_counts: Optional[dict[str, int]] = {} if record_profile else None
+        if self.block_counts is not None:
+            self.block_counts[self.block.label] = 1
+
+    # ------------------------------------------------------------------
+    def read(self, reg: Register) -> int:
+        return self.regs.get(reg, 0)
+
+    def write(self, reg: Register, value: int) -> None:
+        self.regs[reg] = value
+
+    def current_instruction(self) -> Instruction:
+        return self.block.instructions[self.index]
+
+    def _goto(self, label: str) -> None:
+        self.block = self.function.block(label)
+        self.index = 0
+        if self.block_counts is not None:
+            self.block_counts[self.block.label] = self.block_counts.get(self.block.label, 0) + 1
+
+    def _operands(self, inst: Instruction) -> tuple[int, int]:
+        a = self.read(inst.srcs[0])
+        if len(inst.srcs) == 2:
+            return a, self.read(inst.srcs[1])
+        if inst.imm is None:
+            raise InterpreterError(f"{inst.render()}: missing second operand")
+        return a, inst.imm
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[TraceEntry]:
+        if self.finished:
+            return None
+        inst = self.current_instruction()
+        entry = self._execute(inst)
+        self.steps += 1
+        if self.trace is not None:
+            self.trace.append(entry)
+        return entry
+
+    def _execute(self, inst: Instruction) -> TraceEntry:
+        op = inst.opcode
+        block_label = self.block.label
+        if op in _ARITH:
+            a, b = self._operands(inst)
+            self.write(inst.dest, _ARITH[op](a, b))
+        elif op in (Opcode.DIV, Opcode.MOD, Opcode.FDIV):
+            a, b = self._operands(inst)
+            if b == 0:
+                raise TrapError(f"{inst.render()}: division by zero")
+            quotient, remainder = divmod(abs(a), abs(b))
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            if a < 0:
+                remainder = -remainder
+            self.write(inst.dest, remainder if op is Opcode.MOD else quotient)
+        elif op in _COMPARE:
+            a, b = self._operands(inst)
+            self.write(inst.dest, 1 if _COMPARE[op](a, b) else 0)
+        elif op is Opcode.MOV:
+            if inst.srcs:
+                value = self.read(inst.srcs[0])
+            else:
+                value = inst.imm if inst.imm is not None else 0
+            self.write(inst.dest, value)
+        elif op is Opcode.LOAD:
+            offset = inst.imm if inst.imm is not None else 0
+            addr = self.read(inst.srcs[0]) + offset
+            self.write(inst.dest, self.memory.read(addr))
+            self.index += 1
+            return TraceEntry(inst, addr=addr, block=block_label)
+        elif op is Opcode.STORE:
+            offset = inst.imm if inst.imm is not None else 0
+            addr = self.read(inst.srcs[1]) + offset
+            self.memory.write(addr, self.read(inst.srcs[0]))
+            self.index += 1
+            return TraceEntry(inst, addr=addr, block=block_label)
+        elif op is Opcode.BR:
+            taken = self.read(inst.srcs[0]) != 0
+            self._goto(inst.targets[0] if taken else inst.targets[1])
+            return TraceEntry(inst, taken=taken, block=block_label)
+        elif op is Opcode.JMP:
+            self._goto(inst.targets[0])
+            return TraceEntry(inst, taken=True, block=block_label)
+        elif op is Opcode.RET:
+            self.finished = True
+            return TraceEntry(inst, block=block_label)
+        elif op is Opcode.CALL:
+            name = inst.attrs.get("callee", "?")
+            handler = self.call_handlers.get(name)
+            if handler is None:
+                result = 0
+            else:
+                result = handler(self.memory, [self.read(r) for r in inst.srcs])
+            if inst.dest is not None:
+                self.write(inst.dest, result)
+        elif op is Opcode.NOP:
+            pass
+        elif op in (Opcode.PRODUCE, Opcode.CONSUME):
+            raise InterpreterError(
+                f"{inst.render()}: queue instructions require the "
+                "multi-threaded interpreter"
+            )
+        else:  # pragma: no cover - all opcodes handled above
+            raise InterpreterError(f"unimplemented opcode {op}")
+        self.index += 1
+        return TraceEntry(inst, block=block_label)
+
+
+class ReferenceResult:
+    """Outcome of a reference run."""
+
+    def __init__(self, context: ReferenceContext) -> None:
+        self.regs = dict(context.regs)
+        self.memory = context.memory
+        self.steps = context.steps
+        self.trace = context.trace
+        self.block_counts = context.block_counts
+
+    def reg(self, register: Register) -> int:
+        return self.regs.get(register, 0)
+
+
+def run_function_reference(
+    function: Function,
+    memory: Optional[Memory] = None,
+    initial_regs: Optional[dict[Register, int]] = None,
+    max_steps: int = 10_000_000,
+    record_trace: bool = False,
+    record_profile: bool = False,
+    call_handlers: Optional[dict[str, CallHandler]] = None,
+) -> ReferenceResult:
+    """Run ``function`` under the reference semantics."""
+    memory = memory if memory is not None else Memory()
+    ctx = ReferenceContext(
+        function,
+        memory,
+        initial_regs=initial_regs,
+        call_handlers=call_handlers,
+        record_trace=record_trace,
+        record_profile=record_profile,
+    )
+    while not ctx.finished:
+        if ctx.steps >= max_steps:
+            raise StepLimitExceeded(
+                f"{function.name}: exceeded {max_steps} steps at block "
+                f"{ctx.block.label}"
+            )
+        ctx.step()
+    return ReferenceResult(ctx)

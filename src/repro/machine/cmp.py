@@ -1,17 +1,20 @@
 """Dual-core (n-core) CMP co-simulation.
 
 Maps each thread's dynamic trace onto its own core (private L1/L2,
-shared L3/memory) and advances the cores round-robin; a core yields
-when its next produce/consume depends on queue activity the partner
-core has not simulated yet.  Pipeline acyclicity guarantees this
-always makes progress for valid DSWP programs.
+shared L3/memory) and advances cores run-to-block: each scheduled core
+replays its trace until it finishes or its next produce/consume depends
+on queue activity the partner core has not simulated yet.  Pipeline
+acyclicity guarantees a round of run-to-block calls always makes
+progress for valid DSWP programs, so the scheduler's cost is
+proportional to the number of *blocking events*, not to the trace
+length divided by some polling burst size.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.interp.trace import TraceEntry
+from repro.interp.trace import NO_ADDR, TAKEN_NONE, TAKEN_TRUE, TraceLike
 from repro.machine.cache import CacheHierarchy, CacheLevel
 from repro.machine.config import MachineConfig
 from repro.machine.core import CoreSim
@@ -41,17 +44,28 @@ def warm_up(cores: list[CoreSim]) -> None:
     outcomes once before timing gives the same steady-state start.
     """
     for core in cores:
-        for entry in core.trace:
-            if entry.addr is not None:
-                core.caches.access(entry.addr)
-            if entry.inst.is_branch and entry.taken is not None:
-                core.predictor.predict_and_update(
-                    entry.inst.root().uid, entry.taken
-                )
+        trace = core.trace
+        sids = trace.sids
+        addrs = trace.addrs
+        takens = trace.takens
+        statics = core._statics
+        access = core.caches.access
+        predict = core.predictor.predict_and_update
+        for i in range(len(sids)):
+            addr = addrs[i]
+            if addr != NO_ADDR:
+                access(addr)
+            else:
+                wide = trace.addr_at(i)
+                if wide is not None:
+                    access(wide)
+            taken = takens[i]
+            if taken != TAKEN_NONE and statics[sids[i]].is_branch:
+                predict(statics[sids[i]].root_uid, taken == TAKEN_TRUE)
 
 
 def simulate(
-    traces: list[list[TraceEntry]],
+    traces: list[TraceLike],
     machine: Optional[MachineConfig] = None,
     burst: int = 64,
     warm: bool = False,
@@ -62,6 +76,10 @@ def simulate(
     state is created).  ``warm=True`` pre-warms caches and branch
     predictors from the trace before timing (the paper's fast-forward
     methodology); the default cold start is harsher but unbiased.
+
+    ``burst`` is accepted for backwards compatibility but unused: the
+    scheduler is event-driven (run-to-block) rather than burst polling,
+    and timing results never depended on the burst size.
     """
     machine = machine or MachineConfig()
     if len(traces) > machine.num_cores and len(traces) > 1:
@@ -78,20 +96,19 @@ def simulate(
     ]
     if warm:
         warm_up(cores)
-    while True:
+    live = [core for core in cores if not core.done]
+    while live:
         progressed = False
-        for core in cores:
-            ran = 0
-            while ran < burst:
-                outcome = core.step(queues)
-                if outcome != CoreSim.PROGRESS:
-                    break
-                ran += 1
-            if ran:
+        still_live = []
+        for core in live:
+            before = core.index
+            outcome = core.run(queues)
+            if core.index != before:
                 progressed = True
-        if all(core.done for core in cores):
-            break
-        if not progressed:
+            if outcome != CoreSim.DONE:
+                still_live.append(core)
+        live = still_live
+        if live and not progressed:
             blocked = {
                 c.core_id: c.trace[c.index].inst.render()
                 for c in cores

@@ -16,18 +16,76 @@ Replays one thread's dynamic trace with:
 The model intentionally omits out-of-order structures: the paper's
 point is that DSWP's decoupling supplies the latency tolerance that an
 in-order pipeline lacks.
+
+Implementation notes.  The trace is normalised to the columnar format
+(:class:`~repro.interp.trace.ColumnarTrace`); each *static* instruction
+is decoded once into a :class:`_DecodedStatic` (operand tuple, latency
+class, M-pipe usage, cached ``root().uid``), so the per-dynamic-entry
+work is integer column reads plus scoreboard updates.  Issue-bandwidth
+bookkeeping uses a small lazily-reset ring buffer instead of a grown-
+and-pruned dict: in-order issue cycles are non-decreasing, so only the
+most recent issue cycle can ever be probed again, and a stale ring slot
+is simply re-initialised when its cycle tag mismatches.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.interp.trace import TraceEntry
+from repro.interp.trace import NO_ADDR, TraceLike, as_columnar
 from repro.machine.branch import TwoBitPredictor
 from repro.machine.cache import CacheHierarchy
 from repro.machine.config import STATIC_LATENCIES, CoreConfig, MachineConfig
 from repro.machine.syncarray import QueueTiming
-from repro.ir.types import Opcode, Register
+from repro.ir.types import Opcode
+
+#: Latency-class kinds for decoded statics.
+_K_DEFAULT = 0
+_K_LOAD = 1
+_K_STORE = 2
+_K_BR = 3
+_K_PRODUCE = 4
+_K_CONSUME = 5
+
+#: Issue-slot ring size; must be a power of two.  Any size is correct
+#: (see the lazy-reset argument in the module docstring); 64 keeps the
+#: arrays in cache.
+_RING = 64
+_RING_MASK = _RING - 1
+
+
+class _DecodedStatic:
+    """Timing-level decode of one static instruction."""
+
+    __slots__ = ("inst", "kind", "dest", "srcs", "queue", "root_uid",
+                 "latency", "uses_m", "is_branch")
+
+    def __init__(self, static) -> None:
+        inst = static.inst
+        op = inst.opcode
+        self.inst = inst
+        self.dest = inst.dest
+        self.srcs = tuple(inst.used_registers())
+        self.queue = inst.queue
+        self.root_uid = static.root_uid
+        self.is_branch = op is Opcode.BR
+        if op is Opcode.PRODUCE:
+            self.kind, self.uses_m, self.latency = _K_PRODUCE, True, 1
+        elif op is Opcode.CONSUME:
+            self.kind, self.uses_m, self.latency = _K_CONSUME, True, 1
+        elif op is Opcode.LOAD:
+            self.kind, self.uses_m, self.latency = _K_LOAD, True, 1
+        elif op is Opcode.STORE:
+            self.kind, self.uses_m, self.latency = _K_STORE, True, 1
+        elif op is Opcode.BR:
+            self.kind, self.uses_m, self.latency = _K_BR, False, 1
+        elif op is Opcode.CALL:
+            call_cycles = inst.attrs.get("call_cycles", 0)
+            self.kind, self.uses_m = _K_DEFAULT, False
+            self.latency = 1 + call_cycles
+        else:
+            self.kind, self.uses_m = _K_DEFAULT, False
+            self.latency = STATIC_LATENCIES.get(op, 1)
 
 
 class StallRecord:
@@ -49,7 +107,7 @@ class StallRecord:
 class CoreSim:
     """Trace replay state for one core."""
 
-    #: Result codes for :meth:`step`.
+    #: Result codes for :meth:`step` / :meth:`run`.
     PROGRESS = "progress"
     BLOCKED = "blocked"
     DONE = "done"
@@ -59,21 +117,24 @@ class CoreSim:
         core_id: int,
         config: CoreConfig,
         machine: MachineConfig,
-        trace: list[TraceEntry],
+        trace: TraceLike,
         caches: CacheHierarchy,
         predictor: Optional[TwoBitPredictor] = None,
     ) -> None:
         self.core_id = core_id
         self.config = config
         self.machine = machine
-        self.trace = trace
+        self.trace = as_columnar(trace)
+        self._statics = [_DecodedStatic(s) for s in self.trace.statics]
         self.caches = caches
         self.predictor = predictor or TwoBitPredictor()
         self.index = 0
         self._fetch_ready = 0
         self._prev_issue = 0
-        self._reg_ready: dict[Register, int] = {}
-        self._slots: dict[int, list[int]] = {}
+        self._reg_ready: dict = {}
+        self._slot_cycle = [-1] * _RING
+        self._slot_n = [0] * _RING
+        self._slot_m = [0] * _RING
         self.last_completion = 0
         self.stalls: list[StallRecord] = []
         self.instructions_executed = 0
@@ -84,97 +145,147 @@ class CoreSim:
     def done(self) -> bool:
         return self.index >= len(self.trace)
 
-    def _sources_ready(self, entry: TraceEntry) -> int:
-        ready = 0
-        for reg in entry.inst.used_registers():
-            ready = max(ready, self._reg_ready.get(reg, 0))
-        return ready
-
-    def _find_issue_cycle(self, earliest: int, uses_m: bool) -> int:
-        cycle = max(earliest, 0)
-        while True:
-            used = self._slots.get(cycle)
-            if used is None:
-                used = [0, 0]
-                self._slots[cycle] = used
-            if used[0] < self.config.issue_width and (
-                not uses_m or used[1] < self.config.m_ports
-            ):
-                used[0] += 1
-                if uses_m:
-                    used[1] += 1
-                self._prune_slots(cycle)
-                return cycle
-            cycle += 1
-
-    def _prune_slots(self, current: int) -> None:
-        # In-order issue never revisits cycles before the previous
-        # issue, so old entries can be discarded to bound memory.
-        if len(self._slots) > 512:
-            for key in [k for k in self._slots if k < current - 8]:
-                del self._slots[key]
-
     # ------------------------------------------------------------------
     def step(self, queues: QueueTiming) -> str:
         """Try to issue the next trace entry; may block on a queue."""
-        if self.done:
+        return self.run(queues, limit=1)
+
+    def run(self, queues: QueueTiming, limit: Optional[int] = None) -> str:
+        """Replay trace entries until the trace ends, a queue blocks, or
+        ``limit`` entries have issued.
+
+        Returns :data:`DONE` when the trace is exhausted,
+        :data:`BLOCKED` when the next entry needs queue activity the
+        partner core has not simulated yet, and :data:`PROGRESS` when
+        stopped by ``limit`` after issuing at least one entry.
+        """
+        trace = self.trace
+        sids = trace.sids
+        addrs = trace.addrs
+        takens = trace.takens
+        statics = self._statics
+        n = len(sids)
+        i = self.index
+        executed = 0
+        flow = 0
+        blocked = False
+
+        issue_width = self.config.issue_width
+        m_ports = self.config.m_ports
+        mispredict_penalty = self.config.mispredict_penalty
+        reg_ready = self._reg_ready
+        slot_cycle = self._slot_cycle
+        slot_n = self._slot_n
+        slot_m = self._slot_m
+        caches_access = self.caches.access
+        predict = self.predictor.predict_and_update
+        stalls = self.stalls
+        fetch_ready = self._fetch_ready
+        prev_issue = self._prev_issue
+        last_completion = self.last_completion
+        sa_read_latency = queues.sa_read_latency
+
+        def find_issue(earliest: int, uses_m: bool) -> int:
+            cycle = earliest if earliest > 0 else 0
+            while True:
+                idx = cycle & _RING_MASK
+                if slot_cycle[idx] != cycle:
+                    # Stale slot from a cycle that can never be probed
+                    # again (issue is in-order): re-initialise.
+                    slot_cycle[idx] = cycle
+                    slot_n[idx] = 1
+                    slot_m[idx] = 1 if uses_m else 0
+                    return cycle
+                if slot_n[idx] < issue_width and (
+                    not uses_m or slot_m[idx] < m_ports
+                ):
+                    slot_n[idx] += 1
+                    if uses_m:
+                        slot_m[idx] += 1
+                    return cycle
+                cycle += 1
+
+        while i < n:
+            if limit is not None and executed >= limit:
+                break
+            d = statics[sids[i]]
+            earliest = fetch_ready if fetch_ready > prev_issue else prev_issue
+            for reg in d.srcs:
+                ready = reg_ready.get(reg, 0)
+                if ready > earliest:
+                    earliest = ready
+            kind = d.kind
+
+            if kind == _K_DEFAULT:
+                issue = find_issue(earliest, False)
+                completion = issue + d.latency
+            elif kind == _K_LOAD:
+                issue = find_issue(earliest, True)
+                addr = addrs[i]
+                if addr == NO_ADDR:
+                    addr = trace.addr_at(i)
+                completion = issue + caches_access(addr)
+            elif kind == _K_STORE:
+                issue = find_issue(earliest, True)
+                addr = addrs[i]
+                if addr == NO_ADDR:
+                    addr = trace.addr_at(i)
+                caches_access(addr)  # allocate; latency hidden
+                completion = issue + 1
+            elif kind == _K_BR:
+                issue = find_issue(earliest, False)
+                completion = issue + 1
+                if not predict(d.root_uid, takens[i] == 1):
+                    fetch_ready = completion + mispredict_penalty
+            elif kind == _K_PRODUCE:
+                slot_ready = queues.produce_slot_ready(d.queue)
+                if slot_ready is None:
+                    blocked = True
+                    break
+                start = slot_ready if slot_ready > earliest else earliest
+                issue = find_issue(start, True)
+                if slot_ready > earliest:
+                    stalls.append(
+                        StallRecord("produce_full", earliest, issue, d.queue)
+                    )
+                queues.record_produce(d.queue, issue)
+                completion = issue + 1
+                flow += 1
+            else:  # _K_CONSUME
+                data_ready = queues.consume_data_ready(d.queue)
+                if data_ready is None:
+                    blocked = True
+                    break
+                start = data_ready if data_ready > earliest else earliest
+                issue = find_issue(start, True)
+                if data_ready > earliest:
+                    stalls.append(
+                        StallRecord("consume_empty", earliest, issue, d.queue)
+                    )
+                queues.record_consume(d.queue, issue)
+                completion = issue + sa_read_latency
+                flow += 1
+
+            if d.dest is not None:
+                reg_ready[d.dest] = completion
+            prev_issue = issue
+            if completion > last_completion:
+                last_completion = completion
+            executed += 1
+            i += 1
+
+        self.index = i
+        self._fetch_ready = fetch_ready
+        self._prev_issue = prev_issue
+        self.last_completion = last_completion
+        self.instructions_executed += executed
+        self.flow_instructions += flow
+
+        if limit is not None and executed:
+            return self.PROGRESS
+        if i >= n:
             return self.DONE
-        entry = self.trace[self.index]
-        inst = entry.inst
-        op = inst.opcode
-        earliest = max(self._fetch_ready, self._prev_issue, self._sources_ready(entry))
-
-        if op is Opcode.PRODUCE:
-            slot_ready = queues.produce_slot_ready(inst.queue)
-            if slot_ready is None:
-                return self.BLOCKED
-            issue = self._find_issue_cycle(max(earliest, slot_ready), uses_m=True)
-            if slot_ready > earliest:
-                self.stalls.append(
-                    StallRecord("produce_full", earliest, issue, inst.queue)
-                )
-            queues.record_produce(inst.queue, issue)
-            completion = issue + 1
-            self.flow_instructions += 1
-        elif op is Opcode.CONSUME:
-            data_ready = queues.consume_data_ready(inst.queue)
-            if data_ready is None:
-                return self.BLOCKED
-            issue = self._find_issue_cycle(max(earliest, data_ready), uses_m=True)
-            if data_ready > earliest:
-                self.stalls.append(
-                    StallRecord("consume_empty", earliest, issue, inst.queue)
-                )
-            queues.record_consume(inst.queue, issue)
-            completion = issue + queues.sa_read_latency
-            self.flow_instructions += 1
-        elif op is Opcode.LOAD:
-            issue = self._find_issue_cycle(earliest, uses_m=True)
-            completion = issue + self.caches.access(entry.addr)
-        elif op is Opcode.STORE:
-            issue = self._find_issue_cycle(earliest, uses_m=True)
-            self.caches.access(entry.addr)  # allocate; latency hidden
-            completion = issue + 1
-        elif op is Opcode.BR:
-            issue = self._find_issue_cycle(earliest, uses_m=False)
-            completion = issue + 1
-            key = inst.root().uid
-            if not self.predictor.predict_and_update(key, bool(entry.taken)):
-                self._fetch_ready = completion + self.config.mispredict_penalty
-        elif op is Opcode.CALL:
-            issue = self._find_issue_cycle(earliest, uses_m=False)
-            completion = issue + 1 + inst.attrs.get("call_cycles", 0)
-        else:
-            issue = self._find_issue_cycle(earliest, uses_m=False)
-            completion = issue + STATIC_LATENCIES.get(op, 1)
-
-        if inst.dest is not None:
-            self._reg_ready[inst.dest] = completion
-        self._prev_issue = issue
-        self.last_completion = max(self.last_completion, completion)
-        self.instructions_executed += 1
-        self.index += 1
-        return self.PROGRESS
+        return self.BLOCKED if blocked else self.PROGRESS
 
     # ------------------------------------------------------------------
     def ipc(self) -> float:

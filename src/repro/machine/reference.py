@@ -1,0 +1,227 @@
+"""Reference timing model: the original per-entry implementation.
+
+This is the pre-optimisation :mod:`repro.machine.core` /
+:mod:`repro.machine.cmp` pair, kept verbatim as the semantic baseline
+for the fast path: per-entry stepping over object ``TraceEntry`` lists,
+``used_registers()`` recomputed per dynamic instruction, issue-slot
+accounting in a grown-and-pruned dict, ``root().uid`` recomputed per
+dynamic branch, and burst-polling round-robin scheduling.
+
+The perf-smoke tier and the bench runner's naive mode replay traces on
+both models and require identical cycles, IPCs and stall accounting --
+the event-driven/ring-buffer refactor is a pure mechanical speedup and
+this module keeps that claim testable.  It is *not* used by the
+harness hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interp.trace import TraceEntry
+from repro.machine.branch import TwoBitPredictor
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.cmp import SimulationDeadlock, _build_caches
+from repro.machine.config import STATIC_LATENCIES, CoreConfig, MachineConfig
+from repro.machine.core import StallRecord
+from repro.machine.stats import SimResult
+from repro.machine.syncarray import QueueTiming
+from repro.ir.types import Opcode, Register
+
+
+class ReferenceCoreSim:
+    """Trace replay state for one core (original implementation)."""
+
+    PROGRESS = "progress"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        machine: MachineConfig,
+        trace: list[TraceEntry],
+        caches: CacheHierarchy,
+        predictor: Optional[TwoBitPredictor] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.machine = machine
+        self.trace = trace
+        self.caches = caches
+        self.predictor = predictor or TwoBitPredictor()
+        self.index = 0
+        self._fetch_ready = 0
+        self._prev_issue = 0
+        self._reg_ready: dict[Register, int] = {}
+        self._slots: dict[int, list[int]] = {}
+        self.last_completion = 0
+        self.stalls: list[StallRecord] = []
+        self.instructions_executed = 0
+        self.flow_instructions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.trace)
+
+    def _sources_ready(self, entry: TraceEntry) -> int:
+        ready = 0
+        for reg in entry.inst.used_registers():
+            ready = max(ready, self._reg_ready.get(reg, 0))
+        return ready
+
+    def _find_issue_cycle(self, earliest: int, uses_m: bool) -> int:
+        cycle = max(earliest, 0)
+        while True:
+            used = self._slots.get(cycle)
+            if used is None:
+                used = [0, 0]
+                self._slots[cycle] = used
+            if used[0] < self.config.issue_width and (
+                not uses_m or used[1] < self.config.m_ports
+            ):
+                used[0] += 1
+                if uses_m:
+                    used[1] += 1
+                self._prune_slots(cycle)
+                return cycle
+            cycle += 1
+
+    def _prune_slots(self, current: int) -> None:
+        # In-order issue never revisits cycles before the previous
+        # issue, so old entries can be discarded to bound memory.
+        if len(self._slots) > 512:
+            for key in [k for k in self._slots if k < current - 8]:
+                del self._slots[key]
+
+    # ------------------------------------------------------------------
+    def step(self, queues: QueueTiming) -> str:
+        """Try to issue the next trace entry; may block on a queue."""
+        if self.done:
+            return self.DONE
+        entry = self.trace[self.index]
+        inst = entry.inst
+        op = inst.opcode
+        earliest = max(self._fetch_ready, self._prev_issue, self._sources_ready(entry))
+
+        if op is Opcode.PRODUCE:
+            slot_ready = queues.produce_slot_ready(inst.queue)
+            if slot_ready is None:
+                return self.BLOCKED
+            issue = self._find_issue_cycle(max(earliest, slot_ready), uses_m=True)
+            if slot_ready > earliest:
+                self.stalls.append(
+                    StallRecord("produce_full", earliest, issue, inst.queue)
+                )
+            queues.record_produce(inst.queue, issue)
+            completion = issue + 1
+            self.flow_instructions += 1
+        elif op is Opcode.CONSUME:
+            data_ready = queues.consume_data_ready(inst.queue)
+            if data_ready is None:
+                return self.BLOCKED
+            issue = self._find_issue_cycle(max(earliest, data_ready), uses_m=True)
+            if data_ready > earliest:
+                self.stalls.append(
+                    StallRecord("consume_empty", earliest, issue, inst.queue)
+                )
+            queues.record_consume(inst.queue, issue)
+            completion = issue + queues.sa_read_latency
+            self.flow_instructions += 1
+        elif op is Opcode.LOAD:
+            issue = self._find_issue_cycle(earliest, uses_m=True)
+            completion = issue + self.caches.access(entry.addr)
+        elif op is Opcode.STORE:
+            issue = self._find_issue_cycle(earliest, uses_m=True)
+            self.caches.access(entry.addr)  # allocate; latency hidden
+            completion = issue + 1
+        elif op is Opcode.BR:
+            issue = self._find_issue_cycle(earliest, uses_m=False)
+            completion = issue + 1
+            key = inst.root().uid
+            if not self.predictor.predict_and_update(key, bool(entry.taken)):
+                self._fetch_ready = completion + self.config.mispredict_penalty
+        elif op is Opcode.CALL:
+            issue = self._find_issue_cycle(earliest, uses_m=False)
+            completion = issue + 1 + inst.attrs.get("call_cycles", 0)
+        else:
+            issue = self._find_issue_cycle(earliest, uses_m=False)
+            completion = issue + STATIC_LATENCIES.get(op, 1)
+
+        if inst.dest is not None:
+            self._reg_ready[inst.dest] = completion
+        self._prev_issue = issue
+        self.last_completion = max(self.last_completion, completion)
+        self.instructions_executed += 1
+        self.index += 1
+        return self.PROGRESS
+
+    # ------------------------------------------------------------------
+    def ipc(self) -> float:
+        if self.last_completion <= 0:
+            return 0.0
+        return (self.instructions_executed - self.flow_instructions) / self.last_completion
+
+    def stall_cycles(self, kind: str) -> int:
+        return sum(s.duration for s in self.stalls if s.kind == kind)
+
+
+def warm_up_reference(cores: list[ReferenceCoreSim]) -> None:
+    """Original entry-at-a-time cache/predictor warm-up."""
+    for core in cores:
+        for entry in core.trace:
+            if entry.addr is not None:
+                core.caches.access(entry.addr)
+            if entry.inst.is_branch and entry.taken is not None:
+                core.predictor.predict_and_update(
+                    entry.inst.root().uid, entry.taken
+                )
+
+
+def simulate_reference(
+    traces: list[list[TraceEntry]],
+    machine: Optional[MachineConfig] = None,
+    burst: int = 64,
+    warm: bool = False,
+) -> SimResult:
+    """Original burst-polling round-robin co-simulation."""
+    machine = machine or MachineConfig()
+    if len(traces) > machine.num_cores and len(traces) > 1:
+        raise ValueError(
+            f"{len(traces)} threads but the machine has {machine.num_cores} cores"
+        )
+    shared_l3 = CacheLevel(machine.l3)
+    queues = QueueTiming(
+        machine.queue_size, machine.comm_latency, machine.sa_read_latency
+    )
+    cores = [
+        ReferenceCoreSim(
+            i, machine.core, machine, trace, _build_caches(machine, shared_l3)
+        )
+        for i, trace in enumerate(traces)
+    ]
+    if warm:
+        warm_up_reference(cores)
+    while True:
+        progressed = False
+        for core in cores:
+            ran = 0
+            while ran < burst:
+                outcome = core.step(queues)
+                if outcome != ReferenceCoreSim.PROGRESS:
+                    break
+                ran += 1
+            if ran:
+                progressed = True
+        if all(core.done for core in cores):
+            break
+        if not progressed:
+            blocked = {
+                c.core_id: c.trace[c.index].inst.render()
+                for c in cores
+                if not c.done
+            }
+            raise SimulationDeadlock(f"timing deadlock; blocked on {blocked}")
+    return SimResult(cores, queues if len(traces) > 1 else None)

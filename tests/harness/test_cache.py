@@ -1,0 +1,89 @@
+"""Experiment cache: cached and fresh runs must be indistinguishable,
+and keys must track everything that changes functional behaviour."""
+
+from repro.analysis.memdep import AliasModel
+from repro.harness.cache import ExperimentCache, case_digest
+from repro.harness.runner import run_experiment
+from repro.machine.config import HALF_WIDTH_MACHINE, MachineConfig
+from repro.workloads import get_workload
+
+SCALE = 120
+
+
+def _summary(result):
+    return {
+        "base_cycles": result.base_sim.cycles,
+        "dswp_cycles": result.dswp_sim.cycles,
+        "base_ipcs": result.base_sim.ipcs(),
+        "dswp_ipcs": result.dswp_sim.ipcs(),
+        "loop_speedup": result.loop_speedup,
+        "program_speedup": result.program_speedup,
+    }
+
+
+class TestCachedVsFresh:
+    def test_sweep_results_agree_with_uncached_runs(self):
+        cache = ExperimentCache()
+        machines = (
+            MachineConfig(),
+            HALF_WIDTH_MACHINE,
+            MachineConfig().with_comm_latency(5),
+        )
+        for name in ("mcf", "wc"):
+            workload = get_workload(name)
+            case = workload.build(scale=SCALE)
+            for machine in machines:
+                cached = cache.run_experiment(workload, case=case, machine=machine)
+                fresh = run_experiment(workload, machine=machine, scale=SCALE)
+                assert _summary(cached) == _summary(fresh), (name, machine)
+        # 2 workloads x 3 machines: functional work ran once per
+        # workload, every later point hit.
+        assert cache.stats()["baselines"] == 2
+        assert cache.stats()["dswp_runs"] == 2
+        assert cache.hits > 0
+
+    def test_alias_model_is_part_of_the_key(self):
+        cache = ExperimentCache()
+        workload = get_workload("mcf")
+        case = workload.build(scale=SCALE)
+        cache.run_experiment(workload, case=case)
+        cache.run_experiment(
+            workload, case=case, alias_model=AliasModel.conservative()
+        )
+        assert cache.stats()["dswp_runs"] == 2
+
+    def test_repeated_points_hit(self):
+        cache = ExperimentCache()
+        workload = get_workload("wc")
+        case = workload.build(scale=SCALE)
+        first = cache.run_experiment(workload, case=case)
+        misses = cache.misses
+        second = cache.run_experiment(workload, case=case)
+        assert cache.misses == misses
+        assert _summary(first) == _summary(second)
+
+
+class TestDigest:
+    def test_identical_cases_share_a_digest(self):
+        a = get_workload("mcf").build(scale=SCALE)
+        b = get_workload("mcf").build(scale=SCALE)
+        assert a is not b
+        assert case_digest(a) == case_digest(b)
+
+    def test_scale_changes_the_digest(self):
+        a = get_workload("mcf").build(scale=SCALE)
+        b = get_workload("mcf").build(scale=SCALE + 1)
+        assert case_digest(a) != case_digest(b)
+
+    def test_memory_contents_change_the_digest(self):
+        a = get_workload("wc").build(scale=SCALE)
+        b = get_workload("wc").build(scale=SCALE)
+        b.memory.write(0x9999, 123)
+        assert case_digest(a) != case_digest(b)
+
+    def test_initial_regs_change_the_digest(self):
+        a = get_workload("wc").build(scale=SCALE)
+        b = get_workload("wc").build(scale=SCALE)
+        reg = next(iter(b.initial_regs))
+        b.initial_regs[reg] += 1
+        assert case_digest(a) != case_digest(b)

@@ -100,6 +100,34 @@ class TestArithmetic:
         result = run_straightline(emit)
         assert result.reg(r1) == 9
 
+    def test_mov_zero_immediate(self):
+        # Regression: ``mov r1, 0`` must distinguish an explicit zero
+        # immediate from a missing one (an ``imm or 0`` truthiness check
+        # conflates them); both write 0, via the is-None path.
+        r0, r1 = gen_reg(0), gen_reg(1)
+
+        def emit(builder):
+            builder.mov(r0, imm=0)
+            builder.mov(r1, imm=0)
+
+        result = run_straightline(emit, initial={r0: 41, r1: 42})
+        assert result.reg(r0) == 0
+        assert result.reg(r1) == 0
+
+    def test_mov_zero_immediate_matches_reference(self):
+        from repro.interp.reference import run_function_reference
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("movzero")
+        b.block("entry", entry=True)
+        r0 = gen_reg(0)
+        b.mov(r0, imm=0)
+        b.ret()
+        fn = b.done()
+        fast = run_function(fn, initial_regs={r0: 99})
+        ref = run_function_reference(fn, initial_regs={r0: 99})
+        assert fast.reg(r0) == ref.reg(r0) == 0
+
     def test_unset_register_reads_zero(self):
         r0, r1 = gen_reg(0), gen_reg(1)
         result = run_straightline(lambda b: b.add(r1, r0, imm=0))

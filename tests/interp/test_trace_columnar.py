@@ -1,0 +1,144 @@
+"""Columnar-trace equivalence: the compact trace format must be
+observationally identical to the legacy object-entry format, both as a
+container and as input to the timing model."""
+
+import pytest
+
+from repro.harness.runner import run_baseline, run_dswp
+from repro.interp.reference import run_function_reference
+from repro.interp.trace import NO_ADDR, ColumnarTrace, TraceEntry, as_columnar
+from repro.machine.cmp import simulate
+from repro.machine.config import HALF_WIDTH_MACHINE, MachineConfig
+from repro.machine.reference import simulate_reference
+from repro.workloads import get_workload
+
+#: Three structurally different workloads: pointer chasing with control
+#: flow (mcf), affine array walks (art), nested lists (listoflists).
+WORKLOADS = ("mcf", "art", "listoflists")
+SCALE = 120
+
+#: The legacy burst-polling scheduler changed shared-L3 contents with
+#: its polling granularity (an arbitrary simulator knob).  The
+#: event-driven scheduler always runs a core to its next *true*
+#: dependency, which is exactly the legacy schedule as burst -> inf,
+#: so reference comparisons pin that canonical schedule.
+RUN_TO_BLOCK = 1 << 30
+
+
+def _stall_key(core):
+    return [(s.kind, s.start, s.end, s.queue) for s in core.stalls]
+
+
+def _assert_sims_equal(fast, ref):
+    assert fast.cycles == ref.cycles
+    assert fast.ipcs() == ref.ipcs()
+    for fast_core, ref_core in zip(fast.cores, ref.cores):
+        assert fast_core.instructions_executed == ref_core.instructions_executed
+        assert fast_core.flow_instructions == ref_core.flow_instructions
+        assert fast_core.last_completion == ref_core.last_completion
+        assert _stall_key(fast_core) == _stall_key(ref_core)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_baseline_sim_identical_across_formats(name):
+    case = get_workload(name).build(scale=SCALE)
+    columnar = run_baseline(case).trace
+    legacy = run_function_reference(
+        case.function, case.fresh_memory(), initial_regs=case.initial_regs,
+        max_steps=50_000_000, record_trace=True,
+        call_handlers=case.call_handlers,
+    ).trace
+    assert isinstance(columnar, ColumnarTrace)
+    assert len(columnar) == len(legacy)
+    for machine in (MachineConfig(), HALF_WIDTH_MACHINE):
+        _assert_sims_equal(
+            simulate([columnar], machine),
+            simulate_reference([legacy], machine, burst=RUN_TO_BLOCK),
+        )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_dswp_sim_identical_across_formats(name):
+    case = get_workload(name).build(scale=SCALE)
+    traces = run_dswp(case).traces
+    legacy = [t.to_entries() for t in traces]
+    for machine in (MachineConfig(), MachineConfig().with_comm_latency(5)):
+        _assert_sims_equal(
+            simulate(traces, machine),
+            simulate_reference(legacy, machine, burst=RUN_TO_BLOCK),
+        )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_new_simulator_accepts_legacy_entry_lists(name):
+    # as_columnar() must make object-entry traces and columnar traces
+    # indistinguishable to the new simulator.
+    case = get_workload(name).build(scale=SCALE)
+    columnar = run_baseline(case).trace
+    legacy = columnar.to_entries()
+    _assert_sims_equal(simulate([legacy]), simulate([columnar]))
+
+
+class TestColumnarContainer:
+    def _trace(self, name="mcf"):
+        case = get_workload(name).build(scale=40)
+        return run_baseline(case).trace
+
+    def test_round_trip(self):
+        trace = self._trace()
+        entries = trace.to_entries()
+        rebuilt = ColumnarTrace.from_entries(entries)
+        assert len(rebuilt) == len(trace)
+        for a, b in zip(rebuilt, trace):
+            assert a.inst is b.inst
+            assert a.addr == b.addr
+            assert a.taken == b.taken
+            assert a.block == b.block
+            assert a.root_uid == b.root_uid
+
+    def test_getitem_matches_iteration(self):
+        trace = self._trace()
+        from_iter = list(trace)
+        assert len(from_iter) == len(trace)
+        for i in (0, 1, len(trace) // 2, len(trace) - 1, -1):
+            entry = trace[i]
+            assert entry.inst is from_iter[i].inst
+            assert entry.addr == from_iter[i].addr
+
+    def test_slices(self):
+        trace = self._trace()
+        window = trace[3:7]
+        assert [e.inst for e in window] == [trace[i].inst for i in range(3, 7)]
+
+    def test_as_columnar_identity_and_conversion(self):
+        trace = self._trace()
+        assert as_columnar(trace) is trace
+        entries = trace.to_entries()
+        converted = as_columnar(entries)
+        assert isinstance(converted, ColumnarTrace)
+        assert len(converted) == len(entries)
+
+    def test_huge_addresses_survive_int64_overflow(self):
+        # Fuzz-generated address arithmetic can exceed int64; the
+        # compact column stores a sentinel and spills to a side table.
+        inst_trace = self._trace()
+        inst = inst_trace.statics[0].inst
+        big = 1 << 70
+        trace = ColumnarTrace()
+        trace.append_entry(TraceEntry(inst, addr=big, block="entry"))
+        trace.append_entry(TraceEntry(inst, addr=104, block="entry"))
+        assert trace.addrs[0] == NO_ADDR
+        assert trace[0].addr == big
+        assert trace.addr_at(0) == big
+        assert trace[1].addr == 104
+
+    def test_memory_footprint_is_columnar(self):
+        # The point of the format: per-entry cost is a few bytes of
+        # array storage, not a Python object.  Guard against a silent
+        # regression to per-entry allocation.
+        trace = self._trace("art")
+        per_entry = (
+            trace.sids.itemsize + trace.addrs.itemsize + trace.takens.itemsize
+        )
+        assert per_entry <= 16
+        assert len(trace._addr_overflow) == 0

@@ -1,0 +1,96 @@
+"""Bounded perf-smoke tier (``-m perf_smoke``).
+
+Differential guardrails for the performance layer: the predecoded
+interpreter and the columnar trace format must stay *functionally
+identical* to the preserved reference implementations on the fuzz
+generator's seeded loops (irregular control flow, random operand
+shapes -- a much nastier population than the curated workloads), and
+the event-driven timing model must reproduce the reference timing
+model cycle-for-cycle on those traces.
+
+The tier is bounded (fixed seeds, small loop bounds) so it runs inside
+the normal test suite; deselect with ``-m 'not perf_smoke'``.
+"""
+
+import pytest
+
+from repro.fuzz.generator import generate_case
+from repro.interp.interpreter import run_function
+from repro.interp.predecode import predecode
+from repro.interp.reference import run_function_reference
+from repro.interp.trace import ColumnarTrace
+from repro.machine.cmp import simulate
+from repro.machine.config import HALF_WIDTH_MACHINE, MachineConfig
+from repro.machine.reference import simulate_reference
+
+#: Fixed generator seeds: deterministic, structurally diverse loops.
+SEEDS = tuple(range(12))
+
+MAX_STEPS = 2_000_000
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _runs(seed):
+    case = generate_case(seed)
+    fast = run_function(
+        case.function, case.fresh_memory(), initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_trace=True, record_profile=True,
+    )
+    ref = run_function_reference(
+        case.function, case.fresh_memory(), initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_trace=True, record_profile=True,
+    )
+    return case, fast, ref
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_predecoded_interpreter_matches_reference(seed):
+    case, fast, ref = _runs(seed)
+    assert fast.regs == ref.regs
+    assert fast.steps == ref.steps
+    assert fast.block_counts == ref.block_counts
+    assert fast.memory.snapshot() == ref.memory.snapshot()
+    for reg in case.live_outs:
+        assert fast.reg(reg) == ref.reg(reg)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_columnar_trace_matches_reference_trace(seed):
+    _, fast, ref = _runs(seed)
+    assert isinstance(fast.trace, ColumnarTrace)
+    assert len(fast.trace) == len(ref.trace)
+    for got, want in zip(fast.trace, ref.trace):
+        assert got.inst is want.inst
+        assert got.addr == want.addr
+        assert got.taken == want.taken
+        assert got.block == want.block
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_timing_model_matches_reference_on_fuzz_traces(seed):
+    _, fast, ref = _runs(seed)
+    for machine in (MachineConfig(), HALF_WIDTH_MACHINE):
+        new_sim = simulate([fast.trace], machine)
+        old_sim = simulate_reference([ref.trace], machine, burst=1 << 30)
+        assert new_sim.cycles == old_sim.cycles
+        assert new_sim.ipcs() == old_sim.ipcs()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_predecode_reuse_is_pure(seed):
+    # Reusing one DecodedFunction across runs (the cache's fast path)
+    # must not leak state between executions.
+    case = generate_case(seed)
+    decoded = predecode(case.function)
+    first = run_function(
+        case.function, case.fresh_memory(), initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, decoded=decoded,
+    )
+    second = run_function(
+        case.function, case.fresh_memory(), initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, decoded=decoded,
+    )
+    assert first.regs == second.regs
+    assert first.steps == second.steps
+    assert first.memory.snapshot() == second.memory.snapshot()
