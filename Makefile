@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke perf-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: test fuzz-smoke perf-smoke robustness-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,11 @@ fuzz-smoke:
 # preserved reference implementations (docs/PERFORMANCE.md).
 perf-smoke:
 	$(PYTHON) -m pytest -q -m perf_smoke
+
+# Supervised-execution guardrails: machine-level fault matrix,
+# deadlock forensics, graceful degradation (docs/ROBUSTNESS.md).
+robustness-smoke:
+	$(PYTHON) -m pytest -q -m robustness_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000

@@ -55,6 +55,11 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     workload = get_workload(args.workload)
+    if getattr(args, "supervise", False):
+        return _cmd_run_supervised(workload, args)
+    if getattr(args, "inject", None):
+        print("error: --inject requires --supervise", file=sys.stderr)
+        return 2
     result = run_experiment(workload, machine=_machine(args),
                             scale=args.scale)
     if getattr(args, "json", False):
@@ -73,6 +78,80 @@ def cmd_run(args) -> int:
           f"({percent(result.loop_speedup)})")
     print(f"program speedup: {result.program_speedup:.3f}x")
     return 0
+
+
+def _cmd_run_supervised(workload, args) -> int:
+    """``run --supervise``: never crash on a pipeline failure.
+
+    Exit codes: 0 clean, 3 degraded to the sequential baseline,
+    4 failed outright (2 stays argparse's usage-error code).
+    """
+    from repro.fuzz.faults import MACHINE_FAULTS, get_fault
+    from repro.harness.runner import run_supervised
+    from repro.resilience.supervisor import EXIT_FAILED
+
+    fault_plan = None
+    if getattr(args, "inject", None):
+        try:
+            fault = get_fault(args.inject)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        fault_plan = fault.fault_plan_for(None, None)
+        if fault_plan is None:
+            print(f"error: {args.inject!r} is a compiler-side fault; "
+                  f"run --inject takes a machine-level fault: "
+                  + ", ".join(sorted(MACHINE_FAULTS)), file=sys.stderr)
+            return 2
+
+    try:
+        outcome = run_supervised(
+            workload, machine=_machine(args), scale=args.scale,
+            fault_plan=fault_plan,
+            cycle_budget=getattr(args, "cycle_budget", None),
+        )
+    except AssertionError as exc:
+        # An injected fault that corrupts data (rather than hanging the
+        # machine) surfaces as a wrong answer; the supervisor refuses to
+        # absorb those, so classify it as a failure here.
+        print(f"workload:        {workload.name} ({workload.paper_benchmark})")
+        print("status:          failed (pipeline produced wrong output)")
+        print(f"oracle:          {exc}")
+        return EXIT_FAILED
+
+    if getattr(args, "json", False):
+        import json
+
+        payload = outcome.to_dict()
+        payload["workload"] = workload.name
+        if outcome.result is not None:
+            payload["loop_speedup"] = outcome.result.loop_speedup
+            payload["program_speedup"] = outcome.result.program_speedup
+        print(json.dumps(payload, indent=2))
+        return outcome.exit_code
+
+    print(f"workload:        {workload.name} ({workload.paper_benchmark})")
+    print(f"status:          {outcome.status}")
+    if fault_plan is not None:
+        print(f"injected fault:  {fault_plan.name}")
+    for incident in outcome.incidents:
+        print()
+        print(incident.format())
+        print()
+    if outcome.result is not None:
+        result = outcome.result
+        print(f"baseline cycles: {result.base_sim.cycles} "
+              f"(IPC {result.base_sim.ipc(0):.2f})")
+        if result.dswp_sim is not None:
+            ipcs = ", ".join(f"{v:.2f}" for v in result.dswp_sim.ipcs())
+            print(f"DSWP cycles:     {result.dswp_sim.cycles} "
+                  f"(per-core IPC {ipcs})")
+        else:
+            print("DSWP cycles:     n/a (degraded to sequential baseline)")
+        print(f"loop speedup:    {result.loop_speedup:.3f}x "
+              f"({percent(result.loop_speedup)})")
+        print(f"program speedup: {result.program_speedup:.3f}x")
+    return outcome.exit_code
 
 
 def cmd_show(args) -> int:
@@ -165,6 +244,7 @@ def cmd_bench(args) -> int:
     figures = FIGURES if args.figure == "all" else (args.figure,)
     jobs = args.jobs or os.cpu_count() or 1
     ok = True
+    degraded = False
     for figure in figures:
         report = run_bench(
             figure,
@@ -174,8 +254,15 @@ def cmd_bench(args) -> int:
             compare=not args.no_compare,
         )
         print(format_report(report))
+        degraded = degraded or bool(report.get("degraded_points"))
         if not args.no_compare:
             ok = ok and report["functional_identical"] and report["speedup"] >= 1.0
+    if getattr(args, "supervise", False):
+        from repro.resilience.supervisor import EXIT_DEGRADED, EXIT_FAILED
+
+        if not ok:
+            return EXIT_FAILED
+        return EXIT_DEGRADED if degraded else 0
     return 0 if ok else 1
 
 
@@ -267,6 +354,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use 3-issue cores instead of 6-issue")
     run_p.add_argument("--json", action="store_true",
                        help="emit machine-readable results")
+    run_p.add_argument("--supervise", action="store_true",
+                       help="catch pipeline failures, fall back to the "
+                            "sequential baseline (exit 0 clean / 3 "
+                            "degraded / 4 failed; see docs/ROBUSTNESS.md)")
+    run_p.add_argument("--inject", default=None, metavar="FAULT",
+                       help="with --supervise: inject a machine-level "
+                            "fault plan (queue-drop-token, core-stall, ...)")
+    run_p.add_argument("--cycle-budget", type=int, default=None,
+                       dest="cycle_budget",
+                       help="with --supervise: watchdog budget in cycles "
+                            "for the timing simulation")
 
     show_p = sub.add_parser("show", help="print IR, SCCs and the pipeline")
     show_p.add_argument("workload")
@@ -301,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for BENCH_<figure>.json reports")
     bench_p.add_argument("--no-compare", action="store_true", dest="no_compare",
                          help="skip the serial naive reference run")
+    bench_p.add_argument("--supervise", action="store_true",
+                         help="use robustness exit codes: 3 when any "
+                              "point degraded to in-process fallback, "
+                              "4 on comparison failure")
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential fuzzing of the DSWP pipeline"

@@ -20,7 +20,7 @@ from repro.fuzz.campaign import (
     run_campaign,
     smoke_config,
 )
-from repro.fuzz.faults import FAULTS, get_fault
+from repro.fuzz.faults import FAULTS, MACHINE_FAULTS, get_fault
 from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
 from repro.fuzz.oracle import (
     Divergence,
@@ -44,6 +44,7 @@ __all__ = [
     "FAULTS",
     "FuzzCase",
     "GeneratorConfig",
+    "MACHINE_FAULTS",
     "OracleConfig",
     "OracleReport",
     "OracleSetting",

@@ -6,14 +6,22 @@ bug; the fuzz test-suite and ``python -m repro fuzz --inject NAME``
 check that every fault is caught (wrong result, deadlock, or protocol
 error) and that the shrinker can minimize the witness.
 
-Faults come in two flavours:
+Faults come in three flavours:
 
 * **graph faults** mutate the dependence graph before SCC condensation
   (via ``dswp(graph_transform=...)``) -- e.g. dropping one dependence
   arc, exactly the "missing cross-thread dependence" bug class that
   motivated this subsystem;
 * **program faults** mutate the transformed :class:`ThreadProgram`
-  after the split -- dropped or rerouted produce/consume instructions.
+  after the split -- dropped or rerouted produce/consume instructions;
+* **machine faults** leave the (correct) program untouched and break
+  the machine executing it instead, via a
+  :class:`~repro.resilience.faults.FaultPlan`: queue tokens dropped,
+  duplicated or corrupted in the synchronization array, queue-capacity
+  misconfigurations, stalled cores, premature thread exits.  The
+  oracle must report each of them as a divergence (a structured
+  deadlock/protocol incident or a wrong-output mismatch) -- never a
+  silent wrong result and never a hang.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Optional
 
 from repro.analysis.pdg import DepKind
 from repro.ir.types import Opcode
+from repro.resilience.faults import CoreFault, FaultPlan, QueueFault
 
 
 class Fault:
@@ -42,6 +51,11 @@ class Fault:
         can be inapplicable, e.g. no loop flows to drop).
         """
         return True
+
+    def fault_plan_for(self, result, setting) -> Optional[FaultPlan]:
+        """A machine-level :class:`FaultPlan` to run ``result`` under,
+        or ``None`` for compiler-side faults."""
+        return None
 
 
 class DropDependenceArc(Fault):
@@ -159,12 +173,141 @@ class DropInitialFlow(_FlowFault):
         return False
 
 
+# ----------------------------------------------------------------------
+# Machine-level faults: the program is correct, the machine is not.
+# ----------------------------------------------------------------------
+
+class MachineFault(Fault):
+    """Shared scaffolding: pick a target queue, build a FaultPlan."""
+
+    def mutate_program(self, result) -> bool:
+        # Nothing to mutate -- the fault lives in the machine.  The
+        # plan below always resolves to *some* queue/thread, so a
+        # machine fault is always applicable.
+        return True
+
+    def _target_queue(self, result) -> Optional[int]:
+        """Prefer a loop-carried flow queue (a fault there corrupts
+        steady-state pipeline traffic); ``None`` falls back to the
+        lowest queue id the program uses.  ``result=None`` (the CLI
+        building a plan before any transform exists) always yields the
+        wildcard."""
+        if result is None:
+            return None
+        flows = result.flow_plan.loop_flows
+        if flows:
+            return flows[0].queue
+        return None
+
+
+class QueueDropToken(MachineFault):
+    """The SA loses one in-flight token: the consumer's FIFO pairing
+    slips by one and the final consume can never be matched."""
+
+    name = "queue-drop-token"
+    description = "silently drop one token in the synchronization array"
+
+    def fault_plan_for(self, result, setting) -> FaultPlan:
+        return FaultPlan(
+            queue_faults=(QueueFault("drop", queue=self._target_queue(result),
+                                     after=1),),
+            name=self.name,
+        )
+
+
+class QueueDuplicateToken(MachineFault):
+    """The SA delivers one token twice: every later value on the queue
+    arrives one produce early."""
+
+    name = "queue-duplicate-token"
+    description = "deliver one synchronization-array token twice"
+
+    def fault_plan_for(self, result, setting) -> FaultPlan:
+        return FaultPlan(
+            queue_faults=(QueueFault("duplicate",
+                                     queue=self._target_queue(result),
+                                     after=1),),
+            name=self.name,
+        )
+
+
+class QueueCorruptPayload(MachineFault):
+    """Token payloads are bit-flipped in flight: the pipeline runs to
+    completion but computes garbage (the oracle must see the wrong
+    output, not a hang)."""
+
+    name = "queue-corrupt-payload"
+    description = "XOR-corrupt every payload on one queue"
+
+    def fault_plan_for(self, result, setting) -> FaultPlan:
+        return FaultPlan(
+            queue_faults=(QueueFault("corrupt",
+                                     queue=self._target_queue(result),
+                                     after=0, count=None),),
+            name=self.name,
+        )
+
+
+class QueueZeroCapacity(MachineFault):
+    """One queue is misconfigured to capacity 0: no produce can ever
+    complete, so the pipeline must deadlock with a forensic report."""
+
+    name = "queue-zero-capacity"
+    description = "misconfigure one queue to capacity 0"
+
+    def fault_plan_for(self, result, setting) -> FaultPlan:
+        return FaultPlan(
+            queue_faults=(QueueFault("capacity",
+                                     queue=self._target_queue(result),
+                                     capacity=0),),
+            name=self.name,
+        )
+
+
+class CoreStall(MachineFault):
+    """The downstream core freezes permanently after its first step:
+    the rest of the pipeline must be diagnosed as deadlocked, never
+    spun on."""
+
+    name = "core-stall"
+    description = "permanently stall the last thread after one step"
+
+    def fault_plan_for(self, result, setting) -> FaultPlan:
+        return FaultPlan(
+            core_faults=(CoreFault("stall", thread=None, after=1),),
+            name=self.name,
+        )
+
+
+class CorePrematureExit(MachineFault):
+    """The downstream thread dies early: its unconsumed queues and
+    unsent live-outs must surface as protocol errors or output
+    divergence."""
+
+    name = "core-premature-exit"
+    description = "terminate the last thread after a few steps"
+
+    def fault_plan_for(self, result, setting) -> FaultPlan:
+        return FaultPlan(
+            core_faults=(CoreFault("exit", thread=None, after=2),),
+            name=self.name,
+        )
+
+
+#: The machine-level fault matrix (queue faults x core faults).
+MACHINE_FAULTS: dict[str, type[Fault]] = {
+    cls.name: cls
+    for cls in (QueueDropToken, QueueDuplicateToken, QueueCorruptPayload,
+                QueueZeroCapacity, CoreStall, CorePrematureExit)
+}
+
 #: Registry used by the CLI's ``--inject`` and the fuzz test-suite.
 FAULTS: dict[str, type[Fault]] = {
     cls.name: cls
     for cls in (DropDependenceArc, DropProduce, DropConsume,
                 CrossQueues, DropInitialFlow)
 }
+FAULTS.update(MACHINE_FAULTS)
 
 
 def get_fault(name: str) -> Fault:

@@ -203,8 +203,14 @@ def _transform(case: FuzzCase, setting: OracleSetting, fault=None):
 
 
 def _run_and_compare(case, result, setting, reference: Reference,
-                     mt_max_steps: int = MT_MAX_STEPS) -> Optional[Divergence]:
-    """Execute a transformed pipeline and compare against the reference."""
+                     mt_max_steps: int = MT_MAX_STEPS,
+                     fault_plan=None) -> Optional[Divergence]:
+    """Execute a transformed pipeline and compare against the reference.
+
+    ``fault_plan`` injects machine-level faults into the run; the
+    resulting deadlock/protocol/step-limit exceptions carry forensic
+    incident reports and classify as divergences like any other.
+    """
     budget = min(mt_max_steps,
                  max(MT_STEP_FLOOR, reference.steps * MT_STEP_FACTOR))
     memory = case.fresh_memory()
@@ -215,6 +221,7 @@ def _run_and_compare(case, result, setting, reference: Reference,
             queue_capacity=setting.capacity,
             quantum=setting.quantum,
             max_steps=budget,
+            fault_plan=fault_plan,
         )
     except InterpreterError as exc:
         return Divergence("exception", setting, f"{type(exc).__name__}: {exc}")
@@ -249,8 +256,9 @@ def run_setting(
     result, _declined = _transform(case, setting, fault=fault)
     if result is None:
         return None
+    plan = fault.fault_plan_for(result, setting) if fault is not None else None
     return _run_and_compare(case, result, setting, reference,
-                            mt_max_steps=mt_max_steps)
+                            mt_max_steps=mt_max_steps, fault_plan=plan)
 
 
 def check_case(
@@ -291,7 +299,10 @@ def check_case(
                         capacity=capacity, partition_seed=pseed,
                     )
                     report.runs += 1
-                    divergence = _run_and_compare(case, result, setting, reference)
+                    plan = (fault.fault_plan_for(result, setting)
+                            if fault is not None else None)
+                    divergence = _run_and_compare(case, result, setting,
+                                                  reference, fault_plan=plan)
                     if divergence is not None:
                         report.divergences.append(divergence)
     return report

@@ -10,6 +10,7 @@ from repro.harness.runner import (
     run_baseline,
     run_dswp,
     run_experiment,
+    run_supervised,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "run_dswp",
     "results_to_json",
     "run_experiment",
+    "run_supervised",
 ]

@@ -31,6 +31,8 @@ import json
 import multiprocessing
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
 from repro.analysis.profiling import LoopProfile
@@ -153,9 +155,35 @@ def run_point_naive(spec: dict) -> tuple[dict, dict]:
 # Optimized mode: per-workload groups, cached functional work, fan-out.
 # ----------------------------------------------------------------------
 
+def _induced_crash(name: str) -> None:
+    """Test hook: deterministically kill a *worker* process.
+
+    ``REPRO_BENCH_CRASH_WORKLOAD=<name>`` makes every worker attempt at
+    that workload's group die hard (fork inherits the env, the driver
+    process never dies -- ``parent_process()`` guards it).  With
+    ``REPRO_BENCH_CRASH_ONCE_DIR`` also set, only the first attempt
+    crashes: a marker file records that the crash already happened, so
+    the retry succeeds.  This is how the robustness tests exercise the
+    retry and the in-process-fallback paths without real worker OOMs.
+    """
+    if os.environ.get("REPRO_BENCH_CRASH_WORKLOAD") != name:
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    marker_dir = os.environ.get("REPRO_BENCH_CRASH_ONCE_DIR")
+    if marker_dir:
+        marker = os.path.join(marker_dir, f"crashed-{name}")
+        if os.path.exists(marker):
+            return
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("crashed once\n")
+    os._exit(13)
+
+
 def _run_group(group: tuple[str, int, list[dict]]) -> tuple[list[dict], dict]:
     """All sweep points of one workload, sharing one cache."""
     name, scale, specs = group
+    _induced_crash(name)
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
     cache = ExperimentCache()
     case = get_workload(name).build(scale=scale)
@@ -185,25 +213,78 @@ def _groups(points: list[dict]) -> list[tuple[str, int, list[dict]]]:
             for (name, scale), specs in by_workload.items()]
 
 
-def run_optimized(points: list[dict], jobs: int) -> tuple[list[dict], dict, int]:
+def _fan_out(groups, jobs: int):
+    """Fan groups over worker processes, surviving worker death.
+
+    A worker that dies (OOM-killed, segfaulting C extension, induced
+    crash in tests) breaks the pool: every group still in flight gets
+    :class:`BrokenProcessPool` instead of a result.  Those groups are
+    retried once in a fresh pool; groups that crash the retry too are
+    returned for in-process fallback.  Ordinary exceptions (a bug in
+    the group itself) still propagate -- those are deterministic and
+    re-running them cannot help.
+
+    Returns ``(outputs, fallback_indices, jobs)``; ``jobs == 1`` means
+    the platform cannot fork and the caller should run serially.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return [], [], 1
+    outputs: list[Optional[tuple[list[dict], dict]]] = [None] * len(groups)
+    # Round 1: one shared pool.  A dying worker breaks the whole pool,
+    # so innocent in-flight groups fail alongside the guilty one.
+    failed: list[int] = []
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            futures = {i: pool.submit(_run_group, group)
+                       for i, group in enumerate(groups)}
+            for i, future in futures.items():
+                try:
+                    outputs[i] = future.result()
+                except BrokenProcessPool:
+                    failed.append(i)
+    except OSError:
+        return [], [], 1
+    # Round 2: retry each failed group in its own single-use pool, so a
+    # group that crashes again cannot poison the other retries.
+    fallback: list[int] = []
+    for i in failed:
+        try:
+            with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+                outputs[i] = pool.submit(_run_group, groups[i]).result()
+        except (BrokenProcessPool, OSError):
+            fallback.append(i)
+    return outputs, fallback, jobs
+
+
+def run_optimized(
+    points: list[dict], jobs: int,
+) -> tuple[list[dict], dict, int, list[str]]:
     """Run all points grouped-and-cached, fanned over ``jobs`` workers.
 
     Falls back to in-process serial execution when ``jobs <= 1`` or the
     platform cannot fork, so the runner works everywhere; the report
-    records the worker count actually used.
+    records the worker count actually used.  A group whose worker
+    crashes twice is re-run in-process (the sweep always completes) and
+    its points are returned as *degraded* so the report can say the
+    parallel path failed for them.
     """
     groups = _groups(points)
     jobs = max(1, min(jobs, len(groups)))
-    outputs: list[tuple[list[dict], dict]] = []
+    degraded_ids: list[str] = []
+    outputs: list[Optional[tuple[list[dict], dict]]] = []
     if jobs > 1:
-        try:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=jobs) as pool:
-                outputs = pool.map(_run_group, groups)
-        except (ValueError, OSError):
-            jobs = 1
+        outputs, fallback, jobs = _fan_out(groups, jobs)
+        for i in fallback:
+            outputs[i] = _run_group(groups[i])
+            group_results, _ = outputs[i]
+            for result in group_results:
+                result["degraded"] = True
+                degraded_ids.append(result["id"])
     if jobs == 1:
         outputs = [_run_group(g) for g in groups]
+        degraded_ids = []
     results = [r for group_results, _ in outputs for r in group_results]
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
     for _, group_stages in outputs:
@@ -211,7 +292,7 @@ def run_optimized(points: list[dict], jobs: int) -> tuple[list[dict], dict, int]
             stages[key] += value
     order = {spec["id"]: i for i, spec in enumerate(points)}
     results.sort(key=lambda r: order[r["id"]])
-    return results, stages, jobs
+    return results, stages, jobs, degraded_ids
 
 
 # ----------------------------------------------------------------------
@@ -229,7 +310,7 @@ def run_bench(
     points = sweep_points(figure, scale)
 
     t0 = time.perf_counter()
-    optimized, opt_stages, jobs_used = run_optimized(points, jobs)
+    optimized, opt_stages, jobs_used, degraded_ids = run_optimized(points, jobs)
     optimized_seconds = time.perf_counter() - t0
 
     report = {
@@ -238,6 +319,7 @@ def run_bench(
         "jobs": jobs_used,
         "num_points": len(points),
         "points": optimized,
+        "degraded_points": degraded_ids,
         "optimized_seconds": optimized_seconds,
         "optimized_stage_seconds": opt_stages,
     }
@@ -257,7 +339,11 @@ def run_bench(
         report["speedup"] = (
             naive_seconds / optimized_seconds if optimized_seconds > 0 else 0.0
         )
-        report["functional_identical"] = naive_results == optimized
+        # The degraded marker records *how* a point ran, not *what* it
+        # computed -- strip it before the functional comparison.
+        comparable = [{k: v for k, v in r.items() if k != "degraded"}
+                      for r in optimized]
+        report["functional_identical"] = naive_results == comparable
 
     path = os.path.join(out_dir, f"BENCH_{figure}.json")
     with open(path, "w", encoding="utf-8") as fh:
@@ -286,6 +372,12 @@ def format_report(report: dict) -> str:
         identical = "identical" if report["functional_identical"] else "DIVERGED"
         lines.append(
             f"  speedup:   {report['speedup']:.2f}x, functional results {identical}"
+        )
+    if report.get("degraded_points"):
+        lines.append(
+            f"  DEGRADED:  {len(report['degraded_points'])} point(s) ran "
+            f"in-process after worker crashes: "
+            + ", ".join(report["degraded_points"])
         )
     lines.append(f"  report:    {report['path']}")
     return "\n".join(lines)

@@ -19,12 +19,24 @@ knob that can change which transformed program executes.
 The cache holds traces (columnar, so memory-cheap) and profiles; it
 never holds :class:`~repro.machine.stats.SimResult`, because timing is
 exactly what a sweep varies.
+
+With ``persist_dir`` set, entries additionally spill to disk (pickled,
+written atomically via rename) and survive across processes -- that is
+how bench workers reuse functional work between sweep invocations.  A
+disk entry that fails to load for *any* reason -- truncated file,
+pickle garbage, a payload whose shape does not match -- is treated as
+a plain miss: the entry is logged, evicted (deleted) and re-run, and
+``stats()['corrupt_evictions']`` counts how often that happened.  A
+corrupt cache can cost time; it must never cost correctness or crash
+the sweep.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+import os
+import pickle
+from typing import Callable, Optional
 
 from repro.analysis.memdep import AliasModel
 from repro.core.partition import Partition
@@ -71,14 +83,70 @@ def _alias_key(alias_model: Optional[AliasModel]) -> Optional[str]:
 
 
 class ExperimentCache:
-    """Memoises functional runs across machine-configuration sweeps."""
+    """Memoises functional runs across machine-configuration sweeps.
 
-    def __init__(self) -> None:
+    ``persist_dir`` enables the on-disk layer; ``log`` receives one
+    line per evicted-corrupt entry (default: silent).
+    """
+
+    def __init__(self, persist_dir: Optional[str] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
         self._digests: dict[int, str] = {}
         self._baselines: dict[str, BaselineRun] = {}
         self._dswp: dict[tuple, DSWPRun] = {}
+        self.persist_dir = persist_dir
+        self._log = log or (lambda message: None)
         self.hits = 0
         self.misses = 0
+        self.corrupt_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Disk layer.  Corruption policy: any load failure is a miss, never
+    # an error -- the entry is logged, deleted and recomputed.
+    # ------------------------------------------------------------------
+    def _entry_path(self, kind: str, key) -> str:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        return os.path.join(self.persist_dir, f"{kind}-{digest}.pkl")
+
+    def _load_entry(self, kind: str, key) -> Optional[dict]:
+        if self.persist_dir is None:
+            return None
+        path = self._entry_path(kind, key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict) or payload.get("kind") != kind:
+                raise ValueError("malformed cache payload")
+            return payload["data"]
+        except Exception as exc:  # truncated, garbage, wrong shape, ...
+            self.corrupt_evictions += 1
+            self._log(f"cache: evicting corrupt entry {path} "
+                      f"({type(exc).__name__}: {exc}); re-running")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _store_entry(self, kind: str, key, data: dict) -> None:
+        if self.persist_dir is None:
+            return
+        path = self._entry_path(kind, key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(self.persist_dir, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump({"kind": kind, "data": data}, fh)
+            os.replace(tmp, path)
+        except Exception:
+            # Persistence is an optimisation: an unpicklable artefact or
+            # a full disk degrades to in-memory-only caching.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     def digest(self, case: WorkloadCase) -> str:
@@ -100,12 +168,23 @@ class ExperimentCache:
         """Cached :func:`run_baseline` (trace + profile, one interpretation)."""
         key = f"{self.digest(case)}:{check}"
         run = self._baselines.get(key)
-        if run is None:
+        if run is not None:
+            self.hits += 1
+            return run
+        data = self._load_entry("baseline", key)
+        if data is not None:
+            self.hits += 1
+            run = BaselineRun(case, data["trace"], data["profile"],
+                              memory=data.get("memory"),
+                              regs=data.get("regs"))
+        else:
             self.misses += 1
             run = run_baseline(case, check=check)
-            self._baselines[key] = run
-        else:
-            self.hits += 1
+            self._store_entry("baseline", key, {
+                "trace": run.trace, "profile": run.profile,
+                "memory": run.memory, "regs": run.regs,
+            })
+        self._baselines[key] = run
         return run
 
     def dswp(
@@ -126,7 +205,14 @@ class ExperimentCache:
             check,
         )
         run = self._dswp.get(key)
-        if run is None:
+        if run is not None:
+            self.hits += 1
+            return run
+        data = self._load_entry("dswp", key)
+        if data is not None:
+            self.hits += 1
+            run = DSWPRun(data["result"], data["traces"])
+        else:
             self.misses += 1
             run = run_dswp(
                 case,
@@ -136,9 +222,9 @@ class ExperimentCache:
                 threads=threads,
                 check=check,
             )
-            self._dswp[key] = run
-        else:
-            self.hits += 1
+            self._store_entry("dswp", key,
+                              {"result": run.result, "traces": run.traces})
+        self._dswp[key] = run
         return run
 
     # ------------------------------------------------------------------
@@ -180,4 +266,5 @@ class ExperimentCache:
             "misses": self.misses,
             "baselines": len(self._baselines),
             "dswp_runs": len(self._dswp),
+            "corrupt_evictions": self.corrupt_evictions,
         }

@@ -23,11 +23,21 @@ from repro.analysis.profiling import LoopProfile
 from repro.core.dswp import DSWPResult, dswp
 from repro.core.partition import Partition
 from repro.interp.interpreter import run_function
+from repro.interp.memory import Memory
 from repro.interp.multithread import run_threads
 from repro.interp.trace import TraceLike
 from repro.machine.cmp import simulate
 from repro.machine.config import MachineConfig
 from repro.machine.stats import SimResult
+from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import (
+    STATUS_CLEAN,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    SupervisedOutcome,
+    incident_from_exception,
+    supervised_errors,
+)
 from repro.workloads.base import Workload, WorkloadCase
 
 #: Generous dynamic-instruction budget for workload-sized runs.
@@ -38,10 +48,15 @@ class BaselineRun:
     """Single-threaded reference execution of a workload case."""
 
     def __init__(self, case: WorkloadCase, trace: TraceLike,
-                 profile: LoopProfile) -> None:
+                 profile: LoopProfile, memory: Optional[Memory] = None,
+                 regs: Optional[dict] = None) -> None:
         self.case = case
         self.trace = trace
         self.profile = profile
+        #: Final functional state (memory image, register file) -- what
+        #: a supervised run falls back to when the pipeline fails.
+        self.memory = memory
+        self.regs = dict(regs) if regs else {}
 
 
 class DSWPRun:
@@ -70,7 +85,8 @@ def run_baseline(case: WorkloadCase, check: bool = True) -> BaselineRun:
         case.checker(memory, result.regs)
     counts = result.block_counts or {}
     profile = LoopProfile(counts, counts.get(case.loop.header, 0), case.loop)
-    return BaselineRun(case, result.trace or [], profile)
+    return BaselineRun(case, result.trace or [], profile,
+                       memory=memory, regs=result.regs)
 
 
 def run_dswp(
@@ -81,6 +97,7 @@ def run_dswp(
     threads: int = 2,
     require_profitable: bool = False,
     check: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> DSWPRun:
     """Apply DSWP to the workload's loop and execute the pipeline."""
     baseline = baseline or run_baseline(case, check=check)
@@ -98,6 +115,7 @@ def run_dswp(
         result.program, memory, initial_regs=case.initial_regs,
         max_steps=MAX_STEPS, record_trace=True,
         call_handlers=case.call_handlers,
+        fault_plan=fault_plan,
     )
     if check:
         case.checker(memory, mt.main_regs)
@@ -153,3 +171,73 @@ def run_experiment(
     )
     dswp_sim = simulate(transformed.traces, machine)
     return ExperimentResult(workload, base_sim, dswp_sim, transformed.result)
+
+
+def run_supervised(
+    workload: Workload,
+    machine: Optional[MachineConfig] = None,
+    baseline_machine: Optional[MachineConfig] = None,
+    partition: Optional[Partition] = None,
+    alias_model: Optional[AliasModel] = None,
+    scale: Optional[int] = None,
+    check: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    cycle_budget: Optional[int] = None,
+) -> SupervisedOutcome:
+    """:func:`run_experiment` under supervision: never hang, never lose
+    the result to a pipeline failure.
+
+    Three phases, three outcomes:
+
+    * the sequential baseline fails (it should not, even under a fault
+      plan -- faults only touch the pipeline machinery) -> ``failed``;
+      there is nothing to fall back to;
+    * the DSWP pipeline (functional run or timing simulation) raises a
+      deadlock / queue-protocol / step-limit / cycle-budget error ->
+      the incident is recorded with its forensic report and the run
+      *degrades* to the baseline result: the returned experiment has
+      ``dswp_sim=None``, i.e. loop speedup 1.0, and the baseline's
+      functional output stands;
+    * everything agrees -> ``clean``, identical to ``run_experiment``.
+
+    Checker (oracle) failures are *not* absorbed: a pipeline that runs
+    to completion with the wrong answer is a correctness bug the
+    supervisor must surface, not paper over.
+    """
+    machine = machine or MachineConfig()
+    baseline_machine = baseline_machine or machine
+    case = workload.build(scale=scale)
+    errors = supervised_errors()
+
+    try:
+        baseline = run_baseline(case, check=check)
+        base_sim = simulate([baseline.trace], baseline_machine)
+    except errors as exc:
+        return SupervisedOutcome(
+            status=STATUS_FAILED,
+            result=None,
+            incidents=[incident_from_exception(exc, fault=_plan_name(fault_plan))],
+        )
+
+    try:
+        transformed = run_dswp(
+            case, baseline, partition=partition, alias_model=alias_model,
+            check=check, fault_plan=fault_plan,
+        )
+        dswp_sim = simulate(transformed.traces, machine,
+                            fault_plan=fault_plan, cycle_budget=cycle_budget)
+    except errors as exc:
+        incident = incident_from_exception(exc, fault=_plan_name(fault_plan))
+        degraded = ExperimentResult(workload, base_sim, None, None)
+        return SupervisedOutcome(
+            status=STATUS_DEGRADED, result=degraded, incidents=[incident],
+            baseline=baseline,
+        )
+
+    result = ExperimentResult(workload, base_sim, dswp_sim, transformed.result)
+    return SupervisedOutcome(status=STATUS_CLEAN, result=result, incidents=[],
+                             baseline=baseline)
+
+
+def _plan_name(fault_plan: Optional[FaultPlan]) -> Optional[str]:
+    return fault_plan.name if fault_plan is not None else None

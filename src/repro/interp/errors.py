@@ -1,10 +1,25 @@
-"""Exception types raised by the interpreters."""
+"""Exception types raised by the interpreters.
+
+Failures on the pipelined path carry a structured
+:class:`~repro.resilience.incident.IncidentReport` (``.report``) built
+by the forensic layer at raise time: the queue wait-for graph, queue
+occupancies and the last executed operations per thread.  The plain
+message stays human-readable on its own; the report is what
+:func:`repro.harness.runner.run_supervised` logs before degrading to
+the sequential baseline.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class InterpreterError(RuntimeError):
     """Base class for interpreter failures."""
+
+    #: Forensic incident attached at raise time (may be ``None`` for
+    #: failures predating the supervised layer or raised mid-setup).
+    report = None
 
 
 class TrapError(InterpreterError):
@@ -12,17 +27,52 @@ class TrapError(InterpreterError):
 
 
 class StepLimitExceeded(InterpreterError):
-    """The step budget ran out before the program returned."""
+    """The step budget ran out before the program returned.
+
+    Carries the interpreter position at exhaustion -- current block
+    label, executed step count and a short register excerpt -- so the
+    forensic path can report *where* a livelocked run was spinning, not
+    just that it spun.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        function: Optional[str] = None,
+        block: Optional[str] = None,
+        steps: Optional[int] = None,
+        registers: Optional[dict] = None,
+        report=None,
+    ) -> None:
+        super().__init__(message)
+        self.function = function
+        self.block = block
+        self.steps = steps
+        #: Short excerpt of the register file (not the full state).
+        self.registers = dict(registers) if registers else {}
+        self.report = report
 
 
 class DeadlockError(InterpreterError):
     """Every unfinished thread is blocked on a queue operation."""
 
-    def __init__(self, message: str, blocked: dict[int, str]) -> None:
+    def __init__(self, message: str, blocked: dict[int, str],
+                 report=None) -> None:
         super().__init__(message)
         #: thread id -> description of the blocking operation
         self.blocked = blocked
+        self.report = report
 
 
 class QueueProtocolError(InterpreterError):
     """A queue was used inconsistently (e.g. consume after producers exited)."""
+
+    def __init__(self, message: str, *, queue: Optional[int] = None,
+                 thread: Optional[int] = None, report=None) -> None:
+        super().__init__(message)
+        #: The queue the unmatched operation targeted.
+        self.queue = queue
+        #: The thread that issued the unmatched operation.
+        self.thread = thread
+        self.report = report

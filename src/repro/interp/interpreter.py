@@ -141,12 +141,35 @@ def run_function(
     try:
         while not ctx.finished:
             if steps >= max_steps:
-                raise StepLimitExceeded(
-                    f"{function.name}: exceeded {max_steps} steps at block "
-                    f"{ctx.block.label}"
-                )
+                raise _step_limit_error(function, ctx, steps)
             ctx._ops[ctx.index](ctx)
             steps += 1
     finally:
         ctx.steps = steps
     return RunResult(ctx)
+
+
+#: How many registers the step-limit diagnostic excerpts.
+_REG_EXCERPT = 8
+
+
+def _step_limit_error(function: Function, ctx: ThreadContext,
+                      steps: int) -> StepLimitExceeded:
+    """Budget-exhaustion error with enough position to diagnose a spin:
+    the current block label, the step count, and a short register
+    excerpt (a livelocked loop usually shows a stuck induction or
+    predicate register)."""
+    excerpt = dict(
+        sorted(ctx.regs.items(), key=lambda item: str(item[0]))[:_REG_EXCERPT]
+    )
+    regs = ", ".join(f"{reg}={val}" for reg, val in excerpt.items())
+    suffix = f" (+{len(ctx.regs) - _REG_EXCERPT} more regs)" \
+        if len(ctx.regs) > _REG_EXCERPT else ""
+    return StepLimitExceeded(
+        f"{function.name}: exceeded {steps} steps at block "
+        f"{ctx.block.label} [regs: {regs}{suffix}]",
+        function=function.name,
+        block=ctx.block.label,
+        steps=steps,
+        registers=excerpt,
+    )

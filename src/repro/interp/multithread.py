@@ -24,6 +24,18 @@ from repro.interp.memory import Memory
 from repro.interp.trace import ColumnarTrace
 from repro.ir.function import Function
 from repro.ir.types import Opcode, Register
+from repro.resilience.faults import FaultPlan
+from repro.resilience.forensics import (
+    build_deadlock_incident,
+    build_protocol_incident,
+    build_step_limit_incident,
+)
+from repro.resilience.incident import (
+    ROLE_CONSUME,
+    ROLE_PRODUCE,
+    ROLE_STALLED,
+    WaitEdge,
+)
 
 
 class ThreadProgram:
@@ -46,9 +58,19 @@ class ThreadProgram:
 class QueueSet:
     """The functional view of the synchronization array."""
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(self, capacity: Optional[int] = None,
+                 capacity_overrides: Optional[dict[int, int]] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1 (or None for unbounded), "
+                f"got {capacity}"
+            )
         #: None means unbounded (used when only tracing order matters).
         self.capacity = capacity
+        #: Per-queue capacity *misconfigurations* (fault injection);
+        #: unlike ``capacity`` these are deliberately unvalidated -- a
+        #: 0-capacity queue is exactly the malfunction being modelled.
+        self.capacity_overrides = dict(capacity_overrides or {})
         self._queues: dict[int, deque[int]] = {}
         self.max_occupancy: dict[int, int] = {}
 
@@ -59,8 +81,12 @@ class QueueSet:
             self._queues[qid] = q
         return q
 
+    def capacity_for(self, qid: int) -> Optional[int]:
+        return self.capacity_overrides.get(qid, self.capacity)
+
     def can_produce(self, qid: int) -> bool:
-        return self.capacity is None or len(self.queue(qid)) < self.capacity
+        cap = self.capacity_for(qid)
+        return cap is None or len(self.queue(qid)) < cap
 
     def produce(self, qid: int, value: int) -> None:
         q = self.queue(qid)
@@ -99,6 +125,17 @@ class MTRunResult:
                 for c in self.contexts]
 
 
+def program_queue_ids(program: ThreadProgram) -> list[int]:
+    """All queue ids the pipeline's flow instructions reference."""
+    ids: set[int] = set()
+    for fn in program.threads:
+        for block in fn.blocks():
+            for inst in block:
+                if inst.opcode in (Opcode.PRODUCE, Opcode.CONSUME):
+                    ids.add(inst.queue)
+    return sorted(ids)
+
+
 def run_threads(
     program: ThreadProgram,
     memory: Optional[Memory] = None,
@@ -108,6 +145,7 @@ def run_threads(
     quantum: int = 32,
     record_trace: bool = False,
     call_handlers: Optional[dict[str, CallHandler]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> MTRunResult:
     """Run all threads to completion.
 
@@ -121,13 +159,34 @@ def run_threads(
         queue_capacity: Queue size for the functional run (``None`` =
             unbounded; per-thread instruction order is unaffected by
             capacity, so traces for the timing model use unbounded).
+            Must be >= 1: a 0-capacity queue can never match a produce
+            with its consume, so it is rejected up front (inject a
+            ``capacity`` fault to model the misconfiguration instead).
         quantum: Instructions per thread per scheduling turn; varied in
             tests to check schedule independence.
         record_trace: Record per-thread dynamic traces.
         call_handlers: CALL implementations shared by all threads.
+        fault_plan: Machine-level faults to inject
+            (:class:`~repro.resilience.faults.FaultPlan`); every
+            failure they provoke surfaces as a structured exception
+            carrying an :class:`~repro.resilience.incident.IncidentReport`.
+
+    Failures attach forensics: :class:`DeadlockError`,
+    :class:`QueueProtocolError` and :class:`StepLimitExceeded` raised
+    here carry a ``.report`` with the queue wait-for graph, queue
+    occupancies and the last executed operations per thread.
     """
     memory = memory if memory is not None else Memory()
-    queues = QueueSet(queue_capacity)
+    active = (fault_plan.start(program_queue_ids(program), len(program.threads))
+              if fault_plan else None)
+    overrides = None
+    if active is not None:
+        overrides = {
+            qid: cap
+            for qid in program_queue_ids(program)
+            if (cap := active.capacity_override(qid)) is not None
+        }
+    queues = QueueSet(queue_capacity, capacity_overrides=overrides)
     contexts = [
         ThreadContext(
             fn,
@@ -138,13 +197,34 @@ def run_threads(
         )
         for tid, fn in enumerate(program.threads)
     ]
+
+    def fault_name() -> Optional[str]:
+        return active.describe() if active is not None else None
+
+    def protocol_error(tid: int, queue: int, role: str, msg: str) -> QueueProtocolError:
+        report = build_protocol_incident(
+            program, contexts, queues, msg, queue=queue, thread=tid,
+            role=role, fault=fault_name(),
+        )
+        return QueueProtocolError(msg, queue=queue, thread=tid, report=report)
+
     total = 0
     while True:
         progressed = False
         blocked: dict[int, str] = {}
+        edges: dict[int, WaitEdge] = {}
         for tid, ctx in enumerate(contexts):
             ran = 0
             while not ctx.finished and ran < quantum:
+                if active is not None:
+                    if active.thread_exits(tid, ctx.steps):
+                        ctx.finished = True
+                        break
+                    if active.thread_stalled(tid, ctx.steps):
+                        blocked[tid] = "injected stall"
+                        edges[tid] = WaitEdge(tid, ROLE_STALLED, None,
+                                              detail="injected stall")
+                        break
                 inst = ctx.current_instruction()
                 if inst.opcode is Opcode.PRODUCE:
                     if not queues.can_produce(inst.queue):
@@ -153,14 +233,20 @@ def run_threads(
                             for oid, other in enumerate(contexts)
                             if oid != tid
                         ):
-                            raise QueueProtocolError(
+                            raise protocol_error(
+                                tid, inst.queue, "produce",
                                 f"thread {tid}: produce to full queue {inst.queue} "
-                                "but all other threads have exited"
+                                "but all other threads have exited",
                             )
                         blocked[tid] = f"produce on full queue {inst.queue}"
+                        edges[tid] = WaitEdge(tid, ROLE_PRODUCE, inst.queue)
                         break
                     value = ctx.read(inst.srcs[0]) if inst.srcs else 0
-                    queues.produce(inst.queue, value)
+                    if active is None:
+                        queues.produce(inst.queue, value)
+                    else:
+                        for delivered in active.filter_produce(inst.queue, value):
+                            queues.produce(inst.queue, delivered)
                     if ctx.trace is not None:
                         ctx.trace.append_plain(ctx.current_sid())
                     ctx.index += 1
@@ -172,11 +258,13 @@ def run_threads(
                             for oid, other in enumerate(contexts)
                             if oid != tid
                         ):
-                            raise QueueProtocolError(
+                            raise protocol_error(
+                                tid, inst.queue, "consume",
                                 f"thread {tid}: consume from queue {inst.queue} "
-                                "but all other threads have exited"
+                                "but all other threads have exited",
                             )
                         blocked[tid] = f"consume on empty queue {inst.queue}"
+                        edges[tid] = WaitEdge(tid, ROLE_CONSUME, inst.queue)
                         break
                     value = queues.consume(inst.queue)
                     if inst.dest is not None:
@@ -191,16 +279,27 @@ def run_threads(
                 total += 1
                 if total > max_steps:
                     raise StepLimitExceeded(
-                        f"{program.name}: exceeded {max_steps} combined steps"
+                        f"{program.name}: exceeded {max_steps} combined steps",
+                        function=program.name,
+                        steps=total,
+                        report=build_step_limit_incident(
+                            program, contexts, queues, max_steps,
+                            fault=fault_name(),
+                        ),
                     )
             if ran:
                 progressed = True
         if all(ctx.finished for ctx in contexts):
             break
         if not progressed:
+            report = build_deadlock_incident(
+                program, contexts, queues, list(edges.values()),
+                fault=fault_name(),
+            )
             raise DeadlockError(
                 f"{program.name}: all live threads blocked "
                 f"(pending queues: {queues.pending()})",
                 blocked,
+                report=report,
             )
     return MTRunResult(contexts, queues)

@@ -2,7 +2,12 @@
 
 from repro.machine.branch import TwoBitPredictor
 from repro.machine.cache import CacheHierarchy, CacheLevel
-from repro.machine.cmp import SimulationDeadlock, simulate, warm_up
+from repro.machine.cmp import (
+    CycleBudgetExceeded,
+    SimulationDeadlock,
+    simulate,
+    warm_up,
+)
 from repro.machine.sharing import SharingEvent, SharingReport, analyze_sharing
 from repro.machine.config import (
     FULL_WIDTH_CORE,
@@ -26,6 +31,7 @@ __all__ = [
     "CacheLevelConfig",
     "CoreConfig",
     "CoreSim",
+    "CycleBudgetExceeded",
     "FULL_WIDTH_CORE",
     "FULL_WIDTH_MACHINE",
     "HALF_WIDTH_CORE",

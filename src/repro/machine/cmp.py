@@ -15,15 +15,40 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.interp.trace import NO_ADDR, TAKEN_NONE, TAKEN_TRUE, TraceLike
+from repro.ir.types import Opcode
 from repro.machine.cache import CacheHierarchy, CacheLevel
 from repro.machine.config import MachineConfig
 from repro.machine.core import CoreSim
 from repro.machine.stats import SimResult
 from repro.machine.syncarray import QueueTiming
+from repro.resilience.faults import FaultPlan
+from repro.resilience.forensics import build_timing_incident
 
 
 class SimulationDeadlock(RuntimeError):
-    """No core can make progress (invalid queue protocol)."""
+    """No core can make progress (invalid queue protocol).
+
+    Carries a forensic ``.report``
+    (:class:`~repro.resilience.incident.IncidentReport`) with the
+    core/queue wait-for graph and each core's trace position.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class CycleBudgetExceeded(RuntimeError):
+    """The watchdog cut off a timing run that outran its cycle budget.
+
+    A livelocked simulation (e.g. under fault injection) advances its
+    clock without converging; the watchdog turns that spin into a
+    structured incident (``.report``) instead of a hang.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 def _build_caches(machine: MachineConfig, shared_l3: CacheLevel) -> CacheHierarchy:
@@ -64,11 +89,28 @@ def warm_up(cores: list[CoreSim]) -> None:
                 predict(statics[sids[i]].root_uid, taken == TAKEN_TRUE)
 
 
+def trace_queue_ids(traces: list[TraceLike]) -> list[int]:
+    """All queue ids the traces' flow instructions reference."""
+    ids: set[int] = set()
+    for trace in traces:
+        statics = getattr(trace, "statics", None)
+        if statics is not None:
+            insts = (s.inst for s in statics)
+        else:
+            insts = (entry.inst for entry in trace)
+        for inst in insts:
+            if inst.opcode in (Opcode.PRODUCE, Opcode.CONSUME):
+                ids.add(inst.queue)
+    return sorted(ids)
+
+
 def simulate(
     traces: list[TraceLike],
     machine: Optional[MachineConfig] = None,
     burst: int = 64,
     warm: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    cycle_budget: Optional[int] = None,
 ) -> SimResult:
     """Simulate one trace per core; returns timing and telemetry.
 
@@ -80,22 +122,54 @@ def simulate(
     ``burst`` is accepted for backwards compatibility but unused: the
     scheduler is event-driven (run-to-block) rather than burst polling,
     and timing results never depended on the burst size.
+
+    ``fault_plan`` injects machine-level faults
+    (:class:`~repro.resilience.faults.FaultPlan`): queue-size
+    misconfigurations and token drop/duplicate faults flow into the
+    :class:`~repro.machine.syncarray.QueueTiming` handshakes, core
+    stall/exit faults into the scheduler.  ``cycle_budget`` arms a
+    watchdog: if the simulated clock passes the budget before the
+    schedule converges, the run terminates with a structured
+    :class:`CycleBudgetExceeded` (same forensic report as a deadlock)
+    instead of spinning.  Both failure modes attach an
+    :class:`~repro.resilience.incident.IncidentReport` describing the
+    core/queue wait-for graph at the moment of failure.
     """
     machine = machine or MachineConfig()
     if len(traces) > machine.num_cores and len(traces) > 1:
         raise ValueError(
             f"{len(traces)} threads but the machine has {machine.num_cores} cores"
         )
+    active = (fault_plan.start(trace_queue_ids(traces), len(traces))
+              if fault_plan else None)
+    size_overrides = None
+    if active is not None:
+        size_overrides = {
+            qid: cap
+            for qid in trace_queue_ids(traces)
+            if (cap := active.capacity_override(qid)) is not None
+        }
     shared_l3 = CacheLevel(machine.l3)
     queues = QueueTiming(
-        machine.queue_size, machine.comm_latency, machine.sa_read_latency
+        machine.queue_size, machine.comm_latency, machine.sa_read_latency,
+        size_overrides=size_overrides,
     )
     cores = [
-        CoreSim(i, machine.core, machine, trace, _build_caches(machine, shared_l3))
+        CoreSim(i, machine.core, machine, trace,
+                _build_caches(machine, shared_l3), faults=active)
         for i, trace in enumerate(traces)
     ]
     if warm:
         warm_up(cores)
+
+    def incident(kind: str, message: str, extra: Optional[dict] = None):
+        stalled = {c.core_id: c.fault_stalled for c in cores}
+        return build_timing_incident(
+            cores, queues, kind, message, stalled=stalled,
+            fault=active.describe() if active is not None else None,
+            extra=extra,
+        )
+
     live = [core for core in cores if not core.done]
     while live:
         progressed = False
@@ -110,9 +184,23 @@ def simulate(
         live = still_live
         if live and not progressed:
             blocked = {
-                c.core_id: c.trace[c.index].inst.render()
+                c.core_id: ("injected stall" if c.fault_stalled
+                            else c.trace[c.index].inst.render())
                 for c in cores
                 if not c.done
             }
-            raise SimulationDeadlock(f"timing deadlock; blocked on {blocked}")
+            message = f"timing deadlock; blocked on {blocked}"
+            raise SimulationDeadlock(message, report=incident(
+                "timing-deadlock", message))
+        if cycle_budget is not None and live:
+            clock = max(c.last_completion for c in cores)
+            if clock > cycle_budget:
+                message = (
+                    f"watchdog: simulated clock {clock} exceeded the "
+                    f"{cycle_budget}-cycle budget with "
+                    f"{len(live)} core(s) still live"
+                )
+                raise CycleBudgetExceeded(message, report=incident(
+                    "watchdog", message, extra={"cycle_budget": cycle_budget,
+                                                "clock": clock}))
     return SimResult(cores, queues if len(traces) > 1 else None)

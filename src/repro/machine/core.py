@@ -120,6 +120,7 @@ class CoreSim:
         trace: TraceLike,
         caches: CacheHierarchy,
         predictor: Optional[TwoBitPredictor] = None,
+        faults=None,
     ) -> None:
         self.core_id = core_id
         self.config = config
@@ -139,11 +140,20 @@ class CoreSim:
         self.stalls: list[StallRecord] = []
         self.instructions_executed = 0
         self.flow_instructions = 0
+        #: Shared :class:`~repro.resilience.faults.ActiveFaults` (or
+        #: ``None``): injected core stalls / premature exits and queue
+        #: token faults, resolved against the trace index.
+        self.faults = faults
+        #: Set when an injected ``exit`` fault terminated the replay
+        #: before the trace ran out.
+        self.forced_exit = False
+        #: Set while an injected ``stall`` fault holds the core.
+        self.fault_stalled = False
 
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return self.index >= len(self.trace)
+        return self.forced_exit or self.index >= len(self.trace)
 
     # ------------------------------------------------------------------
     def step(self, queues: QueueTiming) -> str:
@@ -205,9 +215,18 @@ class CoreSim:
                     return cycle
                 cycle += 1
 
+        faults = self.faults
         while i < n:
             if limit is not None and executed >= limit:
                 break
+            if faults is not None:
+                if faults.thread_exits(self.core_id, i):
+                    self.forced_exit = True
+                    break
+                if faults.thread_stalled(self.core_id, i):
+                    self.fault_stalled = True
+                    blocked = True
+                    break
             d = statics[sids[i]]
             earliest = fetch_ready if fetch_ready > prev_issue else prev_issue
             for reg in d.srcs:
@@ -248,7 +267,14 @@ class CoreSim:
                     stalls.append(
                         StallRecord("produce_full", earliest, issue, d.queue)
                     )
-                queues.record_produce(d.queue, issue)
+                if faults is None:
+                    queues.record_produce(d.queue, issue)
+                else:
+                    # Token faults: a dropped token is never recorded,
+                    # a duplicated one is recorded twice (payload
+                    # corruption has no timing-domain effect).
+                    for _ in faults.filter_produce(d.queue, 0):
+                        queues.record_produce(d.queue, issue)
                 completion = issue + 1
                 flow += 1
             else:  # _K_CONSUME
@@ -281,6 +307,8 @@ class CoreSim:
         self.instructions_executed += executed
         self.flow_instructions += flow
 
+        if self.forced_exit:
+            return self.DONE
         if limit is not None and executed:
             return self.PROGRESS
         if i >= n:

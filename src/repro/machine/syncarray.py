@@ -19,12 +19,21 @@ from __future__ import annotations
 class QueueTiming:
     """Cross-core queue handshakes in the timing domain."""
 
-    def __init__(self, queue_size: int, comm_latency: int, sa_read_latency: int) -> None:
+    def __init__(self, queue_size: int, comm_latency: int,
+                 sa_read_latency: int,
+                 size_overrides: dict[int, int] | None = None) -> None:
         self.queue_size = queue_size
         self.comm_latency = comm_latency
         self.sa_read_latency = sa_read_latency
+        #: Per-queue size *misconfigurations* (fault injection): a
+        #: 0-sized queue can never host a produce, which the scheduler
+        #: must diagnose as a deadlock rather than spin on.
+        self.size_overrides = dict(size_overrides or {})
         self.visible: dict[int, list[int]] = {}
         self.freed: dict[int, list[int]] = {}
+
+    def size_for(self, qid: int) -> int:
+        return self.size_overrides.get(qid, self.queue_size)
 
     # ------------------------------------------------------------------
     # Producer side
@@ -36,11 +45,12 @@ class QueueTiming:
         consume that has not been simulated yet (the producer core must
         yield to the consumer core).
         """
+        size = self.size_for(qid)
         produced = len(self.visible.get(qid, ()))
-        if produced < self.queue_size:
+        if produced < size:
             return 0
         freed = self.freed.get(qid, ())
-        idx = produced - self.queue_size
+        idx = produced - size
         if idx >= len(freed):
             return None
         return freed[idx]

@@ -1,0 +1,77 @@
+"""Supervised execution: deadlock forensics, fault injection, fallback.
+
+DSWP's correctness story (Section 4.3 of the paper) rests on an
+invariant -- cross-thread dependences stay acyclic, so threads
+communicating through bounded queues never deadlock.  This package is
+the layer that deals with every way that invariant can be violated in
+practice (a bad partition, an injected fault, a simulator bug):
+
+* :mod:`repro.resilience.incident` -- the structured
+  :class:`IncidentReport` (wait-for graph, queue occupancies, recent
+  ops) attached to deadlock/protocol/watchdog failures in place of a
+  bare exception message;
+* :mod:`repro.resilience.forensics` -- builders that assemble an
+  incident from interpreter / simulator state at the moment of failure;
+* :mod:`repro.resilience.faults` -- the :class:`FaultPlan` machinery
+  for machine-level fault injection (queue token drop/duplicate/
+  corrupt, capacity misconfiguration, core stall, premature exit),
+  consumed by both the functional queues and the timing model;
+* :mod:`repro.resilience.supervisor` -- classification of failures and
+  the :class:`SupervisedOutcome` returned by
+  :func:`repro.harness.runner.run_supervised`.
+
+See ``docs/ROBUSTNESS.md`` for the incident format, the fault taxonomy
+and the degradation semantics.
+"""
+
+from repro.resilience.faults import (
+    CoreFault,
+    FaultPlan,
+    QueueFault,
+)
+from repro.resilience.forensics import (
+    build_deadlock_incident,
+    build_protocol_incident,
+    build_step_limit_incident,
+    build_timing_incident,
+    recent_ops,
+)
+from repro.resilience.incident import (
+    ROLE_CONSUME,
+    ROLE_PRODUCE,
+    ROLE_STALLED,
+    IncidentReport,
+    WaitEdge,
+    WaitForGraph,
+)
+from repro.resilience.supervisor import (
+    EXIT_CLEAN,
+    EXIT_DEGRADED,
+    EXIT_FAILED,
+    SupervisedOutcome,
+    incident_from_exception,
+    supervised_errors,
+)
+
+__all__ = [
+    "CoreFault",
+    "EXIT_CLEAN",
+    "EXIT_DEGRADED",
+    "EXIT_FAILED",
+    "FaultPlan",
+    "IncidentReport",
+    "QueueFault",
+    "ROLE_CONSUME",
+    "ROLE_PRODUCE",
+    "ROLE_STALLED",
+    "SupervisedOutcome",
+    "WaitEdge",
+    "WaitForGraph",
+    "build_deadlock_incident",
+    "build_protocol_incident",
+    "build_step_limit_incident",
+    "build_timing_incident",
+    "incident_from_exception",
+    "recent_ops",
+    "supervised_errors",
+]

@@ -1,0 +1,220 @@
+"""Machine-level fault plans: queue and core faults.
+
+The splitter faults in :mod:`repro.fuzz.faults` break the *compiler*;
+the faults here break the *machine* underneath a correct program --
+exactly the failure surface Liao et al. identify in the produce/consume
+synchronization protocol.  A :class:`FaultPlan` is a declarative bundle
+of:
+
+* **queue faults** -- a token silently dropped, duplicated or
+  corrupted on its way through the synchronization array, or a queue
+  whose capacity was misconfigured (down to 0, which can never accept
+  a produce);
+* **core faults** -- a thread that stalls permanently after N of its
+  own steps, or exits prematurely.
+
+The plan itself is immutable and reusable; :meth:`FaultPlan.start`
+binds it to one run (resolving ``queue=None``/``thread=None`` wildcards
+against the program actually executing and creating fresh trigger
+counters).  Both the functional interpreter
+(:func:`repro.interp.multithread.run_threads`) and the timing model
+(:func:`repro.machine.cmp.simulate`) consume the same
+:class:`ActiveFaults` interface, so one plan describes the fault in
+either domain.
+
+Every fault in this taxonomy must be *detected* -- a structured
+incident, a protocol error, or an output divergence -- never a silent
+wrong result and never a hang; the fault-matrix tests under
+``tests/resilience/`` enforce that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default corruption mask: flips high and low bits so both small
+#: counters and pointer-like payloads visibly change.
+CORRUPT_MASK = 0x5A5A_5A5A
+
+QUEUE_FAULT_KINDS = ("drop", "duplicate", "corrupt", "capacity")
+CORE_FAULT_KINDS = ("stall", "exit")
+
+
+@dataclass(frozen=True)
+class QueueFault:
+    """One injectable queue malfunction.
+
+    ``queue=None`` targets the lowest queue id the program uses.
+    ``after`` counts produces on that queue before the fault triggers;
+    ``count`` is how many consecutive produces it affects (``None`` =
+    every produce from ``after`` on).  ``capacity`` faults ignore
+    ``after``/``count`` and misconfigure the queue for the whole run.
+    """
+
+    kind: str
+    queue: Optional[int] = None
+    after: int = 0
+    count: Optional[int] = 1
+    xor: int = CORRUPT_MASK
+    capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUEUE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown queue fault kind {self.kind!r}; "
+                f"want one of {QUEUE_FAULT_KINDS}"
+            )
+
+    def describe(self) -> str:
+        where = "q?" if self.queue is None else f"q{self.queue}"
+        if self.kind == "capacity":
+            return f"capacity({where}={self.capacity})"
+        window = "*" if self.count is None else str(self.count)
+        return f"{self.kind}({where}, after={self.after}, count={window})"
+
+
+@dataclass(frozen=True)
+class CoreFault:
+    """One injectable core/thread malfunction.
+
+    ``thread=None`` targets the last thread of the pipeline (the
+    downstream consumer, which maximises the blast radius of a stall).
+    ``after`` counts the thread's *own* executed steps (functional
+    domain) or trace entries (timing domain) before the fault fires.
+    """
+
+    kind: str
+    thread: Optional[int] = None
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CORE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown core fault kind {self.kind!r}; "
+                f"want one of {CORE_FAULT_KINDS}"
+            )
+
+    def describe(self) -> str:
+        who = "t?" if self.thread is None else f"t{self.thread}"
+        return f"{self.kind}({who}, after={self.after})"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable bundle of machine-level faults."""
+
+    queue_faults: tuple[QueueFault, ...] = ()
+    core_faults: tuple[CoreFault, ...] = ()
+    name: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.queue_faults or self.core_faults)
+
+    def describe(self) -> str:
+        parts = [f.describe() for f in self.queue_faults]
+        parts += [f.describe() for f in self.core_faults]
+        body = ", ".join(parts) or "no-op"
+        return f"{self.name or 'fault-plan'}[{body}]"
+
+    # ------------------------------------------------------------------
+    def start(self, queue_ids, num_threads: int) -> "ActiveFaults":
+        """Bind the plan to one run.
+
+        ``queue_ids`` are the queue ids the program actually uses (used
+        to resolve wildcard targets); ``num_threads`` resolves wildcard
+        core faults to the last thread.
+        """
+        return ActiveFaults(self, sorted(queue_ids), num_threads)
+
+
+def _resolve_queue(fault: QueueFault, queue_ids: list[int]) -> Optional[int]:
+    if fault.queue is not None:
+        return fault.queue
+    return queue_ids[0] if queue_ids else None
+
+
+class ActiveFaults:
+    """Per-run trigger state for one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan, queue_ids: list[int],
+                 num_threads: int) -> None:
+        self.plan = plan
+        self._capacity: dict[int, int] = {}
+        self._token_faults: dict[int, list[QueueFault]] = {}
+        self._produced: dict[int, int] = {}
+        self._stall: dict[int, int] = {}
+        self._exit: dict[int, int] = {}
+        #: Faults that actually fired during the run (descriptions).
+        self.fired: list[str] = []
+        for qf in plan.queue_faults:
+            qid = _resolve_queue(qf, queue_ids)
+            if qid is None:
+                continue
+            if qf.kind == "capacity":
+                self._capacity[qid] = qf.capacity
+            else:
+                self._token_faults.setdefault(qid, []).append(qf)
+        for cf in plan.core_faults:
+            tid = cf.thread if cf.thread is not None else num_threads - 1
+            if not 0 <= tid < num_threads:
+                continue
+            if cf.kind == "stall":
+                self._stall[tid] = cf.after
+            else:
+                self._exit[tid] = cf.after
+
+    # ------------------------------------------------------------------
+    # Queue side
+    # ------------------------------------------------------------------
+    def capacity_override(self, qid: int) -> Optional[int]:
+        """Misconfigured capacity for ``qid``, or ``None``."""
+        return self._capacity.get(qid)
+
+    def filter_produce(self, qid: int, value: int) -> list[int]:
+        """The values the queue actually receives for one produce.
+
+        ``[]`` for a dropped token, ``[v, v]`` for a duplicate,
+        ``[v ^ mask]`` for corruption, ``[v]`` untouched.
+        """
+        seq = self._produced.get(qid, 0)
+        self._produced[qid] = seq + 1
+        for qf in self._token_faults.get(qid, ()):
+            if seq < qf.after:
+                continue
+            if qf.count is not None and seq >= qf.after + qf.count:
+                continue
+            self.fired.append(qf.describe())
+            if qf.kind == "drop":
+                return []
+            if qf.kind == "duplicate":
+                return [value, value]
+            return [value ^ qf.xor]
+        return [value]
+
+    # ------------------------------------------------------------------
+    # Core side
+    # ------------------------------------------------------------------
+    def thread_stalled(self, tid: int, steps: int) -> bool:
+        """True when ``tid`` is held in a permanent injected stall."""
+        after = self._stall.get(tid)
+        if after is None or steps < after:
+            return False
+        desc = f"stall(t{tid}, after={after})"
+        if desc not in self.fired:
+            self.fired.append(desc)
+        return True
+
+    def thread_exits(self, tid: int, steps: int) -> bool:
+        """True when ``tid`` must terminate prematurely now."""
+        after = self._exit.get(tid)
+        if after is None or steps < after:
+            return False
+        desc = f"exit(t{tid}, after={after})"
+        if desc not in self.fired:
+            self.fired.append(desc)
+        return True
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return self.plan.describe()

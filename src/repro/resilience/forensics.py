@@ -1,0 +1,249 @@
+"""Forensic builders: interpreter / simulator state -> IncidentReport.
+
+Everything here is duck-typed against the interpreter contexts
+(:class:`repro.interp.interpreter.ThreadContext`), the functional queue
+set (:class:`repro.interp.multithread.QueueSet`), the timing cores
+(:class:`repro.machine.core.CoreSim`) and the timing queues
+(:class:`repro.machine.syncarray.QueueTiming`) -- but imports none of
+those modules, so the resilience package sits below both execution
+domains in the import graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.types import Opcode
+from repro.resilience.incident import (
+    ROLE_CONSUME,
+    ROLE_PRODUCE,
+    ROLE_STALLED,
+    IncidentReport,
+    WaitEdge,
+    WaitForGraph,
+)
+
+#: How many trailing operations per thread an incident carries.
+RECENT_OPS = 8
+
+
+def queue_owners(threads) -> dict[int, dict[str, list[int]]]:
+    """queue id -> which threads statically produce / consume it."""
+    owners: dict[int, dict[str, list[int]]] = {}
+    for tid, fn in enumerate(threads):
+        for block in fn.blocks():
+            for inst in block:
+                if inst.opcode is Opcode.PRODUCE:
+                    side = "producers"
+                elif inst.opcode is Opcode.CONSUME:
+                    side = "consumers"
+                else:
+                    continue
+                sides = owners.setdefault(
+                    inst.queue, {"producers": [], "consumers": []}
+                )
+                if tid not in sides[side]:
+                    sides[side].append(tid)
+    return owners
+
+
+def recent_ops(ctx, n: int = RECENT_OPS) -> list[str]:
+    """The last ``n`` executed operations of one thread, oldest first.
+
+    Prefers the recorded trace when the run traced; otherwise falls
+    back to the already-executed prefix of the current basic block
+    (history across block boundaries is not retained in untraced runs
+    -- keeping the hot loop free of bookkeeping is deliberate).
+    """
+    trace = getattr(ctx, "trace", None)
+    if trace is not None and len(trace):
+        lo = max(0, len(trace) - n)
+        return [trace.entry(i).inst.render() for i in range(lo, len(trace))]
+    insts = getattr(ctx, "_insts", None)
+    if insts is None:
+        return []
+    index = ctx.index
+    return [inst.render() for inst in insts[max(0, index - n):index]]
+
+
+def _thread_snapshots(contexts) -> tuple[dict[int, list[str]], dict[int, int], dict]:
+    ops = {tid: recent_ops(ctx) for tid, ctx in enumerate(contexts)}
+    steps = {tid: ctx.steps for tid, ctx in enumerate(contexts)}
+    extra = {
+        "blocks": {
+            str(tid): getattr(getattr(ctx, "block", None), "label", None)
+            for tid, ctx in enumerate(contexts)
+        },
+        "finished": [tid for tid, ctx in enumerate(contexts) if ctx.finished],
+    }
+    return ops, steps, extra
+
+
+def build_deadlock_incident(
+    program,
+    contexts,
+    queues,
+    edges: list[WaitEdge],
+    fault: Optional[str] = None,
+) -> IncidentReport:
+    """All live threads blocked on queue operations (or injected stalls)."""
+    graph = WaitForGraph(edges, queue_owners(program.threads))
+    ops, steps, extra = _thread_snapshots(contexts)
+    cycles = graph.cycles()
+    message = (
+        f"{program.name}: all live threads blocked -- {graph.describe()}"
+    )
+    extra["circular"] = bool(cycles)
+    return IncidentReport(
+        kind="deadlock",
+        message=message,
+        domain="interp",
+        wait_for=graph,
+        occupancies=dict(queues.pending()),
+        recent_ops=ops,
+        steps=steps,
+        fault=fault,
+        extra=extra,
+    )
+
+
+def build_protocol_incident(
+    program,
+    contexts,
+    queues,
+    message: str,
+    queue: int,
+    thread: int,
+    role: str,
+    fault: Optional[str] = None,
+) -> IncidentReport:
+    """A queue operation that can never be matched (partner exited)."""
+    edge = WaitEdge(
+        thread=thread,
+        role=ROLE_PRODUCE if role == "produce" else ROLE_CONSUME,
+        queue=queue,
+    )
+    graph = WaitForGraph([edge], queue_owners(program.threads))
+    ops, steps, extra = _thread_snapshots(contexts)
+    return IncidentReport(
+        kind="protocol",
+        message=message,
+        domain="interp",
+        wait_for=graph,
+        occupancies=dict(queues.pending()),
+        recent_ops=ops,
+        steps=steps,
+        queue=queue,
+        thread=thread,
+        fault=fault,
+        extra=extra,
+    )
+
+
+def build_step_limit_incident(
+    program,
+    contexts,
+    queues,
+    max_steps: int,
+    fault: Optional[str] = None,
+) -> IncidentReport:
+    """The combined step budget ran out (livelock in the functional run)."""
+    ops, steps, extra = _thread_snapshots(contexts)
+    extra["max_steps"] = max_steps
+    return IncidentReport(
+        kind="step-limit",
+        message=f"{program.name}: exceeded {max_steps} combined steps",
+        domain="interp",
+        wait_for=WaitForGraph([], queue_owners(program.threads)),
+        occupancies=dict(queues.pending()),
+        recent_ops=ops,
+        steps=steps,
+        fault=fault,
+        extra=extra,
+    )
+
+
+# ----------------------------------------------------------------------
+# Timing domain
+# ----------------------------------------------------------------------
+
+def _timing_owners(cores) -> dict[int, dict[str, list[int]]]:
+    owners: dict[int, dict[str, list[int]]] = {}
+    for core in cores:
+        for static in core.trace.statics:
+            inst = static.inst
+            if inst.opcode is Opcode.PRODUCE:
+                side = "producers"
+            elif inst.opcode is Opcode.CONSUME:
+                side = "consumers"
+            else:
+                continue
+            sides = owners.setdefault(
+                inst.queue, {"producers": [], "consumers": []}
+            )
+            if core.core_id not in sides[side]:
+                sides[side].append(core.core_id)
+    return owners
+
+
+def _timing_occupancies(queues) -> dict[int, int]:
+    occ: dict[int, int] = {}
+    for qid, values in queues.visible.items():
+        level = len(values) - len(queues.freed.get(qid, ()))
+        if level:
+            occ[qid] = level
+    return occ
+
+
+def core_recent_ops(core, n: int = RECENT_OPS) -> list[str]:
+    """The last ``n`` replayed trace entries of one core, oldest first."""
+    index = core.index
+    lo = max(0, index - n)
+    return [core.trace.entry(i).inst.render() for i in range(lo, index)]
+
+
+def build_timing_incident(
+    cores,
+    queues,
+    kind: str,
+    message: str,
+    stalled: Optional[dict[int, bool]] = None,
+    fault: Optional[str] = None,
+    extra: Optional[dict] = None,
+) -> IncidentReport:
+    """A timing-domain failure: scheduler deadlock or watchdog trip."""
+    edges: list[WaitEdge] = []
+    for core in cores:
+        if core.done:
+            continue
+        if stalled and stalled.get(core.core_id):
+            edges.append(WaitEdge(core.core_id, ROLE_STALLED, None,
+                                  detail="injected stall"))
+            continue
+        static = core.trace.static_at(core.index)
+        inst = static.inst
+        if inst.opcode is Opcode.PRODUCE:
+            edges.append(WaitEdge(core.core_id, ROLE_PRODUCE, inst.queue))
+        elif inst.opcode is Opcode.CONSUME:
+            edges.append(WaitEdge(core.core_id, ROLE_CONSUME, inst.queue))
+        else:
+            edges.append(WaitEdge(core.core_id, ROLE_STALLED, None,
+                                  detail=f"stopped at {inst.render()}"))
+    graph = WaitForGraph(edges, _timing_owners(cores))
+    merged = {
+        "positions": {str(c.core_id): c.index for c in cores},
+        "trace_lengths": {str(c.core_id): len(c.trace) for c in cores},
+    }
+    if extra:
+        merged.update(extra)
+    return IncidentReport(
+        kind=kind,
+        message=message,
+        domain="machine",
+        wait_for=graph,
+        occupancies=_timing_occupancies(queues),
+        recent_ops={c.core_id: core_recent_ops(c) for c in cores},
+        steps={c.core_id: c.index for c in cores},
+        fault=fault,
+        extra=merged,
+    )

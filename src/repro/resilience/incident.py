@@ -1,0 +1,204 @@
+"""Structured incident reports for supervised execution.
+
+An :class:`IncidentReport` is the forensic artefact produced when a
+pipelined run fails: instead of a bare exception string, the supervisor
+gets the *queue wait-for graph* (which thread is blocked producing or
+consuming which queue), the queue occupancies at the moment of failure,
+and the last few executed operations per thread.  The report is plain
+data -- ``to_dict()`` round-trips through JSON -- so sweeps and the CLI
+can log incidents without holding interpreter state alive.
+
+This module deliberately imports nothing from :mod:`repro.interp` or
+:mod:`repro.machine`; the builders that know about interpreter state
+live in :mod:`repro.resilience.forensics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Wait-edge roles: what the blocked thread was trying to do.
+ROLE_PRODUCE = "produce"
+ROLE_CONSUME = "consume"
+ROLE_STALLED = "stalled"
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One blocked thread -> queue edge of the wait-for graph."""
+
+    thread: int
+    role: str  # ROLE_PRODUCE | ROLE_CONSUME | ROLE_STALLED
+    queue: Optional[int]  # None for injected stalls (no queue involved)
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.queue is None:
+            return f"thread {self.thread}: {self.detail or self.role}"
+        verb = ("produce to full" if self.role == ROLE_PRODUCE
+                else "consume from empty")
+        return f"thread {self.thread}: {verb} queue {self.queue}"
+
+    def to_dict(self) -> dict:
+        return {
+            "thread": self.thread,
+            "role": self.role,
+            "queue": self.queue,
+            "detail": self.detail,
+        }
+
+
+class WaitForGraph:
+    """Queue wait-for graph over threads.
+
+    Nodes are thread ids; thread ``a`` waits on thread ``b`` when ``a``
+    is blocked on a queue whose matching endpoint (the producer for a
+    blocked consume, a consumer for a blocked produce) lives in ``b``.
+    A cycle in this graph is the classic circular wait; an acyclic
+    graph with blocked threads means the blocking chain bottoms out in
+    a thread that exited early or was stalled by fault injection.
+    """
+
+    def __init__(
+        self,
+        edges: list[WaitEdge],
+        owners: Optional[dict[int, dict[str, list[int]]]] = None,
+    ) -> None:
+        #: Blocked-thread edges (thread -> queue, with role).
+        self.edges = list(edges)
+        #: queue id -> {"producers": [...], "consumers": [...]} thread
+        #: ids, from the static program; lets waits_on() resolve the
+        #: partner thread behind each queue.
+        self.owners = owners or {}
+
+    def __bool__(self) -> bool:
+        return bool(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    # ------------------------------------------------------------------
+    def waits_on(self) -> dict[int, set[int]]:
+        """thread -> set of threads it transitively needs to run."""
+        out: dict[int, set[int]] = {}
+        for edge in self.edges:
+            targets: set[int] = set()
+            if edge.queue is not None:
+                side = ("consumers" if edge.role == ROLE_PRODUCE
+                        else "producers")
+                targets = {
+                    tid
+                    for tid in self.owners.get(edge.queue, {}).get(side, [])
+                    if tid != edge.thread
+                }
+            out[edge.thread] = targets
+        return out
+
+    def cycles(self) -> list[list[int]]:
+        """Simple cycles among blocked threads (circular waits)."""
+        graph = self.waits_on()
+        blocked = set(graph)
+        cycles: list[list[int]] = []
+        seen: set[frozenset[int]] = set()
+        for start in sorted(blocked):
+            path: list[int] = []
+            on_path: set[int] = set()
+
+            def walk(node: int) -> None:
+                if node in on_path:
+                    cyc = path[path.index(node):]
+                    key = frozenset(cyc)
+                    if key not in seen:
+                        seen.add(key)
+                        cycles.append(list(cyc))
+                    return
+                if node not in blocked:
+                    return
+                path.append(node)
+                on_path.add(node)
+                for succ in sorted(graph.get(node, ())):
+                    walk(succ)
+                path.pop()
+                on_path.remove(node)
+
+            walk(start)
+        return cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": [e.to_dict() for e in self.edges],
+            "owners": {
+                str(qid): sides for qid, sides in sorted(self.owners.items())
+            },
+            "cycles": self.cycles(),
+        }
+
+    def describe(self) -> str:
+        if not self.edges:
+            return "no blocked threads"
+        lines = [e.describe() for e in self.edges]
+        cycles = self.cycles()
+        if cycles:
+            lines.append(
+                "circular wait: "
+                + "; ".join(" -> ".join(map(str, c + [c[0]])) for c in cycles)
+            )
+        return "; ".join(lines)
+
+
+@dataclass
+class IncidentReport:
+    """Everything known about one failed pipelined run."""
+
+    #: "deadlock" | "protocol" | "step-limit" | "watchdog" |
+    #: "timing-deadlock" | "worker-crash" | ...
+    kind: str
+    message: str
+    #: Where the failure surfaced: "interp" | "machine" | "harness".
+    domain: str = "interp"
+    wait_for: WaitForGraph = field(default_factory=lambda: WaitForGraph([]))
+    #: queue id -> occupancy at the moment of failure.
+    occupancies: dict[int, int] = field(default_factory=dict)
+    #: thread id -> rendered last-N executed operations (oldest first).
+    recent_ops: dict[int, list[str]] = field(default_factory=dict)
+    #: thread id -> executed step count.
+    steps: dict[int, int] = field(default_factory=dict)
+    #: Offending queue for protocol errors.
+    queue: Optional[int] = None
+    #: Offending thread for protocol / premature-exit errors.
+    thread: Optional[int] = None
+    #: Name of the injected fault, when the run was fault-injected.
+    fault: Optional[str] = None
+    #: Free-form extras (cycle budget, trace positions, ...).
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "domain": self.domain,
+            "wait_for": self.wait_for.to_dict(),
+            "occupancies": {str(q): n for q, n in sorted(self.occupancies.items())},
+            "recent_ops": {str(t): ops for t, ops in sorted(self.recent_ops.items())},
+            "steps": {str(t): n for t, n in sorted(self.steps.items())},
+            "queue": self.queue,
+            "thread": self.thread,
+            "fault": self.fault,
+            "extra": self.extra,
+        }
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering for CLI output."""
+        lines = [f"incident [{self.kind}/{self.domain}]: {self.message}"]
+        if self.wait_for:
+            lines.append(f"  wait-for: {self.wait_for.describe()}")
+        if self.occupancies:
+            occ = ", ".join(f"q{q}={n}" for q, n in sorted(self.occupancies.items()))
+            lines.append(f"  occupancy: {occ}")
+        for tid, ops in sorted(self.recent_ops.items()):
+            if ops:
+                lines.append(f"  thread {tid} last ops: {' | '.join(ops)}")
+        if self.fault:
+            lines.append(f"  injected fault: {self.fault}")
+        return "\n".join(lines)

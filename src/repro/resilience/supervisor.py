@@ -1,0 +1,141 @@
+"""Failure classification and supervised-run outcomes.
+
+:func:`repro.harness.runner.run_supervised` wraps the pipelined path of
+an experiment: any supervised failure (deadlock, queue-protocol
+violation, step-limit livelock, timing-domain deadlock or watchdog
+trip) is converted into an :class:`IncidentReport`, the run degrades to
+the sequential baseline, and the caller gets a
+:class:`SupervisedOutcome` carrying both the result and the incident
+log.  The CLI maps outcomes to distinct exit codes so sweeps and
+scripts can tell a clean run from a degraded one without parsing
+output.
+
+Imports of the execution domains are deliberately lazy: this module is
+re-exported from ``repro.resilience`` which the interpreters themselves
+import on their failure paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resilience.incident import IncidentReport, WaitForGraph
+
+#: CLI exit codes for supervised runs.  2 is argparse's usage-error
+#: code, so degradation starts at 3.
+EXIT_CLEAN = 0
+EXIT_DEGRADED = 3
+EXIT_FAILED = 4
+
+STATUS_CLEAN = "clean"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+
+_EXIT_CODES = {
+    STATUS_CLEAN: EXIT_CLEAN,
+    STATUS_DEGRADED: EXIT_DEGRADED,
+    STATUS_FAILED: EXIT_FAILED,
+}
+
+
+def supervised_errors() -> tuple[type[BaseException], ...]:
+    """The exception types the supervisor downgrades to incidents.
+
+    Anything else (oracle mismatches, assertion failures, programming
+    errors) propagates: the supervisor absorbs *machine* failures, not
+    wrong answers.
+    """
+    from repro.interp.errors import (
+        DeadlockError,
+        QueueProtocolError,
+        StepLimitExceeded,
+    )
+    from repro.machine.cmp import CycleBudgetExceeded, SimulationDeadlock
+
+    return (
+        DeadlockError,
+        QueueProtocolError,
+        StepLimitExceeded,
+        SimulationDeadlock,
+        CycleBudgetExceeded,
+    )
+
+
+#: Kept for ``from repro.resilience import SUPERVISED_ERRORS`` symmetry;
+#: resolved lazily through PEP 562 in ``repro.resilience.__init__``.
+def __getattr__(name: str):
+    if name == "SUPERVISED_ERRORS":
+        return supervised_errors()
+    raise AttributeError(name)
+
+
+def incident_from_exception(exc: BaseException,
+                            fault: Optional[str] = None) -> IncidentReport:
+    """The exception's attached forensic report, or a synthesized one.
+
+    The interpreters attach a full :class:`IncidentReport` (``.report``)
+    at raise time; failures from code paths that predate the forensic
+    layer (or foreign exceptions a caller chooses to supervise) still
+    yield a structured -- if sparser -- incident.
+    """
+    report = getattr(exc, "report", None)
+    if isinstance(report, IncidentReport):
+        if fault and report.fault is None:
+            report.fault = fault
+        return report
+    kind = {
+        "DeadlockError": "deadlock",
+        "QueueProtocolError": "protocol",
+        "StepLimitExceeded": "step-limit",
+        "SimulationDeadlock": "timing-deadlock",
+        "CycleBudgetExceeded": "watchdog",
+    }.get(type(exc).__name__, "error")
+    domain = "machine" if kind in ("timing-deadlock", "watchdog") else "interp"
+    return IncidentReport(
+        kind=kind,
+        message=str(exc),
+        domain=domain,
+        wait_for=WaitForGraph([]),
+        queue=getattr(exc, "queue", None),
+        thread=getattr(exc, "thread", None),
+        fault=fault,
+    )
+
+
+@dataclass
+class SupervisedOutcome:
+    """What a supervised experiment produced.
+
+    ``clean``   -- the pipelined path ran to completion; ``result`` is
+                   the full experiment result.
+    ``degraded`` -- the pipelined path failed, the sequential baseline
+                   supplied the answer; ``incidents`` says why.
+    ``failed``  -- even the baseline failed; ``result`` is ``None``.
+    """
+
+    status: str
+    result: Optional[object] = None
+    incidents: list[IncidentReport] = field(default_factory=list)
+    #: The :class:`~repro.harness.runner.BaselineRun` the experiment ran
+    #: against -- on a degraded outcome, its memory image and register
+    #: file *are* the answer.
+    baseline: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_CLEAN
+
+    @property
+    def exit_code(self) -> int:
+        return _EXIT_CODES.get(self.status, EXIT_FAILED)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "incidents": [i.to_dict() for i in self.incidents],
+        }
+
+    def format_incidents(self) -> str:
+        return "\n".join(i.format() for i in self.incidents)

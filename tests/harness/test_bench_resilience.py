@@ -1,0 +1,103 @@
+"""Bench runner under worker crashes: the sweep must always complete.
+
+The crash hook (``REPRO_BENCH_CRASH_WORKLOAD`` /
+``REPRO_BENCH_CRASH_ONCE_DIR``, see ``_induced_crash``) kills worker
+processes with ``os._exit`` -- the same observable behaviour as an
+OOM-killed or segfaulting worker.  The contract under test:
+
+* a worker that crashes once is retried and the sweep stays clean;
+* a worker that always crashes falls back to in-process execution,
+  only *its* points are marked degraded, and their results are
+  identical to a healthy run's;
+* ``python -m repro bench --supervise`` maps degradation to exit 3.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.bench import run_bench, sweep_points
+
+SCALE = 40
+
+
+def _run(tmp_path, **env):
+    saved = {k: os.environ.get(k) for k in env}
+    os.environ.update({k: v for k, v in env.items() if v is not None})
+    try:
+        return run_bench("fig9a", scale=SCALE, jobs=2, out_dir=str(tmp_path),
+                         compare=False)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@pytest.mark.robustness_smoke
+def test_always_crashing_group_degrades_but_completes(tmp_path):
+    healthy = _run(tmp_path)
+    assert healthy["degraded_points"] == []
+
+    report = _run(tmp_path, REPRO_BENCH_CRASH_WORKLOAD="compress")
+    # The sweep completed with every point present...
+    assert len(report["points"]) == len(sweep_points("fig9a", SCALE))
+    # ...only the crashing workload's points are degraded...
+    assert report["degraded_points"] == [
+        "compress:base-full", "compress:base-half",
+        "compress:dswp-full", "compress:dswp-half",
+    ]
+    for point in report["points"]:
+        assert point.get("degraded", False) == point["id"].startswith("compress:")
+    # ...and the in-process fallback computed the same numbers.
+    by_id = {p["id"]: p for p in healthy["points"]}
+    for point in report["points"]:
+        ref = by_id[point["id"]]
+        assert (point["cycles"], point["instructions"]) == \
+            (ref["cycles"], ref["instructions"]), point["id"]
+    # The degradation is recorded in the BENCH_*.json on disk too.
+    on_disk = json.load(open(report["path"], encoding="utf-8"))
+    assert on_disk["degraded_points"] == report["degraded_points"]
+
+
+def test_crash_once_is_absorbed_by_the_retry(tmp_path):
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    report = _run(tmp_path, REPRO_BENCH_CRASH_WORKLOAD="compress",
+                  REPRO_BENCH_CRASH_ONCE_DIR=str(marker_dir))
+    # The worker did crash (the marker proves the hook fired)...
+    assert (marker_dir / "crashed-compress").exists()
+    # ...but the isolated retry succeeded, so nothing degraded.
+    assert report["degraded_points"] == []
+    assert not any(p.get("degraded") for p in report["points"])
+
+
+def test_serial_mode_is_unaffected_by_the_hook(tmp_path):
+    os.environ["REPRO_BENCH_CRASH_WORKLOAD"] = "compress"
+    try:
+        report = run_bench("fig9a", scale=SCALE, jobs=1,
+                           out_dir=str(tmp_path), compare=False)
+    finally:
+        del os.environ["REPRO_BENCH_CRASH_WORKLOAD"]
+    # jobs=1 never forks: the guard keeps the driver process alive.
+    assert report["degraded_points"] == []
+
+
+def test_cli_supervise_maps_degradation_to_exit_3(tmp_path, capsys):
+    from repro.cli import main
+
+    os.environ["REPRO_BENCH_CRASH_WORKLOAD"] = "compress"
+    try:
+        code = main(["bench", "--figure", "fig9a", "--scale", str(SCALE),
+                     "--jobs", "2", "--out", str(tmp_path), "--no-compare",
+                     "--supervise"])
+    finally:
+        del os.environ["REPRO_BENCH_CRASH_WORKLOAD"]
+    assert code == 3
+    assert "DEGRADED" in capsys.readouterr().out
+    # Without --supervise the legacy 0/1 convention is preserved.
+    code = main(["bench", "--figure", "fig9a", "--scale", str(SCALE),
+                 "--jobs", "2", "--out", str(tmp_path), "--no-compare"])
+    assert code == 0

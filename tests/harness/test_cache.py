@@ -1,6 +1,11 @@
 """Experiment cache: cached and fresh runs must be indistinguishable,
 and keys must track everything that changes functional behaviour."""
 
+import glob
+import os
+
+import pytest
+
 from repro.analysis.memdep import AliasModel
 from repro.harness.cache import ExperimentCache, case_digest
 from repro.harness.runner import run_experiment
@@ -87,3 +92,70 @@ class TestDigest:
         reg = next(iter(b.initial_regs))
         b.initial_regs[reg] += 1
         assert case_digest(a) != case_digest(b)
+
+
+class TestPersistence:
+    """Disk layer: entries survive across cache instances, and corrupt
+    entries are misses (logged, evicted, counted) -- never errors."""
+
+    def _fill(self, directory, log=None):
+        cache = ExperimentCache(persist_dir=directory, log=log)
+        case = get_workload("wc").build(scale=40)
+        cache.baseline(case)
+        cache.dswp(case)
+        return cache
+
+    def test_entries_survive_across_instances(self, tmp_path):
+        d = str(tmp_path)
+        first = self._fill(d)
+        assert first.stats()["misses"] == 2
+        fresh = ExperimentCache(persist_dir=d)
+        case = get_workload("wc").build(scale=40)
+        run = fresh.baseline(case)
+        fresh.dswp(case)
+        assert fresh.stats() == {**fresh.stats(), "hits": 2, "misses": 0}
+        # The fallback state round-trips too.
+        assert run.regs and run.memory is not None
+
+    @pytest.mark.robustness_smoke
+    @pytest.mark.parametrize("corruption", ["truncate", "garbage", "empty"])
+    def test_corrupt_entries_are_misses(self, tmp_path, corruption):
+        d = str(tmp_path)
+        self._fill(d)
+        for path in glob.glob(os.path.join(d, "*.pkl")):
+            if corruption == "truncate":
+                with open(path, "r+b") as fh:
+                    fh.truncate(6)
+            elif corruption == "garbage":
+                with open(path, "wb") as fh:
+                    fh.write(b"\x00not a pickle")
+            else:
+                open(path, "wb").close()
+        logs = []
+        cache = self._fill(d, log=logs.append)
+        stats = cache.stats()
+        assert stats["corrupt_evictions"] == 2
+        assert stats["misses"] == 2, "corrupt entries must re-run"
+        assert len(logs) == 2 and all("evicting corrupt" in m for m in logs)
+        # Evicted entries were re-stored in loadable form.
+        again = self._fill(d)
+        assert again.stats()["corrupt_evictions"] == 0
+        assert again.stats()["hits"] == 2
+
+    def test_wrong_shape_payload_is_evicted(self, tmp_path):
+        d = str(tmp_path)
+        self._fill(d)
+        import pickle
+
+        for path in glob.glob(os.path.join(d, "baseline-*.pkl")):
+            with open(path, "wb") as fh:
+                pickle.dump(["unexpected", "shape"], fh)
+        cache = self._fill(d)
+        assert cache.stats()["corrupt_evictions"] == 1
+
+    def test_without_persist_dir_nothing_is_written(self, tmp_path):
+        cache = ExperimentCache()
+        case = get_workload("wc").build(scale=40)
+        cache.baseline(case)
+        assert glob.glob(os.path.join(str(tmp_path), "*")) == []
+        assert cache.stats()["corrupt_evictions"] == 0

@@ -1,0 +1,116 @@
+"""The machine-level fault matrix: every fault must be *detected* --
+a structured incident, a protocol error, or an output divergence --
+never a silent wrong result and never a hang.
+
+Detection is checked in both execution domains:
+
+* functional (``run_threads``): through the differential oracle, which
+  classifies forensic exceptions and output mismatches alike;
+* timing (``cmp.simulate``): deadlock-class faults must raise
+  :class:`SimulationDeadlock` with an attached incident, and the
+  cycle-budget watchdog must cut off anything that still makes
+  progress forever.
+"""
+
+import pytest
+
+from repro.analysis.memdep import AliasMode
+from repro.fuzz import check_case, generate_case, get_fault
+from repro.fuzz.faults import MACHINE_FAULTS
+from repro.fuzz.oracle import OracleConfig
+from repro.harness.runner import run_baseline, run_dswp
+from repro.machine.cmp import (
+    CycleBudgetExceeded,
+    SimulationDeadlock,
+    simulate,
+)
+from repro.machine.config import MachineConfig
+from repro.resilience import CoreFault, FaultPlan, QueueFault
+from repro.workloads import get_workload
+
+FAST = OracleConfig(
+    thread_counts=(2,),
+    alias_modes=(AliasMode.REGIONS,),
+    quanta=(1, 7),
+    queue_capacities=(2, None),
+    random_partitions=1,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One real DSWP pipeline (program + per-thread traces)."""
+    case = get_workload("listtraverse").build(scale=40)
+    baseline = run_baseline(case)
+    return run_dswp(case, baseline)
+
+
+@pytest.mark.robustness_smoke
+@pytest.mark.parametrize("fault_name", sorted(MACHINE_FAULTS))
+def test_functional_domain_detects_every_machine_fault(fault_name):
+    """Each machine fault must surface as a divergence on at least one
+    of a handful of seeds -- and the tight oracle budgets mean a hang
+    would fail the test as a step-limit divergence miscount, not block
+    the suite."""
+    fault = get_fault(fault_name)
+    caught = 0
+    for seed in range(12):
+        report = check_case(generate_case(seed), FAST, fault=fault)
+        caught += bool(report.divergences)
+    assert caught >= 1, f"machine fault {fault_name} never detected"
+
+
+@pytest.mark.robustness_smoke
+def test_timing_domain_detects_zero_capacity(pipeline):
+    plan = FaultPlan(queue_faults=(QueueFault("capacity", capacity=0),),
+                     name="queue-zero-capacity")
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        simulate(pipeline.traces, MachineConfig(), fault_plan=plan)
+    report = excinfo.value.report
+    assert report is not None
+    assert report.domain == "machine"
+    # The timing incident records the full plan description.
+    assert report.fault.startswith("queue-zero-capacity[")
+
+
+@pytest.mark.robustness_smoke
+def test_timing_domain_detects_core_stall(pipeline):
+    plan = FaultPlan(core_faults=(CoreFault("stall", after=1),),
+                     name="core-stall")
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        simulate(pipeline.traces, MachineConfig(), fault_plan=plan)
+    report = excinfo.value.report
+    assert report is not None
+    assert "injected stall" in report.message
+
+
+def test_timing_domain_tolerates_token_faults(pipeline):
+    """Drop/duplicate/corrupt change *timing-side bookkeeping* only --
+    the functional damage is the interpreter's to detect -- so the
+    timing model must either finish or diagnose, never hang."""
+    for kind in ("drop", "duplicate", "corrupt"):
+        plan = FaultPlan(queue_faults=(QueueFault(kind, after=0),),
+                         name=f"queue-{kind}")
+        try:
+            simulate(pipeline.traces, MachineConfig(), fault_plan=plan,
+                     cycle_budget=10_000_000)
+        except SimulationDeadlock as exc:
+            assert exc.report is not None
+
+
+@pytest.mark.robustness_smoke
+def test_watchdog_fires_on_tiny_budget(pipeline):
+    """The watchdog bounds simulated time even when every round makes
+    progress (livelock insurance): an absurdly small budget must trip
+    it on a perfectly healthy pipeline."""
+    with pytest.raises(CycleBudgetExceeded) as excinfo:
+        simulate(pipeline.traces, MachineConfig(), cycle_budget=10)
+    report = excinfo.value.report
+    assert report is not None
+    assert report.kind == "watchdog"
+    assert report.extra.get("cycle_budget") == 10
+
+
+def test_generous_budget_does_not_fire(pipeline):
+    sim = simulate(pipeline.traces, MachineConfig(), cycle_budget=10_000_000)
+    assert sim.cycles > 0

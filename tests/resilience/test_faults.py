@@ -1,0 +1,96 @@
+"""Fault-plan machinery plus the error paths it must never break:
+capacity validation, token filtering, wildcard resolution."""
+
+import pytest
+
+from repro.interp.multithread import QueueSet, ThreadProgram, run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+from repro.resilience import CoreFault, FaultPlan, QueueFault
+from repro.resilience.faults import CORRUPT_MASK
+
+
+class TestFaultValidation:
+    def test_unknown_queue_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown queue fault kind"):
+            QueueFault("melt")
+
+    def test_unknown_core_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown core fault kind"):
+            CoreFault("overclock")
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(queue_faults=(QueueFault("drop"),))
+
+
+class TestActiveFaults:
+    def test_drop_window(self):
+        plan = FaultPlan(queue_faults=(QueueFault("drop", queue=3, after=1),))
+        active = plan.start([3], 2)
+        assert active.filter_produce(3, 10) == [10]   # before the window
+        assert active.filter_produce(3, 11) == []     # dropped
+        assert active.filter_produce(3, 12) == [12]   # window closed
+        assert active.fired
+
+    def test_duplicate_and_corrupt(self):
+        plan = FaultPlan(queue_faults=(
+            QueueFault("duplicate", queue=0, after=0),
+            QueueFault("corrupt", queue=1, after=0, count=None),
+        ))
+        active = plan.start([0, 1], 2)
+        assert active.filter_produce(0, 5) == [5, 5]
+        assert active.filter_produce(1, 5) == [5 ^ CORRUPT_MASK]
+        assert active.filter_produce(1, 6) == [6 ^ CORRUPT_MASK]
+
+    def test_other_queues_unaffected(self):
+        plan = FaultPlan(queue_faults=(QueueFault("drop", queue=0, after=0),))
+        active = plan.start([0, 9], 2)
+        assert active.filter_produce(9, 42) == [42]
+
+    def test_wildcard_queue_resolves_to_lowest_id(self):
+        plan = FaultPlan(queue_faults=(QueueFault("capacity", capacity=0),))
+        active = plan.start([4, 2, 7], 2)
+        assert active.capacity_override(2) == 0
+        assert active.capacity_override(4) is None
+
+    def test_wildcard_thread_resolves_to_last(self):
+        plan = FaultPlan(core_faults=(CoreFault("stall", after=0),))
+        active = plan.start([], 3)
+        assert active.thread_stalled(2, 0)
+        assert not active.thread_stalled(0, 100)
+
+    def test_exit_respects_after_threshold(self):
+        plan = FaultPlan(core_faults=(CoreFault("exit", thread=1, after=5),))
+        active = plan.start([], 2)
+        assert not active.thread_exits(1, 4)
+        assert active.thread_exits(1, 5)
+
+
+class TestCapacityValidation:
+    """Configured capacities must be sane; only *fault-injected*
+    misconfigurations may go below 1."""
+
+    @pytest.mark.parametrize("capacity", [0, -1, -32])
+    def test_queue_set_rejects_nonpositive_capacity(self, capacity):
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            QueueSet(capacity=capacity)
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_run_threads_rejects_nonpositive_capacity(self, capacity):
+        b = IRBuilder("t")
+        b.block("entry", entry=True)
+        b.emit(Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)], queue=0))
+        b.ret()
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            run_threads(ThreadProgram([b.done()]), queue_capacity=capacity)
+
+    def test_override_capacity_zero_is_allowed(self):
+        # ...because a 0-capacity queue is exactly the malfunction the
+        # capacity fault models.
+        queues = QueueSet(capacity=8, capacity_overrides={0: 0})
+        assert queues.capacity_for(0) == 0
+        assert queues.capacity_for(1) == 8
+        assert not queues.can_produce(0)
+        assert queues.can_produce(1)

@@ -1,0 +1,173 @@
+"""Forensic incident reports: wait-for graphs, JSON round-trips, and
+the reports the interpreters attach to their failure exceptions."""
+
+import json
+
+import pytest
+
+from repro.interp.errors import (
+    DeadlockError,
+    QueueProtocolError,
+    StepLimitExceeded,
+)
+from repro.interp.interpreter import run_function
+from repro.interp.multithread import ThreadProgram, run_threads
+from repro.ir.builder import IRBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode, gen_reg
+from repro.resilience import (
+    ROLE_CONSUME,
+    ROLE_PRODUCE,
+    IncidentReport,
+    WaitEdge,
+    WaitForGraph,
+)
+
+TIGHT_BUDGET = 5_000
+
+
+def _straight_line(name, flows):
+    b = IRBuilder(name)
+    b.block("entry", entry=True)
+    for opcode, queue in flows:
+        if opcode is Opcode.PRODUCE:
+            b.emit(Instruction(Opcode.PRODUCE, srcs=[gen_reg(0)], queue=queue))
+        else:
+            b.emit(Instruction(Opcode.CONSUME, dest=gen_reg(1), queue=queue))
+    b.ret()
+    return b.done()
+
+
+def _spinner(name):
+    """A thread that loops forever: add, jmp back."""
+    b = IRBuilder(name)
+    b.block("entry", entry=True)
+    b.jmp("spin")
+    b.block("spin")
+    r = gen_reg(0)
+    b.add(r, r, imm=1)
+    b.jmp("spin")
+    return b.done()
+
+
+class TestWaitForGraph:
+    def test_two_thread_circular_wait(self):
+        owners = {
+            0: {"producers": [0], "consumers": [1]},
+            1: {"producers": [1], "consumers": [0]},
+        }
+        graph = WaitForGraph(
+            [WaitEdge(0, ROLE_CONSUME, 1), WaitEdge(1, ROLE_CONSUME, 0)],
+            owners,
+        )
+        assert graph.cycles() == [[0, 1]]
+        assert "circular wait" in graph.describe()
+
+    def test_chain_without_cycle(self):
+        # Thread 0 waits on thread 1; thread 1 is not blocked (it
+        # stalled or exited), so there is no circular wait.
+        owners = {0: {"producers": [1], "consumers": [0]}}
+        graph = WaitForGraph([WaitEdge(0, ROLE_CONSUME, 0)], owners)
+        assert graph.cycles() == []
+        assert graph.waits_on() == {0: {1}}
+
+    def test_stall_edges_have_no_queue(self):
+        graph = WaitForGraph([WaitEdge(2, "stalled", None, "injected stall")])
+        assert graph.waits_on() == {2: set()}
+        assert "injected stall" in graph.describe()
+
+    def test_to_dict_is_json_safe(self):
+        graph = WaitForGraph(
+            [WaitEdge(0, ROLE_PRODUCE, 3)],
+            {3: {"producers": [0], "consumers": [1]}},
+        )
+        data = json.loads(json.dumps(graph.to_dict()))
+        assert data["edges"][0] == {
+            "thread": 0, "role": "produce", "queue": 3, "detail": "",
+        }
+        assert data["owners"]["3"]["consumers"] == [1]
+
+
+class TestIncidentReport:
+    def test_round_trips_through_json(self):
+        report = IncidentReport(
+            kind="deadlock", message="all blocked", domain="interp",
+            wait_for=WaitForGraph([WaitEdge(0, ROLE_CONSUME, 0)]),
+            occupancies={0: 2}, recent_ops={0: ["consume r1 = [0]"]},
+            steps={0: 17}, fault="queue-drop-token",
+        )
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["kind"] == "deadlock"
+        assert data["occupancies"] == {"0": 2}
+        assert data["steps"] == {"0": 17}
+        assert data["fault"] == "queue-drop-token"
+
+    def test_format_mentions_the_essentials(self):
+        report = IncidentReport(
+            kind="protocol", message="consume on drained queue",
+            wait_for=WaitForGraph([WaitEdge(1, ROLE_CONSUME, 4)]),
+            occupancies={4: 0}, fault="core-premature-exit",
+        )
+        text = report.format()
+        assert "protocol" in text
+        assert "queue 4" in text
+        assert "core-premature-exit" in text
+
+
+class TestAttachedReports:
+    def test_deadlock_report_has_wait_for_cycle_and_recent_ops(self):
+        t0 = _straight_line("t0", [(Opcode.CONSUME, 1), (Opcode.PRODUCE, 0)])
+        t1 = _straight_line("t1", [(Opcode.CONSUME, 0), (Opcode.PRODUCE, 1)])
+        with pytest.raises(DeadlockError) as excinfo:
+            run_threads(ThreadProgram([t0, t1]), max_steps=TIGHT_BUDGET,
+                        record_trace=True)
+        report = excinfo.value.report
+        assert report is not None and report.kind == "deadlock"
+        assert len(report.wait_for) == 2
+        assert report.wait_for.cycles() == [[0, 1]]
+        # Both queues are empty at the deadlock: no occupancy entries.
+        assert report.occupancies == {}
+        assert report.extra["circular"] is True
+        # The report is self-contained data: JSON-safe, no live state.
+        json.dumps(report.to_dict())
+
+    def test_protocol_error_carries_queue_and_thread(self):
+        producer = _straight_line("prod", [(Opcode.PRODUCE, 7)] * 2)
+        consumer = _straight_line("cons", [(Opcode.CONSUME, 7)] * 5)
+        with pytest.raises(QueueProtocolError) as excinfo:
+            run_threads(ThreadProgram([producer, consumer]),
+                        max_steps=TIGHT_BUDGET)
+        exc = excinfo.value
+        assert exc.queue == 7
+        assert exc.thread == 1
+        assert exc.report is not None and exc.report.kind == "protocol"
+        assert exc.report.queue == 7
+
+    def test_step_limit_livelock_report(self):
+        """A seeded livelock (spinner thread) must produce a step-limit
+        incident with per-thread step counts, not a bare message."""
+        with pytest.raises(StepLimitExceeded) as excinfo:
+            run_threads(ThreadProgram([_spinner("spin")]), max_steps=200,
+                        record_trace=True)
+        report = excinfo.value.report
+        assert report is not None and report.kind == "step-limit"
+        assert sum(report.steps.values()) >= 200
+        assert report.recent_ops[0], "expected a last-ops excerpt"
+
+
+class TestStepLimitExcerpt:
+    """Satellite: StepLimitExceeded names the block, steps, registers."""
+
+    def test_message_names_block_steps_and_registers(self):
+        fn = _spinner("hot")
+        with pytest.raises(StepLimitExceeded) as excinfo:
+            run_function(fn, max_steps=100)
+        exc = excinfo.value
+        assert "hot" in str(exc)
+        assert "block spin" in str(exc)
+        assert "100" in str(exc)
+        assert "regs:" in str(exc)
+        assert exc.function == "hot"
+        assert exc.block == "spin"
+        assert exc.steps == 100
+        assert exc.registers, "expected a register excerpt"

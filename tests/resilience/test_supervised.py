@@ -1,0 +1,114 @@
+"""Supervised execution: graceful degradation to the sequential
+baseline, with structured incidents and distinct exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.runner import run_baseline, run_supervised
+from repro.resilience import (
+    EXIT_CLEAN,
+    EXIT_DEGRADED,
+    EXIT_FAILED,
+    CoreFault,
+    FaultPlan,
+    QueueFault,
+    SupervisedOutcome,
+)
+from repro.resilience.supervisor import (
+    STATUS_CLEAN,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+)
+from repro.workloads import get_workload
+
+SCALE = 40
+
+ZERO_CAP = FaultPlan(queue_faults=(QueueFault("capacity", capacity=0),),
+                     name="queue-zero-capacity")
+
+
+class TestOutcomes:
+    def test_clean_run(self):
+        outcome = run_supervised(get_workload("listtraverse"), scale=SCALE)
+        assert outcome.status == STATUS_CLEAN
+        assert outcome.ok and outcome.exit_code == EXIT_CLEAN
+        assert outcome.incidents == []
+        assert outcome.result.dswp_sim is not None
+        assert outcome.result.loop_speedup != 1.0 or True  # just computable
+
+    @pytest.mark.robustness_smoke
+    def test_induced_deadlock_degrades_to_baseline(self):
+        """The acceptance criterion: an induced deadlock yields the
+        baseline's output plus an incident with a non-empty wait-for
+        graph."""
+        workload = get_workload("listtraverse")
+        outcome = run_supervised(workload, scale=SCALE, fault_plan=ZERO_CAP)
+        assert outcome.status == STATUS_DEGRADED
+        assert outcome.exit_code == EXIT_DEGRADED
+        # One incident, with forensics.
+        assert len(outcome.incidents) == 1
+        incident = outcome.incidents[0]
+        assert incident.kind == "deadlock"
+        assert len(incident.wait_for) > 0, "wait-for graph must be non-empty"
+        assert incident.fault.startswith("queue-zero-capacity")
+        json.dumps(incident.to_dict())
+        # The degraded result falls back to the baseline timing...
+        assert outcome.result.dswp_sim is None
+        assert outcome.result.loop_speedup == 1.0
+        # ...and the functional answer IS the baseline interpreter's.
+        reference = run_baseline(workload.build(scale=SCALE))
+        assert outcome.baseline.memory.snapshot() == reference.memory.snapshot()
+        assert outcome.baseline.regs == reference.regs
+
+    def test_core_stall_degrades(self):
+        plan = FaultPlan(core_faults=(CoreFault("stall", after=1),),
+                         name="core-stall")
+        outcome = run_supervised(get_workload("listtraverse"), scale=SCALE,
+                                 fault_plan=plan)
+        assert outcome.status == STATUS_DEGRADED
+        assert outcome.incidents[0].fault.startswith("core-stall")
+
+    def test_watchdog_budget_degrades(self):
+        outcome = run_supervised(get_workload("listtraverse"), scale=SCALE,
+                                 cycle_budget=10)
+        assert outcome.status == STATUS_DEGRADED
+        assert outcome.incidents[0].kind == "watchdog"
+
+    def test_exit_code_mapping(self):
+        assert SupervisedOutcome(STATUS_CLEAN).exit_code == EXIT_CLEAN
+        assert SupervisedOutcome(STATUS_DEGRADED).exit_code == EXIT_DEGRADED
+        assert SupervisedOutcome(STATUS_FAILED).exit_code == EXIT_FAILED
+        # Unknown statuses fail closed.
+        assert SupervisedOutcome("???").exit_code == EXIT_FAILED
+
+
+class TestCLI:
+    @pytest.mark.robustness_smoke
+    def test_supervised_exit_codes(self, capsys):
+        argv = ["run", "listtraverse", "--supervise", "--scale", str(SCALE)]
+        assert main(argv) == EXIT_CLEAN
+        assert main(argv + ["--inject", "queue-zero-capacity"]) == EXIT_DEGRADED
+        out = capsys.readouterr().out
+        assert "status:          degraded" in out
+        assert "wait-for:" in out
+
+    def test_supervised_json_output(self, capsys):
+        code = main(["run", "listtraverse", "--supervise", "--json",
+                     "--scale", str(SCALE), "--inject", "core-stall"])
+        assert code == EXIT_DEGRADED
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "degraded"
+        assert payload["exit_code"] == EXIT_DEGRADED
+        assert payload["incidents"][0]["fault"].startswith("core-stall")
+        assert payload["loop_speedup"] == 1.0
+
+    def test_inject_requires_supervise(self, capsys):
+        assert main(["run", "listtraverse", "--inject", "core-stall",
+                     "--scale", str(SCALE)]) == 2
+
+    def test_compiler_fault_names_rejected(self, capsys):
+        assert main(["run", "listtraverse", "--supervise",
+                     "--inject", "drop-produce", "--scale", str(SCALE)]) == 2
+        assert "machine-level fault" in capsys.readouterr().err
