@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke perf-smoke robustness-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: test fuzz-smoke perf-smoke robustness-smoke obs-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,11 @@ perf-smoke:
 # deadlock forensics, graceful degradation (docs/ROBUSTNESS.md).
 robustness-smoke:
 	$(PYTHON) -m pytest -q -m robustness_smoke
+
+# Observability guardrails: Chrome-trace schema round-trip, disabled
+# observers change nothing (docs/OBSERVABILITY.md).
+obs-smoke:
+	$(PYTHON) -m pytest -q -m obs_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000

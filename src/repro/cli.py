@@ -4,7 +4,11 @@ Commands:
 
 * ``list`` -- the available workloads and their metadata;
 * ``run WORKLOAD`` -- the full experiment (transform, check, simulate)
-  with optional machine knobs;
+  with optional machine knobs; ``--trace``/``--metrics`` export a
+  Chrome trace_event timeline and a metrics snapshot
+  (``docs/OBSERVABILITY.md``);
+* ``report WORKLOAD`` -- per-core stall/utilization, per-queue traffic
+  and Fig. 8 occupancy-bucket summary tables;
 * ``show WORKLOAD`` -- print the loop's IR, its DAG_SCC, and the
   transformed thread pipeline;
 * ``sweep WORKLOAD`` -- communication-latency sweep for one workload;
@@ -41,6 +45,53 @@ def _machine(args) -> MachineConfig:
     )
 
 
+def _obs_from_args(args):
+    """Build an :class:`~repro.obs.ObsConfig` from ``--trace``/``--metrics``,
+    or ``None`` when neither was requested."""
+    from repro.obs import NULL_TRACER, MetricsRegistry, ObsConfig, Tracer
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not trace_path and not metrics_path:
+        return None
+    return ObsConfig(
+        tracer=Tracer() if trace_path else NULL_TRACER,
+        metrics=MetricsRegistry() if metrics_path else None,
+    )
+
+
+def _write_obs_outputs(args, obs, machine, dswp_sim=None, base_sim=None) -> None:
+    """Write the requested trace / metrics files after a run.
+
+    ``dswp_sim`` may be ``None`` (a supervised run that degraded): the
+    trace then carries the harness spans and the baseline timeline
+    only.  Notices go to stderr under ``--json`` so the JSON document
+    on stdout stays parseable.
+    """
+    if obs is None:
+        return
+    from repro.obs import (
+        build_chrome_trace,
+        record_provenance,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    out = sys.stderr if getattr(args, "json", False) else sys.stdout
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        payload = build_chrome_trace(tracer=obs.tracer, sim=dswp_sim,
+                                     base_sim=base_sim)
+        write_chrome_trace(trace_path, payload)
+        print(f"trace:           {trace_path} (load in Perfetto or "
+              f"chrome://tracing)", file=out)
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path and obs.metrics is not None:
+        record_provenance(obs.metrics, machine=machine)
+        write_metrics(metrics_path, obs.metrics)
+        print(f"metrics:         {metrics_path}", file=out)
+
+
 def cmd_list(args) -> int:
     rows = [
         [w.name, w.paper_benchmark, w.loop_nest,
@@ -55,16 +106,21 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     workload = get_workload(args.workload)
+    obs = _obs_from_args(args)
     if getattr(args, "supervise", False):
-        return _cmd_run_supervised(workload, args)
+        return _cmd_run_supervised(workload, args, obs)
     if getattr(args, "inject", None):
         print("error: --inject requires --supervise", file=sys.stderr)
         return 2
-    result = run_experiment(workload, machine=_machine(args),
-                            scale=args.scale)
+    machine = _machine(args)
+    result = run_experiment(workload, machine=machine,
+                            scale=args.scale, obs=obs)
     if getattr(args, "json", False):
         from repro.harness.results import results_to_json
         print(results_to_json([result]))
+        _write_obs_outputs(args, obs, machine,
+                           dswp_sim=result.dswp_sim,
+                           base_sim=result.base_sim)
         return 0
     print(f"workload:        {workload.name} ({workload.paper_benchmark})")
     print(f"SCCs:            {result.dswp_result.num_sccs}")
@@ -77,10 +133,12 @@ def cmd_run(args) -> int:
     print(f"loop speedup:    {result.loop_speedup:.3f}x "
           f"({percent(result.loop_speedup)})")
     print(f"program speedup: {result.program_speedup:.3f}x")
+    _write_obs_outputs(args, obs, machine,
+                       dswp_sim=result.dswp_sim, base_sim=result.base_sim)
     return 0
 
 
-def _cmd_run_supervised(workload, args) -> int:
+def _cmd_run_supervised(workload, args, obs=None) -> int:
     """``run --supervise``: never crash on a pipeline failure.
 
     Exit codes: 0 clean, 3 degraded to the sequential baseline,
@@ -104,11 +162,13 @@ def _cmd_run_supervised(workload, args) -> int:
                   + ", ".join(sorted(MACHINE_FAULTS)), file=sys.stderr)
             return 2
 
+    machine = _machine(args)
     try:
         outcome = run_supervised(
-            workload, machine=_machine(args), scale=args.scale,
+            workload, machine=machine, scale=args.scale,
             fault_plan=fault_plan,
             cycle_budget=getattr(args, "cycle_budget", None),
+            obs=obs,
         )
     except AssertionError as exc:
         # An injected fault that corrupts data (rather than hanging the
@@ -117,7 +177,11 @@ def _cmd_run_supervised(workload, args) -> int:
         print(f"workload:        {workload.name} ({workload.paper_benchmark})")
         print("status:          failed (pipeline produced wrong output)")
         print(f"oracle:          {exc}")
+        _write_obs_outputs(args, obs, machine)
         return EXIT_FAILED
+
+    dswp_sim = outcome.result.dswp_sim if outcome.result is not None else None
+    base_sim = outcome.result.base_sim if outcome.result is not None else None
 
     if getattr(args, "json", False):
         import json
@@ -128,6 +192,8 @@ def _cmd_run_supervised(workload, args) -> int:
             payload["loop_speedup"] = outcome.result.loop_speedup
             payload["program_speedup"] = outcome.result.program_speedup
         print(json.dumps(payload, indent=2))
+        _write_obs_outputs(args, obs, machine,
+                           dswp_sim=dswp_sim, base_sim=base_sim)
         return outcome.exit_code
 
     print(f"workload:        {workload.name} ({workload.paper_benchmark})")
@@ -151,7 +217,61 @@ def _cmd_run_supervised(workload, args) -> int:
         print(f"loop speedup:    {result.loop_speedup:.3f}x "
               f"({percent(result.loop_speedup)})")
         print(f"program speedup: {result.program_speedup:.3f}x")
+    _write_obs_outputs(args, obs, machine,
+                       dswp_sim=dswp_sim, base_sim=base_sim)
     return outcome.exit_code
+
+
+def cmd_report(args) -> int:
+    """``report``: run one workload and print the observability tables.
+
+    Three tables from the pipeline simulation's telemetry: per-core
+    issue/stall/utilization, per-queue traffic and peak occupancy, and
+    the Fig. 8 occupancy buckets.
+    """
+    workload = get_workload(args.workload)
+    machine = _machine(args)
+    result = run_experiment(workload, machine=machine, scale=args.scale)
+    sim = result.dswp_sim
+    print(f"workload: {workload.name} ({workload.paper_benchmark}), "
+          f"scale {args.scale or workload.default_scale}")
+    print(f"pipeline: {sim.cycles} cycles vs baseline "
+          f"{result.base_sim.cycles} "
+          f"(loop speedup {result.loop_speedup:.3f}x)")
+
+    kinds = sorted({kind for core in sim.cores
+                    for kind in core.stall_breakdown()})
+    rows = []
+    for core in sim.cores:
+        breakdown = core.stall_breakdown()
+        rows.append(
+            [core.core_id, core.instructions_executed, core.last_completion,
+             f"{core.ipc():.2f}", f"{core.utilization() * 100:.1f}%"]
+            + [breakdown.get(kind, 0) for kind in kinds]
+        )
+    print()
+    print(format_table(
+        ["core", "instructions", "cycles", "IPC", "issue util"] + kinds, rows
+    ))
+
+    if sim.queues is not None and sim.queues.queue_ids():
+        rows = [
+            [qid, sim.queues.produced(qid), sim.queues.consumed(qid),
+             sim.queues.max_occupancy(qid)]
+            for qid in sim.queues.queue_ids()
+        ]
+        print()
+        print(format_table(
+            ["queue", "produced", "consumed", "max occupancy"], rows
+        ))
+
+    print()
+    print(format_table(
+        ["occupancy bucket (Fig. 8)", "cycles"],
+        [[bucket, f"{fraction * 100:.1f}%"]
+         for bucket, fraction in sim.occupancy().buckets().items()],
+    ))
+    return 0
 
 
 def cmd_show(args) -> int:
@@ -304,6 +424,11 @@ def cmd_fuzz(args) -> int:
         print(f"DIVERGENCE ({divergence.kind}): {divergence.detail}")
         return 1
 
+    registry = None
+    if getattr(args, "metrics_out", None):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     result = run_campaign(
         args.seed,
         args.iterations,
@@ -312,7 +437,14 @@ def cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         log=print,
+        metrics=registry,
     )
+    if registry is not None:
+        from repro.obs import record_provenance, write_metrics
+
+        record_provenance(registry, extra={"campaign_seed": args.seed})
+        write_metrics(args.metrics_out, registry)
+        print(f"metrics: {args.metrics_out}")
     print(result.summary())
     for failure in result.failures:
         shrunk = (f", shrunk {failure.original_instructions} -> "
@@ -365,6 +497,27 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="cycle_budget",
                        help="with --supervise: watchdog budget in cycles "
                             "for the timing simulation")
+    run_p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace_event JSON timeline "
+                            "(open in Perfetto; see docs/OBSERVABILITY.md)")
+    run_p.add_argument("--metrics", default=None, metavar="FILE",
+                       dest="metrics_out",
+                       help="write the metrics snapshot (.csv suffix "
+                            "selects CSV, anything else JSON)")
+
+    report_p = sub.add_parser(
+        "report", help="stall / occupancy / utilization summary tables"
+    )
+    report_p.add_argument("workload")
+    report_p.add_argument("--scale", type=int, default=None,
+                          help="loop trip count (default: workload default)")
+    report_p.add_argument("--comm-latency", type=int, default=1,
+                          dest="comm_latency")
+    report_p.add_argument("--queue-size", type=int, default=32,
+                          dest="queue_size")
+    report_p.add_argument("--half-width", action="store_true",
+                          dest="half_width",
+                          help="use 3-issue cores instead of 6-issue")
 
     show_p = sub.add_parser("show", help="print IR, SCCs and the pipeline")
     show_p.add_argument("workload")
@@ -424,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--max-failures", type=int, default=10,
                         dest="max_failures",
                         help="stop the campaign after this many divergences")
+    fuzz_p.add_argument("--metrics", default=None, metavar="FILE",
+                        dest="metrics_out",
+                        help="write campaign counters (cases, runs, "
+                             "divergences, ...) as a metrics snapshot")
     return parser
 
 
@@ -432,6 +589,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "report": cmd_report,
         "show": cmd_show,
         "sweep": cmd_sweep,
         "select": cmd_select,

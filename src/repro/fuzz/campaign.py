@@ -73,6 +73,7 @@ def run_campaign(
     shrink: bool = True,
     max_failures: int = 10,
     log: Optional[Callable[[str], None]] = None,
+    metrics=None,
 ) -> CampaignResult:
     """Run ``iterations`` generated cases through the oracle.
 
@@ -88,6 +89,11 @@ def run_campaign(
         shrink: Minimize each failing case before writing it out.
         max_failures: Stop early after this many divergent cases.
         log: Progress sink (e.g. ``print``); called every 50 cases.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+            Records ``fuzz.cases`` / ``fuzz.runs`` / ``fuzz.applied`` /
+            ``fuzz.declined`` / ``fuzz.divergences`` / ``fuzz.shrinks``
+            counters, plus ``fuzz.faults_detected`` (labelled by fault
+            name) when an injected bug produced a divergence.
     """
     if fault is not None and isinstance(fault, str):
         fault = get_fault(fault)
@@ -100,11 +106,23 @@ def run_campaign(
         result.runs += report.runs
         result.applied += report.applied
         result.declined += len(report.declined)
+        if metrics is not None:
+            metrics.counter("fuzz.cases").inc()
+            metrics.counter("fuzz.runs").inc(report.runs)
+            metrics.counter("fuzz.applied").inc(report.applied)
+            metrics.counter("fuzz.declined").inc(len(report.declined))
         if fault is not None and not report.runs:
             result.fault_skipped += 1
         if report.divergences:
             failure = _handle_failure(case, report, fault, out_dir, shrink)
             result.failures.append(failure)
+            if metrics is not None:
+                metrics.counter("fuzz.divergences").inc()
+                if failure.shrunk_instructions < failure.original_instructions:
+                    metrics.counter("fuzz.shrinks").inc()
+                if fault is not None:
+                    metrics.counter("fuzz.faults_detected",
+                                    fault=fault.name).inc()
             if log:
                 log(f"[{index + 1}/{iterations}] seed {cseed}: "
                     f"DIVERGENCE {failure.divergence.kind} "

@@ -180,8 +180,15 @@ def _induced_crash(name: str) -> None:
     os._exit(13)
 
 
-def _run_group(group: tuple[str, int, list[dict]]) -> tuple[list[dict], dict]:
-    """All sweep points of one workload, sharing one cache."""
+def _run_group(
+    group: tuple[str, int, list[dict]],
+) -> tuple[list[dict], dict, dict]:
+    """All sweep points of one workload, sharing one cache.
+
+    Returns ``(point_results, stage_seconds, cache_stats)``; the cache
+    stats travel back across the process boundary so the driver can
+    aggregate hit/miss counts over all groups.
+    """
     name, scale, specs = group
     _induced_crash(name)
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
@@ -202,7 +209,7 @@ def _run_group(group: tuple[str, int, list[dict]]) -> tuple[list[dict], dict]:
         sim = simulate(traces, _machine(spec["machine"]))
         stages["simulate"] += time.perf_counter() - t0
         results.append({"id": spec["id"], **_sim_summary(sim)})
-    return results, stages
+    return results, stages, cache.stats()
 
 
 def _groups(points: list[dict]) -> list[tuple[str, int, list[dict]]]:
@@ -231,7 +238,7 @@ def _fan_out(groups, jobs: int):
         ctx = multiprocessing.get_context("fork")
     except ValueError:
         return [], [], 1
-    outputs: list[Optional[tuple[list[dict], dict]]] = [None] * len(groups)
+    outputs: list[Optional[tuple[list[dict], dict, dict]]] = [None] * len(groups)
     # Round 1: one shared pool.  A dying worker breaks the whole pool,
     # so innocent in-flight groups fail alongside the guilty one.
     failed: list[int] = []
@@ -260,7 +267,7 @@ def _fan_out(groups, jobs: int):
 
 def run_optimized(
     points: list[dict], jobs: int,
-) -> tuple[list[dict], dict, int, list[str]]:
+) -> tuple[list[dict], dict, int, list[str], dict]:
     """Run all points grouped-and-cached, fanned over ``jobs`` workers.
 
     Falls back to in-process serial execution when ``jobs <= 1`` or the
@@ -269,30 +276,37 @@ def run_optimized(
     crashes twice is re-run in-process (the sweep always completes) and
     its points are returned as *degraded* so the report can say the
     parallel path failed for them.
+
+    The last return value aggregates every group's
+    :meth:`~repro.harness.cache.ExperimentCache.stats` (hits, misses,
+    corrupt evictions, entry counts) across workers.
     """
     groups = _groups(points)
     jobs = max(1, min(jobs, len(groups)))
     degraded_ids: list[str] = []
-    outputs: list[Optional[tuple[list[dict], dict]]] = []
+    outputs: list[Optional[tuple[list[dict], dict, dict]]] = []
     if jobs > 1:
         outputs, fallback, jobs = _fan_out(groups, jobs)
         for i in fallback:
             outputs[i] = _run_group(groups[i])
-            group_results, _ = outputs[i]
+            group_results, _, _ = outputs[i]
             for result in group_results:
                 result["degraded"] = True
                 degraded_ids.append(result["id"])
     if jobs == 1:
         outputs = [_run_group(g) for g in groups]
         degraded_ids = []
-    results = [r for group_results, _ in outputs for r in group_results]
+    results = [r for group_results, _, _ in outputs for r in group_results]
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
-    for _, group_stages in outputs:
+    cache_stats: dict[str, int] = {}
+    for _, group_stages, group_cache in outputs:
         for key, value in group_stages.items():
             stages[key] += value
+        for key, value in group_cache.items():
+            cache_stats[key] = cache_stats.get(key, 0) + value
     order = {spec["id"]: i for i, spec in enumerate(points)}
     results.sort(key=lambda r: order[r["id"]])
-    return results, stages, jobs, degraded_ids
+    return results, stages, jobs, degraded_ids, cache_stats
 
 
 # ----------------------------------------------------------------------
@@ -306,12 +320,34 @@ def run_bench(
     out_dir: str = ".",
     compare: bool = True,
 ) -> dict:
-    """Run one figure's sweep; returns (and writes) the report dict."""
+    """Run one figure's sweep; returns (and writes) the report dict.
+
+    Every ``BENCH_<figure>.json`` carries a ``provenance`` block (git
+    commit, machine configuration digests, sweep scale) and a
+    ``metrics`` snapshot (cache hit/miss counters and sweep gauges from
+    :class:`~repro.obs.metrics.MetricsRegistry`), so a report on disk
+    is attributable to the code and configuration that produced it.
+    """
+    from repro.obs import MetricsRegistry, record_provenance
+
     points = sweep_points(figure, scale)
 
     t0 = time.perf_counter()
-    optimized, opt_stages, jobs_used, degraded_ids = run_optimized(points, jobs)
+    optimized, opt_stages, jobs_used, degraded_ids, cache_stats = (
+        run_optimized(points, jobs))
     optimized_seconds = time.perf_counter() - t0
+
+    registry = MetricsRegistry()
+    provenance = record_provenance(
+        registry,
+        machine=MachineConfig(),
+        extra={"figure": figure, "bench_scale": scale},
+    )
+    registry.gauge("bench.points").set(len(points))
+    registry.gauge("bench.jobs").set(jobs_used)
+    registry.gauge("bench.degraded_points").set(len(degraded_ids))
+    for key, value in sorted(cache_stats.items()):
+        registry.counter(f"cache.{key}").inc(value)
 
     report = {
         "figure": figure,
@@ -320,8 +356,11 @@ def run_bench(
         "num_points": len(points),
         "points": optimized,
         "degraded_points": degraded_ids,
+        "cache_stats": cache_stats,
         "optimized_seconds": optimized_seconds,
         "optimized_stage_seconds": opt_stages,
+        "provenance": provenance,
+        "metrics": registry.snapshot(),
     }
 
     if compare:
@@ -379,5 +418,24 @@ def format_report(report: dict) -> str:
             f"in-process after worker crashes: "
             + ", ".join(report["degraded_points"])
         )
+    lines.append("  " + summary_line(report))
     lines.append(f"  report:    {report['path']}")
     return "\n".join(lines)
+
+
+def summary_line(report: dict) -> str:
+    """One-line per-sweep digest: points, cache traffic, degradations.
+
+    Printed unconditionally by ``python -m repro bench`` (with or
+    without ``--no-compare``) so every sweep leaves a grep-friendly
+    record of how much functional work the cache absorbed.
+    """
+    cache = report.get("cache_stats", {})
+    parts = [
+        f"summary:   {report['num_points']} points",
+        f"cache {cache.get('hits', 0)} hit(s) / {cache.get('misses', 0)} miss(es)",
+    ]
+    if cache.get("corrupt_evictions"):
+        parts.append(f"{cache['corrupt_evictions']} corrupt eviction(s)")
+    parts.append(f"{len(report.get('degraded_points', ()))} degraded point(s)")
+    return ", ".join(parts)

@@ -86,19 +86,28 @@ class ExperimentCache:
     """Memoises functional runs across machine-configuration sweeps.
 
     ``persist_dir`` enables the on-disk layer; ``log`` receives one
-    line per evicted-corrupt entry (default: silent).
+    line per evicted-corrupt entry (default: silent).  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) mirrors the hit/miss/
+    corrupt-evict counts as ``cache.hits`` / ``cache.misses`` /
+    ``cache.corrupt_evictions`` counters.
     """
 
     def __init__(self, persist_dir: Optional[str] = None,
-                 log: Optional[Callable[[str], None]] = None) -> None:
+                 log: Optional[Callable[[str], None]] = None,
+                 metrics=None) -> None:
         self._digests: dict[int, str] = {}
         self._baselines: dict[str, BaselineRun] = {}
         self._dswp: dict[tuple, DSWPRun] = {}
         self.persist_dir = persist_dir
         self._log = log or (lambda message: None)
+        self._metrics = metrics
         self.hits = 0
         self.misses = 0
         self.corrupt_evictions = 0
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
 
     # ------------------------------------------------------------------
     # Disk layer.  Corruption policy: any load failure is a miss, never
@@ -122,6 +131,7 @@ class ExperimentCache:
             return payload["data"]
         except Exception as exc:  # truncated, garbage, wrong shape, ...
             self.corrupt_evictions += 1
+            self._count("cache.corrupt_evictions")
             self._log(f"cache: evicting corrupt entry {path} "
                       f"({type(exc).__name__}: {exc}); re-running")
             try:
@@ -170,15 +180,18 @@ class ExperimentCache:
         run = self._baselines.get(key)
         if run is not None:
             self.hits += 1
+            self._count("cache.hits")
             return run
         data = self._load_entry("baseline", key)
         if data is not None:
             self.hits += 1
+            self._count("cache.hits")
             run = BaselineRun(case, data["trace"], data["profile"],
                               memory=data.get("memory"),
                               regs=data.get("regs"))
         else:
             self.misses += 1
+            self._count("cache.misses")
             run = run_baseline(case, check=check)
             self._store_entry("baseline", key, {
                 "trace": run.trace, "profile": run.profile,
@@ -207,13 +220,16 @@ class ExperimentCache:
         run = self._dswp.get(key)
         if run is not None:
             self.hits += 1
+            self._count("cache.hits")
             return run
         data = self._load_entry("dswp", key)
         if data is not None:
             self.hits += 1
+            self._count("cache.hits")
             run = DSWPRun(data["result"], data["traces"])
         else:
             self.misses += 1
+            self._count("cache.misses")
             run = run_dswp(
                 case,
                 baseline if baseline is not None else self.baseline(case, check=check),

@@ -29,6 +29,7 @@ from repro.interp.trace import TraceLike
 from repro.machine.cmp import simulate
 from repro.machine.config import MachineConfig
 from repro.machine.stats import SimResult
+from repro.obs import NULL_OBS, ObsConfig
 from repro.resilience.faults import FaultPlan
 from repro.resilience.supervisor import (
     STATUS_CLEAN,
@@ -98,8 +99,14 @@ def run_dswp(
     require_profitable: bool = False,
     check: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    metrics=None,
 ) -> DSWPRun:
-    """Apply DSWP to the workload's loop and execute the pipeline."""
+    """Apply DSWP to the workload's loop and execute the pipeline.
+
+    ``metrics`` flows into the multi-threaded interpreter
+    (:func:`~repro.interp.multithread.run_threads`), which records
+    per-thread steps and produce/consume wait counters into it.
+    """
     baseline = baseline or run_baseline(case, check=check)
     result = dswp(
         case.function,
@@ -116,6 +123,7 @@ def run_dswp(
         max_steps=MAX_STEPS, record_trace=True,
         call_handlers=case.call_handlers,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     if check:
         case.checker(memory, mt.main_regs)
@@ -159,17 +167,35 @@ def run_experiment(
     alias_model: Optional[AliasModel] = None,
     scale: Optional[int] = None,
     check: bool = True,
+    obs: Optional[ObsConfig] = None,
 ) -> ExperimentResult:
-    """The full compare-against-baseline experiment for one workload."""
+    """The full compare-against-baseline experiment for one workload.
+
+    ``obs`` attaches the observability layer
+    (:class:`~repro.obs.ObsConfig`): wall-clock spans bracket each
+    phase (build / interpret / transform+pipeline / simulate) and the
+    metrics registry collects interpreter wait counters plus the
+    pipeline simulation's stall/occupancy/utilization telemetry.  The
+    default observes nothing and executes the exact same code path.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    tracer, metrics = obs.tracer, obs.metrics
     machine = machine or MachineConfig()
     baseline_machine = baseline_machine or machine
-    case = workload.build(scale=scale)
-    baseline = run_baseline(case, check=check)
-    base_sim = simulate([baseline.trace], baseline_machine)
-    transformed = run_dswp(
-        case, baseline, partition=partition, alias_model=alias_model, check=check
-    )
-    dswp_sim = simulate(transformed.traces, machine)
+    with tracer.span("harness.run_experiment", workload=workload.name):
+        with tracer.span("workload.build"):
+            case = workload.build(scale=scale)
+        with tracer.span("interp.baseline"):
+            baseline = run_baseline(case, check=check)
+        base_sim = simulate([baseline.trace], baseline_machine,
+                            tracer=tracer)
+        with tracer.span("core.dswp+interp.pipeline"):
+            transformed = run_dswp(
+                case, baseline, partition=partition,
+                alias_model=alias_model, check=check, metrics=metrics,
+            )
+        dswp_sim = simulate(transformed.traces, machine, metrics=metrics,
+                            tracer=tracer)
     return ExperimentResult(workload, base_sim, dswp_sim, transformed.result)
 
 
@@ -183,6 +209,7 @@ def run_supervised(
     check: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     cycle_budget: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> SupervisedOutcome:
     """:func:`run_experiment` under supervision: never hang, never lose
     the result to a pipeline failure.
@@ -203,31 +230,52 @@ def run_supervised(
     Checker (oracle) failures are *not* absorbed: a pipeline that runs
     to completion with the wrong answer is a correctness bug the
     supervisor must surface, not paper over.
+
+    With ``obs`` supplied, each incident additionally carries the final
+    metrics snapshot (``IncidentReport.metrics``) -- the queue-wait and
+    stall telemetry collected up to the moment of failure -- so a
+    degraded run is diagnosable from its artifacts alone.
     """
+    obs = obs if obs is not None else NULL_OBS
+    tracer, metrics = obs.tracer, obs.metrics
     machine = machine or MachineConfig()
     baseline_machine = baseline_machine or machine
     case = workload.build(scale=scale)
     errors = supervised_errors()
 
+    def finish_incident(incident):
+        if metrics is not None:
+            incident.metrics = metrics.snapshot()
+        tracer.instant("incident", category="resilience",
+                       kind=incident.kind, message=incident.message)
+        return incident
+
     try:
-        baseline = run_baseline(case, check=check)
-        base_sim = simulate([baseline.trace], baseline_machine)
+        with tracer.span("interp.baseline"):
+            baseline = run_baseline(case, check=check)
+        base_sim = simulate([baseline.trace], baseline_machine,
+                            tracer=tracer)
     except errors as exc:
+        incident = finish_incident(
+            incident_from_exception(exc, fault=_plan_name(fault_plan)))
         return SupervisedOutcome(
             status=STATUS_FAILED,
             result=None,
-            incidents=[incident_from_exception(exc, fault=_plan_name(fault_plan))],
+            incidents=[incident],
         )
 
     try:
-        transformed = run_dswp(
-            case, baseline, partition=partition, alias_model=alias_model,
-            check=check, fault_plan=fault_plan,
-        )
+        with tracer.span("core.dswp+interp.pipeline"):
+            transformed = run_dswp(
+                case, baseline, partition=partition, alias_model=alias_model,
+                check=check, fault_plan=fault_plan, metrics=metrics,
+            )
         dswp_sim = simulate(transformed.traces, machine,
-                            fault_plan=fault_plan, cycle_budget=cycle_budget)
+                            fault_plan=fault_plan, cycle_budget=cycle_budget,
+                            metrics=metrics, tracer=tracer)
     except errors as exc:
-        incident = incident_from_exception(exc, fault=_plan_name(fault_plan))
+        incident = finish_incident(
+            incident_from_exception(exc, fault=_plan_name(fault_plan)))
         degraded = ExperimentResult(workload, base_sim, None, None)
         return SupervisedOutcome(
             status=STATUS_DEGRADED, result=degraded, incidents=[incident],

@@ -146,6 +146,7 @@ def run_threads(
     record_trace: bool = False,
     call_handlers: Optional[dict[str, CallHandler]] = None,
     fault_plan: Optional[FaultPlan] = None,
+    metrics=None,
 ) -> MTRunResult:
     """Run all threads to completion.
 
@@ -170,6 +171,13 @@ def run_threads(
             (:class:`~repro.resilience.faults.FaultPlan`); every
             failure they provoke surfaces as a structured exception
             carrying an :class:`~repro.resilience.incident.IncidentReport`.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+            Records ``interp.produce_waits`` / ``interp.consume_waits``
+            (labelled by thread and queue) on the blocking paths,
+            ``interp.scheduler_rounds``, and per-thread
+            ``interp.steps`` plus ``interp.queue_max_occupancy`` after
+            the run.  ``None`` (the default) records nothing; the hot
+            per-instruction path is identical either way.
 
     Failures attach forensics: :class:`DeadlockError`,
     :class:`QueueProtocolError` and :class:`StepLimitExceeded` raised
@@ -209,7 +217,9 @@ def run_threads(
         return QueueProtocolError(msg, queue=queue, thread=tid, report=report)
 
     total = 0
+    rounds = 0
     while True:
+        rounds += 1
         progressed = False
         blocked: dict[int, str] = {}
         edges: dict[int, WaitEdge] = {}
@@ -240,6 +250,10 @@ def run_threads(
                             )
                         blocked[tid] = f"produce on full queue {inst.queue}"
                         edges[tid] = WaitEdge(tid, ROLE_PRODUCE, inst.queue)
+                        if metrics is not None:
+                            metrics.counter("interp.produce_waits",
+                                            thread=tid,
+                                            queue=inst.queue).inc()
                         break
                     value = ctx.read(inst.srcs[0]) if inst.srcs else 0
                     if active is None:
@@ -265,6 +279,10 @@ def run_threads(
                             )
                         blocked[tid] = f"consume on empty queue {inst.queue}"
                         edges[tid] = WaitEdge(tid, ROLE_CONSUME, inst.queue)
+                        if metrics is not None:
+                            metrics.counter("interp.consume_waits",
+                                            thread=tid,
+                                            queue=inst.queue).inc()
                         break
                     value = queues.consume(inst.queue)
                     if inst.dest is not None:
@@ -302,4 +320,16 @@ def run_threads(
                 blocked,
                 report=report,
             )
+    if metrics is not None:
+        _record_run_metrics(metrics, contexts, queues, rounds)
     return MTRunResult(contexts, queues)
+
+
+def _record_run_metrics(metrics, contexts, queues: QueueSet,
+                        rounds: int) -> None:
+    """End-of-run interpreter telemetry (see :func:`run_threads`)."""
+    metrics.counter("interp.scheduler_rounds").inc(rounds)
+    for tid, ctx in enumerate(contexts):
+        metrics.counter("interp.steps", thread=tid).inc(ctx.steps)
+    for qid, occupancy in sorted(queues.max_occupancy.items()):
+        metrics.gauge("interp.queue_max_occupancy", queue=qid).set(occupancy)

@@ -111,6 +111,8 @@ def simulate(
     warm: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     cycle_budget: Optional[int] = None,
+    metrics=None,
+    tracer=None,
 ) -> SimResult:
     """Simulate one trace per core; returns timing and telemetry.
 
@@ -134,8 +136,35 @@ def simulate(
     instead of spinning.  Both failure modes attach an
     :class:`~repro.resilience.incident.IncidentReport` describing the
     core/queue wait-for graph at the moment of failure.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
+    ``tracer`` (a :class:`~repro.obs.spans.Tracer`) attach the
+    observability layer: the scheduler itself is untouched -- telemetry
+    is published from the accumulators *after* the run via
+    :meth:`~repro.machine.stats.SimResult.record_metrics`, and the
+    tracer only brackets the call with a wall-clock span -- so an
+    observed simulation is cycle-identical to an unobserved one.
     """
     machine = machine or MachineConfig()
+    if tracer is not None and tracer.enabled:
+        with tracer.span("machine.simulate", category="machine",
+                         threads=len(traces)):
+            result = _simulate(traces, machine, warm, fault_plan,
+                               cycle_budget)
+    else:
+        result = _simulate(traces, machine, warm, fault_plan, cycle_budget)
+    if metrics is not None:
+        result.record_metrics(metrics)
+    return result
+
+
+def _simulate(
+    traces: list[TraceLike],
+    machine: MachineConfig,
+    warm: bool,
+    fault_plan: Optional[FaultPlan],
+    cycle_budget: Optional[int],
+) -> SimResult:
     if len(traces) > machine.num_cores and len(traces) > 1:
         raise ValueError(
             f"{len(traces)} threads but the machine has {machine.num_cores} cores"

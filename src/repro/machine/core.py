@@ -325,3 +325,27 @@ class CoreSim:
 
     def stall_cycles(self, kind: str) -> int:
         return sum(s.duration for s in self.stalls if s.kind == kind)
+
+    def stall_breakdown(self) -> dict[str, int]:
+        """Queue-stall cycles by kind (``produce_full`` /
+        ``consume_empty``); only kinds that occurred appear."""
+        out: dict[str, int] = {}
+        for s in self.stalls:
+            out[s.kind] = out.get(s.kind, 0) + s.duration
+        return out
+
+    def stall_breakdown_by_queue(self) -> dict[tuple[str, int], int]:
+        """Queue-stall cycles by (kind, queue id)."""
+        out: dict[tuple[str, int], int] = {}
+        for s in self.stalls:
+            key = (s.kind, s.queue)
+            out[key] = out.get(key, 0) + s.duration
+        return out
+
+    def utilization(self) -> float:
+        """Issue-slot utilization: slots filled over slots offered
+        (``issue_width`` per cycle up to the core's last completion)."""
+        if self.last_completion <= 0:
+            return 0.0
+        offered = self.last_completion * self.config.issue_width
+        return self.instructions_executed / offered

@@ -123,6 +123,59 @@ class SimResult:
             self.queues.occupancy_events(), self.cycles, producer_stall, consumer_stall
         )
 
+    def utilizations(self) -> list[float]:
+        """Per-core issue-slot utilization."""
+        return [c.utilization() for c in self.cores]
+
+    def record_metrics(self, registry, prefix: str = "sim") -> None:
+        """Publish this result's telemetry into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        This is the registry view of the accumulators the simulation
+        already collects (per-core stall records, issue counts, the
+        synchronization array's event lists): cycle totals, per-core
+        IPC/utilization gauges, stall-cycle counters and stall-duration
+        histograms bucketed by kind, per-queue produced/consumed/peak-
+        occupancy gauges, a downsampled occupancy series per queue, and
+        the Fig. 8 occupancy buckets.  Recording happens after the run,
+        so enabling metrics cannot perturb timing.
+        """
+        registry.gauge(f"{prefix}.cycles").set(self.cycles)
+        registry.gauge(f"{prefix}.instructions").set(self.instructions)
+        for core in self.cores:
+            cid = core.core_id
+            registry.gauge(f"{prefix}.core_cycles", core=cid).set(
+                core.last_completion)
+            registry.gauge(f"{prefix}.core_instructions", core=cid).set(
+                core.instructions_executed)
+            registry.gauge(f"{prefix}.ipc", core=cid).set(core.ipc())
+            registry.gauge(f"{prefix}.issue_utilization", core=cid).set(
+                core.utilization())
+            for kind, cycles in sorted(core.stall_breakdown().items()):
+                registry.counter(f"{prefix}.stall_cycles",
+                                 core=cid, kind=kind).inc(cycles)
+            for stall in core.stalls:
+                registry.histogram(f"{prefix}.stall_duration",
+                                   core=cid, kind=stall.kind).observe(
+                    stall.duration)
+        if self.queues is None:
+            return
+        for qid in self.queues.queue_ids():
+            registry.gauge(f"{prefix}.queue_produced", queue=qid).set(
+                self.queues.produced(qid))
+            registry.gauge(f"{prefix}.queue_consumed", queue=qid).set(
+                self.queues.consumed(qid))
+            registry.gauge(f"{prefix}.queue_max_occupancy", queue=qid).set(
+                self.queues.max_occupancy(qid))
+            series = registry.series(f"{prefix}.queue_occupancy", queue=qid)
+            level = 0
+            for t, delta in self.queues.occupancy_events_for(qid):
+                level += delta
+                series.append(t, level)
+        for bucket, fraction in self.occupancy().buckets().items():
+            registry.gauge(f"{prefix}.occupancy_bucket", bucket=bucket).set(
+                fraction)
+
     def __repr__(self) -> str:
         ipcs = ", ".join(f"{v:.2f}" for v in self.ipcs())
         return f"<SimResult {self.cycles} cycles, IPC [{ipcs}]>"

@@ -91,3 +91,35 @@ class QueueTiming:
             events.extend((t, -1) for t in frees)
         events.sort()
         return events
+
+    def queue_ids(self) -> list[int]:
+        """Every queue that saw at least one produce or consume."""
+        return sorted(set(self.visible) | set(self.freed))
+
+    def produced(self, qid: int) -> int:
+        return len(self.visible.get(qid, ()))
+
+    def consumed(self, qid: int) -> int:
+        return len(self.freed.get(qid, ()))
+
+    def occupancy_events_for(self, qid: int) -> list[tuple[int, int]]:
+        """The (cycle, +1/-1) event stream of one queue, sorted.
+
+        Ties break +1 first: a value consumed the very cycle it becomes
+        visible still occupies the queue at that instant, so the level
+        never dips below zero and same-cycle handoffs count toward the
+        peak.
+        """
+        events = [(t, +1) for t in self.visible.get(qid, ())]
+        events.extend((t, -1) for t in self.freed.get(qid, ()))
+        events.sort(key=lambda event: (event[0], -event[1]))
+        return events
+
+    def max_occupancy(self, qid: int) -> int:
+        """Peak visible-but-unconsumed depth queue ``qid`` reached."""
+        level = peak = 0
+        for _, delta in self.occupancy_events_for(qid):
+            level += delta
+            if level > peak:
+                peak = level
+        return peak

@@ -1,0 +1,110 @@
+"""Observability: pipeline tracing, metrics registry, timeline export.
+
+Three zero-dependency pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.spans` -- structured tracing (nestable wall-clock
+  spans, instant events, explicit-timestamp cycle-domain events); a
+  disabled :class:`Tracer` is a no-op.
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges, histograms, bounded series and info strings, adopted by the
+  interpreters, the timing model, the experiment cache and the fuzz
+  campaign driver.
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON (loadable in
+  Perfetto / ``chrome://tracing``) with one track per pipeline stage
+  and produce->consume flow arrows, plus JSON/CSV metrics snapshots,
+  provenance capture and a strict trace-schema validator.
+
+This package imports nothing from the rest of :mod:`repro`, so every
+execution layer can depend on it without cycles.  :class:`ObsConfig`
+is the bundle the harness entry points
+(:func:`~repro.harness.runner.run_experiment`,
+:func:`~repro.harness.runner.run_supervised`, the CLI) accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.export import (
+    TraceValidationError,
+    build_chrome_trace,
+    machine_config_digest,
+    provenance_from_snapshot,
+    record_provenance,
+    sim_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Info,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.spans import (
+    CYCLE_PID,
+    NULL_TRACER,
+    WALL_PID,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+@dataclass
+class ObsConfig:
+    """What to observe on one run: a tracer and/or a metrics registry.
+
+    The default configuration observes nothing (the shared disabled
+    tracer, no registry) and is safe to pass everywhere;
+    :meth:`enabled` builds a fully observing configuration.
+    """
+
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: Optional[MetricsRegistry] = None
+
+    @classmethod
+    def enabled(cls, tracing: bool = True, metrics: bool = True) -> "ObsConfig":
+        return cls(
+            tracer=Tracer() if tracing else NULL_TRACER,
+            metrics=MetricsRegistry() if metrics else None,
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.tracer.enabled or self.metrics is not None
+
+
+#: Shared do-nothing configuration (both observers disabled).
+NULL_OBS = ObsConfig()
+
+
+__all__ = [
+    "CYCLE_PID",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Info",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "ObsConfig",
+    "Series",
+    "Tracer",
+    "TraceValidationError",
+    "WALL_PID",
+    "build_chrome_trace",
+    "get_tracer",
+    "machine_config_digest",
+    "provenance_from_snapshot",
+    "record_provenance",
+    "set_tracer",
+    "sim_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,246 @@
+"""Metrics registry: counters, gauges, histograms, series, info.
+
+The registry is the quantitative half of the observability layer (the
+tracer in :mod:`repro.obs.spans` is the temporal half).  Instrumented
+modules accept an optional :class:`MetricsRegistry` and record into it
+on their cold paths; ``None`` means "not observed" and costs a single
+``is not None`` test.
+
+Metric identity is ``name`` plus sorted ``labels`` -- the flat snapshot
+key renders as ``name{label=value,...}``, e.g.::
+
+    interp.produce_waits{queue=3,thread=0}  ->  17
+    sim.stall_cycles{core=1,kind=consume_empty}  ->  412
+
+Naming scheme (see ``docs/OBSERVABILITY.md``): dotted ``domain.metric``
+names where the domain matches the package that records it (``interp``,
+``sim``, ``cache``, ``fuzz``, ``bench``, ``provenance``).
+
+All metric types are plain data: ``snapshot()`` round-trips through
+JSON, and :meth:`MetricsRegistry.to_csv` writes the same flat view as
+``metric,type,field,value`` rows.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional
+
+_LABEL_SAFE = str.maketrans({",": "_", "=": "_", "{": "_", "}": "_",
+                             "\n": "_"})
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    body = ",".join(f"{k}={str(v).translate(_LABEL_SAFE)}"
+                    for k, v in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
+class Counter:
+    """Monotonically increasing integer/float count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+    def to_value(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value, overwritten on every set."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_value(self):
+        return self.value
+
+
+class Info:
+    """A string-valued annotation (provenance, configuration)."""
+
+    __slots__ = ("value",)
+    kind = "info"
+
+    def __init__(self) -> None:
+        self.value = ""
+
+    def set(self, value: str) -> None:
+        self.value = str(value)
+
+    def to_value(self):
+        return self.value
+
+
+#: Default histogram bucket upper bounds (powers of two: stall
+#: durations, queue depths and step counts all span orders of
+#: magnitude).
+DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Histogram:
+    """Cumulative-bucket histogram with an overflow bucket."""
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(self, bounds=DEFAULT_BOUNDS) -> None:
+        bounds = tuple(bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be sorted/unique: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_value(self) -> dict:
+        buckets = {f"le_{b}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
+class Series:
+    """A bounded (time, value) series, e.g. queue occupancy per cycle.
+
+    Memory is bounded by stride decimation: once ``max_points`` points
+    are held, every other retained point is dropped and the sampling
+    stride doubles, so a series over N appends keeps at most
+    ``max_points`` points spread evenly over the whole run (the same
+    idea as the Fig. 7 downsampled occupancy curves).
+    """
+
+    __slots__ = ("points", "max_points", "_stride", "_seen")
+    kind = "series"
+
+    def __init__(self, max_points: int = 512) -> None:
+        if max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
+        self.points: list[tuple[float, float]] = []
+        self.max_points = max_points
+        self._stride = 1
+        self._seen = 0
+
+    def append(self, t: float, value: float) -> None:
+        keep = self._seen % self._stride == 0
+        self._seen += 1
+        if not keep:
+            return
+        if len(self.points) >= self.max_points:
+            self.points = self.points[::2]
+            self._stride *= 2
+            if (self._seen - 1) % self._stride != 0:
+                return
+        self.points.append((t, value))
+
+    def to_value(self) -> list[list[float]]:
+        return [[t, v] for t, v in self.points]
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics of one observed run."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict, *args):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(*args)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {key!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def info(self, name: str, **labels) -> Info:
+        return self._get(Info, name, labels)
+
+    def histogram(self, name: str, bounds=DEFAULT_BOUNDS, **labels) -> Histogram:
+        return self._get(Histogram, name, labels, bounds)
+
+    def series(self, name: str, max_points: int = 512, **labels) -> Series:
+        return self._get(Series, name, labels, max_points)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+    def snapshot(self) -> dict:
+        """Flat ``key -> plain value`` view, JSON-serialisable."""
+        return {key: metric.to_value()
+                for key, metric in sorted(self._metrics.items())}
+
+    def scalars(self) -> dict:
+        """Only the scalar metrics (counters/gauges/info)."""
+        return {key: metric.to_value()
+                for key, metric in sorted(self._metrics.items())
+                if isinstance(metric, (Counter, Gauge, Info))}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Flat CSV: ``metric,type,field,value`` (histogram buckets and
+        series points become one row per field/point)."""
+        out = io.StringIO()
+        out.write("metric,type,field,value\n")
+
+        def quote(text: str) -> str:
+            text = str(text)
+            if any(c in text for c in ',"\n'):
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        for key, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                value = metric.to_value()
+                out.write(f"{quote(key)},histogram,count,{value['count']}\n")
+                out.write(f"{quote(key)},histogram,sum,{value['sum']}\n")
+                for bucket, count in value["buckets"].items():
+                    out.write(f"{quote(key)},histogram,{bucket},{count}\n")
+            elif isinstance(metric, Series):
+                for t, v in metric.points:
+                    out.write(f"{quote(key)},series,{t},{v}\n")
+            else:
+                out.write(f"{quote(key)},{metric.kind},,"
+                          f"{quote(metric.to_value())}\n")
+        return out.getvalue()

@@ -1,0 +1,194 @@
+"""Zero-dependency structured tracing core.
+
+A :class:`Tracer` records *spans* (nestable begin/end intervals),
+*instant* events, *complete* slices with explicit timestamps, *counter*
+samples and *flow* arrows, in a representation that maps one-to-one
+onto the Chrome ``trace_event`` format (the JSON that Perfetto and
+``chrome://tracing`` load; see ``docs/OBSERVABILITY.md``).
+
+Two timestamp domains coexist in one trace, kept apart as separate
+Chrome *processes*:
+
+* **wall-clock** events (``pid`` :data:`WALL_PID`) -- harness phases
+  such as "interpret the baseline" or "run the timing model", stamped
+  from a monotonic clock in microseconds.  These are what :meth:`
+  Tracer.span` emits.
+* **cycle-domain** events (``pid`` :data:`CYCLE_PID`) -- the pipeline
+  timeline reconstructed from simulation telemetry, where ``ts`` is a
+  simulated cycle number.  These are emitted with explicit timestamps
+  via :meth:`Tracer.complete`, :meth:`Tracer.counter` and the flow
+  methods (normally by :mod:`repro.obs.export`, not by hand).
+
+The tracer is **explicitly injectable** (pass it down through
+``ObsConfig``) but a process-wide default exists for code that has no
+better plumbing: :func:`get_tracer` / :func:`set_tracer`.  The default
+is :data:`NULL_TRACER`, a disabled tracer whose every method returns
+immediately -- instrumented code may call it unconditionally on cold
+paths, and hot paths guard on :attr:`Tracer.enabled`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+#: Chrome "process" ids separating the two timestamp domains.
+CYCLE_PID = 0   # simulated-cycle timeline (pipeline stages, queues)
+WALL_PID = 1    # wall-clock harness phases (microseconds)
+
+
+class Tracer:
+    """Collects trace events; a no-op when ``enabled`` is false.
+
+    ``clock`` (a zero-arg callable returning seconds) exists so tests
+    can drive deterministic timestamps; the default is
+    :func:`time.perf_counter` rebased to the tracer's creation.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.enabled = enabled
+        self.events: list[dict] = []
+        self._clock = clock if clock is not None else time.perf_counter
+        self._origin = self._clock() if enabled else 0.0
+        #: Open wall-clock span names (B events awaiting their E).
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    def now_us(self) -> float:
+        """Microseconds since the tracer was created."""
+        return (self._clock() - self._origin) * 1e6
+
+    def open_spans(self) -> list[str]:
+        return list(self._stack)
+
+    # ------------------------------------------------------------------
+    # Wall-clock spans (B/E pairs on WALL_PID).
+    # ------------------------------------------------------------------
+    def begin(self, name: str, category: str = "harness", **args) -> None:
+        if not self.enabled:
+            return
+        self._stack.append(name)
+        event = {"name": name, "cat": category, "ph": "B",
+                 "ts": self.now_us(), "pid": WALL_PID, "tid": 0}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def end(self, **args) -> None:
+        if not self.enabled:
+            return
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        name = self._stack.pop()
+        event = {"name": name, "cat": "harness", "ph": "E",
+                 "ts": self.now_us(), "pid": WALL_PID, "tid": 0}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    @contextmanager
+    def span(self, name: str, category: str = "harness", **args):
+        """Nestable context-managed span; yields the tracer."""
+        if not self.enabled:
+            yield self
+            return
+        self.begin(name, category=category, **args)
+        try:
+            yield self
+        finally:
+            self.end()
+
+    def instant(self, name: str, category: str = "harness",
+                ts: Optional[float] = None, pid: int = WALL_PID,
+                tid: int = 0, **args) -> None:
+        """A point-in-time marker (Chrome ``i`` event, thread scope)."""
+        if not self.enabled:
+            return
+        event = {"name": name, "cat": category, "ph": "i", "s": "t",
+                 "ts": self.now_us() if ts is None else ts,
+                 "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Explicit-timestamp events (cycle-domain timeline).
+    # ------------------------------------------------------------------
+    def complete(self, name: str, ts: float, dur: float,
+                 pid: int = CYCLE_PID, tid: int = 0,
+                 category: str = "sim", **args) -> None:
+        """A closed slice (Chrome ``X`` event) at an explicit time."""
+        if not self.enabled:
+            return
+        event = {"name": name, "cat": category, "ph": "X",
+                 "ts": ts, "dur": dur, "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name: str, ts: float, values: dict[str, float],
+                pid: int = CYCLE_PID, tid: int = 0,
+                category: str = "sim") -> None:
+        """A sampled counter value (Chrome ``C`` event)."""
+        if not self.enabled:
+            return
+        self.events.append({"name": name, "cat": category, "ph": "C",
+                            "ts": ts, "pid": pid, "tid": tid,
+                            "args": dict(values)})
+
+    def flow_start(self, name: str, flow_id: str, ts: float,
+                   pid: int = CYCLE_PID, tid: int = 0,
+                   category: str = "flow") -> None:
+        """Start of a flow arrow (Chrome ``s`` event)."""
+        if not self.enabled:
+            return
+        self.events.append({"name": name, "cat": category, "ph": "s",
+                            "id": flow_id, "ts": ts, "pid": pid,
+                            "tid": tid})
+
+    def flow_finish(self, name: str, flow_id: str, ts: float,
+                    pid: int = CYCLE_PID, tid: int = 0,
+                    category: str = "flow") -> None:
+        """End of a flow arrow (Chrome ``f`` event, enclosing binding)."""
+        if not self.enabled:
+            return
+        self.events.append({"name": name, "cat": category, "ph": "f",
+                            "bp": "e", "id": flow_id, "ts": ts,
+                            "pid": pid, "tid": tid})
+
+    def metadata(self, kind: str, pid: int, tid: int = 0, **args) -> None:
+        """Naming metadata (Chrome ``M``): ``kind`` is ``process_name``
+        or ``thread_name``, and ``args`` typically carries the
+        ``name=...`` label Perfetto displays on the track."""
+        if not self.enabled:
+            return
+        self.events.append({"name": kind, "ph": "M", "pid": pid,
+                            "tid": tid, "args": args})
+
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """The collected events as a Chrome JSON object trace."""
+        return {"traceEvents": list(self.events),
+                "displayTimeUnit": "ms"}
+
+
+#: The shared disabled tracer: safe to call from anywhere, records
+#: nothing, never allocates per call.
+NULL_TRACER = Tracer(enabled=False)
+
+_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (default: :data:`NULL_TRACER`)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous

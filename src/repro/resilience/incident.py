@@ -172,6 +172,12 @@ class IncidentReport:
     fault: Optional[str] = None
     #: Free-form extras (cycle budget, trace positions, ...).
     extra: dict = field(default_factory=dict)
+    #: Final metrics snapshot of the failed run (flat
+    #: ``name{labels} -> value`` map from
+    #: :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`): the queue
+    #: wait counters and stall telemetry collected up to the failure.
+    #: Empty when the run was not observed.
+    metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -186,7 +192,11 @@ class IncidentReport:
             "thread": self.thread,
             "fault": self.fault,
             "extra": self.extra,
+            "metrics": self.metrics,
         }
+
+    #: Scalar telemetry entries shown by :meth:`format` before eliding.
+    _TELEMETRY_SHOWN = 8
 
     def format(self) -> str:
         """Multi-line human-readable rendering for CLI output."""
@@ -201,4 +211,18 @@ class IncidentReport:
                 lines.append(f"  thread {tid} last ops: {' | '.join(ops)}")
         if self.fault:
             lines.append(f"  injected fault: {self.fault}")
+        if self.metrics:
+            scalars = [(k, v) for k, v in sorted(self.metrics.items())
+                       if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            shown = scalars[:self._TELEMETRY_SHOWN]
+            if shown:
+                rendered = ", ".join(f"{k}={v}" for k, v in shown)
+                elided = len(self.metrics) - len(shown)
+                suffix = f" (+{elided} more)" if elided > 0 else ""
+                lines.append(f"  telemetry: {rendered}{suffix}")
+            else:
+                lines.append(f"  telemetry: {len(self.metrics)} metric(s)")
         return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -55,6 +55,32 @@ def test_campaign_accepts_fault_by_name(tmp_path):
     assert result.failures
 
 
+def test_campaign_records_metrics():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = run_campaign(9, 5, oracle_config=smoke_config(),
+                          metrics=registry)
+    snap = registry.snapshot()
+    assert snap["fuzz.cases"] == result.iterations == 5
+    assert snap["fuzz.runs"] == result.runs
+    assert snap["fuzz.applied"] == result.applied
+    assert snap.get("fuzz.declined", 0) == result.declined
+    assert "fuzz.divergences" not in snap  # clean campaign
+
+
+def test_campaign_metrics_count_detected_faults():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = run_campaign(1, 50, oracle_config=smoke_config(),
+                          fault=get_fault("drop-produce"), shrink=False,
+                          max_failures=2, metrics=registry)
+    snap = registry.snapshot()
+    assert snap["fuzz.divergences"] == len(result.failures) == 2
+    assert snap["fuzz.faults_detected{fault=drop-produce}"] == 2
+
+
 @pytest.mark.fuzz_smoke
 @pytest.mark.parametrize("campaign_seed", [0, 1])
 def test_fuzz_smoke_campaign(campaign_seed):

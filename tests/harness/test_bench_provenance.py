@@ -1,0 +1,39 @@
+"""Every bench report must carry provenance and cache telemetry."""
+
+import json
+
+from repro.harness.bench import format_report, run_bench
+from repro.machine.config import MachineConfig
+from repro.obs import machine_config_digest, provenance_from_snapshot
+
+
+def test_report_carries_provenance_and_cache_stats(tmp_path):
+    report = run_bench("fig9a", scale=30, jobs=1, out_dir=str(tmp_path),
+                       compare=False)
+
+    provenance = report["provenance"]
+    assert provenance["figure"] == "fig9a"
+    assert provenance["bench_scale"] == "30"
+    assert provenance["machine_config"] == machine_config_digest(
+        MachineConfig())
+    # git_commit is best-effort (absent outside a checkout) but when
+    # present it must look like a hash.
+    if "git_commit" in provenance:
+        assert len(provenance["git_commit"]) == 40
+
+    # The same attribution is recoverable from the metrics snapshot,
+    # which also mirrors the aggregated cache counters.
+    assert provenance_from_snapshot(report["metrics"]) == provenance
+    assert report["metrics"]["cache.hits"] == report["cache_stats"]["hits"]
+    assert report["metrics"]["cache.misses"] == report["cache_stats"]["misses"]
+    assert report["cache_stats"]["misses"] > 0
+
+    # ... and all of it survives the round-trip through the JSON file.
+    on_disk = json.loads(open(report["path"]).read())
+    assert on_disk["provenance"] == provenance
+    assert on_disk["cache_stats"] == report["cache_stats"]
+
+    # The summary line is part of the always-printed report text.
+    text = format_report(report)
+    assert "summary:" in text
+    assert f"cache {report['cache_stats']['hits']} hit(s)" in text

@@ -28,6 +28,65 @@ class TestRun:
     def test_unknown_workload_fails(self, capsys):
         assert main(["run", "nope"]) == 2
 
+    def test_trace_and_metrics_exports(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.csv"
+        assert main(["run", "wc", "--scale", "80",
+                     "--trace", str(trace), "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out and str(metrics) in out
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) > 0
+        # Pipeline tracks + wall-clock harness spans in one file.
+        assert any(e["ph"] == "B" for e in payload["traceEvents"])
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        text = metrics.read_text()
+        assert text.startswith("metric,type,field,value")
+        assert "sim.cycles" in text
+        assert "provenance.machine_config" in text
+
+    def test_metrics_json_when_not_csv(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert main(["run", "wc", "--scale", "80",
+                     "--metrics", str(metrics)]) == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["sim.cycles"] > 0
+
+    def test_supervised_trace_with_degraded_run(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "degraded.trace.json"
+        # queue-zero-capacity deadlocks the pipeline -> degraded (3);
+        # the trace still validates with baseline + harness tracks.
+        assert main(["run", "listtraverse", "--scale", "40", "--supervise",
+                     "--inject", "queue-zero-capacity",
+                     "--trace", str(trace)]) == 3
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert any(e["ph"] == "i" and e["name"] == "incident"
+                   for e in payload["traceEvents"])
+
+
+class TestReport:
+    def test_report_tables(self, capsys):
+        assert main(["report", "wc", "--scale", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "issue util" in out
+        assert "produced" in out
+        assert "occupancy bucket (Fig. 8)" in out
+        assert "loop speedup" in out
+
+    def test_report_unknown_workload(self, capsys):
+        assert main(["report", "nope"]) == 2
+
 
 class TestShow:
     def test_shows_pipeline(self, capsys):

@@ -47,3 +47,56 @@ class TestPercent:
 
     def test_loss(self):
         assert percent(0.9) == "-10.0%"
+
+    def test_unity_is_plus_zero(self):
+        assert percent(1.0) == "+0.0%"
+
+
+class TestFormatTableShape:
+    def test_multirow_alignment_and_rule_width(self):
+        text = format_table(["workload", "cycles"],
+                            [["lt", 8409], ["treeadd", 123456]])
+        header, rule, *rows = text.splitlines()
+        assert all(len(line) <= len(rule) for line in rows)
+        assert set(rule) == {"-", " "}
+
+    def test_mixed_types_render(self):
+        text = format_table(["a", "b", "c"], [[1, 2.5, "x"]])
+        assert "2.500" in text and "x" in text
+
+
+class TestBenchSummaryLine:
+    def _report(self, **overrides):
+        report = {
+            "num_points": 7,
+            "cache_stats": {"hits": 12, "misses": 3, "corrupt_evictions": 0},
+            "degraded_points": [],
+        }
+        report.update(overrides)
+        return report
+
+    def test_mentions_points_cache_and_degradations(self):
+        from repro.harness.bench import summary_line
+
+        line = summary_line(self._report())
+        assert "7 points" in line
+        assert "12 hit(s)" in line
+        assert "3 miss(es)" in line
+        assert "0 degraded point(s)" in line
+        assert "corrupt" not in line
+
+    def test_surfaces_corruption_and_degradations(self):
+        from repro.harness.bench import summary_line
+
+        line = summary_line(self._report(
+            cache_stats={"hits": 0, "misses": 5, "corrupt_evictions": 2},
+            degraded_points=["lt:dswp-full"],
+        ))
+        assert "2 corrupt eviction(s)" in line
+        assert "1 degraded point(s)" in line
+
+    def test_tolerates_missing_stats(self):
+        from repro.harness.bench import summary_line
+
+        line = summary_line({"num_points": 0})
+        assert "0 points" in line

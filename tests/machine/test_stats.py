@@ -2,12 +2,48 @@
 
 from hypothesis import given, strategies as st
 
-from repro.machine.stats import OccupancyProfile, speedup
+from repro.machine.core import StallRecord
+from repro.machine.stats import OccupancyProfile, SimResult, speedup
+from repro.machine.syncarray import QueueTiming
+from repro.obs.metrics import MetricsRegistry
 
 
 class FakeResult:
     def __init__(self, cycles):
         self.cycles = cycles
+
+
+class FakeCore:
+    """The slice of the CoreSim surface ``record_metrics`` reads."""
+
+    def __init__(self, core_id, instructions, cycles, stalls=(),
+                 issue_width=6):
+        self.core_id = core_id
+        self.instructions_executed = instructions
+        self.flow_instructions = 0
+        self.last_completion = cycles
+        self.stalls = list(stalls)
+        self._issue_width = issue_width
+
+    def ipc(self):
+        if self.last_completion <= 0:
+            return 0.0
+        return self.instructions_executed / self.last_completion
+
+    def utilization(self):
+        if self.last_completion <= 0:
+            return 0.0
+        return self.instructions_executed / (
+            self.last_completion * self._issue_width)
+
+    def stall_breakdown(self):
+        out = {}
+        for s in self.stalls:
+            out[s.kind] = out.get(s.kind, 0) + s.duration
+        return out
+
+    def stall_cycles(self, kind):
+        return sum(s.duration for s in self.stalls if s.kind == kind)
 
 
 class TestOccupancyHistogram:
@@ -63,6 +99,15 @@ class TestSeries:
     def test_series_on_empty(self):
         assert OccupancyProfile([], 10, 0, 0).series() == [(0, 0)]
 
+    def test_more_samples_than_cycles_degrades_to_per_cycle(self):
+        # samples >> total_cycles: the step clamps to 1 cycle, every
+        # cycle is sampled once, and levels still track the events.
+        events = [(1, +1), (3, +1), (4, -1)]
+        profile = OccupancyProfile(events, 5, 0, 0)
+        series = profile.series(samples=1000)
+        assert [t for t, _ in series] == [0, 1, 2, 3, 4, 5]
+        assert dict(series) == {0: 0, 1: 1, 2: 1, 3: 2, 4: 1, 5: 1}
+
 
 class TestBuckets:
     def test_buckets_sum_to_one(self):
@@ -83,6 +128,71 @@ class TestBuckets:
         buckets = profile.buckets()
         assert buckets["balanced_both_active"] == 0.5
         assert buckets["empty_both_active"] == 0.5
+
+    @given(
+        st.integers(0, 60), st.integers(0, 60),
+        st.integers(0, 100), st.integers(min_value=1, max_value=100),
+    )
+    def test_percentages_sum_to_100(self, producer_stall, consumer_stall,
+                                    drain, total):
+        # Whatever the stall measurements claim (they can overlap the
+        # occupancy transitions), the reported percentages always total
+        # exactly 100.
+        events = [(0, +1), (min(drain, total), -1)]
+        profile = OccupancyProfile(events, total, producer_stall,
+                                   consumer_stall)
+        percentages = [fraction * 100 for fraction
+                       in profile.buckets().values()]
+        assert abs(sum(percentages) - 100.0) < 1e-9
+        assert all(p >= 0 for p in percentages)
+
+
+class TestRecordMetrics:
+    def _two_core_result(self):
+        core0 = FakeCore(0, instructions=600, cycles=1000,
+                         stalls=[StallRecord("produce_full", 10, 40, 0)])
+        core1 = FakeCore(1, instructions=400, cycles=900,
+                         stalls=[StallRecord("consume_empty", 0, 5, 0),
+                                 StallRecord("consume_empty", 50, 60, 1)])
+        queues = QueueTiming(queue_size=32, comm_latency=1, sa_read_latency=1)
+        for k in range(4):
+            queues.record_produce(0, 10 * k)
+        for k in range(3):
+            queues.record_consume(0, 10 * k + 20)
+        return SimResult([core0, core1], queues)
+
+    def test_core_and_queue_telemetry_published(self):
+        registry = MetricsRegistry()
+        self._two_core_result().record_metrics(registry)
+        snap = registry.snapshot()
+        assert snap["sim.cycles"] == 1000
+        assert snap["sim.instructions"] == 1000
+        assert snap["sim.core_cycles{core=1}"] == 900
+        assert snap["sim.ipc{core=0}"] == 0.6
+        assert snap["sim.issue_utilization{core=0}"] == 0.1
+        assert snap["sim.stall_cycles{core=0,kind=produce_full}"] == 30
+        assert snap["sim.stall_cycles{core=1,kind=consume_empty}"] == 15
+        hist = snap["sim.stall_duration{core=1,kind=consume_empty}"]
+        assert hist["count"] == 2 and hist["sum"] == 15.0
+        assert snap["sim.queue_produced{queue=0}"] == 4
+        assert snap["sim.queue_consumed{queue=0}"] == 3
+        assert snap["sim.queue_max_occupancy{queue=0}"] >= 1
+        assert snap["sim.queue_occupancy{queue=0}"]  # non-empty series
+        buckets = [k for k in snap if k.startswith("sim.occupancy_bucket")]
+        assert len(buckets) == 4
+
+    def test_single_core_skips_queue_metrics(self):
+        registry = MetricsRegistry()
+        SimResult([FakeCore(0, 100, 200)], None).record_metrics(registry)
+        snap = registry.snapshot()
+        assert snap["sim.cycles"] == 200
+        assert not any(k.startswith("sim.queue") for k in snap)
+
+    def test_prefix_overridable(self):
+        registry = MetricsRegistry()
+        SimResult([FakeCore(0, 100, 200)], None).record_metrics(
+            registry, prefix="base")
+        assert "base.cycles" in registry.snapshot()
 
 
 def test_speedup():

@@ -1,0 +1,185 @@
+"""Tests for the Chrome-trace exporter, validator and provenance."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import run_experiment
+from repro.machine.config import MachineConfig
+from repro.obs import (
+    CYCLE_PID,
+    ObsConfig,
+    TraceValidationError,
+    Tracer,
+    build_chrome_trace,
+    machine_config_digest,
+    provenance_from_snapshot,
+    record_provenance,
+    sim_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def pipeline_sim():
+    result = run_experiment(get_workload("listtraverse"), scale=20)
+    return result.dswp_sim, result.base_sim
+
+
+class TestValidator:
+    def _ok(self, *events):
+        return {"traceEvents": list(events)}
+
+    def test_accepts_minimal_trace(self):
+        payload = self._ok(
+            {"name": "a", "ph": "X", "ts": 0, "dur": 2, "pid": 0, "tid": 0},
+        )
+        assert validate_chrome_trace(payload) == 1
+
+    def test_rejects_non_object_top_level(self):
+        with pytest.raises(TraceValidationError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TraceValidationError, match="unknown phase"):
+            validate_chrome_trace(self._ok(
+                {"name": "a", "ph": "Z", "ts": 0, "pid": 0, "tid": 0}))
+
+    def test_rejects_x_without_dur(self):
+        with pytest.raises(TraceValidationError, match="dur"):
+            validate_chrome_trace(self._ok(
+                {"name": "a", "ph": "X", "ts": 0, "pid": 0, "tid": 0}))
+
+    def test_rejects_negative_ts(self):
+        with pytest.raises(TraceValidationError, match="negative ts"):
+            validate_chrome_trace(self._ok(
+                {"name": "a", "ph": "i", "s": "t", "ts": -1,
+                 "pid": 0, "tid": 0}))
+
+    def test_rejects_unbalanced_begin(self):
+        with pytest.raises(TraceValidationError, match="unbalanced B/E"):
+            validate_chrome_trace(self._ok(
+                {"name": "a", "ph": "B", "ts": 0, "pid": 0, "tid": 0}))
+
+    def test_rejects_end_without_begin(self):
+        with pytest.raises(TraceValidationError, match="E without matching B"):
+            validate_chrome_trace(self._ok(
+                {"name": "a", "ph": "E", "ts": 1, "pid": 0, "tid": 0}))
+
+    def test_rejects_unmatched_flow(self):
+        with pytest.raises(TraceValidationError, match="flow start"):
+            validate_chrome_trace(self._ok(
+                {"name": "q0", "ph": "s", "id": "q0:0", "ts": 0,
+                 "pid": 0, "tid": 0}))
+
+    def test_rejects_non_numeric_counter(self):
+        with pytest.raises(TraceValidationError, match="not numeric"):
+            validate_chrome_trace(self._ok(
+                {"name": "c", "ph": "C", "ts": 0, "pid": 0, "tid": 0,
+                 "args": {"q0": "high"}}))
+
+    def test_aggregates_problems(self):
+        events = [{"name": "", "ph": "X", "ts": -1, "pid": "x", "tid": 0}]
+        with pytest.raises(TraceValidationError, match="problem"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestSimTraceEvents:
+    def test_tracks_slices_and_flows(self, pipeline_sim):
+        sim, _ = pipeline_sim
+        events = sim_trace_events(sim)
+        validate_chrome_trace({"traceEvents": events})
+        thread_names = [e for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(thread_names) == len(sim.cores)
+        assert all(e["pid"] == CYCLE_PID for e in thread_names)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in slices} == {c.core_id for c in sim.cores}
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        assert starts and set(starts) == set(finishes)
+        for flow_id, start in starts.items():
+            finish = finishes[flow_id]
+            # Arrows run producer core -> consumer core, forward in time.
+            assert start["tid"] != finish["tid"]
+            assert finish["ts"] >= start["ts"]
+
+    def test_execute_slices_cover_the_run(self, pipeline_sim):
+        sim, _ = pipeline_sim
+        events = sim_trace_events(sim)
+        for core in sim.cores:
+            spans = [e for e in events
+                     if e["ph"] == "X" and e["tid"] == core.core_id]
+            covered = sum(e["dur"] for e in spans)
+            assert covered == core.last_completion
+
+    def test_flow_cap_samples_evenly(self, pipeline_sim):
+        sim, _ = pipeline_sim
+        capped = [e for e in sim_trace_events(sim, max_flows=4)
+                  if e["ph"] in ("s", "f")]
+        assert 0 < len(capped) // 2 <= 5  # cap + kept-last sample
+
+
+class TestBuildAndWrite:
+    def test_combined_trace_validates_and_writes(self, pipeline_sim, tmp_path):
+        sim, base_sim = pipeline_sim
+        tracer = Tracer(clock=iter([0.0] * 100).__next__)
+        with tracer.span("harness.run_experiment"):
+            tracer.instant("mark")
+        payload = build_chrome_trace(tracer=tracer, sim=sim,
+                                     base_sim=base_sim)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), payload)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == len(payload["traceEvents"])
+        pids = {e["pid"] for e in loaded["traceEvents"]}
+        assert len(pids) == 3  # wall clock + pipeline + baseline
+
+    def test_write_rejects_invalid_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        with pytest.raises(TraceValidationError):
+            write_chrome_trace(str(path), {"traceEvents": [{"ph": "?"}]})
+        assert not path.exists()
+
+
+class TestProvenance:
+    def test_machine_digest_stable_and_sensitive(self):
+        a = machine_config_digest(MachineConfig())
+        assert a == machine_config_digest(MachineConfig())
+        assert a != machine_config_digest(MachineConfig(comm_latency=9))
+
+    def test_record_and_extract(self):
+        registry = MetricsRegistry()
+        values = record_provenance(registry, machine=MachineConfig(),
+                                   extra={"bench_scale": 800})
+        assert values["machine_config"] == machine_config_digest(
+            MachineConfig())
+        assert values["bench_scale"] == "800"
+        extracted = provenance_from_snapshot(registry.snapshot())
+        assert extracted == values
+
+    def test_write_metrics_csv_and_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(2)
+        csv_path = write_metrics(str(tmp_path / "m.csv"), registry)
+        assert "cache.hits,counter,,2" in open(csv_path).read()
+        json_path = write_metrics(str(tmp_path / "m.json"), registry)
+        assert json.load(open(json_path)) == {"cache.hits": 2}
+
+
+class TestObsConfig:
+    def test_default_is_inactive(self):
+        assert ObsConfig().active is False
+
+    def test_enabled_builds_both(self):
+        obs = ObsConfig.enabled()
+        assert obs.tracer.enabled and obs.metrics is not None
+        assert obs.active
+
+    def test_partial_configs(self):
+        assert ObsConfig.enabled(tracing=False).tracer.enabled is False
+        assert ObsConfig.enabled(metrics=False).metrics is None

@@ -1,0 +1,125 @@
+"""Tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, Series
+
+
+class TestIdentity:
+    def test_labels_sorted_into_key(self):
+        registry = MetricsRegistry()
+        registry.counter("interp.produce_waits", thread=0, queue=3).inc()
+        assert "interp.produce_waits{queue=3,thread=0}" in registry
+        # Label order must not matter.
+        registry.counter("interp.produce_waits", queue=3, thread=0).inc()
+        snap = registry.snapshot()
+        assert snap["interp.produce_waits{queue=3,thread=0}"] == 2
+
+    def test_unlabelled_key_is_bare_name(self):
+        registry = MetricsRegistry()
+        registry.counter("fuzz.cases").inc(5)
+        assert registry.snapshot() == {"fuzz.cases": 5}
+
+    def test_hostile_label_values_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits", kind="a,b={c}").inc()
+        (key,) = registry.snapshot()
+        assert key == "cache.hits{kind=a_b__c_}"
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.cycles")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("sim.cycles")
+
+
+class TestCounterGaugeInfo:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("fuzz.runs")
+        counter.inc()
+        counter.inc(9)
+        assert counter.to_value() == 10
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("sim.ipc", core=0)
+        gauge.set(1.5)
+        gauge.set(0.5)
+        assert gauge.to_value() == 0.5
+
+    def test_info_stringifies(self):
+        registry = MetricsRegistry()
+        registry.info("provenance.bench_scale").set(800)
+        assert registry.snapshot() == {"provenance.bench_scale": "800"}
+
+
+class TestHistogram:
+    def test_buckets_fill_by_upper_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sim.stall_duration", bounds=(1, 4, 16))
+        for value in (1, 2, 3, 20):
+            hist.observe(value)
+        snap = hist.to_value()
+        assert snap["count"] == 4
+        assert snap["sum"] == 26.0
+        assert snap["buckets"] == {"le_1": 1, "le_4": 2, "le_16": 0, "inf": 1}
+
+    def test_unsorted_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("bad", bounds=(4, 1))
+
+
+class TestSeries:
+    def test_decimation_bounds_memory(self):
+        series = Series(max_points=8)
+        for t in range(1000):
+            series.append(t, t * 2)
+        assert len(series.points) <= 8
+        # Coverage spans the run, not just its head.
+        assert series.points[0][0] == 0
+        assert series.points[-1][0] >= 500
+
+    def test_short_series_kept_verbatim(self):
+        series = Series(max_points=512)
+        for t in range(10):
+            series.append(t, t)
+        assert series.to_value() == [[t, t] for t in range(10)]
+
+    def test_min_points_validated(self):
+        with pytest.raises(ValueError, match="max_points"):
+            Series(max_points=1)
+
+
+class TestExportFormats:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(3)
+        registry.gauge("sim.cycles").set(100)
+        registry.histogram("sim.stall_duration", bounds=(2,),
+                           core=0).observe(1)
+        registry.series("sim.queue_occupancy", queue=0).append(5, 2)
+        registry.info("provenance.git_commit").set("abc123")
+        return registry
+
+    def test_snapshot_roundtrips_through_json(self):
+        registry = self._registry()
+        snap = json.loads(registry.to_json())
+        assert snap["cache.hits"] == 3
+        assert snap["sim.cycles"] == 100
+        assert snap["sim.stall_duration{core=0}"]["buckets"]["le_2"] == 1
+        assert snap["sim.queue_occupancy{queue=0}"] == [[5, 2]]
+        assert snap["provenance.git_commit"] == "abc123"
+
+    def test_csv_one_row_per_field(self):
+        lines = self._registry().to_csv().strip().splitlines()
+        assert lines[0] == "metric,type,field,value"
+        assert "cache.hits,counter,,3" in lines
+        assert "sim.cycles,gauge,,100" in lines
+        assert "sim.stall_duration{core=0},histogram,le_2,1" in lines
+        assert "sim.queue_occupancy{queue=0},series,5,2" in lines

@@ -1,0 +1,122 @@
+"""The ``obs_smoke`` tier: end-to-end observability guardrails.
+
+Two invariants this suite pins down (``make obs-smoke``):
+
+* **Enabled**: a fully observed ``run_experiment`` emits a Chrome
+  trace that round-trips through the strict ``trace_event`` schema
+  validator, with one named track per pipeline thread and
+  produce->consume flow arrows between stages.
+* **Disabled**: observing nothing is free -- the null observers record
+  nothing, the simulation results are bit-identical to an unobserved
+  run, and the disabled-tracer call overhead stays negligible.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.harness.runner import run_experiment
+from repro.obs import (
+    NULL_OBS,
+    NULL_TRACER,
+    ObsConfig,
+    build_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.obs_smoke
+
+SCALE = 30
+
+
+@pytest.fixture(scope="module")
+def observed():
+    obs = ObsConfig.enabled()
+    result = run_experiment(get_workload("listtraverse"), scale=SCALE,
+                            obs=obs)
+    return obs, result
+
+
+class TestEnabledTrace:
+    def test_trace_validates_with_stage_tracks_and_flows(self, observed):
+        obs, result = observed
+        payload = build_chrome_trace(tracer=obs.tracer,
+                                     sim=result.dswp_sim,
+                                     base_sim=result.base_sim)
+        count = validate_chrome_trace(payload)
+        assert count == len(payload["traceEvents"])
+
+        events = payload["traceEvents"]
+        pipeline_tracks = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == 0  # CYCLE_PID
+        ]
+        assert len(pipeline_tracks) >= len(result.dswp_sim.cores) >= 2
+        assert any(e["ph"] == "s" for e in events), "no flow starts"
+        assert any(e["ph"] == "f" for e in events), "no flow finishes"
+        assert any(e["ph"] == "B" for e in events), "no harness spans"
+
+    def test_trace_roundtrips_through_json(self, observed):
+        obs, result = observed
+        payload = build_chrome_trace(tracer=obs.tracer,
+                                     sim=result.dswp_sim,
+                                     base_sim=result.base_sim)
+        reloaded = json.loads(json.dumps(payload))
+        assert validate_chrome_trace(reloaded) == len(payload["traceEvents"])
+
+    def test_metrics_cover_every_domain_in_play(self, observed):
+        obs, _ = observed
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["sim.cycles"] > 0
+        assert any(k.startswith("interp.steps") for k in snapshot)
+        assert any(k.startswith("sim.issue_utilization") for k in snapshot)
+        assert any(k.startswith("sim.occupancy_bucket") for k in snapshot)
+
+    def test_harness_spans_are_closed(self, observed):
+        obs, _ = observed
+        assert obs.tracer.open_spans() == []
+
+
+class TestDisabledIsFree:
+    def test_results_bit_identical_with_and_without_observers(self):
+        workload = get_workload("listtraverse")
+        plain = run_experiment(workload, scale=SCALE)
+        nulled = run_experiment(workload, scale=SCALE, obs=NULL_OBS)
+        enabled = run_experiment(workload, scale=SCALE,
+                                 obs=ObsConfig.enabled())
+        for other in (nulled, enabled):
+            assert other.base_sim.cycles == plain.base_sim.cycles
+            assert other.dswp_sim.cycles == plain.dswp_sim.cycles
+            assert other.dswp_sim.ipcs() == plain.dswp_sim.ipcs()
+            assert ([c.instructions_executed for c in other.dswp_sim.cores]
+                    == [c.instructions_executed for c in plain.dswp_sim.cores])
+            assert ([sorted(c.stall_breakdown().items())
+                     for c in other.dswp_sim.cores]
+                    == [sorted(c.stall_breakdown().items())
+                        for c in plain.dswp_sim.cores])
+
+    def test_null_observers_record_nothing(self):
+        run_experiment(get_workload("listtraverse"), scale=SCALE,
+                       obs=NULL_OBS)
+        assert NULL_TRACER.events == []
+        assert NULL_OBS.metrics is None
+
+    def test_disabled_tracer_overhead_guard(self):
+        """Disabled-tracer calls must stay in no-op territory.
+
+        Generous bound (well over 100x a realistic per-call cost) so
+        the guard only trips on a structural regression -- e.g. someone
+        making the disabled path allocate or format strings.
+        """
+        calls = 50_000
+        start = time.perf_counter()
+        for i in range(calls):
+            NULL_TRACER.instant("tick", index=i)
+            NULL_TRACER.complete("slice", ts=i, dur=1)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, (
+            f"{2 * calls} disabled-tracer calls took {elapsed:.2f}s")
+        assert NULL_TRACER.events == []

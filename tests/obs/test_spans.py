@@ -1,0 +1,118 @@
+"""Tests for the structured tracing core."""
+
+import pytest
+
+from repro.obs.spans import (
+    CYCLE_PID,
+    NULL_TRACER,
+    WALL_PID,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+def fake_clock(times):
+    """A deterministic clock popping from ``times`` (seconds)."""
+    values = list(times)
+
+    def clock():
+        return values.pop(0) if len(values) > 1 else values[0]
+
+    return clock
+
+
+class TestSpans:
+    def test_begin_end_emit_balanced_pair(self):
+        tracer = Tracer(clock=fake_clock([0.0, 0.001, 0.002]))
+        tracer.begin("interp.baseline", workload="queens")
+        tracer.end()
+        phases = [e["ph"] for e in tracer.events]
+        assert phases == ["B", "E"]
+        begin, end = tracer.events
+        assert begin["name"] == end["name"] == "interp.baseline"
+        assert begin["pid"] == end["pid"] == WALL_PID
+        assert begin["args"] == {"workload": "queens"}
+        assert begin["ts"] == pytest.approx(1000.0)  # 1ms in us
+        assert end["ts"] == pytest.approx(2000.0)
+
+    def test_nested_spans_close_inner_first(self):
+        tracer = Tracer(clock=fake_clock([0.0]))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.open_spans() == ["outer", "inner"]
+            assert tracer.open_spans() == ["outer"]
+        assert tracer.open_spans() == []
+        names = [(e["ph"], e["name"]) for e in tracer.events]
+        assert names == [("B", "outer"), ("B", "inner"),
+                         ("E", "inner"), ("E", "outer")]
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(clock=fake_clock([0.0]))
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.open_spans() == []
+        assert [e["ph"] for e in tracer.events] == ["B", "E"]
+
+    def test_end_without_begin_raises(self):
+        tracer = Tracer(clock=fake_clock([0.0]))
+        with pytest.raises(RuntimeError, match="no open span"):
+            tracer.end()
+
+    def test_instant_counter_flow_metadata_shapes(self):
+        tracer = Tracer(clock=fake_clock([0.0]))
+        tracer.instant("incident", category="resilience", kind="deadlock")
+        tracer.complete("execute", ts=10, dur=5, tid=1)
+        tracer.counter("occupancy", ts=3, values={"q0": 2})
+        tracer.flow_start("q0", "q0:0", ts=1, tid=0)
+        tracer.flow_finish("q0", "q0:0", ts=4, tid=1)
+        tracer.metadata("thread_name", pid=CYCLE_PID, tid=1, name="core 1")
+        by_ph = {e["ph"]: e for e in tracer.events}
+        assert by_ph["i"]["s"] == "t"
+        assert by_ph["i"]["args"] == {"kind": "deadlock"}
+        assert by_ph["X"]["dur"] == 5
+        assert by_ph["C"]["args"] == {"q0": 2}
+        assert by_ph["s"]["id"] == by_ph["f"]["id"] == "q0:0"
+        assert by_ph["f"]["bp"] == "e"
+        assert by_ph["M"]["args"] == {"name": "core 1"}
+
+    def test_to_chrome_wraps_events(self):
+        tracer = Tracer(clock=fake_clock([0.0]))
+        tracer.instant("mark")
+        payload = tracer.to_chrome()
+        assert payload["traceEvents"] == tracer.events
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestDisabledTracer:
+    def test_every_method_is_a_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.begin("a")
+        tracer.end()  # no error: disabled end is a no-op too
+        with tracer.span("b", category="x", extra=1):
+            tracer.instant("c")
+        tracer.complete("d", ts=0, dur=1)
+        tracer.counter("e", ts=0, values={"v": 1})
+        tracer.flow_start("f", "id", ts=0)
+        tracer.flow_finish("f", "id", ts=0)
+        tracer.metadata("process_name", pid=0, name="x")
+        assert tracer.events == []
+        assert tracer.open_spans() == []
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.events == []
+
+
+class TestProcessWideDefault:
+    def test_get_set_roundtrip(self):
+        original = get_tracer()
+        try:
+            mine = Tracer(clock=fake_clock([0.0]))
+            previous = set_tracer(mine)
+            assert previous is original
+            assert get_tracer() is mine
+        finally:
+            set_tracer(original)
+        assert get_tracer() is original

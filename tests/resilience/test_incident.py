@@ -113,6 +113,28 @@ class TestIncidentReport:
         assert "queue 4" in text
         assert "core-premature-exit" in text
 
+    def test_metrics_snapshot_in_dict_and_str(self):
+        report = IncidentReport(
+            kind="deadlock", message="all blocked",
+            metrics={"interp.consume_waits{queue=0,thread=1}": 12,
+                     "sim.cycles": 900},
+        )
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["metrics"]["sim.cycles"] == 900
+        text = str(report)
+        assert "telemetry:" in text
+        assert "interp.consume_waits{queue=0,thread=1}=12" in text
+        assert text == report.format()
+
+    def test_metrics_excerpt_elides_long_snapshots(self):
+        metrics = {f"sim.stall_cycles{{core={i}}}": i for i in range(20)}
+        text = IncidentReport(kind="x", message="y", metrics=metrics).format()
+        assert "(+12 more)" in text
+
+    def test_no_metrics_no_telemetry_line(self):
+        text = IncidentReport(kind="x", message="y").format()
+        assert "telemetry" not in text
+
 
 class TestAttachedReports:
     def test_deadlock_report_has_wait_for_cycle_and_recent_ops(self):

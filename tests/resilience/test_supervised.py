@@ -62,6 +62,27 @@ class TestOutcomes:
         assert outcome.baseline.memory.snapshot() == reference.memory.snapshot()
         assert outcome.baseline.regs == reference.regs
 
+    def test_degraded_incident_carries_metrics_snapshot(self):
+        from repro.obs import ObsConfig
+
+        obs = ObsConfig.enabled()
+        outcome = run_supervised(get_workload("listtraverse"), scale=SCALE,
+                                 fault_plan=ZERO_CAP, obs=obs)
+        assert outcome.status == STATUS_DEGRADED
+        (incident,) = outcome.incidents
+        # The telemetry collected up to the failure rides on the
+        # incident: the zero-capacity queue blocks the producer, so its
+        # wait counter must be present, and the whole snapshot must
+        # survive the JSON round-trip and surface in the rendering.
+        assert incident.metrics
+        assert any(key.startswith("interp.produce_waits")
+                   for key in incident.metrics)
+        assert json.loads(json.dumps(incident.to_dict()))["metrics"]
+        assert "telemetry:" in str(incident)
+        # ... and the tracer marked the incident on the timeline.
+        assert any(e["ph"] == "i" and e["name"] == "incident"
+                   for e in obs.tracer.events)
+
     def test_core_stall_degrades(self):
         plan = FaultPlan(core_faults=(CoreFault("stall", after=1),),
                          name="core-stall")
