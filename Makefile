@@ -1,8 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke perf-smoke robustness-smoke obs-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
+# The default tier-1 run includes every smoke tier below (they all live
+# under tests/), parallel-smoke among them.
 test:
 	$(PYTHON) -m pytest -x -q
 
@@ -24,6 +26,12 @@ robustness-smoke:
 # observers change nothing (docs/OBSERVABILITY.md).
 obs-smoke:
 	$(PYTHON) -m pytest -q -m obs_smoke
+
+# Execution-fabric guardrails: worker-pool parity and crash recovery,
+# shared-memory transport round-trip and leak checks, scheduler and
+# cost-model properties (docs/PERFORMANCE.md).
+parallel-smoke:
+	$(PYTHON) -m pytest -q -m parallel_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000

@@ -222,13 +222,77 @@ def _cmd_run_supervised(workload, args, obs=None) -> int:
     return outcome.exit_code
 
 
+def _cmd_report_bench(args) -> int:
+    """``report --bench FILE``: pool-utilization table from a BENCH json.
+
+    Reads the metrics snapshot the bench runner embeds in its report and
+    prints one row per worker: tasks run, busy seconds, utilization of
+    the sweep's wall clock, and steal count.  Worker ``-1`` (tasks that
+    fell back to the driver after repeated worker crashes) appears as
+    ``driver``.
+    """
+    import json
+
+    from repro.obs import parse_metric_key
+
+    try:
+        with open(args.bench) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load bench report {args.bench}: {exc}",
+              file=sys.stderr)
+        return 2
+    snapshot = report.get("metrics") or {}
+    per_worker: dict[int, dict] = {}
+    for key, value in snapshot.items():
+        name, labels = parse_metric_key(key)
+        if name.startswith("pool.") and "worker" in labels:
+            worker = int(labels["worker"])
+            per_worker.setdefault(worker, {})[name] = value
+    if not per_worker:
+        print(f"error: {args.bench} carries no pool telemetry "
+              f"(pre-fabric report?)", file=sys.stderr)
+        return 2
+    wall = snapshot.get("pool.wall_seconds", 0.0)
+    print(f"bench:   {report.get('figure', '?')} scale "
+          f"{report.get('scale', '?')}, {snapshot.get('pool.workers', '?')} "
+          f"worker(s), wall {wall:.2f}s")
+    print(f"crashes: {snapshot.get('pool.crashes', 0)}, driver fallbacks: "
+          f"{snapshot.get('pool.fallback_tasks', 0)}, shm swept: "
+          f"{snapshot.get('pool.shm_swept', 0)}")
+    print()
+    rows = []
+    for worker in sorted(per_worker):
+        stats = per_worker[worker]
+        rows.append([
+            "driver" if worker < 0 else worker,
+            int(stats.get("pool.tasks", 0)),
+            f"{stats.get('pool.busy_seconds', 0.0):.2f}",
+            f"{stats.get('pool.utilization', 0.0) * 100:.1f}%",
+            int(stats.get("pool.steals", 0)),
+        ])
+    print(format_table(
+        ["worker", "tasks", "busy (s)", "utilization", "steals"], rows
+    ))
+    return 0
+
+
 def cmd_report(args) -> int:
     """``report``: run one workload and print the observability tables.
 
     Three tables from the pipeline simulation's telemetry: per-core
     issue/stall/utilization, per-queue traffic and peak occupancy, and
     the Fig. 8 occupancy buckets.
+
+    With ``--bench FILE``, instead summarize a bench report's worker-
+    pool telemetry (:func:`_cmd_report_bench`).
     """
+    if getattr(args, "bench", None):
+        return _cmd_report_bench(args)
+    if not args.workload:
+        print("error: report needs a WORKLOAD (or --bench FILE)",
+              file=sys.stderr)
+        return 2
     workload = get_workload(args.workload)
     machine = _machine(args)
     result = run_experiment(workload, machine=machine, scale=args.scale)
@@ -372,9 +436,11 @@ def cmd_bench(args) -> int:
             jobs=jobs,
             out_dir=args.out,
             compare=not args.no_compare,
+            skip_naive=args.skip_naive,
         )
         print(format_report(report))
         degraded = degraded or bool(report.get("degraded_points"))
+        ok = ok and report.get("parallel_identical") is not False
         if not args.no_compare:
             ok = ok and report["functional_identical"] and report["speedup"] >= 1.0
     if getattr(args, "supervise", False):
@@ -438,6 +504,7 @@ def cmd_fuzz(args) -> int:
         max_failures=args.max_failures,
         log=print,
         metrics=registry,
+        jobs=args.jobs,
     )
     if registry is not None:
         from repro.obs import record_provenance, write_metrics
@@ -508,7 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_p = sub.add_parser(
         "report", help="stall / occupancy / utilization summary tables"
     )
-    report_p.add_argument("workload")
+    report_p.add_argument("workload", nargs="?", default=None)
+    report_p.add_argument("--bench", default=None, metavar="FILE",
+                          help="summarize a BENCH_<figure>.json report's "
+                               "worker-pool telemetry instead of running "
+                               "a workload")
     report_p.add_argument("--scale", type=int, default=None,
                           help="loop trip count (default: workload default)")
     report_p.add_argument("--comm-latency", type=int, default=1,
@@ -552,6 +623,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for BENCH_<figure>.json reports")
     bench_p.add_argument("--no-compare", action="store_true", dest="no_compare",
                          help="skip the serial naive reference run")
+    bench_p.add_argument("--skip-naive", action="store_true", dest="skip_naive",
+                         help="verify only a deterministic sample of points "
+                              "against the naive lane (scale-aware subset; "
+                              "the BENCH json records the mode)")
     bench_p.add_argument("--supervise", action="store_true",
                          help="use robustness exit codes: 3 when any "
                               "point degraded to in-process fallback, "
@@ -574,6 +649,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "running a campaign")
     fuzz_p.add_argument("--no-shrink", action="store_true", dest="no_shrink",
                         help="write failing cases without minimizing them")
+    fuzz_p.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the differential checks "
+                             "(results are independent of this; default 1)")
     fuzz_p.add_argument("--max-failures", type=int, default=10,
                         dest="max_failures",
                         help="stop the campaign after this many divergences")

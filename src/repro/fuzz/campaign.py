@@ -16,6 +16,7 @@ from repro.fuzz.faults import Fault, get_fault
 from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
 from repro.fuzz.oracle import Divergence, OracleConfig, OracleReport, check_case
 from repro.fuzz.shrinker import shrink_divergence, write_reproducer
+from repro.parallel import PoolTask, WorkerPool
 
 #: Multiplier deriving case seeds from (campaign seed, index); a large
 #: odd constant so consecutive campaigns don't share case seeds.
@@ -74,6 +75,7 @@ def run_campaign(
     max_failures: int = 10,
     log: Optional[Callable[[str], None]] = None,
     metrics=None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run ``iterations`` generated cases through the oracle.
 
@@ -94,9 +96,23 @@ def run_campaign(
             ``fuzz.declined`` / ``fuzz.divergences`` / ``fuzz.shrinks``
             counters, plus ``fuzz.faults_detected`` (labelled by fault
             name) when an injected bug produced a divergence.
+        jobs: Worker processes for the differential checks.  ``> 1``
+            fans the cases out over a
+            :class:`~repro.parallel.WorkerPool`; the resulting
+            ``CampaignResult`` -- accounting, failure order, reproducer
+            files -- is byte-identical to a serial run with the same
+            seed, because workers only report per-case summaries and
+            the driver replays them in index order (regenerating and
+            shrinking failing cases itself).
+
+    Campaign-level determinism does not depend on ``jobs``.
     """
     if fault is not None and isinstance(fault, str):
         fault = get_fault(fault)
+    if jobs > 1 and iterations > 1:
+        return _run_campaign_parallel(
+            seed, iterations, oracle_config, generator_config, fault,
+            out_dir, shrink, max_failures, log, metrics, jobs)
     result = CampaignResult(campaign_seed=seed)
     for index in range(iterations):
         cseed = case_seed(seed, index)
@@ -114,6 +130,125 @@ def run_campaign(
         if fault is not None and not report.runs:
             result.fault_skipped += 1
         if report.divergences:
+            failure = _handle_failure(case, report, fault, out_dir, shrink)
+            result.failures.append(failure)
+            if metrics is not None:
+                metrics.counter("fuzz.divergences").inc()
+                if failure.shrunk_instructions < failure.original_instructions:
+                    metrics.counter("fuzz.shrinks").inc()
+                if fault is not None:
+                    metrics.counter("fuzz.faults_detected",
+                                    fault=fault.name).inc()
+            if log:
+                log(f"[{index + 1}/{iterations}] seed {cseed}: "
+                    f"DIVERGENCE {failure.divergence.kind} "
+                    f"({failure.divergence.setting.describe()})"
+                    + (f" -> {failure.reproducer_path}"
+                       if failure.reproducer_path else ""))
+            if len(result.failures) >= max_failures:
+                break
+        elif log and (index + 1) % 50 == 0:
+            log(f"[{index + 1}/{iterations}] ok "
+                f"({result.runs} runs, {result.declined} declines)")
+    return result
+
+
+def _case_task(payload: dict) -> dict:
+    """Worker-side check of one generated case.
+
+    Returns a small picklable summary; the heavy artefacts (the case
+    itself, divergence details) stay in the worker.  The driver
+    regenerates any failing case from its seed -- generation and
+    checking are deterministic -- so shrinking and reproducer writing
+    happen exactly as they would serially.
+    """
+    fault = get_fault(payload["fault"]) if payload["fault"] else None
+    case = generate_case(payload["seed"], payload["generator_config"])
+    report = check_case(case, payload["oracle_config"], fault=fault)
+    return {
+        "index": payload["index"],
+        "runs": report.runs,
+        "applied": report.applied,
+        "declined": len(report.declined),
+        "divergent": bool(report.divergences),
+    }
+
+
+def _run_campaign_parallel(
+    seed: int,
+    iterations: int,
+    oracle_config: Optional[OracleConfig],
+    generator_config: Optional[GeneratorConfig],
+    fault: Optional[Fault],
+    out_dir: Optional[str],
+    shrink: bool,
+    max_failures: int,
+    log: Optional[Callable[[str], None]],
+    metrics,
+    jobs: int,
+) -> CampaignResult:
+    """Fan the case checks out over a worker pool, then replay the
+    per-case summaries in index order so every piece of accounting --
+    iteration counts, failure order, the early-stop point, reproducer
+    files -- matches the serial path bit for bit."""
+    fault_name = fault.name if fault is not None else None
+    tasks = [
+        PoolTask(
+            id=f"case-{index}",
+            fn=_case_task,
+            payload={
+                "index": index,
+                "seed": case_seed(seed, index),
+                "fault": fault_name,
+                "oracle_config": oracle_config,
+                "generator_config": generator_config,
+            },
+        )
+        for index in range(iterations)
+    ]
+    completed: dict[int, dict] = {}
+
+    def cancel(result) -> bool:
+        # Stop handing out work once the *contiguous* completed prefix
+        # already holds max_failures divergences: everything past the
+        # serial stopping point is then provably irrelevant.  (A
+        # divergence count over non-contiguous results would not do --
+        # the stopping point must be known exactly.)
+        completed[result.value["index"]] = result.value
+        divergent = 0
+        index = 0
+        while index in completed:
+            if completed[index]["divergent"]:
+                divergent += 1
+                if divergent >= max_failures:
+                    return True
+            index += 1
+        return False
+
+    with WorkerPool(jobs, metrics=metrics) as pool:
+        pool_results = pool.run(tasks, cancel=cancel)
+    summaries = {r.value["index"]: r.value for r in pool_results}
+
+    result = CampaignResult(campaign_seed=seed)
+    for index in range(iterations):
+        summary = summaries.get(index)
+        if summary is None:  # past the cancellation point
+            break
+        result.iterations += 1
+        result.runs += summary["runs"]
+        result.applied += summary["applied"]
+        result.declined += summary["declined"]
+        if metrics is not None:
+            metrics.counter("fuzz.cases").inc()
+            metrics.counter("fuzz.runs").inc(summary["runs"])
+            metrics.counter("fuzz.applied").inc(summary["applied"])
+            metrics.counter("fuzz.declined").inc(summary["declined"])
+        if fault is not None and not summary["runs"]:
+            result.fault_skipped += 1
+        if summary["divergent"]:
+            cseed = case_seed(seed, index)
+            case = generate_case(cseed, generator_config)
+            report = check_case(case, oracle_config, fault=fault)
             failure = _handle_failure(case, report, fault, out_dir, shrink)
             result.failures.append(failure)
             if metrics is not None:

@@ -9,30 +9,38 @@ them:
   *two* object-at-a-time reference-interpreter runs
   (:mod:`repro.interp.reference`, the preserved original interpreter),
   transforms, executes the thread pipeline and simulates, serially.
-* **optimized** -- points are grouped by workload, each group shares
-  one :class:`~repro.harness.cache.ExperimentCache` (functional work
-  runs once per workload, on the predecoded interpreter with columnar
-  traces and single-pass trace+profile recording), and the groups fan
-  out over ``multiprocessing`` workers.
+* **optimized** -- every sweep point becomes one task on the parallel
+  execution fabric (:mod:`repro.parallel`): a warm worker pool whose
+  per-process arena keeps each workload's built case and open
+  :class:`~repro.harness.cache.ExperimentCache` handle alive across
+  points, a cost-aware work-stealing scheduler that places each
+  workload's points on the worker already warm for it (cost estimates
+  fitted from prior ``BENCH_*.json`` timings), and shared-memory result
+  transport.  The cache's disk layer (under ``--out``) shares
+  functional artefacts between workers and across sweep invocations.
 
 Both modes must produce *identical* functional results (cycles, IPCs,
 instruction counts per point); because the naive mode interprets with
 the reference interpreter, the check is an end-to-end differential
 test of the predecoded/columnar/cached fast path against the
 pre-optimisation pipeline, so a perf win can never silently come from
-a behaviour change.  Per-stage wall-clock (interpret / transform /
-simulate) is measured in both modes and written to
-``BENCH_<figure>.json``.
+a behaviour change.  ``--skip-naive`` shrinks that check to a
+deterministic scale-aware sample of the points (full coverage at small
+scales, a fixed-cost sample at large ones); the report records which
+mode ran and which points it covered.  Independently,
+``parallel_identical`` re-runs the verified points serially in the
+driver process and bit-compares them against the pool's results, so a
+fabric bug (transport corruption, cross-worker cache pollution) cannot
+hide behind a fast wall-clock.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
 from repro.analysis.profiling import LoopProfile
@@ -46,12 +54,20 @@ from repro.machine.config import (
     HALF_WIDTH_CORE,
     MachineConfig,
 )
+from repro.parallel import CostModel, PoolTask, WorkerPool, worker_arena
 from repro.workloads import TABLE1_WORKLOADS, get_workload
 
 FIGURES = ("fig9a", "fig9b")
 
 #: fig9b produce-side latencies (the paper's 1/5/10-cycle series).
 FIG9B_LATENCIES = (1, 5, 10)
+
+#: ``--skip-naive`` verifies roughly this many *trips* worth of points:
+#: the sampled fraction is ``SAMPLE_BUDGET / scale`` clamped to
+#: [MIN_SAMPLE_FRACTION, 1.0], so small (test-sized) sweeps keep full
+#: coverage and production-sized sweeps pay a bounded naive cost.
+SAMPLE_BUDGET = 200
+MIN_SAMPLE_FRACTION = 0.2
 
 
 def _machine(spec: dict) -> MachineConfig:
@@ -152,14 +168,14 @@ def run_point_naive(spec: dict) -> tuple[dict, dict]:
 
 
 # ----------------------------------------------------------------------
-# Optimized mode: per-workload groups, cached functional work, fan-out.
+# Optimized mode: per-point tasks on the parallel execution fabric.
 # ----------------------------------------------------------------------
 
 def _induced_crash(name: str) -> None:
     """Test hook: deterministically kill a *worker* process.
 
     ``REPRO_BENCH_CRASH_WORKLOAD=<name>`` makes every worker attempt at
-    that workload's group die hard (fork inherits the env, the driver
+    that workload's points die hard (fork inherits the env, the driver
     process never dies -- ``parent_process()`` guards it).  With
     ``REPRO_BENCH_CRASH_ONCE_DIR`` also set, only the first attempt
     crashes: a marker file records that the crash already happened, so
@@ -180,133 +196,171 @@ def _induced_crash(name: str) -> None:
     os._exit(13)
 
 
-def _run_group(
-    group: tuple[str, int, list[dict]],
-) -> tuple[list[dict], dict, dict]:
-    """All sweep points of one workload, sharing one cache.
+def _point_task(payload: dict) -> dict:
+    """One sweep point on the fabric (runs inside a pool worker).
 
-    Returns ``(point_results, stage_seconds, cache_stats)``; the cache
-    stats travel back across the process boundary so the driver can
-    aggregate hit/miss counts over all groups.
+    The worker arena keeps ``(case, cache)`` per ``(workload, scale)``
+    alive across points, so the functional pipeline runs at most once
+    per workload per worker -- and with the cache's disk layer enabled,
+    at most once per workload *globally*.  Returns the point result
+    plus per-stage seconds and the cache-counter delta this point
+    caused (the driver aggregates deltas across workers).
     """
-    name, scale, specs = group
-    _induced_crash(name)
+    spec = payload["spec"]
+    _induced_crash(spec["workload"])
+    arena = worker_arena()
+    key = ("bench", spec["workload"], spec["scale"], payload.get("cache_dir"))
+    entry = arena.get(key)
+    if entry is None:
+        case = get_workload(spec["workload"]).build(scale=spec["scale"])
+        cache = ExperimentCache(persist_dir=payload.get("cache_dir"))
+        entry = arena[key] = (case, cache)
+    case, cache = entry
+    before = cache.stats()
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
-    cache = ExperimentCache()
-    case = get_workload(name).build(scale=scale)
     t0 = time.perf_counter()
     baseline = cache.baseline(case)
     stages["interpret"] = time.perf_counter() - t0
-    results = []
-    for spec in specs:
-        if spec["kind"] == "base":
-            traces = [baseline.trace]
-        else:
-            t0 = time.perf_counter()
-            traces = cache.dswp(case, baseline).traces
-            stages["transform"] += time.perf_counter() - t0
+    if spec["kind"] == "base":
+        traces = [baseline.trace]
+    else:
         t0 = time.perf_counter()
-        sim = simulate(traces, _machine(spec["machine"]))
-        stages["simulate"] += time.perf_counter() - t0
-        results.append({"id": spec["id"], **_sim_summary(sim)})
-    return results, stages, cache.stats()
-
-
-def _groups(points: list[dict]) -> list[tuple[str, int, list[dict]]]:
-    by_workload: dict[tuple[str, int], list[dict]] = {}
-    for spec in points:
-        by_workload.setdefault((spec["workload"], spec["scale"]), []).append(spec)
-    return [(name, scale, specs)
-            for (name, scale), specs in by_workload.items()]
-
-
-def _fan_out(groups, jobs: int):
-    """Fan groups over worker processes, surviving worker death.
-
-    A worker that dies (OOM-killed, segfaulting C extension, induced
-    crash in tests) breaks the pool: every group still in flight gets
-    :class:`BrokenProcessPool` instead of a result.  Those groups are
-    retried once in a fresh pool; groups that crash the retry too are
-    returned for in-process fallback.  Ordinary exceptions (a bug in
-    the group itself) still propagate -- those are deterministic and
-    re-running them cannot help.
-
-    Returns ``(outputs, fallback_indices, jobs)``; ``jobs == 1`` means
-    the platform cannot fork and the caller should run serially.
-    """
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:
-        return [], [], 1
-    outputs: list[Optional[tuple[list[dict], dict, dict]]] = [None] * len(groups)
-    # Round 1: one shared pool.  A dying worker breaks the whole pool,
-    # so innocent in-flight groups fail alongside the guilty one.
-    failed: list[int] = []
-    try:
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            futures = {i: pool.submit(_run_group, group)
-                       for i, group in enumerate(groups)}
-            for i, future in futures.items():
-                try:
-                    outputs[i] = future.result()
-                except BrokenProcessPool:
-                    failed.append(i)
-    except OSError:
-        return [], [], 1
-    # Round 2: retry each failed group in its own single-use pool, so a
-    # group that crashes again cannot poison the other retries.
-    fallback: list[int] = []
-    for i in failed:
-        try:
-            with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
-                outputs[i] = pool.submit(_run_group, groups[i]).result()
-        except (BrokenProcessPool, OSError):
-            fallback.append(i)
-    return outputs, fallback, jobs
+        traces = cache.dswp(case, baseline).traces
+        stages["transform"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sim = simulate(traces, _machine(spec["machine"]))
+    stages["simulate"] = time.perf_counter() - t0
+    after = cache.stats()
+    return {
+        "point": {"id": spec["id"], **_sim_summary(sim)},
+        "stages": stages,
+        "cache": {k: after[k] - before.get(k, 0) for k in after},
+    }
 
 
 def run_optimized(
-    points: list[dict], jobs: int,
-) -> tuple[list[dict], dict, int, list[str], dict]:
-    """Run all points grouped-and-cached, fanned over ``jobs`` workers.
+    points: list[dict],
+    jobs: int,
+    cache_dir: Optional[str] = None,
+    cost_dir: str = ".",
+    registry=None,
+) -> dict:
+    """Run all points as tasks on the execution fabric.
 
-    Falls back to in-process serial execution when ``jobs <= 1`` or the
-    platform cannot fork, so the runner works everywhere; the report
-    records the worker count actually used.  A group whose worker
-    crashes twice is re-run in-process (the sweep always completes) and
-    its points are returned as *degraded* so the report can say the
-    parallel path failed for them.
+    Each point is one :class:`~repro.parallel.PoolTask`; affinity
+    groups a workload's points onto the worker whose arena is already
+    warm for it, and task costs come from a
+    :class:`~repro.parallel.CostModel` fitted from prior
+    ``BENCH_*.json`` reports in ``cost_dir`` (cold heuristic
+    otherwise).  ``jobs <= 1`` -- or a platform that cannot fork --
+    runs the same tasks serially in-process.
 
-    The last return value aggregates every group's
-    :meth:`~repro.harness.cache.ExperimentCache.stats` (hits, misses,
-    corrupt evictions, entry counts) across workers.
+    A point whose worker crashes is retried on a fresh worker; a point
+    that crashes its worker twice is re-run in the driver process (the
+    sweep always completes) and is *degraded*: marked in its result
+    dict, listed in ``degraded_points``, and counted in the summary
+    line -- including when the degradation came from a pool-level
+    fallback rather than a per-point failure.
+
+    Returns a dict with ``points`` (sweep order), ``stages``, ``jobs``
+    (worker count actually used), ``degraded_points``, ``cache_stats``
+    (aggregated across workers), per-point ``point_seconds`` and the
+    cost-model description.
     """
-    groups = _groups(points)
-    jobs = max(1, min(jobs, len(groups)))
+    model = CostModel.load(cost_dir)
+    tasks = [
+        PoolTask(
+            id=spec["id"],
+            fn=_point_task,
+            payload={"spec": spec, "cache_dir": cache_dir},
+            cost=model.estimate_point(spec),
+            affinity=f"{spec['workload']}:{spec['scale']}",
+        )
+        for spec in points
+    ]
+    jobs = max(1, min(jobs, len(points)))
+    with WorkerPool(jobs, metrics=registry) as pool:
+        results = pool.run(tasks)
+        jobs_used = pool.jobs
+    by_id = {r.task.id: r for r in results}
+
+    out_points: list[dict] = []
     degraded_ids: list[str] = []
-    outputs: list[Optional[tuple[list[dict], dict, dict]]] = []
-    if jobs > 1:
-        outputs, fallback, jobs = _fan_out(groups, jobs)
-        for i in fallback:
-            outputs[i] = _run_group(groups[i])
-            group_results, _, _ = outputs[i]
-            for result in group_results:
-                result["degraded"] = True
-                degraded_ids.append(result["id"])
-    if jobs == 1:
-        outputs = [_run_group(g) for g in groups]
-        degraded_ids = []
-    results = [r for group_results, _, _ in outputs for r in group_results]
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
     cache_stats: dict[str, int] = {}
-    for _, group_stages, group_cache in outputs:
-        for key, value in group_stages.items():
+    point_seconds: dict[str, float] = {}
+    for spec in points:
+        result = by_id[spec["id"]]
+        point = dict(result.value["point"])
+        if result.degraded:
+            point["degraded"] = True
+            degraded_ids.append(point["id"])
+        out_points.append(point)
+        point_seconds[spec["id"]] = result.duration
+        for key, value in result.value["stages"].items():
             stages[key] += value
-        for key, value in group_cache.items():
+        for key, value in result.value["cache"].items():
             cache_stats[key] = cache_stats.get(key, 0) + value
-    order = {spec["id"]: i for i, spec in enumerate(points)}
-    results.sort(key=lambda r: order[r["id"]])
-    return results, stages, jobs, degraded_ids, cache_stats
+    return {
+        "points": out_points,
+        "stages": stages,
+        "jobs": jobs_used,
+        "degraded_points": degraded_ids,
+        "cache_stats": cache_stats,
+        "point_seconds": point_seconds,
+        "cost_model": model.describe(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Verification lanes
+# ----------------------------------------------------------------------
+
+def verification_sample(points: list[dict], scale: int) -> list[dict]:
+    """The deterministic ``--skip-naive`` subset, in sweep order.
+
+    Points are ranked by a content hash of their id (stable across
+    runs and machines, uncorrelated with sweep order) and the sampled
+    fraction shrinks as the scale -- and hence the per-point naive
+    cost -- grows: full coverage at ``scale <= SAMPLE_BUDGET``,
+    bounded cost above it.
+    """
+    fraction = min(1.0, max(MIN_SAMPLE_FRACTION,
+                            SAMPLE_BUDGET / max(scale, 1)))
+    count = max(1, round(len(points) * fraction))
+    ranked = sorted(
+        points,
+        key=lambda spec: hashlib.sha256(
+            spec["id"].encode()).hexdigest(),
+    )
+    chosen = {spec["id"] for spec in ranked[:count]}
+    return [spec for spec in points if spec["id"] in chosen]
+
+
+def _check_parallel_identical(specs: list[dict], optimized: list[dict],
+                              jobs_used: int) -> Optional[bool]:
+    """Bit-compare the pool's results against a serial in-driver re-run.
+
+    The re-run uses a fresh in-memory cache (no disk layer), so it is a
+    fully independent functional recomputation: any divergence -- a
+    transport bug, cross-worker cache pollution, nondeterminism in a
+    worker -- shows up as inequality.  ``jobs_used <= 1`` is trivially
+    identical (the optimized lane *was* the serial in-driver path).
+    """
+    if not specs:
+        return None
+    if jobs_used <= 1:
+        return True
+    wanted = {spec["id"] for spec in specs}
+    by_id = {p["id"]: {k: v for k, v in p.items() if k != "degraded"}
+             for p in optimized if p["id"] in wanted}
+    with WorkerPool(1) as pool:
+        rerun = pool.run([
+            PoolTask(id=spec["id"], fn=_point_task,
+                     payload={"spec": spec, "cache_dir": None})
+            for spec in specs
+        ])
+    return all(r.value["point"] == by_id[r.task.id] for r in rerun)
 
 
 # ----------------------------------------------------------------------
@@ -319,25 +373,40 @@ def run_bench(
     jobs: int,
     out_dir: str = ".",
     compare: bool = True,
+    skip_naive: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> dict:
     """Run one figure's sweep; returns (and writes) the report dict.
 
     Every ``BENCH_<figure>.json`` carries a ``provenance`` block (git
     commit, machine configuration digests, sweep scale) and a
-    ``metrics`` snapshot (cache hit/miss counters and sweep gauges from
+    ``metrics`` snapshot (cache hit/miss counters, sweep gauges and the
+    pool's per-worker utilization/steal telemetry from
     :class:`~repro.obs.metrics.MetricsRegistry`), so a report on disk
     is attributable to the code and configuration that produced it.
+
+    ``cache_dir`` is the :class:`~repro.harness.cache.ExperimentCache`
+    disk layer shared by the workers (default: ``.bench-cache`` under
+    ``out_dir``); ``skip_naive`` switches the naive comparison lane to
+    the deterministic sample (see :func:`verification_sample`).  The
+    report's ``verification`` block records the mode and the covered
+    point ids.
     """
     from repro.obs import MetricsRegistry, record_provenance
 
     points = sweep_points(figure, scale)
-
-    t0 = time.perf_counter()
-    optimized, opt_stages, jobs_used, degraded_ids, cache_stats = (
-        run_optimized(points, jobs))
-    optimized_seconds = time.perf_counter() - t0
+    if cache_dir is None:
+        cache_dir = os.path.join(out_dir, ".bench-cache")
 
     registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    optimized = run_optimized(points, jobs, cache_dir=cache_dir,
+                              cost_dir=out_dir, registry=registry)
+    optimized_seconds = time.perf_counter() - t0
+    jobs_used = optimized["jobs"]
+    degraded_ids = optimized["degraded_points"]
+    cache_stats = optimized["cache_stats"]
+
     provenance = record_provenance(
         registry,
         machine=MachineConfig(),
@@ -349,25 +418,39 @@ def run_bench(
     for key, value in sorted(cache_stats.items()):
         registry.counter(f"cache.{key}").inc(value)
 
+    if not compare:
+        verified: list[dict] = []
+        mode = "none"
+    elif skip_naive:
+        verified = verification_sample(points, scale)
+        mode = "sampled"
+    else:
+        verified = points
+        mode = "full"
+    registry.gauge("bench.verified_points").set(len(verified))
+
     report = {
         "figure": figure,
         "scale": scale,
         "jobs": jobs_used,
         "num_points": len(points),
-        "points": optimized,
+        "points": optimized["points"],
         "degraded_points": degraded_ids,
         "cache_stats": cache_stats,
         "optimized_seconds": optimized_seconds,
-        "optimized_stage_seconds": opt_stages,
+        "optimized_stage_seconds": optimized["stages"],
+        "point_seconds": optimized["point_seconds"],
+        "cost_model": optimized["cost_model"],
+        "verification": {"mode": mode,
+                         "points": [spec["id"] for spec in verified]},
         "provenance": provenance,
-        "metrics": registry.snapshot(),
     }
 
-    if compare:
+    if mode != "none":
         naive_stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
         naive_results = []
         t0 = time.perf_counter()
-        for spec in points:
+        for spec in verified:
             result, stages = run_point_naive(spec)
             naive_results.append(result)
             for key, value in stages.items():
@@ -375,14 +458,30 @@ def run_bench(
         naive_seconds = time.perf_counter() - t0
         report["naive_seconds"] = naive_seconds
         report["naive_stage_seconds"] = naive_stages
+        if mode == "full":
+            denominator = optimized_seconds
+        else:
+            # Like-for-like: the naive lane only ran the sample, so
+            # compare it against the optimized time of the same points.
+            denominator = sum(
+                optimized["point_seconds"][spec["id"]] for spec in verified)
         report["speedup"] = (
-            naive_seconds / optimized_seconds if optimized_seconds > 0 else 0.0
-        )
+            naive_seconds / denominator if denominator > 0 else 0.0)
         # The degraded marker records *how* a point ran, not *what* it
         # computed -- strip it before the functional comparison.
-        comparable = [{k: v for k, v in r.items() if k != "degraded"}
-                      for r in optimized]
+        verified_ids = {spec["id"] for spec in verified}
+        comparable = [{k: v for k, v in p.items() if k != "degraded"}
+                      for p in optimized["points"]
+                      if p["id"] in verified_ids]
         report["functional_identical"] = naive_results == comparable
+        report["parallel_identical"] = _check_parallel_identical(
+            verified, optimized["points"], jobs_used)
+    else:
+        report["parallel_identical"] = None
+
+    # Snapshot last so the metrics block carries everything the run
+    # recorded, including pool telemetry and the verification gauge.
+    report["metrics"] = registry.snapshot()
 
     path = os.path.join(out_dir, f"BENCH_{figure}.json")
     with open(path, "w", encoding="utf-8") as fh:
@@ -395,22 +494,33 @@ def run_bench(
 def format_report(report: dict) -> str:
     lines = [
         f"figure {report['figure']}: {report['num_points']} points, "
-        f"scale {report['scale']}, {report['jobs']} worker(s)",
+        f"scale {report['scale']}, {report['jobs']} worker(s), "
+        f"cost model {report.get('cost_model', 'cold')}",
         f"  optimized: {report['optimized_seconds']:.2f}s "
         f"(interpret {report['optimized_stage_seconds']['interpret']:.2f}s, "
         f"transform {report['optimized_stage_seconds']['transform']:.2f}s, "
         f"simulate {report['optimized_stage_seconds']['simulate']:.2f}s)",
     ]
     if "naive_seconds" in report:
+        verification = report.get("verification", {})
+        mode = verification.get("mode", "full")
+        covered = len(verification.get("points", ()))
         lines.append(
             f"  naive:     {report['naive_seconds']:.2f}s "
             f"(interpret {report['naive_stage_seconds']['interpret']:.2f}s, "
             f"transform {report['naive_stage_seconds']['transform']:.2f}s, "
             f"simulate {report['naive_stage_seconds']['simulate']:.2f}s)"
+            + (f" [sampled: {covered}/{report['num_points']} points]"
+               if mode == "sampled" else "")
         )
         identical = "identical" if report["functional_identical"] else "DIVERGED"
+        parallel = report.get("parallel_identical")
+        parallel_text = ("" if parallel is None else
+                         (", parallel identical" if parallel
+                          else ", parallel DIVERGED"))
         lines.append(
-            f"  speedup:   {report['speedup']:.2f}x, functional results {identical}"
+            f"  speedup:   {report['speedup']:.2f}x, "
+            f"functional results {identical}{parallel_text}"
         )
     if report.get("degraded_points"):
         lines.append(
@@ -428,7 +538,8 @@ def summary_line(report: dict) -> str:
 
     Printed unconditionally by ``python -m repro bench`` (with or
     without ``--no-compare``) so every sweep leaves a grep-friendly
-    record of how much functional work the cache absorbed.
+    record of how much functional work the cache absorbed and how many
+    points fell back to in-driver execution.
     """
     cache = report.get("cache_stats", {})
     parts = [

@@ -39,6 +39,7 @@ import pickle
 from typing import Callable, Optional
 
 from repro.analysis.memdep import AliasModel
+from repro.analysis.profiling import LoopProfile
 from repro.core.partition import Partition
 from repro.harness.runner import (
     BaselineRun,
@@ -46,9 +47,9 @@ from repro.harness.runner import (
     ExperimentResult,
     run_baseline,
     run_dswp,
+    run_experiment,
 )
 from repro.ir.printer import render_function
-from repro.machine.cmp import simulate
 from repro.machine.config import MachineConfig
 from repro.workloads.base import Workload, WorkloadCase
 
@@ -92,6 +93,8 @@ class ExperimentCache:
     ``cache.corrupt_evictions`` counters.
     """
 
+    _tmp_counter = 0
+
     def __init__(self, persist_dir: Optional[str] = None,
                  log: Optional[Callable[[str], None]] = None,
                  metrics=None) -> None:
@@ -121,10 +124,14 @@ class ExperimentCache:
         if self.persist_dir is None:
             return None
         path = self._entry_path(kind, key)
-        if not os.path.exists(path):
+        try:
+            fh = open(path, "rb")
+        except FileNotFoundError:
+            # Absent -- including vanishing between a concurrent writer's
+            # eviction and our open -- is a plain miss, not corruption.
             return None
         try:
-            with open(path, "rb") as fh:
+            with fh:
                 payload = pickle.load(fh)
             if not isinstance(payload, dict) or payload.get("kind") != kind:
                 raise ValueError("malformed cache payload")
@@ -144,7 +151,11 @@ class ExperimentCache:
         if self.persist_dir is None:
             return
         path = self._entry_path(kind, key)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # pid + per-process counter: concurrent writers (bench workers
+        # sharing one cache dir) each write their own tmp file and race
+        # only on the atomic rename, which either order leaves valid.
+        ExperimentCache._tmp_counter += 1
+        tmp = f"{path}.tmp.{os.getpid()}.{ExperimentCache._tmp_counter}"
         try:
             os.makedirs(self.persist_dir, exist_ok=True)
             with open(tmp, "wb") as fh:
@@ -186,7 +197,15 @@ class ExperimentCache:
         if data is not None:
             self.hits += 1
             self._count("cache.hits")
-            run = BaselineRun(case, data["trace"], data["profile"],
+            # Rebind the profile to the live case's loop.  The pickled
+            # profile carries a *copy* of the loop whose instruction
+            # objects can never match the live function by identity, so
+            # every instruction weight would read as 0.0 and the
+            # partition heuristic would silently flip.
+            loaded = data["profile"]
+            profile = LoopProfile(loaded.block_counts, loaded.header_trips,
+                                  case.loop)
+            run = BaselineRun(case, data["trace"], profile,
                               memory=data.get("memory"),
                               regs=data.get("regs"))
         else:
@@ -262,18 +281,17 @@ class ExperimentCache:
         call.  ``case`` lets sweep drivers build the workload once and
         share one object (and hence one digest memo) across points.
         """
-        machine = machine or MachineConfig()
-        baseline_machine = baseline_machine or machine
-        if case is None:
-            case = workload.build(scale=scale)
-        baseline = self.baseline(case, check=check)
-        base_sim = simulate([baseline.trace], baseline_machine)
-        transformed = self.dswp(
-            case, baseline, partition=partition,
-            alias_model=alias_model, check=check,
+        return run_experiment(
+            workload,
+            machine=machine,
+            baseline_machine=baseline_machine,
+            partition=partition,
+            alias_model=alias_model,
+            scale=scale,
+            check=check,
+            cache=self,
+            case=case,
         )
-        dswp_sim = simulate(transformed.traces, machine)
-        return ExperimentResult(workload, base_sim, dswp_sim, transformed.result)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -168,6 +168,8 @@ def run_experiment(
     scale: Optional[int] = None,
     check: bool = True,
     obs: Optional[ObsConfig] = None,
+    cache=None,
+    case: Optional[WorkloadCase] = None,
 ) -> ExperimentResult:
     """The full compare-against-baseline experiment for one workload.
 
@@ -177,23 +179,41 @@ def run_experiment(
     metrics registry collects interpreter wait counters plus the
     pipeline simulation's stall/occupancy/utilization telemetry.  The
     default observes nothing and executes the exact same code path.
+
+    ``cache`` (an :class:`~repro.harness.cache.ExperimentCache`) routes
+    the functional stages -- baseline interpretation and the DSWP
+    transform + pipeline execution -- through the cache, so repeated
+    machine-configuration points only re-run the timing simulation.
+    ``case`` supplies a pre-built workload case (skipping the build
+    phase); sweep drivers use it to share one case object, and hence
+    one content digest, across every point.
     """
     obs = obs if obs is not None else NULL_OBS
     tracer, metrics = obs.tracer, obs.metrics
     machine = machine or MachineConfig()
     baseline_machine = baseline_machine or machine
     with tracer.span("harness.run_experiment", workload=workload.name):
-        with tracer.span("workload.build"):
-            case = workload.build(scale=scale)
+        if case is None:
+            with tracer.span("workload.build"):
+                case = workload.build(scale=scale)
         with tracer.span("interp.baseline"):
-            baseline = run_baseline(case, check=check)
+            if cache is not None:
+                baseline = cache.baseline(case, check=check)
+            else:
+                baseline = run_baseline(case, check=check)
         base_sim = simulate([baseline.trace], baseline_machine,
                             tracer=tracer)
         with tracer.span("core.dswp+interp.pipeline"):
-            transformed = run_dswp(
-                case, baseline, partition=partition,
-                alias_model=alias_model, check=check, metrics=metrics,
-            )
+            if cache is not None:
+                transformed = cache.dswp(
+                    case, baseline, partition=partition,
+                    alias_model=alias_model, check=check,
+                )
+            else:
+                transformed = run_dswp(
+                    case, baseline, partition=partition,
+                    alias_model=alias_model, check=check, metrics=metrics,
+                )
         dswp_sim = simulate(transformed.traces, machine, metrics=metrics,
                             tracer=tracer)
     return ExperimentResult(workload, base_sim, dswp_sim, transformed.result)

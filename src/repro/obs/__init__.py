@@ -44,6 +44,7 @@ from repro.obs.metrics import (
     Info,
     MetricsRegistry,
     Series,
+    parse_metric_key,
 )
 from repro.obs.spans import (
     CYCLE_PID,
@@ -100,6 +101,7 @@ __all__ = [
     "build_chrome_trace",
     "get_tracer",
     "machine_config_digest",
+    "parse_metric_key",
     "provenance_from_snapshot",
     "record_provenance",
     "set_tracer",

@@ -39,6 +39,26 @@ def _key(name: str, labels: dict) -> str:
     return f"{name}{{{body}}}"
 
 
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`_key`: ``"pool.tasks{worker=0}"`` ->
+    ``("pool.tasks", {"worker": "0"})``.
+
+    Label values come back as strings (the key format does not preserve
+    types).  Consumers of :meth:`MetricsRegistry.snapshot` use this to
+    group keys by metric name without string-hacking.
+    """
+    if not key.endswith("}"):
+        return key, {}
+    name, _, body = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for part in body.split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
 class Counter:
     """Monotonically increasing integer/float count."""
 

@@ -1,0 +1,44 @@
+"""Parallel execution fabric: warm worker pool, shared-memory result
+transport and cost-aware work-stealing scheduling.
+
+The fabric replaces ad-hoc per-caller fan-out: callers describe their
+work as :class:`PoolTask` items and hand them to a :class:`WorkerPool`;
+placement, transport, crash recovery and telemetry are owned here.
+Both the bench harness (:mod:`repro.harness.bench`) and the fuzz
+campaign (:mod:`repro.fuzz.campaign`) run on it.
+"""
+
+from repro.parallel.costmodel import CostModel, point_kind
+from repro.parallel.pool import (
+    TaskFailed,
+    WorkerPool,
+    fresh_arena,
+    worker_arena,
+)
+from repro.parallel.scheduler import PoolTask, StealScheduler, TaskResult
+from repro.parallel.shm import (
+    SegmentAllocator,
+    decode_result,
+    encode_result,
+    release_result,
+    shm_available,
+    sweep_worker_segments,
+)
+
+__all__ = [
+    "CostModel",
+    "PoolTask",
+    "SegmentAllocator",
+    "StealScheduler",
+    "TaskFailed",
+    "TaskResult",
+    "WorkerPool",
+    "decode_result",
+    "encode_result",
+    "fresh_arena",
+    "point_kind",
+    "release_result",
+    "shm_available",
+    "sweep_worker_segments",
+    "worker_arena",
+]

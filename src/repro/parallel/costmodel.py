@@ -1,0 +1,104 @@
+"""Task cost estimation for the work-stealing scheduler.
+
+Longest-processing-time-first scheduling needs a per-task cost *order*,
+not accurate wall-clock predictions.  Every ``BENCH_<figure>.json``
+written by the bench runner records per-point durations
+(``point_seconds``), so on machines that have benched before the model
+is *fitted*: the observed seconds of each ``workload:kind`` pair are
+normalised by the sweep scale into a rate, and a point's estimate is
+``rate * scale``.  On a cold machine the fallback still produces a
+useful order -- cost grows with the sweep scale, and a ``dswp`` point
+(transform + two-trace simulation) outweighs a ``base`` point.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Iterable, Optional
+
+#: Cold-start weight of a dswp point relative to a base point: it
+#: simulates one trace per pipeline stage and pays the transform.
+DSWP_WEIGHT = 2.0
+
+
+def point_kind(point_id: str) -> tuple[str, str]:
+    """``"wc:dswp-full"`` -> ``("wc", "dswp")``."""
+    workload, _, label = point_id.partition(":")
+    return workload, ("dswp" if label.startswith("dswp") else "base")
+
+
+class CostModel:
+    """Per-``(workload, kind)`` seconds-per-scale rates."""
+
+    def __init__(self, rates: Optional[dict[tuple[str, str], float]] = None,
+                 source: str = "cold") -> None:
+        self.rates = rates or {}
+        self.source = source
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self.rates)
+
+    def describe(self) -> str:
+        if not self.fitted:
+            return "cold"
+        return f"{self.source} ({len(self.rates)} rates)"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, reports: Iterable[dict], source: str = "fitted") -> "CostModel":
+        """Fit rates from bench report dicts (``point_seconds`` keyed by
+        point id, ``scale`` for normalisation)."""
+        samples: dict[tuple[str, str], list[float]] = {}
+        for report in reports:
+            scale = max(int(report.get("scale", 0) or 0), 1)
+            for point_id, seconds in (report.get("point_seconds") or {}).items():
+                if not isinstance(seconds, (int, float)) or seconds < 0:
+                    continue
+                samples.setdefault(point_kind(point_id), []).append(
+                    seconds / scale)
+        rates = {key: sum(values) / len(values)
+                 for key, values in samples.items() if values}
+        return cls(rates, source=source)
+
+    @classmethod
+    def load(cls, directory: str) -> "CostModel":
+        """Fit from every readable ``BENCH_*.json`` in ``directory``;
+        unreadable or unfitted history degrades to the cold model."""
+        reports = []
+        try:
+            paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+        except OSError:
+            paths = []
+        for path in paths:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    report = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if isinstance(report, dict):
+                reports.append(report)
+        model = cls.fit(reports, source=f"fitted from {len(reports)} report(s)")
+        return model if model.fitted else cls()
+
+    # ------------------------------------------------------------------
+    def estimate(self, workload: str, kind: str, scale: int) -> float:
+        """Estimated cost of one sweep point (arbitrary units; only the
+        order matters to the scheduler)."""
+        scale = max(scale, 1)
+        rate = self.rates.get((workload, kind))
+        if rate is not None:
+            return rate * scale
+        # Cold default: cost scales with trip count; average the fitted
+        # rates of the same kind if any workload has history.
+        kind_rates = [r for (_, k), r in self.rates.items() if k == kind]
+        if kind_rates:
+            return (sum(kind_rates) / len(kind_rates)) * scale
+        return scale * (DSWP_WEIGHT if kind == "dswp" else 1.0)
+
+    def estimate_point(self, spec: dict) -> float:
+        """Estimate for a bench sweep-point spec."""
+        return self.estimate(spec["workload"], spec.get("kind", "base"),
+                             spec.get("scale", 1))

@@ -1,0 +1,486 @@
+"""Persistent warm worker pool with crash recovery.
+
+The pool is the execution half of the fabric (scheduling lives in
+:mod:`repro.parallel.scheduler`, transport in
+:mod:`repro.parallel.shm`).  Design points:
+
+* **Warm workers.**  Workers are forked once and live for the pool's
+  lifetime.  Each keeps a process-local *arena* (:func:`worker_arena`)
+  where task functions park expensive state -- decoded programs, an
+  open :class:`~repro.harness.cache.ExperimentCache` handle -- so
+  repeated tasks on the same workload never re-decode or re-pickle.
+* **Pull dispatch.**  The driver hands each idle worker exactly one
+  task; completion triggers the next dispatch.  All scheduling
+  decisions (affinity, longest-first order, stealing) happen in the
+  driver, so accounting is exact.
+* **Lock-free result channels.**  Each worker incarnation reports
+  results over its own single-writer pipe; the driver multiplexes them
+  with :func:`multiprocessing.connection.wait`.  A shared queue would
+  reintroduce the classic fork hazard this design exists to avoid: a
+  worker dying inside the queue's locked critical section (its feeder
+  thread mid-``send``) leaves the shared lock held forever and
+  deadlocks every surviving worker.  With per-incarnation pipes a
+  crash can only ever damage the dead worker's own channel.
+* **Crash recovery.**  A worker that dies mid-task (OOM kill, induced
+  crash in tests) is detected by liveness polling; its pipe is drained
+  first -- a fully sent result is still honoured -- then the task is
+  retried on a fresh incarnation, and a task that kills its worker
+  twice runs *in the driver process* with the result marked
+  ``degraded``.  The sweep always completes, and the caller can report
+  exactly which results took the fallback path.  Deterministic task
+  exceptions are not retried: they surface as :class:`TaskFailed`.
+* **Serial fallback.**  ``jobs <= 1`` -- or a platform that cannot
+  fork -- runs every task in-process in the same scheduled order, so
+  callers never need a second code path and results are bit-identical
+  by construction.
+* **Segment hygiene.**  Shared-memory segments created by workers are
+  unlinked as results are decoded; on shutdown the pool probes past
+  each worker incarnation's last acknowledged allocation and sweeps
+  anything a crash left behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Callable, Optional
+
+from repro.parallel.scheduler import PoolTask, StealScheduler, TaskResult
+from repro.parallel.shm import (
+    SegmentAllocator,
+    decode_result,
+    encode_result,
+    release_result,
+    shm_available,
+    sweep_worker_segments,
+)
+
+#: Seconds between liveness checks while waiting for results.
+POLL_INTERVAL = 0.05
+
+#: Seconds a worker gets to exit cleanly before being terminated.
+JOIN_TIMEOUT = 2.0
+
+#: Process-local arena task functions share across a worker's lifetime.
+_ARENA: dict = {}
+
+
+def worker_arena() -> dict:
+    """The current process's task arena (worker or driver)."""
+    return _ARENA
+
+
+class fresh_arena:
+    """Context manager giving the enclosed code an empty arena.
+
+    Used by in-driver execution lanes (serial runs, verification
+    re-runs) so their cache behaviour matches a cold worker.
+    """
+
+    def __enter__(self):
+        global _ARENA
+        self._saved = _ARENA
+        _ARENA = {}
+        return _ARENA
+
+    def __exit__(self, *exc):
+        global _ARENA
+        _ARENA = self._saved
+        return False
+
+
+class TaskFailed(RuntimeError):
+    """A task raised a (deterministic) exception in its worker."""
+
+    def __init__(self, task_id: str, detail: str) -> None:
+        super().__init__(f"task {task_id!r} failed:\n{detail}")
+        self.task_id = task_id
+        self.detail = detail
+
+
+def _worker_main(worker_id: int, incarnation: int, inbox, conn,
+                 pool_uid: str, use_shm: bool) -> None:
+    _ARENA.clear()  # fork copies the driver arena; workers start cold
+    allocator = (SegmentAllocator(pool_uid, worker_id, incarnation)
+                 if use_shm else None)
+
+    def seq() -> int:
+        return allocator.seq if allocator is not None else 0
+
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        task_id, fn, payload = message
+        start = time.perf_counter()
+        try:
+            value = fn(payload)
+            wire = encode_result(value, allocator)
+        except BaseException:
+            conn.send((task_id, "err", time.perf_counter() - start, seq(),
+                       traceback.format_exc()))
+            continue
+        conn.send((task_id, "ok", time.perf_counter() - start, seq(), wire))
+    conn.close()
+
+
+@dataclass
+class _Flight:
+    task: PoolTask
+    attempts: int
+    stolen: bool
+
+
+class _Worker:
+    def __init__(self, worker_id: int, process, inbox, conn,
+                 incarnation: int) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.inbox = inbox
+        #: Driver-side read end of this incarnation's result pipe.
+        self.conn = conn
+        self.incarnation = incarnation
+
+
+class WorkerPool:
+    """Fork-based persistent pool; see module docstring.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
+    per-worker ``pool.*`` telemetry: task counts, busy seconds,
+    utilization, steal counts, crash/fallback counters and the
+    shared-memory sweep tally.
+    """
+
+    def __init__(self, jobs: int, metrics=None, use_shm: Optional[bool] = None,
+                 max_worker_attempts: int = 2) -> None:
+        self.requested = max(1, jobs)
+        self._metrics = metrics
+        self._use_shm = shm_available() if use_shm is None else use_shm
+        self.max_worker_attempts = max(1, max_worker_attempts)
+        self._uid = os.urandom(4).hex()
+        self._ctx = None
+        if self.requested > 1:
+            try:
+                self._ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                self._ctx = None
+        #: Worker count actually in effect (1 = serial in-process).
+        self.jobs = self.requested if self._ctx is not None else 1
+        self._workers: list[_Worker] = []
+        self._acked_seq: dict[tuple[int, int], int] = {}
+        self._closed = False
+        self.crashes = 0
+        self.fallbacks = 0
+        self.segments_swept = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _start_workers(self) -> None:
+        if self._workers or self._ctx is None:
+            return
+        for worker_id in range(self.jobs):
+            inbox = self._ctx.SimpleQueue()
+            self._workers.append(self._spawn(worker_id, inbox, 0))
+
+    def _spawn(self, worker_id: int, inbox, incarnation: int) -> _Worker:
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, incarnation, inbox, send_conn,
+                  self._uid, self._use_shm),
+            daemon=True,
+        )
+        process.start()
+        # The worker owns the only write end now: when it dies, the
+        # driver sees EOF instead of waiting for a liveness poll.
+        send_conn.close()
+        self._acked_seq.setdefault((worker_id, incarnation), 0)
+        return _Worker(worker_id, process, inbox, recv_conn, incarnation)
+
+    def _respawn(self, worker_id: int) -> None:
+        old = self._workers[worker_id]
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        self._workers[worker_id] = self._spawn(worker_id, old.inbox,
+                                               old.incarnation + 1)
+
+    def close(self) -> None:
+        """Shut workers down and sweep leaked shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.process.is_alive():
+                try:
+                    worker.inbox.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + JOIN_TIMEOUT
+        for worker in self._workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(JOIN_TIMEOUT)
+        for worker in self._workers:
+            for message in self._drain(worker):
+                if message[1] == "ok":
+                    release_result(message[4])
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for (worker_id, incarnation), acked in sorted(self._acked_seq.items()):
+            self.segments_swept += sweep_worker_segments(
+                self._uid, worker_id, incarnation, acked)
+        if self._metrics is not None and self.segments_swept:
+            self._metrics.counter("pool.shm_swept").inc(self.segments_swept)
+        self._workers = []
+
+    def _drain(self, worker: _Worker) -> list[tuple]:
+        """Read every fully delivered message off a worker's pipe."""
+        messages = []
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return messages
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return messages
+            self._acked_seq[(worker.worker_id, worker.incarnation)] = \
+                message[3]
+            messages.append(message)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[PoolTask],
+            cancel: Optional[Callable[[TaskResult], bool]] = None,
+            ) -> list[TaskResult]:
+        """Run ``tasks``; returns results in task order.
+
+        ``cancel`` is called after every completed task; returning True
+        drops all still-queued tasks (in-flight ones finish), so the
+        returned list may omit cancelled tasks.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not tasks:
+            return []
+        ids = [t.id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("task ids must be unique")
+        if self.jobs <= 1:
+            results = self._run_serial(tasks, cancel)
+        else:
+            results = self._run_parallel(tasks, cancel)
+        return [results[t.id] for t in tasks if t.id in results]
+
+    def _run_serial(self, tasks, cancel) -> dict[str, TaskResult]:
+        scheduler = StealScheduler(tasks, 1)
+        results: dict[str, TaskResult] = {}
+        wall_start = time.perf_counter()
+        busy = 0.0
+        with fresh_arena():  # cache behaviour matches a cold worker
+            while True:
+                item = scheduler.next_for(0)
+                if item is None:
+                    break
+                task, _ = item
+                start = time.perf_counter()
+                try:
+                    value = task.fn(task.payload)
+                except Exception:
+                    raise TaskFailed(task.id,
+                                     traceback.format_exc()) from None
+                duration = time.perf_counter() - start
+                busy += duration
+                result = TaskResult(task, value, 0, duration)
+                results[task.id] = result
+                if cancel is not None and cancel(result):
+                    scheduler.clear_pending()
+        self._record_run(scheduler, results, time.perf_counter() - wall_start,
+                         {0: busy})
+        return results
+
+    def _run_parallel(self, tasks, cancel) -> dict[str, TaskResult]:
+        self._start_workers()
+        state = _RunState(self, StealScheduler(tasks, self.jobs), cancel)
+        for worker_id in range(self.jobs):
+            state.dispatch(worker_id)
+        while state.in_flight:
+            conns = {self._workers[w].conn: w for w in state.in_flight}
+            try:
+                ready = mp_connection.wait(list(conns), timeout=POLL_INTERVAL)
+            except OSError:
+                ready = []
+            progressed = False
+            for conn in ready:
+                worker_id = conns[conn]
+                worker = self._workers[worker_id]
+                try:
+                    if not conn.poll(0):
+                        continue
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Writer died: handled by the crash pass below.
+                    continue
+                progressed = True
+                self._acked_seq[(worker_id, worker.incarnation)] = message[3]
+                state.deliver(worker_id, message)
+            if not progressed:
+                self._handle_crashes(state)
+        self._record_run(state.scheduler, state.results,
+                         time.perf_counter() - state.wall_start, state.busy)
+        if state.error is not None:
+            raise state.error
+        return state.results
+
+    def _handle_crashes(self, state: "_RunState") -> None:
+        """Deal with workers that died with a task in flight.
+
+        The dead incarnation's pipe is drained first: a result that was
+        fully sent before the crash is honoured (and can never race a
+        retry, because the pipe is closed before one is issued).
+        """
+        for worker_id in list(state.in_flight):
+            worker = self._workers[worker_id]
+            if worker.process.is_alive():
+                continue
+            flight = state.in_flight[worker_id]
+            delivered = False
+            for message in self._drain(worker):
+                state.deliver(worker_id, message)
+                delivered = delivered or message[0] == flight.task.id
+            self.crashes += 1
+            self._respawn(worker_id)
+            if delivered or worker_id not in state.in_flight:
+                continue
+            del state.in_flight[worker_id]
+            if state.error is not None:
+                continue
+            if flight.attempts < self.max_worker_attempts:
+                flight.attempts += 1
+                state.in_flight[worker_id] = flight
+                self._workers[worker_id].inbox.put(
+                    (flight.task.id, flight.task.fn, flight.task.payload))
+                continue
+            # The task killed every worker it touched: run it here, in
+            # the driver, and mark the result degraded.
+            self.fallbacks += 1
+            start = time.perf_counter()
+            try:
+                value = flight.task.fn(flight.task.payload)
+            except Exception:
+                state.fail(flight.task.id, traceback.format_exc())
+                continue
+            state.complete(TaskResult(
+                flight.task, value, -1, time.perf_counter() - start,
+                attempts=flight.attempts, degraded=True,
+                stolen=flight.stolen))
+            state.dispatch(worker_id)
+
+    # ------------------------------------------------------------------
+    def _record_run(self, scheduler, results, wall: float,
+                    busy: dict[int, float]) -> None:
+        registry = self._metrics
+        if registry is None:
+            return
+        wall = max(wall, 1e-9)
+        registry.gauge("pool.workers").set(self.jobs)
+        per_worker_tasks: dict[int, int] = {}
+        for result in results.values():
+            per_worker_tasks[result.worker] = \
+                per_worker_tasks.get(result.worker, 0) + 1
+        for worker_id in range(self.jobs):
+            registry.counter("pool.tasks", worker=worker_id).inc(
+                per_worker_tasks.get(worker_id, 0))
+            seconds = busy.get(worker_id, 0.0)
+            registry.counter("pool.busy_seconds", worker=worker_id).inc(
+                seconds)
+            registry.gauge("pool.utilization", worker=worker_id).set(
+                min(seconds / wall, 1.0))
+            registry.counter("pool.steals", worker=worker_id).inc(
+                scheduler.steals[worker_id])
+        registry.counter("pool.crashes").inc(self.crashes)
+        registry.counter("pool.fallback_tasks").inc(
+            per_worker_tasks.get(-1, 0))
+        registry.gauge("pool.wall_seconds").set(wall)
+
+
+class _RunState:
+    """Book-keeping for one :meth:`WorkerPool.run` parallel invocation."""
+
+    def __init__(self, pool: WorkerPool, scheduler: StealScheduler,
+                 cancel) -> None:
+        self.pool = pool
+        self.scheduler = scheduler
+        self.cancel = cancel
+        self.results: dict[str, TaskResult] = {}
+        self.in_flight: dict[int, _Flight] = {}
+        self.busy: dict[int, float] = {}
+        self.error: Optional[TaskFailed] = None
+        self.wall_start = time.perf_counter()
+
+    def dispatch(self, worker_id: int) -> None:
+        if self.error is not None:
+            return
+        item = self.scheduler.next_for(worker_id)
+        if item is None:
+            return
+        task, stolen = item
+        self.in_flight[worker_id] = _Flight(task, 1, stolen)
+        self.pool._workers[worker_id].inbox.put(
+            (task.id, task.fn, task.payload))
+
+    def fail(self, task_id: str, detail: str) -> None:
+        if self.error is None:
+            self.error = TaskFailed(task_id, detail)
+            self.scheduler.clear_pending()
+
+    def complete(self, result: TaskResult) -> None:
+        self.results[result.task.id] = result
+        if result.worker >= 0:
+            self.busy[result.worker] = \
+                self.busy.get(result.worker, 0.0) + result.duration
+        if (self.cancel is not None and self.error is None
+                and self.cancel(result)):
+            self.scheduler.clear_pending()
+
+    def deliver(self, worker_id: int, message: tuple) -> None:
+        """Process one pipe message from ``worker_id``."""
+        task_id, status, duration, _seq, body = message
+        flight = self.in_flight.get(worker_id)
+        if flight is None or flight.task.id != task_id:
+            # A message for a task this run no longer tracks (e.g. it
+            # already completed via the driver fallback): discard, but
+            # never leak its segments.
+            if status == "ok":
+                release_result(body)
+            return
+        del self.in_flight[worker_id]
+        if status == "err":
+            self.fail(task_id, body)
+        else:
+            try:
+                value = decode_result(body)
+            except Exception:
+                self.fail(task_id, traceback.format_exc())
+                return
+            self.complete(TaskResult(flight.task, value, worker_id, duration,
+                                     flight.attempts, stolen=flight.stolen))
+        if self.error is None:
+            self.dispatch(worker_id)

@@ -1,0 +1,278 @@
+"""Shared-memory result transport for the parallel execution fabric.
+
+Worker processes hand results back to the driver through a
+``multiprocessing.Queue``.  That pipe is cheap for small payloads but
+pickles everything and chunks large messages through a byte stream, so
+bulk artefacts -- a :class:`~repro.interp.trace.ColumnarTrace` with
+hundreds of thousands of column elements, a pickled
+:class:`~repro.machine.stats.SimResult` -- pay twice: once to pickle
+and once to squeeze through the pipe.
+
+This module moves those payloads through POSIX shared memory instead:
+
+* a :class:`ColumnarTrace` is *decomposed* -- its three ``array``
+  columns travel as raw bytes copied straight into one shared-memory
+  segment (no per-element pickling), with only the small static-op
+  table and address-overflow side table pickled;
+* a :class:`SimResult` (or any other large object) is pickled once and
+  the pickle bytes are placed in a segment, so the queue message is a
+  fixed-size descriptor either way;
+* everything small rides the queue inline, and when shared memory is
+  unavailable (platform without ``/dev/shm``, ``REPRO_NO_SHM=1``, or a
+  failed segment creation) the transport degrades to plain pickling
+  with identical results.
+
+Segment lifecycle is owned by the *pool* (:mod:`repro.parallel.pool`):
+workers create segments with deterministic names
+(``repro-<pool>-w<worker>i<incarnation>-s<seq>``), the driver unlinks
+each segment as soon as it decodes the descriptor, and at shutdown it
+probes past the last acknowledged sequence number of every worker
+incarnation so segments created by a crashed worker are swept too.
+The deterministic, strictly sequential naming is what makes the sweep
+exact: the first missing name is the end of the allocation stream.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Optional
+
+from repro.interp.trace import ColumnarTrace
+
+try:  # pragma: no cover - import always succeeds on CPython >= 3.8
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platforms
+    _shared_memory = None
+
+#: Payloads whose encoded size is below this ride the queue inline;
+#: the segment round-trip only pays off for bulk data.
+DEFAULT_THRESHOLD = 16 * 1024
+
+#: Kill switch for tests and constrained environments.
+NO_SHM_ENV = "REPRO_NO_SHM"
+THRESHOLD_ENV = "REPRO_SHM_THRESHOLD"
+
+
+def shm_available() -> bool:
+    """Whether shared-memory transport can be used at all."""
+    return _shared_memory is not None and not os.environ.get(NO_SHM_ENV)
+
+
+def transport_threshold() -> int:
+    try:
+        return int(os.environ[THRESHOLD_ENV])
+    except (KeyError, ValueError):
+        return DEFAULT_THRESHOLD
+
+
+def segment_name(pool_uid: str, worker_id: int, incarnation: int,
+                 seq: int) -> str:
+    return f"repro-{pool_uid}-w{worker_id}i{incarnation}-s{seq}"
+
+
+def _untrack(segment) -> None:
+    """Detach ``segment`` from this process's resource tracker.
+
+    The creating worker hands ownership to the driver; without this the
+    worker-side tracker would warn about (and try to unlink) segments
+    the driver is still reading.
+    """
+    try:  # pragma: no cover - tracker layout is a CPython detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SegmentAllocator:
+    """Per-worker allocator of sequentially named segments.
+
+    ``seq`` is the allocation high-water mark; the worker reports it
+    with every result so the driver always knows how many segments this
+    incarnation has created, even when a descriptor is lost to a crash.
+    """
+
+    def __init__(self, pool_uid: str, worker_id: int,
+                 incarnation: int = 0) -> None:
+        self.pool_uid = pool_uid
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.seq = 0
+        self.enabled = shm_available()
+        self.threshold = transport_threshold()
+
+    def create(self, nbytes: int):
+        """A new segment of at least ``nbytes``, or ``None`` to fall
+        back to inline pickling (allocation failures disable the
+        allocator for the rest of the worker's life)."""
+        if not self.enabled:
+            return None
+        name = segment_name(self.pool_uid, self.worker_id,
+                            self.incarnation, self.seq)
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=max(nbytes, 1), name=name)
+        except OSError:
+            self.enabled = False
+            return None
+        self.seq += 1
+        _untrack(segment)
+        return segment
+
+
+# ----------------------------------------------------------------------
+# Wire format.  A wire value is a small picklable tuple tagged with its
+# encoding; containers encode recursively so a task may return e.g.
+# ``{"trace": ColumnarTrace, "summary": {...}}``.
+# ----------------------------------------------------------------------
+
+def encode_result(value, allocator: Optional[SegmentAllocator]):
+    """Encode a task result for the queue, spilling bulk to shm."""
+    if isinstance(value, ColumnarTrace):
+        return _encode_trace(value, allocator)
+    if isinstance(value, tuple):
+        return ("tuple", [encode_result(v, allocator) for v in value])
+    if isinstance(value, list):
+        return ("list", [encode_result(v, allocator) for v in value])
+    if isinstance(value, dict):
+        return ("dict", [(k, encode_result(v, allocator))
+                         for k, v in value.items()])
+    if _is_inline(value):
+        return ("inline", value)
+    return _encode_pickle(value, allocator)
+
+
+_INLINE_TYPES = (type(None), bool, int, float, str, bytes)
+
+
+def _is_inline(value) -> bool:
+    return isinstance(value, _INLINE_TYPES)
+
+
+def _encode_trace(trace: ColumnarTrace, allocator):
+    sids, addrs, takens = trace.column_bytes()
+    side = pickle.dumps((trace.statics, dict(trace._addr_overflow)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    lengths = (len(sids), len(addrs), len(takens), len(side))
+    total = sum(lengths)
+    if allocator is None or total < allocator.threshold:
+        return ("trace-inline", (sids, addrs, takens, side))
+    segment = allocator.create(total)
+    if segment is None:
+        return ("trace-inline", (sids, addrs, takens, side))
+    offset = 0
+    for chunk in (sids, addrs, takens, side):
+        segment.buf[offset:offset + len(chunk)] = chunk
+        offset += len(chunk)
+    segment.close()
+    return ("trace-shm", (segment.name, lengths))
+
+
+def _encode_pickle(value, allocator):
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    if allocator is None or len(blob) < allocator.threshold:
+        return ("pickle-inline", blob)
+    segment = allocator.create(len(blob))
+    if segment is None:
+        return ("pickle-inline", blob)
+    segment.buf[:len(blob)] = blob
+    segment.close()
+    return ("pickle-shm", (segment.name, len(blob)))
+
+
+def _attach(name: str):
+    return _shared_memory.SharedMemory(name=name)
+
+
+def _consume_segment(name: str) -> bytes:
+    """Attach, copy out, close and unlink one segment."""
+    segment = _attach(name)
+    try:
+        data = bytes(segment.buf)
+    finally:
+        segment.close()
+        segment.unlink()
+    return data
+
+
+def decode_result(wire):
+    """Invert :func:`encode_result`, unlinking any segments used."""
+    tag, body = wire
+    if tag == "inline":
+        return body
+    if tag == "pickle-inline":
+        return pickle.loads(body)
+    if tag == "pickle-shm":
+        name, length = body
+        return pickle.loads(_consume_segment(name)[:length])
+    if tag == "trace-inline":
+        sids, addrs, takens, side = body
+        statics, overflow = pickle.loads(side)
+        return ColumnarTrace.from_column_bytes(
+            statics, sids, addrs, takens, overflow)
+    if tag == "trace-shm":
+        name, lengths = body
+        data = _consume_segment(name)
+        chunks, offset = [], 0
+        for length in lengths:
+            chunks.append(data[offset:offset + length])
+            offset += length
+        statics, overflow = pickle.loads(chunks[3])
+        return ColumnarTrace.from_column_bytes(
+            statics, chunks[0], chunks[1], chunks[2], overflow)
+    if tag == "tuple":
+        return tuple(decode_result(v) for v in body)
+    if tag == "list":
+        return [decode_result(v) for v in body]
+    if tag == "dict":
+        return {k: decode_result(v) for k, v in body}
+    raise ValueError(f"unknown wire tag {tag!r}")
+
+
+def release_result(wire) -> None:
+    """Unlink a wire value's segments without decoding it.
+
+    Used for duplicate results (a task retried after a worker crash can
+    complete twice); the duplicate's payload is discarded but its
+    segments must not leak.
+    """
+    tag, body = wire
+    if tag in ("pickle-shm", "trace-shm"):
+        try:
+            segment = _attach(body[0])
+        except FileNotFoundError:
+            return
+        segment.close()
+        segment.unlink()
+    elif tag in ("tuple", "list"):
+        for v in body:
+            release_result(v)
+    elif tag == "dict":
+        for _, v in body:
+            release_result(v)
+
+
+def sweep_worker_segments(pool_uid: str, worker_id: int, incarnation: int,
+                          start_seq: int) -> int:
+    """Unlink segments a (possibly crashed) worker left behind.
+
+    Probes sequence numbers from ``start_seq`` upward until the first
+    missing name -- allocation is strictly sequential, so that is the
+    end of the stream.  Returns how many segments were swept.
+    """
+    if _shared_memory is None:
+        return 0
+    swept = 0
+    seq = start_seq
+    while True:
+        name = segment_name(pool_uid, worker_id, incarnation, seq)
+        try:
+            segment = _attach(name)
+        except (FileNotFoundError, OSError):
+            return swept
+        segment.close()
+        segment.unlink()
+        swept += 1
+        seq += 1

@@ -1,0 +1,77 @@
+"""Parallel fuzz campaigns must be indistinguishable from serial ones:
+same accounting, same failures in the same order, byte-identical
+reproducer files."""
+
+from __future__ import annotations
+
+import filecmp
+import os
+
+import pytest
+
+from repro.fuzz.campaign import run_campaign, smoke_config
+
+pytestmark = pytest.mark.parallel_smoke
+
+SEED = 7
+ITERATIONS = 30
+FAULT = "drop-dep-arc"
+
+
+def _accounting(result):
+    return (result.iterations, result.runs, result.applied,
+            result.declined, result.fault_skipped,
+            [f.seed for f in result.failures],
+            [f.divergence.kind for f in result.failures],
+            [(f.original_instructions, f.shrunk_instructions)
+             for f in result.failures])
+
+
+class TestSerialParity:
+    def test_injected_fault_campaign_matches_serial(self, tmp_path):
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        serial = run_campaign(
+            seed=SEED, iterations=ITERATIONS, oracle_config=smoke_config(),
+            fault=FAULT, out_dir=serial_dir, max_failures=3)
+        parallel = run_campaign(
+            seed=SEED, iterations=ITERATIONS, oracle_config=smoke_config(),
+            fault=FAULT, out_dir=parallel_dir, max_failures=3, jobs=2)
+        assert serial.failures  # the fault must be detectable at all
+        assert _accounting(serial) == _accounting(parallel)
+        assert serial.summary() == parallel.summary()
+
+    def test_reproducer_files_are_byte_identical(self, tmp_path):
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        run_campaign(seed=SEED, iterations=ITERATIONS,
+                     oracle_config=smoke_config(), fault=FAULT,
+                     out_dir=serial_dir, max_failures=3)
+        run_campaign(seed=SEED, iterations=ITERATIONS,
+                     oracle_config=smoke_config(), fault=FAULT,
+                     out_dir=parallel_dir, max_failures=3, jobs=2)
+        serial_files = sorted(os.listdir(serial_dir))
+        assert serial_files
+        assert sorted(os.listdir(parallel_dir)) == serial_files
+        for name in serial_files:
+            assert filecmp.cmp(os.path.join(serial_dir, name),
+                               os.path.join(parallel_dir, name),
+                               shallow=False), name
+
+    def test_clean_campaign_parity(self):
+        serial = run_campaign(seed=11, iterations=20,
+                              oracle_config=smoke_config())
+        parallel = run_campaign(seed=11, iterations=20,
+                                oracle_config=smoke_config(), jobs=3)
+        assert _accounting(serial) == _accounting(parallel)
+        assert serial.ok and parallel.ok
+
+    def test_early_stop_point_matches_serial(self, tmp_path):
+        serial = run_campaign(
+            seed=SEED, iterations=ITERATIONS, oracle_config=smoke_config(),
+            fault=FAULT, max_failures=1, shrink=False)
+        parallel = run_campaign(
+            seed=SEED, iterations=ITERATIONS, oracle_config=smoke_config(),
+            fault=FAULT, max_failures=1, shrink=False, jobs=2)
+        assert len(serial.failures) == len(parallel.failures) == 1
+        assert serial.iterations == parallel.iterations

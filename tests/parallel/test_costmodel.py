@@ -1,0 +1,80 @@
+"""Cost-model fitting from bench history and cold-start ordering."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.parallel import CostModel, point_kind
+
+pytestmark = pytest.mark.parallel_smoke
+
+
+class TestPointKind:
+    def test_splits_workload_and_kind(self):
+        assert point_kind("wc:dswp-full") == ("wc", "dswp")
+        assert point_kind("wc:dswp-half") == ("wc", "dswp")
+        assert point_kind("art:base-full") == ("art", "base")
+        assert point_kind("mcf:dswp-full-comm10") == ("mcf", "dswp")
+
+
+class TestColdModel:
+    def test_cold_order_prefers_dswp_and_scale(self):
+        model = CostModel()
+        assert not model.fitted
+        assert model.describe() == "cold"
+        base = model.estimate("wc", "base", 100)
+        dswp = model.estimate("wc", "dswp", 100)
+        assert dswp > base
+        assert model.estimate("wc", "dswp", 200) > dswp
+
+    def test_estimate_point_uses_spec_fields(self):
+        model = CostModel()
+        spec = {"id": "wc:dswp-full", "workload": "wc", "kind": "dswp",
+                "scale": 50}
+        assert model.estimate_point(spec) == model.estimate("wc", "dswp", 50)
+
+
+class TestFitting:
+    def test_fit_normalises_by_scale(self):
+        report = {"scale": 100,
+                  "point_seconds": {"wc:base-full": 1.0,
+                                    "wc:dswp-full": 3.0}}
+        model = CostModel.fit([report])
+        assert model.fitted
+        assert model.estimate("wc", "base", 100) == pytest.approx(1.0)
+        assert model.estimate("wc", "dswp", 200) == pytest.approx(6.0)
+
+    def test_unknown_workload_borrows_kind_average(self):
+        report = {"scale": 10, "point_seconds": {"wc:dswp-full": 2.0}}
+        model = CostModel.fit([report])
+        # "art" has no history: it borrows the fitted dswp rate rather
+        # than falling back to the unitless cold heuristic.
+        assert model.estimate("art", "dswp", 10) == pytest.approx(2.0)
+
+    def test_fit_ignores_garbage_samples(self):
+        report = {"scale": 10,
+                  "point_seconds": {"wc:base-full": -5.0,
+                                    "wc:dswp-full": "soon"}}
+        assert not CostModel.fit([report]).fitted
+
+    def test_load_reads_bench_reports(self, tmp_path):
+        report = {"scale": 40,
+                  "point_seconds": {"wc:base-full": 0.4,
+                                    "wc:dswp-full": 1.2}}
+        with open(tmp_path / "BENCH_fig9a.json", "w") as fh:
+            json.dump(report, fh)
+        with open(tmp_path / "BENCH_broken.json", "w") as fh:
+            fh.write("{not json")
+        model = CostModel.load(str(tmp_path))
+        assert model.fitted
+        assert "fitted" in model.describe()
+        assert model.estimate("wc", "dswp", 40) == pytest.approx(1.2)
+
+    def test_load_of_empty_directory_degrades_to_cold(self, tmp_path):
+        model = CostModel.load(str(tmp_path))
+        assert not model.fitted
+        model = CostModel.load(os.path.join(str(tmp_path), "missing"))
+        assert not model.fitted

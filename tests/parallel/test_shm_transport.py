@@ -1,0 +1,233 @@
+"""Shared-memory transport: round-trip fidelity and segment hygiene.
+
+The transport's contract is strict: a decoded result is *equal* to the
+encoded value whether it travelled through a shared-memory segment or
+the pickle fallback, and no code path -- including worker crashes and
+shutdown -- may leak a ``/dev/shm`` segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.interp.trace import ColumnarTrace, TraceEntry
+from repro.ir.instruction import Instruction, Opcode
+from repro.ir.types import gen_reg, pred_reg
+from repro.parallel import (
+    PoolTask,
+    SegmentAllocator,
+    WorkerPool,
+    decode_result,
+    encode_result,
+    release_result,
+    shm_available,
+    sweep_worker_segments,
+)
+
+pytestmark = pytest.mark.parallel_smoke
+
+needs_shm = pytest.mark.skipif(not shm_available(),
+                               reason="no shared memory on this platform")
+
+
+def make_trace(entries: int = 5000) -> ColumnarTrace:
+    r0, r1 = gen_reg(0), gen_reg(1)
+    add = Instruction(Opcode.ADD, dest=r0, srcs=[r0, r1])
+    load = Instruction(Opcode.LOAD, dest=r1, srcs=[r0], region="arr")
+    br = Instruction(Opcode.BR, srcs=[pred_reg(0)], targets=["a", "b"])
+    trace = ColumnarTrace()
+    for i in range(entries):
+        trace.append_entry(TraceEntry(add, block="body"))
+        trace.append_entry(TraceEntry(load, addr=1000 + i, block="body"))
+        trace.append_entry(TraceEntry(br, taken=i % 3 == 0, block="body"))
+    # Exercise the int64-overflow side table across the wire too.
+    trace.append_entry(TraceEntry(load, addr=1 << 70, block="body"))
+    return trace
+
+
+def traces_equal(a: ColumnarTrace, b: ColumnarTrace) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if (x.inst.opcode != y.inst.opcode or x.addr != y.addr
+                or x.taken != y.taken or x.block != y.block):
+            return False
+    return True
+
+
+def _leftover_segments() -> list[str]:
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return [name for name in os.listdir("/dev/shm")
+            if name.startswith("repro-")]
+
+
+class TestRoundTrip:
+    @needs_shm
+    def test_trace_through_shm_segment(self):
+        allocator = SegmentAllocator("t1", 0)
+        allocator.threshold = 1  # force the segment path
+        trace = make_trace()
+        wire = encode_result(trace, allocator)
+        assert wire[0] == "trace-shm"
+        assert allocator.seq == 1
+        decoded = decode_result(wire)
+        assert traces_equal(trace, decoded)
+        assert not _leftover_segments()  # decode unlinks
+
+    def test_trace_through_pickle_fallback(self):
+        trace = make_trace()
+        wire = encode_result(trace, None)
+        assert wire[0] == "trace-inline"
+        assert traces_equal(trace, decode_result(wire))
+
+    @needs_shm
+    def test_fallback_and_shm_decode_identically(self):
+        allocator = SegmentAllocator("t2", 0)
+        allocator.threshold = 1
+        trace = make_trace(500)
+        via_shm = decode_result(encode_result(trace, allocator))
+        via_pickle = decode_result(encode_result(trace, None))
+        assert traces_equal(via_shm, via_pickle)
+
+    @needs_shm
+    def test_bulk_object_payload_through_shm(self):
+        allocator = SegmentAllocator("t3", 0)
+        allocator.threshold = 1
+        # Containers recurse, so the bulk object must be an opaque
+        # value (a set) to exercise the pickled-segment path.
+        payload = {"rows": set(range(4000)), "label": "sim"}
+        wire = encode_result(payload, allocator)
+        tags = {wire[0]} | {v[0] for _, v in wire[1]}
+        assert "pickle-shm" in tags
+        assert decode_result(wire) == payload
+        assert not _leftover_segments()
+
+    def test_containers_encode_recursively(self):
+        value = {"traces": [make_trace(50), make_trace(50)],
+                 "summary": {"cycles": 123, "ok": True},
+                 "pair": (1, "two")}
+        decoded = decode_result(encode_result(value, None))
+        assert decoded["summary"] == value["summary"]
+        assert decoded["pair"] == value["pair"]
+        assert traces_equal(decoded["traces"][0], value["traces"][0])
+
+    @needs_shm
+    def test_release_unlinks_without_decoding(self):
+        allocator = SegmentAllocator("t4", 0)
+        allocator.threshold = 1
+        wire = encode_result(make_trace(), allocator)
+        assert wire[0] == "trace-shm"
+        release_result(wire)
+        assert not _leftover_segments()
+        release_result(wire)  # idempotent on already-gone segments
+
+
+class TestSweep:
+    @needs_shm
+    def test_sweep_collects_unconsumed_segments(self):
+        allocator = SegmentAllocator("sw1", 2, incarnation=1)
+        allocator.threshold = 1
+        # A crashed worker: segments created, descriptors never decoded.
+        for _ in range(3):
+            encode_result(make_trace(200), allocator)
+        assert len(_leftover_segments()) == 3
+        swept = sweep_worker_segments("sw1", 2, 1, 0)
+        assert swept == 3
+        assert not _leftover_segments()
+
+    @needs_shm
+    def test_sweep_starts_after_the_acked_watermark(self):
+        allocator = SegmentAllocator("sw2", 0)
+        allocator.threshold = 1
+        first = encode_result(make_trace(200), allocator)
+        encode_result(make_trace(200), allocator)
+        decode_result(first)  # seq 0 consumed and acked
+        swept = sweep_worker_segments("sw2", 0, 0, 1)
+        assert swept == 1
+        assert not _leftover_segments()
+
+    @needs_shm
+    def test_sweep_of_clean_worker_is_a_noop(self):
+        assert sweep_worker_segments("nothing", 0, 0, 0) == 0
+
+
+class TestPoolIntegration:
+    @staticmethod
+    def _assert_results(results):
+        assert len(results) == 4
+        for i, result in enumerate(results):
+            assert result.value["index"] == i
+            assert traces_equal(result.value["trace"], make_trace(2000))
+
+    def test_clean_shutdown_leaves_no_segments(self):
+        with WorkerPool(2) as pool:
+            results = pool.run([
+                PoolTask(f"t{i}", big_trace_task, {"index": i})
+                for i in range(4)
+            ])
+            self._assert_results(results)
+        assert not _leftover_segments()
+
+    def test_pickle_fallback_pool_matches_shm_pool(self):
+        with WorkerPool(2, use_shm=False) as pool:
+            results = pool.run([
+                PoolTask(f"t{i}", big_trace_task, {"index": i})
+                for i in range(4)
+            ])
+            self._assert_results(results)
+        assert not _leftover_segments()
+
+    @needs_shm
+    def test_crash_during_run_leaves_no_segments(self, tmp_path):
+        # A worker that dies mid-task: retried, sweep still clean.
+        pool = WorkerPool(2)
+        results = pool.run([
+            PoolTask(f"t{i}", crash_once_big_trace_task,
+                     {"index": i, "dir": str(tmp_path)})
+            for i in range(3)
+        ])
+        assert [r.value["index"] for r in results] == [0, 1, 2]
+        assert pool.crashes >= 1
+        pool.close()
+        assert not _leftover_segments()
+
+    @needs_shm
+    def test_shutdown_sweeps_past_the_acked_watermark(self):
+        # Simulate the true crash-leak window -- a worker that created
+        # a segment whose descriptor never reached the driver -- by
+        # allocating past worker 0's acked watermark under the pool's
+        # own naming scheme, then closing.
+        pool = WorkerPool(2)
+        pool.run([PoolTask(f"t{i}", small_task, {"index": i})
+                  for i in range(4)])
+        orphan = SegmentAllocator(pool._uid, 0, incarnation=0)
+        orphan.seq = pool._acked_seq[(0, 0)]
+        orphan.threshold = 1
+        encode_result(make_trace(300), orphan)
+        encode_result(make_trace(300), orphan)
+        assert len(_leftover_segments()) == 2
+        pool.close()
+        assert pool.segments_swept == 2
+        assert not _leftover_segments()
+
+
+def big_trace_task(payload):
+    return {"index": payload["index"], "trace": make_trace(2000)}
+
+
+def small_task(payload):
+    return {"index": payload["index"]}
+
+
+def crash_once_big_trace_task(payload):
+    marker = os.path.join(payload["dir"], f"crashed-{payload['index']}")
+    if (multiprocessing.parent_process() is not None
+            and not os.path.exists(marker)):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("x\n")
+        os._exit(13)
+    return {"index": payload["index"], "trace": make_trace(2000)}
