@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 # The default tier-1 run includes every smoke tier below (they all live
 # under tests/), parallel-smoke among them.
@@ -32,6 +32,12 @@ obs-smoke:
 # cost-model properties (docs/PERFORMANCE.md).
 parallel-smoke:
 	$(PYTHON) -m pytest -q -m parallel_smoke
+
+# Batched-simulation guardrails: BatchedSimulator vs the per-config
+# oracle on fuzz loops and randomized config batches, frozen-sweep
+# golden regression, bench refusal on divergence (docs/PERFORMANCE.md).
+batch-smoke:
+	$(PYTHON) -m pytest -q -m batch_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000

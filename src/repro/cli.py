@@ -430,17 +430,26 @@ def cmd_bench(args) -> int:
     ok = True
     degraded = False
     for figure in figures:
-        report = run_bench(
-            figure,
-            scale=args.scale,
-            jobs=jobs,
-            out_dir=args.out,
-            compare=not args.no_compare,
-            skip_naive=args.skip_naive,
-        )
+        try:
+            report = run_bench(
+                figure,
+                scale=args.scale,
+                jobs=jobs,
+                out_dir=args.out,
+                compare=not args.no_compare,
+                skip_naive=args.skip_naive,
+                batch=args.batch,
+            )
+        except RuntimeError as exc:
+            # The batched lane diverged from the per-config oracle: the
+            # report was refused, nothing was written.
+            print(f"error: {exc}", file=sys.stderr)
+            ok = False
+            continue
         print(format_report(report))
         degraded = degraded or bool(report.get("degraded_points"))
         ok = ok and report.get("parallel_identical") is not False
+        ok = ok and report.get("batched_identical") is not False
         if not args.no_compare:
             ok = ok and report["functional_identical"] and report["speedup"] >= 1.0
     if getattr(args, "supervise", False):
@@ -623,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for BENCH_<figure>.json reports")
     bench_p.add_argument("--no-compare", action="store_true", dest="no_compare",
                          help="skip the serial naive reference run")
+    bench_p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="replay each trace set against its whole "
+                              "config batch in one pass, verified against "
+                              "the per-config oracle (--no-batch restores "
+                              "one task per sweep point)")
     bench_p.add_argument("--skip-naive", action="store_true", dest="skip_naive",
                          help="verify only a deterministic sample of points "
                               "against the naive lane (scale-aware subset; "

@@ -47,6 +47,7 @@ from repro.analysis.profiling import LoopProfile
 from repro.harness.cache import ExperimentCache
 from repro.harness.runner import MAX_STEPS, BaselineRun, run_dswp
 from repro.interp.reference import run_function_reference
+from repro.machine.batch import BatchedSimulator
 from repro.machine.cmp import simulate
 from repro.machine.reference import simulate_reference
 from repro.machine.config import (
@@ -116,6 +117,50 @@ def _sim_summary(sim) -> dict:
         "ipcs": sim.ipcs(),
         "instructions": [c.instructions_executed for c in sim.cores],
     }
+
+
+def batch_groups(points: list[dict]) -> list[list[dict]]:
+    """Group sweep points that share ``(workload, scale, kind)`` -- and
+    hence one functional trace set -- into config batches.  Sweep order
+    is preserved both across and within groups."""
+    groups: dict[tuple, list[dict]] = {}
+    for spec in points:
+        key = (spec["workload"], spec["scale"], spec["kind"])
+        groups.setdefault(key, []).append(spec)
+    return list(groups.values())
+
+
+def _batch_fingerprint(sim) -> str:
+    """Deep content digest of a :class:`~repro.machine.stats.SimResult`.
+
+    Covers every observable the per-config oracle produces -- not just
+    the summary tuple: instruction/flow counts, completion clocks,
+    every stall record, cache hit/miss statistics, branch-predictor
+    state, and the full per-queue visible/freed event lists.  Two
+    results with equal fingerprints are bit-identical for every table
+    the CLI or the figures can print.
+    """
+    payload = []
+    for core in sim.cores:
+        payload.append((
+            core.index,
+            core.instructions_executed,
+            core.flow_instructions,
+            core.last_completion,
+            tuple((s.kind, s.start, s.end, s.queue) for s in core.stalls),
+            tuple(sorted(core.caches.stats().items())),
+            tuple(sorted(core.predictor._counters.items())),
+            core.predictor.lookups,
+            core.predictor.mispredicts,
+        ))
+    if sim.queues is not None:
+        payload.append((
+            tuple(sorted((q, tuple(v))
+                         for q, v in sim.queues.visible.items())),
+            tuple(sorted((q, tuple(v))
+                         for q, v in sim.queues.freed.items())),
+        ))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -238,12 +283,91 @@ def _point_task(payload: dict) -> dict:
     }
 
 
+def _batch_task(payload: dict) -> dict:
+    """One config-batch on the fabric (runs inside a pool worker).
+
+    All specs share ``(workload, scale, kind)`` and hence one
+    functional trace set.  The batch runs through both timing paths:
+    once per config through the reference oracle (``cmp.simulate`` --
+    the timed *unbatched lane*, which doubles as the verification
+    baseline) and once through
+    :class:`~repro.machine.batch.BatchedSimulator` (annotation and
+    compiled replay code persisted in the worker's arena and the
+    cache's disk layer).  The two lanes are compared with the deep
+    fingerprint; the returned ``batch`` record carries both timings
+    and the verdict, and the point results come from the oracle lane,
+    so a batched divergence can never leak into the sweep numbers.
+    """
+    specs = payload["specs"]
+    spec0 = specs[0]
+    _induced_crash(spec0["workload"])
+    arena = worker_arena()
+    key = ("bench", spec0["workload"], spec0["scale"],
+           payload.get("cache_dir"))
+    entry = arena.get(key)
+    if entry is None:
+        case = get_workload(spec0["workload"]).build(scale=spec0["scale"])
+        cache = ExperimentCache(persist_dir=payload.get("cache_dir"))
+        entry = arena[key] = (case, cache)
+    case, cache = entry
+    bkey = key + ("batched-simulator",)
+    bsim = arena.get(bkey)
+    if bsim is None:
+        bsim = arena[bkey] = BatchedSimulator(annotation_cache=cache)
+    before = cache.stats()
+    stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
+    t0 = time.perf_counter()
+    baseline = cache.baseline(case)
+    stages["interpret"] = time.perf_counter() - t0
+    if spec0["kind"] == "base":
+        traces = [baseline.trace]
+    else:
+        t0 = time.perf_counter()
+        traces = cache.dswp(case, baseline).traces
+        stages["transform"] = time.perf_counter() - t0
+
+    machines = [_machine(spec["machine"]) for spec in specs]
+    t0 = time.perf_counter()
+    sims = [simulate(traces, machine) for machine in machines]
+    unbatched_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    outcomes = bsim.simulate_batch(traces, machines)
+    batched_seconds = time.perf_counter() - t0
+    # The oracle lane produced the sweep results; the batched lane is
+    # the differential campaign riding along.  Stage accounting follows
+    # the results: the campaign's time is verification overhead, kept
+    # out of the production stages and reported per batch instead.
+    stages["simulate"] = unbatched_seconds
+
+    identical = all(
+        out.error is None
+        and _batch_fingerprint(out.result) == _batch_fingerprint(sim)
+        for sim, out in zip(sims, outcomes)
+    )
+    after = cache.stats()
+    return {
+        "points": [{"id": spec["id"], **_sim_summary(sim)}
+                   for spec, sim in zip(specs, sims)],
+        "stages": stages,
+        "cache": {k: after[k] - before.get(k, 0) for k in after},
+        "batch": {
+            "size": len(specs),
+            "retired": sum(1 for out in outcomes if out.batched),
+            "seconds": batched_seconds,
+            "unbatched_seconds": unbatched_seconds,
+            "identical": identical,
+            "points": [spec["id"] for spec in specs],
+        },
+    }
+
+
 def run_optimized(
     points: list[dict],
     jobs: int,
     cache_dir: Optional[str] = None,
     cost_dir: str = ".",
     registry=None,
+    batch: bool = True,
 ) -> dict:
     """Run all points as tasks on the execution fabric.
 
@@ -262,53 +386,96 @@ def run_optimized(
     line -- including when the degradation came from a pool-level
     fallback rather than a per-point failure.
 
+    With ``batch`` (the default), points sharing a trace set become one
+    config-batch task each (:func:`batch_groups` / :func:`_batch_task`):
+    the whole batch retries or degrades together, and the returned dict
+    additionally carries per-batch records (``batches``) and the
+    combined ``batched_identical`` verdict.  ``batch=False`` keeps the
+    one-task-per-point shape.
+
     Returns a dict with ``points`` (sweep order), ``stages``, ``jobs``
-    (worker count actually used), ``degraded_points``, ``cache_stats``
-    (aggregated across workers), per-point ``point_seconds`` and the
-    cost-model description.
+    (worker count actually used), ``num_tasks``, ``degraded_points``,
+    ``cache_stats`` (aggregated across workers), per-point
+    ``point_seconds`` and the cost-model description.
     """
     model = CostModel.load(cost_dir)
-    tasks = [
-        PoolTask(
-            id=spec["id"],
-            fn=_point_task,
-            payload={"spec": spec, "cache_dir": cache_dir},
-            cost=model.estimate_point(spec),
-            affinity=f"{spec['workload']}:{spec['scale']}",
-        )
-        for spec in points
-    ]
-    jobs = max(1, min(jobs, len(points)))
+    if batch:
+        tasks = [
+            PoolTask(
+                id=f"batch:{group[0]['workload']}:{group[0]['kind']}",
+                fn=_batch_task,
+                payload={"specs": group, "cache_dir": cache_dir},
+                cost=sum(model.estimate_point(spec) for spec in group),
+                affinity=f"{group[0]['workload']}:{group[0]['scale']}",
+            )
+            for group in batch_groups(points)
+        ]
+    else:
+        tasks = [
+            PoolTask(
+                id=spec["id"],
+                fn=_point_task,
+                payload={"spec": spec, "cache_dir": cache_dir},
+                cost=model.estimate_point(spec),
+                affinity=f"{spec['workload']}:{spec['scale']}",
+            )
+            for spec in points
+        ]
+    jobs = max(1, min(jobs, len(tasks)))
     with WorkerPool(jobs, metrics=registry) as pool:
         results = pool.run(tasks)
         jobs_used = pool.jobs
-    by_id = {r.task.id: r for r in results}
+
+    stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
+    cache_stats: dict[str, int] = {}
+    batches: list[dict] = []
+    by_point: dict[str, tuple[dict, bool, float]] = {}
+    for result in results:
+        value = result.value
+        for key, stage_seconds in value["stages"].items():
+            stages[key] += stage_seconds
+        for key, delta in value["cache"].items():
+            cache_stats[key] = cache_stats.get(key, 0) + delta
+        if batch:
+            info = dict(value["batch"])
+            info["id"] = result.task.id
+            batches.append(info)
+            # Per-point seconds: the group's duration minus the
+            # differential lane (verification, not production), split
+            # evenly.  Only telemetry and cost-model fitting consume
+            # these.
+            production = max(0.0,
+                             result.duration - value["batch"]["seconds"])
+            share = production / max(len(value["points"]), 1)
+            for point in value["points"]:
+                by_point[point["id"]] = (point, result.degraded, share)
+        else:
+            point = value["point"]
+            by_point[point["id"]] = (point, result.degraded, result.duration)
 
     out_points: list[dict] = []
     degraded_ids: list[str] = []
-    stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
-    cache_stats: dict[str, int] = {}
     point_seconds: dict[str, float] = {}
     for spec in points:
-        result = by_id[spec["id"]]
-        point = dict(result.value["point"])
-        if result.degraded:
+        point, degraded, seconds = by_point[spec["id"]]
+        point = dict(point)
+        if degraded:
             point["degraded"] = True
             degraded_ids.append(point["id"])
         out_points.append(point)
-        point_seconds[spec["id"]] = result.duration
-        for key, value in result.value["stages"].items():
-            stages[key] += value
-        for key, value in result.value["cache"].items():
-            cache_stats[key] = cache_stats.get(key, 0) + value
+        point_seconds[spec["id"]] = seconds
     return {
         "points": out_points,
         "stages": stages,
         "jobs": jobs_used,
+        "num_tasks": len(tasks),
         "degraded_points": degraded_ids,
         "cache_stats": cache_stats,
         "point_seconds": point_seconds,
         "cost_model": model.describe(),
+        "batches": batches if batch else None,
+        "batched_identical": (all(info["identical"] for info in batches)
+                              if batch else None),
     }
 
 
@@ -375,6 +542,7 @@ def run_bench(
     compare: bool = True,
     skip_naive: bool = False,
     cache_dir: Optional[str] = None,
+    batch: bool = True,
 ) -> dict:
     """Run one figure's sweep; returns (and writes) the report dict.
 
@@ -391,6 +559,14 @@ def run_bench(
     the deterministic sample (see :func:`verification_sample`).  The
     report's ``verification`` block records the mode and the covered
     point ids.
+
+    ``batch`` (the default) dispatches config-batches instead of
+    single points (see :func:`_batch_task`): the report then carries
+    per-batch records, ``batched_identical`` and ``batch_speedup``
+    (batched vs per-config-oracle simulate seconds over the groups
+    that actually batched).  A report whose batched lane diverged from
+    the oracle is **never written**: ``run_bench`` raises instead of
+    recording a ``BENCH_*.json`` with ``batched_identical: false``.
     """
     from repro.obs import MetricsRegistry, record_provenance
 
@@ -401,11 +577,17 @@ def run_bench(
     registry = MetricsRegistry()
     t0 = time.perf_counter()
     optimized = run_optimized(points, jobs, cache_dir=cache_dir,
-                              cost_dir=out_dir, registry=registry)
+                              cost_dir=out_dir, registry=registry,
+                              batch=batch)
     optimized_seconds = time.perf_counter() - t0
     jobs_used = optimized["jobs"]
     degraded_ids = optimized["degraded_points"]
     cache_stats = optimized["cache_stats"]
+    batches = optimized["batches"] or []
+    for info in batches:
+        registry.histogram("batch.size").observe(info["size"])
+        registry.counter("batch.retired").inc(info["retired"])
+        registry.histogram("batch.seconds").observe(info["seconds"])
 
     provenance = record_provenance(
         registry,
@@ -429,11 +611,21 @@ def run_bench(
         mode = "full"
     registry.gauge("bench.verified_points").set(len(verified))
 
+    # batch_speedup compares the two simulate lanes over the groups
+    # that took the batched path (bypassed singletons ran the oracle
+    # in both lanes and would only dilute the ratio).
+    batched_groups = [info for info in batches if info["retired"]]
+    batched_seconds = sum(info["seconds"] for info in batched_groups)
+    batch_speedup = (
+        sum(info["unbatched_seconds"] for info in batched_groups)
+        / batched_seconds if batched_seconds > 0 else None)
+
     report = {
         "figure": figure,
         "scale": scale,
         "jobs": jobs_used,
         "num_points": len(points),
+        "num_tasks": optimized["num_tasks"],
         "points": optimized["points"],
         "degraded_points": degraded_ids,
         "cache_stats": cache_stats,
@@ -441,6 +633,9 @@ def run_bench(
         "optimized_stage_seconds": optimized["stages"],
         "point_seconds": optimized["point_seconds"],
         "cost_model": optimized["cost_model"],
+        "batches": optimized["batches"],
+        "batched_identical": optimized["batched_identical"],
+        "batch_speedup": batch_speedup,
         "verification": {"mode": mode,
                          "points": [spec["id"] for spec in verified]},
         "provenance": provenance,
@@ -459,7 +654,15 @@ def run_bench(
         report["naive_seconds"] = naive_seconds
         report["naive_stage_seconds"] = naive_stages
         if mode == "full":
-            denominator = optimized_seconds
+            # The differential lane (batched-vs-oracle) is verification
+            # work, excluded from the production comparison exactly
+            # like the naive lane itself.  Workers run their lanes
+            # serially, so the campaign's full cost lands on the wall
+            # clock whenever workers outnumber cores; subtract all of
+            # it, floored by the serialized production cost.
+            overhead = sum(info["seconds"] for info in batches)
+            denominator = max(optimized_seconds - overhead,
+                              sum(optimized["point_seconds"].values()))
         else:
             # Like-for-like: the naive lane only ran the sample, so
             # compare it against the optimized time of the same points.
@@ -483,6 +686,13 @@ def run_bench(
     # recorded, including pool telemetry and the verification gauge.
     report["metrics"] = registry.snapshot()
 
+    if report["batched_identical"] is False:
+        diverged = [info["id"] for info in batches if not info["identical"]]
+        raise RuntimeError(
+            f"refusing to record BENCH_{figure}.json: batched simulation "
+            f"diverged from the per-config oracle on "
+            + ", ".join(diverged))
+
     path = os.path.join(out_dir, f"BENCH_{figure}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -501,6 +711,19 @@ def format_report(report: dict) -> str:
         f"transform {report['optimized_stage_seconds']['transform']:.2f}s, "
         f"simulate {report['optimized_stage_seconds']['simulate']:.2f}s)",
     ]
+    if report.get("batches"):
+        batches = report["batches"]
+        retired = sum(info["retired"] for info in batches)
+        speedup = report.get("batch_speedup")
+        verdict = ("identical" if report.get("batched_identical")
+                   else "DIVERGED")
+        lines.append(
+            f"  batched:   {len(batches)} group(s), {retired} config(s) "
+            f"retired batched"
+            + (f", simulate speedup {speedup:.2f}x vs per-config oracle"
+               if speedup else "")
+            + f", results {verdict}"
+        )
     if "naive_seconds" in report:
         verification = report.get("verification", {})
         mode = verification.get("mode", "full")

@@ -101,6 +101,7 @@ class ExperimentCache:
         self._digests: dict[int, str] = {}
         self._baselines: dict[str, BaselineRun] = {}
         self._dswp: dict[tuple, DSWPRun] = {}
+        self._objects: dict[tuple, object] = {}
         self.persist_dir = persist_dir
         self._log = log or (lambda message: None)
         self._metrics = metrics
@@ -261,6 +262,38 @@ class ExperimentCache:
                               {"result": run.result, "traces": run.traces})
         self._dswp[key] = run
         return run
+
+    # ------------------------------------------------------------------
+    def get_object(self, kind: str, key) -> Optional[object]:
+        """Generic content-keyed artefact lookup (memory, then disk).
+
+        Used by layers above the functional pipeline -- e.g. the
+        batched simulator's trace annotations and compiled replay code
+        (:mod:`repro.machine.batch`) -- that want the same
+        corruption-is-a-miss persistence the functional artefacts get.
+        Returns ``None`` on a miss.
+        """
+        memo_key = (kind, key)
+        obj = self._objects.get(memo_key)
+        if obj is not None:
+            self.hits += 1
+            self._count("cache.hits")
+            return obj
+        data = self._load_entry(kind, key)
+        if data is not None and "object" in data:
+            self.hits += 1
+            self._count("cache.hits")
+            obj = data["object"]
+            self._objects[memo_key] = obj
+            return obj
+        self.misses += 1
+        self._count("cache.misses")
+        return None
+
+    def put_object(self, kind: str, key, obj: object) -> None:
+        """Store a generic artefact under ``(kind, key)``."""
+        self._objects[(kind, key)] = obj
+        self._store_entry(kind, key, {"object": obj})
 
     # ------------------------------------------------------------------
     def run_experiment(

@@ -1,0 +1,991 @@
+"""Batched multi-config timing simulation.
+
+Fig. 9 of the paper sweeps machine parameters (communication latency,
+queue size, core width) against the *same* program traces, yet
+:func:`repro.machine.cmp.simulate` replays every trace from scratch for
+every sweep point.  This module restructures the timing model so one
+predecoded trace set replays against a whole batch of
+:class:`~repro.machine.config.MachineConfig` variants in a single pass,
+sharing everything that provably does not depend on the config.
+
+The decomposition rests on three facts about the oracle model
+(:func:`repro.machine.cmp._simulate`):
+
+1. **The run-to-block schedule is count-based.**
+   :class:`~repro.machine.syncarray.QueueTiming` blocks a produce iff
+   ``produced >= size and produced - size >= consumed`` and a consume
+   iff ``consumed >= produced`` -- pure counters, no cycle values.  So
+   the segment structure (which core runs how far in which round, where
+   a deadlock strikes) is identical for every config sharing a
+   ``queue_size``, regardless of latencies or core width.
+
+2. **Private cache and predictor state evolve in per-core trace
+   order.**  L1/L2 lookups and 2-bit predictor updates happen once per
+   trace event in program order, independent of the schedule *and* of
+   the config (the full- and half-width cores share L1/L2 geometry).
+   Only shared-L3 lookups see the schedule (the interleaving of the two
+   cores' L2-miss streams), and L2-miss streams are short.
+
+3. **The issue-slot ring buffer collapses to three scalars.**  Issue
+   cycles are non-decreasing and ring slots are tagged with the full
+   cycle value, so only the most recent issue cycle is ever probed
+   again: current cycle, slots used, M-slots used.
+
+Phase A1 (:class:`TraceAnnotation`, per trace x L1/L2 geometry x warm
+flag, config- and schedule-independent, cacheable) replays the private
+cache hierarchy and branch predictor once, producing a load-latency
+stream, a mispredict bit-stream, the list of deferred shared-L3
+accesses, and a *unit stream*: the trace cut into recurring
+straight-line signatures plus standalone produce/consume units.  It
+also emits Python source for a per-trace replay factory in which every
+static operand (latency class, source/dest register slots, queue ids)
+is folded into the generated code.
+
+Phase A2 (per config *group*, cheap) walks the count-based schedule
+over the flow units and replays the deferred L3 accesses in schedule
+order, patching the load-latency stream.
+
+Phase B (per config) instantiates the compiled factory with the
+config's constants (issue width, M ports, penalties, latencies) bound
+as closure cells and drives the shared segment schedule through it.
+Per-config state is a handful of integers plus the per-queue
+visible/freed event lists; configs retire independently, each with a
+full :class:`~repro.machine.stats.SimResult` built on real
+:class:`~repro.machine.core.CoreSim` /
+:class:`~repro.machine.syncarray.QueueTiming` views, or with the same
+structured error (:class:`~repro.machine.cmp.SimulationDeadlock`,
+:class:`~repro.machine.cmp.CycleBudgetExceeded`, including the
+forensic :class:`~repro.resilience.incident.IncidentReport`) the
+oracle would have raised.
+
+Batching is **bypassed** (falling back to the per-config oracle, which
+stays the reference semantics) when a config carries a
+:class:`~repro.resilience.faults.FaultPlan` (fault trigger state is
+deliberately not shared between configs), when a geometry group ends
+up with a single member, when a trace's generated replay source would
+be degenerately large, or when thread count exceeds a config's cores
+(a per-config ``ValueError``, as in the oracle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.interp.trace import NO_ADDR, TAKEN_NONE, TAKEN_TRUE, TraceLike, as_columnar
+from repro.machine.branch import TwoBitPredictor
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.cmp import CycleBudgetExceeded, SimulationDeadlock, simulate
+from repro.machine.config import MachineConfig
+from repro.machine.core import (
+    _RING,
+    _K_BR,
+    _K_CONSUME,
+    _K_DEFAULT,
+    _K_LOAD,
+    _K_PRODUCE,
+    _K_STORE,
+    CoreSim,
+    StallRecord,
+    _DecodedStatic,
+)
+from repro.machine.stats import SimResult
+from repro.machine.syncarray import QueueTiming
+from repro.resilience.forensics import build_timing_incident
+
+#: Bump when the annotation layout or generated code changes shape;
+#: part of every cache digest so stale persisted annotations miss.
+CODEGEN_VERSION = 2
+
+#: A straight-line signature is cut after this many events even when
+#: the forward path continues (bounds generated-code size per unit).
+_RUN_CAP = 48
+
+#: Bypass batching when the replay source would exceed this many
+#: generated operations (degenerate traces: compile time would eat the
+#: savings).
+_MAX_GEN_OPS = 4000
+
+_PRODUCE_FULL = "produce_full"
+_CONSUME_EMPTY = "consume_empty"
+
+
+class _Bypass(Exception):
+    """Internal: this trace/group cannot be batched profitably."""
+
+
+# ----------------------------------------------------------------------
+# Phase A1: schedule- and config-independent trace annotation
+# ----------------------------------------------------------------------
+
+class TraceAnnotation:
+    """Everything one trace contributes that no config can change.
+
+    Plain picklable attributes only (so annotations can live in an
+    :class:`~repro.harness.cache.ExperimentCache`): the unit stream and
+    its event offsets, flow-unit metadata, the load-latency and
+    mispredict streams, deferred L3 accesses, final private-cache and
+    predictor state, and the generated replay source.
+    """
+
+    def __init__(self) -> None:
+        self.nevents = 0
+        self.units: list[int] = []          # unit id per unit
+        self.uestart: list[int] = [0]       # event offset per unit (+ total)
+        self.flowpre: list[int] = [0]       # flow units before unit u (+ total)
+        self.fu_uidx: list[int] = []        # unit index of each flow unit
+        self.fu_prod: list[int] = []        # 1 = produce, 0 = consume
+        self.fu_qid: list[int] = []         # queue id of each flow unit
+        self.lats: list[int] = []           # per-load latency (0 = L3 pending)
+        self.mis = bytearray()              # per-branch mispredict flag
+        self.pend: list[tuple[int, int, int]] = []   # (event, addr, lat pos | -1)
+        self.warm_pend: list[int] = []      # warm-phase L3 addresses, in order
+        self.source = ""                    # replay factory source
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.pred_counters: dict[int, int] = {}
+        self.pred_lookups = 0
+        self.pred_mispredicts = 0
+
+    @property
+    def nunits(self) -> int:
+        return len(self.units)
+
+
+def trace_timing_digest(trace: TraceLike) -> str:
+    """Content digest of everything the timing model reads from a trace.
+
+    Covers the dynamic columns (static ids, addresses, branch outcomes)
+    and the timing-relevant identity of each static instruction; two
+    traces with equal digests annotate identically.
+    """
+    trace = as_columnar(trace)
+    h = hashlib.sha256()
+    h.update(b"batch-annotation-v%d" % CODEGEN_VERSION)
+    for part in trace.column_bytes():
+        h.update(part if isinstance(part, (bytes, bytearray)) else bytes(part))
+    for s in trace.statics:
+        inst = s.inst
+        h.update(repr((
+            inst.render(), s.block, s.root_uid,
+            inst.attrs.get("call_cycles", 0) if inst.attrs else 0,
+        )).encode())
+    return h.hexdigest()
+
+
+def annotate_trace(trace: TraceLike, l1cfg, l2cfg, warm: bool) -> TraceAnnotation:
+    """Phase A1 for one trace (see the module docstring).
+
+    Raises :class:`_Bypass` when the trace is not worth generating code
+    for (the caller falls back to the oracle).
+    """
+    trace = as_columnar(trace)
+    statics = trace.statics
+    dec = [_DecodedStatic(s) for s in statics]
+    sids = trace.sids
+    addrs = trace.addrs
+    takens = trace.takens
+    addr_at = trace.addr_at
+    n = len(sids)
+
+    ann = TraceAnnotation()
+    ann.nevents = n
+
+    l1 = CacheLevel(l1cfg)
+    l2 = CacheLevel(l2cfg)
+    l1_lookup = l1.lookup
+    l2_lookup = l2.lookup
+    predictor = TwoBitPredictor()
+    predict = predictor.predict_and_update
+
+    if warm:
+        # Mirrors cmp.warm_up: touch every address, update the
+        # predictor on every resolved branch; shared-L3 touches are
+        # deferred in per-core order (cmp warms core by core).
+        wp_append = ann.warm_pend.append
+        for i in range(n):
+            addr = addrs[i]
+            if addr == NO_ADDR:
+                addr = addr_at(i)
+                if addr is None:
+                    addr = NO_ADDR
+            if addr != NO_ADDR:
+                if not l1_lookup(addr) and not l2_lookup(addr):
+                    wp_append(addr)
+            taken = takens[i]
+            if taken != TAKEN_NONE:
+                d = dec[sids[i]]
+                if d.is_branch:
+                    predict(d.root_uid, taken == TAKEN_TRUE)
+
+    units = ann.units
+    ulens: list[int] = []
+    uflow: list[int] = []
+    sig_ids: dict = {}
+    uspecs: list[tuple] = []
+    ufreq: list[int] = []
+    fu_uidx = ann.fu_uidx
+    fu_prod = ann.fu_prod
+    fu_qid = ann.fu_qid
+    lats = ann.lats
+    mis = ann.mis
+    pend = ann.pend
+
+    run_sids: list[int] = []
+    prev_sid = -1
+
+    def flush() -> None:
+        key = tuple(run_sids)
+        uid = sig_ids.get(key)
+        if uid is None:
+            uid = len(uspecs)
+            sig_ids[key] = uid
+            uspecs.append(("run", key))
+            ufreq.append(0)
+        ufreq[uid] += 1
+        units.append(uid)
+        ulens.append(len(key))
+        uflow.append(0)
+        run_sids.clear()
+
+    for i in range(n):
+        sid = sids[i]
+        d = dec[sid]
+        kind = d.kind
+        if kind >= _K_PRODUCE:
+            if run_sids:
+                flush()
+            fkey = (kind, sid)
+            uid = sig_ids.get(fkey)
+            if uid is None:
+                uid = len(uspecs)
+                sig_ids[fkey] = uid
+                uspecs.append(("flow", sid))
+                ufreq.append(0)
+            ufreq[uid] += 1
+            fu_uidx.append(len(units))
+            fu_prod.append(1 if kind == _K_PRODUCE else 0)
+            fu_qid.append(d.queue)
+            units.append(uid)
+            ulens.append(1)
+            uflow.append(1)
+            prev_sid = -1
+            continue
+        # Cut only at back-edges (sid descent: a revisited block starts
+        # over at its first static) and at the size cap: within a unit
+        # sids strictly ascend, so a unit is one forward path fragment.
+        # Distinct paths intern to distinct signatures; a trace whose
+        # paths do not recur blows past _MAX_GEN_OPS and is bypassed.
+        if run_sids and (sid <= prev_sid or len(run_sids) >= _RUN_CAP):
+            flush()
+        run_sids.append(sid)
+        prev_sid = sid
+        if kind == _K_DEFAULT:
+            continue
+        if kind == _K_LOAD:
+            addr = addrs[i]
+            if addr == NO_ADDR:
+                addr = addr_at(i)
+            if l1_lookup(addr):
+                lats.append(l1cfg.hit_latency)
+            elif l2_lookup(addr):
+                lats.append(l2cfg.hit_latency)
+            else:
+                pend.append((i, addr, len(lats)))
+                lats.append(0)
+        elif kind == _K_STORE:
+            addr = addrs[i]
+            if addr == NO_ADDR:
+                addr = addr_at(i)
+            if not l1_lookup(addr) and not l2_lookup(addr):
+                pend.append((i, addr, -1))
+        else:  # _K_BR
+            mis.append(0 if predict(d.root_uid, takens[i] == 1) else 1)
+    if run_sids:
+        flush()
+
+    total_ops = sum(
+        len(spec[1]) if spec[0] == "run" else 1 for spec in uspecs
+    )
+    if total_ops > _MAX_GEN_OPS:
+        raise _Bypass(f"replay source too large ({total_ops} ops)")
+
+    # Prefix sums: event offset and flow-unit count per unit position.
+    uestart = ann.uestart
+    flowpre = ann.flowpre
+    acc = 0
+    facc = 0
+    for length, isflow in zip(ulens, uflow):
+        acc += length
+        facc += isflow
+        uestart.append(acc)
+        flowpre.append(facc)
+
+    ann.l1_hits, ann.l1_misses = l1.hits, l1.misses
+    ann.l2_hits, ann.l2_misses = l2.hits, l2.misses
+    ann.pred_counters = predictor._counters
+    ann.pred_lookups = predictor.lookups
+    ann.pred_mispredicts = predictor.mispredicts
+    ann.source = _generate_source(uspecs, ufreq, dec)
+    return ann
+
+
+# ----------------------------------------------------------------------
+# Replay code generation
+# ----------------------------------------------------------------------
+
+def _emit_issue(out, ind: str, expr: str, uses_m: bool) -> None:
+    m = "1" if uses_m else "0"
+    out.append(f"{ind}if {expr} > cu:")
+    out.append(f"{ind}    cu = {expr}; ni = 1; mi = {m}")
+    if uses_m:
+        out.append(f"{ind}elif ni < _W and mi < _P:")
+        out.append(f"{ind}    ni += 1; mi += 1")
+    else:
+        out.append(f"{ind}elif ni < _W:")
+        out.append(f"{ind}    ni += 1")
+    out.append(f"{ind}else:")
+    out.append(f"{ind}    cu += 1; ni = 1; mi = {m}")
+
+
+def _emit_earliest(out, ind: str, d, regmap) -> None:
+    out.append(f"{ind}e = fr if fr > cu else cu")
+    for reg in d.srcs:
+        slot = regmap[reg]
+        out.append(f"{ind}if r{slot} > e: e = r{slot}")
+
+
+def _emit_completion(out, ind: str, d, regmap, expr: str) -> None:
+    if d.dest is not None:
+        var = f"r{regmap[d.dest]}"
+    else:
+        var = "tc"
+    out.append(f"{ind}{var} = {expr}")
+    out.append(f"{ind}if {var} > lc: lc = {var}")
+
+
+def _emit_op(out, ind: str, d, regmap) -> None:
+    kind = d.kind
+    _emit_earliest(out, ind, d, regmap)
+    if kind == _K_DEFAULT:
+        _emit_issue(out, ind, "e", False)
+        _emit_completion(out, ind, d, regmap, f"cu + {d.latency}")
+    elif kind == _K_LOAD:
+        _emit_issue(out, ind, "e", True)
+        _emit_completion(out, ind, d, regmap, "cu + LAT[li]")
+        out.append(f"{ind}li += 1")
+    elif kind == _K_STORE:
+        _emit_issue(out, ind, "e", True)
+        _emit_completion(out, ind, d, regmap, "cu + 1")
+    elif kind == _K_BR:
+        _emit_issue(out, ind, "e", False)
+        _emit_completion(out, ind, d, regmap, "cu + 1")
+        out.append(f"{ind}if MIS[bi]: fr = tc + _PEN")
+        out.append(f"{ind}bi += 1")
+    elif kind == _K_PRODUCE:
+        q = d.queue
+        out.append(f"{ind}pc = len(_v{q})")
+        out.append(f"{ind}sr = _f{q}[pc - _QS] if pc >= _QS else 0")
+        out.append(f"{ind}if sr > e:")
+        _emit_issue(out, ind + "    ", "sr", True)
+        out.append(f"{ind}    ST.append(({_PRODUCE_FULL!r}, e, cu, {q}))")
+        out.append(f"{ind}else:")
+        _emit_issue(out, ind + "    ", "e", True)
+        out.append(f"{ind}_v{q}.append(cu + 1 + _COMM)")
+        _emit_completion(out, ind, d, regmap, "cu + 1")
+    else:  # _K_CONSUME
+        q = d.queue
+        out.append(f"{ind}dr = _v{q}[len(_f{q})]")
+        out.append(f"{ind}if dr > e:")
+        _emit_issue(out, ind + "    ", "dr", True)
+        out.append(f"{ind}    ST.append(({_CONSUME_EMPTY!r}, e, cu, {q}))")
+        out.append(f"{ind}else:")
+        _emit_issue(out, ind + "    ", "e", True)
+        out.append(f"{ind}_f{q}.append(cu)")
+        _emit_completion(out, ind, d, regmap, "cu + _SAR")
+
+
+def _generate_source(uspecs, ufreq, dec) -> str:
+    """Emit the replay factory for one trace.
+
+    The factory signature is fixed; everything static about the trace
+    (operand slots, latency classes, queue ids) is folded into the
+    body, everything about the config arrives as closure parameters.
+    """
+    regmap: dict = {}
+    for d in dec:
+        for reg in d.srcs:
+            if reg not in regmap:
+                regmap[reg] = len(regmap)
+        if d.dest is not None and d.dest not in regmap:
+            regmap[d.dest] = len(regmap)
+    qids = sorted({dec[spec[1]].queue for spec in uspecs if spec[0] == "flow"})
+    dest_slots = sorted({
+        regmap[d.dest]
+        for spec in uspecs
+        for d in (
+            (dec[s] for s in spec[1]) if spec[0] == "run" else (dec[spec[1]],)
+        )
+        if d.dest is not None
+    })
+
+    out: list[str] = []
+    out.append("def _factory(_units, _lats, _mis, _vis, _fre, _st,")
+    out.append("             _W, _P, _PEN, _COMM, _SAR, _QS):")
+    for lo in range(0, len(regmap), 16):
+        names = " = ".join(f"r{i}" for i in range(lo, min(lo + 16, len(regmap))))
+        out.append(f"    {names} = 0")
+    out.append("    _cur = 0; _n = 0; _m = 0; _fr = 0; _lc = 0; _li = 0; _bi = 0")
+    for q in qids:
+        out.append(f"    _v{q} = _vis.get({q}); _f{q} = _fre.get({q})")
+    out.append("    def _run(_u0, _u1):")
+    out.append("        nonlocal _cur, _n, _m, _fr, _lc, _li, _bi")
+    for lo in range(0, len(dest_slots), 16):
+        names = ", ".join(f"r{i}" for i in dest_slots[lo:lo + 16])
+        out.append(f"        nonlocal {names}")
+    out.append("        cu = _cur; ni = _n; mi = _m; fr = _fr; lc = _lc")
+    out.append("        li = _li; bi = _bi")
+    out.append("        U = _units; LAT = _lats; MIS = _mis; ST = _st")
+    out.append("        u = _u0")
+    out.append("        while u < _u1:")
+    out.append("            t = U[u]")
+    order = sorted(range(len(uspecs)), key=lambda uid: (-ufreq[uid], uid))
+    keyword = "if"
+    for uid in order:
+        spec = uspecs[uid]
+        out.append(f"            {keyword} t == {uid}:")
+        keyword = "elif"
+        ind = "                "
+        if spec[0] == "run":
+            for sid in spec[1]:
+                _emit_op(out, ind, dec[sid], regmap)
+        else:
+            _emit_op(out, ind, dec[spec[1]], regmap)
+    out.append("            u += 1")
+    out.append("        _cur = cu; _n = ni; _m = mi; _fr = fr; _lc = lc")
+    out.append("        _li = li; _bi = bi")
+    out.append("    def _snap():")
+    out.append("        return (_cur, _fr, _lc, _li, _bi)")
+    out.append("    return _run, _snap")
+    out.append("")
+    return "\n".join(out)
+
+
+#: Compiled factory cache, keyed by source text (annotations are
+#: config-independent, so one trace compiles exactly once per process).
+_FACTORY_CACHE: dict[str, object] = {}
+_FACTORY_CACHE_MAX = 256
+
+#: Process-wide Phase-A memos, content-keyed exactly like the disk
+#: layer.  Annotation and schedule construction are deterministic pure
+#: functions of the trace digest and the group geometry, so sharing
+#: them across :class:`BatchedSimulator` instances (and across worker-
+#: pool runs in one process) is invisible except in speed.
+_ANN_MEMO: dict[tuple, "TraceAnnotation"] = {}
+_SCHED_MEMO: dict[tuple, tuple] = {}
+_MEMO_MAX = 512
+
+
+def _clear_memos() -> None:
+    """Drop every process-wide memo (tests use this to force the disk
+    or recompute paths)."""
+    _FACTORY_CACHE.clear()
+    _ANN_MEMO.clear()
+    _SCHED_MEMO.clear()
+
+
+def _memo_put(memo: dict, key, value) -> None:
+    if len(memo) >= _MEMO_MAX:
+        memo.clear()
+    memo[key] = value
+
+
+def _compiled_factory(source: str, cache=None):
+    factory = _FACTORY_CACHE.get(source)
+    if factory is not None:
+        return factory
+    code = None
+    if cache is not None:
+        # Compiled replay code round-trips through ``marshal`` so a
+        # worker process never pays ``compile`` for a trace another
+        # process (or run) already generated.  Marshal bytes are
+        # interpreter-version specific, hence the version in the key.
+        code_key = (hashlib.sha256(source.encode()).hexdigest(),
+                    CODEGEN_VERSION, sys.version_info[:2])
+        blob = cache.get_object("batch-code", code_key)
+        if isinstance(blob, bytes):
+            try:
+                code = marshal.loads(blob)
+            except Exception:
+                code = None
+    if code is None:
+        code = compile(source, "<batch-replay>", "exec")
+        if cache is not None:
+            try:
+                cache.put_object("batch-code", code_key, marshal.dumps(code))
+            except Exception:
+                pass
+    if len(_FACTORY_CACHE) >= _FACTORY_CACHE_MAX:
+        _FACTORY_CACHE.clear()
+    namespace: dict = {}
+    exec(code, namespace)
+    factory = namespace["_factory"]
+    _FACTORY_CACHE[source] = factory
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Phase A2: count-based schedule + schedule-ordered shared-L3 fill
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Schedule:
+    """Run-to-block schedule for one (annotation set, queue size)."""
+
+    segments: list[tuple[int, int, int]] = field(default_factory=list)
+    #: (first segment, one-past-last segment, cores live after) per round.
+    rounds: list[tuple[int, int, int]] = field(default_factory=list)
+    final_pos: list[int] = field(default_factory=list)
+    deadlock: bool = False
+    produced: dict[int, int] = field(default_factory=dict)
+    consumed: dict[int, int] = field(default_factory=dict)
+
+
+def _build_schedule(anns: list[TraceAnnotation], queue_size: int) -> _Schedule:
+    sched = _Schedule()
+    ncores = len(anns)
+    pos = [0] * ncores
+    fcur = [0] * ncores
+    produced = sched.produced
+    consumed = sched.consumed
+    segments = sched.segments
+    live = [ci for ci in range(ncores) if anns[ci].nunits > 0]
+    while live:
+        progressed = False
+        seg_lo = len(segments)
+        still: list[int] = []
+        for ci in live:
+            ann = anns[ci]
+            fu_uidx = ann.fu_uidx
+            fu_prod = ann.fu_prod
+            fu_qid = ann.fu_qid
+            nflow = len(fu_uidx)
+            j = fcur[ci]
+            stop = ann.nunits
+            while j < nflow:
+                q = fu_qid[j]
+                if fu_prod[j]:
+                    p = produced.get(q, 0)
+                    if p >= queue_size and p - queue_size >= consumed.get(q, 0):
+                        stop = fu_uidx[j]
+                        break
+                    produced[q] = p + 1
+                else:
+                    c = consumed.get(q, 0)
+                    if c >= produced.get(q, 0):
+                        stop = fu_uidx[j]
+                        break
+                    consumed[q] = c + 1
+                j += 1
+            fcur[ci] = j
+            u0 = pos[ci]
+            if stop > u0:
+                segments.append((ci, u0, stop))
+                pos[ci] = stop
+                progressed = True
+            if stop < ann.nunits:
+                still.append(ci)
+        sched.rounds.append((seg_lo, len(segments), len(still)))
+        live = still
+        if live and not progressed:
+            sched.deadlock = True
+            break
+    sched.final_pos = pos
+    return sched
+
+
+def _fill_l3(
+    anns: list[TraceAnnotation],
+    sched: _Schedule,
+    l3cfg,
+    memory_latency: int,
+    warm: bool,
+) -> tuple[CacheLevel, list[list[int]]]:
+    """Replay deferred L3 accesses in schedule order; patch latencies."""
+    l3 = CacheLevel(l3cfg)
+    lookup = l3.lookup
+    if warm:
+        for ann in anns:
+            for addr in ann.warm_pend:
+                lookup(addr)
+    l3_hit = l3cfg.hit_latency
+    lats_out = [list(ann.lats) for ann in anns]
+    cursors = [0] * len(anns)
+    for ci, u0, u1 in sched.segments:
+        ann = anns[ci]
+        pend = ann.pend
+        k = cursors[ci]
+        npend = len(pend)
+        if k >= npend:
+            continue
+        ev1 = ann.uestart[u1]
+        patch = lats_out[ci]
+        while k < npend:
+            event, addr, lpos = pend[k]
+            if event >= ev1:
+                break
+            hit = lookup(addr)
+            if lpos >= 0:
+                patch[lpos] = l3_hit if hit else memory_latency
+            k += 1
+        cursors[ci] = k
+    return l3, lats_out
+
+
+# ----------------------------------------------------------------------
+# Phase B: per-config replay + result/error reconstruction
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchOutcome:
+    """One config's slice of a batched run.
+
+    Exactly one of ``result`` / ``error`` is set; ``error`` carries the
+    same exception (with forensic ``.report``) the oracle would raise.
+    ``batched`` records whether the shared-decode engine produced the
+    outcome or the config was bypassed to the oracle.
+    """
+
+    result: Optional[SimResult] = None
+    error: Optional[Exception] = None
+    batched: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _core_view(
+    ci: int,
+    trace,
+    ann: TraceAnnotation,
+    machine: MachineConfig,
+    l3: CacheLevel,
+    pos: int,
+    snap: tuple,
+    stall_tuples: list,
+) -> CoreSim:
+    """A real :class:`CoreSim` carrying one replayed config's state."""
+    core = CoreSim.__new__(CoreSim)
+    core.core_id = ci
+    core.config = machine.core
+    core.machine = machine
+    core.trace = trace
+    core._statics = None
+    l1 = CacheLevel(machine.core.l1)
+    l1.hits, l1.misses = ann.l1_hits, ann.l1_misses
+    l2 = CacheLevel(machine.core.l2)
+    l2.hits, l2.misses = ann.l2_hits, ann.l2_misses
+    core.caches = CacheHierarchy(l1, l2, l3, machine.memory_latency)
+    predictor = TwoBitPredictor()
+    predictor._counters = ann.pred_counters
+    predictor.lookups = ann.pred_lookups
+    predictor.mispredicts = ann.pred_mispredicts
+    core.predictor = predictor
+    cur, fetch_ready, last_completion, _li, _bi = snap
+    core.index = ann.uestart[pos]
+    core._fetch_ready = fetch_ready
+    core._prev_issue = cur
+    core._reg_ready = {}
+    core._slot_cycle = [-1] * _RING
+    core._slot_n = [0] * _RING
+    core._slot_m = [0] * _RING
+    core.last_completion = last_completion
+    core.stalls = [StallRecord(k, s, e, q) for k, s, e, q in stall_tuples]
+    core.instructions_executed = core.index
+    core.flow_instructions = ann.flowpre[pos]
+    core.faults = None
+    core.forced_exit = False
+    core.fault_stalled = False
+    return core
+
+
+class BatchedSimulator:
+    """Replays one trace set against many machine configs in one pass.
+
+    ``annotation_cache`` (optional) persists Phase-A1 annotations and
+    compiled replay code across processes; any object with
+    ``get_object(kind, key) -> object | None`` and
+    ``put_object(kind, key, object)`` works
+    (:class:`repro.harness.cache.ExperimentCache` provides both).
+    """
+
+    def __init__(self, annotation_cache=None) -> None:
+        self._digests: dict[int, str] = {}
+        self.annotation_cache = annotation_cache
+        #: Timing of the last batched group (seconds), for telemetry.
+        self.last_batch_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _digest(self, trace) -> str:
+        """Timing digest of ``trace``, memoised per trace object."""
+        memo_key = id(trace)
+        digest = self._digests.get(memo_key)
+        if digest is None:
+            digest = self._digests[memo_key] = trace_timing_digest(trace)
+        return digest
+
+    # ------------------------------------------------------------------
+    def annotation(self, trace, l1cfg, l2cfg, warm: bool) -> TraceAnnotation:
+        """Phase-A1 annotation for one trace, memoised and cacheable."""
+        digest = self._digest(trace)
+        key = (digest, l1cfg, l2cfg, warm, CODEGEN_VERSION)
+        ann = _ANN_MEMO.get(key)
+        if ann is not None:
+            return ann
+        if self.annotation_cache is not None:
+            ann = self.annotation_cache.get_object("batch-ann", key)
+            if isinstance(ann, TraceAnnotation):
+                _memo_put(_ANN_MEMO, key, ann)
+                return ann
+        ann = annotate_trace(trace, l1cfg, l2cfg, warm)
+        _memo_put(_ANN_MEMO, key, ann)
+        if self.annotation_cache is not None:
+            self.annotation_cache.put_object("batch-ann", key, ann)
+        return ann
+
+    # ------------------------------------------------------------------
+    def simulate_batch(
+        self,
+        traces: list[TraceLike],
+        machines: list[MachineConfig],
+        *,
+        warm: bool = False,
+        fault_plans=None,
+        cycle_budgets=None,
+        metrics=None,
+    ) -> list[BatchOutcome]:
+        """Simulate ``traces`` under every config in ``machines``.
+
+        ``fault_plans`` / ``cycle_budgets`` are either ``None``, a
+        single value applied to every config, or a list aligned with
+        ``machines``.  Returns one :class:`BatchOutcome` per config, in
+        order; per-config failures (deadlock, watchdog, validation) are
+        captured in the outcome, never raised.
+        """
+        nconf = len(machines)
+        plans = _broadcast(fault_plans, nconf)
+        budgets = _broadcast(cycle_budgets, nconf)
+        traces = [as_columnar(t) for t in traces]
+        outcomes: list[Optional[BatchOutcome]] = [None] * nconf
+
+        groups: dict[tuple, list[int]] = {}
+        for j, machine in enumerate(machines):
+            if len(traces) > machine.num_cores and len(traces) > 1:
+                outcomes[j] = BatchOutcome(error=ValueError(
+                    f"{len(traces)} threads but the machine has "
+                    f"{machine.num_cores} cores"))
+            elif plans[j]:
+                outcomes[j] = self._oracle(
+                    traces, machine, warm, plans[j], budgets[j])
+            else:
+                key = (machine.core.l1, machine.core.l2, machine.queue_size,
+                       machine.l3, machine.memory_latency)
+                groups.setdefault(key, []).append(j)
+
+        for key, idxs in groups.items():
+            if len(idxs) < 2:
+                for j in idxs:
+                    outcomes[j] = self._oracle(
+                        traces, machines[j], warm, None, budgets[j])
+                continue
+            started = time.perf_counter()
+            try:
+                self._run_group(traces, key, idxs, machines, budgets, warm,
+                                outcomes)
+            except _Bypass:
+                for j in idxs:
+                    outcomes[j] = self._oracle(
+                        traces, machines[j], warm, None, budgets[j])
+                continue
+            self.last_batch_seconds = time.perf_counter() - started
+            if metrics is not None:
+                metrics.histogram("batch.size").observe(len(idxs))
+                metrics.counter("batch.retired").inc(len(idxs))
+                metrics.histogram("batch.seconds").observe(
+                    self.last_batch_seconds)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _oracle(self, traces, machine, warm, plan, budget) -> BatchOutcome:
+        try:
+            result = simulate(traces, machine, warm=warm, fault_plan=plan,
+                              cycle_budget=budget)
+        except (SimulationDeadlock, CycleBudgetExceeded) as exc:
+            return BatchOutcome(error=exc)
+        return BatchOutcome(result=result)
+
+    # ------------------------------------------------------------------
+    def _schedule(self, traces, anns, key, warm):
+        """Phase-A2 product (count-based schedule + shared-L3 fill),
+        memoised and cacheable.
+
+        The schedule depends only on the annotations, the queue size
+        and the shared-cache geometry -- never on per-config width or
+        latency knobs -- so it is keyed the same way annotations are.
+        The returned ``l3`` is shared read-only by every result view
+        built from this group (exactly as a live group shares it).
+        """
+        l1cfg, l2cfg, queue_size, l3cfg, memory_latency = key
+        skey = (tuple(self._digest(t) for t in traces), key, warm,
+                CODEGEN_VERSION)
+        entry = _SCHED_MEMO.get(skey)
+        if entry is not None:
+            return entry
+        if self.annotation_cache is not None:
+            entry = self.annotation_cache.get_object("batch-sched", skey)
+            if isinstance(entry, tuple) and len(entry) == 3:
+                _memo_put(_SCHED_MEMO, skey, entry)
+                return entry
+        sched = _build_schedule(anns, queue_size)
+        l3, lats_group = _fill_l3(anns, sched, l3cfg, memory_latency, warm)
+        entry = (sched, l3, lats_group)
+        _memo_put(_SCHED_MEMO, skey, entry)
+        if self.annotation_cache is not None:
+            self.annotation_cache.put_object("batch-sched", skey, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def _run_group(self, traces, key, idxs, machines, budgets, warm,
+                   outcomes) -> None:
+        l1cfg, l2cfg, queue_size, l3cfg, memory_latency = key
+        anns = [self.annotation(t, l1cfg, l2cfg, warm) for t in traces]
+        sched, l3, lats_group = self._schedule(traces, anns, key, warm)
+        factories = [_compiled_factory(ann.source, self.annotation_cache)
+                     for ann in anns]
+        for j in idxs:
+            outcomes[j] = self._replay_one(
+                traces, anns, sched, lats_group, l3, factories,
+                machines[j], budgets[j])
+
+    # ------------------------------------------------------------------
+    def _replay_one(self, traces, anns, sched, lats_group, l3, factories,
+                    machine: MachineConfig, budget) -> BatchOutcome:
+        ncores = len(anns)
+        queues = QueueTiming(machine.queue_size, machine.comm_latency,
+                             machine.sa_read_latency)
+        for q, count in sched.produced.items():
+            if count:
+                queues.visible[q] = []
+        for q, count in sched.consumed.items():
+            if count:
+                queues.freed[q] = []
+        runs = []
+        snaps = []
+        stall_lists: list[list] = []
+        core_cfg = machine.core
+        for ci in range(ncores):
+            stalls: list = []
+            run, snap = factories[ci](
+                anns[ci].units, lats_group[ci], anns[ci].mis,
+                queues.visible, queues.freed, stalls,
+                core_cfg.issue_width, core_cfg.m_ports,
+                core_cfg.mispredict_penalty, machine.comm_latency,
+                machine.sa_read_latency, machine.queue_size,
+            )
+            runs.append(run)
+            snaps.append(snap)
+            stall_lists.append(stalls)
+
+        segments = sched.segments
+        error: Optional[Exception] = None
+        pos = sched.final_pos
+        if budget is None:
+            for ci, u0, u1 in segments:
+                runs[ci](u0, u1)
+        else:
+            pos_now = [0] * ncores
+            last_round = len(sched.rounds) - 1
+            for rix, (lo, hi, live_after) in enumerate(sched.rounds):
+                for t in range(lo, hi):
+                    ci, u0, u1 = segments[t]
+                    runs[ci](u0, u1)
+                    pos_now[ci] = u1
+                if sched.deadlock and rix == last_round:
+                    break  # the deadlock outranks the watchdog
+                if live_after:
+                    clock = max(snap()[2] for snap in snaps)
+                    if clock > budget:
+                        pos = pos_now
+                        views = self._views(
+                            traces, anns, machine, l3, pos, snaps,
+                            stall_lists)
+                        message = (
+                            f"watchdog: simulated clock {clock} exceeded "
+                            f"the {budget}-cycle budget with "
+                            f"{live_after} core(s) still live"
+                        )
+                        error = CycleBudgetExceeded(
+                            message,
+                            report=self._incident(
+                                views, queues, "watchdog", message,
+                                extra={"cycle_budget": budget,
+                                       "clock": clock}))
+                        break
+        if error is not None:
+            return BatchOutcome(error=error, batched=True)
+
+        views = self._views(traces, anns, machine, l3, pos, snaps,
+                            stall_lists)
+        if sched.deadlock:
+            blocked = {
+                c.core_id: c.trace.entry(c.index).inst.render()
+                for c in views
+                if not c.done
+            }
+            message = f"timing deadlock; blocked on {blocked}"
+            error = SimulationDeadlock(
+                message,
+                report=self._incident(views, queues, "timing-deadlock",
+                                      message))
+            return BatchOutcome(error=error, batched=True)
+        result = SimResult(views, queues if len(traces) > 1 else None)
+        return BatchOutcome(result=result, batched=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _views(traces, anns, machine, l3, pos, snaps, stall_lists):
+        return [
+            _core_view(ci, traces[ci], anns[ci], machine, l3, pos[ci],
+                       snaps[ci](), stall_lists[ci])
+            for ci in range(len(anns))
+        ]
+
+    @staticmethod
+    def _incident(views, queues, kind, message, extra=None):
+        stalled = {c.core_id: c.fault_stalled for c in views}
+        return build_timing_incident(views, queues, kind, message,
+                                     stalled=stalled, fault=None,
+                                     extra=extra)
+
+
+def _broadcast(value, count: int) -> list:
+    if value is None:
+        return [None] * count
+    if isinstance(value, (list, tuple)):
+        if len(value) != count:
+            raise ValueError(
+                f"expected {count} per-config values, got {len(value)}")
+        return list(value)
+    return [value] * count
+
+
+def simulate_batch(traces, machines, **kwargs) -> list[BatchOutcome]:
+    """One-shot convenience wrapper over :class:`BatchedSimulator`."""
+    return BatchedSimulator().simulate_batch(traces, machines, **kwargs)

@@ -1,0 +1,180 @@
+"""Bench-level guarantees of the batched lane (``-m batch_smoke``).
+
+Three guardrails ride on top of the machine-level differential
+campaign (``tests/machine/test_batched_differential.py``):
+
+* a **golden regression**: a small frozen Fig. 9a sweep is checked in
+  (``data/golden_fig9a_scale60.json``) and the batched path must
+  reproduce it byte-identically -- any timing-model or batching change
+  that shifts a single cycle fails loudly here;
+* the **refusal rule**: ``run_bench`` must raise -- and record nothing
+  -- when the batched lane diverges from the per-config oracle;
+* the report's **batch records**: sizes, retirement counts and the
+  ``batch_speedup`` ratio land in ``BENCH_*.json`` and the metrics
+  snapshot, and ``--no-batch`` restores the one-task-per-point shape
+  with identical sweep numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+
+import pytest
+
+from repro.harness.bench import (
+    batch_groups,
+    run_bench,
+    sweep_points,
+)
+from repro.harness.cache import ExperimentCache
+from repro.machine.batch import BatchedSimulator
+from repro.machine.cmp import simulate
+from repro.machine.config import (
+    FULL_WIDTH_CORE,
+    HALF_WIDTH_CORE,
+    MachineConfig,
+)
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.batch_smoke
+
+GOLDEN_SCALE = 60
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_fig9a_scale60.json")
+
+
+def _machine(spec: dict) -> MachineConfig:
+    core = HALF_WIDTH_CORE if spec["core"] == "half" else FULL_WIDTH_CORE
+    return MachineConfig(core=core,
+                         comm_latency=spec.get("comm_latency", 1))
+
+
+def _group_traces(group: list[dict], cache: ExperimentCache):
+    spec0 = group[0]
+    case = get_workload(spec0["workload"]).build(scale=spec0["scale"])
+    baseline = cache.baseline(case)
+    if spec0["kind"] == "base":
+        return [baseline.trace]
+    return cache.dswp(case, baseline).traces
+
+
+def _summary(sim) -> dict:
+    return {
+        "cycles": sim.cycles,
+        "ipcs": sim.ipcs(),
+        "instructions": [c.instructions_executed for c in sim.cores],
+    }
+
+
+def sweep_document(scale: int, batched: bool) -> dict:
+    """The frozen-sweep document, via either timing lane.
+
+    The oracle lane generated the checked-in golden; the batched lane
+    must reproduce it byte-for-byte.
+    """
+    cache = ExperimentCache()
+    bsim = BatchedSimulator()
+    out = []
+    for group in batch_groups(sweep_points("fig9a", scale)):
+        traces = _group_traces(group, cache)
+        machines = [_machine(spec["machine"]) for spec in group]
+        if batched:
+            outcomes = bsim.simulate_batch(traces, machines)
+            assert all(o.error is None for o in outcomes)
+            sims = [o.result for o in outcomes]
+        else:
+            sims = [simulate(traces, machine) for machine in machines]
+        out.extend({"id": spec["id"], **_summary(sim)}
+                   for spec, sim in zip(group, sims))
+    return {"figure": "fig9a", "scale": scale, "points": out}
+
+
+def render(document: dict) -> bytes:
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode()
+
+
+class TestGoldenSweep:
+    def test_batched_reproduces_frozen_sweep_byte_identically(self):
+        with open(GOLDEN_PATH, "rb") as fh:
+            frozen = fh.read()
+        assert render(sweep_document(GOLDEN_SCALE, batched=True)) == frozen
+
+    def test_oracle_still_agrees_with_frozen_sweep(self):
+        """Localises a golden failure: if this one fails too, the
+        timing model moved; if only the batched test fails, the
+        batching layer broke."""
+        with open(GOLDEN_PATH, "rb") as fh:
+            frozen = fh.read()
+        assert render(sweep_document(GOLDEN_SCALE, batched=False)) == frozen
+
+
+class TestBenchRefusal:
+    def test_divergence_refuses_to_record_a_report(self, tmp_path,
+                                                   monkeypatch):
+        import repro.harness.bench as bench
+        counter = itertools.count()
+        # Every fingerprint unique -> every comparison "diverges".
+        monkeypatch.setattr(bench, "_batch_fingerprint",
+                            lambda sim: f"fp{next(counter)}")
+        with pytest.raises(RuntimeError, match="refusing to record"):
+            run_bench("fig9a", scale=30, jobs=1, out_dir=str(tmp_path),
+                      compare=False)
+        assert not (tmp_path / "BENCH_fig9a.json").exists()
+
+    def test_cli_surfaces_divergence_as_failure(self, tmp_path,
+                                                monkeypatch, capsys):
+        import repro.harness.bench as bench
+        from repro.cli import main
+        counter = itertools.count()
+        monkeypatch.setattr(bench, "_batch_fingerprint",
+                            lambda sim: f"fp{next(counter)}")
+        code = main(["bench", "--figure", "fig9a", "--scale", "30",
+                     "--jobs", "1", "--no-compare", "--out",
+                     str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "refusing to record" in captured.err
+        assert not (tmp_path / "BENCH_fig9a.json").exists()
+
+
+class TestBatchReport:
+    def test_batch_records_and_metrics_land_in_the_report(self, tmp_path):
+        report = run_bench("fig9a", scale=30, jobs=1,
+                           out_dir=str(tmp_path), compare=False)
+        assert report["batched_identical"] is True
+        batches = report["batches"]
+        assert report["num_tasks"] == len(batches)
+        assert sum(info["size"] for info in batches) == report["num_points"]
+        covered = [pid for info in batches for pid in info["points"]]
+        assert sorted(covered) == sorted(p["id"] for p in report["points"])
+        for info in batches:
+            assert info["identical"] is True
+            assert info["seconds"] >= 0.0
+            assert info["unbatched_seconds"] >= 0.0
+        assert any(key.startswith("batch.size")
+                   for key in report["metrics"])
+        # Round-trips through the on-disk json.
+        with open(report["path"]) as fh:
+            on_disk = json.load(fh)
+        assert on_disk["batched_identical"] is True
+        assert on_disk["batch_speedup"] == report["batch_speedup"]
+
+    def test_no_batch_restores_per_point_tasks_with_same_numbers(
+            self, tmp_path):
+        batched_dir = tmp_path / "batched"
+        plain_dir = tmp_path / "plain"
+        batched_dir.mkdir()
+        plain_dir.mkdir()
+        batched = run_bench("fig9a", scale=30, jobs=1,
+                            out_dir=str(batched_dir), compare=False)
+        plain = run_bench("fig9a", scale=30, jobs=1,
+                          out_dir=str(plain_dir), compare=False,
+                          batch=False)
+        assert plain["batches"] is None
+        assert plain["batched_identical"] is None
+        assert plain["num_tasks"] == plain["num_points"]
+        key = lambda report: {p["id"]: (p["cycles"], p["ipcs"])
+                              for p in report["points"]}
+        assert key(batched) == key(plain)

@@ -106,7 +106,10 @@ class TestPoolTelemetryInReport:
         assert metrics["pool.workers"] == 2
         total_tasks = sum(v for k, v in metrics.items()
                           if k.startswith("pool.tasks{"))
-        assert total_tasks == report["num_points"]
+        # Batched dispatch groups points into config-batch tasks, so the
+        # pool sees one task per batch, not per point.
+        assert total_tasks == report["num_tasks"]
+        assert report["num_tasks"] == len(report["batches"])
         assert "pool.utilization{worker=0}" in metrics
         assert "pool.utilization{worker=1}" in metrics
 

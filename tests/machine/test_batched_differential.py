@@ -1,0 +1,373 @@
+"""Differential campaign for the batched simulator (``-m batch_smoke``).
+
+:class:`~repro.machine.batch.BatchedSimulator` replays one predecoded
+trace set against a whole batch of machine configurations in a single
+pass; the per-config :func:`~repro.machine.cmp.simulate` stays behind
+as the reference oracle.  This campaign drives fuzz-generated loops
+(irregular control flow, random operand shapes) and curated DSWP
+pipelines through both paths under *randomized* config batches and
+asserts :class:`~repro.machine.stats.SimResult` bit-identity field by
+field -- cycles, IPCs, per-core stall records, cache and predictor
+counters, queue occupancy events -- plus failure equivalence: a
+deadlock, watchdog cut-off or validation error surfaced by the batched
+path must carry the oracle's exact exception type, message and
+forensic :class:`~repro.resilience.incident.IncidentReport`.
+
+The tier is bounded (fixed seeds, small scales) so it runs inside the
+normal suite; deselect with ``-m 'not batch_smoke'``.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz.generator import generate_case
+from repro.harness.runner import run_baseline, run_dswp
+from repro.interp.interpreter import run_function
+from repro.interp.trace import ColumnarTrace
+from repro.machine.batch import BatchedSimulator
+from repro.machine.cmp import (
+    CycleBudgetExceeded,
+    SimulationDeadlock,
+    simulate,
+)
+from repro.machine.config import HALF_WIDTH_CORE, MachineConfig
+from repro.resilience.faults import CoreFault, FaultPlan, QueueFault
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.batch_smoke
+
+#: Fixed generator seeds: deterministic, structurally diverse loops.
+SEEDS = tuple(range(8))
+
+MAX_STEPS = 2_000_000
+
+#: Knob values the randomized batches draw from.  Configs sharing
+#: (cache geometry, queue size, memory latency) batch together; the
+#: rest are grouped or bypassed by the simulator itself -- the
+#: campaign asserts equivalence either way.
+COMM_LATENCIES = (1, 2, 5, 10, 20)
+SA_READ_LATENCIES = (1, 2, 3)
+QUEUE_SIZES = (8, 32, 128)
+CORES = (MachineConfig().core, HALF_WIDTH_CORE)
+
+
+def random_config(rng: random.Random) -> MachineConfig:
+    return MachineConfig(
+        core=rng.choice(CORES),
+        comm_latency=rng.choice(COMM_LATENCIES),
+        sa_read_latency=rng.choice(SA_READ_LATENCIES),
+        queue_size=rng.choice(QUEUE_SIZES),
+    )
+
+
+def random_batch(rng: random.Random, lo: int = 2, hi: int = 6):
+    """A randomized config batch, with duplicates made likely."""
+    configs = [random_config(rng) for _ in range(rng.randint(lo, hi))]
+    if len(configs) >= 2 and rng.random() < 0.5:
+        configs[rng.randrange(len(configs))] = configs[0]
+    return configs
+
+
+def oracle(traces, machine, **kwargs):
+    """(result, error) the reference per-config simulate produces."""
+    try:
+        return simulate(traces, machine, **kwargs), None
+    except (SimulationDeadlock, CycleBudgetExceeded, ValueError) as exc:
+        return None, exc
+
+
+# ----------------------------------------------------------------------
+# Field-by-field equivalence assertions
+# ----------------------------------------------------------------------
+
+def assert_results_identical(ref, got, label=""):
+    """Every observable field of two SimResults must match exactly."""
+    assert got.cycles == ref.cycles, label
+    assert got.ipcs() == ref.ipcs(), label
+    assert got.utilizations() == ref.utilizations(), label
+    assert len(got.cores) == len(ref.cores), label
+    for a, b in zip(ref.cores, got.cores):
+        assert b.index == a.index, label
+        assert b.instructions_executed == a.instructions_executed, label
+        assert b.flow_instructions == a.flow_instructions, label
+        assert b.last_completion == a.last_completion, label
+        assert len(b.stalls) == len(a.stalls), label
+        for s, t in zip(a.stalls, b.stalls):
+            assert (t.kind, t.start, t.end, t.queue) == (
+                s.kind, s.start, s.end, s.queue), label
+        assert b.caches.stats() == a.caches.stats(), label
+        assert b.predictor._counters == a.predictor._counters, label
+        assert b.predictor.lookups == a.predictor.lookups, label
+        assert b.predictor.mispredicts == a.predictor.mispredicts, label
+        assert b.stall_breakdown() == a.stall_breakdown(), label
+        assert b.stall_breakdown_by_queue() == a.stall_breakdown_by_queue(), \
+            label
+    if ref.queues is None:
+        assert got.queues is None, label
+    else:
+        assert got.queues is not None, label
+        assert got.queues.visible == ref.queues.visible, label
+        assert got.queues.freed == ref.queues.freed, label
+        assert got.queues.occupancy_events() == \
+            ref.queues.occupancy_events(), label
+        for q in ref.queues.queue_ids():
+            assert got.queues.max_occupancy(q) == \
+                ref.queues.max_occupancy(q), label
+
+
+def assert_errors_identical(ref_exc, got_exc, label=""):
+    """Exception type, message and full forensic report must match."""
+    assert got_exc is not None, (label, "batched path succeeded where "
+                                 "the oracle failed")
+    assert type(got_exc) is type(ref_exc), (label, got_exc, ref_exc)
+    assert str(got_exc) == str(ref_exc), label
+    ref_report = getattr(ref_exc, "report", None)
+    got_report = getattr(got_exc, "report", None)
+    if ref_report is None:
+        assert got_report is None, label
+    else:
+        assert got_report is not None, label
+        assert got_report.to_dict() == ref_report.to_dict(), label
+
+
+def assert_outcome_matches(traces, machine, out, label="", **kwargs):
+    ref_result, ref_exc = oracle(traces, machine, **kwargs)
+    if ref_exc is None:
+        assert out.error is None, (label, out.error)
+        assert_results_identical(ref_result, out.result, label)
+    else:
+        assert_errors_identical(ref_exc, out.error, label)
+
+
+# ----------------------------------------------------------------------
+# Trace populations
+# ----------------------------------------------------------------------
+
+def fuzz_trace(seed: int) -> ColumnarTrace:
+    case = generate_case(seed)
+    run = run_function(
+        case.function, case.fresh_memory(), initial_regs=case.initial_regs,
+        max_steps=MAX_STEPS, record_trace=True,
+    )
+    return run.trace
+
+
+@pytest.fixture(scope="module")
+def pipeline_traces():
+    """DSWP-transformed two-thread trace sets for curated workloads."""
+    out = {}
+    for name, scale in (("compress", 300), ("wc", 150)):
+        case = get_workload(name).build(scale=scale)
+        baseline = run_baseline(case)
+        out[name] = run_dswp(case, baseline).traces
+    return out
+
+
+# ----------------------------------------------------------------------
+# The campaign
+# ----------------------------------------------------------------------
+
+class TestFuzzDifferential:
+    """Fuzz loops (single-trace batches) under randomized configs."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_randomized_batch_matches_oracle(self, seed):
+        trace = fuzz_trace(seed)
+        rng = random.Random(1000 + seed)
+        configs = random_batch(rng)
+        outcomes = BatchedSimulator().simulate_batch([trace], configs)
+        for j, (machine, out) in enumerate(zip(configs, outcomes)):
+            assert_outcome_matches([trace], machine, out,
+                                   label=f"fuzz seed {seed} config {j}")
+
+
+class TestPipelineDifferential:
+    """Real DSWP pipelines: queue handshakes, occupancy, stalls."""
+
+    @pytest.mark.parametrize("workload", ("compress", "wc"))
+    @pytest.mark.parametrize("round", range(3))
+    def test_randomized_batch_matches_oracle(self, pipeline_traces,
+                                             workload, round):
+        traces = pipeline_traces[workload]
+        rng = random.Random(f"{workload}-{round}")
+        configs = random_batch(rng, lo=3, hi=6)
+        outcomes = BatchedSimulator().simulate_batch(traces, configs)
+        for j, (machine, out) in enumerate(zip(configs, outcomes)):
+            assert_outcome_matches(traces, machine, out,
+                                   label=f"{workload} r{round} config {j}")
+
+    def test_same_geometry_configs_actually_batch(self, pipeline_traces):
+        """Configs differing only in width/latency share one replay."""
+        traces = pipeline_traces["compress"]
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 5, 10)]
+        configs.append(MachineConfig(core=HALF_WIDTH_CORE))
+        outcomes = BatchedSimulator().simulate_batch(traces, configs)
+        assert all(out.batched for out in outcomes)
+        for machine, out in zip(configs, outcomes):
+            assert_outcome_matches(traces, machine, out)
+
+    def test_warm_mode_matches_oracle(self, pipeline_traces):
+        traces = pipeline_traces["wc"]
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 10)]
+        outcomes = BatchedSimulator().simulate_batch(traces, configs,
+                                                     warm=True)
+        assert all(out.batched for out in outcomes)
+        for machine, out in zip(configs, outcomes):
+            assert_outcome_matches(traces, machine, out, warm=True)
+
+
+class TestFailureEquivalence:
+    """Deadlock, watchdog and validation failures are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def deadlocking_traces(self, pipeline_traces):
+        """Producer trace cut mid-stream: the consumer starves."""
+        producer, consumer = pipeline_traces["compress"]
+        cut = ColumnarTrace.from_entries(
+            producer.to_entries()[: len(producer) // 2])
+        return [cut, consumer]
+
+    def test_deadlock_through_the_batched_engine(self, deadlocking_traces):
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 10)]
+        outcomes = BatchedSimulator().simulate_batch(
+            deadlocking_traces, configs)
+        assert all(out.batched for out in outcomes)
+        for machine, out in zip(configs, outcomes):
+            assert isinstance(out.error, SimulationDeadlock)
+            assert_outcome_matches(deadlocking_traces, machine, out)
+
+    def test_watchdog_budget_through_the_batched_engine(
+            self, pipeline_traces):
+        traces = pipeline_traces["compress"]
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 10)]
+        outcomes = BatchedSimulator().simulate_batch(
+            traces, configs, cycle_budgets=50)
+        assert all(out.batched for out in outcomes)
+        for machine, out in zip(configs, outcomes):
+            assert isinstance(out.error, CycleBudgetExceeded)
+            assert_outcome_matches(traces, machine, out, cycle_budget=50)
+
+    def test_mixed_budgets_fail_only_the_budgeted_configs(
+            self, pipeline_traces):
+        traces = pipeline_traces["compress"]
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 5, 10)]
+        budgets = [None, 50, None]
+        outcomes = BatchedSimulator().simulate_batch(
+            traces, configs, cycle_budgets=budgets)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert isinstance(outcomes[1].error, CycleBudgetExceeded)
+        for machine, budget, out in zip(configs, budgets, outcomes):
+            assert_outcome_matches(traces, machine, out,
+                                   cycle_budget=budget)
+
+    def test_thread_overflow_matches_oracle_valueerror(
+            self, pipeline_traces):
+        traces = pipeline_traces["compress"]
+        machine = MachineConfig(num_cores=1)
+        with pytest.raises(ValueError) as excinfo:
+            simulate(traces, machine)
+        outcomes = BatchedSimulator().simulate_batch(traces, [machine])
+        assert isinstance(outcomes[0].error, ValueError)
+        assert str(outcomes[0].error) == str(excinfo.value)
+
+
+class TestRandomizedBatchProperties:
+    """Property satellite: any batch shape -- singleton, duplicate,
+    deadlocking, budget-exceeding, fault-injected -- matches the
+    per-config oracle exactly, forensics included."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_arbitrary_batch_shape(self, pipeline_traces, seed):
+        traces = pipeline_traces["compress"]
+        rng = random.Random(7000 + seed)
+        configs = random_batch(rng, lo=1, hi=6)
+        budgets = [50 if rng.random() < 0.25 else None for _ in configs]
+        plans = [
+            FaultPlan(queue_faults=(QueueFault("capacity", capacity=1),),
+                      name="pinch") if rng.random() < 0.2 else None
+            for _ in configs
+        ]
+        outcomes = BatchedSimulator().simulate_batch(
+            traces, configs, fault_plans=plans, cycle_budgets=budgets)
+        assert len(outcomes) == len(configs)
+        for j, out in enumerate(outcomes):
+            ref_result, ref_exc = oracle(
+                traces, configs[j], fault_plan=plans[j],
+                cycle_budget=budgets[j])
+            if ref_exc is None:
+                assert out.error is None, (seed, j, out.error)
+                assert_results_identical(ref_result, out.result,
+                                         label=(seed, j))
+            else:
+                assert_errors_identical(ref_exc, out.error, label=(seed, j))
+
+    def test_singleton_batch_matches(self, pipeline_traces):
+        traces = pipeline_traces["wc"]
+        machine = MachineConfig(comm_latency=5)
+        outcomes = BatchedSimulator().simulate_batch(traces, [machine])
+        assert len(outcomes) == 1
+        assert_outcome_matches(traces, machine, outcomes[0])
+
+    def test_duplicate_heavy_batch_matches(self, pipeline_traces):
+        traces = pipeline_traces["wc"]
+        machine = MachineConfig(comm_latency=5)
+        configs = [machine] * 4 + [MachineConfig(comm_latency=1)]
+        outcomes = BatchedSimulator().simulate_batch(traces, configs)
+        assert all(out.batched for out in outcomes)
+        ref, _ = oracle(traces, machine)
+        for out in outcomes[:4]:
+            assert_results_identical(ref, out.result)
+
+
+class TestFaultIsolation:
+    """A FaultPlan aimed at one config of a batch must not perturb its
+    neighbours (regression: plans bypass to the oracle per config)."""
+
+    def test_faulted_config_does_not_leak_into_neighbour(
+            self, pipeline_traces):
+        traces = pipeline_traces["compress"]
+        clean = MachineConfig(comm_latency=5)
+        faulted = MachineConfig(comm_latency=1)
+        plan = FaultPlan(core_faults=(CoreFault("stall", after=10),),
+                         name="one-sided")
+        outcomes = BatchedSimulator().simulate_batch(
+            traces, [faulted, clean],
+            fault_plans=[plan, None], cycle_budgets=[20_000, None])
+        # The faulted config ran the oracle lane (plans bypass) and
+        # matches an oracle run with the same plan...
+        assert not outcomes[0].batched
+        ref_result, ref_exc = oracle(traces, faulted, fault_plan=plan,
+                                     cycle_budget=20_000)
+        if ref_exc is None:
+            assert_results_identical(ref_result, outcomes[0].result)
+        else:
+            assert_errors_identical(ref_exc, outcomes[0].error)
+        # ...while the neighbour is bit-identical to a clean run: the
+        # injected fault fired only in the targeted config.
+        clean_ref, _ = oracle(traces, clean)
+        assert outcomes[1].error is None
+        assert_results_identical(clean_ref, outcomes[1].result)
+        # And the fault really did change something, or this test
+        # would pass vacuously.
+        if ref_exc is None:
+            assert ref_result.cycles != clean_ref.cycles
+
+    def test_fault_forensics_match_oracle(self, pipeline_traces):
+        """A deadlocking fault's IncidentReport survives the batch
+        path unchanged, field by field."""
+        traces = pipeline_traces["compress"]
+        plan = FaultPlan(queue_faults=(QueueFault("drop", after=3),),
+                         name="drop-one")
+        machine = MachineConfig()
+        outcomes = BatchedSimulator().simulate_batch(
+            traces, [machine, machine.with_comm_latency(5)],
+            fault_plans=[plan, None], cycle_budgets=[50_000, None])
+        ref_result, ref_exc = oracle(traces, machine, fault_plan=plan,
+                                     cycle_budget=50_000)
+        if ref_exc is None:
+            assert_results_identical(ref_result, outcomes[0].result)
+        else:
+            assert_errors_identical(ref_exc, outcomes[0].error)
+            assert outcomes[0].error.report.fault == plan.describe()
+        assert outcomes[1].error is None
