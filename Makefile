@@ -1,12 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: check test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 # The default tier-1 run includes every smoke tier below (they all live
 # under tests/), parallel-smoke among them.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# CI umbrella: tier-1 plus a focused re-run of the perf-critical smoke
+# tiers.  The focused tiers repeat a subset of tier-1 on purpose -- a
+# marker-filter regression (a tier silently collecting zero tests)
+# shows up here as an empty run, not as green CI.  batch-smoke carries
+# the vectorized-replay differential campaign and its overhead guard.
+check: test perf-smoke batch-smoke parallel-smoke
 
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz_smoke

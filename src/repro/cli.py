@@ -223,13 +223,17 @@ def _cmd_run_supervised(workload, args, obs=None) -> int:
 
 
 def _cmd_report_bench(args) -> int:
-    """``report --bench FILE``: pool-utilization table from a BENCH json.
+    """``report --bench FILE``: pool and batch tables from a BENCH json.
 
     Reads the metrics snapshot the bench runner embeds in its report and
     prints one row per worker: tasks run, busy seconds, utilization of
     the sweep's wall clock, and steal count.  Worker ``-1`` (tasks that
     fell back to the driver after repeated worker crashes) appears as
-    ``driver``.
+    ``driver``.  When the report carries batched-lane records, a second
+    table follows: one row per config batch with its lane widths, the
+    vector/scalar/oracle member split, per-phase replay timings and the
+    cold vs steady-state seconds, capped by the sweep's
+    ``batch_speedup``.
     """
     import json
 
@@ -274,7 +278,55 @@ def _cmd_report_bench(args) -> int:
     print(format_table(
         ["worker", "tasks", "busy (s)", "utilization", "steals"], rows
     ))
+    _print_batch_table(report)
     return 0
+
+
+def _print_batch_table(report: dict) -> None:
+    """The batched-lane table of ``report --bench`` (no-op for reports
+    from before the batched engine recorded lanes)."""
+    batches = report.get("batches") or []
+    if not batches:
+        return
+    phase_keys = ("annotate", "schedule", "compile",
+                  "replay_vector", "replay_scalar")
+    rows = []
+    totals = {key: 0.0 for key in phase_keys}
+    for info in batches:
+        lanes = info.get("lanes", ())
+        widths = "+".join(str(lane["width"]) for lane in lanes) or "?"
+        vector = sum(lane["vector"] for lane in lanes)
+        scalar = sum(lane["scalar"] for lane in lanes)
+        oracle = sum(lane["oracle"] for lane in lanes)
+        phases = info.get("phase_seconds", {})
+        for key in phase_keys:
+            totals[key] += phases.get(key, 0.0)
+        replay = (phases.get("replay_vector", 0.0)
+                  + phases.get("replay_scalar", 0.0))
+        rows.append([
+            info.get("id", "?"),
+            info["size"],
+            widths,
+            f"{vector}/{scalar}/{oracle}",
+            f"{info.get('cold_seconds', info['seconds']):.3f}",
+            f"{info['seconds']:.3f}",
+            f"{replay:.3f}" if phases else "-",
+        ])
+    print()
+    print(format_table(
+        ["batch", "configs", "lane widths", "vec/scal/oracle",
+         "cold (s)", "steady (s)", "replay (s)"], rows
+    ))
+    parts = [f"{key} {totals[key]:.3f}s" for key in phase_keys
+             if totals[key]]
+    if parts:
+        print(f"phases:  {', '.join(parts)}")
+    speedup = report.get("batch_speedup")
+    verdict = ("identical" if report.get("batched_identical")
+               else "DIVERGED")
+    print(f"batched: results {verdict}"
+          + (f", simulate speedup {speedup:.2f}x vs per-config oracle"
+             if speedup else ""))
 
 
 def cmd_report(args) -> int:
@@ -622,7 +674,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p = sub.add_parser(
         "bench", help="parallel figure sweeps with naive-vs-cached comparison"
     )
-    bench_p.add_argument("--figure", choices=("fig9a", "fig9b", "all"),
+    bench_p.add_argument("--figure",
+                         choices=("fig9a", "fig9b", "qsweep", "all"),
                          default="all")
     bench_p.add_argument("--scale", type=int, default=800,
                          help="loop trip count per workload (default 800)")

@@ -98,7 +98,7 @@ class ExperimentCache:
     def __init__(self, persist_dir: Optional[str] = None,
                  log: Optional[Callable[[str], None]] = None,
                  metrics=None) -> None:
-        self._digests: dict[int, str] = {}
+        self._digests: dict[int, tuple[WorkloadCase, str]] = {}
         self._baselines: dict[str, BaselineRun] = {}
         self._dswp: dict[tuple, DSWPRun] = {}
         self._objects: dict[tuple, object] = {}
@@ -108,6 +108,15 @@ class ExperimentCache:
         self.hits = 0
         self.misses = 0
         self.corrupt_evictions = 0
+        #: Per-kind object-layer traffic, flat int keys (``object.<kind>
+        #: .hits`` / ``.misses`` / ``.puts`` / ``.put_bytes``) so sweep
+        #: drivers can difference two :meth:`stats` snapshots with plain
+        #: integer arithmetic.  ``put_bytes`` counts pickled bytes
+        #: written to the disk layer (0 when in-memory only).
+        self._object_counts: dict[str, int] = {}
+
+    def _bump(self, key: str, value: int = 1) -> None:
+        self._object_counts[key] = self._object_counts.get(key, 0) + value
 
     def _count(self, name: str) -> None:
         if self._metrics is not None:
@@ -159,9 +168,11 @@ class ExperimentCache:
         tmp = f"{path}.tmp.{os.getpid()}.{ExperimentCache._tmp_counter}"
         try:
             os.makedirs(self.persist_dir, exist_ok=True)
+            blob = pickle.dumps({"kind": kind, "data": data})
             with open(tmp, "wb") as fh:
-                pickle.dump({"kind": kind, "data": data}, fh)
+                fh.write(blob)
             os.replace(tmp, path)
+            self._bump(f"object.{kind}.put_bytes", len(blob))
         except Exception:
             # Persistence is an optimisation: an unpicklable artefact or
             # a full disk degrades to in-memory-only caching.
@@ -176,14 +187,19 @@ class ExperimentCache:
 
         The per-object memo is safe because cases are immutable after
         construction in every harness path; callers that mutate a case
-        in place must construct a fresh ``WorkloadCase``.
+        in place must construct a fresh ``WorkloadCase``.  The memo
+        entry pins the case object itself: an ``id()`` key alone is a
+        use-after-free -- once the case is garbage-collected a fresh
+        case can reuse its id and silently inherit the wrong digest
+        (and with it another workload's cached artefacts).
         """
         key = id(case)
-        cached = self._digests.get(key)
-        if cached is None:
-            cached = case_digest(case)
-            self._digests[key] = cached
-        return cached
+        entry = self._digests.get(key)
+        if entry is not None and entry[0] is case:
+            return entry[1]
+        digest = case_digest(case)
+        self._digests[key] = (case, digest)
+        return digest
 
     # ------------------------------------------------------------------
     def baseline(self, case: WorkloadCase, check: bool = True) -> BaselineRun:
@@ -278,21 +294,25 @@ class ExperimentCache:
         if obj is not None:
             self.hits += 1
             self._count("cache.hits")
+            self._bump(f"object.{kind}.hits")
             return obj
         data = self._load_entry(kind, key)
         if data is not None and "object" in data:
             self.hits += 1
             self._count("cache.hits")
+            self._bump(f"object.{kind}.hits")
             obj = data["object"]
             self._objects[memo_key] = obj
             return obj
         self.misses += 1
         self._count("cache.misses")
+        self._bump(f"object.{kind}.misses")
         return None
 
     def put_object(self, kind: str, key, obj: object) -> None:
         """Store a generic artefact under ``(kind, key)``."""
         self._objects[(kind, key)] = obj
+        self._bump(f"object.{kind}.puts")
         self._store_entry(kind, key, {"object": obj})
 
     # ------------------------------------------------------------------
@@ -334,4 +354,5 @@ class ExperimentCache:
             "baselines": len(self._baselines),
             "dswp_runs": len(self._dswp),
             "corrupt_evictions": self.corrupt_evictions,
+            **self._object_counts,
         }

@@ -95,11 +95,12 @@ from repro.machine.core import (
 )
 from repro.machine.stats import SimResult
 from repro.machine.syncarray import QueueTiming
+from repro.machine import vectorreplay
 from repro.resilience.forensics import build_timing_incident
 
 #: Bump when the annotation layout or generated code changes shape;
 #: part of every cache digest so stale persisted annotations miss.
-CODEGEN_VERSION = 2
+CODEGEN_VERSION = 4
 
 #: A straight-line signature is cut after this many events even when
 #: the forward path continues (bounds generated-code size per unit).
@@ -144,7 +145,15 @@ class TraceAnnotation:
         self.mis = bytearray()              # per-branch mispredict flag
         self.pend: list[tuple[int, int, int]] = []   # (event, addr, lat pos | -1)
         self.warm_pend: list[int] = []      # warm-phase L3 addresses, in order
-        self.source = ""                    # replay factory source
+        self.source = ""                    # scalar replay factory source
+        self.vsource = ""                   # vectorized replay factory source
+        self.nregs = 0                      # register slots in the regmap
+        self.unit_loads: list[int] = []     # loads per unit id
+        self.unit_branches: list[int] = []  # branches per unit id
+        self.unit_flow: list = []           # per unit id: None | (is_produce, q)
+        self.unit_live: list[tuple] = []    # live-in reg slots per unit id
+        self.unit_written: list[tuple] = []  # written reg slots per unit id
+        self.unit_ops: list[int] = []       # trace events per unit id
         self.l1_hits = 0
         self.l1_misses = 0
         self.l2_hits = 0
@@ -332,7 +341,28 @@ def annotate_trace(trace: TraceLike, l1cfg, l2cfg, warm: bool) -> TraceAnnotatio
     ann.pred_counters = predictor._counters
     ann.pred_lookups = predictor.lookups
     ann.pred_mispredicts = predictor.mispredicts
-    ann.source = _generate_source(uspecs, ufreq, dec)
+
+    regmap: dict = {}
+    for d in dec:
+        for reg in d.srcs:
+            if reg not in regmap:
+                regmap[reg] = len(regmap)
+        if d.dest is not None and d.dest not in regmap:
+            regmap[d.dest] = len(regmap)
+    ann.nregs = len(regmap)
+    for spec in uspecs:
+        if spec[0] == "run":
+            kinds = [dec[s].kind for s in spec[1]]
+            ann.unit_loads.append(kinds.count(_K_LOAD))
+            ann.unit_branches.append(kinds.count(_K_BR))
+        else:
+            ann.unit_loads.append(0)
+            ann.unit_branches.append(0)
+    kinds5 = (_K_DEFAULT, _K_LOAD, _K_STORE, _K_BR, _K_PRODUCE)
+    vectorreplay.annotate_units(ann, uspecs, dec, regmap, kinds5)
+    ann.source = _generate_source(uspecs, ufreq, dec, regmap)
+    ann.vsource = vectorreplay.generate_vector_source(
+        uspecs, ufreq, dec, regmap, kinds5)
     return ann
 
 
@@ -411,20 +441,15 @@ def _emit_op(out, ind: str, d, regmap) -> None:
         _emit_completion(out, ind, d, regmap, "cu + _SAR")
 
 
-def _generate_source(uspecs, ufreq, dec) -> str:
-    """Emit the replay factory for one trace.
+def _generate_source(uspecs, ufreq, dec, regmap) -> str:
+    """Emit the scalar replay factory for one trace.
 
     The factory signature is fixed; everything static about the trace
     (operand slots, latency classes, queue ids) is folded into the
     body, everything about the config arrives as closure parameters.
+    ``regmap`` is the shared register-slot map (the vectorized factory
+    uses the same slots, so lane columns and closure cells agree).
     """
-    regmap: dict = {}
-    for d in dec:
-        for reg in d.srcs:
-            if reg not in regmap:
-                regmap[reg] = len(regmap)
-        if d.dest is not None and d.dest not in regmap:
-            regmap[d.dest] = len(regmap)
     qids = sorted({dec[spec[1]].queue for spec in uspecs if spec[0] == "flow"})
     dest_slots = sorted({
         regmap[d.dest]
@@ -498,6 +523,8 @@ def _clear_memos() -> None:
     _FACTORY_CACHE.clear()
     _ANN_MEMO.clear()
     _SCHED_MEMO.clear()
+    vectorreplay._PLAN_MEMO.clear()
+    vectorreplay._TABLE_MEMO.clear()
 
 
 def _memo_put(memo: dict, key, value) -> None:
@@ -506,7 +533,7 @@ def _memo_put(memo: dict, key, value) -> None:
     memo[key] = value
 
 
-def _compiled_factory(source: str, cache=None):
+def _compiled_factory(source: str, cache=None, entry: str = "_factory"):
     factory = _FACTORY_CACHE.get(source)
     if factory is not None:
         return factory
@@ -535,7 +562,7 @@ def _compiled_factory(source: str, cache=None):
         _FACTORY_CACHE.clear()
     namespace: dict = {}
     exec(code, namespace)
-    factory = namespace["_factory"]
+    factory = namespace[entry]
     _FACTORY_CACHE[source] = factory
     return factory
 
@@ -727,18 +754,37 @@ class BatchedSimulator:
     """
 
     def __init__(self, annotation_cache=None) -> None:
-        self._digests: dict[int, str] = {}
+        self._digests: dict[int, tuple] = {}
         self.annotation_cache = annotation_cache
         #: Timing of the last batched group (seconds), for telemetry.
         self.last_batch_seconds = 0.0
+        #: Per-phase seconds of the last ``simulate_batch`` call.
+        self.last_phase_seconds: dict[str, float] = {}
+        #: Per-lane-group records of the last call: width and how the
+        #: members split across the vector / scalar / oracle engines.
+        self.last_lanes: list[dict] = []
+
+    def _reset_telemetry(self) -> None:
+        self.last_phase_seconds = {
+            "annotate": 0.0, "schedule": 0.0, "compile": 0.0,
+            "replay_vector": 0.0, "replay_scalar": 0.0,
+        }
+        self.last_lanes = []
 
     # ------------------------------------------------------------------
     def _digest(self, trace) -> str:
-        """Timing digest of ``trace``, memoised per trace object."""
+        """Timing digest of ``trace``, memoised per trace object.
+
+        The entry pins the trace: with an ``id()`` key alone, a freed
+        trace's id can be reused by a new one, which would then inherit
+        the old digest -- and through it another trace's cached
+        annotations."""
         memo_key = id(trace)
-        digest = self._digests.get(memo_key)
-        if digest is None:
-            digest = self._digests[memo_key] = trace_timing_digest(trace)
+        entry = self._digests.get(memo_key)
+        if entry is not None and entry[0] is trace:
+            return entry[1]
+        digest = trace_timing_digest(trace)
+        self._digests[memo_key] = (trace, digest)
         return digest
 
     # ------------------------------------------------------------------
@@ -770,15 +816,24 @@ class BatchedSimulator:
         fault_plans=None,
         cycle_budgets=None,
         metrics=None,
+        engine: str = "auto",
     ) -> list[BatchOutcome]:
         """Simulate ``traces`` under every config in ``machines``.
 
         ``fault_plans`` / ``cycle_budgets`` are either ``None``, a
         single value applied to every config, or a list aligned with
-        ``machines``.  Returns one :class:`BatchOutcome` per config, in
+        ``machines``.  ``engine`` selects Phase B for multi-member lane
+        groups: ``"auto"`` (vectorized one-pass replay for clean
+        members, compiled scalar for the rest) or ``"scalar"`` (the
+        compiled per-config path for everything, as PR 6 shipped it --
+        the differential campaign uses this to pit the engines against
+        each other).  Returns one :class:`BatchOutcome` per config, in
         order; per-config failures (deadlock, watchdog, validation) are
         captured in the outcome, never raised.
         """
+        if engine not in ("auto", "scalar"):
+            raise ValueError(f"unknown batch engine {engine!r}")
+        self._reset_telemetry()
         nconf = len(machines)
         plans = _broadcast(fault_plans, nconf)
         budgets = _broadcast(cycle_budgets, nconf)
@@ -804,22 +859,42 @@ class BatchedSimulator:
                 for j in idxs:
                     outcomes[j] = self._oracle(
                         traces, machines[j], warm, None, budgets[j])
+                self.last_lanes.append({
+                    "width": len(idxs), "vector": 0, "scalar": 0,
+                    "oracle": len(idxs)})
                 continue
             started = time.perf_counter()
             try:
                 self._run_group(traces, key, idxs, machines, budgets, warm,
-                                outcomes)
+                                outcomes, engine)
             except _Bypass:
                 for j in idxs:
                     outcomes[j] = self._oracle(
                         traces, machines[j], warm, None, budgets[j])
+                self.last_lanes.append({
+                    "width": len(idxs), "vector": 0, "scalar": 0,
+                    "oracle": len(idxs)})
                 continue
             self.last_batch_seconds = time.perf_counter() - started
             if metrics is not None:
+                lane = self.last_lanes[-1]
                 metrics.histogram("batch.size").observe(len(idxs))
                 metrics.counter("batch.retired").inc(len(idxs))
                 metrics.histogram("batch.seconds").observe(
                     self.last_batch_seconds)
+                metrics.histogram("batch.lane.width").observe(lane["width"])
+                metrics.counter("batch.members.vector").inc(lane["vector"])
+                metrics.counter("batch.members.scalar").inc(lane["scalar"])
+                if "chunk_hits" in lane:
+                    metrics.counter("batch.chunk.hits").inc(
+                        lane["chunk_hits"])
+                    metrics.counter("batch.chunk.misses").inc(
+                        lane["chunk_misses"])
+        if metrics is not None:
+            for phase, seconds in self.last_phase_seconds.items():
+                if seconds:
+                    metrics.histogram(f"batch.phase.{phase}.seconds").observe(
+                        seconds)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -863,16 +938,87 @@ class BatchedSimulator:
 
     # ------------------------------------------------------------------
     def _run_group(self, traces, key, idxs, machines, budgets, warm,
-                   outcomes) -> None:
+                   outcomes, engine: str = "auto") -> None:
         l1cfg, l2cfg, queue_size, l3cfg, memory_latency = key
+        ph = self.last_phase_seconds
+        t0 = time.perf_counter()
         anns = [self.annotation(t, l1cfg, l2cfg, warm) for t in traces]
+        t1 = time.perf_counter()
         sched, l3, lats_group = self._schedule(traces, anns, key, warm)
-        factories = [_compiled_factory(ann.source, self.annotation_cache)
-                     for ann in anns]
-        for j in idxs:
-            outcomes[j] = self._replay_one(
-                traces, anns, sched, lats_group, l3, factories,
-                machines[j], budgets[j])
+        t2 = time.perf_counter()
+        ph["annotate"] += t1 - t0
+        ph["schedule"] += t2 - t1
+
+        # Engine selection: clean members (no cycle budget) ride the
+        # vectorized one-pass lane when at least one width class --
+        # (issue width, M ports, penalty, SA read) -- has two or more
+        # of them, because chunk tables are shared per class and a
+        # class-singleton lane pays record overhead it can never
+        # amortise.  Budgeted members need the scalar program's
+        # round-level watchdog.  Annotations unpickled from a cache
+        # generation without vector source fall back to scalar
+        # wholesale.
+        vec: list[int] = []
+        if engine == "auto" and all(
+                getattr(ann, "vsource", "") for ann in anns):
+            counts: dict[tuple, int] = {}
+            classes: dict[int, tuple] = {}
+            for j in idxs:
+                if budgets[j] is not None:
+                    continue
+                m = machines[j]
+                cls = (m.core.issue_width, m.core.m_ports,
+                       m.core.mispredict_penalty, m.sa_read_latency)
+                classes[j] = cls
+                counts[cls] = counts.get(cls, 0) + 1
+            vec = [j for j, cls in classes.items() if counts[cls] >= 2]
+            if len(vec) < 2:
+                vec = []
+        scal = [j for j in idxs if j not in vec]
+
+        rstats = None
+        if vec:
+            t0 = time.perf_counter()
+            try:
+                vfactories = [
+                    _compiled_factory(ann.vsource, self.annotation_cache,
+                                      entry="_vfactory")
+                    for ann in anns
+                ]
+                t1 = time.perf_counter()
+                ph["compile"] += t1 - t0
+                rstats = vectorreplay.GroupReplayStats()
+                plan_key = (tuple(self._digest(t) for t in traces), key,
+                            warm, CODEGEN_VERSION)
+                lane_states = vectorreplay.replay_group(
+                    anns, sched, lats_group, [machines[j] for j in vec],
+                    queue_size, vfactories, stats=rstats, plan_key=plan_key)
+            except vectorreplay.VectorBypass:
+                scal = list(idxs)
+                vec = []
+                rstats = None
+            else:
+                for j, state in zip(vec, lane_states):
+                    outcomes[j] = self._lane_outcome(
+                        traces, anns, sched, l3, machines[j], state)
+                ph["replay_vector"] += time.perf_counter() - t1
+        if scal:
+            t0 = time.perf_counter()
+            factories = [_compiled_factory(ann.source, self.annotation_cache)
+                         for ann in anns]
+            t1 = time.perf_counter()
+            ph["compile"] += t1 - t0
+            for j in scal:
+                outcomes[j] = self._replay_one(
+                    traces, anns, sched, lats_group, l3, factories,
+                    machines[j], budgets[j])
+            ph["replay_scalar"] += time.perf_counter() - t1
+        lane = {"width": len(idxs), "vector": len(vec),
+                "scalar": len(scal), "oracle": 0}
+        if rstats is not None:
+            lane["chunk_hits"] = rstats.chunk_hits
+            lane["chunk_misses"] = rstats.chunk_misses
+        self.last_lanes.append(lane)
 
     # ------------------------------------------------------------------
     def _replay_one(self, traces, anns, sched, lats_group, l3, factories,
@@ -943,6 +1089,27 @@ class BatchedSimulator:
 
         views = self._views(traces, anns, machine, l3, pos, snaps,
                             stall_lists)
+        return self._conclude(traces, views, sched, queues)
+
+    # ------------------------------------------------------------------
+    def _lane_outcome(self, traces, anns, sched, l3, machine,
+                      state) -> BatchOutcome:
+        """One vector lane's :class:`BatchOutcome` from its raw state."""
+        queues = QueueTiming(machine.queue_size, machine.comm_latency,
+                             machine.sa_read_latency)
+        queues.visible.update(state.visible)
+        queues.freed.update(state.freed)
+        views = [
+            _core_view(ci, traces[ci], anns[ci], machine, l3,
+                       sched.final_pos[ci], state.snaps[ci],
+                       state.stalls[ci])
+            for ci in range(len(anns))
+        ]
+        return self._conclude(traces, views, sched, queues)
+
+    # ------------------------------------------------------------------
+    def _conclude(self, traces, views, sched, queues) -> BatchOutcome:
+        """Result/deadlock reconstruction shared by both replay engines."""
         if sched.deadlock:
             blocked = {
                 c.core_id: c.trace.entry(c.index).inst.render()

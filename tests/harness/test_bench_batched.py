@@ -153,6 +153,12 @@ class TestBatchReport:
             assert info["identical"] is True
             assert info["seconds"] >= 0.0
             assert info["unbatched_seconds"] >= 0.0
+            assert info["campaign_seconds"] >= info["cold_seconds"] >= 0.0
+            assert sum(lane["width"] for lane in info["lanes"]) \
+                == info["size"]
+            assert set(info["phase_seconds"]) == {
+                "annotate", "schedule", "compile",
+                "replay_vector", "replay_scalar"}
         assert any(key.startswith("batch.size")
                    for key in report["metrics"])
         # Round-trips through the on-disk json.
@@ -160,6 +166,34 @@ class TestBatchReport:
             on_disk = json.load(fh)
         assert on_disk["batched_identical"] is True
         assert on_disk["batch_speedup"] == report["batch_speedup"]
+
+    def test_qsweep_runs_batched_on_the_vector_lane(self, tmp_path):
+        """The queue-size sweep's lane groups (two comm points per
+        depth, same width class) must ride the vector engine with the
+        bit-identity gate intact."""
+        report = run_bench("qsweep", scale=30, jobs=1,
+                           out_dir=str(tmp_path), compare=False)
+        assert report["batched_identical"] is True
+        assert report["batch_speedup"] is not None
+        dswp_batches = [info for info in report["batches"]
+                        if info["size"] > 1]
+        assert dswp_batches
+        for info in dswp_batches:
+            # Three queue depths -> three geometry lane groups of two.
+            assert [lane["width"] for lane in info["lanes"]] == [2, 2, 2]
+            assert all(lane["vector"] == 2 for lane in info["lanes"])
+        ids = {p["id"] for p in report["points"]}
+        assert any(":dswp-full-q4-comm1" in pid for pid in ids)
+        assert any(":dswp-full-q64-comm5" in pid for pid in ids)
+
+    def test_fig9b_rides_the_vector_lane(self, tmp_path):
+        report = run_bench("fig9b", scale=30, jobs=1,
+                           out_dir=str(tmp_path), compare=False)
+        assert report["batched_identical"] is True
+        for info in report["batches"]:
+            if info["size"] > 1:
+                assert sum(lane["vector"] for lane in info["lanes"]) \
+                    == info["size"]
 
     def test_no_batch_restores_per_point_tasks_with_same_numbers(
             self, tmp_path):

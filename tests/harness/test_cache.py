@@ -159,3 +159,53 @@ class TestPersistence:
         cache.baseline(case)
         assert glob.glob(os.path.join(str(tmp_path), "*")) == []
         assert cache.stats()["corrupt_evictions"] == 0
+
+
+class TestObjectLayerStats:
+    """Per-kind object-layer counters: get/put hits, misses and bytes
+    land in ``stats()`` as flat ints a sweep driver can difference."""
+
+    def test_get_put_counts_per_kind(self, tmp_path):
+        cache = ExperimentCache(persist_dir=str(tmp_path))
+        assert cache.get_object("widget", ("k",)) is None
+        cache.put_object("widget", ("k",), {"payload": list(range(50))})
+        assert cache.get_object("widget", ("k",)) == {
+            "payload": list(range(50))}
+        stats = cache.stats()
+        assert stats["object.widget.misses"] == 1
+        assert stats["object.widget.hits"] == 1
+        assert stats["object.widget.puts"] == 1
+        assert stats["object.widget.put_bytes"] > 0
+        # A second cache over the same dir hits the disk layer.
+        other = ExperimentCache(persist_dir=str(tmp_path))
+        assert other.get_object("widget", ("k",)) is not None
+        assert other.stats()["object.widget.hits"] == 1
+
+    def test_kinds_are_tracked_separately_and_stay_ints(self, tmp_path):
+        cache = ExperimentCache(persist_dir=str(tmp_path))
+        cache.get_object("a", 1)
+        cache.put_object("a", 1, "x")
+        cache.put_object("b", 2, "y")
+        stats = cache.stats()
+        assert stats["object.a.misses"] == 1
+        assert stats["object.b.puts"] == 1
+        assert "object.b.misses" not in stats
+        assert all(isinstance(v, int) for v in stats.values())
+
+    def test_in_memory_only_counts_no_bytes(self):
+        cache = ExperimentCache()
+        cache.put_object("widget", "k", "value")
+        assert cache.get_object("widget", "k") == "value"
+        stats = cache.stats()
+        assert stats["object.widget.puts"] == 1
+        assert "object.widget.put_bytes" not in stats
+
+    def test_object_stats_survive_into_bench_cache_deltas(self, tmp_path):
+        """The bench worker differences two snapshots; new keys must
+        appear cleanly (before.get(k, 0) semantics)."""
+        cache = ExperimentCache(persist_dir=str(tmp_path))
+        before = cache.stats()
+        cache.get_object("batch-ann", ("digest",))
+        after = cache.stats()
+        delta = {k: after[k] - before.get(k, 0) for k in after}
+        assert delta["object.batch-ann.misses"] == 1

@@ -48,6 +48,33 @@ class TestReportBench:
         assert "steals" in out
         assert "2 worker(s)" in out
 
+    def test_batch_table_follows_the_pool_table(self, tmp_path, capsys):
+        code, _, _ = _run(capsys, [
+            "bench", "--figure", "fig9b", "--scale", "30", "--jobs", "1",
+            "--no-compare", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        path = str(tmp_path / "BENCH_fig9b.json")
+        code, out, _ = _run(capsys, ["report", "--bench", path])
+        assert code == 0
+        assert "lane widths" in out
+        assert "vec/scal/oracle" in out
+        assert "steady (s)" in out
+        assert "simulate speedup" in out
+        assert "results identical" in out
+
+    def test_pre_batch_reports_skip_the_batch_table(self, tmp_path,
+                                                    capsys):
+        code, _, _ = _run(capsys, [
+            "bench", "--figure", "fig9a", "--scale", "30", "--jobs", "1",
+            "--no-compare", "--no-batch", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        path = str(tmp_path / "BENCH_fig9a.json")
+        code, out, _ = _run(capsys, ["report", "--bench", path])
+        assert code == 0
+        assert "lane widths" not in out
+
     def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
         code, _, err = _run(capsys, [
             "report", "--bench", str(tmp_path / "nope.json")])

@@ -320,6 +320,114 @@ class TestRandomizedBatchProperties:
             assert_results_identical(ref, out.result)
 
 
+class TestThreeWayDifferential:
+    """Vector vs compiled-scalar vs oracle on the same batches.
+
+    ``engine="auto"`` routes clean same-width-class lane members
+    through the vectorized one-pass replay; ``engine="scalar"`` forces
+    PR 6's compiled per-config path.  Every batch shape -- duplicates,
+    singleton lanes, mixed fallback members -- must agree field by
+    field across all three engines, forensics included."""
+
+    def vector_batch(self, rng: random.Random):
+        """A batch guaranteed to put at least one lane on the vector
+        engine: >= 2 clean full-width members sharing one geometry."""
+        base_qs = rng.choice(QUEUE_SIZES)
+        configs = [
+            MachineConfig(comm_latency=lat, queue_size=base_qs)
+            for lat in rng.sample(COMM_LATENCIES, rng.randint(2, 4))
+        ]
+        if rng.random() < 0.6:  # duplicate lane members
+            configs.append(configs[0])
+        if rng.random() < 0.6:  # a different-class member, same lane
+            configs.append(MachineConfig(core=HALF_WIDTH_CORE,
+                                         queue_size=base_qs))
+        if rng.random() < 0.5:  # a singleton lane (different geometry)
+            configs.append(MachineConfig(
+                queue_size=rng.choice([q for q in QUEUE_SIZES
+                                       if q != base_qs])))
+        rng.shuffle(configs)
+        return configs
+
+    @pytest.mark.parametrize("workload", ("compress", "wc"))
+    @pytest.mark.parametrize("round", range(3))
+    def test_three_way_randomized(self, pipeline_traces, workload, round):
+        traces = pipeline_traces[workload]
+        rng = random.Random(f"3way-{workload}-{round}")
+        configs = self.vector_batch(rng)
+        # Mixed fallback members: a budgeted and a faulted config ride
+        # in the same batch and must bypass per member, not per batch.
+        budgets = [None] * len(configs)
+        budgets[rng.randrange(len(configs))] = 60
+        plans = [None] * len(configs)
+        plans[rng.randrange(len(configs))] = FaultPlan(
+            queue_faults=(QueueFault("capacity", capacity=1),),
+            name="pinch")
+        auto = BatchedSimulator().simulate_batch(
+            traces, configs, fault_plans=plans, cycle_budgets=budgets)
+        scalar = BatchedSimulator().simulate_batch(
+            traces, configs, fault_plans=plans, cycle_budgets=budgets,
+            engine="scalar")
+        for j, (machine, a, s) in enumerate(zip(configs, auto, scalar)):
+            label = (workload, round, j)
+            # auto vs scalar engine...
+            if s.error is None:
+                assert a.error is None, (label, a.error)
+                assert_results_identical(s.result, a.result, label)
+            else:
+                assert_errors_identical(s.error, a.error, label)
+            # ...and auto vs the per-config oracle.
+            ref_result, ref_exc = oracle(
+                traces, machine, fault_plan=plans[j],
+                cycle_budget=budgets[j])
+            if ref_exc is None:
+                assert_results_identical(ref_result, a.result, label)
+            else:
+                assert_errors_identical(ref_exc, a.error, label)
+
+    def test_vector_lane_actually_engages(self, pipeline_traces):
+        """The designed fig9b batch must ride the vector engine, not
+        silently fall back to scalar."""
+        traces = pipeline_traces["compress"]
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 5, 10)]
+        bsim = BatchedSimulator()
+        outcomes = bsim.simulate_batch(traces, configs)
+        assert all(out.batched for out in outcomes)
+        assert bsim.last_lanes == [
+            {"width": 3, "vector": 3, "scalar": 0, "oracle": 0,
+             "chunk_hits": bsim.last_lanes[0]["chunk_hits"],
+             "chunk_misses": bsim.last_lanes[0]["chunk_misses"]}]
+        assert bsim.last_lanes[0]["chunk_hits"] > 0
+
+    def test_warm_table_replay_stays_identical(self, pipeline_traces):
+        """Chunk tables persist process-wide; a repeat call replays
+        every lane from the tables and must stay bit-identical."""
+        traces = pipeline_traces["compress"]
+        configs = [MachineConfig(comm_latency=lat) for lat in (1, 5, 10)]
+        bsim = BatchedSimulator()
+        first = bsim.simulate_batch(traces, configs)
+        second = bsim.simulate_batch(traces, configs)
+        misses = bsim.last_lanes[0]["chunk_misses"]
+        assert misses == 0, "warm pass should hit the persisted tables"
+        for machine, a, b in zip(configs, first, second):
+            assert_results_identical(a.result, b.result)
+            assert_outcome_matches(traces, machine, b)
+
+    def test_mixed_class_lane_routes_scalar(self, pipeline_traces):
+        """A lane whose clean members span two width classes (fig9a's
+        full+half pair) takes the compiled-scalar path: per-class
+        tables could never amortise the record cost."""
+        traces = pipeline_traces["compress"]
+        configs = [MachineConfig(), MachineConfig(core=HALF_WIDTH_CORE)]
+        bsim = BatchedSimulator()
+        outcomes = bsim.simulate_batch(traces, configs)
+        assert all(out.batched for out in outcomes)
+        assert bsim.last_lanes == [
+            {"width": 2, "vector": 0, "scalar": 2, "oracle": 0}]
+        for machine, out in zip(configs, outcomes):
+            assert_outcome_matches(traces, machine, out)
+
+
 class TestFaultIsolation:
     """A FaultPlan aimed at one config of a batch must not perturb its
     neighbours (regression: plans bypass to the oracle per config)."""

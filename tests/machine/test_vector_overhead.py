@@ -1,0 +1,78 @@
+"""Overhead guard for the vectorized replay engine (``-m batch_smoke``).
+
+The tentpole claim of the vector lane is throughput: on a wide batch
+of same-width-class configs it must beat PR 6's compiled-scalar replay
+by a real margin, and batch shapes it cannot help (singleton lanes)
+must keep taking exactly the pre-existing path.  Timing assertions use
+best-of-N interleaved measurements at bench scale so scheduler noise
+cannot flip the verdict on an idle machine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.harness.runner import run_baseline, run_dswp
+from repro.machine.batch import BatchedSimulator
+from repro.machine.config import MachineConfig
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.batch_smoke
+
+#: The bench default (``python -m repro bench --scale``).
+BENCH_SCALE = 800
+
+#: The vector lane must beat compiled-scalar replay by this factor on
+#: a batch of >= 8 same-class configs (measured headroom is ~2x).
+MIN_SPEEDUP = 1.5
+
+REPS = 5
+
+
+@pytest.fixture(scope="module")
+def traces():
+    case = get_workload("compress").build(scale=BENCH_SCALE)
+    baseline = run_baseline(case)
+    return run_dswp(case, baseline).traces
+
+
+def best_of(fn, reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestVectorOverheadGuard:
+    def test_vector_beats_scalar_on_wide_batch(self, traces):
+        configs = [MachineConfig(comm_latency=lat) for lat in range(1, 9)]
+        bsim = BatchedSimulator()
+        # Warm every layer both engines share (annotation, schedule,
+        # compiled factories, chunk tables) so the measurement is the
+        # steady-state replay cost, not one-time setup.
+        bsim.simulate_batch(traces, configs)
+        bsim.simulate_batch(traces, configs, engine="scalar")
+        assert bsim.last_lanes[-1]["scalar"] == len(configs)
+
+        t_vector = best_of(lambda: bsim.simulate_batch(traces, configs))
+        assert bsim.last_lanes[-1]["vector"] == len(configs)
+        t_scalar = best_of(
+            lambda: bsim.simulate_batch(traces, configs, engine="scalar"))
+        speedup = t_scalar / t_vector
+        assert speedup >= MIN_SPEEDUP, (
+            f"vector lane {t_vector * 1e3:.1f}ms vs scalar "
+            f"{t_scalar * 1e3:.1f}ms: {speedup:.2f}x < {MIN_SPEEDUP}x")
+
+    def test_singleton_lane_does_not_regress(self, traces):
+        """A singleton geometry group must take the PR 6 path --
+        straight to the per-config oracle, no vector machinery on the
+        way -- so it cannot regress by construction."""
+        bsim = BatchedSimulator()
+        outcomes = bsim.simulate_batch(traces, [MachineConfig()])
+        assert bsim.last_lanes == [
+            {"width": 1, "vector": 0, "scalar": 0, "oracle": 1}]
+        assert outcomes[0].ok and not outcomes[0].batched
