@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: check test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke chaos-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 # The default tier-1 run includes every smoke tier below (they all live
 # under tests/), parallel-smoke among them.
@@ -12,8 +12,9 @@ test:
 # tiers.  The focused tiers repeat a subset of tier-1 on purpose -- a
 # marker-filter regression (a tier silently collecting zero tests)
 # shows up here as an empty run, not as green CI.  batch-smoke carries
-# the vectorized-replay differential campaign and its overhead guard.
-check: test perf-smoke batch-smoke parallel-smoke
+# the vectorized-replay differential campaign and its overhead guard;
+# chaos-smoke injects faults into the pool and proves bit-identity.
+check: test perf-smoke batch-smoke parallel-smoke chaos-smoke
 
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz_smoke
@@ -45,6 +46,12 @@ parallel-smoke:
 # golden regression, bench refusal on divergence (docs/PERFORMANCE.md).
 batch-smoke:
 	$(PYTHON) -m pytest -q -m batch_smoke
+
+# Chaos-engineering guardrails: seeded fault injection into the worker
+# pool (kill/hang/flake/corrupt), the differential bit-identity
+# campaign, journal/resume integrity (docs/CHAOS.md).
+chaos-smoke:
+	$(PYTHON) -m pytest -q -m chaos_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000

@@ -264,6 +264,24 @@ def _cmd_report_bench(args) -> int:
     print(f"crashes: {snapshot.get('pool.crashes', 0)}, driver fallbacks: "
           f"{snapshot.get('pool.fallback_tasks', 0)}, shm swept: "
           f"{snapshot.get('pool.shm_swept', 0)}")
+    fabric = report.get("fabric") or {}
+    if any(fabric.values()):
+        print(f"faults:  timeouts {fabric.get('timeouts', 0)}, transient "
+              f"retries {fabric.get('retries', 0)}, workers reaped "
+              f"{fabric.get('workers_reaped', 0)}, workers killed "
+              f"{fabric.get('workers_killed', 0)}")
+    if report.get("chaos"):
+        chaos = report["chaos"]
+        seed = chaos.get("seed")
+        print(f"chaos:   {chaos.get('mode', '?')} plan"
+              + (f", seed {seed}" if seed is not None else "")
+              + f"; {len(report.get('retried_points') or ())} retried "
+              f"point(s), {len(report.get('timed_out_tasks') or ())} "
+              f"timed-out task(s)")
+    resume = report.get("resume") or {}
+    if resume.get("enabled"):
+        print(f"resume:  {len(resume.get('reused_points', ()))} point(s) "
+              f"reused from {resume.get('journal', '?')}")
     print()
     rows = []
     for worker in sorted(per_worker):
@@ -274,9 +292,12 @@ def _cmd_report_bench(args) -> int:
             f"{stats.get('pool.busy_seconds', 0.0):.2f}",
             f"{stats.get('pool.utilization', 0.0) * 100:.1f}%",
             int(stats.get("pool.steals", 0)),
+            int(stats.get("pool.retries", 0)),
+            int(stats.get("pool.timeouts", 0)),
         ])
     print(format_table(
-        ["worker", "tasks", "busy (s)", "utilization", "steals"], rows
+        ["worker", "tasks", "busy (s)", "utilization", "steals",
+         "retries", "timeouts"], rows
     ))
     _print_batch_table(report)
     return 0
@@ -479,6 +500,12 @@ def cmd_bench(args) -> int:
 
     figures = FIGURES if args.figure == "all" else (args.figure,)
     jobs = args.jobs or os.cpu_count() or 1
+    chaos = None
+    if getattr(args, "chaos_seed", None) is not None:
+        from repro.chaos import ChaosPlan
+
+        cache_dir = os.path.join(args.out, ".bench-cache")
+        chaos = ChaosPlan.random(args.chaos_seed, cache_dir=cache_dir)
     ok = True
     degraded = False
     for figure in figures:
@@ -491,6 +518,9 @@ def cmd_bench(args) -> int:
                 compare=not args.no_compare,
                 skip_naive=args.skip_naive,
                 batch=args.batch,
+                chaos=chaos,
+                task_timeout=getattr(args, "task_timeout", None),
+                resume=getattr(args, "resume", False),
             )
         except RuntimeError as exc:
             # The batched lane diverged from the per-config oracle: the
@@ -699,6 +729,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use robustness exit codes: 3 when any "
                               "point degraded to in-process fallback, "
                               "4 on comparison failure")
+    bench_p.add_argument("--chaos-seed", type=int, default=None,
+                         dest="chaos_seed", metavar="SEED",
+                         help="arm seeded fault injection against the "
+                              "worker pool (kill/hang/slow/flaky/corrupt; "
+                              "results must stay identical -- see "
+                              "docs/CHAOS.md)")
+    bench_p.add_argument("--task-timeout", type=float, default=None,
+                         dest="task_timeout", metavar="SECONDS",
+                         help="per-task deadline before a hung worker is "
+                              "reaped (default: derived from the fitted "
+                              "cost model; 0 disables deadlines)")
+    bench_p.add_argument("--resume", action="store_true",
+                         help="reuse completed points from the sweep "
+                              "journal (SWEEP_<figure>.jsonl in --out) and "
+                              "recompute only missing/invalidated ones")
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential fuzzing of the DSWP pipeline"

@@ -45,6 +45,7 @@ from typing import Optional
 
 from repro.analysis.profiling import LoopProfile
 from repro.harness.cache import ExperimentCache
+from repro.harness.journal import SweepJournal
 from repro.harness.runner import MAX_STEPS, BaselineRun, run_dswp
 from repro.interp.reference import run_function_reference
 from repro.machine.batch import BatchedSimulator
@@ -77,6 +78,33 @@ QSWEEP_LATENCIES = (1, 5)
 #: coverage and production-sized sweeps pay a bounded naive cost.
 SAMPLE_BUDGET = 200
 MIN_SAMPLE_FRACTION = 0.2
+
+#: Per-task deadline derivation: ``max(TIMEOUT_FLOOR, TIMEOUT_FACTOR *
+#: fitted estimate)``.  The factor is deliberately loose -- a deadline
+#: exists to catch *hung* workers, not slow ones -- and the floor
+#: protects small tasks from scheduler noise.  A cold (unfitted) cost
+#: model produces unitless estimates, so deadlines are only derived
+#: from fitted models; chaos runs fall back to the bare floor (a hang
+#: must not stall the sweep forever just because no history exists).
+TIMEOUT_FLOOR = 30.0
+TIMEOUT_FACTOR = 20.0
+
+
+def derive_timeout(estimate: float, fitted: bool,
+                   task_timeout: Optional[float],
+                   chaos_enabled: bool) -> Optional[float]:
+    """The deadline for one pool task (``None`` = no watchdog).
+
+    ``task_timeout`` (the ``--task-timeout`` override) wins outright;
+    ``0`` or negative disables deadlines entirely.
+    """
+    if task_timeout is not None:
+        return task_timeout if task_timeout > 0 else None
+    if fitted:
+        return max(TIMEOUT_FLOOR, TIMEOUT_FACTOR * estimate)
+    if chaos_enabled:
+        return TIMEOUT_FLOOR
+    return None
 
 
 def _machine(spec: dict) -> MachineConfig:
@@ -411,6 +439,9 @@ def run_optimized(
     cost_dir: str = ".",
     registry=None,
     batch: bool = True,
+    chaos=None,
+    task_timeout: Optional[float] = None,
+    journal: Optional[SweepJournal] = None,
 ) -> dict:
     """Run all points as tasks on the execution fabric.
 
@@ -436,23 +467,38 @@ def run_optimized(
     combined ``batched_identical`` verdict.  ``batch=False`` keeps the
     one-task-per-point shape.
 
+    ``chaos`` arms a :class:`~repro.chaos.ChaosPlan` on the pool;
+    ``task_timeout`` overrides the cost-model-derived per-task deadline
+    (see :func:`derive_timeout`); ``journal`` receives every completed
+    point through the pool's ``on_result`` hook, so progress survives a
+    killed driver at point granularity.
+
     Returns a dict with ``points`` (sweep order), ``stages``, ``jobs``
     (worker count actually used), ``num_tasks``, ``degraded_points``,
-    ``cache_stats`` (aggregated across workers), per-point
-    ``point_seconds`` and the cost-model description.
+    ``retried_points``, ``timed_out_tasks``, ``fabric`` (pool recovery
+    counters), ``incidents`` (pool forensics), ``cache_stats``
+    (aggregated across workers), per-point ``point_seconds`` and the
+    cost-model description.
     """
     model = CostModel.load(cost_dir)
+    chaos_enabled = chaos is not None
+
+    def _timeout(estimate: float) -> Optional[float]:
+        return derive_timeout(estimate, model.fitted, task_timeout,
+                              chaos_enabled)
+
     if batch:
-        tasks = [
-            PoolTask(
+        tasks = []
+        for group in batch_groups(points):
+            cost = sum(model.estimate_point(spec) for spec in group)
+            tasks.append(PoolTask(
                 id=f"batch:{group[0]['workload']}:{group[0]['kind']}",
                 fn=_batch_task,
                 payload={"specs": group, "cache_dir": cache_dir},
-                cost=sum(model.estimate_point(spec) for spec in group),
+                cost=cost,
                 affinity=f"{group[0]['workload']}:{group[0]['scale']}",
-            )
-            for group in batch_groups(points)
-        ]
+                timeout=_timeout(cost),
+            ))
     else:
         tasks = [
             PoolTask(
@@ -461,20 +507,62 @@ def run_optimized(
                 payload={"spec": spec, "cache_dir": cache_dir},
                 cost=model.estimate_point(spec),
                 affinity=f"{spec['workload']}:{spec['scale']}",
+                timeout=_timeout(model.estimate_point(spec)),
             )
             for spec in points
         ]
-    jobs = max(1, min(jobs, len(tasks)))
-    with WorkerPool(jobs, metrics=registry) as pool:
-        results = pool.run(tasks)
+
+    spec_by_id = {spec["id"]: spec for spec in points}
+
+    def _journal_result(result) -> None:
+        """Persist each point the moment its result lands (crash-safe
+        resume granularity is per *point* even when tasks are batches)."""
+        value = result.value
+        if batch:
+            info = value["batch"]
+            campaign = info.get("campaign_seconds", info["seconds"])
+            production = max(0.0, result.duration - campaign)
+            share = production / max(len(value["points"]), 1)
+            for point in value["points"]:
+                journal.record_point(spec_by_id[point["id"]], point, share,
+                                     degraded=result.degraded,
+                                     retries=result.retries,
+                                     timed_out=result.timed_out)
+        else:
+            point = value["point"]
+            journal.record_point(spec_by_id[point["id"]], point,
+                                 result.duration, degraded=result.degraded,
+                                 retries=result.retries,
+                                 timed_out=result.timed_out)
+
+    jobs = max(1, min(jobs, len(tasks))) if tasks else 1
+    with WorkerPool(jobs, metrics=registry, chaos=chaos) as pool:
+        results = pool.run(
+            tasks, on_result=_journal_result if journal is not None else None)
         jobs_used = pool.jobs
+    fabric = {
+        "crashes": pool.crashes,
+        "fallbacks": pool.fallbacks,
+        "timeouts": pool.timeouts,
+        "retries": pool.retries,
+        "workers_reaped": pool.workers_reaped,
+        "workers_killed": pool.workers_killed,
+    }
+    incidents = [incident.to_dict() for incident in pool.incidents]
 
     stages = {"interpret": 0.0, "transform": 0.0, "simulate": 0.0}
     cache_stats: dict[str, int] = {}
     batches: list[dict] = []
     by_point: dict[str, tuple[dict, bool, float]] = {}
+    retried_ids: list[str] = []
+    timed_out_tasks: list[str] = []
     for result in results:
         value = result.value
+        covered = value["points"] if batch else [value["point"]]
+        if result.retries:
+            retried_ids.extend(point["id"] for point in covered)
+        if result.timed_out:
+            timed_out_tasks.append(result.task.id)
         for key, stage_seconds in value["stages"].items():
             stages[key] += stage_seconds
         for key, delta in value["cache"].items():
@@ -515,6 +603,10 @@ def run_optimized(
         "jobs": jobs_used,
         "num_tasks": len(tasks),
         "degraded_points": degraded_ids,
+        "retried_points": retried_ids,
+        "timed_out_tasks": timed_out_tasks,
+        "fabric": fabric,
+        "incidents": incidents,
         "cache_stats": cache_stats,
         "point_seconds": point_seconds,
         "cost_model": model.describe(),
@@ -588,6 +680,9 @@ def run_bench(
     skip_naive: bool = False,
     cache_dir: Optional[str] = None,
     batch: bool = True,
+    chaos=None,
+    task_timeout: Optional[float] = None,
+    resume: bool = False,
 ) -> dict:
     """Run one figure's sweep; returns (and writes) the report dict.
 
@@ -614,6 +709,14 @@ def run_bench(
     engine breakdown).  A report whose batched lane diverged from
     the oracle is **never written**: ``run_bench`` raises instead of
     recording a ``BENCH_*.json`` with ``batched_identical: false``.
+
+    ``chaos`` arms fault injection on the pool (the report gains a
+    ``chaos`` provenance block); ``task_timeout`` overrides the derived
+    per-task deadline.  Every completed point is appended to
+    ``SWEEP_<figure>.jsonl`` in ``out_dir``; ``resume`` replays that
+    journal first and recomputes only missing or fingerprint-invalid
+    points (see :mod:`repro.harness.journal`), recording what it reused
+    in the report's ``resume`` block.
     """
     from repro.obs import MetricsRegistry, record_provenance
 
@@ -621,12 +724,53 @@ def run_bench(
     if cache_dir is None:
         cache_dir = os.path.join(out_dir, ".bench-cache")
 
+    os.makedirs(out_dir, exist_ok=True)  # the journal opens before any write
+    journal_path = os.path.join(out_dir, f"SWEEP_{figure}.jsonl")
+    reused: dict[str, dict] = {}
+    if resume:
+        reused = SweepJournal.load(journal_path).reusable(points)
+    # A fresh sweep truncates the journal (stale entries must not leak
+    # into a later --resume); a resumed sweep appends to it, so resume
+    # is re-entrant after repeated kills.
+    journal = SweepJournal.start(journal_path, figure, scale,
+                                 fresh=not resume)
+    missing = [spec for spec in points if spec["id"] not in reused]
+
     registry = MetricsRegistry()
     t0 = time.perf_counter()
-    optimized = run_optimized(points, jobs, cache_dir=cache_dir,
+    optimized = run_optimized(missing, jobs, cache_dir=cache_dir,
                               cost_dir=out_dir, registry=registry,
-                              batch=batch)
+                              batch=batch, chaos=chaos,
+                              task_timeout=task_timeout, journal=journal)
     optimized_seconds = time.perf_counter() - t0
+
+    if reused:
+        # Splice journal entries back into sweep order; the fresh run
+        # only computed (and only knows about) the missing points.
+        by_new = {p["id"]: p for p in optimized["points"]}
+        merged_points: list[dict] = []
+        merged_seconds: dict[str, float] = {}
+        for spec in points:
+            entry = reused.get(spec["id"])
+            if entry is None:
+                merged_points.append(by_new[spec["id"]])
+                merged_seconds[spec["id"]] = \
+                    optimized["point_seconds"][spec["id"]]
+                continue
+            point = dict(entry["point"])
+            if entry.get("degraded"):
+                point["degraded"] = True
+            merged_points.append(point)
+            merged_seconds[spec["id"]] = float(entry.get("seconds") or 0.0)
+            if entry.get("retries"):
+                optimized["retried_points"].append(spec["id"])
+            if entry.get("timed_out"):
+                optimized["timed_out_tasks"].append(spec["id"])
+        optimized["points"] = merged_points
+        optimized["point_seconds"] = merged_seconds
+        optimized["degraded_points"] = [
+            p["id"] for p in merged_points if p.get("degraded")]
+
     jobs_used = optimized["jobs"]
     degraded_ids = optimized["degraded_points"]
     cache_stats = optimized["cache_stats"]
@@ -657,6 +801,11 @@ def run_bench(
     registry.gauge("bench.points").set(len(points))
     registry.gauge("bench.jobs").set(jobs_used)
     registry.gauge("bench.degraded_points").set(len(degraded_ids))
+    registry.gauge("bench.retried_points").set(
+        len(optimized["retried_points"]))
+    registry.gauge("bench.timed_out_tasks").set(
+        len(optimized["timed_out_tasks"]))
+    registry.gauge("bench.resumed_points").set(len(reused))
     for key, value in sorted(cache_stats.items()):
         registry.counter(f"cache.{key}").inc(value)
 
@@ -688,6 +837,17 @@ def run_bench(
         "num_tasks": optimized["num_tasks"],
         "points": optimized["points"],
         "degraded_points": degraded_ids,
+        "retried_points": optimized["retried_points"],
+        "timed_out_tasks": optimized["timed_out_tasks"],
+        "fabric": optimized["fabric"],
+        "fabric_incidents": optimized["incidents"],
+        "chaos": chaos.describe() if chaos is not None else None,
+        "resume": {
+            "enabled": resume,
+            "journal": journal_path,
+            "reused_points": sorted(reused),
+            "recomputed_points": [spec["id"] for spec in missing],
+        },
         "cache_stats": cache_stats,
         "optimized_seconds": optimized_seconds,
         "optimized_stage_seconds": optimized["stages"],
@@ -810,6 +970,25 @@ def format_report(report: dict) -> str:
             f"  speedup:   {report['speedup']:.2f}x, "
             f"functional results {identical}{parallel_text}"
         )
+    resume = report.get("resume") or {}
+    if resume.get("enabled"):
+        lines.append(
+            f"  resumed:   {len(resume.get('reused_points', ()))} point(s) "
+            f"reused from journal, "
+            f"{len(resume.get('recomputed_points', ()))} recomputed"
+        )
+    if report.get("chaos"):
+        chaos = report["chaos"]
+        fabric = report.get("fabric") or {}
+        seed = chaos.get("seed")
+        lines.append(
+            f"  chaos:     {chaos.get('mode', '?')} plan"
+            + (f" (seed {seed})" if seed is not None else "")
+            + f"; crashes {fabric.get('crashes', 0)}, "
+            f"timeouts {fabric.get('timeouts', 0)}, "
+            f"retries {fabric.get('retries', 0)}, "
+            f"fallbacks {fabric.get('fallbacks', 0)}"
+        )
     if report.get("degraded_points"):
         lines.append(
             f"  DEGRADED:  {len(report['degraded_points'])} point(s) ran "
@@ -837,4 +1016,8 @@ def summary_line(report: dict) -> str:
     if cache.get("corrupt_evictions"):
         parts.append(f"{cache['corrupt_evictions']} corrupt eviction(s)")
     parts.append(f"{len(report.get('degraded_points', ()))} degraded point(s)")
+    if report.get("retried_points"):
+        parts.append(f"{len(report['retried_points'])} retried point(s)")
+    if report.get("timed_out_tasks"):
+        parts.append(f"{len(report['timed_out_tasks'])} timed-out task(s)")
     return ", ".join(parts)

@@ -11,6 +11,7 @@ campaign (:mod:`repro.fuzz.campaign`) run on it.
 from repro.parallel.costmodel import CostModel, point_kind
 from repro.parallel.pool import (
     TaskFailed,
+    TransientTaskError,
     WorkerPool,
     fresh_arena,
     worker_arena,
@@ -18,21 +19,27 @@ from repro.parallel.pool import (
 from repro.parallel.scheduler import PoolTask, StealScheduler, TaskResult
 from repro.parallel.shm import (
     SegmentAllocator,
+    SegmentChecksumError,
+    corrupt_segment,
     decode_result,
     encode_result,
     release_result,
     shm_available,
     sweep_worker_segments,
+    wire_segment_names,
 )
 
 __all__ = [
     "CostModel",
     "PoolTask",
     "SegmentAllocator",
+    "SegmentChecksumError",
     "StealScheduler",
     "TaskFailed",
     "TaskResult",
+    "TransientTaskError",
     "WorkerPool",
+    "corrupt_segment",
     "decode_result",
     "encode_result",
     "fresh_arena",
@@ -40,5 +47,6 @@ __all__ = [
     "release_result",
     "shm_available",
     "sweep_worker_segments",
+    "wire_segment_names",
     "worker_arena",
 ]

@@ -1,4 +1,4 @@
-"""Persistent warm worker pool with crash recovery.
+"""Persistent warm worker pool with crash, hang and flake recovery.
 
 The pool is the execution half of the fabric (scheduling lives in
 :mod:`repro.parallel.scheduler`, transport in
@@ -29,6 +29,22 @@ The pool is the execution half of the fabric (scheduling lives in
   ``degraded``.  The sweep always completes, and the caller can report
   exactly which results took the fallback path.  Deterministic task
   exceptions are not retried: they surface as :class:`TaskFailed`.
+* **Hang recovery.**  A task may carry a deadline
+  (:attr:`~repro.parallel.scheduler.PoolTask.timeout`); a worker that
+  blows it is *reaped* -- ``terminate()``, escalating to ``kill()``
+  when it ignores the signal -- and the task is rerouted exactly like
+  a crash.  Its pipe is drained first, so a result that was fully sent
+  moments before the deadline is still honoured.
+* **Transient retry.**  A task that raises :class:`TransientTaskError`
+  (or whose result arrives undecodable -- e.g. a corrupted
+  shared-memory segment) is redispatched to the same worker after a
+  jittered exponential backoff, up to ``max_task_retries`` times,
+  before the in-driver fallback.  Deterministic failures stay
+  fail-fast.
+* **Forensics.**  Every crash, reap, transient retry and driver
+  fallback appends an :class:`~repro.resilience.incident.IncidentReport`
+  (``domain="pool"``) to :attr:`WorkerPool.incidents`, so a degraded
+  sweep is diagnosable from artifacts alone.
 * **Serial fallback.**  ``jobs <= 1`` -- or a platform that cannot
   fork -- runs every task in-process in the same scheduled order, so
   callers never need a second code path and results are bit-identical
@@ -37,15 +53,22 @@ The pool is the execution half of the fabric (scheduling lives in
   unlinked as results are decoded; on shutdown the pool probes past
   each worker incarnation's last acknowledged allocation and sweeps
   anything a crash left behind.
+* **Chaos injection.**  ``WorkerPool(chaos=plan)`` arms a
+  :class:`~repro.chaos.ChaosPlan`: workers consult it before and after
+  each task attempt and deterministically kill, hang, slow, flake or
+  corrupt themselves (see ``docs/CHAOS.md``).  The driver is never
+  perturbed, so the recovery paths above -- not the fault injection --
+  decide what the caller observes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Callable, Optional
 
@@ -58,12 +81,18 @@ from repro.parallel.shm import (
     shm_available,
     sweep_worker_segments,
 )
+from repro.resilience.incident import IncidentReport
 
 #: Seconds between liveness checks while waiting for results.
 POLL_INTERVAL = 0.05
 
-#: Seconds a worker gets to exit cleanly before being terminated.
+#: Seconds a worker gets to exit cleanly before being terminated, and
+#: to die after ``terminate()`` before the escalation to ``kill()``.
 JOIN_TIMEOUT = 2.0
+
+#: Retained :class:`IncidentReport` objects per pool (counters keep
+#: exact totals past the cap; the reports are forensic samples).
+INCIDENT_CAP = 64
 
 #: Process-local arena task functions share across a worker's lifetime.
 _ARENA: dict = {}
@@ -102,8 +131,24 @@ class TaskFailed(RuntimeError):
         self.detail = detail
 
 
+class TransientTaskError(RuntimeError):
+    """A task failure worth retrying (flaky I/O, injected chaos flake).
+
+    Raised by task functions -- or by the chaos injector on their
+    behalf -- to request the bounded backoff-retry path instead of the
+    fail-fast :class:`TaskFailed` surface.  A task that keeps raising
+    it past ``max_task_retries`` falls back to the driver process; if
+    it still raises there, the failure is treated as deterministic.
+    """
+
+
+def _first_line(text: str) -> str:
+    lines = [line for line in str(text).strip().splitlines() if line.strip()]
+    return lines[-1] if lines else ""
+
+
 def _worker_main(worker_id: int, incarnation: int, inbox, conn,
-                 pool_uid: str, use_shm: bool) -> None:
+                 pool_uid: str, use_shm: bool, chaos=None) -> None:
     _ARENA.clear()  # fork copies the driver arena; workers start cold
     allocator = (SegmentAllocator(pool_uid, worker_id, incarnation)
                  if use_shm else None)
@@ -115,11 +160,20 @@ def _worker_main(worker_id: int, incarnation: int, inbox, conn,
         message = inbox.get()
         if message is None:
             break
-        task_id, fn, payload = message
+        task_id, fn, payload, dispatch = message
+        action = chaos.action(task_id, dispatch) if chaos is not None else None
         start = time.perf_counter()
         try:
+            if action is not None:
+                action.apply_before()
             value = fn(payload)
             wire = encode_result(value, allocator)
+            if action is not None:
+                action.apply_after(wire)
+        except TransientTaskError:
+            conn.send((task_id, "transient", time.perf_counter() - start,
+                       seq(), traceback.format_exc()))
+            continue
         except BaseException:
             conn.send((task_id, "err", time.perf_counter() - start, seq(),
                        traceback.format_exc()))
@@ -131,8 +185,15 @@ def _worker_main(worker_id: int, incarnation: int, inbox, conn,
 @dataclass
 class _Flight:
     task: PoolTask
-    attempts: int
-    stolen: bool
+    attempts: int = 1
+    stolen: bool = False
+    #: Transient redispatches consumed so far.
+    retries: int = 0
+    #: Total sends to any worker (the attempt index chaos plans see).
+    dispatches: int = 0
+    #: Monotonic deadline of the current attempt (None = no watchdog).
+    deadline: Optional[float] = None
+    timed_out: bool = False
 
 
 class _Worker:
@@ -151,16 +212,26 @@ class WorkerPool:
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
     per-worker ``pool.*`` telemetry: task counts, busy seconds,
-    utilization, steal counts, crash/fallback counters and the
-    shared-memory sweep tally.
+    utilization, steal counts, crash/hang/retry/fallback counters and
+    the shared-memory sweep tally.
+
+    ``chaos`` arms a chaos plan (see :mod:`repro.chaos`) that workers
+    consult per task attempt; ``max_task_retries``, ``retry_base`` and
+    ``retry_cap`` bound the transient-retry backoff loop.
     """
 
     def __init__(self, jobs: int, metrics=None, use_shm: Optional[bool] = None,
-                 max_worker_attempts: int = 2) -> None:
+                 max_worker_attempts: int = 2, chaos=None,
+                 max_task_retries: int = 3, retry_base: float = 0.05,
+                 retry_cap: float = 2.0) -> None:
         self.requested = max(1, jobs)
         self._metrics = metrics
         self._use_shm = shm_available() if use_shm is None else use_shm
         self.max_worker_attempts = max(1, max_worker_attempts)
+        self.max_task_retries = max(0, max_task_retries)
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self._chaos = chaos
         self._uid = os.urandom(4).hex()
         self._ctx = None
         if self.requested > 1:
@@ -175,7 +246,14 @@ class WorkerPool:
         self._closed = False
         self.crashes = 0
         self.fallbacks = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.workers_reaped = 0
+        self.workers_killed = 0
         self.segments_swept = 0
+        #: Pool-level forensics: one report per crash/reap/retry/
+        #: fallback, capped at INCIDENT_CAP (counters stay exact).
+        self.incidents: list[IncidentReport] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -199,7 +277,7 @@ class WorkerPool:
         process = self._ctx.Process(
             target=_worker_main,
             args=(worker_id, incarnation, inbox, send_conn,
-                  self._uid, self._use_shm),
+                  self._uid, self._use_shm, self._chaos),
             daemon=True,
         )
         process.start()
@@ -218,11 +296,40 @@ class WorkerPool:
         self._workers[worker_id] = self._spawn(worker_id, old.inbox,
                                                old.incarnation + 1)
 
+    def _reap(self, worker_id: int) -> None:
+        """Forcibly retire a hung worker incarnation and respawn it.
+
+        ``terminate()`` first; a worker that ignores SIGTERM (stuck in
+        uninterruptible state, masked signals) is escalated to
+        ``kill()``.  Fully sent results are drained and their segments
+        released before the pipe is replaced.
+        """
+        worker = self._workers[worker_id]
+        worker.process.terminate()
+        worker.process.join(JOIN_TIMEOUT)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(JOIN_TIMEOUT)
+            self.workers_killed += 1
+        self.workers_reaped += 1
+        for message in self._drain(worker):
+            if message[1] == "ok":
+                release_result(message[4])
+        self._respawn(worker_id)
+
     def close(self) -> None:
-        """Shut workers down and sweep leaked shared-memory segments."""
+        """Shut workers down and sweep leaked shared-memory segments.
+
+        Shutdown escalates: cooperative sentinel, then ``terminate()``,
+        then ``kill()`` for a worker that still lingers past
+        ``JOIN_TIMEOUT`` -- a closed pool never leaves processes
+        behind.  Escalations are counted in ``workers_killed`` and the
+        ``pool.workers_killed`` metric.
+        """
         if self._closed:
             return
         self._closed = True
+        killed_before = self.workers_killed
         for worker in self._workers:
             if worker.process.is_alive():
                 try:
@@ -235,6 +342,16 @@ class WorkerPool:
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(JOIN_TIMEOUT)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(JOIN_TIMEOUT)
+                self.workers_killed += 1
+                self._incident(
+                    "worker-kill",
+                    f"worker {worker.worker_id} (incarnation "
+                    f"{worker.incarnation}) survived terminate() at "
+                    f"shutdown; escalated to kill()",
+                    worker=worker.worker_id, incarnation=worker.incarnation)
         for worker in self._workers:
             for message in self._drain(worker):
                 if message[1] == "ok":
@@ -246,8 +363,13 @@ class WorkerPool:
         for (worker_id, incarnation), acked in sorted(self._acked_seq.items()):
             self.segments_swept += sweep_worker_segments(
                 self._uid, worker_id, incarnation, acked)
-        if self._metrics is not None and self.segments_swept:
-            self._metrics.counter("pool.shm_swept").inc(self.segments_swept)
+        if self._metrics is not None:
+            if self.segments_swept:
+                self._metrics.counter("pool.shm_swept").inc(
+                    self.segments_swept)
+            if self.workers_killed > killed_before:
+                self._metrics.counter("pool.workers_killed").inc(
+                    self.workers_killed - killed_before)
         self._workers = []
 
     def _drain(self, worker: _Worker) -> list[tuple]:
@@ -265,16 +387,41 @@ class WorkerPool:
             messages.append(message)
 
     # ------------------------------------------------------------------
+    # Forensics
+    # ------------------------------------------------------------------
+    def _incident(self, kind: str, message: str, **extra) -> None:
+        if len(self.incidents) < INCIDENT_CAP:
+            self.incidents.append(IncidentReport(
+                kind=kind, message=message, domain="pool", extra=extra))
+        if self._metrics is not None:
+            self._metrics.counter("pool.incidents", kind=kind).inc()
+
+    def _backoff_delay(self, flight: _Flight) -> float:
+        """Jittered exponential backoff for transient retry N.
+
+        The jitter is seeded from ``(task id, retry index)`` so replays
+        of a chaos schedule sleep identically -- determinism all the
+        way down."""
+        step = min(self.retry_cap,
+                   self.retry_base * (2 ** max(flight.retries - 1, 0)))
+        rng = random.Random(f"{flight.task.id}:{flight.retries}")
+        return step * (0.5 + 0.5 * rng.random())
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, tasks: list[PoolTask],
             cancel: Optional[Callable[[TaskResult], bool]] = None,
+            on_result: Optional[Callable[[TaskResult], None]] = None,
             ) -> list[TaskResult]:
         """Run ``tasks``; returns results in task order.
 
         ``cancel`` is called after every completed task; returning True
         drops all still-queued tasks (in-flight ones finish), so the
-        returned list may omit cancelled tasks.
+        returned list may omit cancelled tasks.  ``on_result`` is
+        called with each :class:`TaskResult` the moment it completes
+        (execution order, not task order) -- the hook sweep journals
+        use to persist progress incrementally.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -284,15 +431,16 @@ class WorkerPool:
         if len(set(ids)) != len(ids):
             raise ValueError("task ids must be unique")
         if self.jobs <= 1:
-            results = self._run_serial(tasks, cancel)
+            results = self._run_serial(tasks, cancel, on_result)
         else:
-            results = self._run_parallel(tasks, cancel)
+            results = self._run_parallel(tasks, cancel, on_result)
         return [results[t.id] for t in tasks if t.id in results]
 
-    def _run_serial(self, tasks, cancel) -> dict[str, TaskResult]:
+    def _run_serial(self, tasks, cancel, on_result) -> dict[str, TaskResult]:
         scheduler = StealScheduler(tasks, 1)
         results: dict[str, TaskResult] = {}
         wall_start = time.perf_counter()
+        base = self._counter_totals()
         busy = 0.0
         with fresh_arena():  # cache behaviour matches a cold worker
             while True:
@@ -310,22 +458,32 @@ class WorkerPool:
                 busy += duration
                 result = TaskResult(task, value, 0, duration)
                 results[task.id] = result
+                if on_result is not None:
+                    on_result(result)
                 if cancel is not None and cancel(result):
                     scheduler.clear_pending()
         self._record_run(scheduler, results, time.perf_counter() - wall_start,
-                         {0: busy})
+                         {0: busy}, base)
         return results
 
-    def _run_parallel(self, tasks, cancel) -> dict[str, TaskResult]:
+    def _run_parallel(self, tasks, cancel, on_result) -> dict[str, TaskResult]:
         self._start_workers()
-        state = _RunState(self, StealScheduler(tasks, self.jobs), cancel)
+        base = self._counter_totals()
+        state = _RunState(self, StealScheduler(tasks, self.jobs), cancel,
+                          on_result)
         for worker_id in range(self.jobs):
             state.dispatch(worker_id)
-        while state.in_flight:
+        while state.in_flight or state.delayed:
+            timeout = state.wait_timeout()
             conns = {self._workers[w].conn: w for w in state.in_flight}
-            try:
-                ready = mp_connection.wait(list(conns), timeout=POLL_INTERVAL)
-            except OSError:
+            if conns:
+                try:
+                    ready = mp_connection.wait(list(conns), timeout=timeout)
+                except OSError:
+                    ready = []
+            else:
+                # Only backoff retries pending: just wait them out.
+                time.sleep(timeout)
                 ready = []
             progressed = False
             for conn in ready:
@@ -341,10 +499,15 @@ class WorkerPool:
                 progressed = True
                 self._acked_seq[(worker_id, worker.incarnation)] = message[3]
                 state.deliver(worker_id, message)
+            state.release_due_retries()
+            # Deadlines are checked every iteration: a hung worker must
+            # not hide behind healthy workers' steady message flow.
+            self._handle_timeouts(state)
             if not progressed:
                 self._handle_crashes(state)
         self._record_run(state.scheduler, state.results,
-                         time.perf_counter() - state.wall_start, state.busy)
+                         time.perf_counter() - state.wall_start, state.busy,
+                         base, state.retry_counts, state.timeout_counts)
         if state.error is not None:
             raise state.error
         return state.results
@@ -366,36 +529,147 @@ class WorkerPool:
                 state.deliver(worker_id, message)
                 delivered = delivered or message[0] == flight.task.id
             self.crashes += 1
+            exitcode = worker.process.exitcode
             self._respawn(worker_id)
-            if delivered or worker_id not in state.in_flight:
+            if delivered or state.in_flight.get(worker_id) is not flight:
                 continue
             del state.in_flight[worker_id]
+            self._incident(
+                "worker-crash",
+                f"worker {worker_id} (incarnation {worker.incarnation}) "
+                f"died with task {flight.task.id!r} in flight "
+                f"(exit code {exitcode}, attempt {flight.attempts})",
+                task=flight.task.id, worker=worker_id,
+                incarnation=worker.incarnation, exitcode=exitcode,
+                attempt=flight.attempts)
             if state.error is not None:
                 continue
             if flight.attempts < self.max_worker_attempts:
                 flight.attempts += 1
-                state.in_flight[worker_id] = flight
-                self._workers[worker_id].inbox.put(
-                    (flight.task.id, flight.task.fn, flight.task.payload))
+                state.send(worker_id, flight)
                 continue
             # The task killed every worker it touched: run it here, in
             # the driver, and mark the result degraded.
-            self.fallbacks += 1
-            start = time.perf_counter()
-            try:
-                value = flight.task.fn(flight.task.payload)
-            except Exception:
-                state.fail(flight.task.id, traceback.format_exc())
+            self._fallback(state, worker_id, flight)
+
+    def _handle_timeouts(self, state: "_RunState") -> None:
+        """Reap workers whose in-flight task blew its deadline.
+
+        Mirrors the crash path: drain first (a result fully sent just
+        before the deadline is honoured), then terminate -> kill ->
+        respawn, then reroute the task -- retry on the fresh
+        incarnation, or the in-driver fallback once worker attempts are
+        exhausted.  The fallback runs without a deadline: a task that
+        is genuinely slow (rather than hung) still completes there.
+        """
+        now = time.monotonic()
+        for worker_id in list(state.in_flight):
+            flight = state.in_flight.get(worker_id)
+            if (flight is None or flight.deadline is None
+                    or now < flight.deadline):
                 continue
-            state.complete(TaskResult(
-                flight.task, value, -1, time.perf_counter() - start,
-                attempts=flight.attempts, degraded=True,
-                stolen=flight.stolen))
-            state.dispatch(worker_id)
+            worker = self._workers[worker_id]
+            if not worker.process.is_alive():
+                continue  # dead, not hung: the crash pass owns it
+            for message in self._drain(worker):
+                state.deliver(worker_id, message)
+            if state.in_flight.get(worker_id) is not flight:
+                continue  # the drain delivered its result after all
+            del state.in_flight[worker_id]
+            self.timeouts += 1
+            state.timeout_counts[worker_id] = \
+                state.timeout_counts.get(worker_id, 0) + 1
+            flight.timed_out = True
+            self._incident(
+                "worker-hang",
+                f"task {flight.task.id!r} missed its "
+                f"{flight.task.timeout:.3f}s deadline on worker "
+                f"{worker_id} (incarnation {worker.incarnation}, attempt "
+                f"{flight.attempts}); reaping the worker",
+                task=flight.task.id, worker=worker_id,
+                incarnation=worker.incarnation,
+                deadline_seconds=flight.task.timeout,
+                attempt=flight.attempts)
+            self._reap(worker_id)
+            if state.error is not None:
+                continue
+            if flight.attempts < self.max_worker_attempts:
+                flight.attempts += 1
+                state.send(worker_id, flight)
+            else:
+                self._fallback(state, worker_id, flight)
+
+    def _transient(self, state: "_RunState", worker_id: int, flight: _Flight,
+                   detail: str, kind: str = "task-transient") -> None:
+        """Route a transient failure: backoff retry, then fallback."""
+        if state.in_flight.get(worker_id) is flight:
+            del state.in_flight[worker_id]
+        if state.error is not None:
+            return
+        if flight.retries < self.max_task_retries:
+            flight.retries += 1
+            self.retries += 1
+            state.retry_counts[worker_id] = \
+                state.retry_counts.get(worker_id, 0) + 1
+            delay = self._backoff_delay(flight)
+            self._incident(
+                kind,
+                f"task {flight.task.id!r} failed transiently on worker "
+                f"{worker_id} ({_first_line(detail)}); retry "
+                f"{flight.retries}/{self.max_task_retries} in {delay:.3f}s",
+                task=flight.task.id, worker=worker_id,
+                retry=flight.retries, backoff_seconds=round(delay, 6),
+                detail=_first_line(detail))
+            state.delayed[worker_id] = (time.monotonic() + delay, flight)
+            return
+        self._incident(
+            kind,
+            f"task {flight.task.id!r} exhausted {self.max_task_retries} "
+            f"transient retries ({_first_line(detail)}); running in the "
+            f"driver",
+            task=flight.task.id, worker=worker_id,
+            retry=flight.retries, detail=_first_line(detail))
+        self._fallback(state, worker_id, flight)
+
+    def _fallback(self, state: "_RunState", worker_id: int,
+                  flight: _Flight) -> None:
+        """Run a task in the driver process; the result is degraded."""
+        self.fallbacks += 1
+        self._incident(
+            "driver-fallback",
+            f"task {flight.task.id!r} degraded to in-driver execution "
+            f"(attempts {flight.attempts}, transient retries "
+            f"{flight.retries}, timed out: {flight.timed_out})",
+            task=flight.task.id, attempts=flight.attempts,
+            retries=flight.retries, timed_out=flight.timed_out)
+        start = time.perf_counter()
+        try:
+            value = flight.task.fn(flight.task.payload)
+        except Exception:
+            state.fail(flight.task.id, traceback.format_exc())
+            return
+        state.complete(TaskResult(
+            flight.task, value, -1, time.perf_counter() - start,
+            attempts=flight.attempts, degraded=True,
+            stolen=flight.stolen, retries=flight.retries,
+            timed_out=flight.timed_out))
+        state.dispatch(worker_id)
 
     # ------------------------------------------------------------------
+    def _counter_totals(self) -> dict[str, int]:
+        return {
+            "crashes": self.crashes,
+            "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "workers_reaped": self.workers_reaped,
+            "workers_killed": self.workers_killed,
+        }
+
     def _record_run(self, scheduler, results, wall: float,
-                    busy: dict[int, float]) -> None:
+                    busy: dict[int, float], base: dict[str, int],
+                    retry_counts: Optional[dict[int, int]] = None,
+                    timeout_counts: Optional[dict[int, int]] = None) -> None:
         registry = self._metrics
         if registry is None:
             return
@@ -415,7 +689,15 @@ class WorkerPool:
                 min(seconds / wall, 1.0))
             registry.counter("pool.steals", worker=worker_id).inc(
                 scheduler.steals[worker_id])
-        registry.counter("pool.crashes").inc(self.crashes)
+            registry.counter("pool.retries", worker=worker_id).inc(
+                (retry_counts or {}).get(worker_id, 0))
+            registry.counter("pool.timeouts", worker=worker_id).inc(
+                (timeout_counts or {}).get(worker_id, 0))
+        # Pool-level counters record this run's delta (the attributes
+        # are pool-lifetime totals; a registry shared across runs must
+        # not double count).
+        for name, total in self._counter_totals().items():
+            registry.counter(f"pool.{name}").inc(total - base[name])
         registry.counter("pool.fallback_tasks").inc(
             per_worker_tasks.get(-1, 0))
         registry.gauge("pool.wall_seconds").set(wall)
@@ -425,26 +707,65 @@ class _RunState:
     """Book-keeping for one :meth:`WorkerPool.run` parallel invocation."""
 
     def __init__(self, pool: WorkerPool, scheduler: StealScheduler,
-                 cancel) -> None:
+                 cancel, on_result=None) -> None:
         self.pool = pool
         self.scheduler = scheduler
         self.cancel = cancel
+        self.on_result = on_result
         self.results: dict[str, TaskResult] = {}
         self.in_flight: dict[int, _Flight] = {}
+        #: worker id -> (monotonic due time, flight) backoff retries.
+        self.delayed: dict[int, tuple[float, _Flight]] = {}
         self.busy: dict[int, float] = {}
+        self.retry_counts: dict[int, int] = {}
+        self.timeout_counts: dict[int, int] = {}
         self.error: Optional[TaskFailed] = None
         self.wall_start = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def wait_timeout(self) -> float:
+        """How long the dispatch loop may sleep before the next
+        deadline or backoff retry comes due."""
+        timeout = POLL_INTERVAL
+        now = time.monotonic()
+        for flight in self.in_flight.values():
+            if flight.deadline is not None:
+                timeout = min(timeout, flight.deadline - now)
+        for due, _ in self.delayed.values():
+            timeout = min(timeout, due - now)
+        return max(0.0, timeout)
+
+    def release_due_retries(self) -> None:
+        now = time.monotonic()
+        for worker_id in list(self.delayed):
+            due, flight = self.delayed[worker_id]
+            if now < due and self.error is None:
+                continue
+            del self.delayed[worker_id]
+            if self.error is not None:
+                continue  # an aborted run abandons its retries
+            self.send(worker_id, flight)
+
+    def send(self, worker_id: int, flight: _Flight) -> None:
+        """(Re)dispatch ``flight`` to ``worker_id``; arms its deadline."""
+        flight.dispatches += 1
+        flight.deadline = (time.monotonic() + flight.task.timeout
+                           if flight.task.timeout is not None else None)
+        self.in_flight[worker_id] = flight
+        self.pool._workers[worker_id].inbox.put(
+            (flight.task.id, flight.task.fn, flight.task.payload,
+             flight.dispatches))
 
     def dispatch(self, worker_id: int) -> None:
         if self.error is not None:
             return
+        if worker_id in self.in_flight or worker_id in self.delayed:
+            return  # busy (a backoff retry owns this worker)
         item = self.scheduler.next_for(worker_id)
         if item is None:
             return
         task, stolen = item
-        self.in_flight[worker_id] = _Flight(task, 1, stolen)
-        self.pool._workers[worker_id].inbox.put(
-            (task.id, task.fn, task.payload))
+        self.send(worker_id, _Flight(task, attempts=1, stolen=stolen))
 
     def fail(self, task_id: str, detail: str) -> None:
         if self.error is None:
@@ -456,6 +777,8 @@ class _RunState:
         if result.worker >= 0:
             self.busy[result.worker] = \
                 self.busy.get(result.worker, 0.0) + result.duration
+        if self.on_result is not None:
+            self.on_result(result)
         if (self.cancel is not None and self.error is None
                 and self.cancel(result)):
             self.scheduler.clear_pending()
@@ -471,6 +794,9 @@ class _RunState:
             if status == "ok":
                 release_result(body)
             return
+        if status == "transient":
+            self.pool._transient(self, worker_id, flight, body)
+            return
         del self.in_flight[worker_id]
         if status == "err":
             self.fail(task_id, body)
@@ -478,9 +804,17 @@ class _RunState:
             try:
                 value = decode_result(body)
             except Exception:
-                self.fail(task_id, traceback.format_exc())
+                # Undecodable result (e.g. a corrupted shared-memory
+                # segment): release whatever the failed decode left
+                # linked, then retry -- the worker itself is healthy.
+                release_result(body)
+                self.pool._transient(self, worker_id, flight,
+                                     traceback.format_exc(),
+                                     kind="result-decode")
                 return
             self.complete(TaskResult(flight.task, value, worker_id, duration,
-                                     flight.attempts, stolen=flight.stolen))
+                                     flight.attempts, stolen=flight.stolen,
+                                     retries=flight.retries,
+                                     timed_out=flight.timed_out))
         if self.error is None:
             self.dispatch(worker_id)

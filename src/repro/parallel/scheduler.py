@@ -39,6 +39,10 @@ class PoolTask:
     payload: object
     cost: float = 1.0
     affinity: Optional[str] = None
+    #: Per-task deadline in seconds; ``None`` disables the hung-worker
+    #: watchdog for this task.  Only enforced on the parallel path (the
+    #: serial lane cannot reap itself).
+    timeout: Optional[float] = None
 
 
 @dataclass
@@ -54,6 +58,11 @@ class TaskResult:
     degraded: bool = False
     #: Executed by a worker other than its statically assigned owner.
     stolen: bool = False
+    #: Transient-failure redispatches (flaky task, undecodable result)
+    #: absorbed by the backoff-retry loop before this result landed.
+    retries: int = 0
+    #: At least one attempt blew its deadline and the worker was reaped.
+    timed_out: bool = False
 
 
 @dataclass

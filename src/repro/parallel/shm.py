@@ -30,12 +30,21 @@ probes past the last acknowledged sequence number of every worker
 incarnation so segments created by a crashed worker are swept too.
 The deterministic, strictly sequential naming is what makes the sweep
 exact: the first missing name is the end of the allocation stream.
+
+Every segment descriptor carries a CRC-32 of the payload it points at,
+verified on decode.  Without it a scribbled segment (a crashing worker,
+a stray writer, injected chaos) could decode *silently wrong* -- the
+trace columns are raw bytes, so damage there changes data rather than
+breaking a pickle.  A checksum mismatch raises
+:class:`SegmentChecksumError`, which the pool treats like any other
+decode failure: release the segments, retry the task.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import zlib
 from typing import Optional
 
 from repro.interp.trace import ColumnarTrace
@@ -64,6 +73,10 @@ def transport_threshold() -> int:
         return int(os.environ[THRESHOLD_ENV])
     except (KeyError, ValueError):
         return DEFAULT_THRESHOLD
+
+
+class SegmentChecksumError(ValueError):
+    """A shared-memory payload failed its CRC check on decode."""
 
 
 def segment_name(pool_uid: str, worker_id: int, incarnation: int,
@@ -162,12 +175,13 @@ def _encode_trace(trace: ColumnarTrace, allocator):
     segment = allocator.create(total)
     if segment is None:
         return ("trace-inline", (sids, addrs, takens, side))
-    offset = 0
+    offset, crc = 0, 0
     for chunk in (sids, addrs, takens, side):
         segment.buf[offset:offset + len(chunk)] = chunk
         offset += len(chunk)
+        crc = zlib.crc32(chunk, crc)
     segment.close()
-    return ("trace-shm", (segment.name, lengths))
+    return ("trace-shm", (segment.name, lengths, crc))
 
 
 def _encode_pickle(value, allocator):
@@ -179,7 +193,7 @@ def _encode_pickle(value, allocator):
         return ("pickle-inline", blob)
     segment.buf[:len(blob)] = blob
     segment.close()
-    return ("pickle-shm", (segment.name, len(blob)))
+    return ("pickle-shm", (segment.name, len(blob), zlib.crc32(blob)))
 
 
 def _attach(name: str):
@@ -197,6 +211,14 @@ def _consume_segment(name: str) -> bytes:
     return data
 
 
+def _verify(name: str, data: bytes, crc: int) -> None:
+    actual = zlib.crc32(data)
+    if actual != crc:
+        raise SegmentChecksumError(
+            f"segment {name!r}: payload CRC {actual:#010x} != "
+            f"recorded {crc:#010x} (corrupted in transit)")
+
+
 def decode_result(wire):
     """Invert :func:`encode_result`, unlinking any segments used."""
     tag, body = wire
@@ -205,16 +227,19 @@ def decode_result(wire):
     if tag == "pickle-inline":
         return pickle.loads(body)
     if tag == "pickle-shm":
-        name, length = body
-        return pickle.loads(_consume_segment(name)[:length])
+        name, length, crc = body
+        data = _consume_segment(name)[:length]
+        _verify(name, data, crc)
+        return pickle.loads(data)
     if tag == "trace-inline":
         sids, addrs, takens, side = body
         statics, overflow = pickle.loads(side)
         return ColumnarTrace.from_column_bytes(
             statics, sids, addrs, takens, overflow)
     if tag == "trace-shm":
-        name, lengths = body
+        name, lengths, crc = body
         data = _consume_segment(name)
+        _verify(name, data[:sum(lengths)], crc)
         chunks, offset = [], 0
         for length in lengths:
             chunks.append(data[offset:offset + length])
@@ -252,6 +277,45 @@ def release_result(wire) -> None:
     elif tag == "dict":
         for _, v in body:
             release_result(v)
+
+
+def wire_segment_names(wire) -> list[str]:
+    """Every shared-memory segment name referenced by a wire value.
+
+    Used by the chaos injector (to corrupt a result's segments before
+    the driver attaches) and by tests asserting segment hygiene; the
+    walk mirrors :func:`release_result` without touching the segments.
+    """
+    tag, body = wire
+    if tag in ("pickle-shm", "trace-shm"):
+        return [body[0]]
+    if tag in ("tuple", "list"):
+        return [name for v in body for name in wire_segment_names(v)]
+    if tag == "dict":
+        return [name for _, v in body for name in wire_segment_names(v)]
+    return []
+
+
+def corrupt_segment(name: str, garbage: bytes = b"\xff" * 24) -> bool:
+    """Overwrite the head of segment ``name`` with ``garbage``.
+
+    Chaos-injection primitive: the segment stays attachable (the driver
+    sees a normal descriptor) but its payload no longer unpickles /
+    decodes, exercising the decode-failure retry path.  Returns whether
+    a segment was actually corrupted.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        segment = _attach(name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        n = min(len(garbage), segment.size)
+        segment.buf[:n] = garbage[:n]
+    finally:
+        segment.close()
+    return True
 
 
 def sweep_worker_segments(pool_uid: str, worker_id: int, incarnation: int,

@@ -1,0 +1,159 @@
+"""SweepJournal integrity: atomic appends, torn tails, fingerprints.
+
+The resume path is only as trustworthy as the journal under it.  These
+tests attack the file directly -- truncated tails, garbage lines,
+shadowed records, concurrent multi-process writers -- and pin the
+fingerprint semantics that keep a stale entry from being reused.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.harness.journal import (JOURNAL_VERSION, SweepJournal,
+                                   point_fingerprint)
+
+pytestmark = pytest.mark.chaos_smoke
+
+
+def _spec(i: int, scale: int = 30) -> dict:
+    return {"id": f"p{i}", "figure": "fig9a", "scale": scale, "index": i}
+
+
+def _point(i: int) -> dict:
+    return {"id": f"p{i}", "cycles": 1000 + i, "ipc": 1.5}
+
+
+class TestRoundTrip:
+    def test_records_survive_a_reload(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        for i in range(4):
+            journal.record_point(_spec(i), _point(i), seconds=0.25 * i,
+                                 degraded=(i == 3), retries=i, timed_out=False)
+        loaded = SweepJournal.load(path)
+        assert loaded.header == {"kind": "header", "figure": "fig9a",
+                                 "scale": 30, "version": JOURNAL_VERSION}
+        assert set(loaded.entries) == {f"p{i}" for i in range(4)}
+        entry = loaded.entries["p2"]
+        assert entry["point"] == _point(2)
+        assert entry["seconds"] == 0.5
+        assert entry["retries"] == 2
+        assert loaded.entries["p3"]["degraded"] is True
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        loaded = SweepJournal.load(str(tmp_path / "nope.jsonl"))
+        assert loaded.header is None and loaded.entries == {}
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        journal.record_point(_spec(0), {"id": "p0", "cycles": 1}, 0.1)
+        journal.record_point(_spec(0), {"id": "p0", "cycles": 2}, 0.2)
+        loaded = SweepJournal.load(path)
+        assert loaded.entries["p0"]["point"]["cycles"] == 2
+
+    def test_fresh_start_truncates_and_append_start_keeps(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        journal.record_point(_spec(0), _point(0), 0.1)
+        SweepJournal.start(path, "fig9a", 30, fresh=False)
+        assert SweepJournal.load(path).entries  # survived the append-open
+        SweepJournal.start(path, "fig9a", 30, fresh=True)
+        assert SweepJournal.load(path).entries == {}
+
+
+class TestCorruptionTolerance:
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        for i in range(3):
+            journal.record_point(_spec(i), _point(i), 0.1)
+        whole = open(path, "rb").read()
+        # A SIGKILL mid-append leaves a partial final line.
+        with open(path, "wb") as fh:
+            fh.write(whole[:-25])
+        loaded = SweepJournal.load(path)
+        assert set(loaded.entries) == {"p0", "p1"}
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        journal.record_point(_spec(0), _point(0), 0.1)
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\xffnot json at all\n")
+            fh.write(b'{"kind": "point", "id": 42}\n')   # malformed schema
+            fh.write(b'["a", "list"]\n')
+        journal = SweepJournal(path)
+        journal.record_point(_spec(1), _point(1), 0.1)   # append after junk
+        loaded = SweepJournal.load(path)
+        assert set(loaded.entries) == {"p0", "p1"}
+        assert loaded.header is not None
+
+
+class TestFingerprints:
+    def test_fingerprint_is_canonical_over_key_order(self):
+        a = {"id": "p0", "scale": 30, "figure": "fig9a"}
+        b = {"figure": "fig9a", "id": "p0", "scale": 30}
+        assert point_fingerprint(a) == point_fingerprint(b)
+
+    def test_changed_input_changes_fingerprint(self):
+        assert point_fingerprint(_spec(0, scale=30)) != \
+            point_fingerprint(_spec(0, scale=32))
+
+    def test_reusable_excludes_stale_entries(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        journal.record_point(_spec(0, scale=30), _point(0), 0.1)
+        journal.record_point(_spec(1, scale=30), _point(1), 0.1)
+        loaded = SweepJournal.load(path)
+        # p0 re-requested at the recorded scale; p1 at a new scale.
+        reuse = loaded.reusable([_spec(0, scale=30), _spec(1, scale=32)])
+        assert set(reuse) == {"p0"}
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal.start(path, "fig9a", 30)
+        journal.record_point(_spec(0), _point(0), 0.1)
+        import repro.harness.journal as journal_module
+        monkeypatch.setattr(journal_module, "JOURNAL_VERSION",
+                            JOURNAL_VERSION + 1)
+        loaded = SweepJournal.load(path)
+        assert loaded.reusable([_spec(0)]) == {}
+
+
+def _hammer(path: str, writer: int, count: int) -> None:
+    journal = SweepJournal(path)
+    for i in range(count):
+        spec = {"id": f"w{writer}:{i}", "writer": writer, "index": i}
+        journal.record_point(spec, {"id": spec["id"], "cycles": i}, 0.0)
+
+
+class TestConcurrentWriters:
+    def test_interleaved_appends_never_tear(self, tmp_path):
+        """POSIX O_APPEND atomicity in anger: three processes hammer
+        one journal; every record must parse and none may be lost."""
+        path = str(tmp_path / "sweep.jsonl")
+        SweepJournal.start(path, "fig9a", 30)
+        count = 150
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_hammer, args=(path, w, count))
+                 for w in range(3)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines()
+        # Every line is whole valid JSON -- no intra-line interleaving.
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 3 * count + 1  # + header
+        loaded = SweepJournal.load(path)
+        assert len(loaded.entries) == 3 * count
+        assert all(loaded.entries[f"w{w}:{i}"]["point"]["cycles"] == i
+                   for w in range(3) for i in range(count))

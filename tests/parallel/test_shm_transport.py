@@ -19,12 +19,15 @@ from repro.ir.types import gen_reg, pred_reg
 from repro.parallel import (
     PoolTask,
     SegmentAllocator,
+    SegmentChecksumError,
     WorkerPool,
+    corrupt_segment,
     decode_result,
     encode_result,
     release_result,
     shm_available,
     sweep_worker_segments,
+    wire_segment_names,
 )
 
 pytestmark = pytest.mark.parallel_smoke
@@ -124,6 +127,35 @@ class TestRoundTrip:
         release_result(wire)
         assert not _leftover_segments()
         release_result(wire)  # idempotent on already-gone segments
+
+
+class TestIntegrity:
+    @needs_shm
+    def test_corrupted_trace_segment_fails_decode_loudly(self):
+        # Trace columns are raw bytes: without the CRC a scribbled
+        # segment would decode into silently wrong data.
+        allocator = SegmentAllocator("ck1", 0)
+        allocator.threshold = 1
+        wire = encode_result(make_trace(), allocator)
+        assert wire[0] == "trace-shm"
+        assert corrupt_segment(wire[1][0])
+        with pytest.raises(SegmentChecksumError, match="CRC"):
+            decode_result(wire)
+        assert not _leftover_segments()  # failed decode still unlinks
+
+    @needs_shm
+    def test_corrupted_pickle_segment_fails_decode_loudly(self):
+        allocator = SegmentAllocator("ck2", 0)
+        allocator.threshold = 1
+        wire = encode_result({"rows": set(range(4000))}, allocator)
+        names = wire_segment_names(wire)
+        assert names and all(corrupt_segment(name) for name in names)
+        with pytest.raises(SegmentChecksumError):
+            decode_result(wire)
+        assert not _leftover_segments()
+
+    def test_corrupt_segment_reports_missing_segment(self):
+        assert corrupt_segment("repro-no-such-segment") is False
 
 
 class TestSweep:
