@@ -15,7 +15,10 @@ Commands:
 * ``bench`` -- parallel Fig. 9 sweeps with a naive-vs-cached wall-clock
   comparison; see ``docs/PERFORMANCE.md``;
 * ``fuzz`` -- differential fuzzing campaign (random loops, sequential
-  vs. pipelined oracle); see ``docs/FUZZING.md``.
+  vs. pipelined oracle); see ``docs/FUZZING.md``;
+* ``serve`` -- the compile-service daemon (asyncio HTTP/JSON over the
+  warm worker pool); see ``docs/SERVICE.md``;
+* ``submit`` -- send one experiment request to a running daemon.
 """
 
 from __future__ import annotations
@@ -34,6 +37,46 @@ from repro.machine.config import (
     MachineConfig,
 )
 from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer.
+
+    Guards the knobs where zero or a negative value is never a mode
+    (``--jobs``, ``--port``, ``--max-inflight``): a typo like
+    ``--jobs -2`` must die at the parser with a usage error, not leak
+    into the pool as a silent clamp.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (``--task-timeout``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value!r}")
+    return value
+
+
+def _port(text: str) -> int:
+    """argparse type: a TCP port in [1, 65535] (0 = ephemeral is a
+    footgun for a daemon whose callers need a known address)."""
+    value = _positive_int(text)
+    if value > 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be in [1, 65535], got {value}")
+    return value
 
 
 def _machine(args) -> MachineConfig:
@@ -622,6 +665,119 @@ def cmd_fuzz(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_inflight=args.max_inflight,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        batch_window=args.batch_window,
+        task_timeout=args.task_timeout,
+    )
+
+
+def cmd_submit(args) -> int:
+    """``submit``: one experiment request against a running daemon.
+
+    Builds the protocol body from the same machine knobs ``run`` takes,
+    so ``repro run wc --comm-latency 5`` and ``repro submit wc
+    --comm-latency 5`` describe the same experiment.  Exit codes: 0 ok,
+    1 the experiment itself failed, 2 usage, 5 the service refused or
+    was unreachable.
+    """
+    import json
+
+    from repro.service.client import ReproClient, ServiceError
+
+    request: dict = {
+        "machine": {
+            "core": "half" if args.half_width else "full",
+            "comm_latency": args.comm_latency,
+            "queue_size": args.queue_size,
+        },
+    }
+    if args.ir:
+        try:
+            with open(args.ir) as fh:
+                request["ir"] = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.ir}: {exc}", file=sys.stderr)
+            return 2
+        if not args.loop_header:
+            print("error: --ir requires --loop-header", file=sys.stderr)
+            return 2
+        request["loop_header"] = args.loop_header
+        request["check"] = False
+    else:
+        if not args.workload:
+            print("error: submit needs a WORKLOAD (or --ir FILE)",
+                  file=sys.stderr)
+            return 2
+        request["workload"] = args.workload
+    if args.scale is not None:
+        request["scale"] = args.scale
+
+    client = ReproClient(host=args.host, port=args.port,
+                         timeout=args.timeout, tenant=args.tenant)
+    try:
+        if args.stream:
+            outcome = None
+            for event in client.submit_stream(request):
+                if event.get("event") == "done":
+                    outcome = event
+                elif not args.json:
+                    print(f"event: {event.get('event')}"
+                          + (" (coalesced)" if event.get("coalesced")
+                             else ""))
+            if outcome is None:
+                print("error: stream ended without a result",
+                      file=sys.stderr)
+                return 5
+        else:
+            outcome = client.submit(request)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 5
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 5
+
+    if args.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+        return 0 if outcome.get("status") == "ok" else 1
+    if outcome.get("status") != "ok":
+        print(f"error: {outcome.get('error')}: {outcome.get('detail')}",
+              file=sys.stderr)
+        return 1
+    payload = outcome["payload"]
+    trace = outcome.get("trace", {})
+    print(f"workload:        {payload['workload']} "
+          f"({payload['paper_benchmark']})")
+    print(f"baseline cycles: {payload['baseline']['cycles']} "
+          f"(IPC {payload['baseline']['ipc']:.2f})")
+    if payload.get("pipeline"):
+        ipcs = ", ".join(f"{v:.2f}"
+                         for v in payload["pipeline"]["per_core_ipc"])
+        print(f"DSWP cycles:     {payload['pipeline']['cycles']} "
+              f"(per-core IPC {ipcs})")
+    print(f"loop speedup:    {payload['loop_speedup']:.3f}x")
+    print(f"program speedup: {payload['program_speedup']:.3f}x")
+    print(f"fingerprint:     {payload['fingerprints']['baseline'][:16]} / "
+          + (payload["fingerprints"]["pipeline"][:16]
+             if payload["fingerprints"]["pipeline"] else "n/a"))
+    served = ("cache" if outcome.get("cached")
+              else f"computed (+{outcome.get('coalesced_with', 0)} coalesced)")
+    print(f"served from:     {served}; trace {trace.get('trace_id', '?')} "
+          f"request {trace.get('request_id', '?')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -709,7 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default="all")
     bench_p.add_argument("--scale", type=int, default=800,
                          help="loop trip count per workload (default 800)")
-    bench_p.add_argument("--jobs", type=int, default=0,
+    bench_p.add_argument("--jobs", type=_positive_int, default=None,
                          help="worker processes (default: cpu count)")
     bench_p.add_argument("--out", default=".",
                          help="directory for BENCH_<figure>.json reports")
@@ -735,11 +891,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "worker pool (kill/hang/slow/flaky/corrupt; "
                               "results must stay identical -- see "
                               "docs/CHAOS.md)")
-    bench_p.add_argument("--task-timeout", type=float, default=None,
-                         dest="task_timeout", metavar="SECONDS",
+    bench_p.add_argument("--task-timeout", type=_positive_float,
+                         default=None, dest="task_timeout",
+                         metavar="SECONDS",
                          help="per-task deadline before a hung worker is "
-                              "reaped (default: derived from the fitted "
-                              "cost model; 0 disables deadlines)")
+                              "reaped (positive seconds; default: derived "
+                              "from the fitted cost model)")
     bench_p.add_argument("--resume", action="store_true",
                          help="reuse completed points from the sweep "
                               "journal (SWEEP_<figure>.jsonl in --out) and "
@@ -762,7 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "running a campaign")
     fuzz_p.add_argument("--no-shrink", action="store_true", dest="no_shrink",
                         help="write failing cases without minimizing them")
-    fuzz_p.add_argument("--jobs", type=int, default=1,
+    fuzz_p.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes for the differential checks "
                              "(results are independent of this; default 1)")
     fuzz_p.add_argument("--max-failures", type=int, default=10,
@@ -772,6 +929,72 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="metrics_out",
                         help="write campaign counters (cases, runs, "
                              "divergences, ...) as a metrics snapshot")
+
+    serve_p = sub.add_parser(
+        "serve", help="compile-service daemon over the warm worker pool "
+                      "(docs/SERVICE.md)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=_port, default=8765,
+                         help="TCP port (default 8765)")
+    serve_p.add_argument("--jobs", type=_positive_int, default=2,
+                         help="warm worker processes (default 2)")
+    serve_p.add_argument("--max-inflight", type=_positive_int, default=64,
+                         dest="max_inflight",
+                         help="admitted-but-unanswered request cap; above "
+                              "it new submits get 503 (default 64)")
+    serve_p.add_argument("--quota-rate", type=float, default=0.0,
+                         dest="quota_rate", metavar="PER_SECOND",
+                         help="per-tenant token-bucket refill rate; 0 "
+                              "disables quotas (default 0)")
+    serve_p.add_argument("--quota-burst", type=_positive_float, default=8.0,
+                         dest="quota_burst",
+                         help="per-tenant token-bucket capacity (default 8)")
+    serve_p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                         help="persist response payloads and worker "
+                              "artefacts under this directory")
+    serve_p.add_argument("--batch-window", type=_positive_float,
+                         default=0.02, dest="batch_window",
+                         metavar="SECONDS",
+                         help="micro-batch collection window before "
+                              "dispatch (default 0.02)")
+    serve_p.add_argument("--task-timeout", type=_positive_float,
+                         default=None, dest="task_timeout",
+                         metavar="SECONDS",
+                         help="per-task deadline before a hung worker is "
+                              "reaped (positive seconds; default: none)")
+
+    submit_p = sub.add_parser(
+        "submit", help="send one experiment to a running daemon"
+    )
+    submit_p.add_argument("workload", nargs="?", default=None)
+    submit_p.add_argument("--ir", default=None, metavar="FILE",
+                          help="submit raw IR text from FILE instead of a "
+                               "registered workload (requires "
+                               "--loop-header; no oracle check)")
+    submit_p.add_argument("--loop-header", default=None, dest="loop_header",
+                          help="DSWP target loop header label (with --ir)")
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=_port, default=8765)
+    submit_p.add_argument("--scale", type=_positive_int, default=None,
+                          help="loop trip count (default: workload default)")
+    submit_p.add_argument("--comm-latency", type=int, default=1,
+                          dest="comm_latency")
+    submit_p.add_argument("--queue-size", type=int, default=32,
+                          dest="queue_size")
+    submit_p.add_argument("--half-width", action="store_true",
+                          dest="half_width",
+                          help="use 3-issue cores instead of 6-issue")
+    submit_p.add_argument("--tenant", default="default",
+                          help="quota accounting identity (default "
+                               "'default')")
+    submit_p.add_argument("--stream", action="store_true",
+                          help="stream NDJSON progress events")
+    submit_p.add_argument("--timeout", type=_positive_float, default=300.0,
+                          help="client-side socket timeout in seconds")
+    submit_p.add_argument("--json", action="store_true",
+                          help="emit the raw outcome document")
     return parser
 
 
@@ -787,6 +1010,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "dot": cmd_dot,
         "bench": cmd_bench,
         "fuzz": cmd_fuzz,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }
     try:
         return handlers[args.command](args)

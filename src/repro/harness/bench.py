@@ -50,6 +50,7 @@ from repro.harness.runner import MAX_STEPS, BaselineRun, run_dswp
 from repro.interp.reference import run_function_reference
 from repro.machine.batch import BatchedSimulator
 from repro.machine.cmp import simulate
+from repro.machine.fingerprint import sim_fingerprint
 from repro.machine.reference import simulate_reference
 from repro.machine.config import (
     FULL_WIDTH_CORE,
@@ -179,34 +180,13 @@ def batch_groups(points: list[dict]) -> list[list[dict]]:
 def _batch_fingerprint(sim) -> str:
     """Deep content digest of a :class:`~repro.machine.stats.SimResult`.
 
-    Covers every observable the per-config oracle produces -- not just
-    the summary tuple: instruction/flow counts, completion clocks,
-    every stall record, cache hit/miss statistics, branch-predictor
-    state, and the full per-queue visible/freed event lists.  Two
-    results with equal fingerprints are bit-identical for every table
-    the CLI or the figures can print.
+    The shared implementation lives in
+    :func:`repro.machine.fingerprint.sim_fingerprint` (the compile
+    service stamps served results with the same digest); this
+    module-level name stays so tests can monkeypatch the bench lane's
+    comparator in isolation.
     """
-    payload = []
-    for core in sim.cores:
-        payload.append((
-            core.index,
-            core.instructions_executed,
-            core.flow_instructions,
-            core.last_completion,
-            tuple((s.kind, s.start, s.end, s.queue) for s in core.stalls),
-            tuple(sorted(core.caches.stats().items())),
-            tuple(sorted(core.predictor._counters.items())),
-            core.predictor.lookups,
-            core.predictor.mispredicts,
-        ))
-    if sim.queues is not None:
-        payload.append((
-            tuple(sorted((q, tuple(v))
-                         for q, v in sim.queues.visible.items())),
-            tuple(sorted((q, tuple(v))
-                         for q, v in sim.queues.freed.items())),
-        ))
-    return hashlib.sha256(repr(payload).encode()).hexdigest()
+    return sim_fingerprint(sim)
 
 
 # ----------------------------------------------------------------------

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from typing import Callable, Optional
 
 from repro.analysis.memdep import AliasModel
@@ -356,3 +357,70 @@ class ExperimentCache:
             "corrupt_evictions": self.corrupt_evictions,
             **self._object_counts,
         }
+
+
+class ShardedExperimentCache:
+    """A bank of :class:`ExperimentCache` shards for concurrent readers.
+
+    One :class:`ExperimentCache` is single-threaded by design (the
+    sweep drivers own one per worker process).  The compile service
+    has a different shape: many asyncio requests and a dispatcher
+    thread all consult one shared response/artefact cache.  Sharding
+    gives it safe concurrency without a global lock: keys route to a
+    shard by content hash (stable across processes and runs), each
+    shard is guarded by its own mutex, and readers of different shards
+    never contend.  Shard ``i`` persists under
+    ``<persist_dir>/shard-<i>``, so the disk layer inherits the same
+    partitioning and two shards never race on one file.
+
+    Only the generic object layer (:meth:`get_object` /
+    :meth:`put_object`) and :meth:`stats` are exposed: the service
+    caches *response payloads* keyed by request content hash; the
+    functional artefact layers stay per-worker where the arena already
+    owns them.
+    """
+
+    def __init__(self, persist_dir: Optional[str] = None, shards: int = 8,
+                 log: Optional[Callable[[str], None]] = None,
+                 metrics=None) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._shards = [
+            ExperimentCache(
+                persist_dir=(os.path.join(persist_dir, f"shard-{i}")
+                             if persist_dir is not None else None),
+                log=log, metrics=metrics,
+            )
+            for i in range(shards)
+        ]
+
+    def shard_index(self, key) -> int:
+        """Stable shard routing: content hash of the key's repr."""
+        digest = hashlib.sha256(repr(key).encode()).digest()
+        return int.from_bytes(digest[:4], "big") % self.shards
+
+    # ------------------------------------------------------------------
+    def get_object(self, kind: str, key) -> Optional[object]:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            return self._shards[index].get_object(kind, key)
+
+    def put_object(self, kind: str, key, obj: object) -> None:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            self._shards[index].put_object(kind, key, obj)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Aggregated counters across every shard (flat ints, so two
+        snapshots difference with plain integer arithmetic, exactly
+        like :meth:`ExperimentCache.stats`)."""
+        totals: dict[str, int] = {}
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                snapshot = shard.stats()
+            for key, value in snapshot.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,55 @@
+"""Deep content fingerprints for simulation results.
+
+:func:`sim_fingerprint` digests every observable a
+:class:`~repro.machine.stats.SimResult` carries -- not just the summary
+tuple: instruction/flow counts, completion clocks, every stall record,
+cache hit/miss statistics, branch-predictor state, and the full
+per-queue visible/freed event lists.  Two results with equal
+fingerprints are bit-identical for every table the CLI or the figures
+can print.
+
+The bench runner uses it to gate the batched simulation lane against
+the per-config oracle (``docs/PERFORMANCE.md``), and the compile
+service uses it to stamp every served result so clients -- and the
+``serve_smoke`` tier -- can prove a served experiment bit-identical to
+an in-process :func:`~repro.harness.runner.run_experiment`
+(``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sim_fingerprint(sim) -> str:
+    """Deep content digest of a :class:`~repro.machine.stats.SimResult`."""
+    payload = []
+    for core in sim.cores:
+        payload.append((
+            core.index,
+            core.instructions_executed,
+            core.flow_instructions,
+            core.last_completion,
+            tuple((s.kind, s.start, s.end, s.queue) for s in core.stalls),
+            tuple(sorted(core.caches.stats().items())),
+            # Predictor counters are keyed by instruction uid -- a
+            # process-global allocation counter, so absolute keys shift
+            # between two builds of the same workload (and between a
+            # service worker and an in-process reference run).  The
+            # *relative* uid order of a deterministic build is stable,
+            # so hash the counters in key-rank order instead of by raw
+            # key: content identity survives the offset, divergence in
+            # any counter value or site count still changes the digest.
+            tuple(value for _, value in
+                  sorted(core.predictor._counters.items())),
+            core.predictor.lookups,
+            core.predictor.mispredicts,
+        ))
+    if sim.queues is not None:
+        payload.append((
+            tuple(sorted((q, tuple(v))
+                         for q, v in sim.queues.visible.items())),
+            tuple(sorted((q, tuple(v))
+                         for q, v in sim.queues.freed.items())),
+        ))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()

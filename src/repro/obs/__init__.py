@@ -26,6 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.envelope import (
+    REQUEST_HEADER,
+    SPAN_HEADER,
+    TRACE_HEADER,
+    TraceEnvelope,
+)
 from repro.obs.export import (
     TraceValidationError,
     build_chrome_trace,
@@ -94,7 +100,11 @@ __all__ = [
     "NULL_OBS",
     "NULL_TRACER",
     "ObsConfig",
+    "REQUEST_HEADER",
+    "SPAN_HEADER",
     "Series",
+    "TRACE_HEADER",
+    "TraceEnvelope",
     "Tracer",
     "TraceValidationError",
     "WALL_PID",

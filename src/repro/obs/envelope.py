@@ -1,0 +1,93 @@
+"""Per-request trace envelopes: span identity that crosses processes.
+
+The tracer in :mod:`repro.obs.spans` records *local* spans; a service
+request travels further -- accepted on the asyncio thread, queued,
+dispatched onto a pool worker in another process, and answered over
+HTTP.  A :class:`TraceEnvelope` is the identity that makes those hops
+one trace: a ``trace_id`` minted per request, a ``span_id`` per hop,
+and the ``parent_span_id`` linking a hop to the one that caused it.
+
+Envelopes serialise two ways:
+
+* :meth:`TraceEnvelope.to_dict` / :meth:`from_dict` -- the JSON shape
+  embedded in service responses, NDJSON progress events and pool task
+  payloads;
+* :meth:`TraceEnvelope.to_headers` / :meth:`from_headers` -- the
+  ``X-Repro-*`` HTTP headers a client may send to join a request into
+  an existing trace (and the server always returns).
+
+Ids are 16-hex-digit strings from :func:`os.urandom` -- unique without
+any coordination, cheap to mint per request.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: HTTP header names the service reads and writes.
+TRACE_HEADER = "x-repro-trace-id"
+SPAN_HEADER = "x-repro-span-id"
+REQUEST_HEADER = "x-repro-request-id"
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass
+class TraceEnvelope:
+    """Identity of one hop of one traced request."""
+
+    trace_id: str = field(default_factory=_new_id)
+    span_id: str = field(default_factory=_new_id)
+    parent_span_id: Optional[str] = None
+    #: Service-assigned request id (``req-<n>-<hex>``); empty until the
+    #: server accepts the request.
+    request_id: str = ""
+
+    def child(self) -> "TraceEnvelope":
+        """A new span in the same trace, parented to this one."""
+        return TraceEnvelope(trace_id=self.trace_id,
+                             parent_span_id=self.span_id,
+                             request_id=self.request_id)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {"trace_id": self.trace_id, "span_id": self.span_id,
+               "request_id": self.request_id}
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEnvelope":
+        return cls(
+            trace_id=str(data.get("trace_id") or _new_id()),
+            span_id=str(data.get("span_id") or _new_id()),
+            parent_span_id=(str(data["parent_span_id"])
+                            if data.get("parent_span_id") else None),
+            request_id=str(data.get("request_id") or ""),
+        )
+
+    # ------------------------------------------------------------------
+    def to_headers(self) -> dict[str, str]:
+        headers = {TRACE_HEADER: self.trace_id, SPAN_HEADER: self.span_id}
+        if self.request_id:
+            headers[REQUEST_HEADER] = self.request_id
+        return headers
+
+    @classmethod
+    def from_headers(cls, headers: dict[str, str]) -> "TraceEnvelope":
+        """Join the caller's trace when it sent one, else start fresh.
+
+        The caller's span becomes the *parent*: the envelope this
+        returns is the server-side hop of the same trace.
+        """
+        lowered = {k.lower(): v for k, v in headers.items()}
+        trace_id = lowered.get(TRACE_HEADER)
+        parent = lowered.get(SPAN_HEADER)
+        if trace_id:
+            return cls(trace_id=trace_id, parent_span_id=parent or None)
+        return cls()

@@ -63,9 +63,11 @@ The pool is the execution half of the fabric (scheduling lives in
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import random
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -244,6 +246,13 @@ class WorkerPool:
         self._workers: list[_Worker] = []
         self._acked_seq: dict[tuple[int, int], int] = {}
         self._closed = False
+        #: Reentrancy guard for :meth:`close` (a signal handler that
+        #: interrupts a close in progress must return, not escalate).
+        self._closing = False
+        self._close_lock = threading.Lock()
+        #: Serialises :meth:`run` across lease holders (reentrant, so a
+        #: lease holder's own ``run`` calls nest freely).
+        self._lease_lock = threading.RLock()
         self.crashes = 0
         self.fallbacks = 0
         self.timeouts = 0
@@ -271,6 +280,35 @@ class WorkerPool:
         for worker_id in range(self.jobs):
             inbox = self._ctx.SimpleQueue()
             self._workers.append(self._spawn(worker_id, inbox, 0))
+
+    def warm(self) -> None:
+        """Fork the workers now instead of lazily on the first run.
+
+        Long-lived callers (the compile service) warm the pool from
+        their main thread *before* starting auxiliary threads: forking
+        a multi-threaded process can copy another thread's held locks
+        into the child, and a pool warmed early never has to.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._start_workers()
+
+    @contextlib.contextmanager
+    def lease(self):
+        """Exclusive use of the pool for one logical client.
+
+        Concurrent threads sharing one warm pool (service dispatchers,
+        parallel test drivers) each wrap their :meth:`run` calls in a
+        lease; holders queue FIFO on the internal lock, and every run
+        still gets exact scheduling and accounting because only one
+        lease executes at a time.  The lock is reentrant: a lease
+        holder may call :meth:`run` (which takes the same lock) or
+        nest leases without deadlocking.
+        """
+        with self._lease_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            yield self
 
     def _spawn(self, worker_id: int, inbox, incarnation: int) -> _Worker:
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
@@ -325,10 +363,31 @@ class WorkerPool:
         ``JOIN_TIMEOUT`` -- a closed pool never leaves processes
         behind.  Escalations are counted in ``workers_killed`` and the
         ``pool.workers_killed`` metric.
+
+        ``close()`` is idempotent and safe to call from signal
+        handlers: a second call -- including one that interrupts a
+        close already in progress on this or another thread -- returns
+        immediately instead of re-escalating terminate/kill against
+        workers the first close already reaped (the service's SIGTERM
+        drain path closes the pool it may also be closing normally).
         """
-        if self._closed:
+        if self._closed or self._closing:
             return
-        self._closed = True
+        if not self._close_lock.acquire(blocking=False):
+            # A close is mid-flight on another thread (or this call
+            # interrupted it from a signal handler): it owns shutdown.
+            return
+        try:
+            if self._closed:
+                return
+            self._closing = True
+            self._closed = True
+            self._close_impl()
+        finally:
+            self._closing = False
+            self._close_lock.release()
+
+    def _close_impl(self) -> None:
         killed_before = self.workers_killed
         for worker in self._workers:
             if worker.process.is_alive():
@@ -430,10 +489,16 @@ class WorkerPool:
         ids = [t.id for t in tasks]
         if len(set(ids)) != len(ids):
             raise ValueError("task ids must be unique")
-        if self.jobs <= 1:
-            results = self._run_serial(tasks, cancel, on_result)
-        else:
-            results = self._run_parallel(tasks, cancel, on_result)
+        # One run at a time: concurrent lease holders queue here (see
+        # :meth:`lease`); the lock is reentrant so a holder's own call
+        # enters immediately.
+        with self._lease_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if self.jobs <= 1:
+                results = self._run_serial(tasks, cancel, on_result)
+            else:
+                results = self._run_parallel(tasks, cancel, on_result)
         return [results[t.id] for t in tasks if t.id in results]
 
     def _run_serial(self, tasks, cancel, on_result) -> dict[str, TaskResult]:

@@ -1,0 +1,70 @@
+"""Compilation-as-a-service: a long-lived daemon over the warm fabric.
+
+``python -m repro serve`` turns the one-shot experiment harness into a
+request/response service (see ``docs/SERVICE.md``): a zero-dependency
+asyncio HTTP/JSON daemon that accepts compile+simulate requests
+(registered workload name or raw IR text, plus machine configuration
+and scale), admission-controls them (per-tenant token-bucket quotas,
+a bounded in-flight window, 429/503 semantics), coalesces identical
+in-flight requests, batches compatible configurations into
+:class:`~repro.machine.batch.BatchedSimulator` lane groups on a shared
+warm :class:`~repro.parallel.WorkerPool`, and serves results that are
+bit-identical to an in-process
+:func:`~repro.harness.runner.run_experiment` -- fingerprint-stamped so
+clients can prove it.
+
+Layers (each importable and testable on its own):
+
+* :mod:`repro.service.protocol` -- request validation, content-hash
+  keys, result payloads;
+* :mod:`repro.service.admission` -- token buckets and the in-flight
+  window;
+* :mod:`repro.service.worker` -- the pool task function (runs in
+  worker processes);
+* :mod:`repro.service.session` -- coalescing, micro-batching, the
+  dispatcher thread, graceful draining;
+* :mod:`repro.service.server` -- the asyncio HTTP front end
+  (``/v1/experiments``, ``/healthz``, ``/metrics``, NDJSON streaming);
+* :mod:`repro.service.client` -- :class:`ReproClient`, the stdlib
+  client the tests and ``python -m repro submit`` use.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionError,
+    Draining,
+    QuotaExceeded,
+    Saturated,
+    TokenBucket,
+)
+from repro.service.client import ReproClient, ServiceError
+from repro.service.protocol import (
+    ExperimentRequest,
+    ProtocolError,
+    experiment_payload,
+    machine_from_spec,
+    parse_request,
+)
+from repro.service.server import ReproServer, serve
+from repro.service.session import ServiceSession
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "Draining",
+    "ExperimentRequest",
+    "ProtocolError",
+    "QuotaExceeded",
+    "ReproClient",
+    "ReproServer",
+    "Saturated",
+    "ServiceError",
+    "ServiceSession",
+    "TokenBucket",
+    "experiment_payload",
+    "machine_from_spec",
+    "parse_request",
+    "serve",
+]

@@ -1,0 +1,211 @@
+"""Admission control: token-bucket quotas and a bounded in-flight window.
+
+The daemon accepts work it can finish.  Two independent gates, checked
+in order on every submit:
+
+* **saturation / draining** -- a hard cap on requests admitted but not
+  yet answered (``max_inflight``), and a drain flag set on SIGTERM.
+  Both answer 503 with ``Retry-After``: the condition is the server's,
+  not the caller's, and retrying elsewhere/later is correct.
+* **per-tenant quota** -- a classic token bucket (``rate`` tokens/s,
+  ``burst`` capacity) per tenant string.  Answers 429: the condition is
+  the caller's, and *this* caller should back off.
+
+Order matters: a saturated server must say 503 even to a tenant that is
+also out of quota, so load-shedding proxies see the server state first.
+
+Coalesced requests (section :mod:`repro.service.session`) are admitted
+individually -- each occupies an in-flight slot and spends a token even
+when it shares the underlying computation, so a single tenant cannot
+use duplicates to dodge its quota.
+
+Everything here is thread-safe and clock-injectable; tests drive the
+bucket with a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class AdmissionError(Exception):
+    """A refused submit, with its HTTP answer attached."""
+
+    status = 503
+    code = "unavailable"
+    #: Seconds the client should wait before retrying.
+    retry_after = 1.0
+
+    def __init__(self, detail: str, retry_after: Optional[float] = None) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        if retry_after is not None:
+            self.retry_after = retry_after
+
+    def to_dict(self) -> dict:
+        return {"error": self.code, "detail": self.detail,
+                "retry_after": self.retry_after}
+
+
+class QuotaExceeded(AdmissionError):
+    """Tenant out of tokens: 429, this caller backs off."""
+
+    status = 429
+    code = "quota-exceeded"
+
+
+class Saturated(AdmissionError):
+    """In-flight window full: 503, retry later or elsewhere."""
+
+    status = 503
+    code = "saturated"
+
+
+class Draining(AdmissionError):
+    """Server is shutting down gracefully: 503, do not retry here."""
+
+    status = 503
+    code = "draining"
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    Starts full.  ``rate <= 0`` disables the quota (every take
+    succeeds) -- the single-user default.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def wait_time(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available."""
+        if self.rate <= 0:
+            return 0.0
+        with self._lock:
+            self._refill()
+            deficit = amount - self._tokens
+            return max(0.0, deficit / self.rate)
+
+
+class AdmissionController:
+    """The submit-path gate: saturation, drain state, tenant quotas."""
+
+    def __init__(self, max_inflight: int = 64, quota_rate: float = 0.0,
+                 quota_burst: float = 8.0, metrics=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self.quota_rate = float(quota_rate)
+        self.quota_burst = float(quota_burst)
+        self.metrics = metrics
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._draining = False
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def start_draining(self) -> None:
+        with self._lock:
+            self._draining = True
+            self._idle.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has been released."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+            return True
+
+    # -- the gate -------------------------------------------------------
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.quota_rate, self.quota_burst,
+                                 clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _count_rejection(self, code: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("service.rejected", reason=code).inc()
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request or raise the matching refusal.
+
+        On success one in-flight slot is held until :meth:`release`.
+        """
+        with self._lock:
+            if self._draining:
+                self._count_rejection(Draining.code)
+                raise Draining("server is draining; submit elsewhere",
+                               retry_after=5.0)
+            if self._inflight >= self.max_inflight:
+                self._count_rejection(Saturated.code)
+                raise Saturated(
+                    f"{self._inflight} requests in flight "
+                    f"(max {self.max_inflight})", retry_after=1.0)
+            bucket = self._bucket(tenant)
+            if not bucket.try_take():
+                self._count_rejection(QuotaExceeded.code)
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} out of quota "
+                    f"({self.quota_rate:g}/s, burst {self.quota_burst:g})",
+                    retry_after=max(0.05, bucket.wait_time()))
+            self._inflight += 1
+            if self.metrics is not None:
+                self.metrics.gauge("service.inflight").set(self._inflight)
+
+    def release(self) -> None:
+        """Return one in-flight slot (called when the answer is sent)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without matching admit()")
+            self._inflight -= 1
+            if self.metrics is not None:
+                self.metrics.gauge("service.inflight").set(self._inflight)
+            if self._inflight == 0:
+                self._idle.notify_all()

@@ -1,0 +1,144 @@
+""":class:`ReproClient`: the stdlib client for the compile service.
+
+Built on :mod:`http.client` (one connection per call -- the server
+answers ``Connection: close``), so scripts, the ``python -m repro
+submit`` verb and the smoke tests all talk to the daemon without any
+dependency.  Errors become :class:`ServiceError` carrying the HTTP
+status, the server's error code and ``Retry-After`` when the refusal
+was admission control (429/503).
+
+Every call can carry a :class:`~repro.obs.TraceEnvelope`; the client
+sends its headers and returns the server's echoed envelope inside the
+payload's ``trace`` block, so a caller that fans out many requests can
+stitch the spans back into one trace.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Optional
+
+from repro.obs import TraceEnvelope
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, code: str, detail: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(f"[{status} {code}] {detail}")
+        self.status = status
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class ReproClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 120.0, tenant: str = "default") -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.tenant = tenant
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _headers(self, envelope: Optional[TraceEnvelope]) -> dict:
+        headers = {"Content-Type": "application/json"}
+        if envelope is not None:
+            headers.update(envelope.to_headers())
+        return headers
+
+    @staticmethod
+    def _raise_for(status: int, payload: dict, headers) -> None:
+        retry_after = None
+        raw = headers.get("Retry-After") if headers is not None else None
+        if raw:
+            try:
+                retry_after = float(raw)
+            except ValueError:
+                retry_after = None
+        raise ServiceError(status, str(payload.get("error", "error")),
+                           str(payload.get("detail", payload)),
+                           retry_after=retry_after)
+
+    def _get(self, path: str) -> dict:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode())
+            if response.status != 200:
+                self._raise_for(response.status, payload, response.headers)
+            return payload
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._get("/healthz")
+
+    def metrics(self) -> dict:
+        return self._get("/metrics")
+
+    def _body(self, request: dict) -> bytes:
+        request = dict(request)
+        request.setdefault("tenant", self.tenant)
+        return json.dumps(request).encode()
+
+    def submit(self, request: dict,
+               envelope: Optional[TraceEnvelope] = None) -> dict:
+        """Submit one experiment; block until its outcome returns.
+
+        ``request`` is the raw protocol body (see ``docs/SERVICE.md``);
+        the client fills ``tenant`` from its own default when absent.
+        Returns the outcome dict (``status``, ``payload``, ``trace``,
+        ...); raises :class:`ServiceError` on any refusal.
+        """
+        conn = self._connect()
+        try:
+            conn.request("POST", "/v1/experiments", body=self._body(request),
+                         headers=self._headers(envelope))
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode())
+            if response.status != 200:
+                self._raise_for(response.status, payload, response.headers)
+            return payload
+        finally:
+            conn.close()
+
+    def submit_stream(self, request: dict,
+                      envelope: Optional[TraceEnvelope] = None,
+                      ) -> Iterator[dict]:
+        """Submit with ``?stream=1``; yield NDJSON events as they land.
+
+        The last yielded event has ``event == "done"`` and carries the
+        full outcome.  Admission refusals and protocol errors raise
+        :class:`ServiceError` before the first yield.
+        """
+        conn = self._connect()
+        try:
+            conn.request("POST", "/v1/experiments?stream=1",
+                         body=self._body(request),
+                         headers=self._headers(envelope))
+            response = conn.getresponse()
+            if response.status != 200:
+                payload = json.loads(response.read().decode())
+                self._raise_for(response.status, payload, response.headers)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()

@@ -1,0 +1,357 @@
+"""The asyncio HTTP/1.1 front end of ``python -m repro serve``.
+
+Zero dependencies: :func:`asyncio.start_server` plus a hand-rolled
+HTTP/1.1 request parser sized for this protocol (small JSON bodies,
+one request per connection, ``Connection: close`` on every response).
+Routes:
+
+* ``POST /v1/experiments`` -- submit one experiment; JSON response, or
+  NDJSON progress events with ``?stream=1`` (``queued`` /
+  ``dispatched`` / ``result`` / ``done``, each carrying the trace
+  envelope);
+* ``GET /healthz`` -- liveness + drain state;
+* ``GET /metrics`` -- the shared :class:`~repro.obs.MetricsRegistry`
+  snapshot plus the pool's fabric counters.
+
+Trace envelopes: a client may send ``X-Repro-Trace-Id`` /
+``X-Repro-Span-Id``; the server joins that trace (caller span becomes
+parent), assigns a request id, and echoes the envelope in response
+headers and in the ``trace`` block of every payload and event.
+
+Shutdown: SIGTERM/SIGINT triggers a graceful drain *while the listener
+stays open* -- new submits are answered 503 ``draining`` (connection
+refused would look like an outage, not a drain), in-flight requests
+finish and stream their results, then the listener closes and
+:meth:`ReproServer.run` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import TraceEnvelope
+from repro.service.admission import AdmissionError
+from repro.service.protocol import ProtocolError, parse_request
+from repro.service.session import ServiceSession
+
+#: Request body cap; a legitimate request is a few KiB of JSON (IR text
+#: is itself capped at 256 KiB by the protocol layer).
+MAX_BODY_BYTES = 2 * 1024 * 1024
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8192
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 411: "Length Required",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.body = {"error": code, "detail": detail}
+
+
+class ReproServer:
+    """One listening daemon over one :class:`ServiceSession`."""
+
+    def __init__(self, session: ServiceSession, host: str = "127.0.0.1",
+                 port: int = 8765) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._drain_started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start serving; ``self.port`` becomes the bound port
+        (the CLI rejects port 0, but tests bind ephemeral ports)."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown; idempotent, callable from a signal."""
+        if self._drain_started:
+            return
+        self._drain_started = True
+        loop = asyncio.get_running_loop()
+        # The drain blocks on in-flight work; run it off-loop so those
+        # requests can still stream their answers through us.
+        await loop.run_in_executor(None, self.session.drain)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def _install_signals(self, loop: asyncio.AbstractEventLoop) -> None:
+        def _initiate() -> None:
+            loop.create_task(self.drain())
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _initiate)
+            except (NotImplementedError, RuntimeError):
+                pass
+
+    async def run(self) -> None:
+        """Serve until drained (SIGTERM/SIGINT or :meth:`drain`)."""
+        if self._server is None:
+            await self.start()
+        self._install_signals(asyncio.get_running_loop())
+        print(f"repro-service listening on http://{self.host}:{self.port}",
+              flush=True)
+        async with self._server:
+            await self._stopped.wait()
+        self._server = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, headers, body = \
+                    await self._read_request(reader)
+            except _HttpError as exc:
+                await self._respond(writer, exc.status, exc.body)
+                return
+            await self._route(method, path, query, headers, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "bad-request", "empty request")
+        if len(request_line) > MAX_LINE_BYTES:
+            raise _HttpError(400, "bad-request", "request line too long")
+        try:
+            method, target, version = \
+                request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "bad-request", "malformed request line")
+        if not version.strip().startswith("HTTP/1."):
+            raise _HttpError(400, "bad-request", "not HTTP/1.x")
+
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > MAX_LINE_BYTES:
+                raise _HttpError(400, "bad-request", "header line too long")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "bad-request",
+                                 f"malformed header {name.strip()!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "bad-request", "too many headers")
+
+        body = b""
+        if method.upper() in ("POST", "PUT"):
+            if "chunked" in headers.get("transfer-encoding", "").lower():
+                raise _HttpError(411, "length-required",
+                                 "chunked bodies are not supported; send "
+                                 "Content-Length")
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                raise _HttpError(400, "bad-request",
+                                 "malformed Content-Length")
+            if length < 0:
+                raise _HttpError(400, "bad-request",
+                                 "negative Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _HttpError(413, "too-large",
+                                 f"body larger than {MAX_BODY_BYTES} bytes")
+            if length:
+                body = await reader.readexactly(length)
+
+        split = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        return method.upper(), split.path, query, headers, body
+
+    async def _respond(self, writer, status: int, payload: dict,
+                       extra_headers: Optional[dict] = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method, path, query, headers, body, writer):
+        if path == "/healthz":
+            if method != "GET":
+                await self._respond(writer, 405, {"error": "method"})
+                return
+            await self._respond(writer, 200, self.session.status())
+            return
+        if path == "/metrics":
+            if method != "GET":
+                await self._respond(writer, 405, {"error": "method"})
+                return
+            await self._respond(writer, 200, self._metrics_payload())
+            return
+        if path == "/v1/experiments":
+            if method != "POST":
+                await self._respond(writer, 405, {
+                    "error": "method",
+                    "detail": "POST a JSON experiment request"})
+                return
+            await self._handle_experiment(query, headers, body, writer)
+            return
+        await self._respond(writer, 404, {
+            "error": "not-found",
+            "detail": "routes: POST /v1/experiments, GET /healthz, "
+                      "GET /metrics"})
+
+    def _metrics_payload(self) -> dict:
+        pool = self.session.pool
+        return {
+            "metrics": self.session.metrics.snapshot(),
+            "pool": {
+                "jobs": pool.jobs,
+                "crashes": pool.crashes,
+                "fallbacks": pool.fallbacks,
+                "timeouts": pool.timeouts,
+                "retries": pool.retries,
+                "workers_reaped": pool.workers_reaped,
+                "workers_killed": pool.workers_killed,
+            },
+            "cache": self.session.responses.stats(),
+            "status": self.session.status(),
+        }
+
+    # ------------------------------------------------------------------
+    # The submit route
+    # ------------------------------------------------------------------
+    async def _handle_experiment(self, query, headers, body, writer):
+        envelope = TraceEnvelope.from_headers(headers)
+        try:
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ProtocolError(400, "bad-json",
+                                    f"body is not valid JSON: {exc}")
+            req = parse_request(decoded)
+        except ProtocolError as exc:
+            await self._respond(writer, exc.status, exc.to_dict(),
+                                extra_headers=envelope.to_headers())
+            return
+
+        stream = query.get("stream") in ("1", "true", "yes")
+        loop = asyncio.get_running_loop()
+        events: Optional[asyncio.Queue] = asyncio.Queue() if stream else None
+
+        def subscriber(event: dict) -> None:
+            # Called from session threads; hop onto the event loop.
+            loop.call_soon_threadsafe(events.put_nowait, event)
+
+        try:
+            future = self.session.submit(
+                req, envelope=envelope,
+                subscriber=subscriber if stream else None)
+        except AdmissionError as exc:
+            await self._respond(
+                writer, exc.status, exc.to_dict(),
+                extra_headers={"Retry-After": f"{exc.retry_after:g}",
+                               **envelope.to_headers()})
+            return
+
+        if not stream:
+            outcome = await asyncio.wrap_future(future)
+            await self._send_outcome(writer, outcome, envelope)
+            return
+
+        writer.write((
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n"
+            + "".join(f"{k}: {v}\r\n"
+                      for k, v in envelope.to_headers().items())
+            + "\r\n").encode())
+        wrapped = asyncio.ensure_future(asyncio.wrap_future(future))
+        done = False
+        while not done:
+            getter = asyncio.ensure_future(events.get())
+            await asyncio.wait({getter, wrapped},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if getter.done():
+                event = getter.result()
+                done = event.get("event") == "result"
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode())
+                await writer.drain()
+            else:
+                # Outcome resolved without a result event (defensive);
+                # flush anything queued and finish the stream.
+                getter.cancel()
+                while not events.empty():
+                    event = events.get_nowait()
+                    writer.write(
+                        (json.dumps(event, sort_keys=True) + "\n").encode())
+                done = True
+        outcome = dict(await wrapped)
+        outcome["event"] = "done"
+        outcome["trace"] = envelope.to_dict()
+        writer.write((json.dumps(outcome, sort_keys=True) + "\n").encode())
+        await writer.drain()
+
+    async def _send_outcome(self, writer, outcome: dict,
+                            envelope: TraceEnvelope) -> None:
+        outcome = dict(outcome)
+        outcome["trace"] = envelope.to_dict()
+        status = 200 if outcome.get("status") == "ok" else 500
+        await self._respond(writer, status, outcome,
+                            extra_headers=envelope.to_headers())
+
+
+# ----------------------------------------------------------------------
+# CLI entry
+# ----------------------------------------------------------------------
+
+def serve(host: str = "127.0.0.1", port: int = 8765, jobs: int = 2,
+          cache_dir: Optional[str] = None, max_inflight: int = 64,
+          quota_rate: float = 0.0, quota_burst: float = 8.0,
+          batch_window: float = 0.02,
+          task_timeout: Optional[float] = None) -> int:
+    """Build a session + server and serve until drained (the CLI verb).
+
+    The session is constructed -- and its pool forked -- before the
+    event loop (and hence any thread) exists.
+    """
+    session = ServiceSession(
+        jobs=jobs, cache_dir=cache_dir, max_inflight=max_inflight,
+        quota_rate=quota_rate, quota_burst=quota_burst,
+        batch_window=batch_window, task_timeout=task_timeout)
+    server = ReproServer(session, host=host, port=port)
+    try:
+        asyncio.run(server.run())
+    finally:
+        # Belt and braces: a drain that never started (loop torn down
+        # some other way) must still close the pool.
+        session.drain(timeout=5.0)
+    return 0

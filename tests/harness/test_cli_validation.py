@@ -1,0 +1,71 @@
+"""Regression tests: CLI argument validation dies at the parser.
+
+``--jobs 0`` used to mean "cpu count" implicitly and negative values
+leaked into ``max(1, jobs)`` clamps; now every count/duration knob
+rejects zero and negatives with an argparse usage error (exit 2) and a
+message naming the offending value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser
+
+
+def _parse(argv):
+    return build_parser().parse_args(argv)
+
+
+@pytest.mark.parametrize("argv", [
+    ["bench", "--jobs", "0"],
+    ["bench", "--jobs", "-2"],
+    ["bench", "--jobs", "two"],
+    ["bench", "--task-timeout", "0"],
+    ["bench", "--task-timeout", "-1.5"],
+    ["fuzz", "--jobs", "0"],
+    ["fuzz", "--jobs", "-1"],
+    ["serve", "--port", "0"],
+    ["serve", "--port", "-80"],
+    ["serve", "--port", "65536"],
+    ["serve", "--jobs", "0"],
+    ["serve", "--max-inflight", "0"],
+    ["serve", "--max-inflight", "-5"],
+    ["serve", "--quota-burst", "0"],
+    ["serve", "--batch-window", "0"],
+    ["serve", "--task-timeout", "0"],
+    ["submit", "wc", "--port", "0"],
+    ["submit", "wc", "--scale", "0"],
+    ["submit", "wc", "--timeout", "-1"],
+])
+def test_zero_and_negative_knobs_are_usage_errors(argv, capsys):
+    with pytest.raises(SystemExit) as info:
+        _parse(argv)
+    assert info.value.code == 2
+    err = capsys.readouterr().err
+    assert ("positive" in err or "port must be" in err
+            or "is not an integer" in err)
+
+
+def test_valid_values_still_parse():
+    args = _parse(["bench", "--jobs", "4", "--task-timeout", "2.5"])
+    assert args.jobs == 4
+    assert args.task_timeout == 2.5
+    args = _parse(["serve", "--port", "8080", "--jobs", "3",
+                   "--max-inflight", "16"])
+    assert (args.port, args.jobs, args.max_inflight) == (8080, 3, 16)
+    args = _parse(["submit", "wc", "--scale", "100"])
+    assert args.scale == 100
+
+
+def test_bench_jobs_default_still_means_cpu_count():
+    # The default moved from 0 (sentinel) to None; cmd_bench's
+    # ``args.jobs or os.cpu_count()`` treats both the same way, so the
+    # behaviour "omitted --jobs = all cores" must survive.
+    assert _parse(["bench"]).jobs is None
+
+
+def test_error_message_names_the_value(capsys):
+    with pytest.raises(SystemExit):
+        _parse(["serve", "--max-inflight", "-5"])
+    assert "-5" in capsys.readouterr().err

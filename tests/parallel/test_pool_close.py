@@ -1,0 +1,155 @@
+"""Pool lifecycle hardening: idempotent close, warm(), shared leases.
+
+The service closes the pool from its SIGTERM drain path, which can
+race a normal close (or interrupt one mid-flight from a signal
+handler).  A second close must be a no-op: re-escalating the
+terminate -> kill sequence against workers the first close already
+reaped would miscount ``workers_killed`` and could signal reused pids.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.parallel import PoolTask, WorkerPool
+
+pytestmark = pytest.mark.parallel_smoke
+
+
+def square(payload):
+    return {"pid": os.getpid(), "value": payload["x"] * payload["x"]}
+
+
+def _tasks(n):
+    return [PoolTask(f"t{i}", square, {"x": i}) for i in range(n)]
+
+
+class TestIdempotentClose:
+    def test_double_close_is_a_noop(self):
+        pool = WorkerPool(2)
+        pool.run(_tasks(4))
+        pool.close()
+        killed, reaped = pool.workers_killed, pool.workers_reaped
+        pool.close()
+        pool.close()
+        assert pool.workers_killed == killed
+        assert pool.workers_reaped == reaped
+
+    def test_reentrant_close_mid_flight_returns_immediately(self):
+        """A close() that interrupts a close in progress (the signal-
+        handler shape) must return instead of re-escalating."""
+        pool = WorkerPool(2)
+        pool.run(_tasks(2))
+        reentered = []
+        original = pool._close_impl
+
+        def interrupting_close():
+            # Simulates SIGTERM arriving mid-close: the handler calls
+            # close() again while the first call is inside the body.
+            pool.close()
+            reentered.append(True)
+            original()
+
+        pool._close_impl = interrupting_close
+        pool.close()
+        assert reentered == [True]
+        assert pool._closed
+        # And the pool is genuinely shut down afterwards.
+        with pytest.raises(RuntimeError):
+            pool.run(_tasks(1))
+
+    def test_concurrent_closers_dont_collide(self):
+        pool = WorkerPool(2)
+        pool.run(_tasks(2))
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def closer():
+            barrier.wait()
+            try:
+                pool.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert pool._closed
+
+    def test_serial_pool_close_is_also_idempotent(self):
+        pool = WorkerPool(1)
+        pool.run(_tasks(2))
+        pool.close()
+        pool.close()
+
+
+class TestWarm:
+    def test_warm_pre_forks_before_first_run(self):
+        pool = WorkerPool(2)
+        try:
+            pool.warm()
+            if pool.jobs > 1:
+                assert len(pool._workers) == pool.jobs
+                pids = {w.process.pid for w in pool._workers}
+                results = pool.run(_tasks(8))
+                assert {r.value["pid"] for r in results} <= pids
+        finally:
+            pool.close()
+
+    def test_warm_after_close_raises(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.warm()
+
+
+class TestLease:
+    def test_lease_serialises_concurrent_holders(self):
+        pool = WorkerPool(2)
+        order = []
+        lock = threading.Lock()
+
+        def holder(name):
+            with pool.lease() as leased:
+                with lock:
+                    order.append(("enter", name))
+                leased.run(_tasks(3))
+                with lock:
+                    order.append(("exit", name))
+
+        threads = [threading.Thread(target=holder, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        pool.close()
+        # Strict nesting: every enter is immediately followed by its
+        # own exit (no interleaving between lease holders).
+        assert len(order) == 6
+        for i in range(0, 6, 2):
+            assert order[i][0] == "enter"
+            assert order[i + 1] == ("exit", order[i][1])
+
+    def test_lease_on_closed_pool_raises(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            with pool.lease():
+                pass
+
+    def test_lease_is_reentrant_for_its_holder(self):
+        pool = WorkerPool(1)
+        try:
+            with pool.lease() as outer:
+                with outer.lease() as inner:
+                    results = inner.run(_tasks(2))
+            assert [r.value["value"] for r in results] == [0, 1]
+        finally:
+            pool.close()

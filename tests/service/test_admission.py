@@ -1,0 +1,126 @@
+"""Admission-control unit tests (fake clock, no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service.admission import (
+    AdmissionController,
+    Draining,
+    QuotaExceeded,
+    Saturated,
+    TokenBucket,
+)
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_token_bucket_burst_then_refill():
+    clock = Clock()
+    bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert not bucket.try_take()
+    assert bucket.wait_time() == pytest.approx(1.0)
+    clock.now += 0.5
+    assert not bucket.try_take()
+    clock.now += 0.5
+    assert bucket.try_take()
+
+
+def test_token_bucket_caps_at_burst():
+    clock = Clock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    clock.now += 100.0
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert not bucket.try_take()
+
+
+def test_zero_rate_disables_quota():
+    bucket = TokenBucket(rate=0.0, burst=1.0, clock=Clock())
+    assert all(bucket.try_take() for _ in range(100))
+    assert bucket.wait_time() == 0.0
+
+
+def test_saturation_then_release():
+    ctrl = AdmissionController(max_inflight=2, clock=Clock())
+    ctrl.admit("a")
+    ctrl.admit("b")
+    with pytest.raises(Saturated) as info:
+        ctrl.admit("c")
+    assert info.value.status == 503
+    ctrl.release()
+    ctrl.admit("c")
+    assert ctrl.inflight == 2
+
+
+def test_quota_is_per_tenant():
+    clock = Clock()
+    ctrl = AdmissionController(max_inflight=100, quota_rate=1.0,
+                               quota_burst=1.0, clock=clock)
+    ctrl.admit("alpha")
+    with pytest.raises(QuotaExceeded) as info:
+        ctrl.admit("alpha")
+    assert info.value.status == 429
+    assert info.value.retry_after > 0
+    # A different tenant has its own bucket.
+    ctrl.admit("beta")
+    clock.now += 1.0
+    ctrl.admit("alpha")
+
+
+def test_saturation_wins_over_quota():
+    ctrl = AdmissionController(max_inflight=1, quota_rate=1.0,
+                               quota_burst=1.0, clock=Clock())
+    ctrl.admit("t")
+    with pytest.raises(Saturated):
+        ctrl.admit("t")
+
+
+def test_draining_refuses_everything():
+    ctrl = AdmissionController(max_inflight=10, clock=Clock())
+    ctrl.admit("t")
+    ctrl.start_draining()
+    with pytest.raises(Draining) as info:
+        ctrl.admit("t")
+    assert info.value.status == 503
+    # The slot admitted before the drain still releases normally.
+    ctrl.release()
+    assert ctrl.wait_idle(timeout=0.1)
+
+
+def test_release_without_admit_is_an_error():
+    ctrl = AdmissionController(clock=Clock())
+    with pytest.raises(RuntimeError):
+        ctrl.release()
+
+
+def test_rejections_and_inflight_are_counted():
+    metrics = MetricsRegistry()
+    ctrl = AdmissionController(max_inflight=1, quota_rate=1.0,
+                               quota_burst=1.0, metrics=metrics,
+                               clock=Clock())
+    ctrl.admit("t")
+    for _ in range(2):
+        with pytest.raises(Saturated):
+            ctrl.admit("t")
+    ctrl.release()
+    with pytest.raises(QuotaExceeded):
+        ctrl.admit("t")
+    snap = metrics.snapshot()
+    assert snap["service.rejected{reason=saturated}"] == 2
+    assert snap["service.rejected{reason=quota-exceeded}"] == 1
+    assert snap["service.inflight"] == 0
+
+
+def test_max_inflight_must_be_positive():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)

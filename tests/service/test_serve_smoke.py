@@ -1,0 +1,245 @@
+"""serve_smoke: end-to-end campaign against a real ``repro serve`` daemon.
+
+One daemon subprocess on an ephemeral port, one mixed campaign, four
+gates (the PR's acceptance criteria):
+
+(a) every served payload is bit-identical to the same request run
+    through :func:`~repro.harness.runner.run_experiment` in-process;
+(b) 16 concurrent clients with 4 duplicate requests coalesce: exactly
+    12 unique configs are dispatched, the 4 duplicates are absorbed by
+    coalescing or the response cache, and the configs batch into far
+    fewer pool tasks than requests;
+(c) SIGTERM drains gracefully: the in-flight request finishes and is
+    answered, new submits get 503 while draining, and the daemon
+    exits 0;
+(d) ``/metrics`` exposes the service counters and the pool's fabric
+    telemetry, consistent with the traffic actually sent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import run_experiment
+from repro.service.client import ReproClient, ServiceError
+from repro.service.protocol import (
+    experiment_payload,
+    machine_from_spec,
+    parse_request,
+)
+from repro.workloads.registry import get_workload
+
+pytestmark = pytest.mark.serve_smoke
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+WORKLOAD = "wc"
+SCALE = 120
+#: The drain-phase request: ~8 s of simulation, comfortably in flight
+#: when SIGTERM lands.
+DRAIN_SCALE = 120_000
+
+#: 12 unique machine configs; the campaign adds 4 duplicates of the
+#: first four.
+UNIQUE_CONFIGS = [
+    {"comm_latency": latency, "queue_size": size}
+    for latency in (1, 2, 5, 10)
+    for size in (8, 16, 32)
+]
+CAMPAIGN = UNIQUE_CONFIGS + UNIQUE_CONFIGS[:4]
+QUOTA_BURST = 4
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    env = {**os.environ, "PYTHONPATH": SRC_DIR}
+    cache_dir = str(tmp_path_factory.mktemp("serve-cache"))
+    proc = None
+    for _ in range(3):  # the free-port probe can race another process
+        port = _free_port()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", str(port), "--jobs", "2",
+             "--batch-window", "0.25", "--cache-dir", cache_dir,
+             "--quota-rate", "0.05", "--quota-burst", str(QUOTA_BURST),
+             "--max-inflight", "64"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        banner = proc.stdout.readline()
+        if "listening" in banner:
+            break
+        proc.wait(timeout=10)
+    else:
+        pytest.fail("daemon failed to boot on three ports")
+    yield {"proc": proc, "port": port}
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def _client(port: int, tenant: str) -> ReproClient:
+    return ReproClient(port=port, timeout=300, tenant=tenant)
+
+
+def _body(config: dict, scale: int = SCALE) -> dict:
+    return {"workload": WORKLOAD, "scale": scale, "machine": dict(config)}
+
+
+def test_campaign_coalesces_and_serves_bit_identical_results(daemon):
+    port = daemon["port"]
+    n = len(CAMPAIGN)
+    outcomes: list = [None] * n
+    barrier = threading.Barrier(n)
+
+    def client_thread(i: int) -> None:
+        barrier.wait()
+        # Four tenants, four requests each: inside the quota burst.
+        client = _client(port, tenant=f"fleet-{i % 4}")
+        try:
+            outcomes[i] = client.submit(_body(CAMPAIGN[i]))
+        except BaseException as exc:  # noqa: BLE001
+            outcomes[i] = exc
+
+    threads = [threading.Thread(target=client_thread, args=(i,))
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+
+    failures = [o for o in outcomes if not isinstance(o, dict)]
+    assert not failures, f"client failures: {failures!r}"
+    assert all(o["status"] == "ok" for o in outcomes)
+
+    # (b) the 4 duplicate pairs got identical bytes back.
+    for dup in range(4):
+        original = json.dumps(outcomes[dup]["payload"], sort_keys=True)
+        duplicate = json.dumps(outcomes[12 + dup]["payload"],
+                               sort_keys=True)
+        assert original == duplicate
+
+    # (a) bit-identity against in-process run_experiment, through the
+    # same payload serialisation, for a sample of the campaign.
+    for index in (0, 5, 11):
+        request = parse_request(_body(CAMPAIGN[index]))
+        reference = experiment_payload(run_experiment(
+            get_workload(WORKLOAD),
+            machine=machine_from_spec(request.machine),
+            scale=SCALE))
+        assert (json.dumps(reference, sort_keys=True)
+                == json.dumps(outcomes[index]["payload"], sort_keys=True)), \
+            f"served result diverged from in-process run for {CAMPAIGN[index]}"
+
+    # (b) + (d) metric consistency: 16 admitted requests, 12 unique
+    # configs dispatched, the 4 duplicates absorbed, and far fewer
+    # pool tasks than requests (functional-group batching).
+    metrics = _client(port, tenant="metrics").metrics()
+    snap = metrics["metrics"]
+    fleet_requests = sum(v for k, v in snap.items()
+                         if k.startswith("service.requests{tenant=fleet-"))
+    assert fleet_requests == n
+    assert snap["service.configs_dispatched"] == len(UNIQUE_CONFIGS)
+    absorbed = (snap.get("service.coalesced", 0)
+                + snap.get("service.response_cache_hits", 0))
+    assert absorbed == 4
+    tasks = snap["service.tasks_dispatched"]
+    assert 1 <= tasks <= 4, \
+        f"expected the 12 configs to batch into a few tasks, got {tasks}"
+    # Fabric telemetry rode along in the same registry.
+    assert any(key.startswith("pool.") for key in snap)
+    assert metrics["pool"]["jobs"] == 2
+    assert metrics["status"]["status"] == "ok"
+    assert metrics["cache"]["object.response.puts"] >= len(UNIQUE_CONFIGS)
+
+
+def test_quota_exceeded_mid_campaign(daemon):
+    port = daemon["port"]
+    client = _client(port, tenant="greedy")
+    refused = []
+    served = 0
+    for _ in range(QUOTA_BURST + 3):
+        try:
+            outcome = client.submit(_body(UNIQUE_CONFIGS[0]))
+            assert outcome["status"] == "ok"
+            served += 1
+        except ServiceError as exc:
+            refused.append(exc)
+    assert served >= 1
+    assert refused, "greedy tenant was never throttled"
+    assert all(e.status == 429 and e.code == "quota-exceeded"
+               for e in refused)
+    assert all(e.retry_after is not None and e.retry_after > 0
+               for e in refused)
+    snap = _client(port, tenant="metrics").metrics()["metrics"]
+    assert snap["service.rejected{reason=quota-exceeded}"] >= len(refused)
+
+
+def test_sigterm_drains_inflight_and_rejects_new_with_503(daemon):
+    port = daemon["port"]
+    proc = daemon["proc"]
+    result: dict = {}
+
+    def slow_request() -> None:
+        client = _client(port, tenant="drain")
+        result["outcome"] = client.submit(
+            _body({"comm_latency": 3}, scale=DRAIN_SCALE))
+
+    worker = threading.Thread(target=slow_request)
+    worker.start()
+    # Wait until the slow request is admitted (in flight).
+    probe = _client(port, tenant="probe")
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if probe.healthz()["inflight"] >= 1:
+            break
+        time.sleep(0.02)
+    else:
+        pytest.fail("slow request never became in-flight")
+
+    proc.send_signal(signal.SIGTERM)
+
+    # (c) while draining, the listener stays open and new submits are
+    # refused with 503 draining -- not connection-refused.
+    saw_draining = False
+    for attempt in range(100):
+        try:
+            # A fresh tenant each attempt so quota never masks the
+            # draining refusal.
+            _client(port, tenant=f"probe-{attempt}").submit(
+                _body({"comm_latency": 7}, scale=SCALE))
+        except ServiceError as exc:
+            assert exc.status == 503
+            assert exc.code in ("draining", "saturated")
+            saw_draining = exc.code == "draining" or saw_draining
+            if saw_draining:
+                break
+        except OSError:
+            break  # listener closed: drain already finished
+        time.sleep(0.02)
+    assert saw_draining, "never saw a 503 draining refusal"
+
+    # The in-flight request still completes and is answered.
+    worker.join(timeout=300)
+    assert result.get("outcome", {}).get("status") == "ok", \
+        f"drained request was dropped: {result!r}"
+
+    assert proc.wait(timeout=120) == 0, "daemon did not exit 0 after drain"

@@ -1,0 +1,181 @@
+"""HTTP front-end integration tests (in-process daemon, real sockets).
+
+The daemon runs its asyncio loop on a background thread; the tests
+talk to it through :class:`ReproClient` and raw ``http.client`` calls,
+covering routing, protocol errors, trace envelopes, streaming,
+admission refusals and the drain path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs import TraceEnvelope
+from repro.service.client import ReproClient, ServiceError
+from repro.service.server import ReproServer
+from repro.service.session import ServiceSession
+
+SCALE = 40
+
+
+class Daemon:
+    """A live server on an ephemeral port, loop on a daemon thread."""
+
+    def __init__(self, **session_kwargs) -> None:
+        session_kwargs.setdefault("jobs", 1)
+        session_kwargs.setdefault("batch_window", 0.02)
+        self.session = ServiceSession(**session_kwargs)
+        self.server = ReproServer(self.session, port=0)
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.run()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, **kwargs) -> ReproClient:
+        kwargs.setdefault("timeout", 60)
+        return ReproClient(port=self.port, **kwargs)
+
+    def stop(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(),
+                                                  self.loop)
+        future.result(timeout=60)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def daemon():
+    d = Daemon()
+    yield d
+    d.stop()
+
+
+def test_healthz_and_unknown_route(daemon):
+    health = daemon.client().healthz()
+    assert health["status"] == "ok"
+    assert health["workers"] == 1
+    conn = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+    try:
+        conn.request("GET", "/nope")
+        response = conn.getresponse()
+        assert response.status == 404
+        body = json.loads(response.read())
+        assert "routes" in body["detail"]
+    finally:
+        conn.close()
+
+
+def test_submit_and_metrics_consistency(daemon):
+    client = daemon.client()
+    outcome = client.submit({"workload": "wc", "scale": SCALE})
+    assert outcome["status"] == "ok"
+    assert outcome["payload"]["workload"] == "wc"
+    assert "trace" in outcome
+
+    metrics = client.metrics()
+    snap = metrics["metrics"]
+    assert snap["service.requests{tenant=default}"] == 1
+    assert snap["service.tasks_dispatched"] == 1
+    assert metrics["pool"]["jobs"] == 1
+    assert metrics["status"]["status"] == "ok"
+
+
+def test_bad_json_and_protocol_errors_are_http_400(daemon):
+    conn = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+    try:
+        conn.request("POST", "/v1/experiments", body=b"{nope",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+        assert json.loads(response.read())["error"] == "bad-json"
+    finally:
+        conn.close()
+    with pytest.raises(ServiceError) as info:
+        daemon.client().submit({"workload": "wc", "bogus": 1})
+    assert info.value.status == 400
+    assert info.value.code == "unknown-field"
+
+
+def test_get_on_experiments_is_405(daemon):
+    conn = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+    try:
+        conn.request("GET", "/v1/experiments")
+        assert conn.getresponse().status == 405
+    finally:
+        conn.close()
+
+
+def test_trace_envelope_joins_callers_trace(daemon):
+    envelope = TraceEnvelope()
+    outcome = daemon.client().submit({"workload": "wc", "scale": SCALE},
+                                     envelope=envelope)
+    trace = outcome["trace"]
+    assert trace["trace_id"] == envelope.trace_id
+    assert trace["parent_span_id"] == envelope.span_id
+    assert trace["span_id"] != envelope.span_id
+    assert trace["request_id"].startswith("req-")
+
+
+def test_streaming_events_end_with_done(daemon):
+    events = list(daemon.client().submit_stream(
+        {"workload": "wc", "scale": SCALE,
+         "machine": {"comm_latency": 2}}))
+    kinds = [e.get("event") for e in events]
+    assert kinds[-1] == "done"
+    assert "result" in kinds
+    done = events[-1]
+    assert done["status"] == "ok"
+    assert done["payload"]["workload"] == "wc"
+    assert all("trace" in e for e in events)
+
+
+def test_quota_exceeded_is_429_with_retry_after():
+    daemon = Daemon(quota_rate=0.001, quota_burst=1.0)
+    try:
+        client = daemon.client(tenant="greedy")
+        assert client.submit({"workload": "wc",
+                              "scale": SCALE})["status"] == "ok"
+        with pytest.raises(ServiceError) as info:
+            client.submit({"workload": "wc", "scale": SCALE,
+                           "machine": {"comm_latency": 9}})
+        assert info.value.status == 429
+        assert info.value.code == "quota-exceeded"
+        assert info.value.retry_after and info.value.retry_after > 0
+        # Another tenant is unaffected.
+        other = daemon.client(tenant="patient")
+        assert other.submit({"workload": "wc",
+                             "scale": SCALE})["status"] == "ok"
+    finally:
+        daemon.stop()
+
+
+def test_drain_serves_503_until_listener_closes(daemon):
+    client = daemon.client()
+    assert client.submit({"workload": "wc", "scale": SCALE})["status"] == "ok"
+    # Flip the session to draining without closing the listener yet.
+    daemon.session.admission.start_draining()
+    assert client.healthz()["status"] == "draining"
+    with pytest.raises(ServiceError) as info:
+        client.submit({"workload": "wc", "scale": SCALE,
+                       "machine": {"queue_size": 8}})
+    assert info.value.status == 503
+    assert info.value.code == "draining"
+    assert info.value.retry_after is not None
