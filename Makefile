@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke chaos-smoke serve-smoke fuzz fuzz-sensitivity bench bench-sweeps
+.PHONY: check test fuzz-smoke perf-smoke robustness-smoke obs-smoke parallel-smoke batch-smoke chaos-smoke serve-smoke incr-smoke fuzz fuzz-sensitivity bench bench-sweeps
 
 # The default tier-1 run includes every smoke tier below (they all live
 # under tests/), parallel-smoke among them.
@@ -14,7 +14,7 @@ test:
 # shows up here as an empty run, not as green CI.  batch-smoke carries
 # the vectorized-replay differential campaign and its overhead guard;
 # chaos-smoke injects faults into the pool and proves bit-identity.
-check: test perf-smoke batch-smoke parallel-smoke chaos-smoke serve-smoke
+check: test perf-smoke batch-smoke parallel-smoke chaos-smoke serve-smoke incr-smoke
 
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz_smoke
@@ -59,6 +59,13 @@ chaos-smoke:
 # (docs/SERVICE.md).
 serve-smoke:
 	$(PYTHON) -m pytest -q -m serve_smoke
+
+# Incremental-DAG guardrails: cold/warm/machine-edit sweeps against
+# one artifact store -- a warm re-run schedules zero stages and stays
+# bit-identical, a simulator edit re-simulates cached traces without
+# re-interpreting (docs/INCREMENTAL.md).
+incr-smoke:
+	$(PYTHON) -m pytest -q -m incr_smoke
 
 # Longer differential campaign (not part of CI); override knobs like
 #   make fuzz FUZZ_SEED=7 FUZZ_ITERATIONS=2000

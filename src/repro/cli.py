@@ -18,12 +18,15 @@ Commands:
   vs. pipelined oracle); see ``docs/FUZZING.md``;
 * ``serve`` -- the compile-service daemon (asyncio HTTP/JSON over the
   warm worker pool); see ``docs/SERVICE.md``;
-* ``submit`` -- send one experiment request to a running daemon.
+* ``submit`` -- send one experiment request to a running daemon;
+* ``cache gc`` -- collect an artifact-store directory (LRU by atime,
+  pin-safe); see ``docs/INCREMENTAL.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -297,6 +300,15 @@ def _cmd_report_bench(args) -> int:
             worker = int(labels["worker"])
             per_worker.setdefault(worker, {})[name] = value
     if not per_worker:
+        if report.get("incr"):
+            # A fully-warm sweep never forks the pool: every point was
+            # served from the artifact store, so the only telemetry is
+            # the incremental plan itself.
+            print(f"bench:   {report.get('figure', '?')} scale "
+                  f"{report.get('scale', '?')}, warm run -- no pool "
+                  f"forked, every point served from the store")
+            _print_incr_table(report)
+            return 0
         print(f"error: {args.bench} carries no pool telemetry "
               f"(pre-fabric report?)", file=sys.stderr)
         return 2
@@ -343,7 +355,39 @@ def _cmd_report_bench(args) -> int:
          "retries", "timeouts"], rows
     ))
     _print_batch_table(report)
+    _print_incr_table(report)
     return 0
+
+
+def _print_incr_table(report: dict) -> None:
+    """The incremental-plan stage table of ``report --bench`` (no-op
+    for reports from before the stage graph recorded plans).
+
+    One row per stage kind with its deduplicated hit / miss /
+    scheduled counts (semantics in :mod:`repro.incr.plan`), then one
+    summary line: how long planning took, how many stages actually
+    ran, and how many points the store served without any compute.
+    """
+    incr = report.get("incr") or {}
+    stages = incr.get("stages") or {}
+    if not stages:
+        return
+    order = ("interpret", "transform", "simulate", "figure")
+    rows = []
+    for kind in order + tuple(k for k in sorted(stages) if k not in order):
+        row = stages.get(kind)
+        if row is None:
+            continue
+        rows.append([kind, int(row.get("hit", 0)), int(row.get("miss", 0)),
+                     int(row.get("scheduled", 0))])
+    print()
+    print(format_table(["stage", "hit", "miss", "scheduled"], rows))
+    print(f"incr:    plan {incr.get('plan_id', '?')} in "
+          f"{incr.get('plan_seconds', 0.0):.3f}s; "
+          f"{incr.get('scheduled_total', 0)} stage(s) scheduled "
+          f"({incr.get('compute_scheduled', 0)} compute), "
+          f"{len(incr.get('served_points') or ())} point(s) served, "
+          f"figure stage {incr.get('figure_stage', '?')}")
 
 
 def _print_batch_table(report: dict) -> None:
@@ -778,6 +822,39 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """``cache gc``: collect an artifact-store directory.
+
+    LRU-by-atime eviction down to ``--max-bytes``, eager eviction of
+    corrupt entries, removal of stale tmp droppings, and refusal to
+    touch anything pinned by an in-flight plan
+    (:mod:`repro.incr.gc`, runbook in ``docs/INCREMENTAL.md``).
+    ``--dry-run`` reports without deleting.  Exit codes: 0 ok, 2 the
+    directory does not exist.
+    """
+    from repro.incr.gc import collect
+
+    if not os.path.isdir(args.dir):
+        print(f"error: no store at {args.dir}", file=sys.stderr)
+        return 2
+    stats = collect(args.dir, max_bytes=args.max_bytes,
+                    log=print if args.verbose else None,
+                    dry_run=args.dry_run)
+    mode = " (dry run -- nothing deleted)" if args.dry_run else ""
+    print(f"store:   {args.dir}{mode}")
+    print(f"scanned: {stats['scanned']} entr(ies), "
+          f"{stats['bytes_before']} bytes")
+    print(f"evicted: {stats['evicted']} entr(ies), "
+          f"{stats['evicted_bytes']} bytes "
+          f"({stats['corrupt_evicted']} corrupt, "
+          f"{stats['tmp_removed']} tmp dropping(s) removed, "
+          f"{stats['pinned_kept']} pinned kept)")
+    print(f"after:   {stats['bytes_after']} bytes"
+          + (f" (target {args.max_bytes})"
+             if args.max_bytes is not None else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -995,6 +1072,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="client-side socket timeout in seconds")
     submit_p.add_argument("--json", action="store_true",
                           help="emit the raw outcome document")
+
+    cache_p = sub.add_parser(
+        "cache", help="manage the persistent artifact store "
+                      "(docs/INCREMENTAL.md)"
+    )
+    cache_sub = cache_p.add_subparsers(dest="action", required=True)
+    gc_p = cache_sub.add_parser(
+        "gc", help="evict LRU entries down to a byte budget; corrupt "
+                   "entries and stale tmp files always go, pinned "
+                   "entries never do"
+    )
+    gc_p.add_argument("--dir", default=os.path.join(".", ".bench-cache"),
+                      help="store directory (default ./.bench-cache, "
+                           "where bench persists by default)")
+    gc_p.add_argument("--max-bytes", type=int, default=None,
+                      dest="max_bytes", metavar="N",
+                      help="evict least-recently-used entries until the "
+                           "store fits N bytes (default: validate and "
+                           "sweep tmp droppings only)")
+    gc_p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                      help="report what would be deleted without "
+                           "touching the filesystem")
+    gc_p.add_argument("--verbose", action="store_true",
+                      help="log each eviction")
     return parser
 
 
@@ -1012,6 +1113,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "fuzz": cmd_fuzz,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "cache": cmd_cache,
     }
     try:
         return handlers[args.command](args)

@@ -50,26 +50,19 @@ from repro.harness.runner import (
     run_dswp,
     run_experiment,
 )
-from repro.ir.printer import render_function
 from repro.machine.config import MachineConfig
+from repro.machine.fingerprint import case_fingerprint
 from repro.workloads.base import Workload, WorkloadCase
 
 
 def case_digest(case: WorkloadCase) -> str:
     """SHA-256 over everything that determines a case's functional
     behaviour: program text, loop selection, memory image, initial
-    registers and the set of installed call handlers."""
-    h = hashlib.sha256()
-    h.update(render_function(case.function).encode())
-    h.update(case.loop_header.encode())
-    for addr, value in sorted(case.memory.snapshot().items()):
-        h.update(b"%d:%d;" % (addr, value))
-    for reg, value in sorted(case.initial_regs.items(),
-                             key=lambda item: str(item[0])):
-        h.update(b"%s=%d;" % (str(reg).encode(), value))
-    for name in sorted(case.call_handlers):
-        h.update(name.encode() + b";")
-    return h.hexdigest()
+    registers and the set of installed call handlers.  Delegates to the
+    canonical hasher (:func:`repro.machine.fingerprint.case_fingerprint`)
+    so the experiment cache, the incremental stage keys and the service
+    all address one identity."""
+    return case_fingerprint(case)
 
 
 def _partition_key(partition: Optional[Partition]) -> Optional[tuple]:
@@ -316,6 +309,18 @@ class ExperimentCache:
         self._bump(f"object.{kind}.puts")
         self._store_entry(kind, key, {"object": obj})
 
+    def has_object(self, kind: str, key) -> bool:
+        """Existence probe (memory memo or disk file), no load, no
+        hit/miss accounting.  The incremental planner uses it to prove
+        a stage's artefacts are present without decoding them; a probe
+        that passes but whose entry is later unreadable still degrades
+        to a plain miss at load time."""
+        if (kind, key) in self._objects:
+            return True
+        if self.persist_dir is None:
+            return False
+        return os.path.exists(self._entry_path(kind, key))
+
     # ------------------------------------------------------------------
     def run_experiment(
         self,
@@ -411,6 +416,11 @@ class ShardedExperimentCache:
         index = self.shard_index(key)
         with self._locks[index]:
             self._shards[index].put_object(kind, key, obj)
+
+    def has_object(self, kind: str, key) -> bool:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            return self._shards[index].has_object(kind, key)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -170,6 +170,7 @@ def run_experiment(
     obs: Optional[ObsConfig] = None,
     cache=None,
     case: Optional[WorkloadCase] = None,
+    store=None,
 ) -> ExperimentResult:
     """The full compare-against-baseline experiment for one workload.
 
@@ -184,9 +185,14 @@ def run_experiment(
     the functional stages -- baseline interpretation and the DSWP
     transform + pipeline execution -- through the cache, so repeated
     machine-configuration points only re-run the timing simulation.
-    ``case`` supplies a pre-built workload case (skipping the build
-    phase); sweep drivers use it to share one case object, and hence
-    one content digest, across every point.
+    ``store`` (an :class:`~repro.incr.store.ArtifactStore`) routes the
+    same stages through the content-addressed stage wrappers instead
+    (:mod:`repro.incr.stages`): stage keys roll with code edits, and a
+    store directory shared with a bench sweep or the compile service
+    reuses their recorded prefixes.  ``store`` wins when both are
+    given.  ``case`` supplies a pre-built workload case (skipping the
+    build phase); sweep drivers use it to share one case object, and
+    hence one content digest, across every point.
     """
     obs = obs if obs is not None else NULL_OBS
     tracer, metrics = obs.tracer, obs.metrics
@@ -196,15 +202,28 @@ def run_experiment(
         if case is None:
             with tracer.span("workload.build"):
                 case = workload.build(scale=scale)
+        interp = None
         with tracer.span("interp.baseline"):
-            if cache is not None:
+            if store is not None:
+                from repro.incr.stages import interpret_stage
+
+                interp = interpret_stage(store, case, check=check)
+                baseline = interp.value
+            elif cache is not None:
                 baseline = cache.baseline(case, check=check)
             else:
                 baseline = run_baseline(case, check=check)
         base_sim = simulate([baseline.trace], baseline_machine,
                             tracer=tracer)
         with tracer.span("core.dswp+interp.pipeline"):
-            if cache is not None:
+            if store is not None:
+                from repro.incr.stages import transform_stage
+
+                transformed = transform_stage(
+                    store, case, interp, partition=partition,
+                    alias_model=alias_model, check=check,
+                ).value
+            elif cache is not None:
                 transformed = cache.dswp(
                     case, baseline, partition=partition,
                     alias_model=alias_model, check=check,

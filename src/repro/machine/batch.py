@@ -77,6 +77,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.interp.trace import NO_ADDR, TAKEN_NONE, TAKEN_TRUE, TraceLike, as_columnar
+from repro.machine import fingerprint
 from repro.machine.branch import TwoBitPredictor
 from repro.machine.cache import CacheHierarchy, CacheLevel
 from repro.machine.cmp import CycleBudgetExceeded, SimulationDeadlock, simulate
@@ -170,22 +171,15 @@ class TraceAnnotation:
 def trace_timing_digest(trace: TraceLike) -> str:
     """Content digest of everything the timing model reads from a trace.
 
-    Covers the dynamic columns (static ids, addresses, branch outcomes)
+    The canonical hasher (:func:`repro.machine.fingerprint.trace_digest`)
+    covers the dynamic columns (static ids, addresses, branch outcomes)
     and the timing-relevant identity of each static instruction; two
-    traces with equal digests annotate identically.
+    traces with equal digests annotate identically.  The codegen
+    version salts the digest so a generated-code format change misses
+    every persisted annotation.
     """
-    trace = as_columnar(trace)
-    h = hashlib.sha256()
-    h.update(b"batch-annotation-v%d" % CODEGEN_VERSION)
-    for part in trace.column_bytes():
-        h.update(part if isinstance(part, (bytes, bytearray)) else bytes(part))
-    for s in trace.statics:
-        inst = s.inst
-        h.update(repr((
-            inst.render(), s.block, s.root_uid,
-            inst.attrs.get("call_cycles", 0) if inst.attrs else 0,
-        )).encode())
-    return h.hexdigest()
+    return fingerprint.trace_digest(
+        trace, salt="batch-annotation-v%d" % CODEGEN_VERSION)
 
 
 def annotate_trace(trace: TraceLike, l1cfg, l2cfg, warm: bool) -> TraceAnnotation:

@@ -28,8 +28,6 @@ in the server.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -40,7 +38,11 @@ from repro.machine.config import (
     HALF_WIDTH_CORE,
     MachineConfig,
 )
-from repro.machine.fingerprint import sim_fingerprint
+from repro.machine.fingerprint import (
+    canonical_json,
+    content_digest,
+    sim_fingerprint,
+)
 
 #: Upper bounds keeping one request from monopolising the daemon.
 MAX_IR_BYTES = 256 * 1024
@@ -112,12 +114,12 @@ class ExperimentRequest:
 
 
 def _canonical(data: dict) -> str:
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return canonical_json(data)
 
 
 def source_digest(req: ExperimentRequest) -> str:
     """sha256 over the machine-independent request content."""
-    return hashlib.sha256(_canonical(req.source_dict()).encode()).hexdigest()
+    return content_digest(req.source_dict())
 
 
 def functional_key(req: ExperimentRequest) -> str:
@@ -131,9 +133,22 @@ def machine_key(req: ExperimentRequest) -> str:
 
 
 def request_key(req: ExperimentRequest) -> str:
-    """Full content hash: the coalescing / response-cache key."""
-    blob = _canonical({"source": req.source_dict(), "machine": req.machine})
-    return hashlib.sha256(blob.encode()).hexdigest()
+    """Full content hash: the coalescing / response-cache key.
+
+    This is a *stage key*: alongside the request content it digests the
+    pipeline's code-version fingerprint (:func:`repro.incr.dag.
+    pipeline_version`), so a persisted response cache can never serve a
+    payload computed by an older pipeline -- a code change rolls the
+    key exactly the way it invalidates bench stage receipts.
+    """
+    from repro.incr.dag import pipeline_version
+
+    return content_digest({
+        "stage": "serve",
+        "version": pipeline_version(),
+        "source": req.source_dict(),
+        "machine": req.machine,
+    })
 
 
 # ----------------------------------------------------------------------

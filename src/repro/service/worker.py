@@ -6,9 +6,10 @@ be importable by name because it crosses the fork into worker
 processes.  One task carries one *functional group*: requests that
 share source, scale and check flag, and therefore share interpretation
 and transform work, differing only in machine configuration.  The task
-runs the functional stages once (through the worker's
-:class:`~repro.harness.cache.ExperimentCache`, arena-pinned so repeat
-groups hit warm state) and replays the timing model across all configs
+runs the functional stages once (through the worker's content-addressed
+:class:`~repro.incr.store.ArtifactStore`, arena-pinned so repeat
+groups hit warm state -- and shared on disk with bench sweeps that use
+the same store directory) and replays the timing model across all configs
 through a :class:`~repro.machine.batch.BatchedSimulator` lane group,
 exactly as :func:`~repro.harness.runner.run_experiment` would
 config-by-config -- the batched engine is bit-identical by
@@ -29,8 +30,9 @@ from __future__ import annotations
 
 import traceback
 
-from repro.harness.cache import ExperimentCache
 from repro.harness.runner import ExperimentResult
+from repro.incr.stages import interpret_stage, transform_stage
+from repro.incr.store import ArtifactStore
 from repro.interp.memory import Memory
 from repro.ir.parser import parse_function
 from repro.ir.types import parse_register
@@ -112,22 +114,30 @@ def run_group_task(payload: dict) -> dict:
         configs = payload["configs"]
         cache_dir = payload.get("cache_dir")
         arena = worker_arena()
+        skey = ("service-store", cache_dir)
+        store = arena.get(skey)
+        if store is None:
+            store = arena[skey] = ArtifactStore(persist_dir=cache_dir)
         key = ("service", payload["group"], cache_dir)
         entry = arena.get(key)
         if entry is None:
             workload = _build_workload(source)
             case = workload.build(scale=source.get("scale"))
-            cache = ExperimentCache(persist_dir=cache_dir)
-            entry = arena[key] = (workload, case, cache)
-        workload, case, cache = entry
-        bkey = key + ("batched-simulator",)
+            entry = arena[key] = (workload, case)
+        workload, case = entry
+        bkey = ("service-batched-simulator", cache_dir)
         bsim = arena.get(bkey)
         if bsim is None:
-            bsim = arena[bkey] = BatchedSimulator(annotation_cache=cache)
+            bsim = arena[bkey] = BatchedSimulator(annotation_cache=store.objects)
 
+        # The functional prefix runs through the incremental stage
+        # wrappers: a store directory shared with a bench sweep serves
+        # the same interpret/transform receipts here, and a code edit
+        # rolls the stage keys instead of serving stale artefacts.
         check = bool(source.get("check", False))
-        baseline = cache.baseline(case, check=check)
-        transformed = cache.dswp(case, baseline, check=check)
+        interp = interpret_stage(store, case, check=check)
+        baseline = interp.value
+        transformed = transform_stage(store, case, interp, check=check).value
     except BaseException as exc:  # noqa: BLE001 -- see module docstring
         return {"fatal": _error(exc)}
 

@@ -1,0 +1,119 @@
+"""``cache gc`` semantics: LRU by atime, corruption-aware, pin-safe.
+
+Contract under test (:mod:`repro.incr.gc`): eviction proceeds
+oldest-access-first until the store fits the byte budget; corrupt
+entries always go (counted separately); stale tmp droppings are swept
+while fresh ones -- possibly a live writer mid-publish -- are left
+alone; pinned entries survive any budget; and ``dry_run`` deletes
+nothing while reporting everything.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.incr.gc import TMP_GRACE_SECONDS, collect
+from repro.incr.store import ArtifactStore
+
+
+def _fill(store, count, payload_cells=200):
+    """``count`` artifacts with distinct digests and staggered atimes
+    (digest ``i`` is the ``i``-th least recently used)."""
+    digests = []
+    now = time.time()
+    for i in range(count):
+        digest = f"{i:064d}"
+        store.put_artifact(digest, {"cells": list(range(payload_cells))})
+        path = store._entry_path("artifact", digest)
+        stamp = now - (count - i) * 3600
+        os.utime(path, (stamp, stamp))
+        digests.append(digest)
+    return digests
+
+
+def test_lru_eviction_to_budget(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    digests = _fill(store, 10)
+    sizes = {d: os.path.getsize(store._entry_path("artifact", d))
+             for d in digests}
+    budget = sum(sizes.values()) - 3 * max(sizes.values())
+
+    stats = collect(str(tmp_path), max_bytes=budget)
+    assert stats["evicted"] >= 3
+    assert stats["bytes_after"] <= budget
+    # Oldest-access entries went first; the most recent survived.
+    fresh = ArtifactStore(persist_dir=str(tmp_path))
+    assert not fresh.has_artifact(digests[0])
+    assert fresh.has_artifact(digests[-1])
+
+
+def test_pinned_entries_survive_any_budget(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    digests = _fill(store, 6)
+    store.pin("plan-gc-test", [], [digests[0]])  # pin the LRU victim
+
+    stats = collect(str(tmp_path), max_bytes=0)
+    assert stats["pinned_kept"] == 1
+    fresh = ArtifactStore(persist_dir=str(tmp_path))
+    assert fresh.has_artifact(digests[0])
+    assert not fresh.has_artifact(digests[-1])
+
+    # Dropping the pin releases the entry to the next pass.
+    store.unpin("plan-gc-test")
+    stats = collect(str(tmp_path), max_bytes=0)
+    assert stats["pinned_kept"] == 0
+    assert not ArtifactStore(persist_dir=str(tmp_path)).has_artifact(
+        digests[0])
+
+
+def test_corrupt_entries_always_evicted(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    digests = _fill(store, 4)
+    with open(store._entry_path("artifact", digests[2]), "wb") as fh:
+        fh.write(b"\x80\x04torn")
+
+    # No byte budget at all: validation still evicts the torn entry.
+    stats = collect(str(tmp_path))
+    assert stats["corrupt_evicted"] == 1
+    assert stats["evicted"] == 1
+    fresh = ArtifactStore(persist_dir=str(tmp_path))
+    assert not fresh.has_artifact(digests[2])
+    assert fresh.has_artifact(digests[1])
+
+
+def test_tmp_droppings_swept_after_grace(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    digests = _fill(store, 2)
+    shard = os.path.dirname(store._entry_path("artifact", digests[0]))
+    stale = os.path.join(shard, "dead.pkl.tmp.12345")
+    live = os.path.join(shard, "racing.pkl.tmp.67890")
+    for path in (stale, live):
+        with open(path, "wb") as fh:
+            fh.write(b"partial")
+    old = time.time() - TMP_GRACE_SECONDS - 60
+    os.utime(stale, (old, old))
+
+    stats = collect(str(tmp_path))
+    assert stats["tmp_removed"] == 1
+    assert not os.path.exists(stale)
+    assert os.path.exists(live)  # inside the grace window: maybe live
+
+
+def test_dry_run_reports_without_deleting(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    digests = _fill(store, 5)
+    with open(store._entry_path("artifact", digests[1]), "wb") as fh:
+        fh.write(b"\x80\x04torn")
+
+    stats = collect(str(tmp_path), max_bytes=0, dry_run=True)
+    assert stats["evicted"] >= 4
+    assert stats["corrupt_evicted"] == 1
+    # Nothing actually left the filesystem.
+    for digest in digests:
+        assert os.path.exists(store._entry_path("artifact", digest))
+
+
+def test_missing_directory_is_a_clean_noop(tmp_path):
+    stats = collect(str(tmp_path / "never-created"), max_bytes=100)
+    assert stats["scanned"] == 0 and stats["evicted"] == 0

@@ -1,0 +1,111 @@
+"""ArtifactStore unit contract: addressing, receipts, pins, corruption.
+
+The store's promises (module doc of :mod:`repro.incr.store`): artifacts
+round-trip by content address, receipts are shape-validated on load,
+inline payloads ride inside receipts, corruption reads as a counted
+miss and is never decoded, and pins protect in-flight plans' entries
+from ``cache gc`` until they expire.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.incr.store import (
+    ARTIFACT_KIND, PIN_TTL_SECONDS, RECEIPT_KIND, ArtifactStore,
+)
+
+
+def test_artifact_roundtrip_and_existence(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    assert store.get_artifact("d" * 64) is None
+    assert not store.has_artifact("d" * 64)
+    store.put_artifact("d" * 64, {"trace": [1, 2, 3]})
+    assert store.has_artifact("d" * 64)
+    # A second process opening the same directory sees the entry.
+    other = ArtifactStore(persist_dir=str(tmp_path))
+    assert other.get_artifact("d" * 64) == {"trace": [1, 2, 3]}
+
+
+def test_receipt_shape_validated(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    store.put_receipt("stage-key", {"artifact": "a" * 64}, meta={"case": "wc"})
+    receipt = store.get_receipt("stage-key")
+    assert receipt["outputs"] == {"artifact": "a" * 64}
+    assert receipt["meta"] == {"case": "wc"}
+    # A foreign payload under the receipt kind must read as a miss,
+    # never flow into the planner as a malformed receipt.
+    store.objects.put_object(RECEIPT_KIND, "bogus", ["not", "a", "receipt"])
+    assert store.get_receipt("bogus") is None
+    store.objects.put_object(RECEIPT_KIND, "shapeless", {"outputs": 7})
+    assert store.get_receipt("shapeless") is None
+
+
+def test_inline_receipt_payload(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    summary = {"cycles": [100], "ipcs": [1.5], "instructions": 150}
+    store.put_receipt("sim-key", {"summary": "s" * 64}, inline=summary)
+    receipt = store.get_receipt("sim-key")
+    assert receipt["inline"] == summary
+    # No separate artifact entry was needed for the inline payload.
+    assert not store.has_artifact("s" * 64)
+
+
+def test_torn_entry_is_counted_miss_never_decoded(tmp_path):
+    writer = ArtifactStore(persist_dir=str(tmp_path))
+    writer.put_artifact("e" * 64, {"payload": list(range(100))})
+    path = writer._entry_path(ARTIFACT_KIND, "e" * 64)
+    with open(path, "wb") as fh:
+        fh.write(b"\x80\x04torn-mid-write")
+    # A fresh store (another process's view) must hit the disk, see
+    # the torn bytes, evict and count -- never decode them.
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    before = store.stats().get("corrupt_evictions", 0)
+    assert store.get_artifact("e" * 64) is None
+    assert store.stats().get("corrupt_evictions", 0) == before + 1
+    # The corrupt file was evicted: the next probe is a clean miss.
+    assert not store.has_artifact("e" * 64)
+
+
+def test_pins_protect_and_expire(tmp_path):
+    store = ArtifactStore(persist_dir=str(tmp_path))
+    store.put_receipt("rk", {"artifact": "f" * 64})
+    store.put_artifact("f" * 64, {"x": 1})
+    pin_path = store.pin("plan-test-1", ["rk"], ["f" * 64])
+    assert pin_path is not None and os.path.exists(pin_path)
+
+    pinned = ArtifactStore.pinned_paths(str(tmp_path))
+    rel_receipt = os.path.relpath(
+        store._entry_path(RECEIPT_KIND, "rk"), str(tmp_path))
+    rel_artifact = os.path.relpath(
+        store._entry_path(ARTIFACT_KIND, "f" * 64), str(tmp_path))
+    assert rel_receipt in pinned
+    assert rel_artifact in pinned
+
+    # An expired pin protects nothing (a killed driver must not exempt
+    # entries forever).
+    with open(pin_path, encoding="utf-8") as fh:
+        record = json.load(fh)
+    record["created"] = time.time() - PIN_TTL_SECONDS - 60
+    with open(pin_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh)
+    assert ArtifactStore.pinned_paths(str(tmp_path)) == set()
+
+    # A corrupt pin file protects nothing either.
+    with open(pin_path, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    assert ArtifactStore.pinned_paths(str(tmp_path)) == set()
+
+    store.unpin("plan-test-1")
+    assert not os.path.exists(pin_path)
+    store.unpin("plan-test-1")  # idempotent
+
+
+def test_in_memory_store_has_no_pins(tmp_path):
+    store = ArtifactStore(persist_dir=None)
+    store.put_artifact("a" * 64, 1)
+    assert store.get_artifact("a" * 64) == 1
+    assert store.pin("p", ["k"], ["a" * 64]) is None
+    store.unpin("p")  # no-op, no crash
